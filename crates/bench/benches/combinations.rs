@@ -1,0 +1,79 @@
+//! Criterion bench: combination generation — the §VIII machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trigon_combin::{
+    binom, equal_division, next_combination, rank, unrank, CrossMode, TwoLevelSpace,
+};
+
+fn successor_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("successor");
+    for n in [100u32, 1000] {
+        group.bench_with_input(BenchmarkId::new("walk_100k", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut comb = vec![0u32, 1, 2];
+                let mut steps = 0u64;
+                while steps < 100_000 && next_combination(&mut comb, n) {
+                    steps += 1;
+                }
+                black_box(steps)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn unranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combinadics");
+    for n in [1_000u32, 100_000] {
+        let total = binom(u64::from(n), 3);
+        group.bench_with_input(BenchmarkId::new("unrank_mid", n), &n, |b, &n| {
+            b.iter(|| black_box(unrank(total / 2, n, 3)));
+        });
+        let mid = unrank(total / 2, n, 3);
+        group.bench_with_input(BenchmarkId::new("rank_mid", n), &n, |b, &n| {
+            b.iter(|| black_box(rank(&mid, n)));
+        });
+    }
+    group.finish();
+}
+
+fn cross_space_cursor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_space");
+    let s = TwoLevelSpace::new(200, 800, 3);
+    group.bench_function("mixed_walk_100k", |b| {
+        b.iter(|| {
+            let mut cur = s.cursor(CrossMode::Mixed);
+            let mut steps = 0u64;
+            while steps < 100_000 && cur.advance() {
+                steps += 1;
+            }
+            black_box(steps)
+        });
+    });
+    group.bench_function("cursor_at_random_access", |b| {
+        let total = s.count(CrossMode::Mixed);
+        let mut i = 0u128;
+        b.iter(|| {
+            i = (i * 6364136223846793005 + 1442695040888963407) % total;
+            black_box(s.cursor_at(CrossMode::Mixed, i).current().map(<[u32]>::len))
+        });
+    });
+    group.finish();
+}
+
+fn work_division(c: &mut Criterion) {
+    c.bench_function("equal_division_30720_threads", |b| {
+        let total = binom(100_000, 3);
+        b.iter(|| black_box(equal_division(total, 30_720).len()));
+    });
+}
+
+criterion_group!(
+    benches,
+    successor_throughput,
+    unranking,
+    cross_space_cursor,
+    work_division
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: the GPU memory-model primitives — coalescing, bank
+//! conflicts, partition accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trigon_gpu_sim::coalesce::{nonsequential_pattern, sequential_pattern};
+use trigon_gpu_sim::{
+    bank_conflict_degree, camping_cycles, warp_transactions, ComputeCapability, DeviceSpec,
+    PartitionTraffic,
+};
+
+fn coalescing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalesce");
+    let seq = sequential_pattern(0, 32, 4);
+    let non = nonsequential_pattern(0, 32, 4);
+    for cc in [ComputeCapability::Cc10, ComputeCapability::Cc13, ComputeCapability::Cc20] {
+        group.bench_with_input(BenchmarkId::new("sequential", cc.as_str()), &cc, |b, &cc| {
+            b.iter(|| black_box(warp_transactions(cc, &seq, 4).transactions));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("nonsequential", cc.as_str()),
+            &cc,
+            |b, &cc| {
+                b.iter(|| black_box(warp_transactions(cc, &non, 4).transactions));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bank_conflicts(c: &mut Criterion) {
+    let strided: Vec<u64> = (0..16).map(|i| i * 64).collect();
+    c.bench_function("bank_conflict_degree_16", |b| {
+        b.iter(|| black_box(bank_conflict_degree(&strided, 16)));
+    });
+}
+
+fn partition_accounting(c: &mut Criterion) {
+    let spec = DeviceSpec::c1060();
+    c.bench_function("camping_1000_records", |b| {
+        b.iter(|| {
+            let mut t = PartitionTraffic::new(&spec);
+            for i in 0..1000u64 {
+                t.record(i * 131);
+            }
+            black_box(camping_cycles(&t, &spec))
+        });
+    });
+}
+
+criterion_group!(benches, coalescing, bank_conflicts, partition_accounting);
+criterion_main!(benches);

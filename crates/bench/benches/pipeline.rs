@@ -1,0 +1,62 @@
+//! Criterion bench: the structural pipeline stages — BFS/ALS
+//! construction, Algorithm 1 splitting, hybrid classification — plus the
+//! graph generators feeding them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trigon_core::als::build_als;
+use trigon_core::hybrid::{run_hybrid, HybridConfig};
+use trigon_core::split::{split_graph, SplitConfig};
+use trigon_gpu_sim::DeviceSpec;
+use trigon_graph::gen;
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("gnp_5000_deg16", |b| {
+        b.iter(|| black_box(gen::gnp(5000, 16.0 / 5000.0, 1).m()));
+    });
+    group.bench_function("ba_5000_m8", |b| {
+        b.iter(|| black_box(gen::barabasi_albert(5000, 8, 1).m()));
+    });
+    group.bench_function("ws_5000_k8", |b| {
+        b.iter(|| black_box(gen::watts_strogatz(5000, 8, 0.1, 1).m()));
+    });
+    group.bench_function("community_ring_5000", |b| {
+        b.iter(|| black_box(gen::community_ring(5000, 250, 0.3, 4, 1).m()));
+    });
+    group.bench_function("rmat_4096", |b| {
+        b.iter(|| black_box(gen::rmat_social(4096, 40_000, 1).m()));
+    });
+    group.finish();
+}
+
+fn structure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structure");
+    group.sample_size(10);
+    for n in [2_000u32, 10_000] {
+        let g = gen::community_ring(n, 250, 0.3, 4, 42);
+        group.bench_with_input(BenchmarkId::new("build_als", n), &g, |b, g| {
+            b.iter(|| black_box(build_als(g).len()));
+        });
+        let cfg = SplitConfig::for_device(&DeviceSpec::c1060());
+        group.bench_with_input(BenchmarkId::new("split_graph", n), &g, |b, g| {
+            b.iter(|| black_box(split_graph(g, &cfg).chunks.len()));
+        });
+    }
+    group.finish();
+}
+
+fn hybrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid");
+    group.sample_size(10);
+    let g = gen::community_ring(3_000, 150, 0.25, 3, 42);
+    let cfg = HybridConfig::new(DeviceSpec::c1060());
+    group.bench_function("run_hybrid_3000", |b| {
+        b.iter(|| black_box(run_hybrid(&g, &cfg).triangles));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generators, structure, hybrid);
+criterion_main!(benches);

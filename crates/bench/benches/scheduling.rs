@@ -1,0 +1,50 @@
+//! Criterion bench: makespan scheduling policies (§VI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trigon_sched::{exact, list_schedule, lpt, round_robin};
+
+fn jobs(n: usize) -> Vec<u64> {
+    // Deterministic LCG workload.
+    let mut state = 0x1234_5678u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % 1000 + 1
+        })
+        .collect()
+}
+
+fn heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heuristics");
+    for n in [100usize, 10_000] {
+        let js = jobs(n);
+        group.bench_with_input(BenchmarkId::new("round_robin", n), &js, |b, js| {
+            b.iter(|| black_box(round_robin(js, 30).makespan()));
+        });
+        group.bench_with_input(BenchmarkId::new("list", n), &js, |b, js| {
+            b.iter(|| black_box(list_schedule(js, 30).makespan()));
+        });
+        group.bench_with_input(BenchmarkId::new("lpt", n), &js, |b, js| {
+            b.iter(|| black_box(lpt(js, 30).makespan()));
+        });
+    }
+    group.finish();
+}
+
+fn exact_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact");
+    group.sample_size(10);
+    for n in [10usize, 14] {
+        let js = jobs(n);
+        group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &js, |b, js| {
+            b.iter(|| black_box(exact(js, 4).makespan()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, heuristics, exact_small);
+criterion_main!(benches);

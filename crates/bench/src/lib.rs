@@ -1,0 +1,12 @@
+//! # trigon-bench
+//!
+//! Shared workload suites for the `repro` harness (every table and figure
+//! of the paper) and the Criterion benches. Keeping the workload
+//! definitions here guarantees the harness, the benches and the tests all
+//! measure the same graphs.
+
+#![deny(missing_docs)]
+
+pub mod suites;
+
+pub use suites::{fig10_graph, fig10_sizes, fig11_graph, fig11_sizes, SEED};

@@ -1,0 +1,66 @@
+//! Workload definitions for the evaluation reproduction (§XI).
+
+use trigon_graph::{gen, Graph};
+
+/// The one seed every reported experiment uses — change it to check
+/// robustness, keep it to get bit-identical tables.
+pub const SEED: u64 = 42;
+
+/// Fig. 10 / Fig. 12 graph sizes: "graphs of sizes ranging from 200 to
+/// 1200 nodes".
+#[must_use]
+pub fn fig10_sizes() -> Vec<u32> {
+    vec![200, 400, 600, 800, 1000, 1200]
+}
+
+/// Fig. 11 graph sizes: "reasonably larger graphs of size ranging from
+/// 5,000 to 25,000 nodes" (plus the §XI 100,000-node data point).
+#[must_use]
+pub fn fig11_sizes() -> Vec<u32> {
+    vec![5_000, 10_000, 15_000, 20_000, 25_000]
+}
+
+/// The Fig. 10/12 workload: `G(n, p)` with mean degree 16 — the paper
+/// leaves its random-graph density unstated; degree 16 produces BFS trees
+/// with several populated levels (the regime Algorithms 1–2 target) at
+/// every size in the suite.
+#[must_use]
+pub fn fig10_graph(n: u32) -> Graph {
+    gen::gnp(n, 16.0 / f64::from(n), SEED)
+}
+
+/// The Fig. 11 workload: the SNAP stand-in (see DESIGN.md substitutions) —
+/// a ring of 250-vertex communities with internal density 0.3 and 4
+/// bridges per adjacent pair. Deep BFS trees with bounded level width,
+/// triangle-rich, like SNAP's community/road networks.
+#[must_use]
+pub fn fig11_graph(n: u32) -> Graph {
+    gen::community_ring(n, 250, 0.3, 4, SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_deterministic() {
+        assert_eq!(fig10_graph(400), fig10_graph(400));
+        assert_eq!(fig11_graph(5000), fig11_graph(5000));
+    }
+
+    #[test]
+    fn fig10_sizes_match_paper_range() {
+        let s = fig10_sizes();
+        assert_eq!(*s.first().unwrap(), 200);
+        assert_eq!(*s.last().unwrap(), 1200);
+    }
+
+    #[test]
+    fn fig11_workload_has_bounded_levels() {
+        let g = fig11_graph(5000);
+        let t = trigon_graph::BfsTree::new(&g, 0);
+        assert!(t.depth() > 5, "needs a deep tree, got {}", t.depth());
+        let widest = t.levels().iter().map(Vec::len).max().unwrap();
+        assert!(widest <= 600, "level width {widest}");
+    }
+}

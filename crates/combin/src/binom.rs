@@ -1,0 +1,199 @@
+//! Binomial coefficients.
+//!
+//! The combination spaces in the paper reach `C(100_000, 3) ≈ 1.7·10^14`,
+//! well past `u32` but comfortably inside `u64`; we compute in `u128`
+//! throughout so that the general-`k` extensions (connected subgraphs of
+//! size `k`, `k`-cliques, `k`-independent sets, §III) never overflow
+//! silently.
+
+/// Computes `C(n, k)` exactly, panicking on overflow of `u128`.
+///
+/// Uses the multiplicative formula with interleaved division, which stays
+/// exact because each prefix product `n·(n-1)·…·(n-i+1)/i!` is itself a
+/// binomial coefficient.
+///
+/// ```
+/// use trigon_combin::binom;
+/// assert_eq!(binom(5, 2), 10);
+/// assert_eq!(binom(0, 0), 1);
+/// assert_eq!(binom(4, 7), 0);
+/// assert_eq!(binom(100_000, 3), 166_661_666_700_000);
+/// ```
+#[must_use]
+pub fn binom(n: u64, k: u64) -> u128 {
+    binom_checked(n, k).expect("binomial coefficient overflowed u128")
+}
+
+/// Computes `C(n, k)`, returning `None` on `u128` overflow.
+#[must_use]
+pub fn binom_checked(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    // Symmetry keeps the loop short for k close to n.
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc * (n - i) / (i + 1) is exact at every step.
+        acc = acc.checked_mul(u128::from(n - i))?;
+        acc /= u128::from(i + 1);
+    }
+    Some(acc)
+}
+
+/// A cached table of binomial coefficients `C(n, k)` for `n ≤ max_n`,
+/// `k ≤ max_k`.
+///
+/// Combination unranking (Algorithm 515) evaluates `C(·, ·)` in an inner
+/// loop; per the session performance guide, the hot path should not
+/// recompute them. The table is row-major over `n` with `max_k + 1`
+/// entries per row.
+#[derive(Debug, Clone)]
+pub struct BinomTable {
+    max_n: u64,
+    max_k: u64,
+    rows: Vec<u128>,
+}
+
+impl BinomTable {
+    /// Builds the table with Pascal's rule.
+    ///
+    /// Memory: `(max_n + 1) · (max_k + 1)` `u128`s; for `n = 100_000`,
+    /// `k = 5`, that is ≈ 9.6 MB — cheap next to the graph itself.
+    #[must_use]
+    pub fn new(max_n: u64, max_k: u64) -> Self {
+        let w = (max_k + 1) as usize;
+        let mut rows = vec![0u128; (max_n as usize + 1) * w];
+        for n in 0..=max_n as usize {
+            rows[n * w] = 1;
+            let kmax = max_k.min(n as u64) as usize;
+            for k in 1..=kmax {
+                let above = rows[(n - 1) * w + k];
+                let diag = rows[(n - 1) * w + k - 1];
+                rows[n * w + k] = above
+                    .checked_add(diag)
+                    .expect("binomial table overflowed u128");
+            }
+        }
+        Self { max_n, max_k, rows }
+    }
+
+    /// Largest `n` stored.
+    #[must_use]
+    pub fn max_n(&self) -> u64 {
+        self.max_n
+    }
+
+    /// Largest `k` stored.
+    #[must_use]
+    pub fn max_k(&self) -> u64 {
+        self.max_k
+    }
+
+    /// Looks up `C(n, k)`. Out-of-range `k > max_k` with `k ≤ n` panics;
+    /// `k > n` returns 0 as usual.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, n: u64, k: u64) -> u128 {
+        if k > n {
+            return 0;
+        }
+        assert!(
+            n <= self.max_n && k <= self.max_k,
+            "BinomTable::get({n}, {k}) outside table bounds ({}, {})",
+            self.max_n,
+            self.max_k
+        );
+        self.rows[n as usize * (self.max_k as usize + 1) + k as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(binom(0, 0), 1);
+        assert_eq!(binom(1, 0), 1);
+        assert_eq!(binom(1, 1), 1);
+        assert_eq!(binom(6, 3), 20);
+        assert_eq!(binom(10, 5), 252);
+        assert_eq!(binom(52, 5), 2_598_960);
+    }
+
+    #[test]
+    fn k_greater_than_n_is_zero() {
+        assert_eq!(binom(3, 4), 0);
+        assert_eq!(binom(0, 1), 0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for n in 0..40u64 {
+            for k in 0..=n {
+                assert_eq!(binom(n, k), binom(n, n - k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_rule() {
+        for n in 1..60u64 {
+            for k in 1..=n {
+                assert_eq!(binom(n, k), binom(n - 1, k) + binom(n - 1, k - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_values() {
+        // C(n,3) = n(n-1)(n-2)/6 at the paper's evaluation sizes.
+        assert_eq!(binom(1200, 3), 1200 * 1199 * 1198 / 6);
+        assert_eq!(binom(25_000, 3), 25_000u128 * 24_999 * 24_998 / 6);
+        assert_eq!(binom(100_000, 3), 100_000u128 * 99_999 * 99_998 / 6);
+    }
+
+    #[test]
+    fn checked_overflow_detected() {
+        // C(1000, 500) overflows u128 (~2.7e299); must not panic, must be None.
+        assert_eq!(binom_checked(1000, 500), None);
+    }
+
+    #[test]
+    fn large_but_representable() {
+        // C(128, 30) ≈ 2.3e30 fits u128 with room for the ×(n-i)
+        // intermediate of the multiplicative method.
+        // Cross-checked against Pascal's rule by `pascal_rule` plus the
+        // identity C(128,30) = C(127,30) + C(127,29).
+        assert_eq!(
+            binom_checked(128, 30),
+            Some(binom(127, 30) + binom(127, 29))
+        );
+        assert!(binom_checked(128, 30).unwrap() > 1u128 << 96);
+    }
+
+    #[test]
+    fn table_matches_direct() {
+        let t = BinomTable::new(200, 6);
+        for n in 0..=200u64 {
+            for k in 0..=6u64 {
+                assert_eq!(t.get(n, k), binom(n, k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn table_k_above_n_zero() {
+        let t = BinomTable::new(10, 5);
+        assert_eq!(t.get(2, 5), 0);
+        assert_eq!(t.get(0, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside table bounds")]
+    fn table_out_of_bounds_panics() {
+        let t = BinomTable::new(10, 3);
+        let _ = t.get(10, 4); // k ≤ n but k > max_k
+    }
+}

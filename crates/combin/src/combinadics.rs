@@ -1,0 +1,193 @@
+//! Combinadics: rank/unrank between lexicographic indices and
+//! combinations (strategy D of §VIII).
+//!
+//! The paper's equal-work division hands simulated GPU thread `t` the
+//! combinations with indices `[t·⌈T/p⌉, …)` and needs to materialize the
+//! *first* combination of that range directly from its index — "there
+//! exists a mapping from natural numbers i.e., indices in the
+//! lexicographic order to combinations, and this methodology is also known
+//! as combinadics" (§VIII-D). The unranking scheme is Buckles & Lybanon's
+//! *TOMS* Algorithm 515 (the paper's reference \[3\]), restated 0-based.
+//!
+//! Lexicographic convention: combinations are ascending `k`-subsets of
+//! `{0, …, n-1}`; index 0 is `[0, 1, …, k-1]`.
+
+use crate::binom::binom;
+
+/// Returns the lexicographic rank of `comb` among ascending `k`-subsets of
+/// `{0, …, n-1}`.
+///
+/// For each position `i`, every combination that agrees on positions
+/// `< i` and has a *smaller* element at `i` contributes
+/// `C(n - 1 - v, k - 1 - i)` for each skipped value `v`.
+///
+/// # Panics
+///
+/// Panics if `comb` is not strictly ascending or an element is `≥ n`.
+///
+/// ```
+/// use trigon_combin::rank;
+/// assert_eq!(rank(&[0, 1, 2], 5), 0);
+/// assert_eq!(rank(&[2, 3, 4], 5), 9); // last of C(5,3) = 10
+/// ```
+#[must_use]
+pub fn rank(comb: &[u32], n: u32) -> u128 {
+    let k = comb.len() as u32;
+    assert!(comb.windows(2).all(|w| w[0] < w[1]), "not ascending");
+    assert!(
+        comb.last().is_none_or(|&last| last < n),
+        "element out of range"
+    );
+    let mut r: u128 = 0;
+    let mut lo = 0u32;
+    for (i, &c) in comb.iter().enumerate() {
+        for v in lo..c {
+            r += binom(u64::from(n - 1 - v), u64::from(k - 1 - i as u32));
+        }
+        lo = c + 1;
+    }
+    r
+}
+
+/// Unranks lexicographic index `idx` into the `k`-combination of
+/// `{0, …, n-1}`, writing into `out` (cleared first). Allocation-free when
+/// `out` has capacity `k` — the simulated kernel unranks once per thread.
+///
+/// Greedy digit extraction: position `i` takes the smallest value `v ≥ lo`
+/// such that fewer than `C(n-1-v, k-1-i)` combinations remain below `idx`.
+/// Total work is `O(n)` across all positions since `v` never decreases.
+///
+/// # Panics
+///
+/// Panics if `idx ≥ C(n, k)`.
+pub fn unrank_into(mut idx: u128, n: u32, k: u32, out: &mut Vec<u32>) {
+    let total = binom(u64::from(n), u64::from(k));
+    assert!(idx < total, "unrank index {idx} out of range (C({n},{k}) = {total})");
+    out.clear();
+    let mut v = 0u32;
+    for i in 0..k {
+        loop {
+            let with_v = binom(u64::from(n - 1 - v), u64::from(k - 1 - i));
+            if idx < with_v {
+                out.push(v);
+                v += 1;
+                break;
+            }
+            idx -= with_v;
+            v += 1;
+        }
+    }
+}
+
+/// Convenience wrapper around [`unrank_into`] that allocates the result.
+///
+/// ```
+/// use trigon_combin::{rank, unrank};
+/// let c = unrank(7, 5, 3);
+/// assert_eq!(rank(&c, 5), 7);
+/// ```
+#[must_use]
+pub fn unrank(idx: u128, n: u32, k: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity(k as usize);
+    unrank_into(idx, n, k, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binom::binom;
+    use crate::lex::LexCombinations;
+
+    #[test]
+    fn rank_of_first_is_zero() {
+        assert_eq!(rank(&[0, 1, 2, 3], 9), 0);
+        assert_eq!(rank(&[], 5), 0);
+    }
+
+    #[test]
+    fn rank_of_last_is_total_minus_one() {
+        let n = 8u32;
+        let k = 3u32;
+        let last: Vec<u32> = (n - k..n).collect();
+        assert_eq!(
+            rank(&last, n),
+            binom(u64::from(n), u64::from(k)) - 1
+        );
+    }
+
+    #[test]
+    fn rank_agrees_with_enumeration_order() {
+        for (i, c) in LexCombinations::new(9, 4).enumerate() {
+            assert_eq!(rank(&c, 9), i as u128, "combination {c:?}");
+        }
+    }
+
+    #[test]
+    fn unrank_agrees_with_enumeration_order() {
+        for (i, c) in LexCombinations::new(7, 3).enumerate() {
+            assert_eq!(unrank(i as u128, 7, 3), c);
+        }
+    }
+
+    #[test]
+    fn unrank_rank_roundtrip_various_shapes() {
+        for &(n, k) in &[(1u32, 1u32), (5, 5), (12, 1), (12, 6), (30, 3)] {
+            let total = binom(u64::from(n), u64::from(k));
+            // probe boundaries and a spread of interior indices
+            let probes = [
+                0,
+                1,
+                total / 3,
+                total / 2,
+                total.saturating_sub(2),
+                total - 1,
+            ];
+            for &idx in &probes {
+                if idx >= total {
+                    continue;
+                }
+                let c = unrank(idx, n, k);
+                assert_eq!(rank(&c, n), idx, "n={n} k={k} idx={idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrank_k_zero() {
+        assert!(unrank(0, 5, 0).is_empty());
+    }
+
+    #[test]
+    fn unrank_large_space() {
+        // C(100_000, 3): unrank the exact middle and round-trip.
+        let n = 100_000u32;
+        let total = binom(u64::from(n), 3);
+        let mid = total / 2;
+        let c = unrank(mid, n, 3);
+        assert_eq!(rank(&c, n), mid);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+        assert!(c[2] < n);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_index_too_large_panics() {
+        let _ = unrank(10, 5, 3); // C(5,3) = 10
+    }
+
+    #[test]
+    #[should_panic(expected = "not ascending")]
+    fn rank_rejects_unsorted() {
+        let _ = rank(&[2, 1], 5);
+    }
+
+    #[test]
+    fn unrank_into_reuses_buffer() {
+        let mut buf = Vec::with_capacity(3);
+        unrank_into(0, 6, 3, &mut buf);
+        assert_eq!(buf, vec![0, 1, 2]);
+        unrank_into(19, 6, 3, &mut buf); // last of C(6,3)=20
+        assert_eq!(buf, vec![3, 4, 5]);
+    }
+}

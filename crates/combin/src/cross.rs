@@ -1,0 +1,574 @@
+//! Constrained combination spaces over *two adjacent BFS levels*.
+//!
+//! Algorithm 2 of the paper counts triangles per adjacent level set
+//! (ALS) by calling `GenNxtComb(firstLvl)`, `GenNxtComb(bothLvls)` and —
+//! for the final set — `GenNxtComb(secondLvl)`. The `bothLvls` call
+//! "returns combinations containing 3 nodes from the set of consecutive
+//! levels, out of which at least 1 is from the firstLvl"; combined with the
+//! separate `firstLvl` scan, duplicate checking is eliminated because each
+//! level's internal combinations are visited exactly once and each mixed
+//! combination is visited by exactly one ALS.
+//!
+//! This module provides the four combination modes as countable,
+//! unrankable, iterable spaces so that the simulated GPU can hand each
+//! thread an equal slice (§VIII-D) of any of them.
+//!
+//! Nodes are addressed by *local position*: the first level occupies
+//! positions `0 … a-1`, the second level `a … a+b-1`.
+
+use crate::binom::binom;
+use crate::combinadics::unrank_into;
+use crate::lex::{first_combination, next_combination};
+
+/// Which slice of the two-level combination space to enumerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrossMode {
+    /// All `k` nodes from the first level (`GenNxtComb(firstLvl)`).
+    FirstOnly,
+    /// At least one node from *each* level (`GenNxtComb(bothLvls)` after
+    /// removing the overlap with the dedicated single-level scans).
+    Mixed,
+    /// All `k` nodes from the second level (`GenNxtComb(secondLvl)` — only
+    /// issued for the last ALS).
+    SecondOnly,
+    /// At least one node from the first level: `FirstOnly ∪ Mixed`. This is
+    /// the literal `bothLvls` restriction quoted in §VII and is a *lex
+    /// prefix* of the full `C(a+b, k)` order (a combination touches the
+    /// first level iff its smallest element is `< a`).
+    AtLeastOneFirst,
+}
+
+/// A two-level combination space: `a` first-level nodes, `b` second-level
+/// nodes, subsets of size `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoLevelSpace {
+    /// First-level node count.
+    pub a: u32,
+    /// Second-level node count.
+    pub b: u32,
+    /// Subset size.
+    pub k: u32,
+}
+
+impl TwoLevelSpace {
+    /// Creates the space.
+    #[must_use]
+    pub fn new(a: u32, b: u32, k: u32) -> Self {
+        Self { a, b, k }
+    }
+
+    /// Number of combinations in `mode`.
+    ///
+    /// ```
+    /// use trigon_combin::{CrossMode, TwoLevelSpace};
+    /// let s = TwoLevelSpace::new(3, 4, 3);
+    /// assert_eq!(s.count(CrossMode::FirstOnly), 1);          // C(3,3)
+    /// assert_eq!(s.count(CrossMode::SecondOnly), 4);         // C(4,3)
+    /// assert_eq!(s.count(CrossMode::Mixed), 35 - 1 - 4);     // C(7,3)-C(3,3)-C(4,3)
+    /// assert_eq!(s.count(CrossMode::AtLeastOneFirst), 35 - 4);
+    /// ```
+    #[must_use]
+    pub fn count(&self, mode: CrossMode) -> u128 {
+        let (a, b, k) = (u64::from(self.a), u64::from(self.b), u64::from(self.k));
+        match mode {
+            CrossMode::FirstOnly => binom(a, k),
+            CrossMode::SecondOnly => binom(b, k),
+            // Mixed needs ≥ 1 element from each level, impossible for k < 2
+            // (the inclusion–exclusion below would underflow at k = 0).
+            CrossMode::Mixed if k < 2 => 0,
+            CrossMode::Mixed => binom(a + b, k) - binom(a, k) - binom(b, k),
+            CrossMode::AtLeastOneFirst if k == 0 => 0,
+            CrossMode::AtLeastOneFirst => binom(a + b, k) - binom(b, k),
+        }
+    }
+
+    /// Total union size `C(a + b, k)`.
+    #[must_use]
+    pub fn total(&self) -> u128 {
+        binom(u64::from(self.a) + u64::from(self.b), u64::from(self.k))
+    }
+
+    /// Cursor positioned at the first combination of `mode`.
+    #[must_use]
+    pub fn cursor(&self, mode: CrossMode) -> CrossCursor {
+        self.cursor_at(mode, 0)
+    }
+
+    /// Cursor positioned at combination index `idx` of `mode` — the
+    /// equal-division entry point: thread `t` starts at
+    /// `idx = t · ⌈count / p⌉` and advances with
+    /// [`CrossCursor::advance`].
+    ///
+    /// `idx == count(mode)` yields an exhausted cursor (useful for empty
+    /// slices); larger indices panic.
+    #[must_use]
+    pub fn cursor_at(&self, mode: CrossMode, idx: u128) -> CrossCursor {
+        let count = self.count(mode);
+        assert!(idx <= count, "cursor index {idx} beyond space size {count}");
+        if idx == count {
+            return CrossCursor::exhausted(*self, mode);
+        }
+        match mode {
+            CrossMode::FirstOnly => {
+                let mut comb = Vec::with_capacity(self.k as usize);
+                unrank_into(idx, self.a, self.k, &mut comb);
+                CrossCursor::single(*self, mode, comb)
+            }
+            CrossMode::SecondOnly => {
+                let mut comb = Vec::with_capacity(self.k as usize);
+                unrank_into(idx, self.b, self.k, &mut comb);
+                for v in &mut comb {
+                    *v += self.a;
+                }
+                CrossCursor::single(*self, mode, comb)
+            }
+            CrossMode::AtLeastOneFirst => {
+                // Lex-prefix property: plain unrank over the union.
+                let mut comb = Vec::with_capacity(self.k as usize);
+                unrank_into(idx, self.a + self.b, self.k, &mut comb);
+                debug_assert!(comb[0] < self.a);
+                CrossCursor::single(*self, mode, comb)
+            }
+            CrossMode::Mixed => self.unrank_mixed(idx),
+        }
+    }
+
+    /// Strategy C (§VIII-C) ranges: splits `mode` into contiguous index
+    /// ranges grouped by the combination's *leading element* — thread `t`
+    /// owns the combinations starting with local position `t`. Only
+    /// defined for the lex-ordered modes; [`CrossMode::Mixed`] uses block
+    /// order, where leading elements are not contiguous.
+    ///
+    /// Empty ranges for infeasible leading elements are omitted, so the
+    /// returned ranges tile `[0, count(mode))` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`CrossMode::Mixed`].
+    #[must_use]
+    pub fn leading_ranges(&self, mode: CrossMode) -> Vec<crate::strategy::ThreadRange> {
+        let (n, k) = match mode {
+            CrossMode::FirstOnly => (u64::from(self.a), u64::from(self.k)),
+            CrossMode::SecondOnly => (u64::from(self.b), u64::from(self.k)),
+            CrossMode::AtLeastOneFirst => {
+                (u64::from(self.a) + u64::from(self.b), u64::from(self.k))
+            }
+            CrossMode::Mixed => {
+                panic!("leading-element split undefined for block-ordered Mixed mode")
+            }
+        };
+        if k == 0 || k > n {
+            return Vec::new();
+        }
+        let total = self.count(mode);
+        let mut out = Vec::new();
+        let mut start = 0u128;
+        let mut t = 0u64;
+        while start < total && t + k <= n {
+            // Combinations with leading element t: C(n - 1 - t, k - 1),
+            // clipped to the mode's lex prefix (AtLeastOneFirst ends at
+            // count(mode)).
+            let len = binom(n - 1 - t, k - 1).min(total - start);
+            if len > 0 {
+                out.push(crate::strategy::ThreadRange { start, len });
+            }
+            start += len;
+            t += 1;
+        }
+        out
+    }
+
+    /// Inclusive range of first-level picks `t` that produce non-empty
+    /// mixed blocks: `max(1, k-b) ..= min(k-1, a)`.
+    fn mixed_t_range(&self) -> (u32, u32) {
+        let lo = 1u32.max(self.k.saturating_sub(self.b));
+        let hi = self.k.saturating_sub(1).min(self.a);
+        (lo, hi)
+    }
+
+    /// Mixed-mode unranking in *block order*: blocks ascend by `t` (picks
+    /// from the first level); within a block the first-level combination
+    /// is the major index and the second-level one the minor. Block order
+    /// is a bijection onto `0 … count(Mixed)-1`, which is all equal
+    /// division requires; it is not global lex order.
+    fn unrank_mixed(&self, mut idx: u128) -> CrossCursor {
+        let (lo, hi) = self.mixed_t_range();
+        for t in lo..=hi {
+            let in_a = binom(u64::from(self.a), u64::from(t));
+            let in_b = binom(u64::from(self.b), u64::from(self.k - t));
+            let block = in_a * in_b;
+            if idx < block {
+                let (ia, ib) = (idx / in_b, idx % in_b);
+                let mut comb_a = Vec::with_capacity(t as usize);
+                unrank_into(ia, self.a, t, &mut comb_a);
+                let mut comb_b = Vec::with_capacity((self.k - t) as usize);
+                unrank_into(ib, self.b, self.k - t, &mut comb_b);
+                return CrossCursor::mixed(*self, t, comb_a, comb_b);
+            }
+            idx -= block;
+        }
+        unreachable!("mixed index validated against count() before dispatch")
+    }
+}
+
+/// Streaming cursor over one [`CrossMode`] slice of a [`TwoLevelSpace`].
+///
+/// The current combination is exposed as ascending *local positions*
+/// (first level `0…a-1`, second level `a…a+b-1`) via
+/// [`CrossCursor::current`]; [`CrossCursor::advance`] steps to the
+/// successor without allocating.
+#[derive(Debug, Clone)]
+pub struct CrossCursor {
+    space: TwoLevelSpace,
+    mode: CrossMode,
+    state: CursorState,
+    /// Scratch holding the combination in global positions.
+    global: Vec<u32>,
+}
+
+#[derive(Debug, Clone)]
+enum CursorState {
+    Exhausted,
+    /// Single underlying lex stream (FirstOnly / SecondOnly /
+    /// AtLeastOneFirst). Stored in global positions already.
+    Single,
+    /// Mixed block state: `t` picks from the first level.
+    Mixed { t: u32, comb_a: Vec<u32>, comb_b: Vec<u32> },
+}
+
+impl CrossCursor {
+    fn exhausted(space: TwoLevelSpace, mode: CrossMode) -> Self {
+        Self { space, mode, state: CursorState::Exhausted, global: Vec::new() }
+    }
+
+    fn single(space: TwoLevelSpace, mode: CrossMode, comb: Vec<u32>) -> Self {
+        Self { space, mode, state: CursorState::Single, global: comb }
+    }
+
+    fn mixed(space: TwoLevelSpace, t: u32, comb_a: Vec<u32>, comb_b: Vec<u32>) -> Self {
+        let mut c = Self {
+            space,
+            mode: CrossMode::Mixed,
+            state: CursorState::Mixed { t, comb_a, comb_b },
+            global: Vec::with_capacity(space.k as usize),
+        };
+        c.rebuild_global();
+        c
+    }
+
+    fn rebuild_global(&mut self) {
+        if let CursorState::Mixed { comb_a, comb_b, .. } = &self.state {
+            self.global.clear();
+            self.global.extend_from_slice(comb_a);
+            self.global.extend(comb_b.iter().map(|&v| v + self.space.a));
+        }
+    }
+
+    /// The current combination in ascending local positions, or `None`
+    /// once exhausted.
+    #[must_use]
+    pub fn current(&self) -> Option<&[u32]> {
+        match self.state {
+            CursorState::Exhausted => None,
+            _ => Some(&self.global),
+        }
+    }
+
+    /// The mode this cursor enumerates.
+    #[must_use]
+    pub fn mode(&self) -> CrossMode {
+        self.mode
+    }
+
+    /// Steps to the next combination; returns `false` once exhausted.
+    pub fn advance(&mut self) -> bool {
+        let space = self.space;
+        match &mut self.state {
+            CursorState::Exhausted => false,
+            CursorState::Single => {
+                let ok = match self.mode {
+                    CrossMode::FirstOnly => next_combination(&mut self.global, space.a),
+                    CrossMode::SecondOnly => {
+                        // Stored shifted by +a; successor in shifted space.
+                        for v in &mut self.global {
+                            *v -= space.a;
+                        }
+                        let ok = next_combination(&mut self.global, space.b);
+                        for v in &mut self.global {
+                            *v += space.a;
+                        }
+                        ok
+                    }
+                    CrossMode::AtLeastOneFirst => {
+                        next_combination(&mut self.global, space.a + space.b)
+                            && self.global[0] < space.a
+                    }
+                    CrossMode::Mixed => unreachable!("mixed uses CursorState::Mixed"),
+                };
+                if !ok {
+                    self.state = CursorState::Exhausted;
+                }
+                ok
+            }
+            CursorState::Mixed { t, comb_a, comb_b } => {
+                let k = space.k;
+                if next_combination(comb_b, space.b) {
+                    self.rebuild_global();
+                    return true;
+                }
+                if next_combination(comb_a, space.a) {
+                    *comb_b = first_combination(k - *t);
+                    self.rebuild_global();
+                    return true;
+                }
+                // Next block: mixed_t_range guarantees every t in range
+                // yields a non-empty block (t ≤ a and k − t ≤ b).
+                let (_, hi) = space.mixed_t_range();
+                if *t >= hi {
+                    self.state = CursorState::Exhausted;
+                    return false;
+                }
+                *t += 1;
+                *comb_a = first_combination(*t);
+                *comb_b = first_combination(k - *t);
+                self.rebuild_global();
+                true
+            }
+        }
+    }
+
+    /// Consumes the cursor into an owning iterator (testing convenience;
+    /// hot paths should loop over `current`/`advance`).
+    pub fn into_iter_owned(mut self) -> impl Iterator<Item = Vec<u32>> {
+        let mut first = true;
+        std::iter::from_fn(move || {
+            if first {
+                first = false;
+            } else if !self.advance() {
+                return None;
+            }
+            self.current().map(<[u32]>::to_vec)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binom::binom;
+    use std::collections::BTreeSet;
+
+    fn collect(space: TwoLevelSpace, mode: CrossMode) -> Vec<Vec<u32>> {
+        space.cursor(mode).into_iter_owned().collect()
+    }
+
+    #[test]
+    fn k_zero_modes_overlap_on_empty_set() {
+        // Degenerate k = 0: the empty combination belongs to both
+        // single-level modes, so the three modes do not partition. Callers
+        // (Algorithm 2 uses k = 3) never issue k = 0; we just pin the
+        // behaviour.
+        let s = TwoLevelSpace::new(3, 4, 0);
+        assert_eq!(s.count(CrossMode::FirstOnly), 1);
+        assert_eq!(s.count(CrossMode::SecondOnly), 1);
+        assert_eq!(s.count(CrossMode::Mixed), 0);
+        assert_eq!(s.count(CrossMode::AtLeastOneFirst), 0);
+    }
+
+    #[test]
+    fn counts_partition_the_union() {
+        // FirstOnly + Mixed + SecondOnly = C(a+b, k) for many shapes.
+        for a in 0..7u32 {
+            for b in 0..7u32 {
+                for k in 1..5u32 {
+                    let s = TwoLevelSpace::new(a, b, k);
+                    assert_eq!(
+                        s.count(CrossMode::FirstOnly)
+                            + s.count(CrossMode::Mixed)
+                            + s.count(CrossMode::SecondOnly),
+                        s.total(),
+                        "a={a} b={b} k={k}"
+                    );
+                    assert_eq!(
+                        s.count(CrossMode::AtLeastOneFirst),
+                        s.count(CrossMode::FirstOnly) + s.count(CrossMode::Mixed)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_count_and_is_distinct() {
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                for k in 1..4u32 {
+                    let s = TwoLevelSpace::new(a, b, k);
+                    for mode in [
+                        CrossMode::FirstOnly,
+                        CrossMode::Mixed,
+                        CrossMode::SecondOnly,
+                        CrossMode::AtLeastOneFirst,
+                    ] {
+                        let all = collect(s, mode);
+                        assert_eq!(all.len() as u128, s.count(mode), "{mode:?} a={a} b={b} k={k}");
+                        let set: BTreeSet<_> = all.iter().cloned().collect();
+                        assert_eq!(set.len(), all.len(), "duplicates in {mode:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mode_membership_constraints_hold() {
+        let s = TwoLevelSpace::new(4, 5, 3);
+        for c in collect(s, CrossMode::FirstOnly) {
+            assert!(c.iter().all(|&v| v < s.a));
+        }
+        for c in collect(s, CrossMode::SecondOnly) {
+            assert!(c.iter().all(|&v| v >= s.a && v < s.a + s.b));
+        }
+        for c in collect(s, CrossMode::Mixed) {
+            assert!(c.iter().any(|&v| v < s.a), "{c:?} lacks first-level node");
+            assert!(c.iter().any(|&v| v >= s.a), "{c:?} lacks second-level node");
+        }
+        for c in collect(s, CrossMode::AtLeastOneFirst) {
+            assert!(c[0] < s.a, "{c:?} lacks first-level node");
+        }
+    }
+
+    #[test]
+    fn three_modes_tile_the_union_exactly() {
+        let s = TwoLevelSpace::new(4, 4, 3);
+        let mut seen = BTreeSet::new();
+        for mode in [CrossMode::FirstOnly, CrossMode::Mixed, CrossMode::SecondOnly] {
+            for c in collect(s, mode) {
+                assert!(seen.insert(c.clone()), "duplicate across modes: {c:?}");
+            }
+        }
+        assert_eq!(seen.len() as u128, s.total());
+    }
+
+    #[test]
+    fn cursor_at_matches_sequential_enumeration() {
+        let s = TwoLevelSpace::new(5, 6, 3);
+        for mode in [
+            CrossMode::FirstOnly,
+            CrossMode::Mixed,
+            CrossMode::SecondOnly,
+            CrossMode::AtLeastOneFirst,
+        ] {
+            let all = collect(s, mode);
+            for (i, expect) in all.iter().enumerate() {
+                let cur = s.cursor_at(mode, i as u128);
+                assert_eq!(cur.current().unwrap(), expect.as_slice(), "{mode:?} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_at_resumes_correctly_mid_stream() {
+        // Divide Mixed across 4 "threads" and check the slices concatenate
+        // to the full enumeration — exactly the §VIII-D equal division.
+        let s = TwoLevelSpace::new(6, 7, 3);
+        let total = s.count(CrossMode::Mixed);
+        let threads = 4u128;
+        let per = total.div_ceil(threads);
+        let mut stitched = Vec::new();
+        for t in 0..threads {
+            let start = t * per;
+            if start >= total {
+                break;
+            }
+            let quota = per.min(total - start);
+            let mut cur = s.cursor_at(CrossMode::Mixed, start);
+            for i in 0..quota {
+                stitched.push(cur.current().unwrap().to_vec());
+                let more = cur.advance();
+                assert!(more || start + i + 1 == total);
+            }
+        }
+        assert_eq!(stitched, collect(s, CrossMode::Mixed));
+    }
+
+    #[test]
+    fn cursor_at_end_is_exhausted() {
+        let s = TwoLevelSpace::new(3, 3, 2);
+        let cur = s.cursor_at(CrossMode::Mixed, s.count(CrossMode::Mixed));
+        assert!(cur.current().is_none());
+    }
+
+    #[test]
+    fn empty_levels_are_handled() {
+        let s = TwoLevelSpace::new(0, 5, 3);
+        assert_eq!(s.count(CrossMode::FirstOnly), 0);
+        assert_eq!(s.count(CrossMode::Mixed), 0);
+        assert_eq!(s.count(CrossMode::AtLeastOneFirst), 0);
+        assert_eq!(s.count(CrossMode::SecondOnly), binom(5, 3));
+        assert!(collect(s, CrossMode::Mixed).is_empty());
+        assert!(s.cursor(CrossMode::FirstOnly).current().is_none());
+    }
+
+    #[test]
+    fn k_larger_than_union_is_empty() {
+        let s = TwoLevelSpace::new(2, 2, 5);
+        for mode in [
+            CrossMode::FirstOnly,
+            CrossMode::Mixed,
+            CrossMode::SecondOnly,
+            CrossMode::AtLeastOneFirst,
+        ] {
+            assert_eq!(s.count(mode), 0, "{mode:?}");
+            assert!(collect(s, mode).is_empty());
+        }
+    }
+
+    #[test]
+    fn leading_ranges_tile_the_space() {
+        for (a, b, k) in [(5u32, 7u32, 3u32), (3, 0, 2), (0, 6, 3), (4, 4, 4)] {
+            let s = TwoLevelSpace::new(a, b, k);
+            for mode in [CrossMode::FirstOnly, CrossMode::SecondOnly, CrossMode::AtLeastOneFirst]
+            {
+                let ranges = s.leading_ranges(mode);
+                let mut next = 0u128;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "{mode:?} a={a} b={b} k={k}");
+                    assert!(r.len > 0);
+                    next += r.len;
+                }
+                assert_eq!(next, s.count(mode), "{mode:?} a={a} b={b} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn leading_ranges_group_by_first_element() {
+        let s = TwoLevelSpace::new(4, 6, 3);
+        let ranges = s.leading_ranges(CrossMode::AtLeastOneFirst);
+        for (t, r) in ranges.iter().enumerate() {
+            // Every combination in range t starts with local position t.
+            let first = s.cursor_at(CrossMode::AtLeastOneFirst, r.start);
+            assert_eq!(first.current().unwrap()[0], t as u32);
+            let last = s.cursor_at(CrossMode::AtLeastOneFirst, r.start + r.len - 1);
+            assert_eq!(last.current().unwrap()[0], t as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined for block-ordered")]
+    fn leading_ranges_reject_mixed() {
+        let _ = TwoLevelSpace::new(3, 3, 3).leading_ranges(CrossMode::Mixed);
+    }
+
+    #[test]
+    fn at_least_one_first_is_lex_prefix() {
+        // The AtLeastOneFirst stream must equal the first count() entries
+        // of the plain lex enumeration over the union.
+        let s = TwoLevelSpace::new(3, 4, 3);
+        let want: Vec<Vec<u32>> = crate::lex::LexCombinations::new(s.a + s.b, s.k)
+            .take(s.count(CrossMode::AtLeastOneFirst) as usize)
+            .collect();
+        assert_eq!(collect(s, CrossMode::AtLeastOneFirst), want);
+    }
+}

@@ -1,0 +1,186 @@
+//! Lexicographic combination generation (strategy B of §VIII).
+//!
+//! The successor rule is Mifsud's *CACM* Algorithm 154 — the paper's
+//! reference \[12\] — restated for 0-based ascending `k`-subsets of
+//! `{0, …, n-1}`: scan from the right for the first element that can still
+//! be incremented, bump it, and reset everything to its right to a
+//! contiguous run. As the paper notes (§VIII-B), this needs only
+//! `2·k·log n` bits of state (previous and next combination) but is
+//! inherently sequential.
+
+/// Returns the lexicographically first `k`-combination: `[0, 1, …, k-1]`.
+///
+/// ```
+/// assert_eq!(trigon_combin::first_combination(3), vec![0, 1, 2]);
+/// assert!(trigon_combin::first_combination(0).is_empty());
+/// ```
+#[must_use]
+pub fn first_combination(k: u32) -> Vec<u32> {
+    (0..k).collect()
+}
+
+/// Advances `comb` to its lexicographic successor among ascending
+/// `k`-subsets of `{0, …, n-1}`. Returns `false` (leaving `comb`
+/// unchanged) when `comb` is already the last combination.
+///
+/// # Panics
+///
+/// Debug-asserts that `comb` is strictly ascending and within range; the
+/// hot simulated-kernel loop relies on this being branch-light.
+///
+/// ```
+/// let mut c = vec![0, 1, 2];
+/// assert!(trigon_combin::next_combination(&mut c, 4));
+/// assert_eq!(c, vec![0, 1, 3]);
+/// assert!(trigon_combin::next_combination(&mut c, 4));
+/// assert_eq!(c, vec![0, 2, 3]);
+/// assert!(trigon_combin::next_combination(&mut c, 4));
+/// assert_eq!(c, vec![1, 2, 3]);
+/// assert!(!trigon_combin::next_combination(&mut c, 4));
+/// ```
+#[must_use]
+pub fn next_combination(comb: &mut [u32], n: u32) -> bool {
+    let k = comb.len();
+    debug_assert!(comb.windows(2).all(|w| w[0] < w[1]), "not ascending");
+    debug_assert!(comb.last().is_none_or(|&last| last < n), "out of range");
+    if k == 0 {
+        return false;
+    }
+    // Rightmost position i whose value can grow: comb[i] < n - k + i.
+    let mut i = k;
+    loop {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        if comb[i] < n - (k as u32 - i as u32) {
+            break;
+        }
+    }
+    comb[i] += 1;
+    for j in i + 1..k {
+        comb[j] = comb[j - 1] + 1;
+    }
+    true
+}
+
+/// Iterator over all `k`-combinations of `{0, …, n-1}` in lexicographic
+/// order. Yields a borrowed view via [`LexCombinations::next_ref`] to keep
+/// the loop allocation-free, or owned `Vec<u32>`s through the `Iterator`
+/// impl for convenience.
+#[derive(Debug, Clone)]
+pub struct LexCombinations {
+    comb: Vec<u32>,
+    n: u32,
+    started: bool,
+    done: bool,
+}
+
+impl LexCombinations {
+    /// Creates the stream. `k > n` yields nothing; `k == 0` yields exactly
+    /// one empty combination (consistent with `C(n, 0) = 1`).
+    #[must_use]
+    pub fn new(n: u32, k: u32) -> Self {
+        Self {
+            comb: first_combination(k),
+            n,
+            started: false,
+            done: k > n,
+        }
+    }
+
+    /// Advances and returns a reference to the current combination, or
+    /// `None` when exhausted. No allocation per step.
+    pub fn next_ref(&mut self) -> Option<&[u32]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.comb);
+        }
+        if next_combination(&mut self.comb, self.n) {
+            Some(&self.comb)
+        } else {
+            self.done = true;
+            None
+        }
+    }
+}
+
+impl Iterator for LexCombinations {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_ref().map(<[u32]>::to_vec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binom::binom;
+
+    #[test]
+    fn enumerates_4_choose_2() {
+        let all: Vec<Vec<u32>> = LexCombinations::new(4, 2).collect();
+        assert_eq!(
+            all,
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+    }
+
+    #[test]
+    fn count_matches_binomial() {
+        for n in 0..10u32 {
+            for k in 0..=n {
+                let cnt = LexCombinations::new(n, k).count() as u128;
+                assert_eq!(cnt, binom(u64::from(n), u64::from(k)), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_yields_one_empty() {
+        let all: Vec<Vec<u32>> = LexCombinations::new(5, 0).collect();
+        assert_eq!(all, vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn k_greater_than_n_yields_none() {
+        assert_eq!(LexCombinations::new(2, 3).count(), 0);
+    }
+
+    #[test]
+    fn strictly_increasing_lex_order() {
+        let mut prev: Option<Vec<u32>> = None;
+        for c in LexCombinations::new(8, 3) {
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "ascending within");
+            if let Some(p) = prev {
+                assert!(p < c, "lex order violated: {p:?} !< {c:?}");
+            }
+            prev = Some(c);
+        }
+    }
+
+    #[test]
+    fn next_on_last_returns_false_and_preserves() {
+        let mut c = vec![2, 3, 4];
+        assert!(!next_combination(&mut c, 5));
+        assert_eq!(c, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn full_subset_single() {
+        // k == n: exactly one combination.
+        let all: Vec<Vec<u32>> = LexCombinations::new(3, 3).collect();
+        assert_eq!(all, vec![vec![0, 1, 2]]);
+    }
+}

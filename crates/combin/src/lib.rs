@@ -1,0 +1,45 @@
+//! # trigon-combin
+//!
+//! Combination-generation substrate for the `trigon` project, reproducing
+//! §VIII ("Generating Combinations for Testing in Graphs") of
+//! *On Analyzing Large Graphs Using GPUs* (Chatterjee, Radhakrishnan,
+//! Antonio — IPDPSW 2013).
+//!
+//! The paper tests graph properties (triangles, cliques, independent sets,
+//! connected subgraphs) over combinations of `k` nodes drawn from `n`. This
+//! crate provides everything the rest of the system needs to enumerate,
+//! rank, unrank and *divide* those combination spaces across simulated GPU
+//! threads:
+//!
+//! * [`mod@binom`] — overflow-checked binomial coefficients and cached tables;
+//! * [`lex`] — lexicographic first/successor generation
+//!   (Mifsud, *CACM* Algorithm 154, the paper's reference \[12\]);
+//! * [`combinadics`] — rank/unrank between lexicographic indices and
+//!   combinations (Buckles & Lybanon, *TOMS* Algorithm 515, reference \[3\]);
+//! * [`strategy`] — the four work-division strategies of §VIII-A…D with the
+//!   paper's storage-cost formulas and load-balance accounting;
+//! * [`cross`] — constrained two-level combination spaces used by
+//!   Algorithm 2 (`GenNxtComb(firstLvl | bothLvls | secondLvl)`);
+//! * [`window`] — multi-level window spaces for the §III `k`-adjacent-
+//!   levels extensions (connected subgraphs of size `k`).
+//!
+//! All index arithmetic is done in `u128` so that spaces as large as
+//! `C(300_000, 4)` are handled without overflow.
+
+#![deny(missing_docs)]
+
+pub mod binom;
+pub mod combinadics;
+pub mod cross;
+pub mod lex;
+pub mod strategy;
+pub mod window;
+
+pub use binom::{binom, binom_checked, BinomTable};
+pub use combinadics::{rank, unrank, unrank_into};
+pub use cross::{CrossMode, TwoLevelSpace};
+pub use lex::{first_combination, next_combination, LexCombinations};
+pub use window::{WindowCursor, WindowSpace};
+pub use strategy::{
+    equal_division, leading_element_loads, DivisionStats, Strategy, ThreadRange,
+};

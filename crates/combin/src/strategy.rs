@@ -1,0 +1,281 @@
+//! Work-division strategies for combination testing (§VIII-A…D).
+//!
+//! The paper weighs four ways of feeding `C(n, k)` combination tests to
+//! GPU threads; this module reproduces each with its storage-cost formula
+//! and, for the per-thread splits, the resulting load distribution, so the
+//! benchmark harness can show *why* strategy D (combinadics equal
+//! division) wins.
+
+use crate::binom::binom;
+
+/// The four §VIII approaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// §VIII-A — generate every combination in preprocessing and store it.
+    /// Storage: `C(n,k) · k · log₂(n)` bits; prohibitive.
+    PrecomputedStore,
+    /// §VIII-B — generate sequentially on the fly (Algorithm 154).
+    /// Storage: `2 · k · log₂(n)` bits, but inherently serial.
+    SequentialOnTheFly,
+    /// §VIII-C — split by the combination's leading element(s); thread `t`
+    /// owns combinations starting with node `t` (`lead = 1`) or with the
+    /// ordered pair indexed by `t` (`lead = 2`). Unbalanced: early threads
+    /// own far more combinations.
+    LeadingElementSplit {
+        /// Number of leading elements fixed per thread (1 or 2 in §VIII-C).
+        lead: u32,
+    },
+    /// §VIII-D — divide the total count evenly; each thread unranks its
+    /// starting combination via combinadics and advances sequentially.
+    EqualDivision,
+}
+
+/// Ceiling of `log₂(n)` for `n ≥ 1`: bits needed to store one node id.
+/// The paper's storage formulas use `log(n)` in this sense.
+#[must_use]
+pub fn node_id_bits(n: u64) -> u64 {
+    debug_assert!(n >= 1);
+    u64::from(64 - (n - 1).max(1).leading_zeros())
+}
+
+impl Strategy {
+    /// Bits of storage the strategy needs, per the §VIII formulas.
+    ///
+    /// * A: `C(n,k) · k · log n` — the full table;
+    /// * B: `2 · k · log n` — previous + next combination;
+    /// * C: `threads · k · log n` — one live combination per thread;
+    /// * D: `threads · k · log n` — likewise (plus the implicit index).
+    ///
+    /// Returns `None` when `C(n, k)` overflows `u128` (only possible for
+    /// strategy A).
+    #[must_use]
+    pub fn storage_bits(&self, n: u64, k: u64, threads: u64) -> Option<u128> {
+        let per_comb = u128::from(k) * u128::from(node_id_bits(n));
+        match self {
+            Strategy::PrecomputedStore => {
+                crate::binom::binom_checked(n, k)?.checked_mul(per_comb)
+            }
+            Strategy::SequentialOnTheFly => Some(2 * per_comb),
+            Strategy::LeadingElementSplit { .. } | Strategy::EqualDivision => {
+                Some(u128::from(threads) * per_comb)
+            }
+        }
+    }
+
+    /// Number of threads the strategy can usefully occupy for a given
+    /// `(n, k)` problem (`None` = unbounded / caller's choice).
+    #[must_use]
+    pub fn natural_parallelism(&self, n: u64, k: u64) -> Option<u128> {
+        match self {
+            Strategy::PrecomputedStore | Strategy::EqualDivision => None,
+            Strategy::SequentialOnTheFly => Some(1),
+            Strategy::LeadingElementSplit { lead } => {
+                // A leading `lead`-prefix is feasible iff it can still be
+                // extended to a full k-subset, i.e. its largest element is
+                // below n - (k - lead): C(n - k + lead, lead) prefixes.
+                // For lead = 1 this is the paper's n - k + 1 threads.
+                let lead = u64::from(*lead).min(k);
+                Some(binom(n - k + lead, lead))
+            }
+        }
+    }
+}
+
+/// Half-open index range `[start, start + len)` of combination indices
+/// assigned to one thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadRange {
+    /// First combination index owned by the thread.
+    pub start: u128,
+    /// Number of combinations owned.
+    pub len: u128,
+}
+
+/// Strategy D: splits `total` combination indices across `threads` so that
+/// loads differ by at most one ("some threads might have to do a single
+/// test more", §VIII-D). Threads `0 … total % threads - 1` receive the
+/// extra unit. Empty ranges are returned for surplus threads.
+///
+/// ```
+/// use trigon_combin::equal_division;
+/// let r = equal_division(10, 4);
+/// assert_eq!(r.iter().map(|r| r.len).collect::<Vec<_>>(), vec![3, 3, 2, 2]);
+/// assert_eq!(r[2].start, 6);
+/// ```
+#[must_use]
+pub fn equal_division(total: u128, threads: u64) -> Vec<ThreadRange> {
+    assert!(threads > 0, "need at least one thread");
+    let t = u128::from(threads);
+    let base = total / t;
+    let extra = total % t;
+    let mut out = Vec::with_capacity(threads as usize);
+    let mut start = 0u128;
+    for i in 0..t {
+        let len = base + u128::from(i < extra);
+        out.push(ThreadRange { start, len });
+        start += len;
+    }
+    out
+}
+
+/// Strategy C with `lead = 1`: combinations of `{0…n-1}` choose `k` are
+/// split by first element; thread `t` (for `t ≤ n-k`) owns the
+/// `C(n-1-t, k-1)` combinations starting with `t`. Returns the per-thread
+/// loads, exposing the §VIII-C imbalance ("threads having id numbers in
+/// the beginning doing more work").
+///
+/// ```
+/// use trigon_combin::leading_element_loads;
+/// // C(5,3): loads by first element 0,1,2 are C(4,2), C(3,2), C(2,2).
+/// assert_eq!(leading_element_loads(5, 3), vec![6, 3, 1]);
+/// ```
+#[must_use]
+pub fn leading_element_loads(n: u64, k: u64) -> Vec<u128> {
+    if k == 0 || k > n {
+        return Vec::new();
+    }
+    (0..=(n - k)).map(|t| binom(n - 1 - t, k - 1)).collect()
+}
+
+/// Load-balance summary of a per-thread work assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivisionStats {
+    /// Number of threads with non-zero load counted; zero-load threads are
+    /// included in the mean denominator.
+    pub threads: usize,
+    /// Largest per-thread load — proportional to the schedule makespan on
+    /// identical lanes.
+    pub max: u128,
+    /// Smallest per-thread load.
+    pub min: u128,
+    /// Mean load.
+    pub mean: f64,
+    /// `max / mean` — 1.0 is perfect balance; strategy C's value grows
+    /// with `n`.
+    pub imbalance: f64,
+}
+
+impl DivisionStats {
+    /// Computes stats from raw per-thread loads. Empty input produces a
+    /// zeroed summary.
+    #[must_use]
+    pub fn from_loads(loads: &[u128]) -> Self {
+        if loads.is_empty() {
+            return Self { threads: 0, max: 0, min: 0, mean: 0.0, imbalance: 1.0 };
+        }
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        let sum: u128 = loads.iter().sum();
+        let mean = sum as f64 / loads.len() as f64;
+        let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+        Self { threads: loads.len(), max, min, mean, imbalance }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_bits_values() {
+        assert_eq!(node_id_bits(1), 1);
+        assert_eq!(node_id_bits(2), 1);
+        assert_eq!(node_id_bits(3), 2);
+        assert_eq!(node_id_bits(256), 8);
+        assert_eq!(node_id_bits(257), 9);
+        assert_eq!(node_id_bits(100_000), 17);
+    }
+
+    #[test]
+    fn storage_formulas_match_paper() {
+        // §VIII-A: nCk · k · log n bits.
+        let a = Strategy::PrecomputedStore.storage_bits(100, 3, 1).unwrap();
+        assert_eq!(a, binom(100, 3) * 3 * 7);
+        // §VIII-B: 2 · k · log n bits.
+        let b = Strategy::SequentialOnTheFly.storage_bits(100, 3, 64).unwrap();
+        assert_eq!(b, 2 * 3 * 7);
+        // C/D scale with thread count.
+        let d = Strategy::EqualDivision.storage_bits(100, 3, 64).unwrap();
+        assert_eq!(d, 64 * 3 * 7);
+    }
+
+    #[test]
+    fn precomputed_storage_is_prohibitive_at_paper_scale() {
+        // 100k nodes, k = 3: strategy A needs ~1 PB; must dwarf 4 GB VRAM.
+        let bits = Strategy::PrecomputedStore.storage_bits(100_000, 3, 1).unwrap();
+        let c1060_bits: u128 = 4 * 1024 * 1024 * 1024 * 8;
+        assert!(bits > 1000 * c1060_bits);
+    }
+
+    #[test]
+    fn equal_division_covers_everything_contiguously() {
+        for total in [0u128, 1, 7, 100, 1000] {
+            for threads in [1u64, 3, 7, 32, 1024] {
+                let ranges = equal_division(total, threads);
+                assert_eq!(ranges.len() as u64, threads);
+                let mut next = 0u128;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next += r.len;
+                }
+                assert_eq!(next, total, "total={total} threads={threads}");
+                let max = ranges.iter().map(|r| r.len).max().unwrap();
+                let min = ranges.iter().map(|r| r.len).min().unwrap();
+                assert!(max - min <= 1, "loads differ by more than one");
+            }
+        }
+    }
+
+    #[test]
+    fn leading_loads_sum_to_total() {
+        for n in 3..30u64 {
+            for k in 1..4u64 {
+                let loads = leading_element_loads(n, k);
+                let sum: u128 = loads.iter().sum();
+                assert_eq!(sum, binom(n, k), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn leading_loads_strictly_decreasing() {
+        let loads = leading_element_loads(50, 3);
+        assert!(loads.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn strategy_c_much_worse_balanced_than_d() {
+        let n = 1000u64;
+        let k = 3u64;
+        let c_stats = DivisionStats::from_loads(&leading_element_loads(n, k));
+        let d_loads: Vec<u128> = equal_division(binom(n, k), n - k + 1)
+            .iter()
+            .map(|r| r.len)
+            .collect();
+        let d_stats = DivisionStats::from_loads(&d_loads);
+        // First thread of strategy C owns C(n-1, k-1) ≈ k·mean combinations.
+        assert!(c_stats.imbalance > 2.5, "imbalance = {}", c_stats.imbalance);
+        assert!(d_stats.imbalance < 1.001);
+    }
+
+    #[test]
+    fn natural_parallelism() {
+        assert_eq!(Strategy::SequentialOnTheFly.natural_parallelism(100, 3), Some(1));
+        // lead = 1: n - k + 1 feasible leading elements.
+        let p = Strategy::LeadingElementSplit { lead: 1 }
+            .natural_parallelism(100, 3)
+            .unwrap();
+        assert_eq!(p, 98);
+        assert_eq!(Strategy::EqualDivision.natural_parallelism(100, 3), None);
+    }
+
+    #[test]
+    fn stats_on_empty_and_uniform() {
+        let e = DivisionStats::from_loads(&[]);
+        assert_eq!(e.threads, 0);
+        let u = DivisionStats::from_loads(&[5, 5, 5, 5]);
+        assert_eq!(u.max, 5);
+        assert_eq!(u.min, 5);
+        assert!((u.imbalance - 1.0).abs() < 1e-12);
+    }
+}

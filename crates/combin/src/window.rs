@@ -1,0 +1,213 @@
+//! Multi-level window combination spaces (§III).
+//!
+//! The paper's earlier shared-memory work counts connected subgraphs of
+//! size `k` by "considering nodes only in k adjacent levels in the
+//! BFS-tree". The combination space over such a window is: `k`-subsets of
+//! the window's node union that contain **at least one node of the
+//! window's first level** (so a candidate is attributed to exactly one
+//! window — the one starting at its minimum level).
+//!
+//! Since window nodes are laid out first-level-first, those combinations
+//! are exactly the *lex prefix* with `c₀ < a` (first-level size `a`),
+//! which makes the space countable, unrankable and equally divisible with
+//! the same §VIII-D machinery triangles use.
+
+use crate::binom::binom;
+use crate::combinadics::unrank_into;
+use crate::lex::next_combination;
+use crate::strategy::ThreadRange;
+
+/// A `k`-subset space over a window of consecutive BFS levels whose node
+/// union has `total` nodes, the first `first` of which form the window's
+/// first level. Combinations must touch the first level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpace {
+    /// First-level node count `a`.
+    pub first: u32,
+    /// Window union size `n = a + (rest)`.
+    pub total: u32,
+    /// Subset size.
+    pub k: u32,
+}
+
+impl WindowSpace {
+    /// Creates the space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first > total`.
+    #[must_use]
+    pub fn new(first: u32, total: u32, k: u32) -> Self {
+        assert!(first <= total, "first level larger than the window");
+        Self { first, total, k }
+    }
+
+    /// Number of valid combinations:
+    /// `C(total, k) − C(total − first, k)`.
+    ///
+    /// ```
+    /// use trigon_combin::WindowSpace;
+    /// let w = WindowSpace::new(2, 5, 3);
+    /// assert_eq!(w.count(), 10 - 1); // C(5,3) − C(3,3)
+    /// ```
+    #[must_use]
+    pub fn count(&self) -> u128 {
+        if self.k == 0 {
+            return 0;
+        }
+        binom(u64::from(self.total), u64::from(self.k))
+            - binom(u64::from(self.total - self.first), u64::from(self.k))
+    }
+
+    /// Unranks index `idx` (plain lex unrank — valid combinations are a
+    /// lex prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx ≥ count()`.
+    pub fn unrank_into(&self, idx: u128, out: &mut Vec<u32>) {
+        assert!(idx < self.count(), "window index out of range");
+        unrank_into(idx, self.total, self.k, out);
+        debug_assert!(out[0] < self.first);
+    }
+
+    /// Streaming cursor from index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > count()`.
+    #[must_use]
+    pub fn cursor_at(&self, idx: u128) -> WindowCursor {
+        let count = self.count();
+        assert!(idx <= count, "window cursor index beyond space");
+        if idx == count {
+            return WindowCursor { space: *self, comb: Vec::new(), done: true };
+        }
+        let mut comb = Vec::with_capacity(self.k as usize);
+        unrank_into(idx, self.total, self.k, &mut comb);
+        WindowCursor { space: *self, comb, done: false }
+    }
+
+    /// Cursor from the first combination.
+    #[must_use]
+    pub fn cursor(&self) -> WindowCursor {
+        self.cursor_at(0)
+    }
+
+    /// §VIII-D equal division of the space across `threads`.
+    #[must_use]
+    pub fn equal_division(&self, threads: u64) -> Vec<ThreadRange> {
+        crate::strategy::equal_division(self.count(), threads)
+    }
+}
+
+/// Streaming cursor over a [`WindowSpace`].
+#[derive(Debug, Clone)]
+pub struct WindowCursor {
+    space: WindowSpace,
+    comb: Vec<u32>,
+    done: bool,
+}
+
+impl WindowCursor {
+    /// Current combination (ascending window-local positions), or `None`
+    /// when exhausted.
+    #[must_use]
+    pub fn current(&self) -> Option<&[u32]> {
+        (!self.done).then_some(&self.comb)
+    }
+
+    /// Advances; `false` when leaving the constrained lex prefix or the
+    /// lex order ends.
+    pub fn advance(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        if next_combination(&mut self.comb, self.space.total) && self.comb[0] < self.space.first
+        {
+            true
+        } else {
+            self.done = false;
+            self.done = true;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::LexCombinations;
+
+    #[test]
+    fn count_matches_enumeration() {
+        for first in 0..6u32 {
+            for rest in 0..6u32 {
+                let total = first + rest;
+                for k in 1..5u32 {
+                    let w = WindowSpace::new(first, total, k);
+                    let brute = LexCombinations::new(total, k)
+                        .filter(|c| c[0] < first)
+                        .count() as u128;
+                    assert_eq!(w.count(), brute, "first={first} total={total} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_enumerates_exactly_the_prefix() {
+        let w = WindowSpace::new(3, 8, 3);
+        let mut cur = w.cursor();
+        let mut got = Vec::new();
+        while let Some(c) = cur.current() {
+            got.push(c.to_vec());
+            if !cur.advance() {
+                break;
+            }
+        }
+        let want: Vec<Vec<u32>> = LexCombinations::new(8, 3)
+            .filter(|c| c[0] < 3)
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(got.len() as u128, w.count());
+    }
+
+    #[test]
+    fn cursor_at_matches_order() {
+        let w = WindowSpace::new(2, 7, 3);
+        let all: Vec<Vec<u32>> = LexCombinations::new(7, 3).filter(|c| c[0] < 2).collect();
+        for (i, want) in all.iter().enumerate() {
+            let cur = w.cursor_at(i as u128);
+            assert_eq!(cur.current().unwrap(), want.as_slice(), "idx {i}");
+        }
+        assert!(w.cursor_at(w.count()).current().is_none());
+    }
+
+    #[test]
+    fn equal_division_tiles() {
+        let w = WindowSpace::new(4, 12, 3);
+        let ranges = w.equal_division(7);
+        let mut next = 0u128;
+        for r in &ranges {
+            assert_eq!(r.start, next);
+            next += r.len;
+        }
+        assert_eq!(next, w.count());
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert_eq!(WindowSpace::new(0, 5, 3).count(), 0);
+        assert_eq!(WindowSpace::new(5, 5, 3).count(), crate::binom(5, 3));
+        assert_eq!(WindowSpace::new(2, 5, 0).count(), 0);
+        assert_eq!(WindowSpace::new(2, 2, 3).count(), 0);
+        assert!(WindowSpace::new(0, 5, 3).cursor().current().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the window")]
+    fn rejects_bad_shape() {
+        let _ = WindowSpace::new(6, 5, 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the combination substrate.
+
+use proptest::prelude::*;
+use trigon_combin::{
+    binom, equal_division, next_combination, rank, unrank, CrossMode, LexCombinations,
+    TwoLevelSpace,
+};
+
+proptest! {
+    /// unrank ∘ rank is the identity on arbitrary combinations.
+    #[test]
+    fn rank_unrank_identity(n in 1u32..200, seed in any::<u64>()) {
+        let k = 1 + (seed % 4) as u32;
+        prop_assume!(k <= n);
+        // Derive a pseudo-random combination from the seed deterministically.
+        let total = binom(u64::from(n), u64::from(k));
+        let idx = u128::from(seed) % total;
+        let c = unrank(idx, n, k);
+        prop_assert_eq!(rank(&c, n), idx);
+        prop_assert!(c.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(*c.last().unwrap() < n);
+    }
+
+    /// The lex successor increases rank by exactly one.
+    #[test]
+    fn successor_increments_rank(n in 2u32..60, raw_idx in any::<u64>()) {
+        let k = 2u32.min(n);
+        let total = binom(u64::from(n), u64::from(k));
+        let idx = u128::from(raw_idx) % total;
+        let mut c = unrank(idx, n, k);
+        let advanced = next_combination(&mut c, n);
+        if idx + 1 < total {
+            prop_assert!(advanced);
+            prop_assert_eq!(rank(&c, n), idx + 1);
+        } else {
+            prop_assert!(!advanced);
+        }
+    }
+
+    /// Equal division always tiles [0, total) with ±1 balanced loads.
+    #[test]
+    fn equal_division_tiles(total in 0u64..1_000_000, threads in 1u64..4096) {
+        let ranges = equal_division(u128::from(total), threads);
+        let mut next = 0u128;
+        let mut max = 0u128;
+        let mut min = u128::MAX;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            next += r.len;
+            max = max.max(r.len);
+            min = min.min(r.len);
+        }
+        prop_assert_eq!(next, u128::from(total));
+        prop_assert!(max - min <= 1);
+    }
+
+    /// The three disjoint cross modes tile the union space, and every
+    /// cursor_at agrees with sequential enumeration order.
+    #[test]
+    fn cross_modes_consistent(a in 0u32..10, b in 0u32..10, k in 1u32..4) {
+        let s = TwoLevelSpace::new(a, b, k);
+        let total: u128 = [CrossMode::FirstOnly, CrossMode::Mixed, CrossMode::SecondOnly]
+            .iter()
+            .map(|&m| s.count(m))
+            .sum();
+        prop_assert_eq!(total, s.total());
+
+        for mode in [CrossMode::FirstOnly, CrossMode::Mixed, CrossMode::SecondOnly] {
+            let all: Vec<Vec<u32>> = s.cursor(mode).into_iter_owned().collect();
+            prop_assert_eq!(all.len() as u128, s.count(mode));
+            // Random-access cursors agree with streaming enumeration.
+            if let Some(mid) = all.len().checked_sub(1) {
+                let cur = s.cursor_at(mode, mid as u128);
+                prop_assert_eq!(cur.current().unwrap(), all[mid].as_slice());
+            }
+        }
+    }
+
+    /// Lex enumeration count always equals the binomial coefficient.
+    #[test]
+    fn lex_count_matches_binom(n in 0u32..18, k in 0u32..6) {
+        let cnt = LexCombinations::new(n, k).count() as u128;
+        prop_assert_eq!(cnt, binom(u64::from(n), u64::from(k)));
+    }
+}

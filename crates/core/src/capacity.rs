@@ -1,0 +1,224 @@
+//! Capacity planning (§IV, Eqs. 1–2, Table II).
+//!
+//! "To fit the graph in memory, the size required must be less than or
+//! equal to the space available": `n² ≤ S` for the adjacency matrix
+//! (Eq. 1), `n(n+1)/2 ≤ S` for the UTM (Eq. 2), and the S-UTM variant
+//! "increases the size of the largest graph by 1". These functions invert
+//! the inequalities exactly in integer arithmetic and regenerate the
+//! paper's Table II from the Table I device registry.
+
+use trigon_gpu_sim::DeviceSpec;
+
+/// Largest `n` with `n² ≤ bits` (Eq. 1): the biggest graph the full
+/// adjacency matrix fits in `bits` of memory.
+///
+/// ```
+/// use trigon_core::max_graph_adjacency;
+/// // 16 KB shared memory: ⌊√131072⌋ = 362 — the paper's Table II entry.
+/// assert_eq!(max_graph_adjacency(16 * 1024 * 8), 362);
+/// ```
+#[must_use]
+pub fn max_graph_adjacency(bits: u128) -> u64 {
+    isqrt(bits)
+}
+
+/// Largest `n` with `n(n+1)/2 ≤ bits` (Eq. 2): the UTM capacity.
+#[must_use]
+pub fn max_graph_utm(bits: u128) -> u64 {
+    // n ≈ (√(8S+1) − 1) / 2, then correct by scanning.
+    let mut n = (isqrt(8 * bits + 1).saturating_sub(1)) / 2;
+    while u128::from(n + 1) * (u128::from(n + 1) + 1) / 2 <= bits {
+        n += 1;
+    }
+    while n > 0 && u128::from(n) * (u128::from(n) + 1) / 2 > bits {
+        n -= 1;
+    }
+    n
+}
+
+/// Largest `n` with `n(n−1)/2 ≤ bits`: the S-UTM capacity — exactly
+/// [`max_graph_utm`]` + 1`, the "+1" §IV notes for dropping the diagonal.
+#[must_use]
+pub fn max_graph_sutm(bits: u128) -> u64 {
+    max_graph_utm(bits) + 1
+}
+
+/// Whether a graph of `n` vertices fits in `bits` under the given packing.
+#[must_use]
+pub fn fits(n: u64, bits: u128, model: StorageModel) -> bool {
+    model.size_bits(n) <= bits
+}
+
+/// The three §IV packings, as a size formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageModel {
+    /// Full `n²`-bit adjacency matrix.
+    AdjacencyMatrix,
+    /// Upper triangular incl. diagonal: `n(n+1)/2` bits.
+    Utm,
+    /// Strictly upper triangular: `n(n−1)/2` bits.
+    SUtm,
+}
+
+impl StorageModel {
+    /// Exact bit footprint of an `n`-vertex graph under this packing.
+    #[must_use]
+    pub fn size_bits(&self, n: u64) -> u128 {
+        let n = u128::from(n);
+        match self {
+            StorageModel::AdjacencyMatrix => n * n,
+            StorageModel::Utm => n * (n + 1) / 2,
+            StorageModel::SUtm => n * n.saturating_sub(1) / 2,
+        }
+    }
+}
+
+/// One row of the regenerated Table II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Device name.
+    pub device: &'static str,
+    /// Largest graph in shared memory, adjacency matrix.
+    pub shared_adj: u64,
+    /// Largest graph in shared memory, S-UTM.
+    pub shared_sutm: u64,
+    /// Largest graph in global memory, adjacency matrix.
+    pub global_adj: u64,
+    /// Largest graph in global memory, S-UTM.
+    pub global_sutm: u64,
+}
+
+/// Regenerates Table II from the Table I device registry.
+#[must_use]
+pub fn table2(devices: &[DeviceSpec]) -> Vec<Table2Row> {
+    devices
+        .iter()
+        .map(|d| Table2Row {
+            device: d.name,
+            shared_adj: max_graph_adjacency(d.shared_mem_bits()),
+            shared_sutm: max_graph_sutm(d.shared_mem_bits()),
+            global_adj: max_graph_adjacency(d.global_mem_bits()),
+            global_sutm: max_graph_sutm(d.global_mem_bits()),
+        })
+        .collect()
+}
+
+/// Integer square root (floor) for `x ≤ u64::MAX²` (all memory sizes).
+fn isqrt(x: u128) -> u64 {
+    if x == 0 {
+        return 0;
+    }
+    // Float seed, clamped so the exact correction below cannot overflow.
+    let mut r = ((x as f64).sqrt() as u128).min(u128::from(u64::MAX));
+    while r.checked_mul(r).is_none_or(|rr| rr > x) {
+        r -= 1;
+    }
+    while (r + 1).checked_mul(r + 1).is_some_and(|rr| rr <= x) {
+        r += 1;
+    }
+    r as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trigon_gpu_sim::DeviceSpec;
+
+    #[test]
+    fn isqrt_exact() {
+        for x in 0..2000u128 {
+            let r = u128::from(isqrt(x));
+            assert!(r * r <= x && (r + 1) * (r + 1) > x, "isqrt({x}) = {r}");
+        }
+        assert_eq!(isqrt(u128::from(u64::MAX) * u128::from(u64::MAX)), u64::MAX);
+    }
+
+    #[test]
+    fn paper_shared_memory_numbers() {
+        // Table II shared-memory column (16 KB and 48 KB):
+        let c1060 = DeviceSpec::c1060();
+        assert_eq!(max_graph_adjacency(c1060.shared_mem_bits()), 362);
+        assert_eq!(max_graph_sutm(c1060.shared_mem_bits()), 512);
+        let c2050 = DeviceSpec::c2050();
+        assert_eq!(max_graph_adjacency(c2050.shared_mem_bits()), 627);
+        assert_eq!(max_graph_sutm(c2050.shared_mem_bits()), 887);
+    }
+
+    #[test]
+    fn paper_global_memory_numbers() {
+        // Global column. The paper prints 185,363 / 160,529 for the
+        // adjacency matrix at 4 GB / 3 GB — exactly ⌊√(bits)⌋.
+        let c1060 = DeviceSpec::c1060();
+        assert_eq!(max_graph_adjacency(c1060.global_mem_bits()), 185_363);
+        let c2050 = DeviceSpec::c2050();
+        assert_eq!(max_graph_adjacency(c2050.global_mem_bits()), 160_529);
+        let c2070 = DeviceSpec::c2070();
+        assert_eq!(max_graph_adjacency(c2070.global_mem_bits()), 227_023);
+        // S-UTM columns — every printed Table II value is exact:
+        assert_eq!(max_graph_sutm(c1060.global_mem_bits()), 262_144);
+        assert_eq!(max_graph_sutm(c2050.global_mem_bits()), 227_023);
+        assert_eq!(max_graph_sutm(c2070.global_mem_bits()), 321_060);
+    }
+
+    #[test]
+    fn utm_sutm_off_by_one() {
+        for bits in [1u128 << 17, 1 << 20, 1 << 35, 12345678] {
+            assert_eq!(max_graph_sutm(bits), max_graph_utm(bits) + 1, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn inversion_is_tight() {
+        // The returned n fits; n+1 does not.
+        for bits in [100u128, 131072, 1 << 25, 999_999] {
+            let n = max_graph_adjacency(bits);
+            assert!(fits(n, bits, StorageModel::AdjacencyMatrix));
+            assert!(!fits(n + 1, bits, StorageModel::AdjacencyMatrix));
+            let n = max_graph_utm(bits);
+            assert!(fits(n, bits, StorageModel::Utm));
+            assert!(!fits(n + 1, bits, StorageModel::Utm));
+            let n = max_graph_sutm(bits);
+            assert!(fits(n, bits, StorageModel::SUtm));
+            assert!(!fits(n + 1, bits, StorageModel::SUtm));
+        }
+    }
+
+    #[test]
+    fn size_formulas() {
+        assert_eq!(StorageModel::AdjacencyMatrix.size_bits(10), 100);
+        assert_eq!(StorageModel::Utm.size_bits(10), 55);
+        assert_eq!(StorageModel::SUtm.size_bits(10), 45);
+        assert_eq!(StorageModel::SUtm.size_bits(0), 0);
+        assert_eq!(StorageModel::SUtm.size_bits(1), 0);
+    }
+
+    #[test]
+    fn table2_regeneration() {
+        let rows = table2(&DeviceSpec::table1());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].device, "C1060");
+        assert_eq!(rows[0].shared_adj, 362);
+        assert_eq!(rows[0].shared_sutm, 512);
+        assert_eq!(rows[0].global_adj, 185_363);
+        // S-UTM always beats the full matrix.
+        for r in &rows {
+            assert!(r.shared_sutm > r.shared_adj);
+            assert!(r.global_sutm > r.global_adj);
+        }
+        // C2070 ≥ C2050 in global capacity (6 GB vs 3 GB).
+        assert!(rows[2].global_adj > rows[1].global_adj);
+        // Shared capacities equal for the two Fermi cards.
+        assert_eq!(rows[1].shared_adj, rows[2].shared_adj);
+    }
+
+    #[test]
+    fn tiny_memories() {
+        assert_eq!(max_graph_adjacency(0), 0);
+        assert_eq!(max_graph_adjacency(1), 1);
+        assert_eq!(max_graph_adjacency(3), 1);
+        assert_eq!(max_graph_adjacency(4), 2);
+        assert_eq!(max_graph_utm(0), 0);
+        assert_eq!(max_graph_utm(1), 1); // 1·2/2 = 1 ≤ 1
+        assert_eq!(max_graph_sutm(1), 2); // 2·1/2 = 1 ≤ 1
+    }
+}

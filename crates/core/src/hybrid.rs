@@ -1,0 +1,357 @@
+//! Hybrid shared/global execution (§V, Eq. 6).
+//!
+//! After Algorithm 1 splits the graph, "the threads in the GPU access
+//! data from both shared and global memory": chunks whose adjacency fits
+//! the 16/48 KB shared memory are staged there and their ALS run at
+//! shared-memory latency (paying bank conflicts, Eq. 9), while boundary
+//! ALS (spanning two chunks) and ALS inside oversize chunks read global
+//! memory as in [`crate::gpu_exec`].
+//!
+//! The module also evaluates the paper's Eq. 6 — the *naive* pipeline
+//! time `τt = μ·τs + ψg·τg` where shared chunks run 30-at-a-time but
+//! global chunks serialize — against the LPT makespan schedule, showing
+//! what "an intelligent scheduling of the computations" (§V) buys.
+
+use crate::als::{build_als, Als};
+use crate::count::count_als_fast;
+use crate::split::{split_graph, SplitConfig, SplitResult};
+use crate::timemodel::{eq6_total_time, CostModel};
+use trigon_gpu_sim::{warp_transactions, DeviceSpec, TransferModel};
+use trigon_graph::Graph;
+
+/// Where one ALS's adjacency is read from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Fully inside a shared-memory-resident chunk.
+    Shared {
+        /// Index of the chunk in the split result.
+        chunk: usize,
+    },
+    /// Spans a chunk boundary or lives in an oversize chunk.
+    Global,
+}
+
+/// Configuration for a hybrid run.
+#[derive(Debug, Clone)]
+pub struct HybridConfig {
+    /// Device (shared memory budget, SM count, clocks).
+    pub device: DeviceSpec,
+    /// Calibration constants.
+    pub cost: CostModel,
+    /// BFS roots tried by the splitter.
+    pub max_roots: usize,
+}
+
+impl HybridConfig {
+    /// Hybrid run on a device with defaults.
+    #[must_use]
+    pub fn new(device: DeviceSpec) -> Self {
+        Self { device, cost: CostModel::default(), max_roots: 4 }
+    }
+}
+
+/// Result of a hybrid shared/global run.
+#[derive(Debug, Clone)]
+pub struct HybridResult {
+    /// Exact triangle count.
+    pub triangles: u64,
+    /// Combination tests accounted.
+    pub tests: u128,
+    /// ALS served from shared memory.
+    pub shared_als: usize,
+    /// ALS served from global memory.
+    pub global_als: usize,
+    /// Chunks of the underlying split.
+    pub split: SplitResult,
+    /// Kernel seconds under LPT makespan scheduling of all ALS jobs.
+    pub kernel_s: f64,
+    /// Kernel seconds under the paper's naive Eq. 6 pipeline (shared
+    /// rounds + serialized global chunks).
+    pub eq6_s: f64,
+    /// End-to-end seconds (LPT kernel + transfer + host + context).
+    pub total_s: f64,
+}
+
+/// Classifies every ALS of `g` against a split result.
+#[must_use]
+pub fn classify_als(als: &[Als], split: &SplitResult) -> Vec<Placement> {
+    als.iter()
+        .map(|a| {
+            let last_level = if a.second.is_empty() {
+                a.first_level
+            } else {
+                a.first_level + 1
+            };
+            split
+                .chunks
+                .iter()
+                .enumerate()
+                .find(|(_, c)| {
+                    c.component == a.component
+                        && c.fits_shared
+                        && c.levels.0 <= a.first_level
+                        && last_level <= c.levels.1
+                })
+                .map_or(Placement::Global, |(i, _)| Placement::Shared { chunk: i })
+        })
+        .collect()
+}
+
+/// Runs the hybrid pipeline: split, classify, price each ALS at its
+/// memory tier, schedule with LPT, and compare against Eq. 6.
+#[must_use]
+pub fn run_hybrid(g: &Graph, cfg: &HybridConfig) -> HybridResult {
+    let spec = &cfg.device;
+    let split_cfg = SplitConfig {
+        max_roots: cfg.max_roots,
+        ..SplitConfig::for_device(spec)
+    };
+    let split = split_graph(g, &split_cfg);
+    let als = build_als(g);
+    let placement = classify_als(&als, &split);
+
+    let warp = spec.warp_size as u128;
+    // Sub-job grain: the same 64k-test blocks the exhaustive simulator
+    // uses, so one big ALS parallelizes across SMs (each block stages its
+    // own shared-memory copy of the chunk, as CUDA blocks do).
+    let block_tests: u128 = 128 * 512;
+    let mut triangles = 0u64;
+    let mut tests = 0u128;
+    let mut jobs_cycles: Vec<u64> = Vec::new();
+    let mut tau_shared_total = 0.0f64;
+    let mut tau_global_total = 0.0f64;
+    let mut shared_n = 0usize;
+    for (a, place) in als.iter().zip(&placement) {
+        triangles += count_als_fast(g, a);
+        let t = a.test_count(3);
+        tests += t;
+        if t == 0 {
+            continue;
+        }
+        let blocks = t.div_ceil(block_tests).max(1);
+        let steps_per_block = t.div_ceil(warp).div_ceil(blocks) as u64;
+        match place {
+            Placement::Shared { .. } => {
+                shared_n += 1;
+                // Each block stages the chunk: coalesced copy of the
+                // local S-UTM bits into its SM's shared memory.
+                let copy_tx = (a.size_bits() / 8).div_ceil(128) as u64;
+                let copy = copy_tx * spec.transaction_service_cycles;
+                // Shared-tier steps: combination generation still costs,
+                // memory at bank latency. The access pattern (broadcast
+                // rows + consecutive columns) is conflict-light; charge
+                // the conflict-free Eq. 9 cost per load phase.
+                let step_cost = cfg.cost.gpu_step_base_shared_cycles
+                    + 3 * spec.shared_latency_cycles;
+                let per_block = copy + steps_per_block * step_cost;
+                tau_shared_total += spec.cycles_to_seconds(per_block * blocks as u64);
+                for _ in 0..blocks {
+                    jobs_cycles.push(per_block);
+                }
+            }
+            Placement::Global => {
+                // Global-tier steps: base cost + derated memory service
+                // for the transactions a 3-phase warp step issues, priced
+                // with the real coalescing engine on a sample step.
+                let est_tx_per_step = estimate_tx_per_step(a, spec);
+                let step_cost = cfg.cost.gpu_step_base_cycles
+                    + (est_tx_per_step
+                        * spec.transaction_service_cycles as f64
+                        * cfg.cost.gpu_mem_derate)
+                        .round() as u64;
+                let per_block = steps_per_block * step_cost;
+                tau_global_total += spec.cycles_to_seconds(per_block * blocks as u64);
+                for _ in 0..blocks {
+                    jobs_cycles.push(per_block);
+                }
+            }
+        }
+    }
+
+    // Intelligent scheduling: LPT over all ALS jobs on the SMs.
+    let schedule = trigon_sched::lpt(&jobs_cycles, spec.sm_count);
+    let kernel_s = spec.cycles_to_seconds(schedule.makespan()) + spec.kernel_launch_s;
+
+    // The paper's naive Eq. 6 pipeline: average per-tier chunk times.
+    let global_n = als.len() - shared_n;
+    let tau_s = if shared_n > 0 { tau_shared_total / shared_n as f64 } else { 0.0 };
+    let tau_g = if global_n > 0 { tau_global_total / global_n as f64 } else { 0.0 };
+    let eq6_s = eq6_total_time(shared_n as u64, global_n as u64, tau_s, tau_g, spec.sm_count);
+
+    let layout_bytes: u64 = als.iter().map(|a| (a.size_bits() / 8) as u64 + 1).sum();
+    let transfer_s = TransferModel::from_spec(spec).transfer_seconds(layout_bytes);
+    let total_s =
+        kernel_s + transfer_s + cfg.cost.host_prep_seconds(g.n(), g.m()) + cfg.cost.gpu_context_init_s;
+
+    HybridResult {
+        triangles,
+        tests,
+        shared_als: shared_n,
+        global_als: global_n,
+        split,
+        kernel_s,
+        eq6_s,
+        total_s,
+    }
+}
+
+/// Cheap per-ALS estimate of warp-step transactions: one sampled step at
+/// the start of the Mixed stream (or FirstOnly when Mixed is empty),
+/// priced with the real coalescing engine on an S-UTM-row layout.
+fn estimate_tx_per_step(a: &Als, spec: &DeviceSpec) -> f64 {
+    use trigon_combin::CrossMode;
+    let space = a.space(3);
+    let mode = if space.count(CrossMode::Mixed) > 0 {
+        CrossMode::Mixed
+    } else if space.count(CrossMode::FirstOnly) > 0 {
+        CrossMode::FirstOnly
+    } else if space.count(CrossMode::SecondOnly) > 0 {
+        CrossMode::SecondOnly
+    } else {
+        return 0.0;
+    };
+    let mut cur = space.cursor(mode);
+    let pitch = u64::from(a.size()).div_ceil(8).next_multiple_of(128);
+    let mut lanes: Vec<[u32; 3]> = Vec::with_capacity(32);
+    loop {
+        let Some(c) = cur.current() else { break };
+        lanes.push([c[0], c[1], c[2]]);
+        if lanes.len() == 32 || !cur.advance() {
+            break;
+        }
+    }
+    if lanes.is_empty() {
+        return 0.0;
+    }
+    let mut tx = 0u32;
+    for (i, j) in [(0usize, 1usize), (0, 2), (1, 2)] {
+        let addrs: Vec<u64> = lanes
+            .iter()
+            .map(|c| u64::from(c[i]) * pitch + u64::from(c[j] / 32) * 4)
+            .collect();
+        tx += warp_transactions(spec.compute_capability, &addrs, 4).transactions;
+    }
+    f64::from(tx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trigon_graph::{gen, triangles};
+
+    fn cfg() -> HybridConfig {
+        HybridConfig::new(DeviceSpec::c1060())
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        for g in [
+            gen::gnp(200, 0.05, 1),
+            gen::community_ring(2000, 150, 0.2, 3, 2),
+            gen::disjoint_cliques(3, 40),
+        ] {
+            let r = run_hybrid(&g, &cfg());
+            assert_eq!(r.triangles, triangles::count_edge_iterator(&g));
+            assert_eq!(r.tests, crate::count::total_tests(&g));
+            assert_eq!(r.shared_als + r.global_als, build_als(&g).len());
+        }
+    }
+
+    #[test]
+    fn deep_graph_mostly_shared() {
+        // Community ring: chunks of ~150-vertex communities fit the 16 KB
+        // shared memory (512-vertex S-UTM capacity), so most ALS should be
+        // staged shared.
+        let g = gen::community_ring(3000, 150, 0.2, 3, 4);
+        let r = run_hybrid(&g, &cfg());
+        assert!(
+            r.shared_als > r.global_als,
+            "shared {} vs global {}",
+            r.shared_als,
+            r.global_als
+        );
+    }
+
+    #[test]
+    fn wide_graph_goes_global() {
+        // A dense G(n, p) with a >512-vertex middle level cannot stage its
+        // dominant ALS in 16 KB shared memory.
+        let g = gen::gnp(1000, 16.0 / 1000.0, 5);
+        let r = run_hybrid(&g, &cfg());
+        assert!(r.global_als >= 1);
+        assert!(r.split.oversize_count >= 1);
+    }
+
+    #[test]
+    fn lpt_beats_eq6_when_globals_serialize() {
+        // Eq. 6 serializes the ψg global chunks; LPT overlaps them across
+        // SMs — with several global ALS the makespan must win.
+        let g = gen::gnp(900, 16.0 / 900.0, 7);
+        let r = run_hybrid(&g, &cfg());
+        if r.global_als >= 2 {
+            assert!(
+                r.kernel_s <= r.eq6_s,
+                "LPT {:.4}s should not lose to Eq.6 {:.4}s",
+                r.kernel_s,
+                r.eq6_s
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_beats_all_global_on_deep_graphs() {
+        // When most ALS stage in shared memory, the hybrid kernel should
+        // beat the all-global simulated kernel (τs < τg).
+        use crate::gpu_exec::{run as gpu_run, GpuConfig};
+        let g = gen::community_ring(2500, 150, 0.25, 3, 21);
+        let h = run_hybrid(&g, &cfg());
+        let global = gpu_run(&g, &GpuConfig::optimized(DeviceSpec::c1060()).sampled()).unwrap();
+        assert!(h.shared_als > h.global_als);
+        assert!(
+            h.kernel_s < global.kernel_s,
+            "hybrid {:.4}s vs all-global {:.4}s",
+            h.kernel_s,
+            global.kernel_s
+        );
+        assert_eq!(h.triangles, global.triangles);
+    }
+
+    #[test]
+    fn classification_consistency() {
+        let g = gen::community_ring(1500, 100, 0.25, 2, 9);
+        let split_cfg = SplitConfig::for_device(&DeviceSpec::c1060());
+        let split = split_graph(&g, &split_cfg);
+        let als = build_als(&g);
+        for (a, p) in als.iter().zip(classify_als(&als, &split)) {
+            if let Placement::Shared { chunk } = p {
+                let c = &split.chunks[chunk];
+                assert!(c.fits_shared);
+                assert_eq!(c.component, a.component);
+                // Every ALS vertex is inside the chunk.
+                for v in a.first.iter().chain(a.second.iter()) {
+                    assert!(c.nodes.binary_search(v).is_ok(), "vertex {v} outside chunk");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fermi_shared_capacity_helps() {
+        // 48 KB shared (887-vertex S-UTM) stages strictly more ALS than
+        // 16 KB (512) on a workload with mid-sized levels.
+        let g = gen::community_ring(4000, 250, 0.2, 3, 11);
+        let tesla = run_hybrid(&g, &HybridConfig::new(DeviceSpec::c1060()));
+        let fermi = run_hybrid(&g, &HybridConfig::new(DeviceSpec::c2050()));
+        assert!(fermi.shared_als >= tesla.shared_als);
+        assert_eq!(fermi.triangles, tesla.triangles);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        let r = run_hybrid(&g, &cfg());
+        assert_eq!(r.triangles, 0);
+        assert_eq!(r.shared_als, 0);
+        assert_eq!(r.global_als, 0);
+    }
+}

@@ -1,0 +1,335 @@
+//! §III extensions: counting `k`-cliques, `k`-independent sets and
+//! connected subgraphs of size `k`.
+//!
+//! The paper's earlier work (its reference \[5\]) counts these with the
+//! same BFS-tree trick Algorithm 2 uses for triangles, "considering nodes
+//! only in k adjacent levels in the BFS-tree":
+//!
+//! * a **`k`-clique** is complete, so its vertices span at most *two*
+//!   adjacent levels — the triangle machinery generalizes verbatim
+//!   (ALS + mode discipline, `k` instead of 3);
+//! * a **connected subgraph of size `k`** spans at most `k` consecutive
+//!   levels — windows of `k` levels with "at least one vertex in the
+//!   window's first level" visit each candidate exactly once;
+//! * a **`k`-independent set** has no edges, hence no level locality: the
+//!   BFS restriction does not apply and the count enumerates the full
+//!   `C(n, k)` space with §VIII-D equal division. (The paper claims the
+//!   BFS trick for independent sets too; that only holds per connected
+//!   subgraph constraint, so we document the deviation here and in
+//!   DESIGN.md.)
+
+use crate::als::build_als;
+use trigon_combin::{CrossMode, LexCombinations};
+use trigon_graph::{connected_components, BfsTree, Graph};
+
+/// Counts `k`-cliques via the ALS machinery (each clique spans ≤ 2
+/// adjacent BFS levels).
+///
+/// # Panics
+///
+/// Panics if `k < 2` (a 1-clique is a vertex; use `g.n()`).
+#[must_use]
+pub fn count_k_cliques(g: &Graph, k: u32) -> u64 {
+    assert!(k >= 2, "k-cliques need k ≥ 2");
+    let mut total = 0u64;
+    for als in build_als(g) {
+        let space = als.space(k);
+        let mut modes = vec![CrossMode::FirstOnly, CrossMode::Mixed];
+        if als.is_last {
+            modes.push(CrossMode::SecondOnly);
+        }
+        for mode in modes {
+            let mut cur = space.cursor(mode);
+            while let Some(c) = cur.current() {
+                if is_clique_local(g, &als, c) {
+                    total += 1;
+                }
+                if !cur.advance() {
+                    break;
+                }
+            }
+        }
+    }
+    total
+}
+
+fn is_clique_local(g: &Graph, als: &crate::als::Als, c: &[u32]) -> bool {
+    for i in 0..c.len() {
+        for j in i + 1..c.len() {
+            if !als.edge(g, c[i], c[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Counts connected induced-edge subgraphs on `k` vertices (vertex sets
+/// whose induced subgraph is connected), using `k`-consecutive-level
+/// windows with the "≥ 1 vertex in the first window level" discipline.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn count_connected_subgraphs(g: &Graph, k: u32) -> u64 {
+    assert!(k >= 1, "k must be positive");
+    let mut total = 0u64;
+    for comp in connected_components(g) {
+        let tree = BfsTree::new(g, comp[0]);
+        let levels = tree.levels();
+        for start in 0..levels.len() {
+            // Window: levels start .. start+k (exclusive), clamped.
+            let end = (start + k as usize).min(levels.len());
+            let first: &[u32] = &levels[start];
+            let rest: Vec<u32> = levels[start + 1..end]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            let a = first.len() as u32;
+            let n = a + rest.len() as u32;
+            if n < k {
+                continue;
+            }
+            // The §III window space: k-subsets touching the first level.
+            let space = trigon_combin::WindowSpace::new(a, n, k);
+            let global = |p: u32| -> u32 {
+                if p < a {
+                    first[p as usize]
+                } else {
+                    rest[(p - a) as usize]
+                }
+            };
+            let mut cur = space.cursor();
+            let mut verts = Vec::with_capacity(k as usize);
+            while let Some(c) = cur.current() {
+                verts.clear();
+                verts.extend(c.iter().map(|&p| global(p)));
+                if induced_connected(g, &verts) {
+                    total += 1;
+                }
+                if !cur.advance() {
+                    break;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Whether the induced subgraph on `verts` is connected (DFS on ≤ k
+/// vertices).
+fn induced_connected(g: &Graph, verts: &[u32]) -> bool {
+    if verts.is_empty() {
+        return false;
+    }
+    if verts.len() == 1 {
+        return true;
+    }
+    let mut visited = vec![false; verts.len()];
+    let mut stack = vec![0usize];
+    visited[0] = true;
+    let mut seen = 1usize;
+    while let Some(i) = stack.pop() {
+        for (j, vis) in visited.iter_mut().enumerate() {
+            if !*vis && g.has_edge(verts[i], verts[j]) {
+                *vis = true;
+                seen += 1;
+                stack.push(j);
+            }
+        }
+    }
+    seen == verts.len()
+}
+
+/// Counts `k`-independent sets by full enumeration of `C(n, k)` (no BFS
+/// locality applies — see the module docs).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn count_k_independent_sets(g: &Graph, k: u32) -> u64 {
+    assert!(k >= 1, "k must be positive");
+    let mut total = 0u64;
+    let mut lex = LexCombinations::new(g.n(), k);
+    'outer: while let Some(c) = lex.next_ref() {
+        for i in 0..c.len() {
+            for j in i + 1..c.len() {
+                if g.has_edge(c[i], c[j]) {
+                    continue 'outer;
+                }
+            }
+        }
+        total += 1;
+    }
+    total
+}
+
+/// Brute-force references over the full `C(n, k)` space, for validation.
+pub mod brute {
+    use super::induced_connected;
+    use trigon_combin::LexCombinations;
+    use trigon_graph::Graph;
+
+    /// Brute-force `k`-clique count.
+    #[must_use]
+    pub fn k_cliques(g: &Graph, k: u32) -> u64 {
+        let mut total = 0u64;
+        let mut lex = LexCombinations::new(g.n(), k);
+        'outer: while let Some(c) = lex.next_ref() {
+            for i in 0..c.len() {
+                for j in i + 1..c.len() {
+                    if !g.has_edge(c[i], c[j]) {
+                        continue 'outer;
+                    }
+                }
+            }
+            total += 1;
+        }
+        total
+    }
+
+    /// Brute-force connected-subgraph count.
+    #[must_use]
+    pub fn connected_subgraphs(g: &Graph, k: u32) -> u64 {
+        let mut total = 0u64;
+        let mut lex = LexCombinations::new(g.n(), k);
+        while let Some(c) = lex.next_ref() {
+            if induced_connected(g, c) {
+                total += 1;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trigon_combin::binom;
+    use trigon_graph::gen;
+
+    #[test]
+    fn cliques_in_complete_graph() {
+        let g = gen::complete(8);
+        for k in 2..=5u32 {
+            assert_eq!(
+                count_k_cliques(&g, k),
+                binom(8, u64::from(k)) as u64,
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn k3_cliques_are_triangles() {
+        for seed in 0..4u64 {
+            let g = gen::gnp(50, 0.15, seed);
+            assert_eq!(
+                count_k_cliques(&g, 3),
+                trigon_graph::triangles::count_edge_iterator(&g),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn cliques_match_brute_force() {
+        for seed in 0..3u64 {
+            let g = gen::gnp(28, 0.3, seed);
+            for k in 2..=4u32 {
+                assert_eq!(
+                    count_k_cliques(&g, k),
+                    brute::k_cliques(&g, k),
+                    "seed {seed} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k2_cliques_are_edges() {
+        let g = gen::gnp(40, 0.2, 7);
+        assert_eq!(count_k_cliques(&g, 2), g.m() as u64);
+    }
+
+    #[test]
+    fn connected_subgraphs_match_brute_force() {
+        for seed in 0..3u64 {
+            let g = gen::gnp(16, 0.25, seed);
+            for k in 1..=4u32 {
+                assert_eq!(
+                    count_connected_subgraphs(&g, k),
+                    brute::connected_subgraphs(&g, k),
+                    "seed {seed} k {k}"
+                );
+            }
+        }
+        // A deep graph exercises real windowing.
+        let p = gen::path(12);
+        for k in 1..=4u32 {
+            // Connected k-subsets of a path are its k-windows: n - k + 1.
+            assert_eq!(count_connected_subgraphs(&p, k), u64::from(12 - k + 1), "k {k}");
+        }
+    }
+
+    #[test]
+    fn connected_subgraphs_on_disconnected_graph() {
+        let g = gen::disjoint_cliques(2, 5);
+        // Each K5: all C(5,j) subsets are connected.
+        assert_eq!(count_connected_subgraphs(&g, 3), 2 * binom(5, 3) as u64);
+        assert_eq!(count_connected_subgraphs(&g, 5), 2);
+        // No size-3 connected set spans the two cliques.
+        assert_eq!(count_connected_subgraphs(&g, 1), 10);
+    }
+
+    #[test]
+    fn independent_sets_known_values() {
+        // Complete graph: only k = 1 sets.
+        let kg = gen::complete(6);
+        assert_eq!(count_k_independent_sets(&kg, 1), 6);
+        assert_eq!(count_k_independent_sets(&kg, 2), 0);
+        // Edgeless graph: all C(n, k).
+        let e = Graph::from_edges(7, &[]).unwrap();
+        assert_eq!(count_k_independent_sets(&e, 3), binom(7, 3) as u64);
+        // Complete bipartite K_{3,3}: independent pairs live within parts.
+        let b = gen::complete_bipartite(3, 3);
+        assert_eq!(count_k_independent_sets(&b, 2), 6); // C(3,2)·2
+        assert_eq!(count_k_independent_sets(&b, 3), 2); // each whole part
+    }
+
+    #[test]
+    fn independent_sets_complement_duality() {
+        // IS of size k in G = cliques of size k in the complement.
+        let g = gen::gnp(14, 0.4, 2);
+        let mut comp_edges = Vec::new();
+        for u in 0..14u32 {
+            for v in u + 1..14 {
+                if !g.has_edge(u, v) {
+                    comp_edges.push((u, v));
+                }
+            }
+        }
+        let comp = Graph::from_edges(14, &comp_edges).unwrap();
+        for k in 2..=4u32 {
+            assert_eq!(
+                count_k_independent_sets(&g, k),
+                brute::k_cliques(&comp, k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_vertex_and_empty() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(count_connected_subgraphs(&g, 1), 1);
+        assert_eq!(count_k_independent_sets(&g, 1), 1);
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(count_connected_subgraphs(&empty, 2), 0);
+        assert_eq!(count_k_independent_sets(&empty, 1), 0);
+        assert_eq!(count_k_cliques(&empty, 2), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Global-memory data layouts (§X-A, Figs. 8–9).
+//!
+//! The naive implementation stores "a single adjacency matrix for the
+//! entire graph" (Fig. 8): rows are packed back to back with no segment
+//! alignment, and every ALS's warps read the *same* physical rows for
+//! their shared level, so concurrently-active warps queue up on the same
+//! partitions (camping) and unaligned rows straddle coalescing segments.
+//!
+//! The optimized layout (Fig. 9) keeps "relevant data for the adjacent
+//! level sets separately in different partitions": one local adjacency
+//! block per ALS with the shared level *duplicated*, row pitch padded to
+//! the 128-byte coalescing segment, and block bases staggered so block
+//! `j` starts in partition `j mod p` — the Eq. 11 mapping
+//! `Partition_{i % p} ⇐ W_i`.
+
+use crate::als::Als;
+
+/// Which §X layout the simulated kernel reads from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// Fig. 8: one n×n bit matrix, unaligned pitch, shared rows.
+    Monolithic,
+    /// Fig. 9: per-ALS duplicated blocks, segment-padded pitch, staggered
+    /// partition-aligned bases.
+    AlsPartitionAligned,
+}
+
+/// Descriptor of one stored adjacency block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDesc {
+    /// Byte address of the block base in simulated global memory.
+    pub base: u64,
+    /// Number of (local) vertices the block covers.
+    pub local_n: u32,
+    /// Row pitch in bytes.
+    pub pitch: u64,
+}
+
+impl BlockDesc {
+    /// Byte size of the block.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        u64::from(self.local_n) * self.pitch
+    }
+}
+
+/// A concrete placement of the graph's adjacency data in simulated global
+/// memory.
+#[derive(Debug, Clone)]
+pub struct GlobalLayout {
+    kind: LayoutKind,
+    /// One per ALS for [`LayoutKind::AlsPartitionAligned`]; a single
+    /// whole-graph block for [`LayoutKind::Monolithic`].
+    blocks: Vec<BlockDesc>,
+    /// Total bytes of simulated global memory consumed.
+    total_bytes: u64,
+}
+
+/// Coalescing segment size rows are padded to in the optimized layout.
+const SEGMENT: u64 = 128;
+
+impl GlobalLayout {
+    /// Fig. 8 layout: one `n × n` bit matrix based at address 0, with the
+    /// row pitch `cudaMallocPitch` would return — padded to 512 bytes.
+    ///
+    /// That padding is what makes the naive layout camp: a 512-byte pitch
+    /// advances exactly two 256-byte partitions per row, so every row
+    /// starts in an *even* partition and half the partitions go unused
+    /// (§X's Fig. 6 pathology, same mechanism as the matrix-transpose
+    /// study the paper builds on).
+    #[must_use]
+    pub fn monolithic(n: u32) -> Self {
+        let pitch = (u64::from(n).div_ceil(8)).next_multiple_of(512);
+        let block = BlockDesc { base: 0, local_n: n, pitch };
+        Self {
+            kind: LayoutKind::Monolithic,
+            total_bytes: block.bytes(),
+            blocks: vec![block],
+        }
+    }
+
+    /// Fig. 9 layout: one local bit-matrix block per ALS (shared level
+    /// duplicated by construction), pitch padded to the 128-byte segment,
+    /// bases staggered over `partitions` partitions of `partition_width`
+    /// bytes.
+    #[must_use]
+    pub fn als_aligned(als: &[Als], partitions: u32, partition_width: u64) -> Self {
+        let mut blocks = Vec::with_capacity(als.len());
+        let mut cursor = 0u64;
+        for (j, a) in als.iter().enumerate() {
+            let local_n = a.size();
+            // Segment-aligned for coalescing, but an *odd* multiple of the
+            // 128-byte segment: consecutive rows then advance half a
+            // partition, cycling through all partitions — the diagonal
+            // skew of the matrix-transpose work the paper cites.
+            let mut pitch = (u64::from(local_n).div_ceil(8))
+                .next_multiple_of(SEGMENT.min(partition_width));
+            if (pitch / SEGMENT).is_multiple_of(2) {
+                pitch += SEGMENT;
+            }
+            // Align the base to a partition boundary, then advance until it
+            // falls in partition j mod p (Eq. 11 stagger).
+            cursor = cursor.next_multiple_of(partition_width);
+            while (cursor / partition_width) % u64::from(partitions)
+                != (j as u64) % u64::from(partitions)
+            {
+                cursor += partition_width;
+            }
+            let block = BlockDesc { base: cursor, local_n, pitch };
+            cursor += block.bytes();
+            blocks.push(block);
+        }
+        Self { kind: LayoutKind::AlsPartitionAligned, blocks, total_bytes: cursor }
+    }
+
+    /// Builds the layout of `kind` for a graph of `n` vertices and its ALS
+    /// list, on a device with the given partition geometry.
+    #[must_use]
+    pub fn build(
+        kind: LayoutKind,
+        n: u32,
+        als: &[Als],
+        partitions: u32,
+        partition_width: u64,
+    ) -> Self {
+        match kind {
+            LayoutKind::Monolithic => Self::monolithic(n),
+            LayoutKind::AlsPartitionAligned => Self::als_aligned(als, partitions, partition_width),
+        }
+    }
+
+    /// Which layout this is.
+    #[must_use]
+    pub fn kind(&self) -> LayoutKind {
+        self.kind
+    }
+
+    /// Total simulated global-memory bytes consumed — checked against the
+    /// device capacity by the pipeline, and the quantity the paper trades
+    /// for speed ("data structures with redundant information").
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Block descriptors.
+    #[must_use]
+    pub fn blocks(&self) -> &[BlockDesc] {
+        &self.blocks
+    }
+
+    /// Byte address of the 32-bit word holding adjacency bit `(u, v)` for
+    /// a thread working on ALS `als_idx`.
+    ///
+    /// For the monolithic layout, `u`/`v` must be *global* vertex ids (the
+    /// caller maps locals via [`Als::global_id`]); for the per-ALS layout
+    /// they are local positions within that ALS.
+    #[inline]
+    #[must_use]
+    pub fn word_addr(&self, als_idx: usize, u: u32, v: u32) -> u64 {
+        let b = match self.kind {
+            LayoutKind::Monolithic => &self.blocks[0],
+            LayoutKind::AlsPartitionAligned => &self.blocks[als_idx],
+        };
+        debug_assert!(u < b.local_n && v < b.local_n);
+        b.base + u64::from(u) * b.pitch + u64::from(v / 32) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::als::build_als;
+    use trigon_graph::gen;
+
+    #[test]
+    fn monolithic_geometry() {
+        let l = GlobalLayout::monolithic(1200);
+        assert_eq!(l.blocks().len(), 1);
+        // 1200 bits = 150 bytes → cudaMallocPitch-style 512-byte pitch.
+        assert_eq!(l.blocks()[0].pitch, 512);
+        assert_eq!(l.total_bytes(), 1200 * 512);
+        assert_eq!(l.kind(), LayoutKind::Monolithic);
+    }
+
+    #[test]
+    fn monolithic_rows_camp_on_even_partitions() {
+        // The §X pathology: with a 512-byte pitch and 8×256-byte
+        // partitions, every short row starts in an even partition.
+        let l = GlobalLayout::monolithic(1200);
+        for u in 0..1200u32 {
+            let p = (l.word_addr(0, u, 0) / 256) % 8;
+            assert_eq!(p % 2, 0, "row {u} in odd partition {p}");
+        }
+    }
+
+    #[test]
+    fn aligned_rows_cycle_all_partitions() {
+        // The skewed pitch visits every partition across rows.
+        let g = gen::gnp(400, 0.05, 7);
+        let als = build_als(&g);
+        let l = GlobalLayout::als_aligned(&als, 8, 256);
+        let (j, biggest) = als
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, a)| a.size())
+            .unwrap();
+        assert!(biggest.size() > 32, "workload too small for the check");
+        let mut seen = [false; 8];
+        for u in 0..biggest.size() {
+            let p = ((l.word_addr(j, u, 0) / 256) % 8) as usize;
+            seen[p] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "partitions visited: {seen:?}");
+    }
+
+    #[test]
+    fn monolithic_addresses_distinct_rows() {
+        let l = GlobalLayout::monolithic(100);
+        let a = l.word_addr(0, 3, 64);
+        let b = l.word_addr(0, 3, 65);
+        assert_eq!(a, b, "same 32-bit word");
+        assert_ne!(l.word_addr(0, 3, 96), a, "next word differs");
+        assert_eq!(l.word_addr(0, 4, 0) - l.word_addr(0, 3, 0), l.blocks()[0].pitch);
+    }
+
+    #[test]
+    fn als_blocks_are_staggered_across_partitions() {
+        let g = gen::gnp(300, 0.03, 1);
+        let als = build_als(&g);
+        let l = GlobalLayout::als_aligned(&als, 8, 256);
+        assert_eq!(l.blocks().len(), als.len());
+        for (j, b) in l.blocks().iter().enumerate() {
+            assert_eq!(b.base % 256, 0, "block {j} base unaligned");
+            assert_eq!(
+                (b.base / 256) % 8,
+                (j as u64) % 8,
+                "block {j} not in partition j mod p"
+            );
+            assert_eq!(b.pitch % 128, 0, "block {j} pitch not segment padded");
+        }
+        // Blocks must not overlap.
+        for w in l.blocks().windows(2) {
+            assert!(w[0].base + w[0].bytes() <= w[1].base);
+        }
+    }
+
+    #[test]
+    fn redundant_layout_duplicates_shared_levels() {
+        // The Fig. 9 trade: every interior level is stored twice (once as
+        // a `second`, once as the next ALS's `first`), so the summed block
+        // vertex counts exceed |V| whenever there is more than one ALS.
+        let g = gen::gnp(400, 0.02, 3);
+        let als = build_als(&g);
+        assert!(als.len() > 1, "workload should produce several ALS");
+        let l = GlobalLayout::als_aligned(&als, 8, 256);
+        let stored: u64 = l.blocks().iter().map(|b| u64::from(b.local_n)).sum();
+        assert!(
+            stored > u64::from(g.n()),
+            "stored {stored} vertices for n = {} — no duplication?",
+            g.n()
+        );
+        // And the duplication is exactly the interior levels.
+        let interior: u64 = als
+            .iter()
+            .filter(|a| !a.is_last)
+            .map(|a| u64::from(a.b()))
+            .sum();
+        assert_eq!(stored, u64::from(g.n()) + interior);
+    }
+
+    #[test]
+    fn word_addresses_stay_inside_blocks() {
+        let g = gen::gnp(200, 0.05, 2);
+        let als = build_als(&g);
+        let l = GlobalLayout::als_aligned(&als, 8, 256);
+        for (j, a) in als.iter().enumerate() {
+            let b = l.blocks()[j];
+            let n = a.size();
+            for u in 0..n {
+                for v in 0..n {
+                    let addr = l.word_addr(j, u, v);
+                    assert!(
+                        addr >= b.base && addr < b.base + b.bytes(),
+                        "addr escapes block: als {j} ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_dispatches() {
+        let g = gen::path(10);
+        let als = build_als(&g);
+        let m = GlobalLayout::build(LayoutKind::Monolithic, 10, &als, 8, 256);
+        assert_eq!(m.kind(), LayoutKind::Monolithic);
+        let o = GlobalLayout::build(LayoutKind::AlsPartitionAligned, 10, &als, 8, 256);
+        assert_eq!(o.kind(), LayoutKind::AlsPartitionAligned);
+        assert_eq!(o.blocks().len(), als.len());
+    }
+
+    #[test]
+    fn empty_als_list() {
+        let l = GlobalLayout::als_aligned(&[], 8, 256);
+        assert_eq!(l.total_bytes(), 0);
+        assert!(l.blocks().is_empty());
+    }
+}

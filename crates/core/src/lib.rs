@@ -1,0 +1,53 @@
+//! # trigon-core
+//!
+//! The primary contribution of *On Analyzing Large Graphs Using GPUs*
+//! (Chatterjee, Radhakrishnan, Antonio — IPDPSW 2013), implemented on the
+//! substrates of the sibling crates:
+//!
+//! * [`capacity`] — §IV capacity planning: the largest graph each storage
+//!   model fits in each memory (Tables I–II, Eqs. 1–2);
+//! * [`als`] — adjacent level sets: the BFS-derived unit Algorithm 2
+//!   counts over;
+//! * [`split`] — Algorithm 1: splitting a graph into consecutive-level
+//!   chunks sized against shared memory (Eq. 5 root selection,
+//!   fragmentation objective);
+//! * [`count`] — Algorithm 2 triangle counting on the CPU, both the
+//!   faithful combination-testing form and a fast ALS reference;
+//! * [`layout`] — the §X data layouts: one monolithic adjacency matrix
+//!   (Fig. 8, camping-prone) vs per-ALS duplicated, partition-aligned
+//!   blocks (Fig. 9);
+//! * [`gpu_exec`] — the simulated GPU kernel: §VIII-D equal-division
+//!   thread grids, coalesced global loads, partition accounting, LPT
+//!   block dispatch;
+//! * [`hybrid`] — the §V shared/global execution split: ALS inside
+//!   shared-memory-resident chunks run at bank latency, the rest from
+//!   global memory, scheduled by LPT and compared against Eq. 6;
+//! * [`timemodel`] — the §V execution-time model `τt = μ·τs + ψg·τg`
+//!   (Eq. 6);
+//! * [`kcount`] — the §III extensions: `k`-cliques, `k`-independent sets
+//!   and connected subgraphs of size `k`;
+//! * [`pipeline`] — one-call end-to-end runs producing the reports the
+//!   benchmark harness prints.
+
+#![deny(missing_docs)]
+
+pub mod als;
+pub mod capacity;
+pub mod count;
+pub mod gpu_exec;
+pub mod gpu_kcount;
+pub mod hybrid;
+pub mod kcount;
+pub mod layout;
+pub mod pipeline;
+pub mod split;
+pub mod timemodel;
+
+pub use als::{build_als, Als};
+pub use capacity::{max_graph_adjacency, max_graph_sutm, max_graph_utm, table2, Table2Row};
+pub use gpu_exec::{GpuConfig, GpuRunResult, SchedulePolicy, WorkDivision};
+pub use gpu_kcount::{run_k_cliques, KCliqueRunResult};
+pub use hybrid::{run_hybrid, HybridConfig, HybridResult, Placement};
+pub use layout::{GlobalLayout, LayoutKind};
+pub use pipeline::{count_triangles, CountMethod, TriangleReport};
+pub use split::{split_graph, Chunk, SplitConfig, SplitResult};

@@ -1,0 +1,165 @@
+//! End-to-end pipeline: graph → BFS/ALS → count, with modeled timing —
+//! the entry point the examples and the benchmark harness drive.
+
+use crate::count;
+use crate::gpu_exec::{self, GpuConfig, GpuError, GpuRunResult};
+use crate::timemodel::CostModel;
+use std::time::Instant;
+use trigon_graph::Graph;
+
+/// Which implementation counts the triangles.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // GpuConfig is the common case; boxing would only obscure it
+pub enum CountMethod {
+    /// The paper's single-thread CPU baseline: faithful Algorithm 2
+    /// combination testing. Modeled time = host prep + per-test CPU model.
+    CpuExhaustive,
+    /// The same ALS decomposition with the fast per-window edge iterator.
+    /// Exact at any scale; modeled time still prices the *paper's*
+    /// combination-testing CPU implementation (`total_tests`), since this
+    /// path exists to make big runs feasible, not to model a different
+    /// machine.
+    CpuFast,
+    /// Simulated GPU (naive or optimized — see [`GpuConfig`]).
+    GpuSim(GpuConfig),
+}
+
+/// Outcome of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct TriangleReport {
+    /// Vertices.
+    pub n: u32,
+    /// Edges.
+    pub m: usize,
+    /// Exact triangle count.
+    pub triangles: u64,
+    /// Algorithm 2 combination tests (performed or accounted).
+    pub tests: u128,
+    /// Modeled seconds on the paper's hardware (CPU model or GPU sim).
+    pub modeled_s: f64,
+    /// Actual wall-clock seconds this Rust process spent.
+    pub wall_s: f64,
+    /// GPU detail when the method was [`CountMethod::GpuSim`].
+    pub gpu: Option<GpuRunResult>,
+}
+
+/// Runs the full pipeline with the default cost model.
+///
+/// # Errors
+///
+/// Propagates [`GpuError`] for GPU runs on graphs exceeding the device.
+pub fn count_triangles(g: &Graph, method: CountMethod) -> Result<TriangleReport, GpuError> {
+    count_triangles_with(g, method, &CostModel::default())
+}
+
+/// Runs the full pipeline with an explicit cost model.
+///
+/// # Errors
+///
+/// Propagates [`GpuError`] for GPU runs on graphs exceeding the device.
+pub fn count_triangles_with(
+    g: &Graph,
+    method: CountMethod,
+    cost: &CostModel,
+) -> Result<TriangleReport, GpuError> {
+    let t0 = Instant::now();
+    let (triangles, tests, modeled_s, gpu) = match method {
+        CountMethod::CpuExhaustive => {
+            let r = count::cpu_exhaustive(g);
+            let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), r.tests);
+            (r.triangles, r.tests, modeled, None)
+        }
+        CountMethod::CpuFast => {
+            let triangles = count::als_fast(g);
+            let tests = count::total_tests(g);
+            let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), tests);
+            (triangles, tests, modeled, None)
+        }
+        CountMethod::GpuSim(mut cfg) => {
+            cfg.cost = *cost;
+            let r = gpu_exec::run(g, &cfg)?;
+            (r.triangles, r.tests, r.total_s, Some(r))
+        }
+    };
+    Ok(TriangleReport {
+        n: g.n(),
+        m: g.m(),
+        triangles,
+        tests,
+        modeled_s,
+        wall_s: t0.elapsed().as_secs_f64(),
+        gpu,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trigon_gpu_sim::DeviceSpec;
+    use trigon_graph::{gen, triangles};
+
+    #[test]
+    fn all_methods_agree_on_counts() {
+        let g = gen::gnp(120, 0.08, 6);
+        let expect = triangles::count_edge_iterator(&g);
+        let methods = [
+            CountMethod::CpuExhaustive,
+            CountMethod::CpuFast,
+            CountMethod::GpuSim(GpuConfig::naive(DeviceSpec::c1060())),
+            CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060())),
+            CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060()).sampled()),
+        ];
+        for m in methods {
+            let label = format!("{m:?}");
+            let r = count_triangles(&g, m).unwrap();
+            assert_eq!(r.triangles, expect, "{label}");
+            assert!(r.modeled_s > 0.0);
+            assert!(r.wall_s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn cpu_paths_report_same_workload() {
+        let g = gen::gnp(90, 0.1, 1);
+        let a = count_triangles(&g, CountMethod::CpuExhaustive).unwrap();
+        let b = count_triangles(&g, CountMethod::CpuFast).unwrap();
+        assert_eq!(a.tests, b.tests);
+        assert_eq!(a.triangles, b.triangles);
+        assert!((a.modeled_s - b.modeled_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_wins_at_size_cpu_wins_small_fig10_shape() {
+        // The Fig. 10 crossover: at n = 200 the CPU model wins (context
+        // overhead); at n = 1000 the GPU wins clearly.
+        let small = gen::gnp(200, 16.0 / 200.0, 3);
+        let cs = count_triangles(&small, CountMethod::CpuExhaustive).unwrap();
+        let gs = count_triangles(
+            &small,
+            CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060())),
+        )
+        .unwrap();
+        assert!(cs.modeled_s < gs.modeled_s, "CPU should win at n=200");
+
+        let big = gen::gnp(1000, 16.0 / 1000.0, 3);
+        let cb = count_triangles(&big, CountMethod::CpuFast).unwrap();
+        let gb = count_triangles(
+            &big,
+            CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060())),
+        )
+        .unwrap();
+        let speedup = cb.modeled_s / gb.modeled_s;
+        assert!(
+            (2.0..12.0).contains(&speedup),
+            "n=1000 speedup {speedup} out of band"
+        );
+    }
+
+    #[test]
+    fn error_propagates() {
+        let mut dev = DeviceSpec::c1060();
+        dev.global_mem_bytes = 64;
+        let g = gen::gnp(100, 0.1, 1);
+        assert!(count_triangles(&g, CountMethod::GpuSim(GpuConfig::naive(dev))).is_err());
+    }
+}

@@ -1,0 +1,371 @@
+//! Algorithm 1 — splitting `G` into consecutive-level chunks on the CPU.
+//!
+//! Per connected component, a BFS tree is built and its levels are
+//! grouped greedily into chunks of *consecutive levels* whose S-UTM
+//! footprint fits the shared memory (`Li size ≤ SSM`). If some chunk
+//! cannot fit (a single level already exceeds `SSM`), the paper tries
+//! other BFS roots; Eq. 5 formalizes the root choice as minimizing the
+//! number of oversize chunks (`si = Σ Cim`, `Cim = 1` iff chunk `im`
+//! exceeds `SSM`), and a secondary objective minimizes shared-memory
+//! fragmentation for the chunks that do fit. Oversize chunks are placed
+//! in global memory (`ψg` of Eq. 6); the rest go to shared memory (`ψs`).
+
+use crate::capacity::StorageModel;
+use trigon_graph::{connected_components, BfsTree, Graph};
+
+/// Configuration of the splitter.
+#[derive(Debug, Clone)]
+pub struct SplitConfig {
+    /// Shared-memory budget per SM in bits (`SSM` of Eq. 3).
+    pub shared_mem_bits: u128,
+    /// Packing used to measure a chunk (the paper uses its densest model,
+    /// S-UTM).
+    pub storage: StorageModel,
+    /// How many BFS roots to try per component when minimizing Eq. 5
+    /// (the paper iterates "while ∃ vi ∉ processed"; we cap the search
+    /// for determinism and speed).
+    pub max_roots: usize,
+    /// Number of streaming multiprocessors `P` for the fragmentation
+    /// objective `SSM·P − Σ S_{Gim}`.
+    pub sm_count: u32,
+}
+
+impl SplitConfig {
+    /// Splitter configured for a device: its shared memory, S-UTM
+    /// packing, and SM count, trying up to 4 roots.
+    #[must_use]
+    pub fn for_device(spec: &trigon_gpu_sim::DeviceSpec) -> Self {
+        Self {
+            shared_mem_bits: spec.shared_mem_bits(),
+            storage: StorageModel::SUtm,
+            max_roots: 4,
+            sm_count: spec.sm_count,
+        }
+    }
+}
+
+/// One output chunk: a maximal run of consecutive BFS levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Component index (in `connected_components` order).
+    pub component: usize,
+    /// BFS root the component was expanded from.
+    pub root: u32,
+    /// Level range `[first_level, last_level]`, inclusive.
+    pub levels: (u32, u32),
+    /// Global vertex ids, sorted.
+    pub nodes: Vec<u32>,
+    /// Footprint in bits under the configured packing.
+    pub size_bits: u128,
+    /// Whether the chunk fits in shared memory (`ψs` member) or must live
+    /// in global memory (`ψg` member).
+    pub fits_shared: bool,
+}
+
+/// Result of Algorithm 1 over the whole graph.
+#[derive(Debug, Clone)]
+pub struct SplitResult {
+    /// All chunks, grouped by component, levels ascending.
+    pub chunks: Vec<Chunk>,
+    /// Number of chunks that do not fit in shared memory — Eq. 5's `si`
+    /// summed over components.
+    pub oversize_count: usize,
+    /// Shared-memory waste for the fitting chunks:
+    /// `SSM·P − Σ S_{Gim}` clamped at ≥ 0 (the §V fragmentation metric).
+    pub fragmentation_bits: u128,
+    /// Roots actually tried across components.
+    pub roots_tried: usize,
+}
+
+impl SplitResult {
+    /// Number of chunks placed in shared memory (`ψs` of Eq. 6).
+    #[must_use]
+    pub fn shared_count(&self) -> usize {
+        self.chunks.iter().filter(|c| c.fits_shared).count()
+    }
+
+    /// Number of chunks placed in global memory (`ψg` of Eq. 6).
+    #[must_use]
+    pub fn global_count(&self) -> usize {
+        self.oversize_count
+    }
+
+    /// Chunk sizes in bits, for makespan scheduling ("the processing time
+    /// of the jobs are the size of the chunks", §VI).
+    #[must_use]
+    pub fn job_sizes(&self) -> Vec<u64> {
+        self.chunks
+            .iter()
+            .map(|c| u64::try_from(c.size_bits).unwrap_or(u64::MAX))
+            .collect()
+    }
+}
+
+/// Runs Algorithm 1 on `g`.
+#[must_use]
+pub fn split_graph(g: &Graph, cfg: &SplitConfig) -> SplitResult {
+    let mut chunks = Vec::new();
+    let mut oversize = 0usize;
+    let mut roots_tried = 0usize;
+    for (ci, comp) in connected_components(g).iter().enumerate() {
+        // Whole-component shortcut: if it already fits, it is one chunk
+        // (the paper's `while CCi size ≥ SSM` guard).
+        let comp_bits = cfg.storage.size_bits(comp.len() as u64);
+        if comp_bits <= cfg.shared_mem_bits {
+            let tree = BfsTree::new(g, comp[0]);
+            roots_tried += 1;
+            chunks.push(Chunk {
+                component: ci,
+                root: comp[0],
+                levels: (0, tree.depth() as u32 - 1),
+                nodes: comp.clone(),
+                size_bits: comp_bits,
+                fits_shared: true,
+            });
+            continue;
+        }
+        // Try candidate roots, keep the division minimizing
+        // (oversize count, fragmentation) — Eq. 5 with the §V tiebreak.
+        let mut best: Option<(usize, u128, Vec<Chunk>, usize)> = None;
+        for (ri, &root) in candidate_roots(comp, cfg.max_roots).iter().enumerate() {
+            roots_tried += 1;
+            let tree = BfsTree::new(g, root);
+            let division = div_into_consecutive_level_sets(&tree, cfg, ci, root);
+            let s_i = division.iter().filter(|c| !c.fits_shared).count();
+            let frag = fragmentation(&division, cfg);
+            let better = match &best {
+                None => true,
+                Some((bs, bf, _, _)) => s_i < *bs || (s_i == *bs && frag < *bf),
+            };
+            if better {
+                best = Some((s_i, frag, division, ri));
+            }
+            if s_i == 0 {
+                break; // the paper stops at the first root with all fitting
+            }
+        }
+        let (s_i, _, division, _) = best.expect("component has at least one root");
+        oversize += s_i;
+        chunks.extend(division);
+    }
+    
+    {
+        let tmp = SplitResult {
+            chunks,
+            oversize_count: oversize,
+            fragmentation_bits: 0,
+            roots_tried,
+        };
+        let frag = fragmentation(&tmp.chunks, cfg);
+        SplitResult { fragmentation_bits: frag, ..tmp }
+    }
+}
+
+/// Greedy `divIntoConsLevelSets`: accumulate consecutive levels while the
+/// running chunk still fits shared memory; close the chunk when the next
+/// level would overflow. A single level larger than `SSM` becomes its own
+/// oversize chunk (global memory).
+fn div_into_consecutive_level_sets(
+    tree: &BfsTree,
+    cfg: &SplitConfig,
+    component: usize,
+    root: u32,
+) -> Vec<Chunk> {
+    let mut out = Vec::new();
+    let levels = tree.levels();
+    let mut start = 0usize;
+    let mut nodes: Vec<u32> = Vec::new();
+    for (li, level) in levels.iter().enumerate() {
+        let grown = nodes.len() + level.len();
+        let grown_bits = cfg.storage.size_bits(grown as u64);
+        if !nodes.is_empty() && grown_bits > cfg.shared_mem_bits {
+            out.push(finish_chunk(cfg, component, root, start as u32, li as u32 - 1, &mut nodes));
+            start = li;
+        }
+        nodes.extend_from_slice(level);
+    }
+    if !nodes.is_empty() {
+        out.push(finish_chunk(
+            cfg,
+            component,
+            root,
+            start as u32,
+            levels.len() as u32 - 1,
+            &mut nodes,
+        ));
+    }
+    out
+}
+
+fn finish_chunk(
+    cfg: &SplitConfig,
+    component: usize,
+    root: u32,
+    first: u32,
+    last: u32,
+    nodes: &mut Vec<u32>,
+) -> Chunk {
+    let mut taken = std::mem::take(nodes);
+    taken.sort_unstable();
+    let size_bits = cfg.storage.size_bits(taken.len() as u64);
+    Chunk {
+        component,
+        root,
+        levels: (first, last),
+        nodes: taken,
+        size_bits,
+        fits_shared: size_bits <= cfg.shared_mem_bits,
+    }
+}
+
+fn fragmentation(chunks: &[Chunk], cfg: &SplitConfig) -> u128 {
+    let used: u128 = chunks
+        .iter()
+        .filter(|c| c.fits_shared)
+        .map(|c| c.size_bits)
+        .sum();
+    let budget = cfg.shared_mem_bits * u128::from(cfg.sm_count);
+    budget.saturating_sub(used)
+}
+
+/// Deterministic candidate roots: the component's smallest vertex first
+/// (the paper's scan order), then evenly spaced members.
+fn candidate_roots(comp: &[u32], max_roots: usize) -> Vec<u32> {
+    let k = max_roots.max(1).min(comp.len());
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let idx = i * comp.len() / k;
+        let v = comp[idx];
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trigon_graph::gen;
+
+    fn cfg_bits(bits: u128) -> SplitConfig {
+        SplitConfig {
+            shared_mem_bits: bits,
+            storage: StorageModel::SUtm,
+            max_roots: 4,
+            sm_count: 30,
+        }
+    }
+
+    #[test]
+    fn small_graph_is_one_chunk() {
+        let g = gen::gnp(100, 0.05, 1);
+        // 16 KB shared = 131072 bits holds up to 512 vertices (S-UTM).
+        let r = split_graph(&g, &cfg_bits(131_072));
+        let comp_count = trigon_graph::connected_components(&g).len();
+        assert_eq!(r.chunks.len(), comp_count);
+        assert_eq!(r.oversize_count, 0);
+        assert!(r.chunks.iter().all(|c| c.fits_shared));
+    }
+
+    #[test]
+    fn chunks_partition_vertices() {
+        let g = gen::gnp(300, 0.02, 7);
+        let r = split_graph(&g, &cfg_bits(StorageModel::SUtm.size_bits(40)));
+        let mut all: Vec<u32> = r.chunks.iter().flat_map(|c| c.nodes.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..300).collect::<Vec<_>>(), "every vertex in exactly one chunk");
+    }
+
+    #[test]
+    fn chunk_level_ranges_are_consecutive_and_ordered() {
+        let g = gen::grid2d(20, 20); // deep BFS, many levels
+        let r = split_graph(&g, &cfg_bits(StorageModel::SUtm.size_bits(50)));
+        assert!(r.chunks.len() > 1);
+        let mut prev_end: Option<u32> = None;
+        for c in &r.chunks {
+            assert!(c.levels.0 <= c.levels.1);
+            if let Some(pe) = prev_end {
+                assert_eq!(c.levels.0, pe + 1, "gap between consecutive chunks");
+            }
+            prev_end = Some(c.levels.1);
+        }
+    }
+
+    #[test]
+    fn sizes_respect_shared_flag() {
+        let budget = StorageModel::SUtm.size_bits(64);
+        let g = gen::gnp(500, 0.01, 3);
+        let r = split_graph(&g, &cfg_bits(budget));
+        for c in &r.chunks {
+            assert_eq!(c.fits_shared, c.size_bits <= budget);
+            assert_eq!(c.size_bits, StorageModel::SUtm.size_bits(c.nodes.len() as u64));
+        }
+        assert_eq!(
+            r.oversize_count,
+            r.chunks.iter().filter(|c| !c.fits_shared).count()
+        );
+        assert_eq!(r.shared_count() + r.global_count(), r.chunks.len());
+    }
+
+    #[test]
+    fn star_forces_oversize_chunk() {
+        // Star: level 1 alone exceeds any small budget — the worst case no
+        // root can fix (any non-center root yields level 2 = n - 2 nodes).
+        let g = gen::star(200);
+        let r = split_graph(&g, &cfg_bits(StorageModel::SUtm.size_bits(50)));
+        assert!(r.oversize_count >= 1, "star must produce an oversize chunk");
+        assert!(r.roots_tried > 1, "splitter should have tried other roots");
+    }
+
+    #[test]
+    fn path_splits_evenly() {
+        // Path of 100 with room for 10 vertices per chunk: exactly 10
+        // chunks of 10 consecutive levels each.
+        let g = gen::path(100);
+        let r = split_graph(&g, &cfg_bits(StorageModel::SUtm.size_bits(10)));
+        assert_eq!(r.chunks.len(), 10);
+        assert!(r.chunks.iter().all(|c| c.nodes.len() == 10 && c.fits_shared));
+        assert_eq!(r.oversize_count, 0);
+    }
+
+    #[test]
+    fn multi_component_graphs() {
+        let g = gen::disjoint_cliques(4, 30);
+        let budget = StorageModel::SUtm.size_bits(30);
+        let r = split_graph(&g, &cfg_bits(budget));
+        // Each clique fits exactly: 4 chunks, no oversize.
+        assert_eq!(r.chunks.len(), 4);
+        assert_eq!(r.oversize_count, 0);
+        let comps: Vec<usize> = r.chunks.iter().map(|c| c.component).collect();
+        assert_eq!(comps, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fragmentation_accounting() {
+        let g = gen::disjoint_cliques(2, 10);
+        let cfg = cfg_bits(StorageModel::SUtm.size_bits(10));
+        let r = split_graph(&g, &cfg);
+        let used = 2 * StorageModel::SUtm.size_bits(10);
+        assert_eq!(
+            r.fragmentation_bits,
+            cfg.shared_mem_bits * 30 - used
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        let r = split_graph(&g, &cfg_bits(1000));
+        assert!(r.chunks.is_empty());
+        assert_eq!(r.oversize_count, 0);
+    }
+
+    #[test]
+    fn device_config_matches_spec() {
+        let spec = trigon_gpu_sim::DeviceSpec::c1060();
+        let cfg = SplitConfig::for_device(&spec);
+        assert_eq!(cfg.shared_mem_bits, 131_072);
+        assert_eq!(cfg.sm_count, 30);
+    }
+}

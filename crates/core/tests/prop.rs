@@ -1,0 +1,98 @@
+//! Property-based tests for the core algorithms.
+
+use proptest::prelude::*;
+use trigon_core::als::build_als;
+use trigon_core::capacity::StorageModel;
+use trigon_core::count;
+use trigon_core::split::{split_graph, SplitConfig};
+use trigon_graph::{triangles, Graph};
+
+fn arb_graph(max_n: u32) -> impl Strategy<Value = Graph> {
+    (3..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(4 * n as usize)).prop_map(move |raw| {
+            let edges: Vec<(u32, u32)> = raw.into_iter().filter(|&(u, v)| u != v).collect();
+            Graph::from_edges(n, &edges).expect("filtered edges valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ALS structure invariants on arbitrary graphs: the shared-level
+    /// chain, per-component coverage, and local/global edge agreement.
+    #[test]
+    fn als_invariants(g in arb_graph(40)) {
+        let als = build_als(&g);
+        for w in als.windows(2) {
+            if !w[0].is_last {
+                prop_assert_eq!(&w[0].second, &w[1].first, "shared-level chain broken");
+            }
+        }
+        let mut covered = std::collections::BTreeSet::new();
+        for a in &als {
+            covered.extend(a.first.iter().copied());
+            if a.is_last {
+                covered.extend(a.second.iter().copied());
+            }
+            // Spot-check edge agreement on the diagonal band.
+            let n = a.size();
+            for p in 0..n.min(12) {
+                for q in (p + 1)..n.min(12) {
+                    prop_assert_eq!(
+                        a.edge(&g, p, q),
+                        g.has_edge(a.global_id(p), a.global_id(q))
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(covered.len() as u32, g.n());
+    }
+
+    /// Exhaustive Algorithm 2 and the fast ALS path agree with brute
+    /// force, and the accounted workload matches the combinatorics.
+    #[test]
+    fn counting_paths_agree(g in arb_graph(36)) {
+        let brute = triangles::count_brute_force(&g);
+        let ex = count::cpu_exhaustive(&g);
+        prop_assert_eq!(ex.triangles, brute);
+        prop_assert_eq!(count::als_fast(&g), brute);
+        prop_assert_eq!(count::total_tests(&g), ex.tests);
+    }
+
+    /// Listing visits each triangle exactly once, canonical order.
+    #[test]
+    fn listing_is_exact(g in arb_graph(30)) {
+        let mut seen = std::collections::BTreeSet::new();
+        count::list_triangles_als(&g, |u, v, w| {
+            assert!(u < v && v < w, "non-canonical triple");
+            assert!(seen.insert((u, v, w)), "duplicate triple");
+            assert!(g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w));
+        });
+        prop_assert_eq!(seen.len() as u64, triangles::count_brute_force(&g));
+    }
+
+    /// Algorithm 1 output: chunks partition V, sizes/flags consistent,
+    /// level ranges consecutive per component.
+    #[test]
+    fn split_invariants(g in arb_graph(60), budget_n in 5u64..40) {
+        let cfg = SplitConfig {
+            shared_mem_bits: StorageModel::SUtm.size_bits(budget_n),
+            storage: StorageModel::SUtm,
+            max_roots: 3,
+            sm_count: 30,
+        };
+        let r = split_graph(&g, &cfg);
+        let mut all: Vec<u32> = r.chunks.iter().flat_map(|c| c.nodes.clone()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..g.n()).collect::<Vec<_>>());
+        for c in &r.chunks {
+            prop_assert_eq!(c.size_bits, StorageModel::SUtm.size_bits(c.nodes.len() as u64));
+            prop_assert_eq!(c.fits_shared, c.size_bits <= cfg.shared_mem_bits);
+        }
+        prop_assert_eq!(
+            r.oversize_count,
+            r.chunks.iter().filter(|c| !c.fits_shared).count()
+        );
+    }
+}

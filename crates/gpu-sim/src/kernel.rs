@@ -1,0 +1,219 @@
+//! Kernel-launch cost accounting (§V–§VI).
+//!
+//! A simulated kernel is a bag of *thread blocks*, each with a compute
+//! cost (warp instruction-issue cycles) and a memory cost (already priced
+//! by the [`crate::coalesce`] and [`crate::partition`] models). Blocks are
+//! assigned to streaming multiprocessors; an SM runs its blocks back to
+//! back; SMs run in parallel — so kernel time is the **makespan** of the
+//! assignment, which is precisely why §VI reduces chunk scheduling to
+//! makespan scheduling.
+//!
+//! Within one block, compute and memory overlap: with enough resident
+//! warps the SM hides memory latency behind arithmetic from other warps,
+//! so a block costs `max(compute, memory)` cycles rather than their sum.
+
+use crate::device::DeviceSpec;
+
+/// Priced cost of one thread block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockCost {
+    /// Arithmetic cycles: warp instruction issues × issue width.
+    pub compute_cycles: u64,
+    /// Memory cycles: coalesced transactions through the partition model.
+    pub mem_cycles: u64,
+}
+
+impl BlockCost {
+    /// Effective cycles the block occupies its SM, with compute/memory
+    /// overlap.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.compute_cycles.max(self.mem_cycles)
+    }
+}
+
+/// A simulated kernel: device + block costs.
+#[derive(Debug, Clone)]
+pub struct KernelSim {
+    spec: DeviceSpec,
+    blocks: Vec<BlockCost>,
+}
+
+/// Timing result of one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTiming {
+    /// Busy cycles per SM under the chosen assignment.
+    pub per_sm_cycles: Vec<u64>,
+    /// `max(per_sm_cycles)` — the §VI makespan.
+    pub makespan_cycles: u64,
+    /// Fixed launch overhead in seconds.
+    pub launch_s: f64,
+    /// End-to-end kernel seconds: launch + makespan at the core clock.
+    pub total_s: f64,
+}
+
+impl KernelSim {
+    /// New empty kernel on `spec`.
+    #[must_use]
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self { spec, blocks: Vec::new() }
+    }
+
+    /// Adds one block.
+    pub fn push_block(&mut self, b: BlockCost) {
+        self.blocks.push(b);
+    }
+
+    /// Number of blocks queued.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Block costs queued so far (for external schedulers).
+    #[must_use]
+    pub fn blocks(&self) -> &[BlockCost] {
+        &self.blocks
+    }
+
+    /// The device spec this kernel is priced on.
+    #[must_use]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Times the kernel under an explicit block→SM assignment
+    /// (`assignment[i]` is the SM index of block `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length or any SM index is out of range.
+    #[must_use]
+    pub fn timing_with_assignment(&self, assignment: &[u32]) -> KernelTiming {
+        assert_eq!(assignment.len(), self.blocks.len(), "assignment length mismatch");
+        let mut per_sm = vec![0u64; self.spec.sm_count as usize];
+        for (block, &sm) in self.blocks.iter().zip(assignment) {
+            assert!((sm as usize) < per_sm.len(), "SM index {sm} out of range");
+            per_sm[sm as usize] += block.cycles();
+        }
+        self.finish(per_sm)
+    }
+
+    /// Times the kernel under the hardware's default greedy dispatch:
+    /// blocks go to the currently least-loaded SM in queue order (a
+    /// list-scheduling baseline — what a real GigaThread engine
+    /// approximates).
+    #[must_use]
+    pub fn timing_greedy(&self) -> KernelTiming {
+        let mut per_sm = vec![0u64; self.spec.sm_count as usize];
+        for block in &self.blocks {
+            let idx = per_sm
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &c)| (c, i))
+                .map(|(i, _)| i)
+                .expect("device has at least one SM");
+            per_sm[idx] += block.cycles();
+        }
+        self.finish(per_sm)
+    }
+
+    /// Times the kernel under naive round-robin dispatch (block `i` to SM
+    /// `i mod sm_count`) — the §VI strawman.
+    #[must_use]
+    pub fn timing_round_robin(&self) -> KernelTiming {
+        let sm_count = self.spec.sm_count as usize;
+        let mut per_sm = vec![0u64; sm_count];
+        for (i, block) in self.blocks.iter().enumerate() {
+            per_sm[i % sm_count] += block.cycles();
+        }
+        self.finish(per_sm)
+    }
+
+    fn finish(&self, per_sm_cycles: Vec<u64>) -> KernelTiming {
+        let makespan_cycles = per_sm_cycles.iter().copied().max().unwrap_or(0);
+        let launch_s = self.spec.kernel_launch_s;
+        let total_s = launch_s + self.spec.cycles_to_seconds(makespan_cycles);
+        KernelTiming { per_sm_cycles, makespan_cycles, launch_s, total_s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    fn block(compute: u64, mem: u64) -> BlockCost {
+        BlockCost { compute_cycles: compute, mem_cycles: mem }
+    }
+
+    #[test]
+    fn block_overlap_is_max() {
+        assert_eq!(block(100, 40).cycles(), 100);
+        assert_eq!(block(40, 100).cycles(), 100);
+        assert_eq!(block(0, 0).cycles(), 0);
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_only() {
+        let k = KernelSim::new(DeviceSpec::c1060());
+        let t = k.timing_greedy();
+        assert_eq!(t.makespan_cycles, 0);
+        assert!((t.total_s - DeviceSpec::c1060().kernel_launch_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_is_max_sm_load() {
+        let mut k = KernelSim::new(DeviceSpec::c1060());
+        for c in [100u64, 200, 300] {
+            k.push_block(block(c, 0));
+        }
+        // Explicit: all on SM 0.
+        let t = k.timing_with_assignment(&[0, 0, 0]);
+        assert_eq!(t.makespan_cycles, 600);
+        assert_eq!(t.per_sm_cycles[0], 600);
+        // Spread across three SMs.
+        let t2 = k.timing_with_assignment(&[0, 1, 2]);
+        assert_eq!(t2.makespan_cycles, 300);
+    }
+
+    #[test]
+    fn greedy_beats_or_ties_round_robin() {
+        // Pathological order: big blocks first at positions that round-robin
+        // stacks onto the same SM (31 blocks on a 30-SM device).
+        let mut k = KernelSim::new(DeviceSpec::c1060());
+        for i in 0..31u64 {
+            k.push_block(block(if i % 30 == 0 { 1000 } else { 10 }, 0));
+        }
+        let rr = k.timing_round_robin();
+        let greedy = k.timing_greedy();
+        assert!(greedy.makespan_cycles <= rr.makespan_cycles);
+        assert_eq!(rr.makespan_cycles, 2000); // blocks 0 and 30 both on SM 0
+        assert_eq!(greedy.makespan_cycles, 1000 + 10);
+    }
+
+    #[test]
+    fn seconds_track_clock() {
+        let spec = DeviceSpec::c1060();
+        let mut k = KernelSim::new(spec.clone());
+        k.push_block(block(spec.clock_hz, 0)); // exactly one second of work
+        let t = k.timing_greedy();
+        assert!((t.total_s - (1.0 + spec.kernel_launch_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length mismatch")]
+    fn rejects_bad_assignment_len() {
+        let mut k = KernelSim::new(DeviceSpec::c1060());
+        k.push_block(block(1, 1));
+        let _ = k.timing_with_assignment(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_sm_index() {
+        let mut k = KernelSim::new(DeviceSpec::c1060());
+        k.push_block(block(1, 1));
+        let _ = k.timing_with_assignment(&[99]);
+    }
+}

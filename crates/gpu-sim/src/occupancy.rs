@@ -1,0 +1,185 @@
+//! SM occupancy: how many blocks/warps are resident per streaming
+//! multiprocessor given the kernel's resource appetite.
+//!
+//! The paper's §V scheduling discussion assumes warps are available to
+//! hide latency; whether they *are* depends on the occupancy limits of
+//! the architecture. This model reproduces the CUDA occupancy rules of
+//! the era: residency is the minimum over the thread, register, shared
+//! memory and block-count constraints.
+
+use crate::device::{ComputeCapability, DeviceSpec};
+
+/// Per-architecture residency limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmLimits {
+    /// Max resident threads per SM.
+    pub max_threads: u32,
+    /// Max resident blocks per SM.
+    pub max_blocks: u32,
+    /// Registers per SM (32-bit).
+    pub registers: u32,
+    /// Max warps per SM.
+    pub max_warps: u32,
+}
+
+impl SmLimits {
+    /// Limits for a compute capability (GT200 vs Fermi).
+    #[must_use]
+    pub fn for_cc(cc: ComputeCapability) -> Self {
+        match cc {
+            ComputeCapability::Cc10 | ComputeCapability::Cc11 => Self {
+                max_threads: 768,
+                max_blocks: 8,
+                registers: 8 * 1024,
+                max_warps: 24,
+            },
+            ComputeCapability::Cc12 | ComputeCapability::Cc13 => Self {
+                max_threads: 1024,
+                max_blocks: 8,
+                registers: 16 * 1024,
+                max_warps: 32,
+            },
+            ComputeCapability::Cc20 => Self {
+                max_threads: 1536,
+                max_blocks: 8,
+                registers: 32 * 1024,
+                max_warps: 48,
+            },
+        }
+    }
+}
+
+/// A kernel's per-block resource appetite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Shared memory bytes per block.
+    pub shared_bytes_per_block: u64,
+}
+
+/// Occupancy result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub blocks_per_sm: u32,
+    /// Warps resident per SM.
+    pub warps_per_sm: u32,
+    /// Fraction of the architecture's warp capacity in use (0–1).
+    pub fraction: f64,
+    /// Which resource binds: "threads", "blocks", "registers" or
+    /// "shared".
+    pub limiter: &'static str,
+}
+
+/// Computes occupancy for `res` on `spec`.
+///
+/// # Panics
+///
+/// Panics if `threads_per_block` is 0 or not a multiple of the warp size.
+#[must_use]
+pub fn occupancy(spec: &DeviceSpec, res: &KernelResources) -> Occupancy {
+    assert!(
+        res.threads_per_block > 0 && res.threads_per_block % spec.warp_size == 0,
+        "threads per block must be a positive multiple of the warp size"
+    );
+    let lim = SmLimits::for_cc(spec.compute_capability);
+    let by_threads = lim.max_threads / res.threads_per_block;
+    let by_blocks = lim.max_blocks;
+    let by_regs = if res.regs_per_thread == 0 {
+        u32::MAX
+    } else {
+        lim.registers / (res.regs_per_thread * res.threads_per_block)
+    };
+    let by_shared = if res.shared_bytes_per_block == 0 {
+        u32::MAX
+    } else {
+        (spec.shared_mem_bytes / res.shared_bytes_per_block) as u32
+    };
+    let candidates = [
+        (by_threads, "threads"),
+        (by_blocks, "blocks"),
+        (by_regs, "registers"),
+        (by_shared, "shared"),
+    ];
+    let (blocks_per_sm, limiter) = candidates
+        .into_iter()
+        .min_by_key(|&(b, _)| b)
+        .expect("non-empty candidates");
+    let warps_per_block = res.threads_per_block / spec.warp_size;
+    let warps = (blocks_per_sm * warps_per_block).min(lim.max_warps);
+    Occupancy {
+        blocks_per_sm,
+        warps_per_sm: warps,
+        fraction: f64::from(warps) / f64::from(lim.max_warps),
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    fn res(threads: u32, regs: u32, shared: u64) -> KernelResources {
+        KernelResources {
+            threads_per_block: threads,
+            regs_per_thread: regs,
+            shared_bytes_per_block: shared,
+        }
+    }
+
+    #[test]
+    fn light_kernel_fills_the_sm() {
+        let spec = DeviceSpec::c1060();
+        let o = occupancy(&spec, &res(128, 10, 256));
+        // 1024/128 = 8 blocks by threads, 8 by block limit,
+        // 16384/(10·128) = 12 by regs, 16K/256 = 64 by shared → 8 blocks.
+        assert_eq!(o.blocks_per_sm, 8);
+        assert_eq!(o.warps_per_sm, 32);
+        assert!((o.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_pressure_limits() {
+        let spec = DeviceSpec::c1060();
+        let o = occupancy(&spec, &res(256, 32, 0));
+        // 16384/(32·256) = 2 blocks.
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, "registers");
+        assert_eq!(o.warps_per_sm, 16);
+    }
+
+    #[test]
+    fn shared_memory_limits() {
+        let spec = DeviceSpec::c1060();
+        // Each block wants 8 KB of the 16 KB shared memory.
+        let o = occupancy(&spec, &res(64, 8, 8 * 1024));
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, "shared");
+    }
+
+    #[test]
+    fn fermi_has_more_headroom() {
+        let r = res(256, 20, 1024);
+        let tesla = occupancy(&DeviceSpec::c1060(), &r);
+        let fermi = occupancy(&DeviceSpec::c2050(), &r);
+        assert!(fermi.warps_per_sm > tesla.warps_per_sm);
+    }
+
+    #[test]
+    fn zero_appetite_is_block_limited() {
+        let spec = DeviceSpec::c2050();
+        let o = occupancy(&spec, &res(32, 0, 0));
+        assert_eq!(o.blocks_per_sm, 8); // block-count cap
+        assert_eq!(o.limiter, "blocks");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the warp size")]
+    fn rejects_ragged_blocks() {
+        let _ = occupancy(&DeviceSpec::c1060(), &res(48, 8, 0));
+    }
+}

@@ -1,0 +1,249 @@
+//! Global-memory partitions and partition camping (§X, Eqs. 10–11).
+//!
+//! "The global memory is divided into 6 (or 8) partitions … of 256-byte
+//! width. Partition camping occurs when global memory accesses are mapped
+//! into a subset of partitions, causing requests to queue up at some
+//! partitions while other partitions go unused."
+//!
+//! The model: transactions issued by concurrently-active warps land in
+//! the partition owning their segment's address range (256-byte
+//! interleaving). Each partition services its queue sequentially at
+//! `service_cycles` per transaction; partitions work in parallel, so the
+//! access phase costs `max_p(queue_p) · service_cycles`. Spreading the
+//! same traffic over all partitions (Eq. 11's `Partition_{i % p} ⇐ W_i`
+//! mapping) divides the time by up to `p` — exactly the §X claim that
+//! minimizing time is equivalent to maximizing distinct partitions used.
+
+use crate::device::DeviceSpec;
+
+/// Which partition owns byte address `addr` under `width`-byte
+/// interleaving across `partitions` partitions.
+#[inline]
+#[must_use]
+pub fn partition_of(addr: u64, partitions: u32, width: u64) -> u32 {
+    ((addr / width) % u64::from(partitions)) as u32
+}
+
+/// Accumulated per-partition transaction counts for one concurrent access
+/// phase (one "instant of execution" across the active warps, in the
+/// paper's Fig. 6/7 sense).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionTraffic {
+    counts: Vec<u64>,
+    width: u64,
+}
+
+impl PartitionTraffic {
+    /// Empty traffic for a device's partition layout.
+    #[must_use]
+    pub fn new(spec: &DeviceSpec) -> Self {
+        Self { counts: vec![0; spec.partitions as usize], width: spec.partition_width }
+    }
+
+    /// Records one transaction at segment base `addr`.
+    #[inline]
+    pub fn record(&mut self, addr: u64) {
+        let p = partition_of(addr, self.counts.len() as u32, self.width);
+        self.counts[p as usize] += 1;
+    }
+
+    /// Records every segment of a coalescing summary.
+    pub fn record_all(&mut self, segment_addrs: &[u64]) {
+        for &a in segment_addrs {
+            self.record(a);
+        }
+    }
+
+    /// Adds `count` transactions directly to `partition` — used by the
+    /// sampled fidelity mode to scale a measured histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn record_bulk(&mut self, partition: u32, count: u64) {
+        self.counts[partition as usize] += count;
+    }
+
+    /// Merges another traffic accumulation (same layout) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layouts differ.
+    pub fn merge(&mut self, other: &PartitionTraffic) {
+        assert_eq!(self.counts.len(), other.counts.len(), "partition count mismatch");
+        assert_eq!(self.width, other.width, "partition width mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Total transactions recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Per-partition histogram.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Length of the longest partition queue — the serialization term.
+    #[must_use]
+    pub fn max_queue(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of distinct partitions used — the Eq. 10 denominator
+    /// (`Σ Part_i`), which §X says should be maximized.
+    #[must_use]
+    pub fn distinct_partitions(&self) -> u32 {
+        self.counts.iter().filter(|&&c| c > 0).count() as u32
+    }
+
+    /// Camping factor: `max_queue / ideal_queue` where
+    /// `ideal = ⌈total / partitions⌉`. 1.0 = perfectly spread; the
+    /// all-one-partition pathology of Fig. 6 gives ≈ `partitions`.
+    #[must_use]
+    pub fn camping_factor(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total.div_ceil(self.counts.len() as u64);
+        self.max_queue() as f64 / ideal as f64
+    }
+}
+
+/// Cycles to drain one concurrent access phase: the busiest partition's
+/// queue times the per-transaction service cost, plus one round-trip
+/// latency for the phase (pipelining hides the rest).
+///
+/// On compute capability 2.x the L2 absorbs re-reads and the paper notes
+/// "the effect of partition camping is taken care of by cached memory
+/// reads" — modeled by draining at the *ideal* (spread) rate regardless
+/// of the histogram.
+#[must_use]
+pub fn camping_cycles(traffic: &PartitionTraffic, spec: &DeviceSpec) -> u64 {
+    let total = traffic.total();
+    if total == 0 {
+        return 0;
+    }
+    let queue = if spec.compute_capability.has_cached_global() {
+        total.div_ceil(u64::from(spec.partitions))
+    } else {
+        traffic.max_queue()
+    };
+    spec.global_latency_cycles + queue * spec.transaction_service_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn partition_interleave() {
+        assert_eq!(partition_of(0, 8, 256), 0);
+        assert_eq!(partition_of(255, 8, 256), 0);
+        assert_eq!(partition_of(256, 8, 256), 1);
+        assert_eq!(partition_of(256 * 8, 8, 256), 0); // wraps
+        assert_eq!(partition_of(256 * 9 + 3, 8, 256), 1);
+    }
+
+    #[test]
+    fn camping_vs_spread_fig6_fig7() {
+        let spec = DeviceSpec::c1060();
+        // Fig. 6: 30 warps, all transactions to partition 0.
+        let mut camped = PartitionTraffic::new(&spec);
+        for _ in 0..30 {
+            camped.record(0);
+        }
+        // Fig. 7: the same 30 transactions spread round-robin (Eq. 11).
+        let mut spread = PartitionTraffic::new(&spec);
+        for w in 0..30u64 {
+            spread.record((w % 8) * 256);
+        }
+        assert_eq!(camped.total(), spread.total());
+        assert_eq!(camped.distinct_partitions(), 1);
+        assert_eq!(spread.distinct_partitions(), 8);
+        assert_eq!(camped.max_queue(), 30);
+        assert_eq!(spread.max_queue(), 4); // ⌈30/8⌉
+        let t_camped = camping_cycles(&camped, &spec);
+        let t_spread = camping_cycles(&spread, &spec);
+        assert!(t_camped > t_spread);
+        // Queue term shrinks by ~p×.
+        assert_eq!(
+            t_camped - spec.global_latency_cycles,
+            30 * spec.transaction_service_cycles
+        );
+        assert_eq!(
+            t_spread - spec.global_latency_cycles,
+            4 * spec.transaction_service_cycles
+        );
+    }
+
+    #[test]
+    fn camping_factor_bounds() {
+        let spec = DeviceSpec::c1060();
+        let mut t = PartitionTraffic::new(&spec);
+        assert_eq!(t.camping_factor(), 1.0); // empty
+        for i in 0..64u64 {
+            t.record(i * 256); // perfect spread
+        }
+        assert!((t.camping_factor() - 1.0).abs() < 1e-12);
+        let mut bad = PartitionTraffic::new(&spec);
+        for _ in 0..64 {
+            bad.record(512); // all partition 2
+        }
+        assert!((bad.camping_factor() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cc2_cache_neutralizes_camping() {
+        // §X: on 2.x cached reads hide camping — same cycles either way.
+        let spec = DeviceSpec::c2050();
+        let mut camped = PartitionTraffic::new(&spec);
+        for _ in 0..60 {
+            camped.record(0);
+        }
+        let mut spread = PartitionTraffic::new(&spec);
+        for w in 0..60u64 {
+            spread.record((w % 6) * 256);
+        }
+        assert_eq!(camping_cycles(&camped, &spec), camping_cycles(&spread, &spec));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let spec = DeviceSpec::c1060();
+        let mut a = PartitionTraffic::new(&spec);
+        a.record(0);
+        a.record(256);
+        let mut b = PartitionTraffic::new(&spec);
+        b.record_all(&[0, 512]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.counts()[0], 2);
+        assert_eq!(a.counts()[1], 1);
+        assert_eq!(a.counts()[2], 1);
+    }
+
+    #[test]
+    fn empty_traffic_is_free() {
+        let spec = DeviceSpec::c1060();
+        let t = PartitionTraffic::new(&spec);
+        assert_eq!(camping_cycles(&t, &spec), 0);
+        assert_eq!(t.max_queue(), 0);
+        assert_eq!(t.distinct_partitions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition count mismatch")]
+    fn merge_rejects_layout_mismatch() {
+        let mut a = PartitionTraffic::new(&DeviceSpec::c1060()); // 8 partitions
+        let b = PartitionTraffic::new(&DeviceSpec::c2050()); // 6 partitions
+        a.merge(&b);
+    }
+}

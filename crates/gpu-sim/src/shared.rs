@@ -1,0 +1,150 @@
+//! Shared-memory bank conflicts (§IV, Eq. 9).
+//!
+//! "The on-chip shared memory … is further divided into 16 (or 32) banks
+//! … when data is accessed from the same bank, significant performance
+//! loss occurs due to bank conflicts (the only exception being the case
+//! where all the threads access the same element leading to a
+//! broadcast)."
+//!
+//! Banks are 32 bits wide; word `w` lives in bank `w mod B`. A half-warp
+//! access serializes by its *conflict degree* — the largest number of
+//! distinct words mapped to one bank. Eq. 9 expresses the same thing as
+//! access time inversely proportional to the number of distinct banks
+//! covered.
+
+const BANK_WIDTH: u64 = 4;
+
+/// Conflict degree of one half-warp's shared-memory access: the number of
+/// serialized passes needed. 1 = conflict-free. Multiple threads reading
+/// the *same word* broadcast and do not conflict.
+///
+/// `addrs` are byte addresses into shared memory; `banks` is the device's
+/// bank count (16 on the C1060, 32 on Fermi).
+///
+/// ```
+/// use trigon_gpu_sim::bank_conflict_degree;
+/// // 16 threads, consecutive words: conflict-free on 16 banks.
+/// let seq: Vec<u64> = (0..16).map(|i| i * 4).collect();
+/// assert_eq!(bank_conflict_degree(&seq, 16), 1);
+/// // Stride of 2 words: pairs collide, degree 2.
+/// let strided: Vec<u64> = (0..16).map(|i| i * 8).collect();
+/// assert_eq!(bank_conflict_degree(&strided, 16), 2);
+/// ```
+#[must_use]
+pub fn bank_conflict_degree(addrs: &[u64], banks: u32) -> u32 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    // Count distinct words per bank.
+    let mut per_bank: Vec<Vec<u64>> = vec![Vec::new(); banks as usize];
+    for &a in addrs {
+        let word = a / BANK_WIDTH;
+        let bank = (word % u64::from(banks)) as usize;
+        if !per_bank[bank].contains(&word) {
+            per_bank[bank].push(word);
+        }
+    }
+    per_bank
+        .iter()
+        .map(|words| words.len() as u32)
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
+/// Cycles for one half-warp shared access: `latency × degree` — the
+/// serialization the paper's Eq. 9 captures (time inversely proportional
+/// to distinct banks used).
+#[must_use]
+pub fn shared_access_cycles(addrs: &[u64], banks: u32, latency: u64) -> u64 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    latency * u64::from(bank_conflict_degree(addrs, banks))
+}
+
+/// Number of distinct banks touched — the denominator of Eq. 9.
+#[must_use]
+pub fn distinct_banks(addrs: &[u64], banks: u32) -> u32 {
+    let mut seen = vec![false; banks as usize];
+    let mut count = 0;
+    for &a in addrs {
+        let bank = ((a / BANK_WIDTH) % u64::from(banks)) as usize;
+        if !seen[bank] {
+            seen[bank] = true;
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_free_sequential() {
+        let addrs: Vec<u64> = (0..16).map(|i| i * 4).collect();
+        assert_eq!(bank_conflict_degree(&addrs, 16), 1);
+        assert_eq!(distinct_banks(&addrs, 16), 16);
+        assert_eq!(shared_access_cycles(&addrs, 16, 24), 24);
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        // All 16 threads read the same word: degree 1 (broadcast).
+        let addrs = vec![64u64; 16];
+        assert_eq!(bank_conflict_degree(&addrs, 16), 1);
+        assert_eq!(distinct_banks(&addrs, 16), 1);
+    }
+
+    #[test]
+    fn same_bank_different_words_worst_case() {
+        // Stride of exactly `banks` words: every thread in bank 0.
+        let addrs: Vec<u64> = (0..16).map(|i| i * 16 * 4).collect();
+        assert_eq!(bank_conflict_degree(&addrs, 16), 16);
+        assert_eq!(distinct_banks(&addrs, 16), 1);
+        assert_eq!(shared_access_cycles(&addrs, 16, 24), 24 * 16);
+    }
+
+    #[test]
+    fn stride_two_degree_two() {
+        let addrs: Vec<u64> = (0..16).map(|i| i * 8).collect();
+        assert_eq!(bank_conflict_degree(&addrs, 16), 2);
+        assert_eq!(distinct_banks(&addrs, 16), 8);
+    }
+
+    #[test]
+    fn wider_banks_fix_stride_two() {
+        // 32 banks absorb a stride-2 pattern from 16 threads.
+        let addrs: Vec<u64> = (0..16).map(|i| i * 8).collect();
+        assert_eq!(bank_conflict_degree(&addrs, 32), 1);
+    }
+
+    #[test]
+    fn mixed_broadcast_and_conflict() {
+        // Two threads share a word (broadcast pair), two hit another word
+        // in the same bank: degree 2.
+        let addrs = vec![0u64, 0, 64, 64, 128];
+        // words 0, 16, 32 — all bank 0 on 16 banks: 3 distinct words.
+        assert_eq!(bank_conflict_degree(&addrs, 16), 3);
+    }
+
+    #[test]
+    fn empty_access() {
+        assert_eq!(bank_conflict_degree(&[], 16), 0);
+        assert_eq!(shared_access_cycles(&[], 16, 24), 0);
+        assert_eq!(distinct_banks(&[], 16), 0);
+    }
+
+    #[test]
+    fn eq9_inverse_proportionality() {
+        // Same element count, more distinct banks ⇒ fewer cycles.
+        let spread: Vec<u64> = (0..16).map(|i| i * 4).collect();
+        let bunched: Vec<u64> = (0..16).map(|i| (i % 4) * 64 * 4 + (i / 4) * 16 * 4).collect();
+        let t_spread = shared_access_cycles(&spread, 16, 24);
+        let t_bunched = shared_access_cycles(&bunched, 16, 24);
+        assert!(distinct_banks(&spread, 16) > distinct_banks(&bunched, 16));
+        assert!(t_spread < t_bunched);
+    }
+}

@@ -1,0 +1,176 @@
+//! Warp access traces: record a kernel's memory behaviour, replay it
+//! against any device, and summarize coalescing efficiency.
+//!
+//! This is the analysis tool behind statements like the paper's §IX
+//! "organize the data so that κ (total global accesses) is minimized":
+//! capture once, replay under every compute capability, compare the
+//! transaction totals.
+
+use crate::coalesce::warp_transactions;
+use crate::device::{ComputeCapability, DeviceSpec};
+use crate::partition::PartitionTraffic;
+
+/// One recorded warp access: the byte addresses its lanes issued.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpAccess {
+    /// Lane byte addresses (≤ warp size entries).
+    pub addrs: Vec<u64>,
+    /// Word size in bytes.
+    pub word: u64,
+}
+
+/// A sequence of warp accesses.
+#[derive(Debug, Clone, Default)]
+pub struct AccessTrace {
+    accesses: Vec<WarpAccess>,
+}
+
+/// Replay summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySummary {
+    /// Total transactions under the replayed capability.
+    pub transactions: u64,
+    /// Lane-accesses replayed (Σ active lanes).
+    pub lane_accesses: u64,
+    /// Transactions per lane-access: 1/32 ≈ perfect coalescing for full
+    /// warps, 1.0 = fully serialized.
+    pub transactions_per_access: f64,
+    /// Partition histogram of the whole trace.
+    pub traffic: PartitionTraffic,
+}
+
+impl AccessTrace {
+    /// Empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one warp access.
+    pub fn record(&mut self, addrs: Vec<u64>, word: u64) {
+        self.accesses.push(WarpAccess { addrs, word });
+    }
+
+    /// Number of warp accesses recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Replays the trace under `cc`, accumulating partition traffic on
+    /// `spec`'s geometry.
+    #[must_use]
+    pub fn replay(&self, cc: ComputeCapability, spec: &DeviceSpec) -> ReplaySummary {
+        let mut transactions = 0u64;
+        let mut lane_accesses = 0u64;
+        let mut traffic = PartitionTraffic::new(spec);
+        for a in &self.accesses {
+            let s = warp_transactions(cc, &a.addrs, a.word);
+            transactions += u64::from(s.transactions);
+            lane_accesses += a.addrs.len() as u64;
+            traffic.record_all(&s.segment_addrs);
+        }
+        ReplaySummary {
+            transactions,
+            lane_accesses,
+            transactions_per_access: if lane_accesses == 0 {
+                0.0
+            } else {
+                transactions as f64 / lane_accesses as f64
+            },
+            traffic,
+        }
+    }
+
+    /// Replays under every modeled compute capability — the Table III
+    /// experiment for an arbitrary workload.
+    #[must_use]
+    pub fn replay_all(&self, spec: &DeviceSpec) -> Vec<(ComputeCapability, u64)> {
+        ComputeCapability::all()
+            .into_iter()
+            .map(|cc| (cc, self.replay(cc, spec).transactions))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coalesce::{nonsequential_pattern, sequential_pattern};
+    use crate::device::DeviceSpec;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::c1060()
+    }
+
+    #[test]
+    fn replay_matches_direct_coalescing() {
+        let mut t = AccessTrace::new();
+        t.record(sequential_pattern(0, 32, 4), 4);
+        t.record(nonsequential_pattern(4096, 32, 4), 4);
+        let r = t.replay(ComputeCapability::Cc13, &spec());
+        assert_eq!(r.transactions, 2 + 2);
+        assert_eq!(r.lane_accesses, 64);
+        let r10 = t.replay(ComputeCapability::Cc10, &spec());
+        assert_eq!(r10.transactions, 2 + 32);
+    }
+
+    #[test]
+    fn replay_all_is_monotone_in_capability() {
+        // Newer capabilities never need more transactions for the same
+        // trace.
+        let mut t = AccessTrace::new();
+        for i in 0..16u64 {
+            t.record(sequential_pattern(i * 512 + 4, 32, 4), 4);
+            t.record(nonsequential_pattern(i * 131, 32, 4), 4);
+        }
+        let table = t.replay_all(&spec());
+        for w in table.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1,
+                "{} needs more transactions than {}",
+                w[1].0,
+                w[0].0
+            );
+        }
+    }
+
+    #[test]
+    fn transactions_per_access_bounds() {
+        let mut perfect = AccessTrace::new();
+        perfect.record(sequential_pattern(0, 32, 4), 4);
+        let r = perfect.replay(ComputeCapability::Cc20, &spec());
+        assert!((r.transactions_per_access - 1.0 / 32.0).abs() < 1e-12);
+
+        let mut awful = AccessTrace::new();
+        awful.record((0..32u64).map(|i| i * 4096).collect(), 4);
+        let r2 = awful.replay(ComputeCapability::Cc20, &spec());
+        assert!((r2.transactions_per_access - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_accumulates_across_accesses() {
+        let mut t = AccessTrace::new();
+        t.record(vec![0], 4);
+        t.record(vec![256], 4);
+        t.record(vec![256 * 8], 4); // wraps to partition 0
+        let r = t.replay(ComputeCapability::Cc20, &spec());
+        assert_eq!(r.traffic.counts()[0], 2);
+        assert_eq!(r.traffic.counts()[1], 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = AccessTrace::new();
+        assert!(t.is_empty());
+        let r = t.replay(ComputeCapability::Cc13, &spec());
+        assert_eq!(r.transactions, 0);
+        assert_eq!(r.transactions_per_access, 0.0);
+    }
+}

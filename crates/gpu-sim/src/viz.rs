@@ -1,0 +1,71 @@
+//! Text rendering of partition traffic — the Fig. 6 / Fig. 7 pictures as
+//! terminal output, used by the examples and the repro harness to *show*
+//! camping rather than just report a factor.
+
+use crate::partition::PartitionTraffic;
+
+/// Renders a horizontal bar chart of per-partition transaction queues.
+///
+/// ```text
+/// P0 |##################################################| 30
+/// P1 |                                                  | 0
+/// ...
+/// ```
+#[must_use]
+pub fn render_partition_histogram(traffic: &PartitionTraffic, width: usize) -> String {
+    let counts = traffic.counts();
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = String::new();
+    for (p, &c) in counts.iter().enumerate() {
+        let filled = (c as usize * width).div_ceil(max as usize).min(width);
+        out.push_str(&format!(
+            "P{p} |{}{}| {c}\n",
+            "#".repeat(filled),
+            " ".repeat(width - filled)
+        ));
+    }
+    out.push_str(&format!(
+        "distinct {} / {}   max queue {}   camping factor {:.2}\n",
+        traffic.distinct_partitions(),
+        counts.len(),
+        traffic.max_queue(),
+        traffic.camping_factor()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn renders_camped_and_spread() {
+        let spec = DeviceSpec::c1060();
+        let mut camped = PartitionTraffic::new(&spec);
+        for _ in 0..30 {
+            camped.record(0);
+        }
+        let s = render_partition_histogram(&camped, 20);
+        assert!(s.contains("P0 |####################| 30"));
+        // ideal = ⌈30/8⌉ = 4, max queue 30 ⇒ factor 7.50.
+        assert!(s.contains("camping factor 7.50"), "{s}");
+        assert_eq!(s.lines().count(), 9); // 8 partitions + summary
+
+        let mut spread = PartitionTraffic::new(&spec);
+        for i in 0..32u64 {
+            spread.record(i * 256);
+        }
+        let s2 = render_partition_histogram(&spread, 20);
+        assert!(s2.contains("camping factor 1.00"));
+        assert!(s2.contains("distinct 8 / 8"));
+    }
+
+    #[test]
+    fn empty_traffic_renders() {
+        let spec = DeviceSpec::c1060();
+        let t = PartitionTraffic::new(&spec);
+        let s = render_partition_histogram(&t, 10);
+        assert!(s.contains("max queue 0"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Host ↔ device transfer model.
+//!
+//! §XI observes that "for smaller size graphs, due to overhead in
+//! transferring data from the host … to the device …, the timings are
+//! almost similar" between CPU and GPU — the crossover at the left edge of
+//! Fig. 10. The model is the usual affine one: a fixed latency (PCIe +
+//! driver) plus bytes over sustained bandwidth.
+
+use crate::device::DeviceSpec;
+
+/// Affine transfer-cost model derived from a device spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferModel {
+    /// Fixed per-transfer cost in seconds.
+    pub latency_s: f64,
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: u64,
+}
+
+impl TransferModel {
+    /// Extracts the transfer model from a device spec.
+    #[must_use]
+    pub fn from_spec(spec: &DeviceSpec) -> Self {
+        Self { latency_s: spec.pcie_latency_s, bandwidth: spec.pcie_bandwidth }
+    }
+
+    /// Seconds to move `bytes` in one transfer.
+    #[must_use]
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth as f64
+    }
+
+    /// Seconds for `n` separate transfers of `bytes` each (each pays the
+    /// fixed latency — why Algorithm 1's splitting batches its chunk
+    /// uploads).
+    #[must_use]
+    pub fn batched_seconds(&self, n: u64, bytes: u64) -> f64 {
+        n as f64 * self.transfer_seconds(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn zero_bytes_costs_latency() {
+        let m = TransferModel::from_spec(&DeviceSpec::c1060());
+        assert!((m.transfer_seconds(0) - m.latency_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn affine_in_bytes() {
+        let m = TransferModel { latency_s: 1e-5, bandwidth: 1_000_000_000 };
+        let t1 = m.transfer_seconds(1_000_000);
+        let t2 = m.transfer_seconds(2_000_000);
+        assert!(((t2 - m.latency_s) - 2.0 * (t1 - m.latency_s)).abs() < 1e-12);
+        assert!((t1 - (1e-5 + 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_big_transfer_beats_many_small() {
+        let m = TransferModel::from_spec(&DeviceSpec::c1060());
+        let whole = m.transfer_seconds(1 << 20);
+        let split = m.batched_seconds(64, (1 << 20) / 64);
+        assert!(whole < split);
+        // The gap is exactly 63 extra latencies.
+        assert!(((split - whole) - 63.0 * m.latency_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fermi_is_slightly_faster() {
+        let a = TransferModel::from_spec(&DeviceSpec::c1060());
+        let b = TransferModel::from_spec(&DeviceSpec::c2050());
+        assert!(b.transfer_seconds(1 << 26) < a.transfer_seconds(1 << 26));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the GPU memory-model simulator.
+
+use proptest::prelude::*;
+use trigon_gpu_sim::{
+    bank_conflict_degree, camping_cycles, warp_transactions, ComputeCapability, DeviceSpec,
+    PartitionTraffic,
+};
+
+fn arb_addrs() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1_000_000, 1..=32).prop_map(|mut v| {
+        // Word-align to the 4-byte accesses the kernels issue.
+        for a in &mut v {
+            *a &= !3;
+        }
+        v
+    })
+}
+
+proptest! {
+    /// Transaction counts are bounded: between 1 and the lane count, and
+    /// newer capabilities never require more transactions.
+    #[test]
+    fn coalescing_bounds_and_monotonicity(addrs in arb_addrs()) {
+        let mut prev: Option<u32> = None;
+        for cc in ComputeCapability::all() {
+            let t = warp_transactions(cc, &addrs, 4).transactions;
+            prop_assert!(t >= 1);
+            prop_assert!(t as usize <= addrs.len().max(2), "cc {cc}: {t} for {} lanes", addrs.len());
+            if let Some(p) = prev {
+                prop_assert!(t <= p, "cc {cc} regressed: {t} > {p}");
+            }
+            prev = Some(t);
+        }
+    }
+
+    /// Segment addresses returned by coalescing cover every lane address.
+    #[test]
+    fn segments_cover_addresses(addrs in arb_addrs()) {
+        for cc in [ComputeCapability::Cc13, ComputeCapability::Cc20] {
+            let s = warp_transactions(cc, &addrs, 4);
+            for &a in &addrs {
+                prop_assert!(
+                    s.segment_addrs.iter().any(|&seg| seg <= a && a < seg + 128),
+                    "address {a} uncovered under {cc}"
+                );
+            }
+        }
+    }
+
+    /// Bank conflict degree is within [1, lanes] and never exceeds the
+    /// distinct-word count.
+    #[test]
+    fn bank_conflicts_bounded(addrs in arb_addrs(), banks in prop_oneof![Just(16u32), Just(32u32)]) {
+        let d = bank_conflict_degree(&addrs, banks);
+        prop_assert!(d >= 1);
+        let distinct_words: std::collections::BTreeSet<u64> =
+            addrs.iter().map(|a| a / 4).collect();
+        prop_assert!(d as usize <= distinct_words.len());
+    }
+
+    /// Partition accounting: camping cycles shrink or stay equal when the
+    /// same transactions are spread round-robin instead of concentrated.
+    #[test]
+    fn spreading_never_hurts(count in 1u64..200) {
+        let spec = DeviceSpec::c1060();
+        let mut camped = PartitionTraffic::new(&spec);
+        for _ in 0..count {
+            camped.record(0);
+        }
+        let mut spread = PartitionTraffic::new(&spec);
+        for i in 0..count {
+            spread.record((i % u64::from(spec.partitions)) * spec.partition_width);
+        }
+        prop_assert!(camping_cycles(&spread, &spec) <= camping_cycles(&camped, &spec));
+        prop_assert!(spread.camping_factor() <= camped.camping_factor() + 1e-12);
+        prop_assert_eq!(spread.total(), camped.total());
+    }
+
+    /// Camping factor is always within [1, partitions].
+    #[test]
+    fn camping_factor_bounds(addrs in proptest::collection::vec(0u64..100_000, 1..100)) {
+        let spec = DeviceSpec::c1060();
+        let mut t = PartitionTraffic::new(&spec);
+        for a in addrs {
+            t.record(a);
+        }
+        let f = t.camping_factor();
+        prop_assert!(f >= 1.0 - 1e-12);
+        prop_assert!(f <= f64::from(spec.partitions) + 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! DOULION — approximate triangle counting "with a coin".
+//!
+//! The paper cites Tsourakakis et al. (KDD '09, its reference \[16\]) as
+//! the representative approximate counter for massive graphs: keep every
+//! edge independently with probability `p`, count triangles `T'` in the
+//! sparsified graph exactly, and report `T' / p³`. The estimator is
+//! unbiased, and its variance vanishes as the triangle count grows. It
+//! serves here as the *approximate* baseline the exact GPU pipeline is
+//! contrasted against in the `approx_counting` example.
+
+use crate::graph::Graph;
+use crate::rng::Xoshiro256pp;
+use crate::triangles;
+
+/// Result of one DOULION estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoulionEstimate {
+    /// Estimated triangle count `T' / p³`.
+    pub estimate: f64,
+    /// Triangles actually counted in the sparsified graph.
+    pub sparsified_triangles: u64,
+    /// Edges kept by the coin.
+    pub kept_edges: usize,
+    /// The sampling probability used.
+    pub p: f64,
+}
+
+/// Runs DOULION once: sparsify `g` keeping each edge with probability
+/// `p` (seeded coin), count exactly, rescale by `1/p³`.
+///
+/// # Panics
+///
+/// Panics unless `0 < p ≤ 1`.
+#[must_use]
+pub fn doulion(g: &Graph, p: f64, seed: u64) -> DoulionEstimate {
+    assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0, 1]");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xD0_01_10_11);
+    let kept: Vec<(u32, u32)> = g.edges().filter(|_| rng.next_bool(p)).collect();
+    let sparse = Graph::from_edges(g.n(), &kept).expect("sampled edges are valid");
+    let t = triangles::count_edge_iterator(&sparse);
+    DoulionEstimate {
+        estimate: t as f64 / (p * p * p),
+        sparsified_triangles: t,
+        kept_edges: kept.len(),
+        p,
+    }
+}
+
+/// Averages `runs` independent DOULION estimates (different coin seeds)
+/// — the practical way the KDD '09 paper tightens the estimator.
+#[must_use]
+pub fn doulion_mean(g: &Graph, p: f64, seed: u64, runs: u32) -> f64 {
+    assert!(runs > 0, "need at least one run");
+    let sum: f64 = (0..runs)
+        .map(|r| doulion(g, p, seed.wrapping_add(u64::from(r) * 0x9E37_79B9)).estimate)
+        .sum();
+    sum / f64::from(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn p_one_is_exact() {
+        let g = gen::gnp(120, 0.1, 3);
+        let exact = triangles::count_edge_iterator(&g);
+        let est = doulion(&g, 1.0, 7);
+        assert_eq!(est.sparsified_triangles, exact);
+        assert_eq!(est.kept_edges, g.m());
+        assert!((est.estimate - exact as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen::gnp(100, 0.1, 1);
+        assert_eq!(doulion(&g, 0.5, 42), doulion(&g, 0.5, 42));
+        // Different seeds flip different coins (overwhelmingly likely).
+        assert_ne!(
+            doulion(&g, 0.5, 42).kept_edges,
+            doulion(&g, 0.5, 43).kept_edges
+        );
+    }
+
+    #[test]
+    fn estimate_lands_near_truth_on_triangle_rich_graph() {
+        // WS lattice: many triangles, so the relative error concentrates.
+        let g = gen::watts_strogatz(3000, 10, 0.05, 2);
+        let exact = triangles::count_edge_iterator(&g) as f64;
+        let est = doulion_mean(&g, 0.5, 11, 5);
+        let rel = (est - exact).abs() / exact;
+        assert!(rel < 0.10, "relative error {rel:.3} (est {est}, exact {exact})");
+    }
+
+    #[test]
+    fn sparsification_keeps_roughly_pm_edges() {
+        let g = gen::gnp(300, 0.1, 9);
+        let est = doulion(&g, 0.3, 5);
+        let expect = 0.3 * g.m() as f64;
+        let sigma = (g.m() as f64 * 0.3 * 0.7).sqrt();
+        assert!(
+            (est.kept_edges as f64 - expect).abs() < 5.0 * sigma,
+            "kept {} vs expected {expect}",
+            est.kept_edges
+        );
+    }
+
+    #[test]
+    fn triangle_free_graph_estimates_zero() {
+        let g = gen::complete_bipartite(30, 30);
+        assert_eq!(doulion(&g, 0.7, 1).estimate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_zero_p() {
+        let g = gen::path(4);
+        let _ = doulion(&g, 0.0, 1);
+    }
+}

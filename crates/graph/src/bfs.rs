@@ -1,0 +1,216 @@
+//! Breadth-first search trees and level sets.
+//!
+//! Both of the paper's algorithms are driven by BFS structure: Algorithm 1
+//! splits a component "into sets of consecutive level nodes using
+//! Breadth-first search property", and Algorithm 2 counts triangles per
+//! adjacent level set. The property that makes this *correct* is the
+//! classic BFS invariant, exposed here as
+//! [`BfsTree::check_level_adjacency`]: **every edge of the graph connects
+//! vertices in the same or adjacent BFS levels**, hence any triangle lies
+//! within at most two consecutive levels.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// A BFS tree of one connected component, rooted at `root`.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    root: u32,
+    /// `parent[v]` for every visited v except the root.
+    parent: Vec<Option<u32>>,
+    /// `level[v]`, or `u32::MAX` for vertices outside the component.
+    level: Vec<u32>,
+    /// Vertices grouped by level, each level sorted ascending.
+    levels: Vec<Vec<u32>>,
+}
+
+impl BfsTree {
+    /// Runs BFS on `g` from `root`, visiting exactly the connected
+    /// component of `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root ≥ g.n()`.
+    #[must_use]
+    pub fn new(g: &Graph, root: u32) -> Self {
+        assert!(root < g.n(), "root {root} out of range");
+        let n = g.n() as usize;
+        let mut parent = vec![None; n];
+        let mut level = vec![u32::MAX; n];
+        let mut levels: Vec<Vec<u32>> = Vec::new();
+        let mut q = VecDeque::new();
+        level[root as usize] = 0;
+        q.push_back(root);
+        levels.push(vec![root]);
+        while let Some(u) = q.pop_front() {
+            let lu = level[u as usize];
+            for &v in g.neighbors(u) {
+                if level[v as usize] == u32::MAX {
+                    level[v as usize] = lu + 1;
+                    parent[v as usize] = Some(u);
+                    if levels.len() as u32 <= lu + 1 {
+                        levels.push(Vec::new());
+                    }
+                    levels[(lu + 1) as usize].push(v);
+                    q.push_back(v);
+                }
+            }
+        }
+        // Neighbor lists are sorted, but discovery interleaves parents;
+        // sort each level for deterministic downstream layouts.
+        for l in &mut levels {
+            l.sort_unstable();
+        }
+        Self { root, parent, level, levels }
+    }
+
+    /// The BFS root.
+    #[must_use]
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Depth of the tree = number of levels.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Vertices at `level` (sorted), or an empty slice past the depth.
+    #[must_use]
+    pub fn level_set(&self, level: usize) -> &[u32] {
+        self.levels.get(level).map_or(&[], Vec::as_slice)
+    }
+
+    /// All level sets.
+    #[must_use]
+    pub fn levels(&self) -> &[Vec<u32>] {
+        &self.levels
+    }
+
+    /// Level of `v`, or `None` if `v` is outside the root's component.
+    #[must_use]
+    pub fn level_of(&self, v: u32) -> Option<u32> {
+        let l = self.level[v as usize];
+        (l != u32::MAX).then_some(l)
+    }
+
+    /// BFS parent of `v` (`None` for the root and unreached vertices).
+    #[must_use]
+    pub fn parent_of(&self, v: u32) -> Option<u32> {
+        self.parent[v as usize]
+    }
+
+    /// Number of vertices reached (component size).
+    #[must_use]
+    pub fn component_size(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Verifies the BFS level-adjacency invariant on `g`: every edge with
+    /// both endpoints in this component joins levels differing by at most
+    /// one. Returns the violating edge if any (always `None` for a correct
+    /// BFS — exercised heavily in tests because Algorithm 2's completeness
+    /// depends on it).
+    #[must_use]
+    pub fn check_level_adjacency(&self, g: &Graph) -> Option<(u32, u32)> {
+        for (u, v) in g.edges() {
+            if let (Some(lu), Some(lv)) = (self.level_of(u), self.level_of(v)) {
+                if lu.abs_diff(lv) > 1 {
+                    return Some((u, v));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn path_graph_levels() {
+        let g = gen::path(5);
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(t.depth(), 5);
+        for v in 0..5 {
+            assert_eq!(t.level_of(v), Some(v));
+        }
+        assert_eq!(t.parent_of(0), None);
+        assert_eq!(t.parent_of(3), Some(2));
+    }
+
+    #[test]
+    fn star_graph_two_levels() {
+        let g = gen::star(6); // center 0 + 5 leaves
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.level_set(0), &[0]);
+        assert_eq!(t.level_set(1), &[1, 2, 3, 4, 5]);
+        // Rooted at a leaf: three levels (leaf, center, other leaves).
+        let t2 = BfsTree::new(&g, 3);
+        assert_eq!(t2.depth(), 3);
+        assert_eq!(t2.level_set(1), &[0]);
+        assert_eq!(t2.level_set(2), &[1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn component_restriction() {
+        // Two disjoint triangles.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+            .unwrap();
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(t.component_size(), 3);
+        assert_eq!(t.level_of(4), None);
+        assert_eq!(t.parent_of(4), None);
+    }
+
+    #[test]
+    fn level_adjacency_invariant_holds() {
+        for seed in 0..5u64 {
+            let g = gen::gnp(80, 0.08, seed);
+            for root in [0u32, 17, 79] {
+                let t = BfsTree::new(&g, root);
+                assert_eq!(t.check_level_adjacency(&g), None, "seed {seed} root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn level_sets_partition_component() {
+        let g = gen::gnp(60, 0.1, 3);
+        let t = BfsTree::new(&g, 0);
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, lvl) in t.levels().iter().enumerate() {
+            assert!(!lvl.is_empty(), "level {i} empty");
+            assert!(lvl.windows(2).all(|w| w[0] < w[1]), "level sorted");
+            for &v in lvl {
+                assert!(seen.insert(v), "vertex {v} in two levels");
+                assert_eq!(t.level_of(v), Some(i as u32));
+            }
+        }
+        assert_eq!(seen.len(), t.component_size());
+    }
+
+    #[test]
+    fn parent_is_one_level_up() {
+        let g = gen::gnp(70, 0.07, 9);
+        let t = BfsTree::new(&g, 5);
+        for v in 0..70u32 {
+            if let Some(p) = t.parent_of(v) {
+                assert_eq!(t.level_of(p).unwrap() + 1, t.level_of(v).unwrap());
+                assert!(g.has_edge(p, v), "tree edge must be a graph edge");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = Graph::from_edges(1, &[]).unwrap();
+        let t = BfsTree::new(&g, 0);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.component_size(), 1);
+    }
+}

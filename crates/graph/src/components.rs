@@ -1,0 +1,113 @@
+//! Connected components — the first step of the paper's Algorithm 1
+//! (`{CCi} ← findConnectedComponents{G}`), which then splits each
+//! component independently.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Returns the connected components of `g`, each as a sorted vertex list.
+/// Components are ordered by their smallest vertex, so the output is
+/// deterministic. Isolated vertices form singleton components.
+///
+/// ```
+/// use trigon_graph::{connected_components, Graph};
+/// let g = Graph::from_edges(5, &[(0, 1), (3, 4)]).unwrap();
+/// assert_eq!(connected_components(&g), vec![vec![0, 1], vec![2], vec![3, 4]]);
+/// ```
+#[must_use]
+pub fn connected_components(g: &Graph) -> Vec<Vec<u32>> {
+    let n = g.n() as usize;
+    let mut comp = vec![usize::MAX; n];
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    let mut q = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let id = out.len();
+        let mut members = vec![s as u32];
+        comp[s] = id;
+        q.push_back(s as u32);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = id;
+                    members.push(v);
+                    q.push_back(v);
+                }
+            }
+        }
+        members.sort_unstable();
+        out.push(members);
+    }
+    out
+}
+
+/// Whether `g` is connected (vacuously true for `n ≤ 1`).
+#[must_use]
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).len() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn empty_graph_all_singletons() {
+        let g = Graph::from_edges(4, &[]).unwrap();
+        assert_eq!(
+            connected_components(&g),
+            vec![vec![0], vec![1], vec![2], vec![3]]
+        );
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn zero_vertices_connected() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert!(connected_components(&g).is_empty());
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn complete_graph_single_component() {
+        let g = gen::complete(10);
+        let cc = connected_components(&g);
+        assert_eq!(cc.len(), 1);
+        assert_eq!(cc[0], (0..10).collect::<Vec<_>>());
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn components_partition_vertices() {
+        let g = gen::gnp(100, 0.01, 42); // sparse: likely several components
+        let cc = connected_components(&g);
+        let mut all: Vec<u32> = cc.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        // No edge crosses components.
+        let comp_of = {
+            let mut c = vec![0usize; 100];
+            for (i, members) in cc.iter().enumerate() {
+                for &v in members {
+                    c[v as usize] = i;
+                }
+            }
+            c
+        };
+        for (u, v) in g.edges() {
+            assert_eq!(comp_of[u as usize], comp_of[v as usize]);
+        }
+    }
+
+    #[test]
+    fn components_are_internally_connected() {
+        let g = gen::gnp(60, 0.03, 7);
+        for members in connected_components(&g) {
+            let (sub, _) = g.induced_subgraph(&members);
+            assert!(is_connected(&sub));
+        }
+    }
+}

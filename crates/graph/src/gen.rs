@@ -1,0 +1,552 @@
+//! Seeded graph generators.
+//!
+//! The paper evaluates on (a) random graphs of 200–1200 nodes (Fig. 10,
+//! Fig. 12) and (b) "data available on the Stanford Network Analysis
+//! Project" at 5 000–100 000 nodes (Fig. 11). The SNAP files themselves
+//! are not redistributable here, so per DESIGN.md we substitute seeded
+//! synthetic models with the structural properties that matter for
+//! triangle workloads: heavy-tailed degrees (Barabási–Albert) and high
+//! clustering (Watts–Strogatz). Deterministic structured families
+//! (paths, stars, cliques, bipartite, grids) provide closed-form triangle
+//! counts for testing.
+
+use crate::graph::Graph;
+use crate::rng::Xoshiro256pp;
+
+/// Path `0 – 1 – … – (n-1)`. Zero triangles.
+#[must_use]
+pub fn path(n: u32) -> Graph {
+    let edges: Vec<_> = (1..n).map(|v| (v - 1, v)).collect();
+    Graph::from_edges(n, &edges).expect("path edges are valid")
+}
+
+/// Cycle on `n ≥ 3` vertices; `n < 3` degenerates to a path. One triangle
+/// iff `n == 3`.
+#[must_use]
+pub fn cycle(n: u32) -> Graph {
+    if n < 3 {
+        return path(n);
+    }
+    let mut edges: Vec<_> = (1..n).map(|v| (v - 1, v)).collect();
+    edges.push((n - 1, 0));
+    Graph::from_edges(n, &edges).expect("cycle edges are valid")
+}
+
+/// Star: vertex 0 joined to `1 … n-1`. Zero triangles; the worst case for
+/// BFS-level balance (level 1 holds everything).
+#[must_use]
+pub fn star(n: u32) -> Graph {
+    let edges: Vec<_> = (1..n).map(|v| (0, v)).collect();
+    Graph::from_edges(n, &edges).expect("star edges are valid")
+}
+
+/// Complete graph `K_n` — `C(n, 3)` triangles, the paper's §VII identity
+/// `ϑ(n-clique) = nC3`.
+#[must_use]
+pub fn complete(n: u32) -> Graph {
+    let mut edges = Vec::with_capacity((n as usize * (n as usize - 1)) / 2);
+    for u in 0..n {
+        for v in u + 1..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("complete edges are valid")
+}
+
+/// Complete bipartite `K_{a,b}` — triangle-free (girth 4), exercising the
+/// §VII triangle-free test.
+#[must_use]
+pub fn complete_bipartite(a: u32, b: u32) -> Graph {
+    let mut edges = Vec::with_capacity(a as usize * b as usize);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u, a + v));
+        }
+    }
+    Graph::from_edges(a + b, &edges).expect("bipartite edges are valid")
+}
+
+/// `rows × cols` grid — triangle-free, deep BFS trees with small levels
+/// (the friendly case for shared-memory chunking).
+#[must_use]
+pub fn grid2d(rows: u32, cols: u32) -> Graph {
+    let id = |r: u32, c: u32| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).expect("grid edges are valid")
+}
+
+/// `k` disjoint cliques of `size` vertices each — multi-component input
+/// for Algorithm 1, with exactly `k · C(size, 3)` triangles.
+#[must_use]
+pub fn disjoint_cliques(k: u32, size: u32) -> Graph {
+    let mut edges = Vec::new();
+    for c in 0..k {
+        let base = c * size;
+        for u in 0..size {
+            for v in u + 1..size {
+                edges.push((base + u, base + v));
+            }
+        }
+    }
+    Graph::from_edges(k * size, &edges).expect("clique edges are valid")
+}
+
+/// Erdős–Rényi `G(n, p)`: every unordered pair independently an edge.
+/// Seeded and deterministic. Used for the paper's 200–1200-node suites.
+#[must_use]
+pub fn gnp(n: u32, p: f64, seed: u64) -> Graph {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x6E70_6E70);
+    let mut edges = Vec::new();
+    if p >= 1.0 {
+        return complete(n);
+    }
+    if p > 0.0 {
+        // Geometric skipping: O(m) instead of O(n²) draws.
+        let ln_q = (1.0 - p).ln();
+        let total_pairs = u64::from(n) * u64::from(n.saturating_sub(1)) / 2;
+        let mut idx: u64 = 0;
+        loop {
+            let r = rng.next_f64().max(f64::MIN_POSITIVE);
+            let skip = (r.ln() / ln_q).floor() as u64;
+            idx = match idx.checked_add(skip) {
+                Some(i) if i < total_pairs => i,
+                _ => break,
+            };
+            // Decode pair index → (u, v) with u < v (row-major over S-UTM).
+            let (u, v) = pair_from_index(n, idx);
+            edges.push((u, v));
+            idx += 1;
+            if idx >= total_pairs {
+                break;
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("gnp edges are valid")
+}
+
+/// Decodes a strictly-upper-triangular linear index into `(u, v)`, the
+/// inverse of the S-UTM offset map.
+fn pair_from_index(n: u32, idx: u64) -> (u32, u32) {
+    let n64 = u64::from(n);
+    // Find row u: largest u with start(u) ≤ idx, start(u) = u·(n-1) − u(u−1)/2.
+    let mut lo = 0u64;
+    let mut hi = n64 - 1;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        let start = mid * (n64 - 1) - mid * (mid - 1) / 2;
+        if start <= idx {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let start = u * (n64 - 1) - u * u.saturating_sub(1) / 2;
+    let v = u + 1 + (idx - start);
+    (u as u32, v as u32)
+}
+
+/// Barabási–Albert preferential attachment: starts from an `m`-clique and
+/// attaches each new vertex to `m` distinct existing vertices chosen
+/// proportionally to degree. Heavy-tailed degrees approximate the SNAP
+/// social graphs of Fig. 11.
+///
+/// # Panics
+///
+/// Panics if `n < m + 1` or `m == 0`.
+#[must_use]
+pub fn barabasi_albert(n: u32, m: u32, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment count must be ≥ 1");
+    assert!(n > m, "need n > m");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xBA00_00BA);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n as usize * m as usize);
+    // Repeated-endpoints urn: picking a uniform element is degree-
+    // proportional sampling.
+    let mut urn: Vec<u32> = Vec::with_capacity(2 * n as usize * m as usize);
+    // Seed clique on m+1 vertices.
+    for u in 0..=m {
+        for v in u + 1..=m {
+            edges.push((u, v));
+            urn.push(u);
+            urn.push(v);
+        }
+    }
+    let mut picked = Vec::with_capacity(m as usize);
+    for v in m + 1..n {
+        picked.clear();
+        while picked.len() < m as usize {
+            let t = urn[rng.next_below(urn.len() as u64) as usize];
+            if !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            edges.push((t, v));
+            urn.push(t);
+            urn.push(v);
+        }
+    }
+    Graph::from_edges(n, &edges).expect("BA edges are valid")
+}
+
+/// Watts–Strogatz small world: ring lattice where each vertex joins its
+/// `k/2` clockwise neighbors, then each lattice edge is rewired with
+/// probability `beta`. High clustering ⇒ triangle-rich, like the SNAP
+/// community graphs.
+///
+/// # Panics
+///
+/// Panics unless `k` is even, `k ≥ 2`, and `n > k`.
+#[must_use]
+pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> Graph {
+    assert!(k.is_multiple_of(2) && k >= 2, "k must be even and ≥ 2");
+    assert!(n > k, "need n > k");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5733_0000);
+    // Track adjacency in a set alongside the edge list to keep the graph
+    // simple under rewiring.
+    let mut present = std::collections::BTreeSet::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let norm = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+    for u in 0..n {
+        for j in 1..=k / 2 {
+            let v = (u + j) % n;
+            let e = norm(u, v);
+            if present.insert(e) {
+                edges.push(e);
+            }
+        }
+    }
+    // Rewire pass.
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+    for &(u, v) in &edges {
+        if rng.next_bool(beta) {
+            // Try a handful of times to find a fresh endpoint.
+            let mut rewired = None;
+            for _ in 0..16 {
+                let w = rng.next_below(u64::from(n)) as u32;
+                if w != u && w != v {
+                    let e = norm(u, w);
+                    if !present.contains(&e) {
+                        rewired = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = rewired {
+                present.remove(&norm(u, v));
+                present.insert(e);
+                out.push(e);
+                continue;
+            }
+        }
+        out.push((u, v));
+    }
+    Graph::from_edges(n, &out).expect("WS edges are valid")
+}
+
+/// Random bipartite graph on parts of size `a` and `b` with edge
+/// probability `p` — triangle-free by construction, arbitrary density.
+#[must_use]
+pub fn random_bipartite(a: u32, b: u32, p: f64, seed: u64) -> Graph {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xB1B1_0000);
+    let mut edges = Vec::new();
+    for u in 0..a {
+        for v in 0..b {
+            if rng.next_bool(p) {
+                edges.push((u, a + v));
+            }
+        }
+    }
+    Graph::from_edges(a + b, &edges).expect("bipartite edges are valid")
+}
+
+/// The "SNAP-like" preset used by the Fig. 11 reproduction: BA skeleton
+/// with `m = 8` — heavy-tailed, small diameter, triangle-rich.
+#[must_use]
+pub fn snap_like(n: u32, seed: u64) -> Graph {
+    barabasi_albert(n, 8, seed)
+}
+
+/// R-MAT (recursive matrix) generator — the model behind SNAP's
+/// synthetic social/web graphs. Each of the `m` edges picks its cell by
+/// recursively descending the adjacency matrix's quadrants with
+/// probabilities `(a, b, c, d)`; the classic "social" parameterization
+/// is `(0.57, 0.19, 0.19, 0.05)`. Self-loops are re-rolled, duplicate
+/// edges merged (so the final edge count can fall slightly below `m`).
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two and the probabilities sum to ≈ 1.
+#[must_use]
+pub fn rmat(n: u32, m: usize, probs: (f64, f64, f64, f64), seed: u64) -> Graph {
+    assert!(n.is_power_of_two() && n >= 2, "R-MAT needs a power-of-two n ≥ 2");
+    let (a, b, c, d) = probs;
+    assert!(
+        ((a + b + c + d) - 1.0).abs() < 1e-9 && a > 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
+        "quadrant probabilities must sum to 1"
+    );
+    let levels = n.trailing_zeros();
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x52_4D_41_54);
+    let mut edges = Vec::with_capacity(m);
+    let mut attempts = 0usize;
+    while edges.len() < m && attempts < 20 * m {
+        attempts += 1;
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..levels {
+            let r = rng.next_f64();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("R-MAT edges are valid")
+}
+
+/// The classic "social" R-MAT parameterization.
+#[must_use]
+pub fn rmat_social(n: u32, m: usize, seed: u64) -> Graph {
+    rmat(n, m, (0.57, 0.19, 0.19, 0.05), seed)
+}
+
+/// Ring of dense communities: `⌈n / comm_size⌉` communities of
+/// `comm_size` vertices, each an internal `G(s, p_in)`, with `bridges`
+/// random links between each pair of adjacent communities (ring-closed).
+///
+/// This is the *bounded-level-width* SNAP stand-in: BFS levels stay
+/// around one community in size, so the graph is deep — exactly the
+/// regime the paper's shared-memory level splitting (§V) and ALS counting
+/// target, and the structure of SNAP's road/community networks. Contrast
+/// with [`barabasi_albert`], whose explosive levels model the social
+/// graphs.
+#[must_use]
+pub fn community_ring(n: u32, comm_size: u32, p_in: f64, bridges: u32, seed: u64) -> Graph {
+    assert!(comm_size >= 2, "communities need at least 2 vertices");
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xC0_33_00_17);
+    let communities = n.div_ceil(comm_size);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let size_of = |c: u32| -> u32 {
+        if c + 1 < communities || n.is_multiple_of(comm_size) {
+            comm_size
+        } else {
+            n % comm_size
+        }
+    };
+    for c in 0..communities {
+        let base = c * comm_size;
+        let s = size_of(c);
+        // Internal G(s, p_in) plus a Hamiltonian path to keep the
+        // community (and thus the whole ring) connected.
+        for u in 0..s {
+            if u + 1 < s {
+                edges.push((base + u, base + u + 1));
+            }
+            for v in u + 1..s {
+                if rng.next_bool(p_in) {
+                    edges.push((base + u, base + v));
+                }
+            }
+        }
+        // Bridges to the next community around the ring.
+        if communities > 1 {
+            let nc = (c + 1) % communities;
+            let nbase = nc * comm_size;
+            let ns = size_of(nc);
+            for _ in 0..bridges.max(1) {
+                let u = base + rng.next_below(u64::from(s)) as u32;
+                let v = nbase + rng.next_below(u64::from(ns)) as u32;
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("community ring edges are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structured_families_shapes() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(cycle(2).m(), 1); // degenerates to path
+        assert_eq!(star(6).m(), 5);
+        assert_eq!(complete(6).m(), 15);
+        assert_eq!(complete_bipartite(3, 4).m(), 12);
+        assert_eq!(grid2d(3, 4).m(), 17); // 3·3 + 2·4
+        assert_eq!(disjoint_cliques(3, 4).m(), 18);
+    }
+
+    #[test]
+    fn gnp_deterministic_per_seed() {
+        let a = gnp(100, 0.05, 7);
+        let b = gnp(100, 0.05, 7);
+        assert_eq!(a, b);
+        let c = gnp(100, 0.05, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let n = 300u32;
+        let p = 0.1;
+        let g = gnp(n, p, 1);
+        let expect = p * f64::from(n) * f64::from(n - 1) / 2.0;
+        let got = g.m() as f64;
+        // 5 sigma band: sigma = sqrt(N p (1-p)), N = C(n,2).
+        let sigma = (f64::from(n) * f64::from(n - 1) / 2.0 * p * (1.0 - p)).sqrt();
+        assert!((got - expect).abs() < 5.0 * sigma, "m = {got}, expect {expect}");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(20, 0.0, 3).m(), 0);
+        assert_eq!(gnp(20, 1.0, 3).m(), 190);
+    }
+
+    #[test]
+    fn pair_index_roundtrip() {
+        let n = 37u32;
+        let mut idx = 0u64;
+        for u in 0..n {
+            for v in u + 1..n {
+                assert_eq!(pair_from_index(n, idx), (u, v));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn ba_degree_and_determinism() {
+        let g = barabasi_albert(500, 3, 9);
+        assert_eq!(g, barabasi_albert(500, 3, 9));
+        // Every non-seed vertex has degree ≥ m.
+        for v in 4..500u32 {
+            assert!(g.degree(v) >= 3, "vertex {v} degree {}", g.degree(v));
+        }
+        // Edge count: C(m+1, 2) + (n - m - 1)·m.
+        assert_eq!(g.m(), 6 + (500 - 4) * 3);
+        // Heavy tail: hub degree far above m.
+        assert!(g.max_degree() > 20, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn ws_is_simple_and_connected_enough() {
+        let g = watts_strogatz(200, 6, 0.1, 4);
+        assert_eq!(g, watts_strogatz(200, 6, 0.1, 4));
+        // Rewiring preserves edge count (every edge kept or moved).
+        assert_eq!(g.m(), 200 * 3);
+        // beta = 0 keeps the pure lattice.
+        let lattice = watts_strogatz(50, 4, 0.0, 1);
+        for u in 0..50u32 {
+            assert_eq!(lattice.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn bipartite_has_no_odd_cycles() {
+        let g = random_bipartite(20, 30, 0.3, 5);
+        // Two-coloring check: parts 0..20 and 20..50.
+        for (u, v) in g.edges() {
+            assert!((u < 20) != (v < 20), "edge inside one part: ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn snap_like_is_dense_enough() {
+        let g = snap_like(2000, 11);
+        assert!(g.m() > 15_000);
+        assert!(g.max_degree() > 50);
+    }
+
+    #[test]
+    fn rmat_skew_and_determinism() {
+        let g = rmat_social(1024, 8000, 3);
+        assert_eq!(g, rmat_social(1024, 8000, 3));
+        assert_eq!(g.n(), 1024);
+        // Duplicates merge: the skewed corner re-draws the same cells, so
+        // the final count sits noticeably below the request.
+        assert!(g.m() <= 8000 && g.m() > 4500, "m = {}", g.m());
+        // The 0.57 corner concentrates degree: heavy-tailed.
+        let max_d = g.max_degree();
+        let mean_d = 2.0 * g.m() as f64 / 1024.0;
+        assert!(
+            max_d as f64 > 4.0 * mean_d,
+            "max degree {max_d} vs mean {mean_d:.1} — not skewed"
+        );
+    }
+
+    #[test]
+    fn rmat_uniform_quadrants_are_not_skewed() {
+        // (0.25, 0.25, 0.25, 0.25) degenerates to uniform pairs.
+        let g = rmat(512, 4000, (0.25, 0.25, 0.25, 0.25), 1);
+        let max_d = g.max_degree();
+        let mean_d = 2.0 * g.m() as f64 / 512.0;
+        assert!((max_d as f64) < 4.0 * mean_d, "unexpected skew: {max_d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rmat_rejects_non_power_of_two() {
+        let _ = rmat_social(1000, 100, 0);
+    }
+
+    #[test]
+    fn community_ring_structure() {
+        let g = community_ring(1000, 100, 0.2, 3, 5);
+        assert_eq!(g, community_ring(1000, 100, 0.2, 3, 5));
+        assert_eq!(g.n(), 1000);
+        // Connected: Hamiltonian paths + ring bridges.
+        assert!(crate::components::is_connected(&g));
+        // Deep BFS: level width bounded near the community size.
+        let t = crate::bfs::BfsTree::new(&g, 0);
+        assert!(t.depth() >= 4, "depth {}", t.depth());
+        let widest = t.levels().iter().map(Vec::len).max().unwrap();
+        assert!(widest <= 2 * 100, "level width {widest} exceeds 2 communities");
+        // Triangle-rich inside communities.
+        assert!(crate::triangles::count_edge_iterator(&g) > 1000);
+    }
+
+    #[test]
+    fn community_ring_uneven_tail() {
+        // n not a multiple of comm_size: the last community is smaller.
+        let g = community_ring(250, 100, 0.3, 2, 1);
+        assert_eq!(g.n(), 250);
+        assert!(crate::components::is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m")]
+    fn ba_rejects_tiny_n() {
+        let _ = barabasi_albert(3, 3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn ws_rejects_odd_k() {
+        let _ = watts_strogatz(10, 3, 0.1, 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! The canonical undirected simple graph type.
+
+use crate::storage::{BitMatrix, Csr, SUtm, Utm};
+use std::fmt;
+
+/// Errors raised while constructing a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge `(u, u)` was supplied; the paper's graphs are simple.
+    SelfLoop(u32),
+    /// An endpoint was `≥ n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The declared vertex count.
+        n: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(u) => write!(f, "self-loop at vertex {u}"),
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for n = {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected simple graph `G = (V, E)` with `V = {0, …, n-1}`.
+///
+/// Construction deduplicates parallel edges and rejects self-loops.
+/// Internally a CSR with sorted neighbor lists; conversions to the §IV
+/// bit-packed storage models are provided for the GPU-side layouts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    csr: Csr,
+    m: usize,
+}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from an edge list.
+    ///
+    /// Duplicate edges (in either orientation) are merged. Self-loops and
+    /// out-of-range endpoints are errors.
+    ///
+    /// ```
+    /// use trigon_graph::Graph;
+    /// let g = Graph::from_edges(4, &[(0, 1), (1, 0), (1, 2)]).unwrap();
+    /// assert_eq!(g.m(), 2);
+    /// assert!(g.has_edge(0, 1));
+    /// assert!(!g.has_edge(0, 2));
+    /// ```
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+            for w in [u, v] {
+                if w >= n {
+                    return Err(GraphError::VertexOutOfRange { vertex: w, n });
+                }
+            }
+        }
+        let csr = Csr::from_edges(n, edges);
+        let m = csr.arc_count() / 2;
+        Ok(Self { csr, m })
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        use crate::storage::AdjacencyStorage;
+        self.csr.n()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Sorted neighbor list of `u`.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        self.csr.neighbors(u)
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, u: u32) -> usize {
+        self.csr.degree(u)
+    }
+
+    /// Largest degree in the graph (0 for the empty graph).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (binary search).
+    #[inline]
+    #[must_use]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        use crate::storage::AdjacencyStorage;
+        self.csr.has_edge(u, v)
+    }
+
+    /// Iterates each undirected edge once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Borrow of the underlying CSR.
+    #[must_use]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Materializes the full bit adjacency matrix (Eq. 1 layout).
+    #[must_use]
+    pub fn to_bitmatrix(&self) -> BitMatrix {
+        let mut m = BitMatrix::new(self.n());
+        for (u, v) in self.edges() {
+            m.set_edge(u, v);
+        }
+        m
+    }
+
+    /// Materializes the UTM packing (Eq. 2 layout).
+    #[must_use]
+    pub fn to_utm(&self) -> Utm {
+        let mut m = Utm::new(self.n());
+        for (u, v) in self.edges() {
+            m.set_edge(u, v);
+        }
+        m
+    }
+
+    /// Materializes the S-UTM packing (the paper's densest model).
+    #[must_use]
+    pub fn to_sutm(&self) -> SUtm {
+        let mut m = SUtm::new(self.n());
+        for (u, v) in self.edges() {
+            m.set_edge(u, v);
+        }
+        m
+    }
+
+    /// Extracts the induced subgraph on `verts` (which need not be
+    /// sorted), relabelling vertices to `0 … verts.len()-1` in the given
+    /// order. Returns the subgraph and the old-id mapping `new → old`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `verts` contains duplicates or out-of-range ids.
+    #[must_use]
+    pub fn induced_subgraph(&self, verts: &[u32]) -> (Graph, Vec<u32>) {
+        let mut new_id = vec![u32::MAX; self.n() as usize];
+        for (i, &v) in verts.iter().enumerate() {
+            assert!(v < self.n(), "vertex {v} out of range");
+            assert!(new_id[v as usize] == u32::MAX, "duplicate vertex {v}");
+            new_id[v as usize] = i as u32;
+        }
+        let mut edges = Vec::new();
+        for &v in verts {
+            for &w in self.neighbors(v) {
+                if v < w && new_id[w as usize] != u32::MAX {
+                    edges.push((new_id[v as usize], new_id[w as usize]));
+                }
+            }
+        }
+        let g = Graph::from_edges(verts.len() as u32, &edges)
+            .expect("induced subgraph edges are valid by construction");
+        (g, verts.to_vec())
+    }
+
+    /// Density `2m / (n(n-1))`, 0.0 for `n < 2`.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let n = f64::from(self.n());
+        if n < 2.0 {
+            return 0.0;
+        }
+        2.0 * self.m as f64 / (n * (n - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_queries() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 5);
+        assert!(g.has_edge(4, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(
+            Graph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop(1))
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert_eq!(
+            Graph::from_edges(3, &[(0, 5)]),
+            Err(GraphError::VertexOutOfRange { vertex: 5, n: 3 })
+        );
+    }
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 1), (2, 3)]).unwrap();
+        let es: Vec<_> = g.edges().collect();
+        assert_eq!(es, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn conversions_agree() {
+        use crate::storage::AdjacencyStorage;
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4)]).unwrap();
+        let bm = g.to_bitmatrix();
+        let utm = g.to_utm();
+        let sutm = g.to_sutm();
+        for u in 0..6 {
+            for v in 0..6 {
+                assert_eq!(bm.has_edge(u, v), g.has_edge(u, v));
+                assert_eq!(utm.has_edge(u, v), g.has_edge(u, v));
+                assert_eq!(sutm.has_edge(u, v), g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (4, 5)]).unwrap();
+        let (sub, map) = g.induced_subgraph(&[2, 0, 1]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 3); // the triangle survives relabelling
+        assert_eq!(map, vec![2, 0, 1]);
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2) && sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn density_bounds() {
+        let empty = Graph::from_edges(4, &[]).unwrap();
+        assert_eq!(empty.density(), 0.0);
+        let full = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
+        assert!((full.density() - 1.0).abs() < 1e-12);
+        let single = Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(single.density(), 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(GraphError::SelfLoop(3).to_string(), "self-loop at vertex 3");
+        assert_eq!(
+            GraphError::VertexOutOfRange { vertex: 9, n: 4 }.to_string(),
+            "vertex 9 out of range for n = 4"
+        );
+    }
+}

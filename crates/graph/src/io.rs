@@ -1,0 +1,165 @@
+//! Edge-list I/O in the whitespace format SNAP distributes its datasets
+//! in: one `u v` pair per line, `#`-prefixed comment lines ignored.
+//! Vertices are remapped densely so sparse external ids load correctly.
+
+use crate::graph::{Graph, GraphError};
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+/// Errors from parsing an edge list.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying reader/writer failure.
+    Io(io::Error),
+    /// A data line that is not two integers.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The edges violated simple-graph constraints.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "line {line}: expected `u v`, got {content:?}")
+            }
+            IoError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads a SNAP-style edge list. External ids are remapped to
+/// `0 … n-1` in first-appearance order; the mapping `new → external` is
+/// returned alongside the graph. Self-loops in the input are *skipped*
+/// (SNAP files contain them; the paper's graphs are simple), duplicates
+/// merged.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), IoError> {
+    let mut ids: HashMap<u64, u32> = HashMap::new();
+    let mut back: Vec<u64> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let intern = |x: u64, ids: &mut HashMap<u64, u32>, back: &mut Vec<u64>| -> u32 {
+        *ids.entry(x).or_insert_with(|| {
+            back.push(x);
+            (back.len() - 1) as u32
+        })
+    };
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Option<u64> { s.and_then(|x| x.parse().ok()) };
+        match (parse(it.next()), parse(it.next()), it.next()) {
+            (Some(u), Some(v), None) => {
+                if u == v {
+                    continue; // drop self-loops as SNAP loaders conventionally do
+                }
+                let ui = intern(u, &mut ids, &mut back);
+                let vi = intern(v, &mut ids, &mut back);
+                edges.push((ui, vi));
+            }
+            _ => {
+                return Err(IoError::Parse { line: lineno + 1, content: t.to_string() });
+            }
+        }
+    }
+    let g = Graph::from_edges(back.len() as u32, &edges).map_err(IoError::Graph)?;
+    Ok((g, back))
+}
+
+/// Writes `g` as an edge list with a `#` header, one `u v` per line.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
+    writeln!(w, "# trigon edge list: n = {}, m = {}", g.n(), g.m())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip() {
+        let g = gen::gnp(50, 0.1, 1);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let (g2, back) = read_edge_list(buf.as_slice()).unwrap();
+        // First-appearance order of our own writer preserves vertex ids for
+        // graphs without isolated vertices; compare structurally instead.
+        assert_eq!(g2.m(), g.m());
+        assert_eq!(back.len() as u32, g2.n());
+        let remap: std::collections::BTreeSet<(u64, u64)> = g2
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (back[u as usize], back[v as usize]);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        let orig: std::collections::BTreeSet<(u64, u64)> = g
+            .edges()
+            .map(|(u, v)| (u64::from(u), u64::from(v)))
+            .collect();
+        assert_eq!(remap, orig);
+    }
+
+    #[test]
+    fn skips_comments_blanks_and_self_loops() {
+        let text = "# header\n\n1 2\n2 2\n2 3\n# trailing\n";
+        let (g, back) = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn remaps_sparse_ids() {
+        let text = "1000000 5\n5 999\n";
+        let (g, back) = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(back, vec![1_000_000, 5, 999]);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && !g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn merges_duplicate_edges() {
+        let (g, _) = read_edge_list("1 2\n2 1\n1 2\n".as_bytes()).unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = read_edge_list("1 2\nfoo bar\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("wrong error: {other}"),
+        }
+        let err = read_edge_list("1 2 3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let (g, back) = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(g.n(), 0);
+        assert!(back.is_empty());
+    }
+}

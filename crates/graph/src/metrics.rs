@@ -1,0 +1,196 @@
+//! Structural graph metrics used to characterize workloads.
+//!
+//! The paper's motivation is structural ("properties of the graphs that
+//! define the underlying structure point towards large connected
+//! components"); these metrics quantify what each generator produces and
+//! feed the workload analyzer in the CLI (`trigon analyze`).
+
+use crate::bfs::BfsTree;
+use crate::graph::Graph;
+
+/// Degree-distribution summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree `2m/n`.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+    pub histogram: Vec<usize>,
+}
+
+/// Computes the degree distribution (empty graph → zeroed stats).
+#[must_use]
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.n();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0, histogram: Vec::new() };
+    }
+    let mut degs: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    degs.sort_unstable();
+    let max = *degs.last().unwrap();
+    let mut histogram = vec![0usize; max + 1];
+    for &d in &degs {
+        histogram[d] += 1;
+    }
+    DegreeStats {
+        min: degs[0],
+        max,
+        mean: 2.0 * g.m() as f64 / f64::from(n),
+        median: degs[degs.len() / 2],
+        histogram,
+    }
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges). Positive for social networks, negative for hub-and-spoke
+/// topologies; `None` when undefined (no edges or zero variance).
+#[must_use]
+pub fn degree_assortativity(g: &Graph) -> Option<f64> {
+    if g.m() == 0 {
+        return None;
+    }
+    // Over directed arcs (each edge twice, symmetric).
+    let mut sx = 0.0f64;
+    let mut sxx = 0.0f64;
+    let mut sxy = 0.0f64;
+    let mut cnt = 0.0f64;
+    for (u, v) in g.edges() {
+        let (du, dv) = (g.degree(u) as f64, g.degree(v) as f64);
+        for (a, b) in [(du, dv), (dv, du)] {
+            sx += a;
+            sxx += a * a;
+            sxy += a * b;
+            cnt += 1.0;
+        }
+    }
+    let mean = sx / cnt;
+    let var = sxx / cnt - mean * mean;
+    if var <= f64::EPSILON {
+        return None;
+    }
+    Some((sxy / cnt - mean * mean) / var)
+}
+
+/// Double-sweep lower bound on the diameter of the component containing
+/// `start`: BFS to the farthest vertex, then BFS again from it. Exact on
+/// trees; a strong lower bound in general.
+#[must_use]
+pub fn double_sweep_diameter(g: &Graph, start: u32) -> u32 {
+    let t1 = BfsTree::new(g, start);
+    let far = deepest_vertex(&t1);
+    let t2 = BfsTree::new(g, far);
+    t2.depth() as u32 - 1
+}
+
+fn deepest_vertex(t: &BfsTree) -> u32 {
+    let last = t.levels().last().expect("BFS tree has at least one level");
+    last[0]
+}
+
+/// Exact eccentricity of every vertex via all-pairs BFS — `O(n·m)`, for
+/// small graphs and tests. `ecc[v] = u32::MAX` for a disconnected graph's
+/// unreachable pairs is avoided by computing per component.
+#[must_use]
+pub fn eccentricities(g: &Graph) -> Vec<u32> {
+    (0..g.n())
+        .map(|v| {
+            let t = BfsTree::new(g, v);
+            t.depth() as u32 - 1
+        })
+        .collect()
+}
+
+/// Exact diameter of a connected graph (`None` if disconnected or empty).
+#[must_use]
+pub fn exact_diameter(g: &Graph) -> Option<u32> {
+    if g.n() == 0 || !crate::components::is_connected(g) {
+        return None;
+    }
+    eccentricities(g).into_iter().max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn degree_stats_on_known_graphs() {
+        let s = degree_stats(&gen::star(6));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.median, 1);
+        assert!((s.mean - 10.0 / 6.0).abs() < 1e-12);
+        assert_eq!(s.histogram[1], 5);
+        assert_eq!(s.histogram[5], 1);
+
+        let c = degree_stats(&gen::cycle(10));
+        assert_eq!((c.min, c.max, c.median), (2, 2, 2));
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = gen::gnp(200, 0.05, 1);
+        let s = degree_stats(&g);
+        assert_eq!(s.histogram.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn assortativity_signs() {
+        // Star: maximally disassortative.
+        let a = degree_assortativity(&gen::star(20)).unwrap();
+        assert!(a < -0.9, "star assortativity {a}");
+        // Regular graph: undefined (zero variance).
+        assert_eq!(degree_assortativity(&gen::cycle(10)), None);
+        assert_eq!(degree_assortativity(&gen::complete(6)), None);
+        // No edges: undefined.
+        assert_eq!(degree_assortativity(&Graph::from_edges(4, &[]).unwrap()), None);
+        // BA graphs trend disassortative-to-neutral; just bound it.
+        let ba = degree_assortativity(&gen::barabasi_albert(400, 3, 1)).unwrap();
+        assert!((-1.0..=1.0).contains(&ba));
+    }
+
+    #[test]
+    fn diameter_known_values() {
+        assert_eq!(exact_diameter(&gen::path(10)), Some(9));
+        assert_eq!(exact_diameter(&gen::cycle(10)), Some(5));
+        assert_eq!(exact_diameter(&gen::complete(7)), Some(1));
+        assert_eq!(exact_diameter(&gen::star(9)), Some(2));
+        assert_eq!(exact_diameter(&gen::grid2d(3, 4)), Some(5)); // (3-1)+(4-1)
+        assert_eq!(exact_diameter(&gen::disjoint_cliques(2, 3)), None);
+        assert_eq!(exact_diameter(&Graph::from_edges(0, &[]).unwrap()), None);
+    }
+
+    #[test]
+    fn double_sweep_is_a_lower_bound_and_tight_on_trees() {
+        // Exact on paths (trees).
+        assert_eq!(double_sweep_diameter(&gen::path(30), 15), 29);
+        // Lower bound in general.
+        for seed in 0..4u64 {
+            let g = gen::gnp(60, 0.08, seed);
+            if let Some(d) = exact_diameter(&g) {
+                let ds = double_sweep_diameter(&g, 0);
+                assert!(ds <= d, "seed {seed}: sweep {ds} > diameter {d}");
+                // Double sweep is usually tight on these graphs.
+                assert!(ds + 1 >= d, "seed {seed}: sweep {ds} far below {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn eccentricity_extremes_bound_diameter() {
+        let g = gen::watts_strogatz(80, 4, 0.1, 2);
+        if let Some(d) = exact_diameter(&g) {
+            let ecc = eccentricities(&g);
+            assert_eq!(*ecc.iter().max().unwrap(), d);
+            // Radius ≥ diameter / 2.
+            let r = *ecc.iter().min().unwrap();
+            assert!(2 * r >= d);
+        }
+    }
+}

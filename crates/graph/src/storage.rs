@@ -1,0 +1,526 @@
+//! Adjacency storage models (§IV, "Storing Graphs on GPUs").
+//!
+//! The paper stores one edge per *bit* and compares three packings:
+//!
+//! * full adjacency matrix — `n²` bits (Eq. 1);
+//! * upper triangular matrix (UTM) — `n(n+1)/2` bits (Eq. 2), valid for
+//!   undirected graphs where `(i,j) = (j,i)`;
+//! * strictly upper triangular (S-UTM) — `n(n-1)/2` bits, dropping the
+//!   always-zero diagonal, which "increases the size of the largest graph
+//!   by 1".
+//!
+//! All three implement [`AdjacencyStorage`] and report their exact
+//! footprint via [`AdjacencyStorage::size_bits`], which Table II is
+//! computed from. [`Csr`] is the compacted adjacency list used by the CPU
+//! reference algorithms (and by Harish & Narayanan's GPU work the paper
+//! cites).
+
+/// Common query interface over the §IV storage models.
+pub trait AdjacencyStorage {
+    /// Number of vertices.
+    fn n(&self) -> u32;
+    /// Whether the undirected edge `{u, v}` is present. Symmetric;
+    /// `has_edge(u, u)` is `false` for simple graphs.
+    fn has_edge(&self, u: u32, v: u32) -> bool;
+    /// Exact storage footprint in bits under this model's packing — the
+    /// quantity the paper's capacity equations constrain.
+    fn size_bits(&self) -> u128;
+}
+
+/// Bit-packed `n × n` adjacency matrix, row-major in 64-bit words.
+///
+/// Rows are padded to whole words so each row is independently word
+/// addressable — the layout the simulated GPU kernels read rows from. The
+/// *model* footprint reported by [`AdjacencyStorage::size_bits`] is the
+/// paper's `n²` (Eq. 1), not the padded in-RAM size (see
+/// [`BitMatrix::padded_bits`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: u32,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an empty (edgeless) matrix on `n` vertices.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        let words_per_row = (n as usize).div_ceil(64);
+        Self { n, words_per_row, words: vec![0; words_per_row * n as usize] }
+    }
+
+    /// Inserts the undirected edge `{u, v}` (sets both orientations).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range vertices.
+    pub fn set_edge(&mut self, u: u32, v: u32) {
+        assert!(u != v, "self-loop {u}");
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        self.set_bit(u, v);
+        self.set_bit(v, u);
+    }
+
+    #[inline]
+    fn set_bit(&mut self, r: u32, c: u32) {
+        let idx = r as usize * self.words_per_row + (c as usize >> 6);
+        self.words[idx] |= 1u64 << (c & 63);
+    }
+
+    #[inline]
+    fn get_bit(&self, r: u32, c: u32) -> bool {
+        let idx = r as usize * self.words_per_row + (c as usize >> 6);
+        (self.words[idx] >> (c & 63)) & 1 == 1
+    }
+
+    /// Word-slice view of row `r` — the unit of coalesced access in the
+    /// simulated kernels and of the AND/popcount triangle counter.
+    #[inline]
+    #[must_use]
+    pub fn row(&self, r: u32) -> &[u64] {
+        let s = r as usize * self.words_per_row;
+        &self.words[s..s + self.words_per_row]
+    }
+
+    /// Number of 64-bit words per row (row pitch).
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// In-RAM padded footprint in bits (`n · ⌈n/64⌉ · 64`).
+    #[must_use]
+    pub fn padded_bits(&self) -> u128 {
+        self.words.len() as u128 * 64
+    }
+
+    /// Number of common neighbors of `u` and `v` with index strictly
+    /// greater than `hi` — the inner step of the matrix triangle counter.
+    #[must_use]
+    pub fn common_neighbors_above(&self, u: u32, v: u32, hi: u32) -> u64 {
+        let ru = self.row(u);
+        let rv = self.row(v);
+        let start_word = (hi as usize + 1) >> 6;
+        let mut count = 0u64;
+        for w in start_word..self.words_per_row {
+            let mut x = ru[w] & rv[w];
+            if w == start_word {
+                let lo_bit = (hi as usize + 1) & 63;
+                x &= !0u64 << lo_bit;
+            }
+            count += u64::from(x.count_ones());
+        }
+        count
+    }
+
+    /// Degree of `u` (popcount of its row).
+    #[must_use]
+    pub fn degree(&self, u: u32) -> u32 {
+        self.row(u).iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+impl AdjacencyStorage for BitMatrix {
+    fn n(&self) -> u32 {
+        self.n
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        u != v && self.get_bit(u, v)
+    }
+
+    fn size_bits(&self) -> u128 {
+        // Eq. (1): n² bits, one bit per ordered pair.
+        u128::from(self.n) * u128::from(self.n)
+    }
+}
+
+/// Upper triangular matrix *including* the diagonal: `n(n+1)/2` bits.
+///
+/// Linear index of `(i, j)` with `i ≤ j`:
+/// `i·n − i(i−1)/2 + (j − i)` — row `i` contributes `n − i` cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Utm {
+    n: u32,
+    bits: Vec<u64>,
+}
+
+impl Utm {
+    /// Creates an empty UTM on `n` vertices.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        let cells = u64::from(n) * (u64::from(n) + 1) / 2;
+        Self { n, bits: vec![0; (cells as usize).div_ceil(64)] }
+    }
+
+    /// Linear bit offset of the unordered pair, after sorting `u ≤ v`.
+    #[inline]
+    #[must_use]
+    pub fn offset(&self, u: u32, v: u32) -> u64 {
+        let (i, j) = if u <= v { (u, v) } else { (v, u) };
+        let i = u64::from(i);
+        let n = u64::from(self.n);
+        // Rows 0..i hold n, n-1, …, n-i+1 cells: start = i·n − i(i−1)/2.
+        i * n - i * i.saturating_sub(1) / 2 + (u64::from(j) - i)
+    }
+
+    /// Inserts the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range vertices.
+    pub fn set_edge(&mut self, u: u32, v: u32) {
+        assert!(u != v, "self-loop {u}");
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        let off = self.offset(u, v);
+        self.bits[(off >> 6) as usize] |= 1u64 << (off & 63);
+    }
+}
+
+impl AdjacencyStorage for Utm {
+    fn n(&self) -> u32 {
+        self.n
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u == v || u >= self.n || v >= self.n {
+            return false;
+        }
+        let off = self.offset(u, v);
+        (self.bits[(off >> 6) as usize] >> (off & 63)) & 1 == 1
+    }
+
+    fn size_bits(&self) -> u128 {
+        // Eq. (2): n(n+1)/2 bits.
+        u128::from(self.n) * (u128::from(self.n) + 1) / 2
+    }
+}
+
+/// Strictly upper triangular matrix (no diagonal): `n(n−1)/2` bits — the
+/// paper's S-UTM, its densest exact representation.
+///
+/// Linear index of `(i, j)` with `i < j`:
+/// `i·(n−1) − i(i−1)/2 + (j − i − 1)` — row `i` contributes `n − 1 − i`
+/// cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SUtm {
+    n: u32,
+    bits: Vec<u64>,
+}
+
+impl SUtm {
+    /// Creates an empty S-UTM on `n` vertices.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        let cells = u64::from(n) * u64::from(n.saturating_sub(1)) / 2;
+        Self { n, bits: vec![0; (cells as usize).div_ceil(64)] }
+    }
+
+    /// Linear bit offset of the unordered pair, after sorting to `i < j`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `u != v`.
+    #[inline]
+    #[must_use]
+    pub fn offset(&self, u: u32, v: u32) -> u64 {
+        debug_assert!(u != v);
+        let (i, j) = if u < v { (u, v) } else { (v, u) };
+        let i = u64::from(i);
+        let n = u64::from(self.n);
+        i * (n - 1) - i * i.saturating_sub(1) / 2 + (u64::from(j) - i - 1)
+    }
+
+    /// Inserts the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range vertices.
+    pub fn set_edge(&mut self, u: u32, v: u32) {
+        assert!(u != v, "self-loop {u}");
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        let off = self.offset(u, v);
+        self.bits[(off >> 6) as usize] |= 1u64 << (off & 63);
+    }
+}
+
+impl AdjacencyStorage for SUtm {
+    fn n(&self) -> u32 {
+        self.n
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        if u == v || u >= self.n || v >= self.n {
+            return false;
+        }
+        let off = self.offset(u, v);
+        (self.bits[(off >> 6) as usize] >> (off & 63)) & 1 == 1
+    }
+
+    fn size_bits(&self) -> u128 {
+        u128::from(self.n) * u128::from(self.n.saturating_sub(1)) / 2
+    }
+}
+
+/// Compressed sparse row adjacency: `offsets[u] .. offsets[u+1]` indexes
+/// the sorted neighbor list of `u` in `targets`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds from undirected edges; each `{u, v}` appears in both rows.
+    /// Neighbor lists come out sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range vertices.
+    #[must_use]
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Self {
+        let mut deg = vec![0usize; n as usize];
+        for &(u, v) in edges {
+            assert!(u != v, "self-loop {u}");
+            assert!(u < n && v < n, "vertex out of range: ({u},{v}) with n={n}");
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        offsets.push(0);
+        for d in &deg {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut targets = vec![0u32; offsets[n as usize]];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort + dedup each row in place.
+        let mut dedup_targets = Vec::with_capacity(targets.len());
+        let mut new_offsets = Vec::with_capacity(n as usize + 1);
+        new_offsets.push(0);
+        for u in 0..n as usize {
+            let row = &mut targets[offsets[u]..offsets[u + 1]];
+            row.sort_unstable();
+            let before = dedup_targets.len();
+            let mut last: Option<u32> = None;
+            for &t in row.iter() {
+                if last != Some(t) {
+                    dedup_targets.push(t);
+                    last = Some(t);
+                }
+            }
+            new_offsets.push(before + (dedup_targets.len() - before));
+        }
+        Self { offsets: new_offsets, targets: dedup_targets }
+    }
+
+    /// Sorted neighbors of `u`.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.targets[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, u: u32) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Total directed arc count (`2m` for a simple undirected graph).
+    #[must_use]
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+impl AdjacencyStorage for Csr {
+    fn n(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    fn has_edge(&self, u: u32, v: u32) -> bool {
+        u != v && u < self.n() && v < self.n() && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    fn size_bits(&self) -> u128 {
+        // Offsets as usize words + targets as u32s; reported for the
+        // "compacted adjacency list" comparison of §II.
+        (self.offsets.len() as u128) * 64 + (self.targets.len() as u128) * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_edges() -> Vec<(u32, u32)> {
+        vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+    }
+
+    fn check_storage<S: AdjacencyStorage>(s: &S, n: u32, edges: &[(u32, u32)]) {
+        assert_eq!(s.n(), n);
+        for u in 0..n {
+            assert!(!s.has_edge(u, u), "diagonal must read false");
+            for v in 0..n {
+                let expect = edges.iter().any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u));
+                assert_eq!(s.has_edge(u, v), expect, "edge ({u},{v})");
+                assert_eq!(s.has_edge(u, v), s.has_edge(v, u), "symmetry ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn bitmatrix_roundtrip() {
+        let mut m = BitMatrix::new(5);
+        for &(u, v) in &sample_edges() {
+            m.set_edge(u, v);
+        }
+        check_storage(&m, 5, &sample_edges());
+        assert_eq!(m.size_bits(), 25);
+        assert_eq!(m.degree(0), 3);
+        assert_eq!(m.degree(4), 0);
+    }
+
+    #[test]
+    fn utm_roundtrip() {
+        let mut m = Utm::new(5);
+        for &(u, v) in &sample_edges() {
+            m.set_edge(u, v);
+        }
+        check_storage(&m, 5, &sample_edges());
+        assert_eq!(m.size_bits(), 15); // 5·6/2
+    }
+
+    #[test]
+    fn sutm_roundtrip() {
+        let mut m = SUtm::new(5);
+        for &(u, v) in &sample_edges() {
+            m.set_edge(u, v);
+        }
+        check_storage(&m, 5, &sample_edges());
+        assert_eq!(m.size_bits(), 10); // 5·4/2
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let c = Csr::from_edges(5, &sample_edges());
+        check_storage(&c, 5, &sample_edges());
+        assert_eq!(c.neighbors(0), &[1, 2, 3]);
+        assert_eq!(c.neighbors(4), &[] as &[u32]);
+        assert_eq!(c.arc_count(), 10);
+    }
+
+    #[test]
+    fn csr_dedups_duplicate_edges() {
+        let c = Csr::from_edges(3, &[(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(c.neighbors(0), &[1]);
+        assert_eq!(c.neighbors(1), &[0]);
+        assert_eq!(c.arc_count(), 2);
+    }
+
+    #[test]
+    fn sutm_offsets_are_a_bijection() {
+        // Every unordered pair maps to a distinct offset in [0, n(n-1)/2).
+        let n = 17u32;
+        let m = SUtm::new(n);
+        let cells = u64::from(n) * u64::from(n - 1) / 2;
+        let mut seen = vec![false; cells as usize];
+        for i in 0..n {
+            for j in i + 1..n {
+                let off = m.offset(i, j) as usize;
+                assert!(off < cells as usize, "offset {off} out of range");
+                assert!(!seen[off], "collision at ({i},{j})");
+                seen[off] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn utm_offsets_are_a_bijection() {
+        let n = 13u32;
+        let m = Utm::new(n);
+        let cells = u64::from(n) * u64::from(n + 1) / 2;
+        let mut seen = vec![false; cells as usize];
+        for i in 0..n {
+            for j in i..n {
+                let off = m.offset(i, j) as usize;
+                assert!(off < cells as usize);
+                assert!(!seen[off], "collision at ({i},{j})");
+                seen[off] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn storage_sizes_ordered_as_paper() {
+        // n² > n(n+1)/2 > n(n-1)/2 for n ≥ 2 — the §IV motivation.
+        for n in 2..50u32 {
+            let full = BitMatrix::new(n).size_bits();
+            let utm = Utm::new(n).size_bits();
+            let sutm = SUtm::new(n).size_bits();
+            assert!(full > utm && utm > sutm, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn common_neighbors_above_counts() {
+        // Triangle 0-1-2 plus pendant 3 connected to 0 and 1.
+        let mut m = BitMatrix::new(4);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (0, 3), (1, 3)] {
+            m.set_edge(u, v);
+        }
+        // Common neighbors of 0 and 1 are {2, 3}.
+        assert_eq!(m.common_neighbors_above(0, 1, 1), 2);
+        assert_eq!(m.common_neighbors_above(0, 1, 2), 1);
+        assert_eq!(m.common_neighbors_above(0, 1, 3), 0);
+    }
+
+    #[test]
+    fn common_neighbors_across_word_boundary() {
+        // Vertices beyond index 63 exercise the multi-word path.
+        let n = 130u32;
+        let mut m = BitMatrix::new(n);
+        // u = 0, v = 1 share neighbors 64, 100, 129.
+        for &w in &[64u32, 100, 129] {
+            m.set_edge(0, w);
+            m.set_edge(1, w);
+        }
+        m.set_edge(0, 1);
+        assert_eq!(m.common_neighbors_above(0, 1, 1), 3);
+        assert_eq!(m.common_neighbors_above(0, 1, 64), 2);
+        assert_eq!(m.common_neighbors_above(0, 1, 128), 1);
+        assert_eq!(m.common_neighbors_above(0, 1, 129), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn bitmatrix_rejects_self_loop() {
+        BitMatrix::new(3).set_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn csr_rejects_out_of_range() {
+        let _ = Csr::from_edges(3, &[(0, 3)]);
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        let m = SUtm::new(0);
+        assert_eq!(m.size_bits(), 0);
+        let m1 = SUtm::new(1);
+        assert_eq!(m1.size_bits(), 0);
+        assert!(!m1.has_edge(0, 0));
+        let c = Csr::from_edges(1, &[]);
+        assert_eq!(c.degree(0), 0);
+    }
+}

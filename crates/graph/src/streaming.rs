@@ -1,0 +1,170 @@
+//! Semi-streaming local triangle estimation — Becchetti, Boldi, Castillo
+//! & Gionis (KDD '08), the paper's reference \[1\] and its §VII "spam
+//! detection" citation.
+//!
+//! The scheme approximates, for every vertex `u`, the number of triangles
+//! through `u`, using `O(n·h)` memory and a constant number of passes
+//! over the edge stream: each vertex keeps `h` *min-wise hashes* of its
+//! neighborhood; for an edge `{u, v}` the fraction of agreeing hashes
+//! estimates the Jaccard coefficient `J = |N(u) ∩ N(v)| / |N(u) ∪ N(v)|`,
+//! from which the intersection follows, and
+//! `T(u) = ½ Σ_{v ∈ N(u)} |N(u) ∩ N(v)|`.
+//!
+//! Pass structure (faithful to the semi-streaming model):
+//! 1. one pass per hash function to fold every edge into both endpoints'
+//!    running minima (done as `h` logical passes over one scan here);
+//! 2. one pass over edges to combine signatures into estimates.
+
+use crate::graph::Graph;
+use crate::rng::splitmix64;
+
+/// Per-vertex estimates from one run.
+#[derive(Debug, Clone)]
+pub struct LocalTriangleEstimate {
+    /// Estimated triangles through each vertex.
+    pub local: Vec<f64>,
+    /// Estimated total `ϑ(G) ≈ Σ local / 3`.
+    pub total: f64,
+    /// Hash functions used.
+    pub hashes: u32,
+}
+
+/// Runs the min-wise estimator with `h` hash functions.
+///
+/// # Panics
+///
+/// Panics if `h == 0`.
+#[must_use]
+pub fn local_triangles_minwise(g: &Graph, h: u32, seed: u64) -> LocalTriangleEstimate {
+    assert!(h > 0, "need at least one hash function");
+    let n = g.n() as usize;
+    // Signature matrix: sig[v][i] = min over w in N(v) of hash_i(w).
+    let mut sig = vec![u64::MAX; n * h as usize];
+    // Pass 1 (h logical passes): fold edges into min-hashes.
+    let hash = |i: u32, x: u32| -> u64 {
+        let mut s = seed ^ (u64::from(i) << 32) ^ u64::from(x).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        splitmix64(&mut s)
+    };
+    for (u, v) in g.edges() {
+        for i in 0..h {
+            let hv = hash(i, v);
+            let hu = hash(i, u);
+            let su = &mut sig[u as usize * h as usize + i as usize];
+            *su = (*su).min(hv);
+            let sv = &mut sig[v as usize * h as usize + i as usize];
+            *sv = (*sv).min(hu);
+        }
+    }
+    // Pass 2: per edge, estimate the neighborhood intersection.
+    let mut local = vec![0.0f64; n];
+    for (u, v) in g.edges() {
+        let (du, dv) = (g.degree(u) as f64, g.degree(v) as f64);
+        let agree = (0..h)
+            .filter(|&i| {
+                sig[u as usize * h as usize + i as usize]
+                    == sig[v as usize * h as usize + i as usize]
+            })
+            .count() as f64;
+        let j = agree / f64::from(h);
+        // |A ∩ B| = J/(1+J) · (|A| + |B|); guard the J = 1 pole.
+        let inter = if j >= 1.0 { du.min(dv) } else { j / (1.0 + j) * (du + dv) };
+        // The edge {u, v} itself is in neither neighborhood's
+        // intersection contribution to triangles through u via v; but u ∈
+        // N(v) and v ∈ N(u) never collide in the intersection (no
+        // self-loops), so `inter` directly estimates common neighbors.
+        local[u as usize] += inter / 2.0;
+        local[v as usize] += inter / 2.0;
+    }
+    let total = local.iter().sum::<f64>() / 3.0;
+    LocalTriangleEstimate { local, total, hashes: h }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::triangles;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen::watts_strogatz(200, 6, 0.1, 1);
+        let a = local_triangles_minwise(&g, 16, 7);
+        let b = local_triangles_minwise(&g, 16, 7);
+        assert_eq!(a.local, b.local);
+    }
+
+    #[test]
+    fn triangle_free_estimates_near_zero() {
+        // Bipartite: all true intersections are empty; min-hash agreement
+        // is spurious only, so with enough hashes the estimate is small.
+        let g = gen::complete_bipartite(20, 20);
+        let e = local_triangles_minwise(&g, 128, 3);
+        let exact = triangles::count_edge_iterator(&g) as f64;
+        assert_eq!(exact, 0.0);
+        assert!(e.total < 0.15 * g.m() as f64, "total {}", e.total);
+    }
+
+    #[test]
+    fn clique_estimates_accurately() {
+        // K_n: every pair shares exactly n−2 neighbors, J = (n−2)/(n+... )
+        // — high-agreement regime where min-hash shines.
+        let g = gen::complete(20);
+        let e = local_triangles_minwise(&g, 256, 5);
+        let exact = triangles::count_edge_iterator(&g) as f64;
+        let rel = (e.total - exact).abs() / exact;
+        assert!(rel < 0.15, "rel err {rel:.3} (est {}, exact {exact})", e.total);
+    }
+
+    #[test]
+    fn triangle_rich_graph_within_tolerance() {
+        let g = gen::watts_strogatz(1000, 10, 0.05, 2);
+        let exact = triangles::count_edge_iterator(&g) as f64;
+        let e = local_triangles_minwise(&g, 192, 11);
+        let rel = (e.total - exact).abs() / exact;
+        assert!(rel < 0.25, "rel err {rel:.3} (est {}, exact {exact})", e.total);
+    }
+
+    #[test]
+    fn local_estimates_rank_spammers_like_exact_counts() {
+        // The §VII application: the estimator must reproduce the exact
+        // local counts' *ordering* well enough to separate a clustered
+        // vertex from a random-attachment vertex.
+        let g = gen::community_ring(600, 60, 0.3, 2, 9);
+        let exact = triangles::local_counts(&g);
+        let est = local_triangles_minwise(&g, 128, 13);
+        // Compare the top-decile sets by exact vs estimated local counts.
+        let top = |vals: Vec<(usize, f64)>| -> std::collections::BTreeSet<usize> {
+            let mut v = vals;
+            v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            v.into_iter().take(60).map(|(i, _)| i).collect()
+        };
+        let t_exact = top(exact.iter().enumerate().map(|(i, &x)| (i, x as f64)).collect());
+        let t_est = top(est.local.iter().enumerate().map(|(i, &x)| (i, x)).collect());
+        let overlap = t_exact.intersection(&t_est).count();
+        assert!(overlap >= 30, "top-decile overlap only {overlap}/60");
+    }
+
+    #[test]
+    fn more_hashes_reduce_error() {
+        let g = gen::watts_strogatz(400, 8, 0.1, 4);
+        let exact = triangles::count_edge_iterator(&g) as f64;
+        let err = |h: u32| {
+            // Average over 3 seeds to damp noise.
+            (0..3)
+                .map(|s| {
+                    (local_triangles_minwise(&g, h, s).total - exact).abs() / exact
+                })
+                .sum::<f64>()
+                / 3.0
+        };
+        let coarse = err(8);
+        let fine = err(256);
+        assert!(fine < coarse, "fine {fine:.3} !< coarse {coarse:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash")]
+    fn rejects_zero_hashes() {
+        let _ = local_triangles_minwise(&gen::path(3), 0, 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! CPU reference triangle counting (§VII) and its applications.
+//!
+//! Three independent counting algorithms are provided so that the
+//! BFS-level Algorithm 2 implementations in `trigon-core` can be validated
+//! against mutually-agreeing references:
+//!
+//! * [`count_matrix`] — node-iterator over the bit adjacency matrix:
+//!   for every edge `{u, v}` popcount `N(u) ∩ N(v)` above `v`;
+//! * [`count_edge_iterator`] — sorted-list intersection on the CSR;
+//! * [`count_forward`] — the *forward* algorithm on a degree ordering,
+//!   `O(m^{3/2})`, the strongest CPU baseline;
+//!
+//! plus the §VII applications: per-vertex local counts ("spam detection"
+//! à la Becchetti et al.), clustering coefficients, transitivity, and the
+//! triangle-free test (girth ≥ 4 ⟺ clique number ≤ 2).
+
+use crate::graph::Graph;
+use crate::storage::BitMatrix;
+
+/// Node-iterator count over a bit matrix: for each edge `{u, v}` with
+/// `u < v`, add `|N(u) ∩ N(v) ∩ {w : w > v}|`. Each triangle `u<v<w` is
+/// found exactly once via its smallest edge.
+#[must_use]
+pub fn count_matrix(m: &BitMatrix) -> u64 {
+    use crate::storage::AdjacencyStorage;
+    let n = m.n();
+    let mut total = 0u64;
+    for u in 0..n {
+        // Only scan v > u adjacent to u.
+        let row = m.row(u);
+        for (w_idx, &word) in row.iter().enumerate() {
+            let mut bits = word;
+            // Mask v ≤ u.
+            if (w_idx as u32) * 64 <= u {
+                let keep_from = u as usize + 1 - w_idx * 64;
+                if keep_from >= 64 {
+                    continue;
+                }
+                bits &= !0u64 << keep_from;
+            }
+            while bits != 0 {
+                let v = (w_idx as u32) * 64 + bits.trailing_zeros();
+                bits &= bits - 1;
+                total += m.common_neighbors_above(u, v, v);
+            }
+        }
+    }
+    total
+}
+
+/// Edge-iterator count on the CSR: for each edge `{u, v}`, intersect the
+/// sorted neighbor lists restricted to `w > v`.
+#[must_use]
+pub fn count_edge_iterator(g: &Graph) -> u64 {
+    let mut total = 0u64;
+    for (u, v) in g.edges() {
+        total += intersect_above(g.neighbors(u), g.neighbors(v), v);
+    }
+    total
+}
+
+fn intersect_above(a: &[u32], b: &[u32], above: u32) -> u64 {
+    let mut i = a.partition_point(|&x| x <= above);
+    let mut j = b.partition_point(|&x| x <= above);
+    let mut cnt = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                cnt += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    cnt
+}
+
+/// The *forward* algorithm: vertices are processed in decreasing-degree
+/// order; each vertex keeps a dynamic list `A(v)` of already-processed
+/// neighbors, and for each edge to an earlier vertex the two lists are
+/// intersected. `O(m^{3/2})` — the strongest single-thread CPU baseline
+/// and the timing reference for the paper's CPU curves.
+#[must_use]
+pub fn count_forward(g: &Graph) -> u64 {
+    let n = g.n() as usize;
+    // Order vertices by decreasing degree (ties by id) and rank them.
+    let mut order: Vec<u32> = (0..g.n()).collect();
+    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    let mut rank = vec![0u32; n];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v as usize] = r as u32;
+    }
+    // Earlier-neighbor ranks of each vertex, ascending. Visiting them in
+    // rank order is what makes each triangle counted exactly once, at its
+    // largest-rank vertex via its second-largest-rank edge.
+    let mut earlier: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for v in 0..g.n() {
+        for &u in g.neighbors(v) {
+            if rank[u as usize] < rank[v as usize] {
+                earlier[v as usize].push(rank[u as usize]);
+            }
+        }
+        earlier[v as usize].sort_unstable();
+    }
+    // a[v] = ranks of v's earlier neighbors seen so far, sorted ascending
+    // (pushes happen in ascending rank order, so no re-sort needed).
+    let mut a: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut total = 0u64;
+    for &v in &order {
+        let mut av: Vec<u32> = Vec::with_capacity(earlier[v as usize].len());
+        for &ru in &earlier[v as usize] {
+            let u = order[ru as usize];
+            total += sorted_intersection_count(&a[u as usize], &av);
+            av.push(ru);
+        }
+        a[v as usize] = av;
+    }
+    total
+}
+
+fn sorted_intersection_count(a: &[u32], b: &[u32]) -> u64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut cnt = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                cnt += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    cnt
+}
+
+/// Per-vertex triangle participation counts: `local[v]` = number of
+/// triangles containing `v`. `Σ local = 3·ϑ(G)`. The §VII "spam
+/// detection" application ranks vertices by local count vs degree.
+#[must_use]
+pub fn local_counts(g: &Graph) -> Vec<u64> {
+    let mut local = vec![0u64; g.n() as usize];
+    for (u, v) in g.edges() {
+        let nu = g.neighbors(u);
+        let nv = g.neighbors(v);
+        let mut i = nu.partition_point(|&x| x <= v);
+        let mut j = nv.partition_point(|&x| x <= v);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let w = nu[i];
+                    local[u as usize] += 1;
+                    local[v as usize] += 1;
+                    local[w as usize] += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    local
+}
+
+/// Lists every triangle once as `(u, v, w)` with `u < v < w` through the
+/// callback — the paper's "listing" operation mode (§VII).
+pub fn list_triangles(g: &Graph, mut f: impl FnMut(u32, u32, u32)) {
+    for (u, v) in g.edges() {
+        let nu = g.neighbors(u);
+        let nv = g.neighbors(v);
+        let mut i = nu.partition_point(|&x| x <= v);
+        let mut j = nv.partition_point(|&x| x <= v);
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    f(u, v, nu[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Whether `g` is triangle-free — "equivalent to graphs with clique
+/// number ≤ 2, or graphs with girth ≥ 4" (§VII). Short-circuits on the
+/// first triangle.
+#[must_use]
+pub fn is_triangle_free(g: &Graph) -> bool {
+    for (u, v) in g.edges() {
+        if intersect_above(g.neighbors(u), g.neighbors(v), v) > 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Local clustering coefficient of every vertex:
+/// `2·local[v] / (deg(v)·(deg(v)-1))`, 0 for degree < 2.
+#[must_use]
+pub fn clustering_coefficients(g: &Graph) -> Vec<f64> {
+    let local = local_counts(g);
+    (0..g.n() as usize)
+        .map(|v| {
+            let d = g.degree(v as u32) as f64;
+            if d < 2.0 {
+                0.0
+            } else {
+                2.0 * local[v] as f64 / (d * (d - 1.0))
+            }
+        })
+        .collect()
+}
+
+/// Transitivity ratio `3·ϑ(G) / #wedges` (0 when the graph has no wedge)
+/// — the global quantity the paper says triangle counts estimate.
+#[must_use]
+pub fn transitivity(g: &Graph) -> f64 {
+    let tri = count_edge_iterator(g);
+    let wedges: u64 = (0..g.n())
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * tri as f64 / wedges as f64
+    }
+}
+
+/// Brute-force `O(n³)` counter for testing the testers.
+#[must_use]
+pub fn count_brute_force(g: &Graph) -> u64 {
+    let n = g.n();
+    let mut total = 0u64;
+    for u in 0..n {
+        for v in u + 1..n {
+            if !g.has_edge(u, v) {
+                continue;
+            }
+            for w in v + 1..n {
+                if g.has_edge(u, w) && g.has_edge(v, w) {
+                    total += 1;
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use trigon_combin::binom;
+
+    fn all_counts(g: &Graph) -> [u64; 4] {
+        [
+            count_brute_force(g),
+            count_matrix(&g.to_bitmatrix()),
+            count_edge_iterator(g),
+            count_forward(g),
+        ]
+    }
+
+    fn assert_all_equal(g: &Graph, expect: u64, label: &str) {
+        for (i, c) in all_counts(g).into_iter().enumerate() {
+            assert_eq!(c, expect, "{label}: algorithm {i}");
+        }
+    }
+
+    #[test]
+    fn closed_forms() {
+        assert_all_equal(&gen::complete(8), binom(8, 3) as u64, "K8");
+        assert_all_equal(&gen::complete(3), 1, "K3");
+        assert_all_equal(&gen::path(10), 0, "P10");
+        assert_all_equal(&gen::cycle(3), 1, "C3");
+        assert_all_equal(&gen::cycle(10), 0, "C10");
+        assert_all_equal(&gen::star(10), 0, "star");
+        assert_all_equal(&gen::complete_bipartite(4, 5), 0, "K45");
+        assert_all_equal(&gen::grid2d(5, 5), 0, "grid");
+        assert_all_equal(&gen::disjoint_cliques(3, 5), 3 * binom(5, 3) as u64, "cliques");
+    }
+
+    #[test]
+    fn algorithms_agree_on_random_graphs() {
+        for seed in 0..6u64 {
+            let g = gen::gnp(120, 0.08, seed);
+            let c = all_counts(&g);
+            assert!(c.iter().all(|&x| x == c[0]), "seed {seed}: {c:?}");
+        }
+        for seed in 0..3u64 {
+            let g = gen::barabasi_albert(200, 4, seed);
+            let c = all_counts(&g);
+            assert!(c.iter().all(|&x| x == c[0]), "ba seed {seed}: {c:?}");
+        }
+        let g = gen::watts_strogatz(150, 6, 0.2, 1);
+        let c = all_counts(&g);
+        assert!(c.iter().all(|&x| x == c[0]), "ws: {c:?}");
+    }
+
+    #[test]
+    fn counts_span_word_boundaries() {
+        // > 64 and > 128 vertices stress the BitMatrix multi-word rows.
+        let g = gen::complete(130);
+        assert_eq!(count_matrix(&g.to_bitmatrix()), binom(130, 3) as u64);
+    }
+
+    #[test]
+    fn local_counts_sum_to_three_times_total() {
+        let g = gen::gnp(90, 0.1, 2);
+        let total = count_edge_iterator(&g);
+        let local = local_counts(&g);
+        assert_eq!(local.iter().sum::<u64>(), 3 * total);
+    }
+
+    #[test]
+    fn listing_matches_counting_and_is_canonical() {
+        let g = gen::gnp(60, 0.15, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        list_triangles(&g, |u, v, w| {
+            assert!(u < v && v < w, "non-canonical triple ({u},{v},{w})");
+            assert!(g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w));
+            assert!(seen.insert((u, v, w)), "duplicate ({u},{v},{w})");
+        });
+        assert_eq!(seen.len() as u64, count_edge_iterator(&g));
+    }
+
+    #[test]
+    fn triangle_free_detection() {
+        assert!(is_triangle_free(&gen::complete_bipartite(10, 10)));
+        assert!(is_triangle_free(&gen::grid2d(6, 6)));
+        assert!(is_triangle_free(&gen::random_bipartite(15, 15, 0.4, 1)));
+        assert!(!is_triangle_free(&gen::complete(3)));
+        assert!(!is_triangle_free(&gen::watts_strogatz(60, 4, 0.0, 0)));
+    }
+
+    #[test]
+    fn clustering_coefficient_known_values() {
+        // Triangle: every vertex has coefficient 1.
+        let cc = clustering_coefficients(&gen::complete(3));
+        assert!(cc.iter().all(|&c| (c - 1.0).abs() < 1e-12));
+        // Star: all zero.
+        let cc = clustering_coefficients(&gen::star(8));
+        assert!(cc.iter().all(|&c| c == 0.0));
+        // Path: zero (degree-1 endpoints and degree-2 middles, no triangles).
+        let cc = clustering_coefficients(&gen::path(5));
+        assert!(cc.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn transitivity_known_values() {
+        assert!((transitivity(&gen::complete(10)) - 1.0).abs() < 1e-12);
+        assert_eq!(transitivity(&gen::star(10)), 0.0);
+        assert_eq!(transitivity(&gen::path(2)), 0.0); // no wedge at all
+        // Lattice WS has transitivity 0.5 for k = 4:
+        // each vertex: C(4,2)=6 wedges, 3 triangles per vertex·3/..: known value 0.5.
+        let t = transitivity(&gen::watts_strogatz(100, 4, 0.0, 0));
+        assert!((t - 0.5).abs() < 1e-9, "lattice transitivity {t}");
+    }
+
+    #[test]
+    fn empty_graphs() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_all_equal(&g, 0, "null graph");
+        let g1 = Graph::from_edges(5, &[]).unwrap();
+        assert_all_equal(&g1, 0, "edgeless");
+        assert!(is_triangle_free(&g1));
+    }
+}

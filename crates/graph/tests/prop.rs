@@ -1,0 +1,120 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use trigon_graph::storage::AdjacencyStorage;
+use trigon_graph::{bfs::BfsTree, connected_components, gen, graph::Graph, triangles};
+
+/// Strategy: a random simple graph as (n, edge list).
+fn arb_graph(max_n: u32) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(3 * n as usize))
+            .prop_map(move |raw| {
+                let edges: Vec<(u32, u32)> =
+                    raw.into_iter().filter(|&(u, v)| u != v).collect();
+                Graph::from_edges(n, &edges).expect("filtered edges are valid")
+            })
+    })
+}
+
+proptest! {
+    /// All four CPU triangle counters agree on arbitrary graphs.
+    #[test]
+    fn counters_agree(g in arb_graph(60)) {
+        let brute = triangles::count_brute_force(&g);
+        prop_assert_eq!(triangles::count_matrix(&g.to_bitmatrix()), brute);
+        prop_assert_eq!(triangles::count_edge_iterator(&g), brute);
+        prop_assert_eq!(triangles::count_forward(&g), brute);
+    }
+
+    /// Every storage model answers every edge query identically.
+    #[test]
+    fn storages_agree(g in arb_graph(50)) {
+        let bm = g.to_bitmatrix();
+        let utm = g.to_utm();
+        let sutm = g.to_sutm();
+        let csr = g.csr();
+        for u in 0..g.n() {
+            for v in 0..g.n() {
+                let e = g.has_edge(u, v);
+                prop_assert_eq!(bm.has_edge(u, v), e);
+                prop_assert_eq!(utm.has_edge(u, v), e);
+                prop_assert_eq!(sutm.has_edge(u, v), e);
+                prop_assert_eq!(csr.has_edge(u, v), e);
+            }
+        }
+    }
+
+    /// BFS levels: root at 0, parents one level up, every edge spans ≤ 1
+    /// level — the invariant Algorithm 2's completeness rests on.
+    #[test]
+    fn bfs_invariants(g in arb_graph(50), root_raw in any::<u32>()) {
+        let root = root_raw % g.n();
+        let t = BfsTree::new(&g, root);
+        prop_assert_eq!(t.level_of(root), Some(0));
+        prop_assert_eq!(t.check_level_adjacency(&g), None);
+        for v in 0..g.n() {
+            if let Some(p) = t.parent_of(v) {
+                prop_assert!(g.has_edge(p, v));
+                prop_assert_eq!(t.level_of(p).unwrap() + 1, t.level_of(v).unwrap());
+            }
+        }
+    }
+
+    /// Components partition V and never split an edge.
+    #[test]
+    fn components_partition(g in arb_graph(50)) {
+        let cc = connected_components(&g);
+        let mut all: Vec<u32> = cc.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..g.n()).collect::<Vec<_>>());
+        let mut owner = vec![usize::MAX; g.n() as usize];
+        for (i, members) in cc.iter().enumerate() {
+            for &v in members {
+                owner[v as usize] = i;
+            }
+        }
+        for (u, v) in g.edges() {
+            prop_assert_eq!(owner[u as usize], owner[v as usize]);
+        }
+    }
+
+    /// Local triangle counts sum to 3ϑ and clustering coefficients stay in
+    /// [0, 1].
+    #[test]
+    fn local_count_identities(g in arb_graph(40)) {
+        let total = triangles::count_edge_iterator(&g);
+        let local = triangles::local_counts(&g);
+        prop_assert_eq!(local.iter().sum::<u64>(), 3 * total);
+        for c in triangles::clustering_coefficients(&g) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+        }
+    }
+
+    /// Generators are deterministic in their seed.
+    #[test]
+    fn generators_deterministic(seed in any::<u64>()) {
+        prop_assert_eq!(gen::gnp(40, 0.1, seed), gen::gnp(40, 0.1, seed));
+        prop_assert_eq!(
+            gen::barabasi_albert(40, 3, seed),
+            gen::barabasi_albert(40, 3, seed)
+        );
+    }
+
+    /// Edge-list IO round-trips structure for any graph.
+    #[test]
+    fn io_roundtrip(g in arb_graph(40)) {
+        let mut buf = Vec::new();
+        trigon_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let (g2, back) = trigon_graph::io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g2.m(), g.m());
+        let orig: std::collections::BTreeSet<(u32, u32)> = g.edges().collect();
+        let got: std::collections::BTreeSet<(u32, u32)> = g2
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (back[u as usize] as u32, back[v as usize] as u32);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        prop_assert_eq!(got, orig);
+    }
+}

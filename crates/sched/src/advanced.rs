@@ -1,0 +1,380 @@
+//! Stronger makespan heuristics beyond LPT.
+//!
+//! * [`multifit`] — Coffman–Garey–Johnson MULTIFIT: binary-search the
+//!   makespan and test each candidate with first-fit-decreasing bin
+//!   packing. Guarantee `≤ 13/11 · OPT` with enough iterations.
+//! * [`tabu_improve`] — a small tabu search over single-job moves and
+//!   pair swaps, seeded from LPT. The paper's NP-hardness citation \[7\]
+//!   (Grabowski & Wodecki) is itself a tabu search for makespan
+//!   criteria; this mirrors that lineage at chunk-scheduling scale.
+
+use crate::{lower_bound, lpt, Schedule};
+
+/// MULTIFIT with `iterations` bisection steps (7 gives the classical
+/// 13/11 bound).
+///
+/// # Panics
+///
+/// Panics if `machines == 0`.
+#[must_use]
+pub fn multifit(jobs: &[u64], machines: u32, iterations: u32) -> Schedule {
+    assert!(machines > 0, "need at least one machine");
+    if jobs.is_empty() {
+        return Schedule::from_assignment(jobs, machines, Vec::new());
+    }
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_unstable_by_key(|&j| (std::cmp::Reverse(jobs[j]), j));
+
+    let mut lo = lower_bound(jobs, machines);
+    let mut hi = 2 * lo.max(1);
+    let mut best: Option<Vec<u32>> = None;
+    for _ in 0..iterations {
+        let cap = lo.midpoint(hi);
+        match ffd_fits(jobs, &order, machines, cap) {
+            Some(assign) => {
+                best = Some(assign);
+                hi = cap;
+            }
+            None => lo = cap + 1,
+        }
+        if lo >= hi {
+            break;
+        }
+    }
+    let assignment = best
+        .or_else(|| ffd_fits(jobs, &order, machines, hi))
+        .unwrap_or_else(|| lpt(jobs, machines).assignment);
+    Schedule::from_assignment(jobs, machines, assignment)
+}
+
+/// First-fit-decreasing into `machines` bins of capacity `cap`.
+fn ffd_fits(jobs: &[u64], order: &[usize], machines: u32, cap: u64) -> Option<Vec<u32>> {
+    let mut loads = vec![0u64; machines as usize];
+    let mut assign = vec![0u32; jobs.len()];
+    for &j in order {
+        let slot = loads.iter().position(|&l| l + jobs[j] <= cap)?;
+        loads[slot] += jobs[j];
+        assign[j] = slot as u32;
+    }
+    Some(assign)
+}
+
+/// Tabu-search improvement over an initial LPT schedule: explores moving
+/// one job off the busiest machine, or swapping a busiest-machine job
+/// with a lighter machine's job, keeping a short tabu list of recently
+/// moved jobs. Deterministic; stops after `max_iters` non-improving
+/// rounds or when the lower bound is met.
+///
+/// # Panics
+///
+/// Panics if `machines == 0`.
+#[must_use]
+pub fn tabu_improve(jobs: &[u64], machines: u32, max_iters: u32) -> Schedule {
+    assert!(machines > 0, "need at least one machine");
+    let lb = lower_bound(jobs, machines);
+    let mut current = lpt(jobs, machines);
+    let mut best = current.clone();
+    let mut tabu: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let tabu_len = (jobs.len() / 4).clamp(2, 16);
+    let mut stale = 0u32;
+    while stale < max_iters && best.makespan() > lb {
+        let busiest = argmax(&current.loads);
+        // Candidate A: move a non-tabu job from the busiest machine to
+        // the machine where it minimizes the resulting makespan.
+        let mut move_best: Option<(u64, usize, u32)> = None; // (new_mk, job, to)
+        for (j, &m) in current.assignment.iter().enumerate() {
+            if m as usize != busiest || tabu.contains(&j) {
+                continue;
+            }
+            for to in 0..machines {
+                if to as usize == busiest {
+                    continue;
+                }
+                let mk = makespan_after_move(&current.loads, jobs[j], busiest, to as usize);
+                if move_best.is_none_or(|(bmk, _, _)| mk < bmk) {
+                    move_best = Some((mk, j, to));
+                }
+            }
+        }
+        // Candidate B: swap a busiest-machine job with a smaller job
+        // elsewhere.
+        let mut swap_best: Option<(u64, usize, usize)> = None; // (new_mk, j1, j2)
+        for (j1, &m1) in current.assignment.iter().enumerate() {
+            if m1 as usize != busiest || tabu.contains(&j1) {
+                continue;
+            }
+            for (j2, &m2) in current.assignment.iter().enumerate() {
+                if m2 as usize == busiest || tabu.contains(&j2) || jobs[j2] >= jobs[j1] {
+                    continue;
+                }
+                let mk = makespan_after_swap(
+                    &current.loads,
+                    jobs[j1],
+                    jobs[j2],
+                    busiest,
+                    m2 as usize,
+                );
+                if swap_best.is_none_or(|(bmk, _, _)| mk < bmk) {
+                    swap_best = Some((mk, j1, j2));
+                }
+            }
+        }
+        // Apply the better candidate (ties prefer the move).
+        let applied: Option<Vec<usize>> = match (move_best, swap_best) {
+            (Some((mm, _j, _to)), Some((sm, j1, j2))) if sm < mm => {
+                apply_swap(&mut current, jobs, j1, j2);
+                Some(vec![j1, j2])
+            }
+            (Some((_, j, to)), _) => {
+                apply_move(&mut current, jobs, j, to);
+                Some(vec![j])
+            }
+            (None, Some((_, j1, j2))) => {
+                apply_swap(&mut current, jobs, j1, j2);
+                Some(vec![j1, j2])
+            }
+            (None, None) => None,
+        };
+        let Some(moved) = applied else { break };
+        for j in moved {
+            tabu.push_back(j);
+            if tabu.len() > tabu_len {
+                tabu.pop_front();
+            }
+        }
+        if current.makespan() < best.makespan() {
+            best = current.clone();
+            stale = 0;
+        } else {
+            stale += 1;
+        }
+    }
+    best
+}
+
+/// Exact two-machine makespan via subset-sum dynamic programming —
+/// pseudo-polynomial `O(n · Σp)` but handles far larger instances than
+/// the branch-and-bound (the §VI reduction's "even two identical
+/// machines" case, solved exactly).
+///
+/// # Panics
+///
+/// Panics if the total processing time exceeds `max_total` (guards the
+/// DP table size).
+#[must_use]
+pub fn exact_two_machines(jobs: &[u64], max_total: u64) -> Schedule {
+    let total: u64 = jobs.iter().sum();
+    assert!(total <= max_total, "total load {total} exceeds DP budget {max_total}");
+    let half = (total / 2) as usize;
+    // dp[j] = bitset of sums reachable with the first j jobs.
+    let mut dp: Vec<Vec<bool>> = Vec::with_capacity(jobs.len() + 1);
+    let mut row = vec![false; half + 1];
+    row[0] = true;
+    dp.push(row);
+    for &p in jobs {
+        let prev = dp.last().expect("non-empty dp");
+        let mut next = prev.clone();
+        let p = p as usize;
+        if p <= half {
+            for s in p..=half {
+                if prev[s - p] {
+                    next[s] = true;
+                }
+            }
+        }
+        dp.push(next);
+    }
+    let best = (0..=half)
+        .rev()
+        .find(|&s| dp[jobs.len()][s])
+        .unwrap_or(0);
+    // Backtrack: job j-1 is on machine 0 iff the sum needed it.
+    let mut assignment = vec![1u32; jobs.len()];
+    let mut s = best;
+    for j in (0..jobs.len()).rev() {
+        if dp[j][s] {
+            continue; // reachable without job j: leave it on machine 1
+        }
+        assignment[j] = 0;
+        s -= jobs[j] as usize;
+    }
+    debug_assert_eq!(s, 0);
+    Schedule::from_assignment(jobs, 2, assignment)
+}
+
+fn argmax(loads: &[u64]) -> usize {
+    loads
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &l)| (l, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .expect("non-empty loads")
+}
+
+fn makespan_after_move(loads: &[u64], p: u64, from: usize, to: usize) -> u64 {
+    loads
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            if i == from {
+                l - p
+            } else if i == to {
+                l + p
+            } else {
+                l
+            }
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn makespan_after_swap(loads: &[u64], p1: u64, p2: u64, m1: usize, m2: usize) -> u64 {
+    loads
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            if i == m1 {
+                l - p1 + p2
+            } else if i == m2 {
+                l - p2 + p1
+            } else {
+                l
+            }
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+fn apply_move(s: &mut Schedule, jobs: &[u64], j: usize, to: u32) {
+    let from = s.assignment[j] as usize;
+    s.loads[from] -= jobs[j];
+    s.loads[to as usize] += jobs[j];
+    s.assignment[j] = to;
+}
+
+fn apply_swap(s: &mut Schedule, jobs: &[u64], j1: usize, j2: usize) {
+    let (m1, m2) = (s.assignment[j1], s.assignment[j2]);
+    s.loads[m1 as usize] = s.loads[m1 as usize] - jobs[j1] + jobs[j2];
+    s.loads[m2 as usize] = s.loads[m2 as usize] - jobs[j2] + jobs[j1];
+    s.assignment[j1] = m2;
+    s.assignment[j2] = m1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+
+    fn lcg_jobs(n: usize, seed: u64) -> Vec<u64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) % 80 + 1
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multifit_valid_and_bounded() {
+        for seed in 1..6u64 {
+            for m in [2u32, 3, 5] {
+                let jobs = lcg_jobs(12, seed);
+                let s = multifit(&jobs, m, 10);
+                assert_eq!(s.loads.iter().sum::<u64>(), jobs.iter().sum::<u64>());
+                let opt = exact(&jobs, m).makespan();
+                assert!(s.makespan() >= opt);
+                // 13/11 bound (integer arithmetic).
+                assert!(
+                    11 * s.makespan() <= 13 * opt,
+                    "seed {seed} m {m}: {} vs opt {opt}",
+                    s.makespan()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multifit_beats_lpt_on_classic_instance() {
+        // LPT-adversarial: {3,3,2,2,2} on 2 machines (LPT 7, OPT 6).
+        let jobs = [3u64, 3, 2, 2, 2];
+        assert_eq!(crate::lpt(&jobs, 2).makespan(), 7);
+        assert_eq!(multifit(&jobs, 2, 10).makespan(), 6);
+    }
+
+    #[test]
+    fn tabu_never_worse_than_lpt() {
+        for seed in 1..8u64 {
+            for m in [2u32, 4, 8] {
+                let jobs = lcg_jobs(20, seed);
+                let l = crate::lpt(&jobs, m).makespan();
+                let t = tabu_improve(&jobs, m, 50).makespan();
+                assert!(t <= l, "seed {seed} m {m}: tabu {t} vs lpt {l}");
+                assert!(t >= crate::lower_bound(&jobs, m));
+            }
+        }
+    }
+
+    #[test]
+    fn tabu_fixes_the_classic_instance() {
+        let jobs = [3u64, 3, 2, 2, 2];
+        assert_eq!(tabu_improve(&jobs, 2, 50).makespan(), 6);
+    }
+
+    #[test]
+    fn tabu_schedule_is_consistent() {
+        let jobs = lcg_jobs(15, 3);
+        let s = tabu_improve(&jobs, 4, 30);
+        let re = Schedule::from_assignment(&jobs, 4, s.assignment.clone());
+        assert_eq!(re.loads, s.loads);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(multifit(&[], 4, 5).makespan(), 0);
+        assert_eq!(tabu_improve(&[], 4, 5).makespan(), 0);
+        assert_eq!(multifit(&[7], 1, 5).makespan(), 7);
+        assert_eq!(tabu_improve(&[7], 1, 5).makespan(), 7);
+        assert_eq!(exact_two_machines(&[], 1000).makespan(), 0);
+        assert_eq!(exact_two_machines(&[7], 1000).makespan(), 7);
+    }
+
+    #[test]
+    fn two_machine_dp_matches_branch_and_bound() {
+        for seed in 1..10u64 {
+            let jobs = lcg_jobs(14, seed);
+            let dp = exact_two_machines(&jobs, 1_000_000);
+            let bb = exact(&jobs, 2);
+            assert_eq!(dp.makespan(), bb.makespan(), "seed {seed}");
+            // Valid schedule: loads rebuild from the assignment.
+            let re = Schedule::from_assignment(&jobs, 2, dp.assignment.clone());
+            assert_eq!(re.loads, dp.loads);
+        }
+    }
+
+    #[test]
+    fn two_machine_dp_classic_instance() {
+        // {3,3,2,2,2}: perfect split 6/6.
+        let s = exact_two_machines(&[3, 3, 2, 2, 2], 1000);
+        assert_eq!(s.makespan(), 6);
+    }
+
+    #[test]
+    fn two_machine_dp_handles_larger_instances() {
+        // 200 jobs — far beyond the branch-and-bound's reach.
+        let jobs = lcg_jobs(200, 3);
+        let s = exact_two_machines(&jobs, 1_000_000);
+        let lb = crate::lower_bound(&jobs, 2);
+        assert!(s.makespan() >= lb);
+        // DP is optimal, so it must not lose to LPT.
+        assert!(s.makespan() <= crate::lpt(&jobs, 2).makespan());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds DP budget")]
+    fn two_machine_dp_guards_budget() {
+        let _ = exact_two_machines(&[1_000_000, 1_000_000], 1000);
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests for the makespan scheduling substrate.
+
+use proptest::prelude::*;
+use trigon_sched::{exact, list_schedule, lower_bound, lpt, round_robin, Schedule};
+
+proptest! {
+    /// Every policy produces a valid schedule that conserves total work
+    /// and respects the lower bound.
+    #[test]
+    fn policies_valid(jobs in proptest::collection::vec(1u64..100, 0..12),
+                      machines in 1u32..6) {
+        let total: u64 = jobs.iter().sum();
+        let lb = lower_bound(&jobs, machines);
+        for s in [round_robin(&jobs, machines),
+                  list_schedule(&jobs, machines),
+                  lpt(&jobs, machines)] {
+            prop_assert_eq!(s.loads.iter().sum::<u64>(), total);
+            prop_assert_eq!(s.assignment.len(), jobs.len());
+            prop_assert!(s.assignment.iter().all(|&m| m < machines));
+            prop_assert!(s.makespan() >= lb);
+            // Rebuilding from the assignment reproduces the loads.
+            let re = Schedule::from_assignment(&jobs, machines, s.assignment.clone());
+            prop_assert_eq!(re.loads, s.loads);
+        }
+    }
+
+    /// Exact ≤ LPT ≤ round-robin is not guaranteed pointwise for RR, but
+    /// exact is a true lower bound for all policies and meets the LB-based
+    /// optimality certificate when it fires.
+    #[test]
+    fn exact_dominates(jobs in proptest::collection::vec(1u64..50, 0..10),
+                       machines in 1u32..5) {
+        let opt = exact(&jobs, machines);
+        prop_assert!(opt.makespan() >= lower_bound(&jobs, machines));
+        prop_assert!(opt.makespan() <= lpt(&jobs, machines).makespan());
+        prop_assert!(opt.makespan() <= list_schedule(&jobs, machines).makespan());
+        prop_assert!(opt.makespan() <= round_robin(&jobs, machines).makespan());
+    }
+
+    /// LPT respects its 4/3 − 1/(3m) worst-case ratio vs exact.
+    #[test]
+    fn lpt_ratio(jobs in proptest::collection::vec(1u64..40, 1..10),
+                 machines in 2u32..4) {
+        let opt = u128::from(exact(&jobs, machines).makespan());
+        let heur = u128::from(lpt(&jobs, machines).makespan());
+        prop_assert!(3 * u128::from(machines) * heur
+                     <= (4 * u128::from(machines) - 1) * opt);
+    }
+}

@@ -1,0 +1,93 @@
+//! Capacity planning (§IV): which device/storage combination fits your
+//! graph, and how Algorithm 1 splits it when shared memory cannot.
+//!
+//! ```text
+//! cargo run --release --example capacity_planning [n]
+//! ```
+
+use trigon::core::capacity::{self, StorageModel};
+use trigon::core::split::{split_graph, SplitConfig};
+use trigon::core::timemodel::eq6_total_time;
+use trigon::gpu_sim::DeviceSpec;
+use trigon::graph::gen;
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000);
+
+    println!("== Table II: largest graph per device and storage model ==");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "Model", "Sh AdjMat", "Sh S-UTM", "Gl AdjMat", "Gl S-UTM"
+    );
+    for r in capacity::table2(&DeviceSpec::table1()) {
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12}",
+            r.device, r.shared_adj, r.shared_sutm, r.global_adj, r.global_sutm
+        );
+    }
+
+    println!("\n== placement of an n = {n} graph ==");
+    for d in DeviceSpec::table1() {
+        for (mname, model) in [
+            ("AdjMat", StorageModel::AdjacencyMatrix),
+            ("S-UTM", StorageModel::SUtm),
+        ] {
+            let shared = capacity::fits(u64::from(n), d.shared_mem_bits(), model);
+            let global = capacity::fits(u64::from(n), d.global_mem_bits(), model);
+            println!(
+                "  {:<6} {:<7} shared: {:<5} global: {}",
+                d.name,
+                mname,
+                if shared { "yes" } else { "no" },
+                if global { "yes" } else { "no" }
+            );
+        }
+    }
+
+    // Algorithm 1 in action on a deep community graph.
+    let g = gen::community_ring(n, 200, 0.2, 3, 5);
+    let spec = DeviceSpec::c1060();
+    let cfg = SplitConfig::for_device(&spec);
+    let r = split_graph(&g, &cfg);
+    println!(
+        "\n== Algorithm 1 split on the C1060 (shared budget {} bits) ==",
+        cfg.shared_mem_bits
+    );
+    println!(
+        "chunks: {} total, {} fit shared memory, {} must stay in global memory",
+        r.chunks.len(),
+        r.shared_count(),
+        r.global_count()
+    );
+    for c in r.chunks.iter().take(8) {
+        println!(
+            "  chunk: component {} levels {:>2}..{:<2} nodes {:>5} size {:>8} bits -> {}",
+            c.component,
+            c.levels.0,
+            c.levels.1,
+            c.nodes.len(),
+            c.size_bits,
+            if c.fits_shared { "shared" } else { "GLOBAL" }
+        );
+    }
+    if r.chunks.len() > 8 {
+        println!("  ... {} more chunks", r.chunks.len() - 8);
+    }
+
+    // Eq. 6: what the placement costs under the paper's pipeline model.
+    let (tau_s, tau_g) = (1.0, 8.0); // illustrative per-chunk times
+    let t = eq6_total_time(
+        r.shared_count() as u64,
+        r.global_count() as u64,
+        tau_s,
+        tau_g,
+        spec.sm_count,
+    );
+    println!(
+        "\nEq. 6 pipeline time with tau_s = {tau_s}, tau_g = {tau_g}: {t:.1} units \
+         (mu rounds of shared work + serialized global chunks)"
+    );
+}

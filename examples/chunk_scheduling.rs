@@ -1,0 +1,62 @@
+//! Chunk scheduling (§VI): assigning Algorithm 1 chunks to streaming
+//! multiprocessors is makespan scheduling — NP-hard, approximated well by
+//! LPT. This example splits a graph, schedules the chunk jobs under four
+//! policies and compares makespans against the lower bound and (for small
+//! instances) the exact optimum.
+//!
+//! ```text
+//! cargo run --release --example chunk_scheduling
+//! ```
+
+use trigon::core::split::{split_graph, SplitConfig};
+use trigon::gpu_sim::DeviceSpec;
+use trigon::graph::gen;
+use trigon::sched;
+
+fn main() {
+    let g = gen::community_ring(6_000, 150, 0.2, 3, 9);
+    let spec = DeviceSpec::c1060();
+    let cfg = SplitConfig::for_device(&spec);
+    let split = split_graph(&g, &cfg);
+    let jobs = split.job_sizes();
+    println!(
+        "graph: n = {}, m = {} -> {} chunks ({} shared, {} global)",
+        g.n(),
+        g.m(),
+        jobs.len(),
+        split.shared_count(),
+        split.global_count()
+    );
+
+    let machines = spec.sm_count;
+    let lb = sched::lower_bound(&jobs, machines);
+    println!("\nscheduling {} chunk jobs on {} SMs (lower bound {lb}):", jobs.len(), machines);
+    for (name, s) in [
+        ("round-robin", sched::round_robin(&jobs, machines)),
+        ("list", sched::list_schedule(&jobs, machines)),
+        ("LPT", sched::lpt(&jobs, machines)),
+    ] {
+        println!(
+            "  {:<12} makespan {:>10}  (x{:.3} of LB, imbalance {:.3})",
+            name,
+            s.makespan(),
+            s.makespan() as f64 / lb as f64,
+            s.imbalance()
+        );
+    }
+
+    // Exact optimum on a truncated instance (branch and bound is
+    // exponential — the §VI NP-hardness in practice).
+    let small: Vec<u64> = jobs.iter().copied().take(14).collect();
+    if !small.is_empty() {
+        let opt = sched::exact(&small, 4);
+        let lpt = sched::lpt(&small, 4);
+        println!(
+            "\nfirst {} jobs on 4 machines: exact {} vs LPT {} ({}x)",
+            small.len(),
+            opt.makespan(),
+            lpt.makespan(),
+            lpt.makespan() as f64 / opt.makespan() as f64
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Out-of-core triangle counting (§XII future work): the graph lives in
+//! a binary edge file on disk; vertex-range partitioning bounds RAM at
+//! the price of extra sequential scans.
+//!
+//! ```text
+//! cargo run --release --example external_memory
+//! ```
+
+use trigon::graph::external::{count_triangles_external, ExternalEdgeList};
+use trigon::graph::{gen, triangles};
+
+fn main() {
+    let g = gen::barabasi_albert(5_000, 6, 23);
+    let expect = triangles::count_edge_iterator(&g);
+    println!(
+        "graph: n = {}, m = {} — {} triangles (in-memory reference)",
+        g.n(),
+        g.m(),
+        expect
+    );
+
+    let dir = std::env::temp_dir().join("trigon_external_example");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("graph.bin");
+    let ext = ExternalEdgeList::create(&g, &path).expect("write edge file");
+    println!(
+        "wrote {} ({} edges, {} bytes)\n",
+        path.display(),
+        ext.m(),
+        ext.m() * 16
+    );
+
+    println!(
+        "{:>4} {:>10} {:>16} {:>18} {:>14}",
+        "p", "triples", "edges streamed", "peak edges in RAM", "triangles"
+    );
+    for p in [1u32, 2, 4, 8] {
+        let s = count_triangles_external(&ext, p).expect("external count");
+        assert_eq!(s.triangles, expect, "count must be exact at any p");
+        println!(
+            "{p:>4} {:>10} {:>16} {:>18} {:>14}",
+            s.triples, s.edges_streamed, s.peak_edges_in_memory, s.triangles
+        );
+    }
+    println!(
+        "\nRAM high-water mark falls with p while the count stays exact — the\n\
+         §XII trade: more sequential disk passes for less resident memory."
+    );
+}

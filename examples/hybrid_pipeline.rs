@@ -1,0 +1,54 @@
+//! The §V hybrid shared/global pipeline end to end: Algorithm 1 splits
+//! the graph; ALS inside shared-memory-resident chunks run at bank
+//! latency, boundary and oversize ALS read global memory; LPT schedules
+//! everything across SMs; and the paper's Eq. 6 naive pipeline is
+//! evaluated for contrast.
+//!
+//! ```text
+//! cargo run --release --example hybrid_pipeline
+//! ```
+
+use trigon::core::gpu_exec::GpuConfig;
+use trigon::core::hybrid::{run_hybrid, HybridConfig};
+use trigon::core::pipeline::{count_triangles, CountMethod};
+use trigon::gpu_sim::DeviceSpec;
+use trigon::graph::gen;
+
+fn main() {
+    // A deep community graph: the regime the splitting technique targets.
+    let g = gen::community_ring(5_000, 150, 0.25, 3, 13);
+    println!("graph: n = {}, m = {}", g.n(), g.m());
+
+    for device in [DeviceSpec::c1060(), DeviceSpec::c2050()] {
+        let name = device.name;
+        let h = run_hybrid(&g, &HybridConfig::new(device.clone()));
+        println!("\n== {name} (shared budget {} KB) ==", device.shared_mem_bytes / 1024);
+        println!(
+            "chunks: {} ({} shared, {} global)",
+            h.split.chunks.len(),
+            h.split.shared_count(),
+            h.split.global_count()
+        );
+        println!(
+            "ALS placement: {} shared-tier, {} global-tier",
+            h.shared_als, h.global_als
+        );
+        println!("triangles: {}", h.triangles);
+        println!("kernel (LPT schedule):     {:>8.4} s", h.kernel_s);
+        println!("kernel (Eq. 6 naive):      {:>8.4} s", h.eq6_s);
+
+        // Compare against running everything from global memory.
+        let global =
+            count_triangles(&g, CountMethod::GpuSim(GpuConfig::optimized(device).sampled()))
+                .expect("global run");
+        println!(
+            "kernel (all-global):       {:>8.4} s",
+            global.gpu.as_ref().unwrap().kernel_s
+        );
+        assert_eq!(h.triangles, global.triangles);
+    }
+    println!(
+        "\nShared staging + LPT beats both alternatives — \"an intelligent scheduling\n\
+         of the computations on the streaming multiprocessors\" (SS V)."
+    );
+}

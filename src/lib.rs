@@ -1,0 +1,21 @@
+//! # trigon — facade crate
+//!
+//! Re-exports the whole `trigon` workspace behind one dependency, and
+//! hosts the runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`).
+//!
+//! `trigon` is a from-scratch Rust reproduction of *On Analyzing Large
+//! Graphs Using GPUs* (Chatterjee, Radhakrishnan, Antonio — IPDPSW 2013):
+//! triangle counting and related combinatorial counting on graphs whose
+//! adjacency data lives in GPU **global memory**, with the paper's memory
+//! coalescing and partition-camping-avoidance primitives reproduced on a
+//! deterministic GPU memory-hierarchy simulator.
+//!
+//! Start with [`core::pipeline`] for the end-to-end API, or run
+//! `cargo run --example quickstart`.
+
+pub use trigon_combin as combin;
+pub use trigon_core as core;
+pub use trigon_gpu_sim as gpu_sim;
+pub use trigon_graph as graph;
+pub use trigon_sched as sched;

@@ -1,0 +1,382 @@
+//! `trigon` — command-line front end for the workspace.
+//!
+//! ```text
+//! trigon devices
+//! trigon gen <model> --n N [--seed S] [-o FILE]         models: gnp, ba, ws, ring, rmat, complete, grid
+//! trigon analyze <FILE>
+//! trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|doulion]
+//!              [--device c1060|c2050|c2070] [--p PROB]
+//! trigon split <FILE> [--device c1060|c2050|c2070]
+//! trigon kcount <FILE> --k K [--what cliques|connected|independent]
+//! trigon camping
+//! ```
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use trigon::core::gpu_exec::GpuConfig;
+use trigon::core::pipeline::{count_triangles, CountMethod};
+use trigon::core::split::{split_graph, SplitConfig};
+use trigon::gpu_sim::{render_partition_histogram, DeviceSpec, PartitionTraffic};
+use trigon::graph::{approx, cores, gen, io, triangles, BfsTree, Graph};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("devices") => cmd_devices(),
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("count") => cmd_count(&args[1..]),
+        Some("split") => cmd_split(&args[1..]),
+        Some("hybrid") => cmd_hybrid(&args[1..]),
+        Some("kcount") => cmd_kcount(&args[1..]),
+        Some("camping") => cmd_camping(),
+        _ => {
+            eprintln!("{}", USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "usage:
+  trigon devices
+  trigon gen <gnp|ba|ws|ring|rmat|complete|grid> --n N [--seed S] [-o FILE]
+  trigon analyze <FILE>
+  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|doulion] [--device c1060|c2050|c2070] [--p PROB]
+  trigon split <FILE> [--device c1060|c2050|c2070]
+  trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070]
+  trigon kcount <FILE> --k K [--what cliques|connected|independent]
+  trigon camping";
+
+/// Parses `--flag value` pairs plus positional arguments.
+fn parse(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+            let val = it.next().cloned().unwrap_or_default();
+            flags.insert(name.to_string(), val);
+        } else {
+            pos.push(a.clone());
+        }
+    }
+    (pos, flags)
+}
+
+fn device_by_name(name: &str) -> Option<DeviceSpec> {
+    match name.to_ascii_lowercase().as_str() {
+        "c1060" => Some(DeviceSpec::c1060()),
+        "c2050" => Some(DeviceSpec::c2050()),
+        "c2070" => Some(DeviceSpec::c2070()),
+        _ => None,
+    }
+}
+
+fn generate(model: &str, n: u32, seed: u64) -> Option<Graph> {
+    Some(match model {
+        "gnp" => gen::gnp(n, 16.0 / f64::from(n).max(1.0), seed),
+        "ba" => gen::barabasi_albert(n, 8.min(n.saturating_sub(1)).max(1), seed),
+        "ws" => gen::watts_strogatz(n, 8.min(n.saturating_sub(2) / 2 * 2).max(2), 0.1, seed),
+        "ring" => gen::community_ring(n, 250.min(n.max(2)), 0.3, 4, seed),
+        "rmat" => gen::rmat_social(n.next_power_of_two(), 8 * n as usize, seed),
+        "complete" => gen::complete(n),
+        "grid" => {
+            let side = (f64::from(n).sqrt() as u32).max(1);
+            gen::grid2d(side, side)
+        }
+        _ => return None,
+    })
+}
+
+fn load_or_gen(pos: &[String], flags: &HashMap<String, String>) -> Result<Graph, String> {
+    if let Some(model) = flags.get("gen") {
+        let n: u32 = flags
+            .get("n")
+            .and_then(|s| s.parse().ok())
+            .ok_or("--gen needs --n N")?;
+        let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+        return generate(model, n, seed).ok_or_else(|| format!("unknown model {model:?}"));
+    }
+    let path = pos.first().ok_or("need a FILE or --gen MODEL --n N")?;
+    let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let (g, _) = io::read_edge_list(BufReader::new(f)).map_err(|e| e.to_string())?;
+    Ok(g)
+}
+
+fn cmd_devices() -> i32 {
+    println!(
+        "{:<8} {:>6} {:>11} {:>11} {:>6} {:>5} {:>6} {:>11} {:>11}",
+        "Model", "Cores", "Global(GB)", "Shared(KB)", "Banks", "CC", "SMs", "MaxN(adj)", "MaxN(sutm)"
+    );
+    for d in DeviceSpec::table1() {
+        println!(
+            "{:<8} {:>6} {:>11} {:>11} {:>6} {:>5} {:>6} {:>11} {:>11}",
+            d.name,
+            d.cores,
+            d.global_mem_bytes / (1 << 30),
+            d.shared_mem_bytes / 1024,
+            d.shared_banks,
+            d.compute_capability,
+            d.sm_count,
+            trigon::core::max_graph_adjacency(d.global_mem_bits()),
+            trigon::core::max_graph_sutm(d.global_mem_bits()),
+        );
+    }
+    0
+}
+
+fn cmd_gen(args: &[String]) -> i32 {
+    let (pos, flags) = parse(args);
+    let Some(model) = pos.first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let Some(n) = flags.get("n").and_then(|s| s.parse().ok()) else {
+        eprintln!("gen: --n N is required");
+        return 2;
+    };
+    let seed = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let Some(g) = generate(model, n, seed) else {
+        eprintln!("unknown model {model:?}");
+        return 2;
+    };
+    match flags.get("o") {
+        Some(path) => {
+            let f = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("create {path}: {e}");
+                    return 1;
+                }
+            };
+            if let Err(e) = io::write_edge_list(&g, std::io::BufWriter::new(f)) {
+                eprintln!("write: {e}");
+                return 1;
+            }
+            println!("wrote {} (n = {}, m = {})", path, g.n(), g.m());
+        }
+        None => {
+            if let Err(e) = io::write_edge_list(&g, std::io::stdout().lock()) {
+                eprintln!("write: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+fn cmd_analyze(args: &[String]) -> i32 {
+    let (pos, flags) = parse(args);
+    let g = match load_or_gen(&pos, &flags) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    println!("vertices            {}", g.n());
+    println!("edges               {}", g.m());
+    println!("density             {:.6}", g.density());
+    println!("max degree          {}", g.max_degree());
+    let comps = trigon::graph::connected_components(&g);
+    println!("components          {}", comps.len());
+    if let Some(largest) = comps.iter().map(Vec::len).max() {
+        println!("largest component   {largest}");
+    }
+    if g.n() > 0 {
+        let t = BfsTree::new(&g, comps[0][0]);
+        println!("BFS depth (root {}) {}", t.root(), t.depth());
+        let widest = t.levels().iter().map(Vec::len).max().unwrap_or(0);
+        println!("widest BFS level    {widest}");
+    }
+    let d = cores::core_decomposition(&g);
+    println!("degeneracy          {}", d.degeneracy);
+    let tri = triangles::count_edge_iterator(&g);
+    println!("triangles           {tri}");
+    println!("transitivity        {:.4}", triangles::transitivity(&g));
+    let cc = triangles::clustering_coefficients(&g);
+    let mean_cc = if cc.is_empty() { 0.0 } else { cc.iter().sum::<f64>() / cc.len() as f64 };
+    println!("mean clustering     {mean_cc:.4}");
+    0
+}
+
+fn cmd_count(args: &[String]) -> i32 {
+    let (pos, flags) = parse(args);
+    let g = match load_or_gen(&pos, &flags) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let device = match flags.get("device") {
+        Some(name) => match device_by_name(name) {
+            Some(d) => d,
+            None => {
+                eprintln!("unknown device {name:?}");
+                return 2;
+            }
+        },
+        None => DeviceSpec::c1060(),
+    };
+    let method = flags.get("method").map_or("gpu-opt", String::as_str);
+    if method == "doulion" {
+        let p: f64 = flags.get("p").and_then(|s| s.parse().ok()).unwrap_or(0.5);
+        let est = approx::doulion(&g, p, 42);
+        println!(
+            "DOULION estimate {:.0} (kept {} of {} edges at p = {})",
+            est.estimate,
+            est.kept_edges,
+            g.m(),
+            est.p
+        );
+        return 0;
+    }
+    let m = match method {
+        "cpu" => CountMethod::CpuExhaustive,
+        "cpu-fast" => CountMethod::CpuFast,
+        "gpu-naive" => CountMethod::GpuSim(GpuConfig::naive(device)),
+        "gpu-opt" => CountMethod::GpuSim(GpuConfig::optimized(device)),
+        "gpu-sampled" => CountMethod::GpuSim(GpuConfig::optimized(device).sampled()),
+        other => {
+            eprintln!("unknown method {other:?}");
+            return 2;
+        }
+    };
+    match count_triangles(&g, m) {
+        Ok(r) => {
+            println!("triangles   {}", r.triangles);
+            println!("tests       {}", r.tests);
+            println!("modeled     {:.4} s", r.modeled_s);
+            println!("wall        {:.4} s", r.wall_s);
+            if let Some(gpu) = r.gpu {
+                println!("kernel      {:.4} s", gpu.kernel_s);
+                println!("transfer    {:.6} s", gpu.transfer_s);
+                println!("blocks      {}", gpu.blocks);
+                println!("transactions {}", gpu.transactions);
+                println!("camping     {:.3}", gpu.camping_factor);
+                println!("layout      {} bytes", gpu.layout_bytes);
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("count failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_split(args: &[String]) -> i32 {
+    let (pos, flags) = parse(args);
+    let g = match load_or_gen(&pos, &flags) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let device = flags
+        .get("device")
+        .and_then(|n| device_by_name(n))
+        .unwrap_or_else(DeviceSpec::c1060);
+    let cfg = SplitConfig::for_device(&device);
+    let r = split_graph(&g, &cfg);
+    println!(
+        "{} chunks on {} ({} shared, {} global), {} roots tried",
+        r.chunks.len(),
+        device.name,
+        r.shared_count(),
+        r.global_count(),
+        r.roots_tried
+    );
+    for c in &r.chunks {
+        println!(
+            "  comp {:>3} levels {:>3}..{:<3} nodes {:>6} bits {:>10} {}",
+            c.component,
+            c.levels.0,
+            c.levels.1,
+            c.nodes.len(),
+            c.size_bits,
+            if c.fits_shared { "shared" } else { "GLOBAL" }
+        );
+    }
+    0
+}
+
+fn cmd_hybrid(args: &[String]) -> i32 {
+    use trigon::core::hybrid::{run_hybrid, HybridConfig};
+    let (pos, flags) = parse(args);
+    let g = match load_or_gen(&pos, &flags) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let device = flags
+        .get("device")
+        .and_then(|n| device_by_name(n))
+        .unwrap_or_else(DeviceSpec::c1060);
+    let name = device.name;
+    let r = run_hybrid(&g, &HybridConfig::new(device));
+    println!("device            {name}");
+    println!("triangles         {}", r.triangles);
+    println!("tests             {}", r.tests);
+    println!(
+        "chunks            {} ({} shared, {} global)",
+        r.split.chunks.len(),
+        r.split.shared_count(),
+        r.split.global_count()
+    );
+    println!("ALS placement     {} shared / {} global", r.shared_als, r.global_als);
+    println!("kernel (LPT)      {:.4} s", r.kernel_s);
+    println!("kernel (Eq. 6)    {:.4} s", r.eq6_s);
+    println!("total             {:.4} s", r.total_s);
+    0
+}
+
+fn cmd_kcount(args: &[String]) -> i32 {
+    let (pos, flags) = parse(args);
+    let g = match load_or_gen(&pos, &flags) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let Some(k) = flags.get("k").and_then(|s| s.parse().ok()) else {
+        eprintln!("kcount: --k K is required");
+        return 2;
+    };
+    let what = flags.get("what").map_or("cliques", String::as_str);
+    use trigon::core::kcount;
+    let count = match what {
+        "cliques" => kcount::count_k_cliques(&g, k),
+        "connected" => kcount::count_connected_subgraphs(&g, k),
+        "independent" => kcount::count_k_independent_sets(&g, k),
+        other => {
+            eprintln!("unknown subgraph kind {other:?}");
+            return 2;
+        }
+    };
+    println!("{what} of size {k}: {count}");
+    0
+}
+
+fn cmd_camping() -> i32 {
+    let spec = DeviceSpec::c1060();
+    println!("Fig 6 — partition camping: 30 active warps all hitting partition 1\n");
+    let mut camped = PartitionTraffic::new(&spec);
+    for _ in 0..30 {
+        camped.record(256);
+    }
+    print!("{}", render_partition_histogram(&camped, 40));
+    println!("\nFig 7 — avoided: warps mapped Partition(i % p) <= W_i (Eq. 11)\n");
+    let mut spread = PartitionTraffic::new(&spec);
+    for w in 0..30u64 {
+        spread.record((w % 8) * 256);
+    }
+    print!("{}", render_partition_histogram(&spread, 40));
+    0
+}

@@ -1,0 +1,126 @@
+//! End-to-end tests of the `trigon` command-line binary.
+
+use std::process::Command;
+
+fn trigon(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_trigon"))
+        .args(args)
+        .output()
+        .expect("spawn trigon");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn devices_prints_table() {
+    let (stdout, _, ok) = trigon(&["devices"]);
+    assert!(ok);
+    for needle in ["C1060", "C2050", "C2070", "185363", "321060"] {
+        assert!(stdout.contains(needle), "missing {needle} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn no_args_shows_usage() {
+    let (_, stderr, ok) = trigon(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn gen_analyze_count_roundtrip() {
+    let dir = std::env::temp_dir().join("trigon_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.txt");
+    let path_s = path.to_str().unwrap();
+
+    let (stdout, _, ok) = trigon(&["gen", "gnp", "--n", "200", "--seed", "5", "-o", path_s]);
+    assert!(ok, "gen failed: {stdout}");
+    assert!(stdout.contains("n = 200"));
+
+    let (stdout, _, ok) = trigon(&["analyze", path_s]);
+    assert!(ok);
+    assert!(stdout.contains("vertices            200"));
+    assert!(stdout.contains("triangles"));
+
+    // CPU and GPU methods agree through the CLI.
+    let count_of = |method: &str| -> u64 {
+        let (stdout, stderr, ok) = trigon(&["count", path_s, "--method", method]);
+        assert!(ok, "count {method} failed: {stderr}");
+        stdout
+            .lines()
+            .find(|l| l.starts_with("triangles"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no triangle count in:\n{stdout}"))
+    };
+    let cpu = count_of("cpu-fast");
+    assert_eq!(count_of("gpu-naive"), cpu);
+    assert_eq!(count_of("gpu-opt"), cpu);
+    assert_eq!(count_of("gpu-sampled"), cpu);
+}
+
+#[test]
+fn count_with_generated_graph() {
+    let (stdout, stderr, ok) = trigon(&[
+        "count", "--gen", "ring", "--n", "600", "--method", "gpu-sampled",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("triangles"));
+    assert!(stdout.contains("camping"));
+}
+
+#[test]
+fn kcount_subcommand() {
+    let dir = std::env::temp_dir().join("trigon_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("k4.txt");
+    let path_s = path.to_str().unwrap();
+    // K5 has C(5,4) = 5 four-cliques.
+    let (_, _, ok) = trigon(&["gen", "complete", "--n", "5", "-o", path_s]);
+    assert!(ok);
+    let (stdout, _, ok) = trigon(&["kcount", path_s, "--k", "4", "--what", "cliques"]);
+    assert!(ok);
+    assert!(stdout.contains("cliques of size 4: 5"), "{stdout}");
+}
+
+#[test]
+fn split_subcommand() {
+    let (stdout, _, ok) = trigon(&["split", "--gen", "ring", "--n", "2000", "--device", "c1060"]);
+    assert!(ok);
+    assert!(stdout.contains("chunks on C1060"), "{stdout}");
+    assert!(stdout.contains("shared"));
+}
+
+#[test]
+fn hybrid_subcommand() {
+    let (stdout, stderr, ok) = trigon(&["hybrid", "--gen", "ring", "--n", "1200"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("ALS placement"), "{stdout}");
+    assert!(stdout.contains("kernel (LPT)"));
+    assert!(stdout.contains("kernel (Eq. 6)"));
+}
+
+#[test]
+fn camping_demo_renders() {
+    let (stdout, _, ok) = trigon(&["camping"]);
+    assert!(ok);
+    assert!(stdout.contains("camping factor 7.50"));
+    assert!(stdout.contains("camping factor 1.00"));
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let (_, stderr, ok) = trigon(&["count", "/nonexistent/file.txt"]);
+    assert!(!ok);
+    assert!(stderr.contains("open"));
+    let (_, stderr, ok) = trigon(&["count", "--gen", "bogus", "--n", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown model"));
+    let (_, stderr, ok) = trigon(&["gen", "gnp"]);
+    assert!(!ok);
+    assert!(stderr.contains("--n"));
+}
