@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full workspace test suite.
+#
+#   ./ci.sh          # everything
+#   ./ci.sh quick    # skip the slow property-test suite
+#
+# trigon-bench is excluded from the test step (its Criterion benches are
+# exercised by `cargo bench` instead).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+if [ "${1:-}" = "quick" ]; then
+    cargo test --workspace --exclude trigon-bench -- --skip prop_
+else
+    cargo test --workspace --exclude trigon-bench
+fi
+
+echo "CI OK"

@@ -13,10 +13,18 @@ fn coalescing(c: &mut Criterion) {
     let mut group = c.benchmark_group("coalesce");
     let seq = sequential_pattern(0, 32, 4);
     let non = nonsequential_pattern(0, 32, 4);
-    for cc in [ComputeCapability::Cc10, ComputeCapability::Cc13, ComputeCapability::Cc20] {
-        group.bench_with_input(BenchmarkId::new("sequential", cc.as_str()), &cc, |b, &cc| {
-            b.iter(|| black_box(warp_transactions(cc, &seq, 4).transactions));
-        });
+    for cc in [
+        ComputeCapability::Cc10,
+        ComputeCapability::Cc13,
+        ComputeCapability::Cc20,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("sequential", cc.as_str()),
+            &cc,
+            |b, &cc| {
+                b.iter(|| black_box(warp_transactions(cc, &seq, 4).transactions));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("nonsequential", cc.as_str()),
             &cc,

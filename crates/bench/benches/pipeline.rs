@@ -5,8 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use trigon_core::als::build_als;
-use trigon_core::hybrid::{run_hybrid, HybridConfig};
+use trigon_core::hybrid::{run_hybrid_collected, HybridConfig};
 use trigon_core::split::{split_graph, SplitConfig};
+use trigon_core::Collector;
 use trigon_gpu_sim::DeviceSpec;
 use trigon_graph::gen;
 
@@ -53,7 +54,7 @@ fn hybrid(c: &mut Criterion) {
     let g = gen::community_ring(3_000, 150, 0.25, 3, 42);
     let cfg = HybridConfig::new(DeviceSpec::c1060());
     group.bench_function("run_hybrid_3000", |b| {
-        b.iter(|| black_box(run_hybrid(&g, &cfg).triangles));
+        b.iter(|| black_box(run_hybrid_collected(&g, &cfg, &mut Collector::disabled()).triangles));
     });
     group.finish();
 }

@@ -80,5 +80,10 @@ fn simulated_gpu(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, cpu_reference_algorithms, algorithm2_paths, simulated_gpu);
+criterion_group!(
+    benches,
+    cpu_reference_algorithms,
+    algorithm2_paths,
+    simulated_gpu
+);
 criterion_main!(benches);

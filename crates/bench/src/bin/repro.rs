@@ -11,10 +11,28 @@
 use std::io::Write as _;
 use trigon_bench::{fig10_graph, fig10_sizes, fig11_graph, fig11_sizes};
 use trigon_core::gpu_exec::GpuConfig;
-use trigon_core::pipeline::{count_triangles, CountMethod};
-use trigon_core::{table2, LayoutKind};
+use trigon_core::{table2, Analysis, LayoutKind, Method, RunReport};
 use trigon_gpu_sim::coalesce::{nonsequential_pattern, sequential_pattern};
 use trigon_gpu_sim::{warp_transactions, ComputeCapability, DeviceSpec};
+use trigon_graph::Graph;
+
+/// Runs one pipeline configuration and returns its [`RunReport`].
+fn run(g: &Graph, method: Method) -> RunReport {
+    Analysis::new(g)
+        .method(method)
+        .device(DeviceSpec::c1060())
+        .run()
+        .expect("pipeline run")
+}
+
+/// Runs with a fully explicit GPU configuration.
+fn run_cfg(g: &Graph, cfg: GpuConfig) -> RunReport {
+    Analysis::new(g)
+        .method(Method::GpuOptimized)
+        .gpu_config(cfg)
+        .run()
+        .expect("pipeline run")
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -187,14 +205,6 @@ fn fig1(out: &Output) {
     out.csv("fig1", "policy,makespan", &rows);
 }
 
-fn gpu_cfg(optimized: bool) -> GpuConfig {
-    if optimized {
-        GpuConfig::optimized(DeviceSpec::c1060())
-    } else {
-        GpuConfig::naive(DeviceSpec::c1060())
-    }
-}
-
 /// Fig. 10 — CPU vs GPU triangle counting, 200–1200 nodes.
 fn fig10(out: &Output) {
     out.section("Fig 10: counting triangles, CPU vs GPU (G(n, deg 16), modeled seconds)");
@@ -205,17 +215,17 @@ fn fig10(out: &Output) {
     let mut rows = Vec::new();
     for n in fig10_sizes() {
         let g = fig10_graph(n);
-        let cpu = count_triangles(&g, CountMethod::CpuFast).expect("cpu run");
-        let gpu = count_triangles(&g, CountMethod::GpuSim(gpu_cfg(true))).expect("gpu run");
-        assert_eq!(cpu.triangles, gpu.triangles, "count mismatch at n={n}");
+        let cpu = run(&g, Method::CpuFast);
+        let gpu = run(&g, Method::GpuOptimized);
+        assert_eq!(cpu.count, gpu.count, "count mismatch at n={n}");
         let speedup = cpu.modeled_s / gpu.modeled_s;
         println!(
             "{:>6} {:>12} {:>14} {:>10.2} {:>10.2} {:>8.2}",
-            n, cpu.triangles, cpu.tests, cpu.modeled_s, gpu.modeled_s, speedup
+            n, cpu.count, cpu.tests, cpu.modeled_s, gpu.modeled_s, speedup
         );
         rows.push(format!(
             "{n},{},{},{:.4},{:.4},{:.3}",
-            cpu.triangles, cpu.tests, cpu.modeled_s, gpu.modeled_s, speedup
+            cpu.count, cpu.tests, cpu.modeled_s, gpu.modeled_s, speedup
         ));
     }
     out.csv("fig10", "n,triangles,tests,cpu_s,gpu_s,speedup", &rows);
@@ -232,32 +242,30 @@ fn fig11(out: &Output) {
     let mut rows = Vec::new();
     for n in fig11_sizes() {
         let g = fig11_graph(n);
-        let cpu = count_triangles(&g, CountMethod::CpuFast).expect("cpu run");
-        let gpu =
-            count_triangles(&g, CountMethod::GpuSim(gpu_cfg(true).sampled())).expect("gpu run");
-        assert_eq!(cpu.triangles, gpu.triangles, "count mismatch at n={n}");
+        let cpu = run(&g, Method::CpuFast);
+        let gpu = run(&g, Method::GpuSampled);
+        assert_eq!(cpu.count, gpu.count, "count mismatch at n={n}");
         let speedup = cpu.modeled_s / gpu.modeled_s;
         println!(
             "{:>7} {:>12} {:>16} {:>10.1} {:>10.2} {:>8.2}",
-            n, cpu.triangles, cpu.tests, cpu.modeled_s, gpu.modeled_s, speedup
+            n, cpu.count, cpu.tests, cpu.modeled_s, gpu.modeled_s, speedup
         );
         rows.push(format!(
             "{n},{},{},{:.4},{:.4},{:.3}",
-            cpu.triangles, cpu.tests, cpu.modeled_s, gpu.modeled_s, speedup
+            cpu.count, cpu.tests, cpu.modeled_s, gpu.modeled_s, speedup
         ));
     }
     // The §XI 100,000-node data point (GPU only, like the paper's remark).
     let n = 100_000u32;
     let g = fig11_graph(n);
-    let gpu =
-        count_triangles(&g, CountMethod::GpuSim(gpu_cfg(true).sampled())).expect("gpu run");
+    let gpu = run(&g, Method::GpuSampled);
     println!(
         "{:>7} {:>12} {:>16} {:>10} {:>10.1}   (paper: 170-180 s)",
-        n, gpu.triangles, gpu.tests, "-", gpu.modeled_s
+        n, gpu.count, gpu.tests, "-", gpu.modeled_s
     );
     rows.push(format!(
         "{n},{},{},,{:.4},",
-        gpu.triangles, gpu.tests, gpu.modeled_s
+        gpu.count, gpu.tests, gpu.modeled_s
     ));
     out.csv("fig11", "n,triangles,tests,cpu_s,gpu_s,speedup", &rows);
     println!("  paper band: ~10x GPU speedup at 5k-25k");
@@ -273,9 +281,9 @@ fn fig12(out: &Output) {
     let mut rows = Vec::new();
     for n in fig10_sizes() {
         let g = fig10_graph(n);
-        let nv = count_triangles(&g, CountMethod::GpuSim(gpu_cfg(false))).expect("naive run");
-        let op = count_triangles(&g, CountMethod::GpuSim(gpu_cfg(true))).expect("optimized run");
-        assert_eq!(nv.triangles, op.triangles, "count mismatch at n={n}");
+        let nv = run(&g, Method::GpuNaive);
+        let op = run(&g, Method::GpuOptimized);
+        assert_eq!(nv.count, op.count, "count mismatch at n={n}");
         let gain = 100.0 * (nv.modeled_s - op.modeled_s) / nv.modeled_s;
         let (cn, co) = (
             nv.gpu.as_ref().unwrap().camping_factor,
@@ -313,7 +321,11 @@ fn workload(out: &Output) {
         let counts: Vec<u128> = als.iter().map(|a| a.test_count(3)).collect();
         let total: u128 = counts.iter().sum();
         let max = counts.iter().copied().max().unwrap_or(0);
-        let dominant = if total > 0 { 100.0 * max as f64 / total as f64 } else { 0.0 };
+        let dominant = if total > 0 {
+            100.0 * max as f64 / total as f64
+        } else {
+            0.0
+        };
         println!(
             "  {label:<32} ALS {:>4}  tests {:>14}  dominant ALS {:>5.1} %",
             als.len(),
@@ -362,7 +374,7 @@ fn ablation(out: &Output) {
             let mut cfg = GpuConfig::naive(DeviceSpec::c1060());
             cfg.layout = layout;
             cfg.schedule = sched;
-            let r = count_triangles(&g, CountMethod::GpuSim(cfg)).expect("run");
+            let r = run_cfg(&g, cfg);
             let d = r.gpu.as_ref().unwrap();
             println!(
                 "{:<24} {:<12} {:>10.3} {:>10.2}",
@@ -374,7 +386,11 @@ fn ablation(out: &Output) {
             ));
         }
     }
-    out.csv("ablation_layout_schedule", "layout,schedule,gpu_s,camping", &rows);
+    out.csv(
+        "ablation_layout_schedule",
+        "layout,schedule,gpu_s,camping",
+        &rows,
+    );
 
     out.section("Ablation B: combination work-division strategies (n = 1000, k = 3)");
     let n = 1000u64;
@@ -403,8 +419,14 @@ fn ablation(out: &Output) {
         "ablation_strategies",
         "strategy,threads,max_load,imbalance",
         &[
-            format!("C,{},{},{}", c_stats.threads, c_stats.max, c_stats.imbalance),
-            format!("D,{},{},{}", d_stats.threads, d_stats.max, d_stats.imbalance),
+            format!(
+                "C,{},{},{}",
+                c_stats.threads, c_stats.max, c_stats.imbalance
+            ),
+            format!(
+                "D,{},{},{}",
+                d_stats.threads, d_stats.max, d_stats.imbalance
+            ),
         ],
     );
 
@@ -418,12 +440,15 @@ fn ablation(out: &Output) {
         );
         for (name, div) in [
             ("D: equal blocks", trigon_core::WorkDivision::EqualBlocks),
-            ("C: leading element", trigon_core::WorkDivision::LeadingElement),
+            (
+                "C: leading element",
+                trigon_core::WorkDivision::LeadingElement,
+            ),
         ] {
             let mut cfg = GpuConfig::optimized(DeviceSpec::c1060());
             cfg.division = div;
             cfg.schedule = trigon_core::SchedulePolicy::RoundRobin;
-            let r = count_triangles(&g, CountMethod::GpuSim(cfg)).expect("run");
+            let r = run_cfg(&g, cfg);
             let d = r.gpu.as_ref().unwrap();
             println!(
                 "{:<28} {:>8} {:>12.4} {:>10.3}",
@@ -434,7 +459,11 @@ fn ablation(out: &Output) {
                 d.blocks, d.schedule_imbalance, d.kernel_s
             ));
         }
-        out.csv("ablation_division", "division,blocks,imbalance,kernel_s", &rows);
+        out.csv(
+            "ablation_division",
+            "division,blocks,imbalance,kernel_s",
+            &rows,
+        );
     }
 
     out.section("Ablation E: SS-V hybrid shared/global execution (community ring, C1060)");
@@ -446,18 +475,19 @@ fn ablation(out: &Output) {
         );
         for n in [1000u32, 3000, 6000] {
             let g = trigon_graph::gen::community_ring(n, 150, 0.25, 3, 42);
-            let h = trigon_core::run_hybrid(&g, &trigon_core::HybridConfig::new(DeviceSpec::c1060()));
-            let global_only =
-                count_triangles(&g, CountMethod::GpuSim(gpu_cfg(true).sampled())).expect("run");
+            let hr = run(&g, Method::Hybrid);
+            let h = hr.hybrid.as_ref().unwrap();
+            let eq6 = hr.eq6.as_ref().unwrap();
+            let global_only = run(&g, Method::GpuSampled);
             let go_kernel = global_only.gpu.as_ref().unwrap().kernel_s;
             println!(
                 "{n:>6} {:>10} {:>10} {:>12.4} {:>12.4} {:>12.4}",
-                h.shared_als, h.global_als, h.kernel_s, h.eq6_s, go_kernel
+                h.shared_als, h.global_als, eq6.simulated_s, eq6.predicted_s, go_kernel
             );
-            assert_eq!(h.triangles, global_only.triangles);
+            assert_eq!(hr.count, global_only.count);
             rows.push(format!(
                 "{n},{},{},{:.5},{:.5},{:.5}",
-                h.shared_als, h.global_als, h.kernel_s, h.eq6_s, go_kernel
+                h.shared_als, h.global_als, eq6.simulated_s, eq6.predicted_s, go_kernel
             ));
         }
         out.csv(
@@ -471,8 +501,14 @@ fn ablation(out: &Output) {
 
     out.section("Ablation C: storage footprints of the SS-VIII strategies (n = 100k, k = 3)");
     for (name, strat) in [
-        ("A: precomputed store", trigon_combin::Strategy::PrecomputedStore),
-        ("B: sequential on-the-fly", trigon_combin::Strategy::SequentialOnTheFly),
+        (
+            "A: precomputed store",
+            trigon_combin::Strategy::PrecomputedStore,
+        ),
+        (
+            "B: sequential on-the-fly",
+            trigon_combin::Strategy::SequentialOnTheFly,
+        ),
         (
             "C: leading-element split",
             trigon_combin::Strategy::LeadingElementSplit { lead: 1 },

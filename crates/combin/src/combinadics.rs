@@ -62,7 +62,10 @@ pub fn rank(comb: &[u32], n: u32) -> u128 {
 /// Panics if `idx ≥ C(n, k)`.
 pub fn unrank_into(mut idx: u128, n: u32, k: u32, out: &mut Vec<u32>) {
     let total = binom(u64::from(n), u64::from(k));
-    assert!(idx < total, "unrank index {idx} out of range (C({n},{k}) = {total})");
+    assert!(
+        idx < total,
+        "unrank index {idx} out of range (C({n},{k}) = {total})"
+    );
     out.clear();
     let mut v = 0u32;
     for i in 0..k {
@@ -110,10 +113,7 @@ mod tests {
         let n = 8u32;
         let k = 3u32;
         let last: Vec<u32> = (n - k..n).collect();
-        assert_eq!(
-            rank(&last, n),
-            binom(u64::from(n), u64::from(k)) - 1
-        );
+        assert_eq!(rank(&last, n), binom(u64::from(n), u64::from(k)) - 1);
     }
 
     #[test]

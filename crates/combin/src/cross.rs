@@ -233,16 +233,30 @@ enum CursorState {
     /// AtLeastOneFirst). Stored in global positions already.
     Single,
     /// Mixed block state: `t` picks from the first level.
-    Mixed { t: u32, comb_a: Vec<u32>, comb_b: Vec<u32> },
+    Mixed {
+        t: u32,
+        comb_a: Vec<u32>,
+        comb_b: Vec<u32>,
+    },
 }
 
 impl CrossCursor {
     fn exhausted(space: TwoLevelSpace, mode: CrossMode) -> Self {
-        Self { space, mode, state: CursorState::Exhausted, global: Vec::new() }
+        Self {
+            space,
+            mode,
+            state: CursorState::Exhausted,
+            global: Vec::new(),
+        }
     }
 
     fn single(space: TwoLevelSpace, mode: CrossMode, comb: Vec<u32>) -> Self {
-        Self { space, mode, state: CursorState::Single, global: comb }
+        Self {
+            space,
+            mode,
+            state: CursorState::Single,
+            global: comb,
+        }
     }
 
     fn mixed(space: TwoLevelSpace, t: u32, comb_a: Vec<u32>, comb_b: Vec<u32>) -> Self {
@@ -411,7 +425,11 @@ mod tests {
                         CrossMode::AtLeastOneFirst,
                     ] {
                         let all = collect(s, mode);
-                        assert_eq!(all.len() as u128, s.count(mode), "{mode:?} a={a} b={b} k={k}");
+                        assert_eq!(
+                            all.len() as u128,
+                            s.count(mode),
+                            "{mode:?} a={a} b={b} k={k}"
+                        );
                         let set: BTreeSet<_> = all.iter().cloned().collect();
                         assert_eq!(set.len(), all.len(), "duplicates in {mode:?}");
                     }
@@ -442,7 +460,11 @@ mod tests {
     fn three_modes_tile_the_union_exactly() {
         let s = TwoLevelSpace::new(4, 4, 3);
         let mut seen = BTreeSet::new();
-        for mode in [CrossMode::FirstOnly, CrossMode::Mixed, CrossMode::SecondOnly] {
+        for mode in [
+            CrossMode::FirstOnly,
+            CrossMode::Mixed,
+            CrossMode::SecondOnly,
+        ] {
             for c in collect(s, mode) {
                 assert!(seen.insert(c.clone()), "duplicate across modes: {c:?}");
             }
@@ -462,7 +484,11 @@ mod tests {
             let all = collect(s, mode);
             for (i, expect) in all.iter().enumerate() {
                 let cur = s.cursor_at(mode, i as u128);
-                assert_eq!(cur.current().unwrap(), expect.as_slice(), "{mode:?} idx {i}");
+                assert_eq!(
+                    cur.current().unwrap(),
+                    expect.as_slice(),
+                    "{mode:?} idx {i}"
+                );
             }
         }
     }
@@ -528,8 +554,11 @@ mod tests {
     fn leading_ranges_tile_the_space() {
         for (a, b, k) in [(5u32, 7u32, 3u32), (3, 0, 2), (0, 6, 3), (4, 4, 4)] {
             let s = TwoLevelSpace::new(a, b, k);
-            for mode in [CrossMode::FirstOnly, CrossMode::SecondOnly, CrossMode::AtLeastOneFirst]
-            {
+            for mode in [
+                CrossMode::FirstOnly,
+                CrossMode::SecondOnly,
+                CrossMode::AtLeastOneFirst,
+            ] {
                 let ranges = s.leading_ranges(mode);
                 let mut next = 0u128;
                 for r in &ranges {

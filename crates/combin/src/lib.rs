@@ -39,7 +39,5 @@ pub use binom::{binom, binom_checked, BinomTable};
 pub use combinadics::{rank, unrank, unrank_into};
 pub use cross::{CrossMode, TwoLevelSpace};
 pub use lex::{first_combination, next_combination, LexCombinations};
+pub use strategy::{equal_division, leading_element_loads, DivisionStats, Strategy, ThreadRange};
 pub use window::{WindowCursor, WindowSpace};
-pub use strategy::{
-    equal_division, leading_element_loads, DivisionStats, Strategy, ThreadRange,
-};

@@ -52,9 +52,7 @@ impl Strategy {
     pub fn storage_bits(&self, n: u64, k: u64, threads: u64) -> Option<u128> {
         let per_comb = u128::from(k) * u128::from(node_id_bits(n));
         match self {
-            Strategy::PrecomputedStore => {
-                crate::binom::binom_checked(n, k)?.checked_mul(per_comb)
-            }
+            Strategy::PrecomputedStore => crate::binom::binom_checked(n, k)?.checked_mul(per_comb),
             Strategy::SequentialOnTheFly => Some(2 * per_comb),
             Strategy::LeadingElementSplit { .. } | Strategy::EqualDivision => {
                 Some(u128::from(threads) * per_comb)
@@ -161,14 +159,26 @@ impl DivisionStats {
     #[must_use]
     pub fn from_loads(loads: &[u128]) -> Self {
         if loads.is_empty() {
-            return Self { threads: 0, max: 0, min: 0, mean: 0.0, imbalance: 1.0 };
+            return Self {
+                threads: 0,
+                max: 0,
+                min: 0,
+                mean: 0.0,
+                imbalance: 1.0,
+            };
         }
         let max = *loads.iter().max().unwrap();
         let min = *loads.iter().min().unwrap();
         let sum: u128 = loads.iter().sum();
         let mean = sum as f64 / loads.len() as f64;
         let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
-        Self { threads: loads.len(), max, min, mean, imbalance }
+        Self {
+            threads: loads.len(),
+            max,
+            min,
+            mean,
+            imbalance,
+        }
     }
 }
 
@@ -192,7 +202,9 @@ mod tests {
         let a = Strategy::PrecomputedStore.storage_bits(100, 3, 1).unwrap();
         assert_eq!(a, binom(100, 3) * 3 * 7);
         // §VIII-B: 2 · k · log n bits.
-        let b = Strategy::SequentialOnTheFly.storage_bits(100, 3, 64).unwrap();
+        let b = Strategy::SequentialOnTheFly
+            .storage_bits(100, 3, 64)
+            .unwrap();
         assert_eq!(b, 2 * 3 * 7);
         // C/D scale with thread count.
         let d = Strategy::EqualDivision.storage_bits(100, 3, 64).unwrap();
@@ -202,7 +214,9 @@ mod tests {
     #[test]
     fn precomputed_storage_is_prohibitive_at_paper_scale() {
         // 100k nodes, k = 3: strategy A needs ~1 PB; must dwarf 4 GB VRAM.
-        let bits = Strategy::PrecomputedStore.storage_bits(100_000, 3, 1).unwrap();
+        let bits = Strategy::PrecomputedStore
+            .storage_bits(100_000, 3, 1)
+            .unwrap();
         let c1060_bits: u128 = 4 * 1024 * 1024 * 1024 * 8;
         assert!(bits > 1000 * c1060_bits);
     }
@@ -260,7 +274,10 @@ mod tests {
 
     #[test]
     fn natural_parallelism() {
-        assert_eq!(Strategy::SequentialOnTheFly.natural_parallelism(100, 3), Some(1));
+        assert_eq!(
+            Strategy::SequentialOnTheFly.natural_parallelism(100, 3),
+            Some(1)
+        );
         // lead = 1: n - k + 1 feasible leading elements.
         let p = Strategy::LeadingElementSplit { lead: 1 }
             .natural_parallelism(100, 3)

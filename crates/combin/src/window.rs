@@ -81,11 +81,19 @@ impl WindowSpace {
         let count = self.count();
         assert!(idx <= count, "window cursor index beyond space");
         if idx == count {
-            return WindowCursor { space: *self, comb: Vec::new(), done: true };
+            return WindowCursor {
+                space: *self,
+                comb: Vec::new(),
+                done: true,
+            };
         }
         let mut comb = Vec::with_capacity(self.k as usize);
         unrank_into(idx, self.total, self.k, &mut comb);
-        WindowCursor { space: *self, comb, done: false }
+        WindowCursor {
+            space: *self,
+            comb,
+            done: false,
+        }
     }
 
     /// Cursor from the first combination.
@@ -123,8 +131,7 @@ impl WindowCursor {
         if self.done {
             return false;
         }
-        if next_combination(&mut self.comb, self.space.total) && self.comb[0] < self.space.first
-        {
+        if next_combination(&mut self.comb, self.space.total) && self.comb[0] < self.space.first {
             true
         } else {
             self.done = false;
@@ -166,9 +173,7 @@ mod tests {
                 break;
             }
         }
-        let want: Vec<Vec<u32>> = LexCombinations::new(8, 3)
-            .filter(|c| c[0] < 3)
-            .collect();
+        let want: Vec<Vec<u32>> = LexCombinations::new(8, 3).filter(|c| c[0] < 3).collect();
         assert_eq!(got, want);
         assert_eq!(got.len() as u128, w.count());
     }

@@ -8,8 +8,8 @@
 //! candidate combination exactly once across all sets.
 
 use trigon_combin::TwoLevelSpace;
-use trigon_graph::{BfsTree, Graph};
 use trigon_graph::storage::BitMatrix;
+use trigon_graph::{BfsTree, Graph};
 
 /// One adjacent level set of a BFS tree, with its local adjacency.
 ///

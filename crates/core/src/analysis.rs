@@ -1,0 +1,476 @@
+//! The [`Analysis`] builder — the one entry point of the pipeline.
+//!
+//! Every way of running the paper's machinery (CPU baselines, naive and
+//! primitive-optimized simulated GPU, sampled fidelity, the hybrid
+//! shared/global split, k-clique counting) is reached through the same
+//! builder, and every run returns the same [`RunReport`]:
+//!
+//! ```
+//! use trigon_core::{Analysis, Method};
+//! use trigon_gpu_sim::DeviceSpec;
+//! use trigon_graph::gen;
+//!
+//! let g = gen::gnp(200, 0.05, 1);
+//! let report = Analysis::new(&g)
+//!     .method(Method::GpuOptimized)
+//!     .device(DeviceSpec::c1060())
+//!     .run()
+//!     .unwrap();
+//! assert!(report.count > 0);
+//! assert!(report.gpu.unwrap().transactions > 0);
+//! ```
+//!
+//! The free functions this replaces (`count_triangles`, `run_hybrid`,
+//! `run_k_cliques`, …) remain as deprecated wrappers.
+
+use crate::error::Error;
+use crate::gpu_exec::{self, GpuConfig};
+use crate::gpu_kcount::run_k_cliques_collected;
+use crate::hybrid::{run_hybrid_collected, HybridConfig};
+use crate::report::{Eq6Section, GpuSection, HybridSection, RunReport};
+use crate::timemodel::CostModel;
+use crate::{count, pipeline};
+use std::time::Instant;
+use trigon_gpu_sim::DeviceSpec;
+use trigon_graph::Graph;
+use trigon_telemetry::{Collector, Level};
+
+/// High-level counting method, the builder's main axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Single-thread CPU, faithful Algorithm 2 combination testing.
+    CpuExhaustive,
+    /// CPU with the fast per-window edge iterator (exact at any scale).
+    CpuFast,
+    /// Simulated GPU, the paper's naive implementation (monolithic
+    /// layout, round-robin dispatch).
+    GpuNaive,
+    /// Simulated GPU with the §X/§VI primitives (partition-aligned
+    /// layout, LPT dispatch).
+    GpuOptimized,
+    /// [`Method::GpuOptimized`] at sampled fidelity (large graphs).
+    GpuSampled,
+    /// §V hybrid shared/global execution over the Algorithm 1 split.
+    Hybrid,
+    /// Simulated-GPU k-clique counting (§III extensions).
+    KCliques(u32),
+}
+
+impl Method {
+    /// Parses a CLI method name.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadConfig`] for unknown names.
+    pub fn parse(name: &str) -> Result<Method, Error> {
+        Ok(match name {
+            "cpu" | "cpu-exhaustive" => Method::CpuExhaustive,
+            "cpu-fast" => Method::CpuFast,
+            "gpu-naive" => Method::GpuNaive,
+            "gpu-opt" | "gpu-optimized" => Method::GpuOptimized,
+            "gpu-sampled" => Method::GpuSampled,
+            "hybrid" => Method::Hybrid,
+            other => {
+                return Err(Error::bad_config(format!("unknown method {other:?}")));
+            }
+        })
+    }
+
+    /// The canonical CLI name of the method.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::CpuExhaustive => "cpu",
+            Method::CpuFast => "cpu-fast",
+            Method::GpuNaive => "gpu-naive",
+            Method::GpuOptimized => "gpu-opt",
+            Method::GpuSampled => "gpu-sampled",
+            Method::Hybrid => "hybrid",
+            Method::KCliques(_) => "kcliques",
+        }
+    }
+
+    /// Whether the method runs on the simulated device.
+    #[must_use]
+    pub fn uses_device(&self) -> bool {
+        !matches!(self, Method::CpuExhaustive | Method::CpuFast)
+    }
+}
+
+/// Builder for one pipeline run. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Analysis<'g> {
+    graph: &'g Graph,
+    method: Method,
+    device: DeviceSpec,
+    cost: CostModel,
+    gpu_override: Option<GpuConfig>,
+    level: Level,
+    max_roots: usize,
+}
+
+impl<'g> Analysis<'g> {
+    /// Starts a builder with defaults: [`Method::CpuFast`], the C1060
+    /// device, the default cost model, and standard telemetry.
+    #[must_use]
+    pub fn new(graph: &'g Graph) -> Self {
+        Self {
+            graph,
+            method: Method::CpuFast,
+            device: DeviceSpec::c1060(),
+            cost: CostModel::default(),
+            gpu_override: None,
+            level: Level::Standard,
+            max_roots: 4,
+        }
+    }
+
+    /// Selects the counting method.
+    #[must_use]
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Selects the simulated device (ignored by the CPU methods).
+    #[must_use]
+    pub fn device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Overrides the calibration constants.
+    #[must_use]
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Supplies a fully explicit [`GpuConfig`] for the GPU methods
+    /// (its device and cost take precedence over [`Analysis::device`] /
+    /// [`Analysis::cost`]).
+    #[must_use]
+    pub fn gpu_config(mut self, cfg: GpuConfig) -> Self {
+        self.gpu_override = Some(cfg);
+        self
+    }
+
+    /// Sets the telemetry level. [`Level::Off`] skips all collection —
+    /// including the extra Eq. 6 prediction pass for GPU runs — leaving
+    /// the corresponding report fields empty.
+    #[must_use]
+    pub fn telemetry(mut self, level: Level) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// BFS roots the splitter tries (hybrid method).
+    #[must_use]
+    pub fn max_roots(mut self, max_roots: usize) -> Self {
+        self.max_roots = max_roots.max(1);
+        self
+    }
+
+    /// Runs the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::GraphTooLarge`] when a GPU layout exceeds the device,
+    /// [`Error::BadConfig`] for invalid configuration (bad block shape,
+    /// `k < 2`).
+    pub fn run(self) -> Result<RunReport, Error> {
+        let mut collector = Collector::with_level(self.level);
+        let g = self.graph;
+        let t0 = Instant::now();
+        let device_name = self.method.uses_device().then(|| {
+            self.gpu_override
+                .as_ref()
+                .map_or(self.device.name, |c| c.device.name)
+                .to_string()
+        });
+
+        let mut report = match self.method {
+            Method::CpuExhaustive | Method::CpuFast => {
+                let cm = if self.method == Method::CpuExhaustive {
+                    pipeline::CountMethod::CpuExhaustive
+                } else {
+                    pipeline::CountMethod::CpuFast
+                };
+                let r = pipeline::count_triangles_collected(g, cm, &self.cost, &mut collector)?;
+                self.base_report(r.triangles, r.tests, r.modeled_s)
+            }
+            Method::GpuNaive | Method::GpuOptimized | Method::GpuSampled => {
+                let cfg = self.gpu_config_for(self.method)?;
+                let r = gpu_exec::run_collected(g, &cfg, &mut collector)?;
+                let eq6 = self.eq6_prediction(r.kernel_s, &cfg);
+                let mut report = self.base_report(r.triangles, r.tests, r.total_s);
+                report.gpu = Some(GpuSection {
+                    transactions: r.transactions,
+                    camping_factor: r.camping_factor,
+                    kernel_cycles: r.kernel_cycles,
+                    kernel_s: r.kernel_s,
+                    transfer_s: r.transfer_s,
+                    host_s: r.host_s,
+                    context_s: r.context_s,
+                    blocks: r.blocks,
+                    layout_bytes: r.layout_bytes,
+                    makespan_cycles: r.makespan_cycles,
+                    sm_utilization: r.sm_utilization,
+                    schedule_imbalance: r.schedule_imbalance,
+                });
+                report.eq6 = eq6;
+                report
+            }
+            Method::Hybrid => {
+                let cfg = HybridConfig {
+                    device: self.device.clone(),
+                    cost: self.cost,
+                    max_roots: self.max_roots,
+                };
+                let r = run_hybrid_collected(g, &cfg, &mut collector);
+                let mut report = self.base_report(r.triangles, r.tests, r.total_s);
+                report.hybrid = Some(HybridSection {
+                    shared_als: r.shared_als,
+                    global_als: r.global_als,
+                    chunks: r.split.chunks.len(),
+                    oversize_chunks: r.split.oversize_count,
+                    bank_conflict_degree: collector
+                        .gauge_value("shared.bank_conflict_degree")
+                        .unwrap_or(1.0),
+                });
+                report.eq6 = Some(Eq6Section::new(r.eq6_s, r.kernel_s));
+                report
+            }
+            Method::KCliques(k) => {
+                if k < 2 {
+                    return Err(Error::bad_config(format!("k-cliques need k >= 2, got {k}")));
+                }
+                let cfg = self.gpu_config_for(Method::GpuOptimized)?;
+                let r = run_k_cliques_collected(g, &cfg, k, &mut collector)?;
+                let mut report = self.base_report(r.cliques, r.tests, r.total_s);
+                report.kind = "cliques".into();
+                report.k = k;
+                report.gpu = Some(GpuSection {
+                    transactions: r.transactions,
+                    camping_factor: 1.0, // not modeled on the k-clique path
+                    kernel_cycles: collector.counter("gpu.makespan_cycles"),
+                    kernel_s: r.kernel_s,
+                    transfer_s: collector.phase_total("xfer"),
+                    host_s: self.cost.host_prep_seconds(g.n(), g.m()),
+                    context_s: self.cost.gpu_context_init_s,
+                    blocks: r.blocks,
+                    layout_bytes: collector.counter("xfer.bytes"),
+                    makespan_cycles: collector.counter("gpu.makespan_cycles"),
+                    sm_utilization: collector.gauge_value("gpu.sm_utilization").unwrap_or(1.0),
+                    schedule_imbalance: collector
+                        .gauge_value("gpu.schedule_imbalance")
+                        .unwrap_or(1.0),
+                });
+                report
+            }
+        };
+
+        report.device = device_name;
+        report.wall_s = t0.elapsed().as_secs_f64();
+        report.telemetry = collector;
+        Ok(report)
+    }
+
+    /// The effective GPU configuration for a GPU-backed method.
+    fn gpu_config_for(&self, method: Method) -> Result<GpuConfig, Error> {
+        let mut cfg = match &self.gpu_override {
+            Some(cfg) => cfg.clone(),
+            None => match method {
+                Method::GpuNaive => GpuConfig::naive(self.device.clone()),
+                Method::GpuSampled => GpuConfig::optimized(self.device.clone()).sampled(),
+                _ => GpuConfig::optimized(self.device.clone()),
+            },
+        };
+        cfg.cost = self.cost;
+        if cfg.threads_per_block == 0 || !cfg.threads_per_block.is_multiple_of(cfg.device.warp_size)
+        {
+            return Err(Error::bad_config(format!(
+                "threads_per_block {} must be a positive multiple of the warp size {}",
+                cfg.threads_per_block, cfg.device.warp_size
+            )));
+        }
+        Ok(cfg)
+    }
+
+    /// Eq. 6 prediction for a pure-GPU run: the pipeline time the paper's
+    /// model assigns this graph's Algorithm 1 split on this device,
+    /// against the simulated kernel seconds. Skipped (None) when
+    /// telemetry is off — it costs an extra analytic pass.
+    fn eq6_prediction(&self, simulated_kernel_s: f64, cfg: &GpuConfig) -> Option<Eq6Section> {
+        if self.level == Level::Off {
+            return None;
+        }
+        let hybrid_cfg = HybridConfig {
+            device: cfg.device.clone(),
+            cost: self.cost,
+            max_roots: self.max_roots,
+        };
+        let est = run_hybrid_collected(self.graph, &hybrid_cfg, &mut Collector::disabled());
+        Some(Eq6Section::new(est.eq6_s, simulated_kernel_s))
+    }
+
+    fn base_report(&self, count: u64, tests: u128, modeled_s: f64) -> RunReport {
+        RunReport {
+            method: self.method.label().to_string(),
+            device: None,
+            n: self.graph.n(),
+            m: self.graph.m(),
+            kind: "triangles".into(),
+            k: 3,
+            count,
+            tests,
+            modeled_s,
+            wall_s: 0.0,
+            gpu: None,
+            hybrid: None,
+            eq6: None,
+            telemetry: Collector::disabled(),
+        }
+    }
+}
+
+/// Convenience check used by examples: the exact triangle count via the
+/// fast CPU path (no report).
+#[must_use]
+pub fn quick_triangle_count(g: &Graph) -> u64 {
+    count::als_fast(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trigon_graph::{gen, triangles};
+
+    #[test]
+    fn builder_methods_agree_with_reference() {
+        let g = gen::gnp(120, 0.08, 6);
+        let expect = triangles::count_edge_iterator(&g);
+        for m in [
+            Method::CpuExhaustive,
+            Method::CpuFast,
+            Method::GpuNaive,
+            Method::GpuOptimized,
+            Method::GpuSampled,
+            Method::Hybrid,
+        ] {
+            let r = Analysis::new(&g).method(m).run().unwrap();
+            assert_eq!(r.count, expect, "{m:?}");
+            assert_eq!(r.method, m.label());
+            assert!(r.modeled_s > 0.0, "{m:?}");
+            assert_eq!(r.kind, "triangles");
+        }
+    }
+
+    #[test]
+    fn gpu_report_is_fully_populated() {
+        let g = gen::gnp(300, 0.05, 2);
+        let r = Analysis::new(&g)
+            .method(Method::GpuOptimized)
+            .device(DeviceSpec::c1060())
+            .run()
+            .unwrap();
+        let gpu = r.gpu.expect("gpu section");
+        assert!(gpu.transactions > 0);
+        assert!(gpu.camping_factor >= 1.0);
+        assert!(gpu.makespan_cycles > 0);
+        assert!(gpu.sm_utilization > 0.0 && gpu.sm_utilization <= 1.0 + 1e-9);
+        let eq6 = r.eq6.expect("eq6 section");
+        assert!(eq6.predicted_s > 0.0);
+        assert!(eq6.simulated_s > 0.0);
+        assert_eq!(r.device.as_deref(), Some("C1060"));
+        assert!(r.telemetry.counter("gpu.transactions") > 0);
+        assert!(r.telemetry.phase_total("count") > 0.0);
+    }
+
+    #[test]
+    fn hybrid_report_has_placement_and_eq6() {
+        let g = gen::community_ring(1500, 100, 0.2, 2, 5);
+        let r = Analysis::new(&g).method(Method::Hybrid).run().unwrap();
+        let h = r.hybrid.expect("hybrid section");
+        assert!(h.shared_als + h.global_als > 0);
+        assert!(h.chunks > 0);
+        let eq6 = r.eq6.expect("eq6 section");
+        assert!(eq6.predicted_s > 0.0);
+        assert!(r.telemetry.phase_total("split") > 0.0);
+    }
+
+    #[test]
+    fn kcliques_counts_and_reports() {
+        let g = gen::gnp(40, 0.25, 1);
+        let r = Analysis::new(&g).method(Method::KCliques(4)).run().unwrap();
+        assert_eq!(r.count, crate::kcount::count_k_cliques(&g, 4));
+        assert_eq!(r.kind, "cliques");
+        assert_eq!(r.k, 4);
+        let gpu = r.gpu.expect("gpu section");
+        assert!(gpu.transactions > 0);
+        assert!(gpu.makespan_cycles > 0);
+    }
+
+    #[test]
+    fn telemetry_off_still_counts() {
+        let g = gen::gnp(100, 0.08, 3);
+        let r = Analysis::new(&g)
+            .method(Method::GpuOptimized)
+            .telemetry(Level::Off)
+            .run()
+            .unwrap();
+        assert_eq!(r.count, triangles::count_edge_iterator(&g));
+        assert!(r.eq6.is_none(), "eq6 pass is skipped when telemetry is off");
+        assert_eq!(r.telemetry.counter("gpu.transactions"), 0);
+        assert!(r.gpu.is_some(), "gpu section comes from the run result");
+    }
+
+    #[test]
+    fn bad_configs_are_errors_not_panics() {
+        let g = gen::path(4);
+        let mut cfg = GpuConfig::naive(DeviceSpec::c1060());
+        cfg.threads_per_block = 48;
+        let err = Analysis::new(&g)
+            .method(Method::GpuOptimized)
+            .gpu_config(cfg)
+            .run()
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let err = Analysis::new(&g)
+            .method(Method::KCliques(1))
+            .run()
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn too_large_graph_maps_to_error() {
+        let mut dev = DeviceSpec::c1060();
+        dev.global_mem_bytes = 64;
+        let g = gen::gnp(100, 0.1, 1);
+        let err = Analysis::new(&g)
+            .method(Method::GpuNaive)
+            .device(dev)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::GraphTooLarge { .. }));
+        assert_eq!(err.exit_code(), 5);
+    }
+
+    #[test]
+    fn method_parse_roundtrips() {
+        for name in [
+            "cpu",
+            "cpu-fast",
+            "gpu-naive",
+            "gpu-opt",
+            "gpu-sampled",
+            "hybrid",
+        ] {
+            let m = Method::parse(name).unwrap();
+            assert_eq!(m.label(), name);
+        }
+        assert!(Method::parse("doulion").is_err());
+        assert!(Method::parse("").is_err());
+    }
+}

@@ -149,9 +149,12 @@ pub fn list_triangles_als(g: &Graph, mut f: impl FnMut(u32, u32, u32)) {
         for mode in modes {
             let mut cur = space.cursor(mode);
             while let Some(c) = cur.current() {
-                if als.edge(g, c[0], c[1]) && als.edge(g, c[0], c[2]) && als.edge(g, c[1], c[2])
-                {
-                    let mut t = [als.global_id(c[0]), als.global_id(c[1]), als.global_id(c[2])];
+                if als.edge(g, c[0], c[1]) && als.edge(g, c[0], c[2]) && als.edge(g, c[1], c[2]) {
+                    let mut t = [
+                        als.global_id(c[0]),
+                        als.global_id(c[1]),
+                        als.global_id(c[2]),
+                    ];
                     t.sort_unstable();
                     f(t[0], t[1], t[2]);
                 }
@@ -275,7 +278,10 @@ mod tests {
             let mut ours = std::collections::BTreeSet::new();
             list_triangles_als(&g, |u, v, w| {
                 assert!(u < v && v < w);
-                assert!(ours.insert((u, v, w)), "duplicate ({u},{v},{w}) seed {seed}");
+                assert!(
+                    ours.insert((u, v, w)),
+                    "duplicate ({u},{v},{w}) seed {seed}"
+                );
             });
             let mut reference = std::collections::BTreeSet::new();
             triangles::list_triangles(&g, |u, v, w| {

@@ -1,0 +1,139 @@
+//! The one workspace-level error type.
+//!
+//! Every fallible entry point of the analysis pipeline returns [`Error`];
+//! the CLI maps each variant to a distinct exit code instead of a blanket
+//! failure. [`crate::gpu_exec::GpuError`] still exists for the deprecated
+//! free-function entry points and converts losslessly into [`Error`].
+
+use crate::gpu_exec::GpuError;
+
+/// Anything a pipeline run can fail with.
+#[derive(Debug)]
+pub enum Error {
+    /// The graph's layout does not fit the simulated device's global
+    /// memory (the Eq. 1 capacity check).
+    GraphTooLarge {
+        /// Bytes the layout needs.
+        needed: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// A configuration the pipeline cannot run: unknown method or device
+    /// name, bad block shape, `k` out of range, missing required flag.
+    BadConfig(String),
+    /// An I/O failure reading or writing a graph file.
+    Io {
+        /// Path involved, when known.
+        path: String,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// Malformed input that was read successfully but does not parse
+    /// (edge-list syntax, numeric fields).
+    Parse(String),
+}
+
+impl Error {
+    /// Shorthand for a [`Error::BadConfig`].
+    #[must_use]
+    pub fn bad_config(msg: impl Into<String>) -> Self {
+        Error::BadConfig(msg.into())
+    }
+
+    /// The CLI exit code for this error: `2` bad configuration/usage,
+    /// `3` I/O, `4` parse, `5` graph too large for the device.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Error::BadConfig(_) => 2,
+            Error::Io { .. } => 3,
+            Error::Parse(_) => 4,
+            Error::GraphTooLarge { .. } => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::GraphTooLarge { needed, capacity } => write!(
+                f,
+                "adjacency layout needs {needed} bytes but device holds {capacity}"
+            ),
+            Error::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            Error::Io { path, source } => write!(f, "open {path}: {source}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<GpuError> for Error {
+    fn from(e: GpuError) -> Self {
+        match e {
+            GpuError::GraphTooLarge { needed, capacity } => {
+                Error::GraphTooLarge { needed, capacity }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        let errs = [
+            Error::BadConfig("x".into()),
+            Error::Io {
+                path: "f".into(),
+                source: std::io::Error::new(std::io::ErrorKind::NotFound, "nope"),
+            },
+            Error::Parse("bad line".into()),
+            Error::GraphTooLarge {
+                needed: 2,
+                capacity: 1,
+            },
+        ];
+        let mut codes: Vec<i32> = errs.iter().map(Error::exit_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errs.len());
+        assert!(codes.iter().all(|&c| c != 0 && c != 1));
+    }
+
+    #[test]
+    fn gpu_error_converts() {
+        let e: Error = GpuError::GraphTooLarge {
+            needed: 9,
+            capacity: 4,
+        }
+        .into();
+        match e {
+            Error::GraphTooLarge { needed, capacity } => {
+                assert_eq!((needed, capacity), (9, 4));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_keeps_open_prefix_for_io() {
+        // The CLI tests grep stderr for "open <path>"; the Display of the
+        // Io variant must preserve that shape.
+        let e = Error::Io {
+            path: "missing.txt".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "no such file"),
+        };
+        assert!(e.to_string().starts_with("open missing.txt:"));
+    }
+}

@@ -30,11 +30,13 @@ use crate::count::count_als_fast;
 use crate::layout::{GlobalLayout, LayoutKind};
 use crate::timemodel::CostModel;
 use rayon::prelude::*;
+use std::time::Instant;
 use trigon_combin::{equal_division, CrossMode};
 use trigon_gpu_sim::{
-    camping_cycles, warp_transactions, DeviceSpec, PartitionTraffic, TransferModel,
+    camping_cycles, emit, warp_transactions, DeviceSpec, PartitionTraffic, TransferModel,
 };
 use trigon_graph::{Graph, Xoshiro256pp};
+use trigon_telemetry::Collector;
 
 /// Block→SM dispatch policy (§VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,6 +189,11 @@ pub struct GpuRunResult {
     pub layout_bytes: u64,
     /// Makespan imbalance of the block schedule (1.0 = perfect).
     pub schedule_imbalance: f64,
+    /// Makespan of the block dispatch in base (pre-camping) cycles.
+    pub makespan_cycles: u64,
+    /// Mean-load / makespan utilization of the SMs (1.0 = perfectly
+    /// balanced dispatch).
+    pub sm_utilization: f64,
 }
 
 /// One simulated block's accumulated costs.
@@ -215,11 +222,27 @@ struct BlockWork {
 ///
 /// [`GpuError::GraphTooLarge`] when the layout exceeds the device memory.
 pub fn run(g: &Graph, cfg: &GpuConfig) -> Result<GpuRunResult, GpuError> {
+    run_collected(g, cfg, &mut Collector::disabled())
+}
+
+/// Runs the simulated kernel end to end, recording phase timings
+/// (`layout`, `count`, `dispatch`), simulator counters, and partition
+/// traffic into `collector`.
+///
+/// # Errors
+///
+/// [`GpuError::GraphTooLarge`] when the layout exceeds the device memory.
+pub fn run_collected(
+    g: &Graph,
+    cfg: &GpuConfig,
+    collector: &mut Collector,
+) -> Result<GpuRunResult, GpuError> {
     assert!(
         cfg.threads_per_block >= cfg.device.warp_size
             && cfg.threads_per_block.is_multiple_of(cfg.device.warp_size),
         "threads_per_block must be a positive multiple of the warp size"
     );
+    let t_layout = Instant::now();
     let als = build_als(g);
     let layout = GlobalLayout::build(
         cfg.layout,
@@ -228,6 +251,7 @@ pub fn run(g: &Graph, cfg: &GpuConfig) -> Result<GpuRunResult, GpuError> {
         cfg.device.partitions,
         cfg.device.partition_width,
     );
+    collector.phase_seconds("layout", t_layout.elapsed().as_secs_f64());
     if layout.total_bytes() > cfg.device.global_mem_bytes {
         return Err(GpuError::GraphTooLarge {
             needed: layout.total_bytes(),
@@ -235,14 +259,17 @@ pub fn run(g: &Graph, cfg: &GpuConfig) -> Result<GpuRunResult, GpuError> {
         });
     }
 
+    let t_count = Instant::now();
     let blocks = match cfg.mode {
         FidelityMode::Exhaustive => simulate_exhaustive(g, &als, &layout, cfg),
         FidelityMode::Sampled { sample_steps } => {
             simulate_sampled(g, &als, &layout, cfg, sample_steps)
         }
     };
+    collector.phase_seconds("count", t_count.elapsed().as_secs_f64());
 
     // §VI dispatch, then phase-wise accounting.
+    let t_dispatch = Instant::now();
     let spec = &cfg.device;
     let job_sizes: Vec<u64> = blocks
         .iter()
@@ -289,13 +316,40 @@ pub fn run(g: &Graph, cfg: &GpuConfig) -> Result<GpuRunResult, GpuError> {
         kernel_cycles += camping_cycles(&merged, spec).min(spec.global_latency_cycles);
     }
 
+    collector.phase_seconds("dispatch", t_dispatch.elapsed().as_secs_f64());
+
     let triangles: u64 = blocks.iter().map(|b| b.triangles).sum();
     let tests: u128 = blocks.iter().map(|b| b.tests).sum();
     let transactions: u64 = blocks.iter().map(|b| b.transactions).sum();
     let kernel_s = spec.cycles_to_seconds(kernel_cycles) + spec.kernel_launch_s;
-    let transfer_s = TransferModel::from_spec(spec).transfer_seconds(layout.total_bytes());
+    let transfer_model = TransferModel::from_spec(spec);
+    let transfer_s = transfer_model.transfer_seconds(layout.total_bytes());
     let host_s = cfg.cost.host_prep_seconds(g.n(), g.m());
     let context_s = cfg.cost.gpu_context_init_s;
+    let makespan_cycles = schedule.makespan();
+    let sm_utilization = emit::sm_utilization(&schedule.loads);
+    if collector.enabled() {
+        let mut all_traffic = PartitionTraffic::new(spec);
+        for b in &blocks {
+            all_traffic.merge(&b.traffic);
+        }
+        emit::emit_traffic(collector, "kernel", &all_traffic);
+        emit::emit_transfer(collector, &transfer_model, layout.total_bytes());
+        collector.add("gpu.transactions", transactions);
+        collector.add("gpu.kernel_cycles", kernel_cycles);
+        collector.add("gpu.makespan_cycles", makespan_cycles);
+        collector.add("gpu.blocks", blocks.len() as u64);
+        collector.gauge("gpu.sm_utilization", sm_utilization);
+        collector.gauge(
+            "gpu.camping_factor",
+            if camping_weight > 0.0 {
+                weighted_camping / camping_weight
+            } else {
+                1.0
+            },
+        );
+        collector.gauge("gpu.schedule_imbalance", schedule.imbalance());
+    }
     Ok(GpuRunResult {
         triangles,
         tests,
@@ -314,6 +368,8 @@ pub fn run(g: &Graph, cfg: &GpuConfig) -> Result<GpuRunResult, GpuError> {
         blocks: blocks.len(),
         layout_bytes: layout.total_bytes(),
         schedule_imbalance: schedule.imbalance(),
+        makespan_cycles,
+        sm_utilization,
     })
 }
 
@@ -344,7 +400,12 @@ fn make_equal_blocks(als: &[Als], cfg: &GpuConfig) -> Vec<BlockWork> {
             let mut start = 0u128;
             while start < total {
                 let len = block_tests.min(total - start);
-                work.push(BlockWork { als_idx: ai, mode, start, len });
+                work.push(BlockWork {
+                    als_idx: ai,
+                    mode,
+                    start,
+                    len,
+                });
                 start += len;
             }
         }
@@ -365,7 +426,12 @@ fn make_leading_blocks(als: &[Als]) -> Vec<BlockWork> {
         }
         for mode in streams {
             for r in space.leading_ranges(mode) {
-                work.push(BlockWork { als_idx: ai, mode, start: r.start, len: r.len });
+                work.push(BlockWork {
+                    als_idx: ai,
+                    mode,
+                    start: r.start,
+                    len: r.len,
+                });
             }
         }
     }
@@ -412,8 +478,7 @@ fn simulate_block(
             sim.tests += step as u128;
             // Functional test.
             for c in &lane_combos {
-                if als.edge(g, c[0], c[1]) && als.edge(g, c[0], c[2]) && als.edge(g, c[1], c[2])
-                {
+                if als.edge(g, c[0], c[1]) && als.edge(g, c[0], c[2]) && als.edge(g, c[1], c[2]) {
                     sim.triangles += 1;
                 }
             }
@@ -455,9 +520,7 @@ fn price_step(
         for c in lane_combos {
             let (u, v) = (c[i], c[j]);
             let addr = match layout.kind() {
-                LayoutKind::Monolithic => {
-                    layout.word_addr(0, als.global_id(u), als.global_id(v))
-                }
+                LayoutKind::Monolithic => layout.word_addr(0, als.global_id(u), als.global_id(v)),
                 LayoutKind::AlsPartitionAligned => layout.word_addr(als_idx, u, v),
             };
             addrs.push(addr);
@@ -533,7 +596,8 @@ fn simulate_sampled(
                         continue;
                     }
                     sampled_tests += lane_combos.len() as u128;
-                    let tx = price_step(layout, a, ai, &lane_combos, spec, &mut addrs, &mut traffic);
+                    let tx =
+                        price_step(layout, a, ai, &lane_combos, spec, &mut addrs, &mut traffic);
                     sampled_tx += u64::from(tx);
                 }
             }
@@ -550,7 +614,9 @@ fn simulate_sampled(
             let triangles = count_als_fast(g, a);
             let mut out = Vec::with_capacity(jobs);
             for j in 0..jobs {
-                let share = |x: u128| -> u128 { x * (j as u128 + 1) / jobs as u128 - x * (j as u128) / jobs as u128 };
+                let share = |x: u128| -> u128 {
+                    x * (j as u128 + 1) / jobs as u128 - x * (j as u128) / jobs as u128
+                };
                 let job_tests = share(total_tests);
                 let job_steps = share(total_steps) as u64;
                 let mut job_traffic = PartitionTraffic::new(spec);
@@ -698,7 +764,11 @@ mod tests {
             let mut cfg = GpuConfig::optimized(c1060());
             cfg.division = WorkDivision::LeadingElement;
             let r = run(&g, &cfg).unwrap();
-            assert_eq!(r.triangles, triangles::count_edge_iterator(&g), "seed {seed}");
+            assert_eq!(
+                r.triangles,
+                triangles::count_edge_iterator(&g),
+                "seed {seed}"
+            );
             assert_eq!(r.tests, crate::count::total_tests(&g), "seed {seed}");
         }
     }

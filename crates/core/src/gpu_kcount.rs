@@ -13,9 +13,11 @@ use crate::als::build_als;
 use crate::gpu_exec::{GpuConfig, GpuError};
 use crate::layout::{GlobalLayout, LayoutKind};
 use rayon::prelude::*;
+use std::time::Instant;
 use trigon_combin::{equal_division, CrossMode};
-use trigon_gpu_sim::{warp_transactions, PartitionTraffic, TransferModel};
+use trigon_gpu_sim::{emit, warp_transactions, PartitionTraffic, TransferModel};
 use trigon_graph::Graph;
+use trigon_telemetry::Collector;
 
 /// Result of a simulated k-clique run.
 #[derive(Debug, Clone)]
@@ -44,9 +46,33 @@ pub struct KCliqueRunResult {
 /// # Panics
 ///
 /// Panics if `k < 2`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use trigon_core::Analysis with Method::KCliques(k), which returns a full RunReport"
+)]
 pub fn run_k_cliques(g: &Graph, cfg: &GpuConfig, k: u32) -> Result<KCliqueRunResult, GpuError> {
+    run_k_cliques_collected(g, cfg, k, &mut Collector::disabled())
+}
+
+/// Runs the simulated k-clique kernel, recording phase timings and
+/// simulator counters into `collector`.
+///
+/// # Errors
+///
+/// [`GpuError::GraphTooLarge`] when the layout exceeds the device.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn run_k_cliques_collected(
+    g: &Graph,
+    cfg: &GpuConfig,
+    k: u32,
+    collector: &mut Collector,
+) -> Result<KCliqueRunResult, GpuError> {
     assert!(k >= 2, "k-cliques need k ≥ 2");
     let spec = &cfg.device;
+    let t_layout = Instant::now();
     let als = build_als(g);
     let layout = GlobalLayout::build(
         cfg.layout,
@@ -55,12 +81,14 @@ pub fn run_k_cliques(g: &Graph, cfg: &GpuConfig, k: u32) -> Result<KCliqueRunRes
         spec.partitions,
         spec.partition_width,
     );
+    collector.phase_seconds("layout", t_layout.elapsed().as_secs_f64());
     if layout.total_bytes() > spec.global_mem_bytes {
         return Err(GpuError::GraphTooLarge {
             needed: layout.total_bytes(),
             capacity: spec.global_mem_bytes,
         });
     }
+    let t_count = Instant::now();
     // Work list: (als, mode, start, len) blocks over the k-spaces.
     let block_tests = u128::from(cfg.threads_per_block) * u128::from(cfg.tests_per_thread);
     let mut work = Vec::new();
@@ -94,7 +122,12 @@ pub fn run_k_cliques(g: &Graph, cfg: &GpuConfig, k: u32) -> Result<KCliqueRunRes
             let space = a.space(k);
             let warp = spec.warp_size as usize;
             let warps = u64::from(cfg.threads_per_block / spec.warp_size);
-            let mut acc = Acc { cliques: 0, tests: 0, transactions: 0, cycles: 0 };
+            let mut acc = Acc {
+                cliques: 0,
+                tests: 0,
+                transactions: 0,
+                cycles: 0,
+            };
             let mut traffic = PartitionTraffic::new(spec);
             let mut lanes: Vec<Vec<u32>> = Vec::with_capacity(warp);
             let mut addrs: Vec<u64> = Vec::with_capacity(warp);
@@ -133,14 +166,10 @@ pub fn run_k_cliques(g: &Graph, cfg: &GpuConfig, k: u32) -> Result<KCliqueRunRes
                             for c in &lanes {
                                 let (u, v) = (c[i], c[j]);
                                 let addr = match layout.kind() {
-                                    LayoutKind::Monolithic => layout.word_addr(
-                                        0,
-                                        a.global_id(u),
-                                        a.global_id(v),
-                                    ),
-                                    LayoutKind::AlsPartitionAligned => {
-                                        layout.word_addr(ai, u, v)
+                                    LayoutKind::Monolithic => {
+                                        layout.word_addr(0, a.global_id(u), a.global_id(v))
                                     }
+                                    LayoutKind::AlsPartitionAligned => layout.word_addr(ai, u, v),
                                 };
                                 addrs.push(addr);
                             }
@@ -163,18 +192,31 @@ pub fn run_k_cliques(g: &Graph, cfg: &GpuConfig, k: u32) -> Result<KCliqueRunRes
         })
         .collect();
 
+    collector.phase_seconds("count", t_count.elapsed().as_secs_f64());
+
     let cliques: u64 = results.iter().map(|r| r.cliques).sum();
     let tests: u128 = results.iter().map(|r| r.tests).sum();
     let transactions: u64 = results.iter().map(|r| r.transactions).sum();
     // Makespan over SMs via LPT on block cycles.
+    let t_dispatch = Instant::now();
     let job_sizes: Vec<u64> = results.iter().map(|r| r.cycles).collect();
     let schedule = trigon_sched::lpt(&job_sizes, spec.sm_count);
     let kernel_s = spec.cycles_to_seconds(schedule.makespan()) + spec.kernel_launch_s;
-    let transfer_s = TransferModel::from_spec(spec).transfer_seconds(layout.total_bytes());
+    collector.phase_seconds("dispatch", t_dispatch.elapsed().as_secs_f64());
+    let transfer_model = TransferModel::from_spec(spec);
+    let transfer_s = transfer_model.transfer_seconds(layout.total_bytes());
     let total_s = kernel_s
         + transfer_s
         + cfg.cost.host_prep_seconds(g.n(), g.m())
         + cfg.cost.gpu_context_init_s;
+    if collector.enabled() {
+        emit::emit_transfer(collector, &transfer_model, layout.total_bytes());
+        collector.add("gpu.transactions", transactions);
+        collector.add("gpu.makespan_cycles", schedule.makespan());
+        collector.add("gpu.blocks", results.len() as u64);
+        collector.gauge("gpu.sm_utilization", emit::sm_utilization(&schedule.loads));
+        collector.gauge("gpu.schedule_imbalance", schedule.imbalance());
+    }
     Ok(KCliqueRunResult {
         cliques,
         tests,
@@ -186,6 +228,7 @@ pub fn run_k_cliques(g: &Graph, cfg: &GpuConfig, k: u32) -> Result<KCliqueRunRes
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated wrappers on purpose
 mod tests {
     use super::*;
     use crate::kcount;
@@ -211,7 +254,11 @@ mod tests {
             let g = gen::gnp(40, 0.25, seed);
             for k in [4u32, 5] {
                 let r = run_k_cliques(&g, &cfg(), k).unwrap();
-                assert_eq!(r.cliques, kcount::count_k_cliques(&g, k), "seed {seed} k {k}");
+                assert_eq!(
+                    r.cliques,
+                    kcount::count_k_cliques(&g, k),
+                    "seed {seed} k {k}"
+                );
             }
         }
     }

@@ -14,10 +14,12 @@
 
 use crate::als::{build_als, Als};
 use crate::count::count_als_fast;
-use crate::split::{split_graph, SplitConfig, SplitResult};
+use crate::split::{split_graph_collected, SplitConfig, SplitResult};
 use crate::timemodel::{eq6_total_time, CostModel};
-use trigon_gpu_sim::{warp_transactions, DeviceSpec, TransferModel};
+use std::time::Instant;
+use trigon_gpu_sim::{bank_conflict_degree, warp_transactions, DeviceSpec, TransferModel};
 use trigon_graph::Graph;
+use trigon_telemetry::Collector;
 
 /// Where one ALS's adjacency is read from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +48,11 @@ impl HybridConfig {
     /// Hybrid run on a device with defaults.
     #[must_use]
     pub fn new(device: DeviceSpec) -> Self {
-        Self { device, cost: CostModel::default(), max_roots: 4 }
+        Self {
+            device,
+            cost: CostModel::default(),
+            max_roots: 4,
+        }
     }
 }
 
@@ -99,14 +105,31 @@ pub fn classify_als(als: &[Als], split: &SplitResult) -> Vec<Placement> {
 
 /// Runs the hybrid pipeline: split, classify, price each ALS at its
 /// memory tier, schedule with LPT, and compare against Eq. 6.
+#[deprecated(
+    since = "0.2.0",
+    note = "use trigon_core::Analysis with Method::Hybrid, which returns a full RunReport"
+)]
 #[must_use]
 pub fn run_hybrid(g: &Graph, cfg: &HybridConfig) -> HybridResult {
+    run_hybrid_collected(g, cfg, &mut Collector::disabled())
+}
+
+/// Runs the hybrid pipeline while recording phase timings (`split`,
+/// `count`), placement counters, and the shared-memory bank-conflict
+/// degree of the kernel's access pattern into `collector`.
+#[must_use]
+pub fn run_hybrid_collected(
+    g: &Graph,
+    cfg: &HybridConfig,
+    collector: &mut Collector,
+) -> HybridResult {
     let spec = &cfg.device;
     let split_cfg = SplitConfig {
         max_roots: cfg.max_roots,
         ..SplitConfig::for_device(spec)
     };
-    let split = split_graph(g, &split_cfg);
+    let split = split_graph_collected(g, &split_cfg, collector);
+    let t_count = Instant::now();
     let als = build_als(g);
     let placement = classify_als(&als, &split);
 
@@ -141,8 +164,8 @@ pub fn run_hybrid(g: &Graph, cfg: &HybridConfig) -> HybridResult {
                 // memory at bank latency. The access pattern (broadcast
                 // rows + consecutive columns) is conflict-light; charge
                 // the conflict-free Eq. 9 cost per load phase.
-                let step_cost = cfg.cost.gpu_step_base_shared_cycles
-                    + 3 * spec.shared_latency_cycles;
+                let step_cost =
+                    cfg.cost.gpu_step_base_shared_cycles + 3 * spec.shared_latency_cycles;
                 let per_block = copy + steps_per_block * step_cost;
                 tau_shared_total += spec.cycles_to_seconds(per_block * blocks as u64);
                 for _ in 0..blocks {
@@ -174,14 +197,51 @@ pub fn run_hybrid(g: &Graph, cfg: &HybridConfig) -> HybridResult {
 
     // The paper's naive Eq. 6 pipeline: average per-tier chunk times.
     let global_n = als.len() - shared_n;
-    let tau_s = if shared_n > 0 { tau_shared_total / shared_n as f64 } else { 0.0 };
-    let tau_g = if global_n > 0 { tau_global_total / global_n as f64 } else { 0.0 };
-    let eq6_s = eq6_total_time(shared_n as u64, global_n as u64, tau_s, tau_g, spec.sm_count);
+    let tau_s = if shared_n > 0 {
+        tau_shared_total / shared_n as f64
+    } else {
+        0.0
+    };
+    let tau_g = if global_n > 0 {
+        tau_global_total / global_n as f64
+    } else {
+        0.0
+    };
+    let eq6_s = eq6_total_time(
+        shared_n as u64,
+        global_n as u64,
+        tau_s,
+        tau_g,
+        spec.sm_count,
+    );
 
     let layout_bytes: u64 = als.iter().map(|a| (a.size_bits() / 8) as u64 + 1).sum();
-    let transfer_s = TransferModel::from_spec(spec).transfer_seconds(layout_bytes);
-    let total_s =
-        kernel_s + transfer_s + cfg.cost.host_prep_seconds(g.n(), g.m()) + cfg.cost.gpu_context_init_s;
+    let transfer_model = TransferModel::from_spec(spec);
+    let transfer_s = transfer_model.transfer_seconds(layout_bytes);
+    let total_s = kernel_s
+        + transfer_s
+        + cfg.cost.host_prep_seconds(g.n(), g.m())
+        + cfg.cost.gpu_context_init_s;
+
+    collector.phase_seconds("count", t_count.elapsed().as_secs_f64());
+    if collector.enabled() {
+        trigon_gpu_sim::emit_transfer(collector, &transfer_model, layout_bytes);
+        collector.add("hybrid.shared_als", shared_n as u64);
+        collector.add("hybrid.global_als", global_n as u64);
+        collector.add("gpu.makespan_cycles", schedule.makespan());
+        collector.gauge(
+            "gpu.sm_utilization",
+            trigon_gpu_sim::sm_utilization(&schedule.loads),
+        );
+        // The shared-tier kernel reads one broadcast row word plus
+        // consecutive column words per lane; record its Eq. 9 conflict
+        // degree (pricing stays conflict-free — this documents why).
+        let addrs: Vec<u64> = (0..spec.warp_size as u64).map(|l| l * 4).collect();
+        collector.gauge(
+            "shared.bank_conflict_degree",
+            f64::from(bank_conflict_degree(&addrs, spec.shared_banks)),
+        );
+    }
 
     HybridResult {
         triangles,
@@ -213,8 +273,7 @@ fn estimate_tx_per_step(a: &Als, spec: &DeviceSpec) -> f64 {
     let mut cur = space.cursor(mode);
     let pitch = u64::from(a.size()).div_ceil(8).next_multiple_of(128);
     let mut lanes: Vec<[u32; 3]> = Vec::with_capacity(32);
-    loop {
-        let Some(c) = cur.current() else { break };
+    while let Some(c) = cur.current() {
         lanes.push([c[0], c[1], c[2]]);
         if lanes.len() == 32 || !cur.advance() {
             break;
@@ -235,6 +294,7 @@ fn estimate_tx_per_step(a: &Als, spec: &DeviceSpec) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated wrappers on purpose
 mod tests {
     use super::*;
     use trigon_graph::{gen, triangles};
@@ -320,7 +380,7 @@ mod tests {
     fn classification_consistency() {
         let g = gen::community_ring(1500, 100, 0.25, 2, 9);
         let split_cfg = SplitConfig::for_device(&DeviceSpec::c1060());
-        let split = split_graph(&g, &split_cfg);
+        let split = crate::split::split_graph(&g, &split_cfg);
         let als = build_als(&g);
         for (a, p) in als.iter().zip(classify_als(&als, &split)) {
             if let Placement::Shared { chunk } = p {
@@ -344,6 +404,21 @@ mod tests {
         let fermi = run_hybrid(&g, &HybridConfig::new(DeviceSpec::c2050()));
         assert!(fermi.shared_als >= tesla.shared_als);
         assert_eq!(fermi.triangles, tesla.triangles);
+    }
+
+    #[test]
+    fn collected_run_records_placement_and_phases() {
+        let g = gen::community_ring(1500, 100, 0.2, 2, 3);
+        let mut c = Collector::new();
+        let r = run_hybrid_collected(&g, &cfg(), &mut c);
+        assert_eq!(c.counter("hybrid.shared_als"), r.shared_als as u64);
+        assert_eq!(c.counter("hybrid.global_als"), r.global_als as u64);
+        assert!(c.phase_total("split") > 0.0);
+        assert!(c.phase_total("count") > 0.0);
+        assert!(c.counter("xfer.bytes") > 0);
+        // Consecutive words over 16 banks: a full warp double-covers the
+        // banks (degree 2 on C1060; 1 on the 32-bank Fermi parts).
+        assert_eq!(c.gauge_value("shared.bank_conflict_degree"), Some(2.0));
     }
 
     #[test]

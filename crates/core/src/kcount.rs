@@ -82,11 +82,7 @@ pub fn count_connected_subgraphs(g: &Graph, k: u32) -> u64 {
             // Window: levels start .. start+k (exclusive), clamped.
             let end = (start + k as usize).min(levels.len());
             let first: &[u32] = &levels[start];
-            let rest: Vec<u32> = levels[start + 1..end]
-                .iter()
-                .flatten()
-                .copied()
-                .collect();
+            let rest: Vec<u32> = levels[start + 1..end].iter().flatten().copied().collect();
             let a = first.len() as u32;
             let n = a + rest.len() as u32;
             if n < k {
@@ -271,7 +267,11 @@ mod tests {
         let p = gen::path(12);
         for k in 1..=4u32 {
             // Connected k-subsets of a path are its k-windows: n - k + 1.
-            assert_eq!(count_connected_subgraphs(&p, k), u64::from(12 - k + 1), "k {k}");
+            assert_eq!(
+                count_connected_subgraphs(&p, k),
+                u64::from(12 - k + 1),
+                "k {k}"
+            );
         }
     }
 

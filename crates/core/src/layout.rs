@@ -71,7 +71,11 @@ impl GlobalLayout {
     #[must_use]
     pub fn monolithic(n: u32) -> Self {
         let pitch = (u64::from(n).div_ceil(8)).next_multiple_of(512);
-        let block = BlockDesc { base: 0, local_n: n, pitch };
+        let block = BlockDesc {
+            base: 0,
+            local_n: n,
+            pitch,
+        };
         Self {
             kind: LayoutKind::Monolithic,
             total_bytes: block.bytes(),
@@ -93,8 +97,8 @@ impl GlobalLayout {
             // 128-byte segment: consecutive rows then advance half a
             // partition, cycling through all partitions — the diagonal
             // skew of the matrix-transpose work the paper cites.
-            let mut pitch = (u64::from(local_n).div_ceil(8))
-                .next_multiple_of(SEGMENT.min(partition_width));
+            let mut pitch =
+                (u64::from(local_n).div_ceil(8)).next_multiple_of(SEGMENT.min(partition_width));
             if (pitch / SEGMENT).is_multiple_of(2) {
                 pitch += SEGMENT;
             }
@@ -106,11 +110,19 @@ impl GlobalLayout {
             {
                 cursor += partition_width;
             }
-            let block = BlockDesc { base: cursor, local_n, pitch };
+            let block = BlockDesc {
+                base: cursor,
+                local_n,
+                pitch,
+            };
             cursor += block.bytes();
             blocks.push(block);
         }
-        Self { kind: LayoutKind::AlsPartitionAligned, blocks, total_bytes: cursor }
+        Self {
+            kind: LayoutKind::AlsPartitionAligned,
+            blocks,
+            total_bytes: cursor,
+        }
     }
 
     /// Builds the layout of `kind` for a graph of `n` vertices and its ALS
@@ -221,7 +233,10 @@ mod tests {
         let b = l.word_addr(0, 3, 65);
         assert_eq!(a, b, "same 32-bit word");
         assert_ne!(l.word_addr(0, 3, 96), a, "next word differs");
-        assert_eq!(l.word_addr(0, 4, 0) - l.word_addr(0, 3, 0), l.blocks()[0].pitch);
+        assert_eq!(
+            l.word_addr(0, 4, 0) - l.word_addr(0, 3, 0),
+            l.blocks()[0].pitch
+        );
     }
 
     #[test]

@@ -27,27 +27,42 @@
 //! * [`kcount`] — the §III extensions: `k`-cliques, `k`-independent sets
 //!   and connected subgraphs of size `k`;
 //! * [`pipeline`] — one-call end-to-end runs producing the reports the
-//!   benchmark harness prints.
+//!   benchmark harness prints;
+//! * [`analysis`] — the [`Analysis`] builder, the single entry point
+//!   every front end drives, returning the unified [`RunReport`];
+//! * [`report`] — the [`RunReport`] schema and its JSON serialization;
+//! * [`error`] — the one workspace [`Error`] type with per-variant CLI
+//!   exit codes.
 
 #![deny(missing_docs)]
 
 pub mod als;
+pub mod analysis;
 pub mod capacity;
 pub mod count;
+pub mod error;
 pub mod gpu_exec;
 pub mod gpu_kcount;
 pub mod hybrid;
 pub mod kcount;
 pub mod layout;
 pub mod pipeline;
+pub mod report;
 pub mod split;
 pub mod timemodel;
 
 pub use als::{build_als, Als};
+pub use analysis::{Analysis, Method};
 pub use capacity::{max_graph_adjacency, max_graph_sutm, max_graph_utm, table2, Table2Row};
+pub use error::Error;
 pub use gpu_exec::{GpuConfig, GpuRunResult, SchedulePolicy, WorkDivision};
+#[allow(deprecated)]
 pub use gpu_kcount::{run_k_cliques, KCliqueRunResult};
+#[allow(deprecated)]
 pub use hybrid::{run_hybrid, HybridConfig, HybridResult, Placement};
 pub use layout::{GlobalLayout, LayoutKind};
+#[allow(deprecated)]
 pub use pipeline::{count_triangles, CountMethod, TriangleReport};
-pub use split::{split_graph, Chunk, SplitConfig, SplitResult};
+pub use report::{Eq6Section, GpuSection, HybridSection, RunReport, RUN_REPORT_SCHEMA_VERSION};
+pub use split::{split_graph, split_graph_collected, Chunk, SplitConfig, SplitResult};
+pub use trigon_telemetry::{Collector, Json, Level};

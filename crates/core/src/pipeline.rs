@@ -2,10 +2,12 @@
 //! the entry point the examples and the benchmark harness drive.
 
 use crate::count;
+use crate::error::Error;
 use crate::gpu_exec::{self, GpuConfig, GpuError, GpuRunResult};
 use crate::timemodel::CostModel;
 use std::time::Instant;
 use trigon_graph::Graph;
+use trigon_telemetry::Collector;
 
 /// Which implementation counts the triangles.
 #[derive(Debug, Clone)]
@@ -48,7 +50,12 @@ pub struct TriangleReport {
 /// # Errors
 ///
 /// Propagates [`GpuError`] for GPU runs on graphs exceeding the device.
+#[deprecated(
+    since = "0.2.0",
+    note = "use trigon_core::Analysis, which returns a full RunReport"
+)]
 pub fn count_triangles(g: &Graph, method: CountMethod) -> Result<TriangleReport, GpuError> {
+    #[allow(deprecated)]
     count_triangles_with(g, method, &CostModel::default())
 }
 
@@ -57,30 +64,60 @@ pub fn count_triangles(g: &Graph, method: CountMethod) -> Result<TriangleReport,
 /// # Errors
 ///
 /// Propagates [`GpuError`] for GPU runs on graphs exceeding the device.
+#[deprecated(
+    since = "0.2.0",
+    note = "use trigon_core::Analysis, which returns a full RunReport"
+)]
 pub fn count_triangles_with(
     g: &Graph,
     method: CountMethod,
     cost: &CostModel,
 ) -> Result<TriangleReport, GpuError> {
+    count_triangles_collected(g, method, cost, &mut Collector::disabled()).map_err(|e| match e {
+        Error::GraphTooLarge { needed, capacity } => GpuError::GraphTooLarge { needed, capacity },
+        other => unreachable!("triangle pipeline only fails on capacity: {other}"),
+    })
+}
+
+/// Runs the full pipeline with an explicit cost model, recording phase
+/// timings and simulator counters into `collector`.
+///
+/// # Errors
+///
+/// [`Error::GraphTooLarge`] for GPU runs on graphs exceeding the device.
+pub fn count_triangles_collected(
+    g: &Graph,
+    method: CountMethod,
+    cost: &CostModel,
+    collector: &mut Collector,
+) -> Result<TriangleReport, Error> {
     let t0 = Instant::now();
     let (triangles, tests, modeled_s, gpu) = match method {
         CountMethod::CpuExhaustive => {
+            let t_count = Instant::now();
             let r = count::cpu_exhaustive(g);
+            collector.phase_seconds("count", t_count.elapsed().as_secs_f64());
             let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), r.tests);
             (r.triangles, r.tests, modeled, None)
         }
         CountMethod::CpuFast => {
+            let t_count = Instant::now();
             let triangles = count::als_fast(g);
             let tests = count::total_tests(g);
+            collector.phase_seconds("count", t_count.elapsed().as_secs_f64());
             let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), tests);
             (triangles, tests, modeled, None)
         }
         CountMethod::GpuSim(mut cfg) => {
             cfg.cost = *cost;
-            let r = gpu_exec::run(g, &cfg)?;
+            let r = gpu_exec::run_collected(g, &cfg, collector)?;
             (r.triangles, r.tests, r.total_s, Some(r))
         }
     };
+    if collector.enabled() {
+        collector.add("pipeline.tests", u64::try_from(tests).unwrap_or(u64::MAX));
+        collector.add("pipeline.triangles", triangles);
+    }
     Ok(TriangleReport {
         n: g.n(),
         m: g.m(),
@@ -93,6 +130,7 @@ pub fn count_triangles_with(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated wrappers on purpose
 mod tests {
     use super::*;
     use trigon_gpu_sim::DeviceSpec;

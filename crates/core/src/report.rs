@@ -1,0 +1,295 @@
+//! The unified [`RunReport`]: everything one pipeline run knows about
+//! itself, in one schema.
+//!
+//! A report carries the graph stats, the method/device configuration,
+//! the counting result, and — for simulated-GPU runs — the memory-system
+//! accounting the paper's primitives act on: coalescing transactions,
+//! the partition-camping factor (Eq. 10), per-SM makespan and
+//! utilization (§VI), PCIe transfer, and the Eq. 6 predicted pipeline
+//! time against the simulated one. The attached telemetry
+//! [`Collector`] adds scoped phase wall times (`split`, `layout`,
+//! `dispatch`, `count`) and every counter the lower layers emitted.
+//!
+//! Serialization is the hand-rolled JSON of `trigon-telemetry`
+//! ([`RunReport::to_json`]); the schema is pinned by a golden key-path
+//! test, not by values, so timings may vary freely between runs.
+
+use trigon_telemetry::{Collector, Json};
+
+/// Version of the JSON schema [`RunReport::to_json`] emits. Bump when
+/// key paths change shape.
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// GPU-simulator detail of a run (absent for pure-CPU methods).
+#[derive(Debug, Clone)]
+pub struct GpuSection {
+    /// Global-memory transactions issued by the kernel (coalescing
+    /// output, Table III).
+    pub transactions: u64,
+    /// Phase-weighted partition-camping factor (Eq. 10; 1.0 = none).
+    pub camping_factor: f64,
+    /// Simulated kernel cycles.
+    pub kernel_cycles: u64,
+    /// Kernel seconds.
+    pub kernel_s: f64,
+    /// Host→device PCIe transfer seconds.
+    pub transfer_s: f64,
+    /// Host-side preparation seconds (BFS, Algorithm 1, layout).
+    pub host_s: f64,
+    /// One-time context/allocation seconds.
+    pub context_s: f64,
+    /// Thread blocks dispatched.
+    pub blocks: usize,
+    /// Bytes of device global memory the layout used.
+    pub layout_bytes: u64,
+    /// Makespan of the block dispatch in base cycles (§VI).
+    pub makespan_cycles: u64,
+    /// Mean-load / makespan SM utilization (1.0 = perfectly balanced).
+    pub sm_utilization: f64,
+    /// Makespan imbalance of the schedule (1.0 = perfect).
+    pub schedule_imbalance: f64,
+}
+
+/// Hybrid shared/global placement detail (present for hybrid runs).
+#[derive(Debug, Clone)]
+pub struct HybridSection {
+    /// ALS served from shared memory.
+    pub shared_als: usize,
+    /// ALS served from global memory.
+    pub global_als: usize,
+    /// Chunks produced by Algorithm 1.
+    pub chunks: usize,
+    /// Chunks too large for shared memory.
+    pub oversize_chunks: usize,
+    /// Eq. 9 bank-conflict degree of the shared-tier access pattern
+    /// (1.0 = conflict-free).
+    pub bank_conflict_degree: f64,
+}
+
+/// The paper's Eq. 6 execution-time model against the simulation.
+#[derive(Debug, Clone)]
+pub struct Eq6Section {
+    /// Eq. 6 pipeline seconds predicted from the graph's split
+    /// (`τt = μ·τs + ψg·τg`).
+    pub predicted_s: f64,
+    /// Kernel seconds the simulator actually produced.
+    pub simulated_s: f64,
+    /// `predicted_s / simulated_s`.
+    pub ratio: f64,
+}
+
+impl Eq6Section {
+    /// Builds the section, deriving the ratio (0 when the simulated time
+    /// is zero).
+    #[must_use]
+    pub fn new(predicted_s: f64, simulated_s: f64) -> Self {
+        let ratio = if simulated_s > 0.0 {
+            predicted_s / simulated_s
+        } else {
+            0.0
+        };
+        Self {
+            predicted_s,
+            simulated_s,
+            ratio,
+        }
+    }
+}
+
+/// The unified run report every [`crate::Analysis`] run produces.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Method label (`cpu`, `cpu-fast`, `gpu-naive`, `gpu-opt`,
+    /// `gpu-sampled`, `hybrid`, `kcliques`).
+    pub method: String,
+    /// Simulated device name, when the method uses one.
+    pub device: Option<String>,
+    /// Vertices.
+    pub n: u32,
+    /// Edges.
+    pub m: usize,
+    /// What was counted: `"triangles"` or `"cliques"`.
+    pub kind: String,
+    /// Subgraph order (3 for triangles).
+    pub k: u32,
+    /// The exact count.
+    pub count: u64,
+    /// Algorithm 2 combination tests performed or accounted.
+    pub tests: u128,
+    /// Modeled seconds on the paper's hardware.
+    pub modeled_s: f64,
+    /// Wall-clock seconds this process actually spent.
+    pub wall_s: f64,
+    /// GPU-simulator detail.
+    pub gpu: Option<GpuSection>,
+    /// Hybrid placement detail.
+    pub hybrid: Option<HybridSection>,
+    /// Eq. 6 predicted-vs-simulated comparison.
+    pub eq6: Option<Eq6Section>,
+    /// Raw telemetry gathered during the run.
+    pub telemetry: Collector,
+}
+
+impl RunReport {
+    /// Serializes the report. Key order is fixed; the `tests` count is
+    /// emitted as an integer when it fits `u64`, else as a float.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut root = Json::object();
+        root.set(
+            "schema_version",
+            Json::from(u64::from(RUN_REPORT_SCHEMA_VERSION)),
+        );
+
+        let mut graph = Json::object();
+        graph.set("n", Json::from(u64::from(self.n)));
+        graph.set("m", Json::from(self.m));
+        root.set("graph", graph);
+
+        let mut config = Json::object();
+        config.set("method", Json::from(self.method.as_str()));
+        config.set(
+            "device",
+            self.device.as_deref().map_or(Json::Null, Json::from),
+        );
+        root.set("config", config);
+
+        let mut result = Json::object();
+        result.set("kind", Json::from(self.kind.as_str()));
+        result.set("k", Json::from(u64::from(self.k)));
+        result.set("count", Json::from(self.count));
+        result.set(
+            "tests",
+            u64::try_from(self.tests).map_or(Json::Float(self.tests as f64), Json::from),
+        );
+        root.set("result", result);
+
+        let mut timing = Json::object();
+        timing.set("modeled_s", Json::from(self.modeled_s));
+        timing.set("wall_s", Json::from(self.wall_s));
+        root.set("timing", timing);
+
+        root.set(
+            "gpu",
+            self.gpu.as_ref().map_or(Json::Null, |g| {
+                let mut o = Json::object();
+                o.set("transactions", Json::from(g.transactions));
+                o.set("camping_factor", Json::from(g.camping_factor));
+                o.set("kernel_cycles", Json::from(g.kernel_cycles));
+                o.set("kernel_s", Json::from(g.kernel_s));
+                o.set("transfer_s", Json::from(g.transfer_s));
+                o.set("host_s", Json::from(g.host_s));
+                o.set("context_s", Json::from(g.context_s));
+                o.set("blocks", Json::from(g.blocks));
+                o.set("layout_bytes", Json::from(g.layout_bytes));
+                o.set("makespan_cycles", Json::from(g.makespan_cycles));
+                o.set("sm_utilization", Json::from(g.sm_utilization));
+                o.set("schedule_imbalance", Json::from(g.schedule_imbalance));
+                o
+            }),
+        );
+
+        root.set(
+            "hybrid",
+            self.hybrid.as_ref().map_or(Json::Null, |h| {
+                let mut o = Json::object();
+                o.set("shared_als", Json::from(h.shared_als));
+                o.set("global_als", Json::from(h.global_als));
+                o.set("chunks", Json::from(h.chunks));
+                o.set("oversize_chunks", Json::from(h.oversize_chunks));
+                o.set("bank_conflict_degree", Json::from(h.bank_conflict_degree));
+                o
+            }),
+        );
+
+        root.set(
+            "eq6",
+            self.eq6.as_ref().map_or(Json::Null, |e| {
+                let mut o = Json::object();
+                o.set("predicted_s", Json::from(e.predicted_s));
+                o.set("simulated_s", Json::from(e.simulated_s));
+                o.set("ratio", Json::from(e.ratio));
+                o
+            }),
+        );
+
+        root.set("telemetry", self.telemetry.to_json());
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            method: "gpu-opt".into(),
+            device: Some("C1060".into()),
+            n: 10,
+            m: 20,
+            kind: "triangles".into(),
+            k: 3,
+            count: 7,
+            tests: 120,
+            modeled_s: 0.5,
+            wall_s: 0.01,
+            gpu: Some(GpuSection {
+                transactions: 99,
+                camping_factor: 1.5,
+                kernel_cycles: 1000,
+                kernel_s: 0.4,
+                transfer_s: 0.01,
+                host_s: 0.02,
+                context_s: 0.35,
+                blocks: 3,
+                layout_bytes: 4096,
+                makespan_cycles: 900,
+                sm_utilization: 0.9,
+                schedule_imbalance: 1.1,
+            }),
+            hybrid: None,
+            eq6: Some(Eq6Section::new(0.5, 0.4)),
+            telemetry: Collector::new(),
+        }
+    }
+
+    #[test]
+    fn json_has_the_top_level_sections() {
+        let j = sample().to_json();
+        for key in [
+            "schema_version",
+            "graph",
+            "config",
+            "result",
+            "timing",
+            "gpu",
+            "hybrid",
+            "eq6",
+            "telemetry",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(j.get("hybrid"), Some(&Json::Null));
+        assert_eq!(j.get("result").unwrap().get("count"), Some(&Json::UInt(7)));
+    }
+
+    #[test]
+    fn huge_test_counts_fall_back_to_float() {
+        let mut r = sample();
+        r.tests = u128::from(u64::MAX) + 10;
+        let j = r.to_json();
+        match j.get("result").unwrap().get("tests") {
+            Some(Json::Float(f)) => assert!(*f > 1e19),
+            other => panic!("expected float tests, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eq6_ratio_guards_zero() {
+        let e = Eq6Section::new(1.0, 0.0);
+        assert_eq!(e.ratio, 0.0);
+        let e = Eq6Section::new(1.0, 2.0);
+        assert_eq!(e.ratio, 0.5);
+    }
+}

@@ -104,6 +104,29 @@ impl SplitResult {
 /// Runs Algorithm 1 on `g`.
 #[must_use]
 pub fn split_graph(g: &Graph, cfg: &SplitConfig) -> SplitResult {
+    split_graph_collected(g, cfg, &mut trigon_telemetry::Collector::disabled())
+}
+
+/// Runs Algorithm 1 on `g`, recording the `split` phase wall time and
+/// chunk/oversize/root counters into `collector`.
+#[must_use]
+pub fn split_graph_collected(
+    g: &Graph,
+    cfg: &SplitConfig,
+    collector: &mut trigon_telemetry::Collector,
+) -> SplitResult {
+    let t0 = std::time::Instant::now();
+    let result = split_impl(g, cfg);
+    collector.phase_seconds("split", t0.elapsed().as_secs_f64());
+    if collector.enabled() {
+        collector.add("split.chunks", result.chunks.len() as u64);
+        collector.add("split.oversize", result.oversize_count as u64);
+        collector.add("split.roots_tried", result.roots_tried as u64);
+    }
+    result
+}
+
+fn split_impl(g: &Graph, cfg: &SplitConfig) -> SplitResult {
     let mut chunks = Vec::new();
     let mut oversize = 0usize;
     let mut roots_tried = 0usize;
@@ -148,7 +171,7 @@ pub fn split_graph(g: &Graph, cfg: &SplitConfig) -> SplitResult {
         oversize += s_i;
         chunks.extend(division);
     }
-    
+
     {
         let tmp = SplitResult {
             chunks,
@@ -157,7 +180,10 @@ pub fn split_graph(g: &Graph, cfg: &SplitConfig) -> SplitResult {
             roots_tried,
         };
         let frag = fragmentation(&tmp.chunks, cfg);
-        SplitResult { fragmentation_bits: frag, ..tmp }
+        SplitResult {
+            fragmentation_bits: frag,
+            ..tmp
+        }
     }
 }
 
@@ -179,7 +205,14 @@ fn div_into_consecutive_level_sets(
         let grown = nodes.len() + level.len();
         let grown_bits = cfg.storage.size_bits(grown as u64);
         if !nodes.is_empty() && grown_bits > cfg.shared_mem_bits {
-            out.push(finish_chunk(cfg, component, root, start as u32, li as u32 - 1, &mut nodes));
+            out.push(finish_chunk(
+                cfg,
+                component,
+                root,
+                start as u32,
+                li as u32 - 1,
+                &mut nodes,
+            ));
             start = li;
         }
         nodes.extend_from_slice(level);
@@ -274,7 +307,11 @@ mod tests {
         let r = split_graph(&g, &cfg_bits(StorageModel::SUtm.size_bits(40)));
         let mut all: Vec<u32> = r.chunks.iter().flat_map(|c| c.nodes.clone()).collect();
         all.sort_unstable();
-        assert_eq!(all, (0..300).collect::<Vec<_>>(), "every vertex in exactly one chunk");
+        assert_eq!(
+            all,
+            (0..300).collect::<Vec<_>>(),
+            "every vertex in exactly one chunk"
+        );
     }
 
     #[test]
@@ -299,7 +336,10 @@ mod tests {
         let r = split_graph(&g, &cfg_bits(budget));
         for c in &r.chunks {
             assert_eq!(c.fits_shared, c.size_bits <= budget);
-            assert_eq!(c.size_bits, StorageModel::SUtm.size_bits(c.nodes.len() as u64));
+            assert_eq!(
+                c.size_bits,
+                StorageModel::SUtm.size_bits(c.nodes.len() as u64)
+            );
         }
         assert_eq!(
             r.oversize_count,
@@ -325,7 +365,10 @@ mod tests {
         let g = gen::path(100);
         let r = split_graph(&g, &cfg_bits(StorageModel::SUtm.size_bits(10)));
         assert_eq!(r.chunks.len(), 10);
-        assert!(r.chunks.iter().all(|c| c.nodes.len() == 10 && c.fits_shared));
+        assert!(r
+            .chunks
+            .iter()
+            .all(|c| c.nodes.len() == 10 && c.fits_shared));
         assert_eq!(r.oversize_count, 0);
     }
 
@@ -347,10 +390,7 @@ mod tests {
         let cfg = cfg_bits(StorageModel::SUtm.size_bits(10));
         let r = split_graph(&g, &cfg);
         let used = 2 * StorageModel::SUtm.size_bits(10);
-        assert_eq!(
-            r.fragmentation_bits,
-            cfg.shared_mem_bits * 30 - used
-        );
+        assert_eq!(r.fragmentation_bits, cfg.shared_mem_bits * 30 - used);
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub fn warp_transactions(cc: ComputeCapability, addrs: &[u64], word: u64) -> Coa
             let mut lines: Vec<u64> = addrs.iter().map(|a| line_of(*a, CACHE_LINE)).collect();
             lines.sort_unstable();
             lines.dedup();
-            CoalesceSummary { transactions: lines.len() as u32, segment_addrs: lines }
+            CoalesceSummary {
+                transactions: lines.len() as u32,
+                segment_addrs: lines,
+            }
         }
         ComputeCapability::Cc12 | ComputeCapability::Cc13 => {
             // Per half-warp, distinct aligned segments of 32·word bytes.
@@ -80,7 +83,10 @@ pub fn warp_transactions(cc: ComputeCapability, addrs: &[u64], word: u64) -> Coa
             let transactions = all.len() as u32;
             all.sort_unstable();
             all.dedup();
-            CoalesceSummary { transactions, segment_addrs: all }
+            CoalesceSummary {
+                transactions,
+                segment_addrs: all,
+            }
         }
         ComputeCapability::Cc10 | ComputeCapability::Cc11 => {
             let seg = 16 * word; // one transaction spans a half-warp's worth
@@ -98,7 +104,10 @@ pub fn warp_transactions(cc: ComputeCapability, addrs: &[u64], word: u64) -> Coa
             }
             segments.sort_unstable();
             segments.dedup();
-            CoalesceSummary { transactions, segment_addrs: segments }
+            CoalesceSummary {
+                transactions,
+                segment_addrs: segments,
+            }
         }
     }
 }
@@ -187,11 +196,7 @@ mod tests {
         // transaction per thread.
         let addrs: Vec<u64> = (0..32u64).map(|i| i * 128).collect();
         for cc in CC::all() {
-            assert_eq!(
-                warp_transactions(cc, &addrs, 4).transactions,
-                32,
-                "cc {cc}"
-            );
+            assert_eq!(warp_transactions(cc, &addrs, 4).transactions, 32, "cc {cc}");
         }
     }
 

@@ -1,0 +1,123 @@
+//! Emit hooks: record simulator accounting into a telemetry
+//! [`Collector`].
+//!
+//! The kernel, partition, and transfer models each know their own
+//! numbers; these helpers give them one shared vocabulary of counter and
+//! gauge names so every layer of a pipeline run lands in the same
+//! collector. Names are namespaced `gpu.*`, `partition.*`, `xfer.*`.
+
+use crate::kernel::KernelTiming;
+use crate::partition::PartitionTraffic;
+use crate::xfer::TransferModel;
+use trigon_telemetry::Collector;
+
+/// Records a partition-traffic histogram: total transactions, distinct
+/// partitions touched, the deepest queue, and the camping factor
+/// (Eq. 10). `prefix` namespaces the entries (e.g. `"kernel"`).
+pub fn emit_traffic(c: &mut Collector, prefix: &str, traffic: &PartitionTraffic) {
+    if !c.enabled() {
+        return;
+    }
+    c.add(&format!("partition.{prefix}.transactions"), traffic.total());
+    c.gauge(
+        &format!("partition.{prefix}.distinct"),
+        traffic.distinct_partitions() as f64,
+    );
+    c.gauge(
+        &format!("partition.{prefix}.max_queue"),
+        traffic.max_queue() as f64,
+    );
+    if traffic.total() > 0 {
+        c.gauge(
+            &format!("partition.{prefix}.camping_factor"),
+            traffic.camping_factor(),
+        );
+    }
+}
+
+/// Records one kernel timing: makespan cycles, per-SM load spread, and
+/// the derived SM utilization (mean load / makespan, 1.0 = perfectly
+/// balanced).
+pub fn emit_kernel_timing(c: &mut Collector, t: &KernelTiming) {
+    if !c.enabled() {
+        return;
+    }
+    c.add("gpu.makespan_cycles", t.makespan_cycles);
+    c.gauge("gpu.sm_utilization", sm_utilization(&t.per_sm_cycles));
+    c.phase_seconds("kernel", t.total_s);
+}
+
+/// Records a host↔device transfer: bytes moved and modeled seconds
+/// (accumulated into the `xfer` phase).
+pub fn emit_transfer(c: &mut Collector, model: &TransferModel, bytes: u64) {
+    if !c.enabled() {
+        return;
+    }
+    c.add("xfer.bytes", bytes);
+    c.phase_seconds("xfer", model.transfer_seconds(bytes));
+}
+
+/// Mean-load / makespan utilization of a per-SM cycle vector;
+/// 1.0 when empty or perfectly balanced.
+#[must_use]
+pub fn sm_utilization(per_sm_cycles: &[u64]) -> f64 {
+    let max = per_sm_cycles.iter().copied().max().unwrap_or(0);
+    if max == 0 || per_sm_cycles.is_empty() {
+        return 1.0;
+    }
+    let mean = per_sm_cycles.iter().sum::<u64>() as f64 / per_sm_cycles.len() as f64;
+    mean / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+
+    #[test]
+    fn traffic_emission_names_and_values() {
+        let spec = DeviceSpec::c1060();
+        let mut t = PartitionTraffic::new(&spec);
+        for _ in 0..6 {
+            t.record(256);
+        }
+        t.record(256 + spec.partition_width);
+        let mut c = Collector::new();
+        emit_traffic(&mut c, "kernel", &t);
+        assert_eq!(c.counter("partition.kernel.transactions"), 7);
+        assert_eq!(c.gauge_value("partition.kernel.distinct"), Some(2.0));
+        assert!(c.gauge_value("partition.kernel.camping_factor").unwrap() > 1.0);
+    }
+
+    #[test]
+    fn transfer_emission_accumulates_phase() {
+        let spec = DeviceSpec::c1060();
+        let model = TransferModel::from_spec(&spec);
+        let mut c = Collector::new();
+        emit_transfer(&mut c, &model, 1 << 20);
+        emit_transfer(&mut c, &model, 1 << 20);
+        assert_eq!(c.counter("xfer.bytes"), 2 << 20);
+        let expect = 2.0 * model.transfer_seconds(1 << 20);
+        assert!((c.phase_total("xfer") - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        assert_eq!(sm_utilization(&[]), 1.0);
+        assert_eq!(sm_utilization(&[5, 5, 5]), 1.0);
+        let u = sm_utilization(&[10, 0, 0]);
+        assert!((u - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_collector_is_untouched() {
+        let spec = DeviceSpec::c1060();
+        let mut t = PartitionTraffic::new(&spec);
+        t.record(0);
+        let mut c = Collector::disabled();
+        emit_traffic(&mut c, "k", &t);
+        emit_transfer(&mut c, &TransferModel::from_spec(&spec), 100);
+        assert_eq!(c.counter("partition.k.transactions"), 0);
+        assert_eq!(c.counter("xfer.bytes"), 0);
+    }
+}

@@ -56,7 +56,10 @@ impl KernelSim {
     /// New empty kernel on `spec`.
     #[must_use]
     pub fn new(spec: DeviceSpec) -> Self {
-        Self { spec, blocks: Vec::new() }
+        Self {
+            spec,
+            blocks: Vec::new(),
+        }
     }
 
     /// Adds one block.
@@ -90,7 +93,11 @@ impl KernelSim {
     /// Panics if the assignment length or any SM index is out of range.
     #[must_use]
     pub fn timing_with_assignment(&self, assignment: &[u32]) -> KernelTiming {
-        assert_eq!(assignment.len(), self.blocks.len(), "assignment length mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.blocks.len(),
+            "assignment length mismatch"
+        );
         let mut per_sm = vec![0u64; self.spec.sm_count as usize];
         for (block, &sm) in self.blocks.iter().zip(assignment) {
             assert!((sm as usize) < per_sm.len(), "SM index {sm} out of range");
@@ -134,7 +141,12 @@ impl KernelSim {
         let makespan_cycles = per_sm_cycles.iter().copied().max().unwrap_or(0);
         let launch_s = self.spec.kernel_launch_s;
         let total_s = launch_s + self.spec.cycles_to_seconds(makespan_cycles);
-        KernelTiming { per_sm_cycles, makespan_cycles, launch_s, total_s }
+        KernelTiming {
+            per_sm_cycles,
+            makespan_cycles,
+            launch_s,
+            total_s,
+        }
     }
 }
 
@@ -144,7 +156,10 @@ mod tests {
     use crate::device::DeviceSpec;
 
     fn block(compute: u64, mem: u64) -> BlockCost {
-        BlockCost { compute_cycles: compute, mem_cycles: mem }
+        BlockCost {
+            compute_cycles: compute,
+            mem_cycles: mem,
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 pub mod coalesce;
 pub mod device;
+pub mod emit;
 pub mod kernel;
 pub mod occupancy;
 pub mod partition;
@@ -39,6 +40,7 @@ pub mod xfer;
 
 pub use coalesce::{warp_transactions, CoalesceSummary};
 pub use device::{ComputeCapability, DeviceSpec};
+pub use emit::{emit_kernel_timing, emit_traffic, emit_transfer, sm_utilization};
 pub use kernel::{BlockCost, KernelSim, KernelTiming};
 pub use occupancy::{occupancy, KernelResources, Occupancy, SmLimits};
 pub use partition::{camping_cycles, PartitionTraffic};

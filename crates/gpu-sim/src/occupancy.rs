@@ -82,22 +82,20 @@ pub struct Occupancy {
 #[must_use]
 pub fn occupancy(spec: &DeviceSpec, res: &KernelResources) -> Occupancy {
     assert!(
-        res.threads_per_block > 0 && res.threads_per_block % spec.warp_size == 0,
+        res.threads_per_block > 0 && res.threads_per_block.is_multiple_of(spec.warp_size),
         "threads per block must be a positive multiple of the warp size"
     );
     let lim = SmLimits::for_cc(spec.compute_capability);
     let by_threads = lim.max_threads / res.threads_per_block;
     let by_blocks = lim.max_blocks;
-    let by_regs = if res.regs_per_thread == 0 {
-        u32::MAX
-    } else {
-        lim.registers / (res.regs_per_thread * res.threads_per_block)
-    };
-    let by_shared = if res.shared_bytes_per_block == 0 {
-        u32::MAX
-    } else {
-        (spec.shared_mem_bytes / res.shared_bytes_per_block) as u32
-    };
+    let by_regs = lim
+        .registers
+        .checked_div(res.regs_per_thread * res.threads_per_block)
+        .unwrap_or(u32::MAX);
+    let by_shared = spec
+        .shared_mem_bytes
+        .checked_div(res.shared_bytes_per_block)
+        .map_or(u32::MAX, |b| b as u32);
     let candidates = [
         (by_threads, "threads"),
         (by_blocks, "blocks"),

@@ -37,7 +37,10 @@ impl PartitionTraffic {
     /// Empty traffic for a device's partition layout.
     #[must_use]
     pub fn new(spec: &DeviceSpec) -> Self {
-        Self { counts: vec![0; spec.partitions as usize], width: spec.partition_width }
+        Self {
+            counts: vec![0; spec.partitions as usize],
+            width: spec.partition_width,
+        }
     }
 
     /// Records one transaction at segment base `addr`.
@@ -70,7 +73,11 @@ impl PartitionTraffic {
     ///
     /// Panics if the layouts differ.
     pub fn merge(&mut self, other: &PartitionTraffic) {
-        assert_eq!(self.counts.len(), other.counts.len(), "partition count mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "partition count mismatch"
+        );
         assert_eq!(self.width, other.width, "partition width mismatch");
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
@@ -212,7 +219,10 @@ mod tests {
         for w in 0..60u64 {
             spread.record((w % 6) * 256);
         }
-        assert_eq!(camping_cycles(&camped, &spec), camping_cycles(&spread, &spec));
+        assert_eq!(
+            camping_cycles(&camped, &spec),
+            camping_cycles(&spread, &spec)
+        );
     }
 
     #[test]

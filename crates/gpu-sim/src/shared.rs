@@ -141,7 +141,9 @@ mod tests {
     fn eq9_inverse_proportionality() {
         // Same element count, more distinct banks ⇒ fewer cycles.
         let spread: Vec<u64> = (0..16).map(|i| i * 4).collect();
-        let bunched: Vec<u64> = (0..16).map(|i| (i % 4) * 64 * 4 + (i / 4) * 16 * 4).collect();
+        let bunched: Vec<u64> = (0..16)
+            .map(|i| (i % 4) * 64 * 4 + (i / 4) * 16 * 4)
+            .collect();
         let t_spread = shared_access_cycles(&spread, 16, 24);
         let t_bunched = shared_access_cycles(&bunched, 16, 24);
         assert!(distinct_banks(&spread, 16) > distinct_banks(&bunched, 16));

@@ -21,7 +21,10 @@ impl TransferModel {
     /// Extracts the transfer model from a device spec.
     #[must_use]
     pub fn from_spec(spec: &DeviceSpec) -> Self {
-        Self { latency_s: spec.pcie_latency_s, bandwidth: spec.pcie_bandwidth }
+        Self {
+            latency_s: spec.pcie_latency_s,
+            bandwidth: spec.pcie_bandwidth,
+        }
     }
 
     /// Seconds to move `bytes` in one transfer.
@@ -52,7 +55,10 @@ mod tests {
 
     #[test]
     fn affine_in_bytes() {
-        let m = TransferModel { latency_s: 1e-5, bandwidth: 1_000_000_000 };
+        let m = TransferModel {
+            latency_s: 1e-5,
+            bandwidth: 1_000_000_000,
+        };
         let t1 = m.transfer_seconds(1_000_000);
         let t2 = m.transfer_seconds(2_000_000);
         assert!(((t2 - m.latency_s) - 2.0 * (t1 - m.latency_s)).abs() < 1e-12);

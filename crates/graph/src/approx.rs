@@ -33,7 +33,10 @@ pub struct DoulionEstimate {
 /// Panics unless `0 < p ≤ 1`.
 #[must_use]
 pub fn doulion(g: &Graph, p: f64, seed: u64) -> DoulionEstimate {
-    assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0, 1]");
+    assert!(
+        p > 0.0 && p <= 1.0,
+        "sampling probability must be in (0, 1]"
+    );
     let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xD0_01_10_11);
     let kept: Vec<(u32, u32)> = g.edges().filter(|_| rng.next_bool(p)).collect();
     let sparse = Graph::from_edges(g.n(), &kept).expect("sampled edges are valid");
@@ -90,7 +93,10 @@ mod tests {
         let exact = triangles::count_edge_iterator(&g) as f64;
         let est = doulion_mean(&g, 0.5, 11, 5);
         let rel = (est - exact).abs() / exact;
-        assert!(rel < 0.10, "relative error {rel:.3} (est {est}, exact {exact})");
+        assert!(
+            rel < 0.10,
+            "relative error {rel:.3} (est {est}, exact {exact})"
+        );
     }
 
     #[test]

@@ -61,7 +61,12 @@ impl BfsTree {
         for l in &mut levels {
             l.sort_unstable();
         }
-        Self { root, parent, level, levels }
+        Self {
+            root,
+            parent,
+            level,
+            levels,
+        }
     }
 
     /// The BFS root.
@@ -159,8 +164,7 @@ mod tests {
     #[test]
     fn component_restriction() {
         // Two disjoint triangles.
-        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
-            .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
         let t = BfsTree::new(&g, 0);
         assert_eq!(t.component_size(), 3);
         assert_eq!(t.level_of(4), None);

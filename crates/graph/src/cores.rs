@@ -25,7 +25,11 @@ pub struct CoreDecomposition {
 pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
     let n = g.n() as usize;
     if n == 0 {
-        return CoreDecomposition { core: Vec::new(), order: Vec::new(), degeneracy: 0 };
+        return CoreDecomposition {
+            core: Vec::new(),
+            order: Vec::new(),
+            degeneracy: 0,
+        };
     }
     let degree: Vec<usize> = (0..g.n()).map(|v| g.degree(v)).collect();
     let max_deg = degree.iter().copied().max().unwrap_or(0);
@@ -81,7 +85,11 @@ pub fn core_decomposition(g: &Graph) -> CoreDecomposition {
             }
         }
     }
-    CoreDecomposition { core, order, degeneracy }
+    CoreDecomposition {
+        core,
+        order,
+        degeneracy,
+    }
 }
 
 /// Verifies the defining property of a core assignment: in the subgraph

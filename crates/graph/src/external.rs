@@ -48,7 +48,11 @@ impl ExternalEdgeList {
             m += 1;
         }
         w.flush()?;
-        Ok(Self { path: path.to_path_buf(), n: g.n(), m })
+        Ok(Self {
+            path: path.to_path_buf(),
+            n: g.n(),
+            m,
+        })
     }
 
     /// Opens an existing external edge list (vertex count supplied by the
@@ -66,7 +70,11 @@ impl ExternalEdgeList {
                 "edge file length is not a multiple of 16",
             ));
         }
-        Ok(Self { path: path.to_path_buf(), n, m: meta.len() / 16 })
+        Ok(Self {
+            path: path.to_path_buf(),
+            n,
+            m: meta.len() / 16,
+        })
     }
 
     /// Number of vertices.
@@ -131,10 +139,7 @@ pub struct ExternalCountStats {
 /// # Panics
 ///
 /// Panics if `p == 0`.
-pub fn count_triangles_external(
-    ext: &ExternalEdgeList,
-    p: u32,
-) -> io::Result<ExternalCountStats> {
+pub fn count_triangles_external(ext: &ExternalEdgeList, p: u32) -> io::Result<ExternalCountStats> {
     assert!(p > 0, "need at least one vertex range");
     let n = u64::from(ext.n());
     let p = u64::from(p).min(n.max(1));

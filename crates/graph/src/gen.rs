@@ -289,7 +289,10 @@ pub fn snap_like(n: u32, seed: u64) -> Graph {
 /// Panics unless `n` is a power of two and the probabilities sum to ≈ 1.
 #[must_use]
 pub fn rmat(n: u32, m: usize, probs: (f64, f64, f64, f64), seed: u64) -> Graph {
-    assert!(n.is_power_of_two() && n >= 2, "R-MAT needs a power-of-two n ≥ 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "R-MAT needs a power-of-two n ≥ 2"
+    );
     let (a, b, c, d) = probs;
     assert!(
         ((a + b + c + d) - 1.0).abs() < 1e-9 && a > 0.0 && b >= 0.0 && c >= 0.0 && d >= 0.0,
@@ -418,7 +421,10 @@ mod tests {
         let got = g.m() as f64;
         // 5 sigma band: sigma = sqrt(N p (1-p)), N = C(n,2).
         let sigma = (f64::from(n) * f64::from(n - 1) / 2.0 * p * (1.0 - p)).sqrt();
-        assert!((got - expect).abs() < 5.0 * sigma, "m = {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() < 5.0 * sigma,
+            "m = {got}, expect {expect}"
+        );
     }
 
     #[test]
@@ -525,7 +531,10 @@ mod tests {
         let t = crate::bfs::BfsTree::new(&g, 0);
         assert!(t.depth() >= 4, "depth {}", t.depth());
         let widest = t.levels().iter().map(Vec::len).max().unwrap();
-        assert!(widest <= 2 * 100, "level width {widest} exceeds 2 communities");
+        assert!(
+            widest <= 2 * 100,
+            "level width {widest} exceeds 2 communities"
+        );
         // Triangle-rich inside communities.
         assert!(crate::triangles::count_edge_iterator(&g) > 1000);
     }

@@ -273,8 +273,7 @@ mod tests {
     fn density_bounds() {
         let empty = Graph::from_edges(4, &[]).unwrap();
         assert_eq!(empty.density(), 0.0);
-        let full = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .unwrap();
+        let full = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         assert!((full.density() - 1.0).abs() < 1e-12);
         let single = Graph::from_edges(1, &[]).unwrap();
         assert_eq!(single.density(), 0.0);

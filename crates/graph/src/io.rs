@@ -75,7 +75,10 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<(Graph, Vec<u64>), IoErro
                 edges.push((ui, vi));
             }
             _ => {
-                return Err(IoError::Parse { line: lineno + 1, content: t.to_string() });
+                return Err(IoError::Parse {
+                    line: lineno + 1,
+                    content: t.to_string(),
+                });
             }
         }
     }

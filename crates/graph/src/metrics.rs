@@ -28,7 +28,13 @@ pub struct DegreeStats {
 pub fn degree_stats(g: &Graph) -> DegreeStats {
     let n = g.n();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0, histogram: Vec::new() };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+            histogram: Vec::new(),
+        };
     }
     let mut degs: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
     degs.sort_unstable();
@@ -149,7 +155,10 @@ mod tests {
         assert_eq!(degree_assortativity(&gen::cycle(10)), None);
         assert_eq!(degree_assortativity(&gen::complete(6)), None);
         // No edges: undefined.
-        assert_eq!(degree_assortativity(&Graph::from_edges(4, &[]).unwrap()), None);
+        assert_eq!(
+            degree_assortativity(&Graph::from_edges(4, &[]).unwrap()),
+            None
+        );
         // BA graphs trend disassortative-to-neutral; just bound it.
         let ba = degree_assortativity(&gen::barabasi_albert(400, 3, 1)).unwrap();
         assert!((-1.0..=1.0).contains(&ba));

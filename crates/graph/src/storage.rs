@@ -46,7 +46,11 @@ impl BitMatrix {
     #[must_use]
     pub fn new(n: u32) -> Self {
         let words_per_row = (n as usize).div_ceil(64);
-        Self { n, words_per_row, words: vec![0; words_per_row * n as usize] }
+        Self {
+            n,
+            words_per_row,
+            words: vec![0; words_per_row * n as usize],
+        }
     }
 
     /// Inserts the undirected edge `{u, v}` (sets both orientations).
@@ -150,7 +154,10 @@ impl Utm {
     #[must_use]
     pub fn new(n: u32) -> Self {
         let cells = u64::from(n) * (u64::from(n) + 1) / 2;
-        Self { n, bits: vec![0; (cells as usize).div_ceil(64)] }
+        Self {
+            n,
+            bits: vec![0; (cells as usize).div_ceil(64)],
+        }
     }
 
     /// Linear bit offset of the unordered pair, after sorting `u ≤ v`.
@@ -213,7 +220,10 @@ impl SUtm {
     #[must_use]
     pub fn new(n: u32) -> Self {
         let cells = u64::from(n) * u64::from(n.saturating_sub(1)) / 2;
-        Self { n, bits: vec![0; (cells as usize).div_ceil(64)] }
+        Self {
+            n,
+            bits: vec![0; (cells as usize).div_ceil(64)],
+        }
     }
 
     /// Linear bit offset of the unordered pair, after sorting to `i < j`.
@@ -316,7 +326,10 @@ impl Csr {
             }
             new_offsets.push(before + (dedup_targets.len() - before));
         }
-        Self { offsets: new_offsets, targets: dedup_targets }
+        Self {
+            offsets: new_offsets,
+            targets: dedup_targets,
+        }
     }
 
     /// Sorted neighbors of `u`.
@@ -369,7 +382,9 @@ mod tests {
         for u in 0..n {
             assert!(!s.has_edge(u, u), "diagonal must read false");
             for v in 0..n {
-                let expect = edges.iter().any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u));
+                let expect = edges
+                    .iter()
+                    .any(|&(a, b)| (a, b) == (u, v) || (a, b) == (v, u));
                 assert_eq!(s.has_edge(u, v), expect, "edge ({u},{v})");
                 assert_eq!(s.has_edge(u, v), s.has_edge(v, u), "symmetry ({u},{v})");
             }

@@ -67,7 +67,11 @@ pub fn local_triangles_minwise(g: &Graph, h: u32, seed: u64) -> LocalTriangleEst
             .count() as f64;
         let j = agree / f64::from(h);
         // |A ∩ B| = J/(1+J) · (|A| + |B|); guard the J = 1 pole.
-        let inter = if j >= 1.0 { du.min(dv) } else { j / (1.0 + j) * (du + dv) };
+        let inter = if j >= 1.0 {
+            du.min(dv)
+        } else {
+            j / (1.0 + j) * (du + dv)
+        };
         // The edge {u, v} itself is in neither neighborhood's
         // intersection contribution to triangles through u via v; but u ∈
         // N(v) and v ∈ N(u) never collide in the intersection (no
@@ -76,7 +80,11 @@ pub fn local_triangles_minwise(g: &Graph, h: u32, seed: u64) -> LocalTriangleEst
         local[v as usize] += inter / 2.0;
     }
     let total = local.iter().sum::<f64>() / 3.0;
-    LocalTriangleEstimate { local, total, hashes: h }
+    LocalTriangleEstimate {
+        local,
+        total,
+        hashes: h,
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +120,11 @@ mod tests {
         let e = local_triangles_minwise(&g, 256, 5);
         let exact = triangles::count_edge_iterator(&g) as f64;
         let rel = (e.total - exact).abs() / exact;
-        assert!(rel < 0.15, "rel err {rel:.3} (est {}, exact {exact})", e.total);
+        assert!(
+            rel < 0.15,
+            "rel err {rel:.3} (est {}, exact {exact})",
+            e.total
+        );
     }
 
     #[test]
@@ -121,7 +133,11 @@ mod tests {
         let exact = triangles::count_edge_iterator(&g) as f64;
         let e = local_triangles_minwise(&g, 192, 11);
         let rel = (e.total - exact).abs() / exact;
-        assert!(rel < 0.25, "rel err {rel:.3} (est {}, exact {exact})", e.total);
+        assert!(
+            rel < 0.25,
+            "rel err {rel:.3} (est {}, exact {exact})",
+            e.total
+        );
     }
 
     #[test]
@@ -138,7 +154,11 @@ mod tests {
             v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             v.into_iter().take(60).map(|(i, _)| i).collect()
         };
-        let t_exact = top(exact.iter().enumerate().map(|(i, &x)| (i, x as f64)).collect());
+        let t_exact = top(exact
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i, x as f64))
+            .collect());
         let t_est = top(est.local.iter().enumerate().map(|(i, &x)| (i, x)).collect());
         let overlap = t_exact.intersection(&t_est).count();
         assert!(overlap >= 30, "top-decile overlap only {overlap}/60");
@@ -151,9 +171,7 @@ mod tests {
         let err = |h: u32| {
             // Average over 3 seeds to damp noise.
             (0..3)
-                .map(|s| {
-                    (local_triangles_minwise(&g, h, s).total - exact).abs() / exact
-                })
+                .map(|s| (local_triangles_minwise(&g, h, s).total - exact).abs() / exact)
                 .sum::<f64>()
                 / 3.0
         };

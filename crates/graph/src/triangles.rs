@@ -288,7 +288,11 @@ mod tests {
         assert_all_equal(&gen::star(10), 0, "star");
         assert_all_equal(&gen::complete_bipartite(4, 5), 0, "K45");
         assert_all_equal(&gen::grid2d(5, 5), 0, "grid");
-        assert_all_equal(&gen::disjoint_cliques(3, 5), 3 * binom(5, 3) as u64, "cliques");
+        assert_all_equal(
+            &gen::disjoint_cliques(3, 5),
+            3 * binom(5, 3) as u64,
+            "cliques",
+        );
     }
 
     #[test]
@@ -362,8 +366,8 @@ mod tests {
         assert!((transitivity(&gen::complete(10)) - 1.0).abs() < 1e-12);
         assert_eq!(transitivity(&gen::star(10)), 0.0);
         assert_eq!(transitivity(&gen::path(2)), 0.0); // no wedge at all
-        // Lattice WS has transitivity 0.5 for k = 4:
-        // each vertex: C(4,2)=6 wedges, 3 triangles per vertex·3/..: known value 0.5.
+                                                      // Lattice WS has transitivity 0.5 for k = 4:
+                                                      // each vertex: C(4,2)=6 wedges, 3 triangles per vertex·3/..: known value 0.5.
         let t = transitivity(&gen::watts_strogatz(100, 4, 0.0, 0));
         assert!((t - 0.5).abs() < 1e-9, "lattice transitivity {t}");
     }

@@ -7,12 +7,10 @@ use trigon_graph::{bfs::BfsTree, connected_components, gen, graph::Graph, triang
 /// Strategy: a random simple graph as (n, edge list).
 fn arb_graph(max_n: u32) -> impl Strategy<Value = Graph> {
     (2..max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0..n), 0..(3 * n as usize))
-            .prop_map(move |raw| {
-                let edges: Vec<(u32, u32)> =
-                    raw.into_iter().filter(|&(u, v)| u != v).collect();
-                Graph::from_edges(n, &edges).expect("filtered edges are valid")
-            })
+        proptest::collection::vec((0..n, 0..n), 0..(3 * n as usize)).prop_map(move |raw| {
+            let edges: Vec<(u32, u32)> = raw.into_iter().filter(|&(u, v)| u != v).collect();
+            Graph::from_edges(n, &edges).expect("filtered edges are valid")
+        })
     })
 }
 

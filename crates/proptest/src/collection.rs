@@ -1,0 +1,74 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification for [`vec`]: a fixed size or a size range.
+pub trait SizeRange {
+    /// Draws one length.
+    fn sample(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for std::ops::Range<usize> {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.start >= self.end {
+            return self.start;
+        }
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for std::ops::RangeInclusive<usize> {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+/// Strategy producing `Vec`s of `element` with lengths from `size`.
+#[must_use]
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// The strategy type [`vec`] returns.
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::from_name("vec-tests");
+        let s = vec(0u32..100, 3..7usize);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+        let fixed = vec(0u64..10, 5usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 5);
+        let incl = vec(0u64..10, 1..=2usize);
+        for _ in 0..50 {
+            let v = incl.generate(&mut rng);
+            assert!((1..=2).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build container has no registry access, so the workspace vendors
+//! the *small* slice of rayon's API that trigon actually uses —
+//! `par_iter()` on slices and `Vec`s followed by `enumerate`/`map` and a
+//! terminal `collect`/`sum` — implemented on `std::thread::scope` with a
+//! self-scheduling atomic work index (good load balance for the very
+//! uneven block costs the GPU simulator produces).
+//!
+//! Semantics match rayon where it matters here: results are returned in
+//! input order, and the mapping function runs concurrently across
+//! `available_parallelism` threads.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The rayon-compatible prelude: `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Runs `f` over `items` in input order, self-scheduling across threads.
+fn par_map_indexed<'a, T, U, F>(items: &'a [T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &'a T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut gathered: Vec<Vec<(usize, U)>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            gathered.push(h.join().expect("worker thread panicked"));
+        }
+    });
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for (i, u) in gathered.into_iter().flatten() {
+        out[i] = Some(u);
+    }
+    out.into_iter()
+        .map(|o| o.expect("every index produced"))
+        .collect()
+}
+
+/// Entry point: `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+    /// Parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Pairs each element with its index, like `Iterator::enumerate`.
+    #[must_use]
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { items: self.items }
+    }
+
+    /// Maps each element through `f` in parallel.
+    #[must_use]
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Enumerated parallel iterator (index, &item).
+pub struct ParEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    /// Maps each `(index, &item)` pair through `f` in parallel.
+    #[must_use]
+    pub fn map<U, F>(self, f: F) -> ParEnumerateMap<'a, T, F>
+    where
+        U: Send,
+        F: Fn((usize, &'a T)) -> U + Sync,
+    {
+        ParEnumerateMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator awaiting a terminal operation.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, U, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    /// Collects mapped results in input order.
+    #[must_use]
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        par_map_indexed(self.items, |_, t| (self.f)(t))
+            .into_iter()
+            .collect()
+    }
+
+    /// Sums mapped results.
+    #[must_use]
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        par_map_indexed(self.items, |_, t| (self.f)(t))
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Enumerated + mapped parallel iterator awaiting a terminal operation.
+pub struct ParEnumerateMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, U, F> ParEnumerateMap<'a, T, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn((usize, &'a T)) -> U + Sync,
+{
+    /// Collects mapped results in input order.
+    #[must_use]
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        par_map_indexed(self.items, |i, t| (self.f)((i, t)))
+            .into_iter()
+            .collect()
+    }
+
+    /// Sums mapped results.
+    #[must_use]
+    pub fn sum<S: std::iter::Sum<U>>(self) -> S {
+        par_map_indexed(self.items, |i, t| (self.f)((i, t)))
+            .into_iter()
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_sum_matches_serial() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let s: u64 = v.par_iter().map(|x| x * x).sum();
+        assert_eq!(s, (1..=1000u64).map(|x| x * x).sum::<u64>());
+    }
+
+    #[test]
+    fn enumerate_map_collect() {
+        let v = vec!["a", "b", "c"];
+        let out: Vec<String> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| format!("{i}{s}"))
+            .collect();
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let v: Vec<u32> = vec![];
+        let out: Vec<u32> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = vec![7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

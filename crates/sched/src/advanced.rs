@@ -107,13 +107,8 @@ pub fn tabu_improve(jobs: &[u64], machines: u32, max_iters: u32) -> Schedule {
                 if m2 as usize == busiest || tabu.contains(&j2) || jobs[j2] >= jobs[j1] {
                     continue;
                 }
-                let mk = makespan_after_swap(
-                    &current.loads,
-                    jobs[j1],
-                    jobs[j2],
-                    busiest,
-                    m2 as usize,
-                );
+                let mk =
+                    makespan_after_swap(&current.loads, jobs[j1], jobs[j2], busiest, m2 as usize);
                 if swap_best.is_none_or(|(bmk, _, _)| mk < bmk) {
                     swap_best = Some((mk, j1, j2));
                 }
@@ -164,7 +159,10 @@ pub fn tabu_improve(jobs: &[u64], machines: u32, max_iters: u32) -> Schedule {
 #[must_use]
 pub fn exact_two_machines(jobs: &[u64], max_total: u64) -> Schedule {
     let total: u64 = jobs.iter().sum();
-    assert!(total <= max_total, "total load {total} exceeds DP budget {max_total}");
+    assert!(
+        total <= max_total,
+        "total load {total} exceeds DP budget {max_total}"
+    );
     let half = (total / 2) as usize;
     // dp[j] = bitset of sums reachable with the first j jobs.
     let mut dp: Vec<Vec<bool>> = Vec::with_capacity(jobs.len() + 1);
@@ -184,10 +182,7 @@ pub fn exact_two_machines(jobs: &[u64], max_total: u64) -> Schedule {
         }
         dp.push(next);
     }
-    let best = (0..=half)
-        .rev()
-        .find(|&s| dp[jobs.len()][s])
-        .unwrap_or(0);
+    let best = (0..=half).rev().find(|&s| dp[jobs.len()][s]).unwrap_or(0);
     // Backtrack: job j-1 is on machine 0 iff the sum needed it.
     let mut assignment = vec![1u32; jobs.len()];
     let mut s = best;

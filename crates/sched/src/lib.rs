@@ -152,10 +152,7 @@ pub fn exact(jobs: &[u64], machines: u32) -> Schedule {
     // Start from LPT as the incumbent.
     let incumbent = lpt(jobs, machines);
     let mut best = incumbent.makespan();
-    let mut best_assign_sorted: Vec<u32> = order
-        .iter()
-        .map(|&j| incumbent.assignment[j])
-        .collect();
+    let mut best_assign_sorted: Vec<u32> = order.iter().map(|&j| incumbent.assignment[j]).collect();
 
     let bound = lower_bound(jobs, machines);
     let mut loads = vec![0u64; machines as usize];
@@ -207,7 +204,17 @@ pub fn exact(jobs: &[u64], machines: u32) -> Schedule {
             }
             loads[m] += sorted[i];
             current[i] = m as u32;
-            dfs(i + 1, sorted, suffix, machines, loads, current, best, best_assign, bound);
+            dfs(
+                i + 1,
+                sorted,
+                suffix,
+                machines,
+                loads,
+                current,
+                best,
+                best_assign,
+                bound,
+            );
             loads[m] -= sorted[i];
         }
     }
@@ -274,7 +281,9 @@ mod tests {
         // Deterministic pseudo-random instances via a simple LCG.
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % 50 + 1
         };
         for m in [2u32, 3, 5] {
@@ -312,8 +321,12 @@ mod tests {
     #[test]
     fn single_machine_sums() {
         let jobs = [3u64, 5, 7];
-        for s in [round_robin(&jobs, 1), list_schedule(&jobs, 1), lpt(&jobs, 1), exact(&jobs, 1)]
-        {
+        for s in [
+            round_robin(&jobs, 1),
+            list_schedule(&jobs, 1),
+            lpt(&jobs, 1),
+            exact(&jobs, 1),
+        ] {
             assert_eq!(s.makespan(), 15);
         }
     }
@@ -328,7 +341,12 @@ mod tests {
 
     #[test]
     fn empty_jobs() {
-        for s in [round_robin(&[], 4), list_schedule(&[], 4), lpt(&[], 4), exact(&[], 4)] {
+        for s in [
+            round_robin(&[], 4),
+            list_schedule(&[], 4),
+            lpt(&[], 4),
+            exact(&[], 4),
+        ] {
             assert_eq!(s.makespan(), 0);
             assert!(s.assignment.is_empty());
         }

@@ -1,0 +1,268 @@
+//! The [`Collector`]: named counters, gauges, and scoped phase timers.
+//!
+//! A collector is threaded by value through a pipeline run; stages add
+//! counters (`add`), record point-in-time values (`gauge`), and time
+//! phases with the RAII [`PhaseGuard`] from [`Collector::phase`].
+//! Everything is insertion-ordered so reports are deterministic, and
+//! collection can be disabled entirely ([`Level::Off`]) at which point
+//! every call is a cheap no-op.
+
+use crate::json::Json;
+use std::time::Instant;
+
+/// How much telemetry to gather during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Level {
+    /// Gather nothing; all collector calls are no-ops.
+    Off,
+    /// Gather counters, gauges, and phase timings (the default).
+    #[default]
+    Standard,
+}
+
+/// Accumulates counters, gauges, and phase timings during a run.
+#[derive(Debug, Default)]
+pub struct Collector {
+    level: Level,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    phases: Vec<(String, f64)>,
+}
+
+impl Collector {
+    /// A collector gathering at [`Level::Standard`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_level(Level::Standard)
+    }
+
+    /// A collector gathering at the given level.
+    #[must_use]
+    pub fn with_level(level: Level) -> Self {
+        Self {
+            level,
+            ..Self::default()
+        }
+    }
+
+    /// A collector that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::with_level(Level::Off)
+    }
+
+    /// Whether this collector records anything.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.level != Level::Off
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first if
+    /// needed.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(slot) = self.counters.iter_mut().find(|(k, _)| k == name) {
+            slot.1 += delta;
+        } else {
+            self.counters.push((name.to_string(), delta));
+        }
+    }
+
+    /// Records the latest value of the gauge `name` (overwrites).
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(slot) = self.gauges.iter_mut().find(|(k, _)| k == name) {
+            slot.1 = value;
+        } else {
+            self.gauges.push((name.to_string(), value));
+        }
+    }
+
+    /// Starts timing the phase `name`; the elapsed wall time is recorded
+    /// when the returned guard drops. Nested and repeated phases
+    /// accumulate.
+    pub fn phase<'c>(&'c mut self, name: &str) -> PhaseGuard<'c> {
+        PhaseGuard {
+            start: Instant::now(),
+            name: name.to_string(),
+            collector: self,
+        }
+    }
+
+    /// Directly accumulates `seconds` of wall time into phase `name`
+    /// (for callers that already measured).
+    pub fn phase_seconds(&mut self, name: &str, seconds: f64) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(slot) = self.phases.iter_mut().find(|(k, _)| k == name) {
+            slot.1 += seconds;
+        } else {
+            self.phases.push((name.to_string(), seconds));
+        }
+    }
+
+    /// The current value of counter `name`, or 0 if never touched.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The current value of gauge `name`, if recorded.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Accumulated wall seconds for phase `name`, or 0.
+    #[must_use]
+    pub fn phase_total(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0.0, |(_, v)| *v)
+    }
+
+    /// Merges another collector's contents into this one (counters and
+    /// phases accumulate; the other's gauges overwrite).
+    pub fn merge(&mut self, other: &Collector) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge(k, *v);
+        }
+        for (k, v) in &other.phases {
+            self.phase_seconds(k, *v);
+        }
+    }
+
+    /// Serializes counters, gauges, and phases into a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::object();
+        for (k, v) in &self.counters {
+            counters.set(k, Json::from(*v));
+        }
+        let mut gauges = Json::object();
+        for (k, v) in &self.gauges {
+            gauges.set(k, Json::from(*v));
+        }
+        let mut phases = Json::object();
+        for (k, v) in &self.phases {
+            phases.set(k, Json::from(*v));
+        }
+        let mut out = Json::object();
+        out.set("counters", counters);
+        out.set("gauges", gauges);
+        out.set("phases_s", phases);
+        out
+    }
+}
+
+/// RAII guard from [`Collector::phase`]; records elapsed wall time on
+/// drop.
+pub struct PhaseGuard<'c> {
+    start: Instant,
+    name: String,
+    collector: &'c mut Collector,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        let dt = self.start.elapsed().as_secs_f64();
+        let name = std::mem::take(&mut self.name);
+        self.collector.phase_seconds(&name, dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut c = Collector::new();
+        c.add("tests", 3);
+        c.add("tests", 4);
+        assert_eq!(c.counter("tests"), 7);
+        assert_eq!(c.counter("missing"), 0);
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let mut c = Collector::disabled();
+        c.add("tests", 3);
+        c.gauge("g", 1.0);
+        c.phase_seconds("p", 1.0);
+        assert_eq!(c.counter("tests"), 0);
+        assert_eq!(c.gauge_value("g"), None);
+        assert_eq!(c.phase_total("p"), 0.0);
+    }
+
+    #[test]
+    fn phase_guard_records_elapsed_time() {
+        let mut c = Collector::new();
+        {
+            let _g = c.phase("count");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert!(c.phase_total("count") > 0.0);
+        // Repeats accumulate.
+        let before = c.phase_total("count");
+        {
+            let _g = c.phase("count");
+        }
+        assert!(c.phase_total("count") >= before);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut c = Collector::new();
+        c.gauge("camping", 1.5);
+        c.gauge("camping", 2.5);
+        assert_eq!(c.gauge_value("camping"), Some(2.5));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Collector::new();
+        a.add("x", 1);
+        a.phase_seconds("p", 0.5);
+        let mut b = Collector::new();
+        b.add("x", 2);
+        b.phase_seconds("p", 0.25);
+        b.gauge("g", 9.0);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.phase_total("p"), 0.75);
+        assert_eq!(a.gauge_value("g"), Some(9.0));
+    }
+
+    #[test]
+    fn to_json_shape() {
+        let mut c = Collector::new();
+        c.add("tx", 10);
+        c.gauge("util", 0.5);
+        c.phase_seconds("count", 0.1);
+        let j = c.to_json();
+        assert_eq!(
+            j.key_paths(),
+            vec![
+                "counters",
+                "counters.tx",
+                "gauges",
+                "gauges.util",
+                "phases_s",
+                "phases_s.count",
+            ]
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Minimal JSON value tree and serializer.
+//!
+//! The workspace has no serde (offline build), and run reports are the
+//! only thing that needs serialization, so this module hand-rolls the
+//! small subset required: objects with insertion-ordered keys, arrays,
+//! strings, bools, integers, and finite floats. Non-finite floats
+//! serialize as `null` (JSON has no NaN/Infinity).
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer number (serialized without a decimal point).
+    Int(i64),
+    /// Unsigned integer number.
+    UInt(u64),
+    /// Floating-point number; non-finite values serialize as `null`.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    #[must_use]
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Inserts or replaces `key` in an object. Panics if `self` is not
+    /// an object.
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Self {
+        match self {
+            Json::Object(fields) => {
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_string(), value));
+                }
+            }
+            _ => panic!("Json::set on non-object"),
+        }
+        self
+    }
+
+    /// Looks up `key` in an object; `None` for missing keys or
+    /// non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serializes compactly (no whitespace).
+    #[must_use]
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with 2-space indentation.
+    #[must_use]
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    /// Every key path in the value tree, dotted and sorted; array
+    /// elements do not contribute paths beyond their parent key. Used by
+    /// schema tests to pin the report shape without pinning values.
+    #[must_use]
+    pub fn key_paths(&self) -> Vec<String> {
+        let mut paths = Vec::new();
+        self.collect_paths("", &mut paths);
+        paths.sort();
+        paths.dedup();
+        paths
+    }
+
+    fn collect_paths(&self, prefix: &str, out: &mut Vec<String>) {
+        match self {
+            Json::Object(fields) => {
+                for (k, v) in fields {
+                    let path = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    out.push(path.clone());
+                    v.collect_paths(&path, out);
+                }
+            }
+            Json::Array(items) => {
+                // Arrays are homogeneous in run reports; describe the
+                // element shape once under `prefix[]`.
+                if let Some(first) = items.first() {
+                    first.collect_paths(&format!("{prefix}[]"), out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Float(f) => {
+                if f.is_finite() {
+                    if *f == f.trunc() && f.abs() < 1e15 {
+                        // Keep a decimal point so the value round-trips
+                        // as a float.
+                        out.push_str(&format!("{f:.1}"));
+                    } else {
+                        out.push_str(&format!("{f}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+impl From<u32> for Json {
+    fn from(u: u32) -> Json {
+        Json::UInt(u64::from(u))
+    }
+}
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_roundtrip_shapes() {
+        let mut obj = Json::object();
+        obj.set("n", Json::from(3u64));
+        obj.set("name", Json::from("a\"b"));
+        obj.set("xs", Json::from(vec![1i64, 2, 3]));
+        let mut inner = Json::object();
+        inner.set("f", Json::Float(1.5));
+        inner.set("nan", Json::Float(f64::NAN));
+        obj.set("inner", inner);
+        assert_eq!(
+            obj.to_string_compact(),
+            r#"{"n":3,"name":"a\"b","xs":[1,2,3],"inner":{"f":1.5,"nan":null}}"#
+        );
+        assert!(obj.to_string_pretty().contains("\n  \"n\": 3"));
+    }
+
+    #[test]
+    fn whole_floats_keep_decimal_point() {
+        assert_eq!(Json::Float(2.0).to_string_compact(), "2.0");
+        assert_eq!(Json::Float(0.25).to_string_compact(), "0.25");
+    }
+
+    #[test]
+    fn key_paths_are_sorted_and_nested() {
+        let mut obj = Json::object();
+        obj.set("b", Json::from(1u64));
+        let mut inner = Json::object();
+        inner.set("x", Json::Null);
+        obj.set("a", Json::Array(vec![inner]));
+        assert_eq!(obj.key_paths(), vec!["a", "a[].x", "b"]);
+    }
+
+    #[test]
+    fn set_replaces_existing_key() {
+        let mut obj = Json::object();
+        obj.set("k", Json::from(1u64));
+        obj.set("k", Json::from(2u64));
+        assert_eq!(obj.get("k"), Some(&Json::UInt(2)));
+    }
+}

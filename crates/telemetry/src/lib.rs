@@ -1,0 +1,21 @@
+//! Run-report telemetry for the trigon workspace.
+//!
+//! Two small pieces, both dependency-free:
+//!
+//! - [`json`]: a hand-rolled JSON value tree and serializer (the
+//!   workspace builds offline, so no serde), plus a `key_paths` helper
+//!   that schema tests use to pin report shape without pinning values.
+//! - [`collector`]: the [`Collector`] of named counters, gauges, and
+//!   scoped phase timers that pipeline stages write into, and the
+//!   [`Level`] knob that turns collection off.
+//!
+//! This crate sits below `trigon-core` in the dependency graph so the
+//! GPU simulator crates can also emit into a collector.
+
+#![deny(missing_docs)]
+
+pub mod collector;
+pub mod json;
+
+pub use collector::{Collector, Level, PhaseGuard};
+pub use json::Json;

@@ -10,30 +10,36 @@
 //! cargo run --release --example approx_counting
 //! ```
 
-use trigon::core::pipeline::{count_triangles, CountMethod};
 use trigon::graph::{approx, gen};
+use trigon::{Analysis, Method};
 
 fn main() {
     let g = gen::community_ring(8_000, 200, 0.25, 4, 17);
     println!("graph: n = {}, m = {}", g.n(), g.m());
 
-    let exact = count_triangles(&g, CountMethod::CpuFast).expect("exact");
+    let exact = Analysis::new(&g)
+        .method(Method::CpuFast)
+        .run()
+        .expect("exact");
     println!(
         "exact (Algorithm 2): {} triangles  [{} combination tests accounted]",
-        exact.triangles, exact.tests
+        exact.count, exact.tests
     );
 
     println!("\nDOULION estimates (5-run mean per p):");
-    println!("{:>6} {:>14} {:>12} {:>10}", "p", "estimate", "rel.err %", "edges kept");
+    println!(
+        "{:>6} {:>14} {:>12} {:>10}",
+        "p", "estimate", "rel.err %", "edges kept"
+    );
     for p in [0.1, 0.25, 0.5, 0.75, 1.0] {
         let mean = approx::doulion_mean(&g, p, 7, 5);
         let one = approx::doulion(&g, p, 7);
-        let rel = 100.0 * (mean - exact.triangles as f64).abs() / exact.triangles as f64;
+        let rel = 100.0 * (mean - exact.count as f64).abs() / exact.count as f64;
         println!("{p:>6} {mean:>14.0} {rel:>12.2} {:>10}", one.kept_edges);
     }
 
     // The estimator is exact at p = 1 by construction.
     let full = approx::doulion(&g, 1.0, 1);
-    assert_eq!(full.sparsified_triangles, exact.triangles);
+    assert_eq!(full.sparsified_triangles, exact.count);
     println!("\np = 1.0 recovers the exact count, as expected.");
 }

@@ -30,7 +30,11 @@ fn main() {
 
     let machines = spec.sm_count;
     let lb = sched::lower_bound(&jobs, machines);
-    println!("\nscheduling {} chunk jobs on {} SMs (lower bound {lb}):", jobs.len(), machines);
+    println!(
+        "\nscheduling {} chunk jobs on {} SMs (lower bound {lb}):",
+        jobs.len(),
+        machines
+    );
     for (name, s) in [
         ("round-robin", sched::round_robin(&jobs, machines)),
         ("list", sched::list_schedule(&jobs, machines)),

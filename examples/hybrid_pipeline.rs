@@ -8,11 +8,9 @@
 //! cargo run --release --example hybrid_pipeline
 //! ```
 
-use trigon::core::gpu_exec::GpuConfig;
-use trigon::core::hybrid::{run_hybrid, HybridConfig};
-use trigon::core::pipeline::{count_triangles, CountMethod};
 use trigon::gpu_sim::DeviceSpec;
 use trigon::graph::gen;
+use trigon::{Analysis, Method};
 
 fn main() {
     // A deep community graph: the regime the splitting technique targets.
@@ -21,31 +19,38 @@ fn main() {
 
     for device in [DeviceSpec::c1060(), DeviceSpec::c2050()] {
         let name = device.name;
-        let h = run_hybrid(&g, &HybridConfig::new(device.clone()));
-        println!("\n== {name} (shared budget {} KB) ==", device.shared_mem_bytes / 1024);
+        let shared_kb = device.shared_mem_bytes / 1024;
+        let r = Analysis::new(&g)
+            .method(Method::Hybrid)
+            .device(device.clone())
+            .run()
+            .expect("hybrid run");
+        let h = r.hybrid.as_ref().expect("hybrid section");
+        let eq6 = r.eq6.as_ref().expect("eq6 section");
+        println!("\n== {name} (shared budget {shared_kb} KB) ==");
         println!(
-            "chunks: {} ({} shared, {} global)",
-            h.split.chunks.len(),
-            h.split.shared_count(),
-            h.split.global_count()
+            "chunks: {} ({} oversize for shared memory)",
+            h.chunks, h.oversize_chunks
         );
         println!(
             "ALS placement: {} shared-tier, {} global-tier",
             h.shared_als, h.global_als
         );
-        println!("triangles: {}", h.triangles);
-        println!("kernel (LPT schedule):     {:>8.4} s", h.kernel_s);
-        println!("kernel (Eq. 6 naive):      {:>8.4} s", h.eq6_s);
+        println!("triangles: {}", r.count);
+        println!("kernel (LPT schedule):     {:>8.4} s", eq6.simulated_s);
+        println!("kernel (Eq. 6 naive):      {:>8.4} s", eq6.predicted_s);
 
         // Compare against running everything from global memory.
-        let global =
-            count_triangles(&g, CountMethod::GpuSim(GpuConfig::optimized(device).sampled()))
-                .expect("global run");
+        let global = Analysis::new(&g)
+            .method(Method::GpuSampled)
+            .device(device)
+            .run()
+            .expect("global run");
         println!(
             "kernel (all-global):       {:>8.4} s",
             global.gpu.as_ref().unwrap().kernel_s
         );
-        assert_eq!(h.triangles, global.triangles);
+        assert_eq!(r.count, global.count);
     }
     println!(
         "\nShared staging + LPT beats both alternatives — \"an intelligent scheduling\n\

@@ -8,11 +8,11 @@
 //! ```
 
 use trigon::core::gpu_exec::GpuConfig;
-use trigon::core::pipeline::{count_triangles, CountMethod};
 use trigon::gpu_sim::coalesce::{nonsequential_pattern, sequential_pattern};
 use trigon::gpu_sim::occupancy::{occupancy, KernelResources};
 use trigon::gpu_sim::{warp_transactions, ComputeCapability, DeviceSpec};
 use trigon::graph::gen;
+use trigon::{Analysis, Method};
 
 fn main() {
     println!("== Table III: one warp reads 128 B as 4 B words ==");
@@ -44,10 +44,20 @@ fn main() {
     println!("\n== Partition pressure of the real workload (n = 800, deg 16) ==");
     let g = gen::gnp(800, 16.0 / 800.0, 5);
     for (label, cfg) in [
-        ("naive monolithic layout", GpuConfig::naive(DeviceSpec::c1060())),
-        ("per-ALS aligned layout", GpuConfig::optimized(DeviceSpec::c1060())),
+        (
+            "naive monolithic layout",
+            GpuConfig::naive(DeviceSpec::c1060()),
+        ),
+        (
+            "per-ALS aligned layout",
+            GpuConfig::optimized(DeviceSpec::c1060()),
+        ),
     ] {
-        let r = count_triangles(&g, CountMethod::GpuSim(cfg)).expect("run");
+        let r = Analysis::new(&g)
+            .method(Method::GpuOptimized)
+            .gpu_config(cfg)
+            .run()
+            .expect("run");
         let d = r.gpu.as_ref().unwrap();
         println!(
             "  {label:<26} kernel {:.3} s, camping factor {:.2}, {} transactions",

@@ -10,8 +10,8 @@
 //! ```
 
 use std::collections::HashMap;
-use trigon::core::pipeline::{count_triangles, CountMethod};
 use trigon::graph::{gen, triangles};
+use trigon::{Analysis, Method};
 
 fn main() {
     // A small-world OSN: 2,000 users, 12 friends each on the lattice,
@@ -19,8 +19,11 @@ fn main() {
     let g = gen::watts_strogatz(2_000, 12, 0.10, 11);
     println!("social network: {} users, {} friendships", g.n(), g.m());
 
-    let report = count_triangles(&g, CountMethod::CpuFast).expect("count");
-    println!("triangles (closed friend trios): {}", report.triangles);
+    let report = Analysis::new(&g)
+        .method(Method::CpuFast)
+        .run()
+        .expect("count");
+    println!("triangles (closed friend trios): {}", report.count);
 
     let t = triangles::transitivity(&g);
     println!("transitivity: {t:.3} (probability a wedge is closed)");

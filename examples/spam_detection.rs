@@ -66,5 +66,8 @@ fn main() {
         "\nprecision@{spammers}: {:.0} % of flagged users are planted spammers",
         100.0 * f64::from(caught) / f64::from(spammers)
     );
-    assert!(caught >= spammers * 7 / 10, "detector should catch most spammers");
+    assert!(
+        caught >= spammers * 7 / 10,
+        "detector should catch most spammers"
+    );
 }

@@ -11,11 +11,21 @@
 //! coalescing and partition-camping-avoidance primitives reproduced on a
 //! deterministic GPU memory-hierarchy simulator.
 //!
-//! Start with [`core::pipeline`] for the end-to-end API, or run
-//! `cargo run --example quickstart`.
+//! Start with the [`Analysis`] builder for the end-to-end API, or run
+//! `cargo run --example quickstart`:
+//!
+//! ```
+//! use trigon::{Analysis, Method};
+//!
+//! let g = trigon::graph::gen::gnp(200, 0.05, 1);
+//! let report = Analysis::new(&g).method(Method::GpuOptimized).run().unwrap();
+//! println!("{}", report.to_json().to_string_pretty());
+//! ```
 
 pub use trigon_combin as combin;
 pub use trigon_core as core;
 pub use trigon_gpu_sim as gpu_sim;
 pub use trigon_graph as graph;
 pub use trigon_sched as sched;
+
+pub use trigon_core::{Analysis, Collector, Error, Json, Level, Method, RunReport};

@@ -4,24 +4,27 @@
 //! trigon devices
 //! trigon gen <model> --n N [--seed S] [-o FILE]         models: gnp, ba, ws, ring, rmat, complete, grid
 //! trigon analyze <FILE>
-//! trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|doulion]
-//!              [--device c1060|c2050|c2070] [--p PROB]
+//! trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion]
+//!              [--device c1060|c2050|c2070] [--p PROB] [--json]
 //! trigon split <FILE> [--device c1060|c2050|c2070]
-//! trigon kcount <FILE> --k K [--what cliques|connected|independent]
+//! trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
+//! trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
 //! trigon camping
 //! ```
+//!
+//! Exit codes: `0` success, `2` usage / bad configuration, `3` I/O,
+//! `4` malformed input, `5` graph too large for the device.
 
 use std::collections::HashMap;
 use std::io::BufReader;
-use trigon::core::gpu_exec::GpuConfig;
-use trigon::core::pipeline::{count_triangles, CountMethod};
 use trigon::core::split::{split_graph, SplitConfig};
 use trigon::gpu_sim::{render_partition_histogram, DeviceSpec, PartitionTraffic};
 use trigon::graph::{approx, cores, gen, io, triangles, BfsTree, Graph};
+use trigon::{Analysis, Error, Method, RunReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = match args.first().map(String::as_str) {
+    let result = match args.first().map(String::as_str) {
         Some("devices") => cmd_devices(),
         Some("gen") => cmd_gen(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
@@ -31,45 +34,83 @@ fn main() {
         Some("kcount") => cmd_kcount(&args[1..]),
         Some("camping") => cmd_camping(),
         _ => {
-            eprintln!("{}", USAGE);
-            2
+            eprintln!("{USAGE}");
+            std::process::exit(2);
         }
     };
-    std::process::exit(code);
+    match result {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(e.exit_code());
+        }
+    }
 }
 
 const USAGE: &str = "usage:
   trigon devices
   trigon gen <gnp|ba|ws|ring|rmat|complete|grid> --n N [--seed S] [-o FILE]
   trigon analyze <FILE>
-  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|doulion] [--device c1060|c2050|c2070] [--p PROB]
+  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--p PROB] [--json]
   trigon split <FILE> [--device c1060|c2050|c2070]
-  trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070]
-  trigon kcount <FILE> --k K [--what cliques|connected|independent]
+  trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
+  trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
   trigon camping";
 
-/// Parses `--flag value` pairs plus positional arguments.
-fn parse(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["json"];
+
+/// Parses `--flag value` pairs, boolean `--flag`s, and positionals.
+///
+/// A lone `-` or a negative number (`-3`, `-.5`) is a positional, not a
+/// flag; a value-taking flag with nothing after it is a usage error.
+fn parse(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), Error> {
     let mut pos = Vec::new();
     let mut flags = HashMap::new();
-    let mut it = args.iter().peekable();
+    let mut it = args.iter();
     while let Some(a) = it.next() {
-        if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
-            let val = it.next().cloned().unwrap_or_default();
-            flags.insert(name.to_string(), val);
+        let name = if let Some(name) = a.strip_prefix("--") {
+            name
+        } else if let Some(name) = a.strip_prefix('-') {
+            if name.is_empty() || name.starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+                pos.push(a.clone());
+                continue;
+            }
+            name
         } else {
             pos.push(a.clone());
+            continue;
+        };
+        if name.is_empty() {
+            return Err(Error::bad_config(format!("empty flag {a:?}\n{USAGE}")));
+        }
+        if BOOL_FLAGS.contains(&name) {
+            flags.insert(name.to_string(), "true".to_string());
+        } else {
+            match it.next() {
+                Some(v) => {
+                    flags.insert(name.to_string(), v.clone());
+                }
+                None => {
+                    return Err(Error::bad_config(format!(
+                        "flag --{name} needs a value\n{USAGE}"
+                    )));
+                }
+            }
         }
     }
-    (pos, flags)
+    Ok((pos, flags))
 }
 
-fn device_by_name(name: &str) -> Option<DeviceSpec> {
-    match name.to_ascii_lowercase().as_str() {
-        "c1060" => Some(DeviceSpec::c1060()),
-        "c2050" => Some(DeviceSpec::c2050()),
-        "c2070" => Some(DeviceSpec::c2070()),
-        _ => None,
+fn device_for(flags: &HashMap<String, String>) -> Result<DeviceSpec, Error> {
+    match flags.get("device") {
+        None => Ok(DeviceSpec::c1060()),
+        Some(name) => match name.to_ascii_lowercase().as_str() {
+            "c1060" => Ok(DeviceSpec::c1060()),
+            "c2050" => Ok(DeviceSpec::c2050()),
+            "c2070" => Ok(DeviceSpec::c2070()),
+            _ => Err(Error::bad_config(format!("unknown device {name:?}"))),
+        },
     }
 }
 
@@ -89,25 +130,39 @@ fn generate(model: &str, n: u32, seed: u64) -> Option<Graph> {
     })
 }
 
-fn load_or_gen(pos: &[String], flags: &HashMap<String, String>) -> Result<Graph, String> {
+fn load_or_gen(pos: &[String], flags: &HashMap<String, String>) -> Result<Graph, Error> {
     if let Some(model) = flags.get("gen") {
         let n: u32 = flags
             .get("n")
             .and_then(|s| s.parse().ok())
-            .ok_or("--gen needs --n N")?;
+            .ok_or_else(|| Error::bad_config("--gen needs --n N"))?;
         let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-        return generate(model, n, seed).ok_or_else(|| format!("unknown model {model:?}"));
+        return generate(model, n, seed)
+            .ok_or_else(|| Error::bad_config(format!("unknown model {model:?}")));
     }
-    let path = pos.first().ok_or("need a FILE or --gen MODEL --n N")?;
-    let f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    let (g, _) = io::read_edge_list(BufReader::new(f)).map_err(|e| e.to_string())?;
+    let path = pos
+        .first()
+        .ok_or_else(|| Error::bad_config("need a FILE or --gen MODEL --n N"))?;
+    let f = std::fs::File::open(path).map_err(|e| Error::Io {
+        path: path.clone(),
+        source: e,
+    })?;
+    let (g, _) = io::read_edge_list(BufReader::new(f)).map_err(|e| Error::Parse(e.to_string()))?;
     Ok(g)
 }
 
-fn cmd_devices() -> i32 {
+fn cmd_devices() -> Result<(), Error> {
     println!(
         "{:<8} {:>6} {:>11} {:>11} {:>6} {:>5} {:>6} {:>11} {:>11}",
-        "Model", "Cores", "Global(GB)", "Shared(KB)", "Banks", "CC", "SMs", "MaxN(adj)", "MaxN(sutm)"
+        "Model",
+        "Cores",
+        "Global(GB)",
+        "Shared(KB)",
+        "Banks",
+        "CC",
+        "SMs",
+        "MaxN(adj)",
+        "MaxN(sutm)"
     );
     for d in DeviceSpec::table1() {
         println!(
@@ -123,58 +178,46 @@ fn cmd_devices() -> i32 {
             trigon::core::max_graph_sutm(d.global_mem_bits()),
         );
     }
-    0
+    Ok(())
 }
 
-fn cmd_gen(args: &[String]) -> i32 {
-    let (pos, flags) = parse(args);
-    let Some(model) = pos.first() else {
-        eprintln!("{USAGE}");
-        return 2;
-    };
-    let Some(n) = flags.get("n").and_then(|s| s.parse().ok()) else {
-        eprintln!("gen: --n N is required");
-        return 2;
-    };
+fn cmd_gen(args: &[String]) -> Result<(), Error> {
+    let (pos, flags) = parse(args)?;
+    let model = pos
+        .first()
+        .ok_or_else(|| Error::bad_config(format!("gen needs a model\n{USAGE}")))?;
+    let n = flags
+        .get("n")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::bad_config("gen: --n N is required"))?;
     let seed = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let Some(g) = generate(model, n, seed) else {
-        eprintln!("unknown model {model:?}");
-        return 2;
-    };
+    let g = generate(model, n, seed)
+        .ok_or_else(|| Error::bad_config(format!("unknown model {model:?}")))?;
     match flags.get("o") {
         Some(path) => {
-            let f = match std::fs::File::create(path) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("create {path}: {e}");
-                    return 1;
-                }
-            };
-            if let Err(e) = io::write_edge_list(&g, std::io::BufWriter::new(f)) {
-                eprintln!("write: {e}");
-                return 1;
-            }
+            let f = std::fs::File::create(path).map_err(|e| Error::Io {
+                path: path.clone(),
+                source: e,
+            })?;
+            io::write_edge_list(&g, std::io::BufWriter::new(f)).map_err(|e| Error::Io {
+                path: path.clone(),
+                source: e,
+            })?;
             println!("wrote {} (n = {}, m = {})", path, g.n(), g.m());
         }
         None => {
-            if let Err(e) = io::write_edge_list(&g, std::io::stdout().lock()) {
-                eprintln!("write: {e}");
-                return 1;
-            }
+            io::write_edge_list(&g, std::io::stdout().lock()).map_err(|e| Error::Io {
+                path: "<stdout>".to_string(),
+                source: e,
+            })?;
         }
     }
-    0
+    Ok(())
 }
 
-fn cmd_analyze(args: &[String]) -> i32 {
-    let (pos, flags) = parse(args);
-    let g = match load_or_gen(&pos, &flags) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("{e}");
-            return 1;
-        }
-    };
+fn cmd_analyze(args: &[String]) -> Result<(), Error> {
+    let (pos, flags) = parse(args)?;
+    let g = load_or_gen(&pos, &flags)?;
     println!("vertices            {}", g.n());
     println!("edges               {}", g.m());
     println!("density             {:.6}", g.density());
@@ -196,30 +239,53 @@ fn cmd_analyze(args: &[String]) -> i32 {
     println!("triangles           {tri}");
     println!("transitivity        {:.4}", triangles::transitivity(&g));
     let cc = triangles::clustering_coefficients(&g);
-    let mean_cc = if cc.is_empty() { 0.0 } else { cc.iter().sum::<f64>() / cc.len() as f64 };
+    let mean_cc = if cc.is_empty() {
+        0.0
+    } else {
+        cc.iter().sum::<f64>() / cc.len() as f64
+    };
     println!("mean clustering     {mean_cc:.4}");
-    0
+    Ok(())
 }
 
-fn cmd_count(args: &[String]) -> i32 {
-    let (pos, flags) = parse(args);
-    let g = match load_or_gen(&pos, &flags) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("{e}");
-            return 1;
-        }
-    };
-    let device = match flags.get("device") {
-        Some(name) => match device_by_name(name) {
-            Some(d) => d,
-            None => {
-                eprintln!("unknown device {name:?}");
-                return 2;
-            }
-        },
-        None => DeviceSpec::c1060(),
-    };
+/// Prints a [`RunReport`] in the flat key-value form of `trigon count`.
+fn print_report(r: &RunReport) {
+    println!("{:<14}{}", r.kind, r.count);
+    println!("{:<14}{}", "tests", r.tests);
+    println!("{:<14}{:.4} s", "modeled", r.modeled_s);
+    println!("{:<14}{:.4} s", "wall", r.wall_s);
+    if let Some(gpu) = &r.gpu {
+        println!("{:<14}{:.4} s", "kernel", gpu.kernel_s);
+        println!("{:<14}{:.6} s", "transfer", gpu.transfer_s);
+        println!("{:<14}{}", "blocks", gpu.blocks);
+        println!("{:<14}{}", "transactions", gpu.transactions);
+        println!("{:<14}{:.3}", "camping", gpu.camping_factor);
+        println!("{:<14}{} bytes", "layout", gpu.layout_bytes);
+        println!("{:<14}{} cycles", "makespan", gpu.makespan_cycles);
+        println!("{:<14}{:.3}", "sm util", gpu.sm_utilization);
+    }
+    if let Some(h) = &r.hybrid {
+        println!(
+            "{:<14}{} shared / {} global",
+            "ALS placement", h.shared_als, h.global_als
+        );
+        println!(
+            "{:<14}{} ({} oversize)",
+            "chunks", h.chunks, h.oversize_chunks
+        );
+    }
+    if let Some(e) = &r.eq6 {
+        println!(
+            "{:<14}predicted {:.4} s vs simulated {:.4} s (ratio {:.2})",
+            "Eq. 6", e.predicted_s, e.simulated_s, e.ratio
+        );
+    }
+}
+
+fn cmd_count(args: &[String]) -> Result<(), Error> {
+    let (pos, flags) = parse(args)?;
+    let g = load_or_gen(&pos, &flags)?;
+    let device = device_for(&flags)?;
     let method = flags.get("method").map_or("gpu-opt", String::as_str);
     if method == "doulion" {
         let p: f64 = flags.get("p").and_then(|s| s.parse().ok()).unwrap_or(0.5);
@@ -231,55 +297,24 @@ fn cmd_count(args: &[String]) -> i32 {
             g.m(),
             est.p
         );
-        return 0;
+        return Ok(());
     }
-    let m = match method {
-        "cpu" => CountMethod::CpuExhaustive,
-        "cpu-fast" => CountMethod::CpuFast,
-        "gpu-naive" => CountMethod::GpuSim(GpuConfig::naive(device)),
-        "gpu-opt" => CountMethod::GpuSim(GpuConfig::optimized(device)),
-        "gpu-sampled" => CountMethod::GpuSim(GpuConfig::optimized(device).sampled()),
-        other => {
-            eprintln!("unknown method {other:?}");
-            return 2;
-        }
-    };
-    match count_triangles(&g, m) {
-        Ok(r) => {
-            println!("triangles   {}", r.triangles);
-            println!("tests       {}", r.tests);
-            println!("modeled     {:.4} s", r.modeled_s);
-            println!("wall        {:.4} s", r.wall_s);
-            if let Some(gpu) = r.gpu {
-                println!("kernel      {:.4} s", gpu.kernel_s);
-                println!("transfer    {:.6} s", gpu.transfer_s);
-                println!("blocks      {}", gpu.blocks);
-                println!("transactions {}", gpu.transactions);
-                println!("camping     {:.3}", gpu.camping_factor);
-                println!("layout      {} bytes", gpu.layout_bytes);
-            }
-            0
-        }
-        Err(e) => {
-            eprintln!("count failed: {e}");
-            1
-        }
+    let report = Analysis::new(&g)
+        .method(Method::parse(method)?)
+        .device(device)
+        .run()?;
+    if flags.contains_key("json") {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        print_report(&report);
     }
+    Ok(())
 }
 
-fn cmd_split(args: &[String]) -> i32 {
-    let (pos, flags) = parse(args);
-    let g = match load_or_gen(&pos, &flags) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("{e}");
-            return 1;
-        }
-    };
-    let device = flags
-        .get("device")
-        .and_then(|n| device_by_name(n))
-        .unwrap_or_else(DeviceSpec::c1060);
+fn cmd_split(args: &[String]) -> Result<(), Error> {
+    let (pos, flags) = parse(args)?;
+    let g = load_or_gen(&pos, &flags)?;
+    let device = device_for(&flags)?;
     let cfg = SplitConfig::for_device(&device);
     let r = split_graph(&g, &cfg);
     println!(
@@ -301,70 +336,76 @@ fn cmd_split(args: &[String]) -> i32 {
             if c.fits_shared { "shared" } else { "GLOBAL" }
         );
     }
-    0
+    Ok(())
 }
 
-fn cmd_hybrid(args: &[String]) -> i32 {
-    use trigon::core::hybrid::{run_hybrid, HybridConfig};
-    let (pos, flags) = parse(args);
-    let g = match load_or_gen(&pos, &flags) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("{e}");
-            return 1;
-        }
-    };
-    let device = flags
-        .get("device")
-        .and_then(|n| device_by_name(n))
-        .unwrap_or_else(DeviceSpec::c1060);
+fn cmd_hybrid(args: &[String]) -> Result<(), Error> {
+    let (pos, flags) = parse(args)?;
+    let g = load_or_gen(&pos, &flags)?;
+    let device = device_for(&flags)?;
     let name = device.name;
-    let r = run_hybrid(&g, &HybridConfig::new(device));
+    let report = Analysis::new(&g)
+        .method(Method::Hybrid)
+        .device(device)
+        .run()?;
+    if flags.contains_key("json") {
+        println!("{}", report.to_json().to_string_pretty());
+        return Ok(());
+    }
+    let h = report.hybrid.as_ref().expect("hybrid section");
+    let eq6 = report.eq6.as_ref().expect("eq6 section");
     println!("device            {name}");
-    println!("triangles         {}", r.triangles);
-    println!("tests             {}", r.tests);
+    println!("triangles         {}", report.count);
+    println!("tests             {}", report.tests);
     println!(
-        "chunks            {} ({} shared, {} global)",
-        r.split.chunks.len(),
-        r.split.shared_count(),
-        r.split.global_count()
+        "chunks            {} ({} oversize)",
+        h.chunks, h.oversize_chunks
     );
-    println!("ALS placement     {} shared / {} global", r.shared_als, r.global_als);
-    println!("kernel (LPT)      {:.4} s", r.kernel_s);
-    println!("kernel (Eq. 6)    {:.4} s", r.eq6_s);
-    println!("total             {:.4} s", r.total_s);
-    0
+    println!(
+        "ALS placement     {} shared / {} global",
+        h.shared_als, h.global_als
+    );
+    println!("bank conflicts    degree {:.1}", h.bank_conflict_degree);
+    println!("kernel (LPT)      {:.4} s", eq6.simulated_s);
+    println!("kernel (Eq. 6)    {:.4} s", eq6.predicted_s);
+    println!("total             {:.4} s", report.modeled_s);
+    Ok(())
 }
 
-fn cmd_kcount(args: &[String]) -> i32 {
-    let (pos, flags) = parse(args);
-    let g = match load_or_gen(&pos, &flags) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("{e}");
-            return 1;
-        }
-    };
-    let Some(k) = flags.get("k").and_then(|s| s.parse().ok()) else {
-        eprintln!("kcount: --k K is required");
-        return 2;
-    };
+fn cmd_kcount(args: &[String]) -> Result<(), Error> {
+    let (pos, flags) = parse(args)?;
+    let g = load_or_gen(&pos, &flags)?;
+    let k: u32 = flags
+        .get("k")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::bad_config("kcount: --k K is required"))?;
     let what = flags.get("what").map_or("cliques", String::as_str);
     use trigon::core::kcount;
     let count = match what {
-        "cliques" => kcount::count_k_cliques(&g, k),
+        "cliques" => {
+            let report = Analysis::new(&g)
+                .method(Method::KCliques(k))
+                .device(device_for(&flags)?)
+                .run()?;
+            if flags.contains_key("json") {
+                println!("{}", report.to_json().to_string_pretty());
+                return Ok(());
+            }
+            report.count
+        }
         "connected" => kcount::count_connected_subgraphs(&g, k),
         "independent" => kcount::count_k_independent_sets(&g, k),
         other => {
-            eprintln!("unknown subgraph kind {other:?}");
-            return 2;
+            return Err(Error::bad_config(format!(
+                "unknown subgraph kind {other:?}"
+            )));
         }
     };
     println!("{what} of size {k}: {count}");
-    0
+    Ok(())
 }
 
-fn cmd_camping() -> i32 {
+fn cmd_camping() -> Result<(), Error> {
     let spec = DeviceSpec::c1060();
     println!("Fig 6 — partition camping: 30 active warps all hitting partition 1\n");
     let mut camped = PartitionTraffic::new(&spec);
@@ -378,5 +419,5 @@ fn cmd_camping() -> i32 {
         spread.record((w % 8) * 256);
     }
     print!("{}", render_partition_histogram(&spread, 40));
-    0
+    Ok(())
 }

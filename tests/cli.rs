@@ -66,7 +66,13 @@ fn gen_analyze_count_roundtrip() {
 #[test]
 fn count_with_generated_graph() {
     let (stdout, stderr, ok) = trigon(&[
-        "count", "--gen", "ring", "--n", "600", "--method", "gpu-sampled",
+        "count",
+        "--gen",
+        "ring",
+        "--n",
+        "600",
+        "--method",
+        "gpu-sampled",
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("triangles"));

@@ -1,39 +1,39 @@
 //! Cross-crate integration: every counting path agrees on every
 //! generator family, and known closed forms hold end to end.
 
-use trigon::core::gpu_exec::GpuConfig;
-use trigon::core::pipeline::{count_triangles, CountMethod};
 use trigon::gpu_sim::DeviceSpec;
 use trigon::graph::{gen, triangles, Graph};
+use trigon::{Analysis, Method, RunReport};
 
-fn all_methods() -> Vec<(&'static str, CountMethod)> {
+fn all_methods() -> Vec<(&'static str, Method, DeviceSpec)> {
     vec![
-        ("cpu_exhaustive", CountMethod::CpuExhaustive),
-        ("cpu_fast", CountMethod::CpuFast),
-        (
-            "gpu_naive",
-            CountMethod::GpuSim(GpuConfig::naive(DeviceSpec::c1060())),
-        ),
-        (
-            "gpu_optimized",
-            CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060())),
-        ),
-        (
-            "gpu_sampled",
-            CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060()).sampled()),
-        ),
-        (
-            "gpu_fermi",
-            CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c2050())),
-        ),
+        ("cpu_exhaustive", Method::CpuExhaustive, DeviceSpec::c1060()),
+        ("cpu_fast", Method::CpuFast, DeviceSpec::c1060()),
+        ("gpu_naive", Method::GpuNaive, DeviceSpec::c1060()),
+        ("gpu_optimized", Method::GpuOptimized, DeviceSpec::c1060()),
+        ("gpu_sampled", Method::GpuSampled, DeviceSpec::c1060()),
+        ("gpu_fermi", Method::GpuOptimized, DeviceSpec::c2050()),
+        ("hybrid", Method::Hybrid, DeviceSpec::c1060()),
     ]
+}
+
+fn run(g: &Graph, method: Method, device: DeviceSpec) -> RunReport {
+    Analysis::new(g)
+        .method(method)
+        .device(device)
+        .run()
+        .unwrap()
 }
 
 fn check_graph(g: &Graph, label: &str) {
     let expect = triangles::count_edge_iterator(g);
-    for (name, method) in all_methods() {
-        let r = count_triangles(g, method).unwrap_or_else(|e| panic!("{label}/{name}: {e}"));
-        assert_eq!(r.triangles, expect, "{label}: method {name}");
+    for (name, method, device) in all_methods() {
+        let r = Analysis::new(g)
+            .method(method)
+            .device(device)
+            .run()
+            .unwrap_or_else(|e| panic!("{label}/{name}: {e}"));
+        assert_eq!(r.count, expect, "{label}: method {name}");
         assert_eq!(r.n, g.n());
         assert_eq!(r.m, g.m());
     }
@@ -63,16 +63,12 @@ fn random_models_agree_across_all_methods() {
 fn closed_forms_hold_end_to_end() {
     use trigon::combin::binom;
     // ϑ(K_n) = C(n, 3) — the §VII identity.
-    let r = count_triangles(&gen::complete(25), CountMethod::CpuFast).unwrap();
-    assert_eq!(u128::from(r.triangles), binom(25, 3));
+    let r = run(&gen::complete(25), Method::CpuFast, DeviceSpec::c1060());
+    assert_eq!(u128::from(r.count), binom(25, 3));
     // Triangle-free families count zero on the GPU path too.
     for g in [gen::complete_bipartite(15, 15), gen::grid2d(10, 10)] {
-        let r = count_triangles(
-            &g,
-            CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060())),
-        )
-        .unwrap();
-        assert_eq!(r.triangles, 0);
+        let r = run(&g, Method::GpuOptimized, DeviceSpec::c1060());
+        assert_eq!(r.count, 0);
     }
 }
 
@@ -81,7 +77,8 @@ fn workload_accounting_is_consistent_across_methods() {
     let g = gen::gnp(120, 0.1, 9);
     let tests: Vec<u128> = all_methods()
         .into_iter()
-        .map(|(_, m)| count_triangles(&g, m).unwrap().tests)
+        .filter(|(_, m, _)| *m != Method::Hybrid)
+        .map(|(_, m, d)| run(&g, m, d).tests)
         .collect();
     assert!(
         tests.iter().all(|&t| t == tests[0]),
@@ -97,13 +94,9 @@ fn io_to_pipeline_roundtrip() {
     let mut buf = Vec::new();
     trigon::graph::io::write_edge_list(&g, &mut buf).unwrap();
     let (g2, _) = trigon::graph::io::read_edge_list(buf.as_slice()).unwrap();
-    let a = count_triangles(&g, CountMethod::CpuFast).unwrap();
-    let b = count_triangles(
-        &g2,
-        CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060())),
-    )
-    .unwrap();
-    assert_eq!(a.triangles, b.triangles);
+    let a = run(&g, Method::CpuFast, DeviceSpec::c1060());
+    let b = run(&g2, Method::GpuOptimized, DeviceSpec::c1060());
+    assert_eq!(a.count, b.count);
 }
 
 #[test]
@@ -115,6 +108,10 @@ fn kcount_extensions_cross_validate() {
         kcount::count_k_cliques(&g, 3),
         triangles::count_edge_iterator(&g)
     );
+    // The simulated-GPU k-clique path agrees through the builder.
+    let r = run(&g, Method::KCliques(3), DeviceSpec::c1060());
+    assert_eq!(r.count, triangles::count_edge_iterator(&g));
+    assert_eq!(r.kind, "cliques");
     // Independent sets complement cliques.
     let mut comp_edges = Vec::new();
     for u in 0..30u32 {

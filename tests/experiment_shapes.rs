@@ -2,22 +2,33 @@
 //! suite stays fast: who wins, roughly by how much, and where the
 //! crossover falls. The full-size runs live in the `repro` binary.
 
-use trigon::core::gpu_exec::GpuConfig;
-use trigon::core::pipeline::{count_triangles, CountMethod};
 use trigon::gpu_sim::DeviceSpec;
 use trigon::graph::gen;
+use trigon::{Analysis, Level, Method};
+
+fn modeled_s(g: &trigon::graph::Graph, method: Method, device: DeviceSpec) -> f64 {
+    // Telemetry off: these tests only compare modeled times, and skipping
+    // collection also skips the Eq. 6 prediction pass.
+    Analysis::new(g)
+        .method(method)
+        .device(device)
+        .telemetry(Level::Off)
+        .run()
+        .unwrap()
+        .modeled_s
+}
 
 fn cpu_s(g: &trigon::graph::Graph) -> f64 {
-    count_triangles(g, CountMethod::CpuFast).unwrap().modeled_s
+    modeled_s(g, Method::CpuFast, DeviceSpec::c1060())
 }
 
 fn gpu_s(g: &trigon::graph::Graph, optimized: bool) -> f64 {
-    let cfg = if optimized {
-        GpuConfig::optimized(DeviceSpec::c1060())
+    let m = if optimized {
+        Method::GpuOptimized
     } else {
-        GpuConfig::naive(DeviceSpec::c1060())
+        Method::GpuNaive
     };
-    count_triangles(g, CountMethod::GpuSim(cfg)).unwrap().modeled_s
+    modeled_s(g, m, DeviceSpec::c1060())
 }
 
 #[test]
@@ -56,18 +67,21 @@ fn fig11_speedup_exceeds_fig10_band() {
     // Above the CPU cache cliff (n² bits > 8 MB ⇔ n > 8192) the paper's
     // speedup reaches ~10x. Sampled fidelity keeps this fast.
     let g = gen::community_ring(10_000, 250, 0.3, 4, 42);
-    let cpu = count_triangles(&g, CountMethod::CpuFast).unwrap();
-    let gpu = count_triangles(
-        &g,
-        CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060()).sampled()),
-    )
-    .unwrap();
+    let run = |m| {
+        Analysis::new(&g)
+            .method(m)
+            .telemetry(Level::Off)
+            .run()
+            .unwrap()
+    };
+    let cpu = run(Method::CpuFast);
+    let gpu = run(Method::GpuSampled);
     let speedup = cpu.modeled_s / gpu.modeled_s;
     assert!(
         (7.0..14.0).contains(&speedup),
         "paper band ~10x, got {speedup:.2}x"
     );
-    assert_eq!(cpu.triangles, gpu.triangles);
+    assert_eq!(cpu.count, gpu.count);
 }
 
 #[test]
@@ -89,12 +103,8 @@ fn fermi_cache_shrinks_the_primitive_gap() {
     // the naive/optimized gap must be smaller on the C2050 than the C1060.
     let g = gen::gnp(600, 16.0 / 600.0, 42);
     let gap = |dev: DeviceSpec| {
-        let nv = count_triangles(&g, CountMethod::GpuSim(GpuConfig::naive(dev.clone())))
-            .unwrap()
-            .modeled_s;
-        let op = count_triangles(&g, CountMethod::GpuSim(GpuConfig::optimized(dev)))
-            .unwrap()
-            .modeled_s;
+        let nv = modeled_s(&g, Method::GpuNaive, dev.clone());
+        let op = modeled_s(&g, Method::GpuOptimized, dev);
         (nv - op) / nv
     };
     let tesla = gap(DeviceSpec::c1060());

@@ -3,11 +3,18 @@
 //! — the central correctness invariant of the reproduction.
 
 use proptest::prelude::*;
-use trigon::core::gpu_exec::GpuConfig;
-use trigon::core::pipeline::{count_triangles, CountMethod};
 use trigon::core::{count, kcount};
-use trigon::gpu_sim::DeviceSpec;
 use trigon::graph::{triangles, Graph};
+use trigon::{Analysis, Level, Method};
+
+fn count_with(g: &Graph, method: Method) -> u64 {
+    Analysis::new(g)
+        .method(method)
+        .telemetry(Level::Off)
+        .run()
+        .unwrap()
+        .count
+}
 
 fn arb_graph(max_n: u32) -> impl Strategy<Value = Graph> {
     (3..max_n).prop_flat_map(|n| {
@@ -28,27 +35,15 @@ proptest! {
         prop_assert_eq!(triangles::count_forward(&g), brute);
         prop_assert_eq!(count::cpu_exhaustive(&g).triangles, brute);
         prop_assert_eq!(count::als_fast(&g), brute);
-        let naive = count_triangles(
-            &g,
-            CountMethod::GpuSim(GpuConfig::naive(DeviceSpec::c1060())),
-        ).unwrap();
-        prop_assert_eq!(naive.triangles, brute);
-        let opt = count_triangles(
-            &g,
-            CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060())),
-        ).unwrap();
-        prop_assert_eq!(opt.triangles, brute);
+        prop_assert_eq!(count_with(&g, Method::GpuNaive), brute);
+        prop_assert_eq!(count_with(&g, Method::GpuOptimized), brute);
     }
 
     /// The sampled fidelity mode never changes the count.
     #[test]
     fn sampled_mode_is_count_exact(g in arb_graph(30)) {
         let brute = triangles::count_brute_force(&g);
-        let r = count_triangles(
-            &g,
-            CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060()).sampled()),
-        ).unwrap();
-        prop_assert_eq!(r.triangles, brute);
+        prop_assert_eq!(count_with(&g, Method::GpuSampled), brute);
     }
 
     /// k = 3 cliques equal triangles on arbitrary graphs.

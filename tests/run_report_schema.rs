@@ -1,0 +1,61 @@
+//! Golden-file pin of the [`trigon::RunReport`] JSON schema.
+//!
+//! The test compares the *key paths* of serialized reports — never the
+//! values, which carry timings — against `tests/golden/*.txt`. A schema
+//! change (added, renamed, or moved keys) fails here until the golden
+//! files are regenerated and `RUN_REPORT_SCHEMA_VERSION` is bumped:
+//!
+//! ```text
+//! BLESS=1 cargo test --test run_report_schema
+//! ```
+
+use trigon::gpu_sim::DeviceSpec;
+use trigon::graph::gen;
+use trigon::{Analysis, Method, RunReport};
+
+fn check_golden(name: &str, report: &RunReport) {
+    let actual = report.to_json().key_paths().join("\n") + "\n";
+    let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"))).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path} ({e}); run with BLESS=1"));
+    assert_eq!(
+        actual, expected,
+        "RunReport JSON schema drifted from {path}.\n\
+         If intentional: bump RUN_REPORT_SCHEMA_VERSION and re-bless with BLESS=1."
+    );
+}
+
+#[test]
+fn gpu_report_schema_is_pinned() {
+    let g = gen::gnp(200, 0.05, 1);
+    let r = Analysis::new(&g)
+        .method(Method::GpuOptimized)
+        .device(DeviceSpec::c1060())
+        .run()
+        .unwrap();
+    check_golden("run_report_gpu_keys", &r);
+}
+
+#[test]
+fn hybrid_report_schema_is_pinned() {
+    let g = gen::community_ring(1_000, 100, 0.2, 2, 5);
+    let r = Analysis::new(&g).method(Method::Hybrid).run().unwrap();
+    check_golden("run_report_hybrid_keys", &r);
+}
+
+#[test]
+fn cpu_report_schema_is_pinned() {
+    let g = gen::gnp(200, 0.05, 1);
+    let r = Analysis::new(&g).method(Method::CpuFast).run().unwrap();
+    check_golden("run_report_cpu_keys", &r);
+}
+
+#[test]
+fn schema_version_is_current() {
+    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 1);
+}
