@@ -15,11 +15,22 @@ cargo fmt --all --check
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc -D warnings =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo test =="
 if [ "${1:-}" = "quick" ]; then
     cargo test --workspace --exclude trigon-bench -- --skip prop_
 else
     cargo test --workspace --exclude trigon-bench
 fi
+
+echo "== trace export smoke test =="
+trace_out="$(mktemp -d)/trace.json"
+cargo run --release --quiet -- count --gen gnp --n 500 --method gpu-opt \
+    --trace "$trace_out" --verbose > /dev/null
+grep -q '"traceEvents"' "$trace_out"
+grep -q '"SM 0"' "$trace_out"
+rm -f "$trace_out"
 
 echo "CI OK"

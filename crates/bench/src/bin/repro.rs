@@ -2,7 +2,7 @@
 //! Graphs Using GPUs* (IPDPSW 2013) from the trigon reproduction.
 //!
 //! ```text
-//! repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|all [--csv DIR]
+//! repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|trace|all [--csv DIR]
 //! ```
 //!
 //! Each experiment prints an aligned text table mirroring the paper's
@@ -53,6 +53,7 @@ fn main() {
         "fig12" => fig12(&out),
         "ablation" => ablation(&out),
         "workload" => workload(&out),
+        "trace" => trace_capture(&out),
         "all" => {
             table1(&out);
             table2_cmd(&out);
@@ -63,11 +64,12 @@ fn main() {
             fig12(&out);
             ablation(&out);
             workload(&out);
+            trace_capture(&out);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|all [--csv DIR]"
+                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|trace|all [--csv DIR]"
             );
             std::process::exit(2);
         }
@@ -350,6 +352,30 @@ fn workload(out: &Output) {
     out.csv("workload", "suite,als,total_tests,dominant_pct", &rows);
     println!("  (the G(n,p) suite is dominated by one huge ALS; the community ring");
     println!("   spreads work across many — which is what makes SS-V splitting useful)");
+}
+
+/// Trace capture: one fully traced gpu-opt run at n = 1000, exported as
+/// Chrome trace-event JSON for chrome://tracing / ui.perfetto.dev.
+fn trace_capture(out: &Output) {
+    out.section("Trace: gpu-opt run at n = 1000, Chrome trace export");
+    let g = fig10_graph(1000);
+    let r = Analysis::new(&g)
+        .method(Method::GpuOptimized)
+        .device(DeviceSpec::c1060())
+        .telemetry(trigon_core::Level::Trace)
+        .run()
+        .expect("pipeline run");
+    std::fs::create_dir_all("bench_out").expect("create bench_out");
+    let path = "bench_out/BENCH_trace.json";
+    std::fs::write(path, r.tracer.to_chrome_trace().to_string_pretty()).expect("write trace");
+    let t = r.trace.as_ref().expect("trace summary");
+    let device_spans = t.device.as_ref().map_or(0, |d| d.spans);
+    println!(
+        "  {} spans ({device_spans} on the device timeline), makespan {} cycles",
+        t.spans,
+        t.device.as_ref().map_or(0, |d| d.makespan_cycles)
+    );
+    println!("  [trace written to {path}]");
 }
 
 /// Ablations beyond the paper: which primitive buys what, §VIII strategy

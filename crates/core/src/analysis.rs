@@ -25,15 +25,14 @@
 
 use crate::error::Error;
 use crate::gpu_exec::{self, GpuConfig};
-use crate::gpu_kcount::run_k_cliques_collected;
-use crate::hybrid::{run_hybrid_collected, HybridConfig};
+use crate::gpu_kcount::run_k_cliques_traced;
+use crate::hybrid::{run_hybrid_collected, run_hybrid_traced, HybridConfig};
 use crate::report::{Eq6Section, GpuSection, HybridSection, RunReport};
 use crate::timemodel::CostModel;
 use crate::{count, pipeline};
-use std::time::Instant;
 use trigon_gpu_sim::DeviceSpec;
 use trigon_graph::Graph;
-use trigon_telemetry::{Collector, Level};
+use trigon_telemetry::{Collector, Level, Tracer};
 
 /// High-level counting method, the builder's main axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +106,7 @@ pub struct Analysis<'g> {
     gpu_override: Option<GpuConfig>,
     level: Level,
     max_roots: usize,
+    tracer: Option<Tracer>,
 }
 
 impl<'g> Analysis<'g> {
@@ -122,6 +122,7 @@ impl<'g> Analysis<'g> {
             gpu_override: None,
             level: Level::Standard,
             max_roots: 4,
+            tracer: None,
         }
     }
 
@@ -171,6 +172,18 @@ impl<'g> Analysis<'g> {
         self
     }
 
+    /// Supplies an explicit [`Tracer`] for span-level tracing. The run
+    /// records into it (when its level allows) and the report returns
+    /// it as [`RunReport::tracer`] alongside a [`RunReport::trace`]
+    /// summary. Without this call, a tracer is created from the
+    /// builder's telemetry level — so `.telemetry(Level::Trace)` alone
+    /// turns tracing on.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// Runs the pipeline.
     ///
     /// # Errors
@@ -178,10 +191,18 @@ impl<'g> Analysis<'g> {
     /// [`Error::GraphTooLarge`] when a GPU layout exceeds the device,
     /// [`Error::BadConfig`] for invalid configuration (bad block shape,
     /// `k < 2`).
-    pub fn run(self) -> Result<RunReport, Error> {
-        let mut collector = Collector::with_level(self.level);
+    pub fn run(mut self) -> Result<RunReport, Error> {
+        let tracer = self
+            .tracer
+            .take()
+            .unwrap_or_else(|| Tracer::with_level(self.level));
+        let mut collector = Collector::with_clock(self.level, tracer.clock());
         let g = self.graph;
-        let t0 = Instant::now();
+        let t0 = collector.clock().now_ns();
+        let mut run_span = tracer.span("run", "run");
+        run_span.attr("method", self.method.label());
+        run_span.attr("n", u64::from(g.n()));
+        run_span.attr("m", g.m() as u64);
         let device_name = self.method.uses_device().then(|| {
             self.gpu_override
                 .as_ref()
@@ -196,12 +217,13 @@ impl<'g> Analysis<'g> {
                 } else {
                     pipeline::CountMethod::CpuFast
                 };
-                let r = pipeline::count_triangles_collected(g, cm, &self.cost, &mut collector)?;
+                let r =
+                    pipeline::count_triangles_traced(g, cm, &self.cost, &mut collector, &tracer)?;
                 self.base_report(r.triangles, r.tests, r.modeled_s)
             }
             Method::GpuNaive | Method::GpuOptimized | Method::GpuSampled => {
                 let cfg = self.gpu_config_for(self.method)?;
-                let r = gpu_exec::run_collected(g, &cfg, &mut collector)?;
+                let r = gpu_exec::run_traced(g, &cfg, &mut collector, &tracer)?;
                 let eq6 = self.eq6_prediction(r.kernel_s, &cfg);
                 let mut report = self.base_report(r.triangles, r.tests, r.total_s);
                 report.gpu = Some(GpuSection {
@@ -227,7 +249,7 @@ impl<'g> Analysis<'g> {
                     cost: self.cost,
                     max_roots: self.max_roots,
                 };
-                let r = run_hybrid_collected(g, &cfg, &mut collector);
+                let r = run_hybrid_traced(g, &cfg, &mut collector, &tracer);
                 let mut report = self.base_report(r.triangles, r.tests, r.total_s);
                 report.hybrid = Some(HybridSection {
                     shared_als: r.shared_als,
@@ -246,7 +268,7 @@ impl<'g> Analysis<'g> {
                     return Err(Error::bad_config(format!("k-cliques need k >= 2, got {k}")));
                 }
                 let cfg = self.gpu_config_for(Method::GpuOptimized)?;
-                let r = run_k_cliques_collected(g, &cfg, k, &mut collector)?;
+                let r = run_k_cliques_traced(g, &cfg, k, &mut collector, &tracer)?;
                 let mut report = self.base_report(r.cliques, r.tests, r.total_s);
                 report.kind = "cliques".into();
                 report.k = k;
@@ -270,9 +292,12 @@ impl<'g> Analysis<'g> {
             }
         };
 
+        drop(run_span);
         report.device = device_name;
-        report.wall_s = t0.elapsed().as_secs_f64();
+        report.wall_s = collector.clock().now_ns().saturating_sub(t0) as f64 / 1e9;
         report.telemetry = collector;
+        report.trace = tracer.enabled().then(|| tracer.summary());
+        report.tracer = tracer;
         Ok(report)
     }
 
@@ -329,7 +354,9 @@ impl<'g> Analysis<'g> {
             gpu: None,
             hybrid: None,
             eq6: None,
+            trace: None,
             telemetry: Collector::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -409,6 +436,35 @@ mod tests {
         let gpu = r.gpu.expect("gpu section");
         assert!(gpu.transactions > 0);
         assert!(gpu.makespan_cycles > 0);
+    }
+
+    #[test]
+    fn trace_level_produces_spans_and_summary() {
+        let g = gen::gnp(150, 0.06, 4);
+        let r = Analysis::new(&g)
+            .method(Method::GpuOptimized)
+            .telemetry(Level::Trace)
+            .run()
+            .unwrap();
+        let trace = r.trace.expect("trace summary");
+        assert!(trace.spans > 0);
+        assert!(trace.host_busy_s >= 0.0);
+        let dev = trace.device.expect("device timeline");
+        assert!(dev.sms > 0);
+        assert!(dev.makespan_cycles > 0);
+        assert!(r.tracer.enabled());
+        assert!(r.tracer.span_count() > 0);
+    }
+
+    #[test]
+    fn standard_level_records_no_trace() {
+        let g = gen::gnp(80, 0.08, 1);
+        let r = Analysis::new(&g)
+            .method(Method::GpuOptimized)
+            .run()
+            .unwrap();
+        assert!(r.trace.is_none());
+        assert_eq!(r.tracer.span_count(), 0);
     }
 
     #[test]

@@ -30,13 +30,12 @@ use crate::count::count_als_fast;
 use crate::layout::{GlobalLayout, LayoutKind};
 use crate::timemodel::CostModel;
 use rayon::prelude::*;
-use std::time::Instant;
 use trigon_combin::{equal_division, CrossMode};
 use trigon_gpu_sim::{
     camping_cycles, emit, warp_transactions, DeviceSpec, PartitionTraffic, TransferModel,
 };
 use trigon_graph::{Graph, Xoshiro256pp};
-use trigon_telemetry::Collector;
+use trigon_telemetry::{AttrValue, Collector, Tracer};
 
 /// Block→SM dispatch policy (§VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,21 +236,45 @@ pub fn run_collected(
     cfg: &GpuConfig,
     collector: &mut Collector,
 ) -> Result<GpuRunResult, GpuError> {
+    run_traced(g, cfg, collector, &Tracer::disabled())
+}
+
+/// Runs the simulated kernel like [`run_collected`], additionally
+/// recording a time-resolved trace: host phase spans (`layout`,
+/// `count`, `dispatch`), a PCIe transfer span, one simulated-time span
+/// per block on its assigned SM lane (with transaction and
+/// partition-camping attributes), and `block.cycles` /
+/// `block.transactions` histograms.
+///
+/// # Errors
+///
+/// [`GpuError::GraphTooLarge`] when the layout exceeds the device memory.
+pub fn run_traced(
+    g: &Graph,
+    cfg: &GpuConfig,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> Result<GpuRunResult, GpuError> {
     assert!(
         cfg.threads_per_block >= cfg.device.warp_size
             && cfg.threads_per_block.is_multiple_of(cfg.device.warp_size),
         "threads_per_block must be a positive multiple of the warp size"
     );
-    let t_layout = Instant::now();
-    let als = build_als(g);
-    let layout = GlobalLayout::build(
-        cfg.layout,
-        g.n(),
-        &als,
-        cfg.device.partitions,
-        cfg.device.partition_width,
-    );
-    collector.phase_seconds("layout", t_layout.elapsed().as_secs_f64());
+    tracer.set_device_clock_hz(cfg.device.clock_hz as f64);
+    let (als, layout) = {
+        let _p = collector.phase("layout");
+        let mut span = tracer.span("layout", "phase");
+        span.attr("kind", format!("{:?}", cfg.layout));
+        let als = build_als(g);
+        let layout = GlobalLayout::build(
+            cfg.layout,
+            g.n(),
+            &als,
+            cfg.device.partitions,
+            cfg.device.partition_width,
+        );
+        (als, layout)
+    };
     if layout.total_bytes() > cfg.device.global_mem_bytes {
         return Err(GpuError::GraphTooLarge {
             needed: layout.total_bytes(),
@@ -259,17 +282,20 @@ pub fn run_collected(
         });
     }
 
-    let t_count = Instant::now();
-    let blocks = match cfg.mode {
-        FidelityMode::Exhaustive => simulate_exhaustive(g, &als, &layout, cfg),
-        FidelityMode::Sampled { sample_steps } => {
-            simulate_sampled(g, &als, &layout, cfg, sample_steps)
+    let blocks = {
+        let _p = collector.phase("count");
+        let _span = tracer.span("count", "phase");
+        match cfg.mode {
+            FidelityMode::Exhaustive => simulate_exhaustive(g, &als, &layout, cfg),
+            FidelityMode::Sampled { sample_steps } => {
+                simulate_sampled(g, &als, &layout, cfg, sample_steps)
+            }
         }
     };
-    collector.phase_seconds("count", t_count.elapsed().as_secs_f64());
 
     // §VI dispatch, then phase-wise accounting.
-    let t_dispatch = Instant::now();
+    let dispatch_guard = collector.phase("dispatch");
+    let dispatch_span = tracer.span("dispatch", "phase");
     let spec = &cfg.device;
     let job_sizes: Vec<u64> = blocks
         .iter()
@@ -284,6 +310,20 @@ pub fn run_collected(
     for (i, &sm) in schedule.assignment.iter().enumerate() {
         queues[sm as usize].push(i);
     }
+    // The kernel's simulated timeline starts once the layout has crossed
+    // PCIe; per-block SM spans are offset past the transfer span.
+    let transfer_model = TransferModel::from_spec(spec);
+    let kernel_start_cycles = if tracer.enabled() {
+        emit::trace_transfer(
+            tracer,
+            &transfer_model,
+            layout.total_bytes(),
+            spec.clock_hz,
+            0,
+        )
+    } else {
+        0
+    };
     let rounds = queues.iter().map(Vec::len).max().unwrap_or(0);
     let mut kernel_cycles = 0u64;
     let mut weighted_camping = 0.0f64;
@@ -308,6 +348,29 @@ pub fn run_collected(
             })
             .max()
             .unwrap_or(0);
+        if tracer.enabled() {
+            let phase_start = kernel_start_cycles + kernel_cycles;
+            for (sm, q) in queues.iter().enumerate() {
+                let Some(&b) = q.get(r) else { continue };
+                let cycles = blocks[b].compute_cycles
+                    + (blocks[b].mem_base_cycles as f64 * factor).round() as u64;
+                tracer.device_span(
+                    &format!("block {b}"),
+                    "kernel",
+                    trigon_telemetry::Track::Sm(sm as u32),
+                    phase_start,
+                    cycles,
+                    &[
+                        ("round", AttrValue::UInt(r as u64)),
+                        ("transactions", AttrValue::UInt(blocks[b].transactions)),
+                        ("camping_factor", AttrValue::Float(factor)),
+                        ("tests", AttrValue::UInt(blocks[b].tests as u64)),
+                    ],
+                );
+                tracer.record("block.cycles", cycles as f64);
+                tracer.record("block.transactions", blocks[b].transactions as f64);
+            }
+        }
         kernel_cycles += phase_cycles;
         let mem_in_phase: u64 = active.iter().map(|&b| blocks[b].mem_base_cycles).sum();
         weighted_camping += factor * mem_in_phase as f64;
@@ -316,13 +379,13 @@ pub fn run_collected(
         kernel_cycles += camping_cycles(&merged, spec).min(spec.global_latency_cycles);
     }
 
-    collector.phase_seconds("dispatch", t_dispatch.elapsed().as_secs_f64());
+    drop(dispatch_span);
+    drop(dispatch_guard);
 
     let triangles: u64 = blocks.iter().map(|b| b.triangles).sum();
     let tests: u128 = blocks.iter().map(|b| b.tests).sum();
     let transactions: u64 = blocks.iter().map(|b| b.transactions).sum();
     let kernel_s = spec.cycles_to_seconds(kernel_cycles) + spec.kernel_launch_s;
-    let transfer_model = TransferModel::from_spec(spec);
     let transfer_s = transfer_model.transfer_seconds(layout.total_bytes());
     let host_s = cfg.cost.host_prep_seconds(g.n(), g.m());
     let context_s = cfg.cost.gpu_context_init_s;

@@ -13,11 +13,10 @@ use crate::als::build_als;
 use crate::gpu_exec::{GpuConfig, GpuError};
 use crate::layout::{GlobalLayout, LayoutKind};
 use rayon::prelude::*;
-use std::time::Instant;
 use trigon_combin::{equal_division, CrossMode};
 use trigon_gpu_sim::{emit, warp_transactions, PartitionTraffic, TransferModel};
 use trigon_graph::Graph;
-use trigon_telemetry::Collector;
+use trigon_telemetry::{Collector, Tracer};
 
 /// Result of a simulated k-clique run.
 #[derive(Debug, Clone)]
@@ -70,25 +69,52 @@ pub fn run_k_cliques_collected(
     k: u32,
     collector: &mut Collector,
 ) -> Result<KCliqueRunResult, GpuError> {
+    run_k_cliques_traced(g, cfg, k, collector, &Tracer::disabled())
+}
+
+/// Runs the simulated k-clique kernel like [`run_k_cliques_collected`],
+/// additionally recording host phase spans, the PCIe transfer span, and
+/// one simulated-time span per LPT-scheduled block on its SM lane into
+/// `tracer`.
+///
+/// # Errors
+///
+/// [`GpuError::GraphTooLarge`] when the layout exceeds the device.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn run_k_cliques_traced(
+    g: &Graph,
+    cfg: &GpuConfig,
+    k: u32,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> Result<KCliqueRunResult, GpuError> {
     assert!(k >= 2, "k-cliques need k ≥ 2");
     let spec = &cfg.device;
-    let t_layout = Instant::now();
-    let als = build_als(g);
-    let layout = GlobalLayout::build(
-        cfg.layout,
-        g.n(),
-        &als,
-        spec.partitions,
-        spec.partition_width,
-    );
-    collector.phase_seconds("layout", t_layout.elapsed().as_secs_f64());
+    tracer.set_device_clock_hz(spec.clock_hz as f64);
+    let (als, layout) = {
+        let _p = collector.phase("layout");
+        let _s = tracer.span("layout", "phase");
+        let als = build_als(g);
+        let layout = GlobalLayout::build(
+            cfg.layout,
+            g.n(),
+            &als,
+            spec.partitions,
+            spec.partition_width,
+        );
+        (als, layout)
+    };
     if layout.total_bytes() > spec.global_mem_bytes {
         return Err(GpuError::GraphTooLarge {
             needed: layout.total_bytes(),
             capacity: spec.global_mem_bytes,
         });
     }
-    let t_count = Instant::now();
+    let count_guard = collector.phase("count");
+    let count_span = tracer.span("count", "phase");
     // Work list: (als, mode, start, len) blocks over the k-spaces.
     let block_tests = u128::from(cfg.threads_per_block) * u128::from(cfg.tests_per_thread);
     let mut work = Vec::new();
@@ -192,19 +218,35 @@ pub fn run_k_cliques_collected(
         })
         .collect();
 
-    collector.phase_seconds("count", t_count.elapsed().as_secs_f64());
+    drop(count_span);
+    drop(count_guard);
 
     let cliques: u64 = results.iter().map(|r| r.cliques).sum();
     let tests: u128 = results.iter().map(|r| r.tests).sum();
     let transactions: u64 = results.iter().map(|r| r.transactions).sum();
     // Makespan over SMs via LPT on block cycles.
-    let t_dispatch = Instant::now();
+    let dispatch_guard = collector.phase("dispatch");
+    let dispatch_span = tracer.span("dispatch", "phase");
     let job_sizes: Vec<u64> = results.iter().map(|r| r.cycles).collect();
     let schedule = trigon_sched::lpt(&job_sizes, spec.sm_count);
     let kernel_s = spec.cycles_to_seconds(schedule.makespan()) + spec.kernel_launch_s;
-    collector.phase_seconds("dispatch", t_dispatch.elapsed().as_secs_f64());
+    drop(dispatch_span);
+    drop(dispatch_guard);
     let transfer_model = TransferModel::from_spec(spec);
     let transfer_s = transfer_model.transfer_seconds(layout.total_bytes());
+    if tracer.enabled() {
+        let kernel_start = emit::trace_transfer(
+            tracer,
+            &transfer_model,
+            layout.total_bytes(),
+            spec.clock_hz,
+            0,
+        );
+        trigon_sched::trace_schedule(tracer, &schedule, &job_sizes, "kernel", kernel_start);
+        for r in &results {
+            tracer.record("block.cycles", r.cycles as f64);
+        }
+    }
     let total_s = kernel_s
         + transfer_s
         + cfg.cost.host_prep_seconds(g.n(), g.m())

@@ -16,10 +16,9 @@ use crate::als::{build_als, Als};
 use crate::count::count_als_fast;
 use crate::split::{split_graph_collected, SplitConfig, SplitResult};
 use crate::timemodel::{eq6_total_time, CostModel};
-use std::time::Instant;
 use trigon_gpu_sim::{bank_conflict_degree, warp_transactions, DeviceSpec, TransferModel};
 use trigon_graph::Graph;
-use trigon_telemetry::Collector;
+use trigon_telemetry::{Collector, Tracer};
 
 /// Where one ALS's adjacency is read from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,13 +122,41 @@ pub fn run_hybrid_collected(
     cfg: &HybridConfig,
     collector: &mut Collector,
 ) -> HybridResult {
+    run_hybrid_traced(g, cfg, collector, &Tracer::disabled())
+}
+
+/// Runs the hybrid pipeline like [`run_hybrid_collected`], additionally
+/// recording time-resolved spans into `tracer`: host `split` and
+/// `count` phase spans, the PCIe transfer span, one simulated-time span
+/// per LPT-scheduled job on its SM lane, and `chunk.nodes` /
+/// `als.tests` histograms of the §V split and ALS workloads.
+#[must_use]
+pub fn run_hybrid_traced(
+    g: &Graph,
+    cfg: &HybridConfig,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> HybridResult {
     let spec = &cfg.device;
+    tracer.set_device_clock_hz(spec.clock_hz as f64);
     let split_cfg = SplitConfig {
         max_roots: cfg.max_roots,
         ..SplitConfig::for_device(spec)
     };
-    let split = split_graph_collected(g, &split_cfg, collector);
-    let t_count = Instant::now();
+    let split = {
+        let mut span = tracer.span("split", "phase");
+        let split = split_graph_collected(g, &split_cfg, collector);
+        span.attr("chunks", split.chunks.len());
+        span.attr("oversize", split.oversize_count);
+        split
+    };
+    if tracer.enabled() {
+        for c in &split.chunks {
+            tracer.record("chunk.nodes", c.nodes.len() as f64);
+        }
+    }
+    let count_guard = collector.phase("count");
+    let count_span = tracer.span("count", "phase");
     let als = build_als(g);
     let placement = classify_als(&als, &split);
 
@@ -148,6 +175,7 @@ pub fn run_hybrid_collected(
         triangles += count_als_fast(g, a);
         let t = a.test_count(3);
         tests += t;
+        tracer.record("als.tests", t as f64);
         if t == 0 {
             continue;
         }
@@ -223,7 +251,21 @@ pub fn run_hybrid_collected(
         + cfg.cost.host_prep_seconds(g.n(), g.m())
         + cfg.cost.gpu_context_init_s;
 
-    collector.phase_seconds("count", t_count.elapsed().as_secs_f64());
+    // Device timeline: jobs start on their SM lanes once the ALS
+    // layouts have crossed PCIe.
+    if tracer.enabled() {
+        let kernel_start = trigon_gpu_sim::emit::trace_transfer(
+            tracer,
+            &transfer_model,
+            layout_bytes,
+            spec.clock_hz,
+            0,
+        );
+        trigon_sched::trace_schedule(tracer, &schedule, &jobs_cycles, "kernel", kernel_start);
+    }
+
+    drop(count_span);
+    drop(count_guard);
     if collector.enabled() {
         trigon_gpu_sim::emit_transfer(collector, &transfer_model, layout_bytes);
         collector.add("hybrid.shared_als", shared_n as u64);

@@ -65,4 +65,6 @@ pub use layout::{GlobalLayout, LayoutKind};
 pub use pipeline::{count_triangles, CountMethod, TriangleReport};
 pub use report::{Eq6Section, GpuSection, HybridSection, RunReport, RUN_REPORT_SCHEMA_VERSION};
 pub use split::{split_graph, split_graph_collected, Chunk, SplitConfig, SplitResult};
-pub use trigon_telemetry::{Collector, Json, Level};
+pub use trigon_telemetry::{
+    Clock, Collector, Json, Level, ManualClock, MonotonicClock, TraceSummary, Tracer, Track,
+};

@@ -5,9 +5,8 @@ use crate::count;
 use crate::error::Error;
 use crate::gpu_exec::{self, GpuConfig, GpuError, GpuRunResult};
 use crate::timemodel::CostModel;
-use std::time::Instant;
 use trigon_graph::Graph;
-use trigon_telemetry::Collector;
+use trigon_telemetry::{Collector, Tracer};
 
 /// Which implementation counts the triangles.
 #[derive(Debug, Clone)]
@@ -91,26 +90,55 @@ pub fn count_triangles_collected(
     cost: &CostModel,
     collector: &mut Collector,
 ) -> Result<TriangleReport, Error> {
-    let t0 = Instant::now();
+    count_triangles_traced(g, method, cost, collector, &Tracer::disabled())
+}
+
+/// Runs the full pipeline like [`count_triangles_collected`],
+/// additionally recording time-resolved spans and histograms into
+/// `tracer` (host `count` span for CPU methods, the full device
+/// timeline for GPU methods, and an `als.tests` histogram of per-window
+/// workloads on the CPU fast path).
+///
+/// # Errors
+///
+/// [`Error::GraphTooLarge`] for GPU runs on graphs exceeding the device.
+pub fn count_triangles_traced(
+    g: &Graph,
+    method: CountMethod,
+    cost: &CostModel,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> Result<TriangleReport, Error> {
+    let t0 = collector.clock().now_ns();
     let (triangles, tests, modeled_s, gpu) = match method {
         CountMethod::CpuExhaustive => {
-            let t_count = Instant::now();
-            let r = count::cpu_exhaustive(g);
-            collector.phase_seconds("count", t_count.elapsed().as_secs_f64());
+            let r = {
+                let _p = collector.phase("count");
+                let _s = tracer.span("count", "phase");
+                count::cpu_exhaustive(g)
+            };
             let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), r.tests);
             (r.triangles, r.tests, modeled, None)
         }
         CountMethod::CpuFast => {
-            let t_count = Instant::now();
-            let triangles = count::als_fast(g);
-            let tests = count::total_tests(g);
-            collector.phase_seconds("count", t_count.elapsed().as_secs_f64());
+            let (triangles, tests) = {
+                let _p = collector.phase("count");
+                let _s = tracer.span("count", "phase");
+                let triangles = count::als_fast(g);
+                let tests = count::total_tests(g);
+                if tracer.enabled() {
+                    for a in crate::als::build_als(g) {
+                        tracer.record("als.tests", a.test_count(3) as f64);
+                    }
+                }
+                (triangles, tests)
+            };
             let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), tests);
             (triangles, tests, modeled, None)
         }
         CountMethod::GpuSim(mut cfg) => {
             cfg.cost = *cost;
-            let r = gpu_exec::run_collected(g, &cfg, collector)?;
+            let r = gpu_exec::run_traced(g, &cfg, collector, tracer)?;
             (r.triangles, r.tests, r.total_s, Some(r))
         }
     };
@@ -124,7 +152,7 @@ pub fn count_triangles_collected(
         triangles,
         tests,
         modeled_s,
-        wall_s: t0.elapsed().as_secs_f64(),
+        wall_s: collector.clock().now_ns().saturating_sub(t0) as f64 / 1e9,
         gpu,
     })
 }

@@ -14,11 +14,15 @@
 //! ([`RunReport::to_json`]); the schema is pinned by a golden key-path
 //! test, not by values, so timings may vary freely between runs.
 
-use trigon_telemetry::{Collector, Json};
+use trigon_telemetry::{Collector, Json, TraceSummary, Tracer};
 
 /// Version of the JSON schema [`RunReport::to_json`] emits. Bump when
 /// key paths change shape.
-pub const RUN_REPORT_SCHEMA_VERSION: u32 = 1;
+///
+/// History: 1 = initial telemetry schema; 2 = added the `trace`
+/// section ([`TraceSummary`]) and per-partition `partition.*.p{i}`
+/// counters.
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// GPU-simulator detail of a run (absent for pure-CPU methods).
 #[derive(Debug, Clone)]
@@ -126,8 +130,14 @@ pub struct RunReport {
     pub hybrid: Option<HybridSection>,
     /// Eq. 6 predicted-vs-simulated comparison.
     pub eq6: Option<Eq6Section>,
+    /// Trace summary (span counts, critical path, per-SM busy/idle,
+    /// histogram quantiles) when the run traced at `Level::Trace`.
+    pub trace: Option<TraceSummary>,
     /// Raw telemetry gathered during the run.
     pub telemetry: Collector,
+    /// The full tracer (empty unless the run traced at `Level::Trace`);
+    /// export with [`Tracer::to_chrome_trace`].
+    pub tracer: Tracer,
 }
 
 impl RunReport {
@@ -213,6 +223,13 @@ impl RunReport {
             }),
         );
 
+        root.set(
+            "trace",
+            self.trace
+                .as_ref()
+                .map_or(Json::Null, TraceSummary::to_json),
+        );
+
         root.set("telemetry", self.telemetry.to_json());
         root
     }
@@ -250,7 +267,9 @@ mod tests {
             }),
             hybrid: None,
             eq6: Some(Eq6Section::new(0.5, 0.4)),
+            trace: None,
             telemetry: Collector::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -266,11 +285,13 @@ mod tests {
             "gpu",
             "hybrid",
             "eq6",
+            "trace",
             "telemetry",
         ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
         assert_eq!(j.get("hybrid"), Some(&Json::Null));
+        assert_eq!(j.get("trace"), Some(&Json::Null));
         assert_eq!(j.get("result").unwrap().get("count"), Some(&Json::UInt(7)));
     }
 

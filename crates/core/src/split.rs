@@ -115,9 +115,10 @@ pub fn split_graph_collected(
     cfg: &SplitConfig,
     collector: &mut trigon_telemetry::Collector,
 ) -> SplitResult {
-    let t0 = std::time::Instant::now();
-    let result = split_impl(g, cfg);
-    collector.phase_seconds("split", t0.elapsed().as_secs_f64());
+    let result = {
+        let _p = collector.phase("split");
+        split_impl(g, cfg)
+    };
     if collector.enabled() {
         collector.add("split.chunks", result.chunks.len() as u64);
         collector.add("split.oversize", result.oversize_count as u64);

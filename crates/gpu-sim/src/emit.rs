@@ -9,11 +9,13 @@
 use crate::kernel::KernelTiming;
 use crate::partition::PartitionTraffic;
 use crate::xfer::TransferModel;
-use trigon_telemetry::Collector;
+use trigon_telemetry::{AttrValue, Collector, Tracer, Track};
 
 /// Records a partition-traffic histogram: total transactions, distinct
-/// partitions touched, the deepest queue, and the camping factor
-/// (Eq. 10). `prefix` namespaces the entries (e.g. `"kernel"`).
+/// partitions touched, the deepest queue, the camping factor (Eq. 10),
+/// and one `p{i}` counter per partition so renderers can rebuild the
+/// full queue picture from a collector. `prefix` namespaces the entries
+/// (e.g. `"kernel"`).
 pub fn emit_traffic(c: &mut Collector, prefix: &str, traffic: &PartitionTraffic) {
     if !c.enabled() {
         return;
@@ -32,6 +34,9 @@ pub fn emit_traffic(c: &mut Collector, prefix: &str, traffic: &PartitionTraffic)
             &format!("partition.{prefix}.camping_factor"),
             traffic.camping_factor(),
         );
+    }
+    for (p, &n) in traffic.counts().iter().enumerate() {
+        c.add(&format!("partition.{prefix}.p{p}"), n);
     }
 }
 
@@ -55,6 +60,34 @@ pub fn emit_transfer(c: &mut Collector, model: &TransferModel, bytes: u64) {
     }
     c.add("xfer.bytes", bytes);
     c.phase_seconds("xfer", model.transfer_seconds(bytes));
+}
+
+/// Records a host→device transfer as a span on the tracer's PCIe lane,
+/// starting at `start_cycles` on the simulated clock. Returns the end
+/// cycle so callers can schedule kernel spans after the data has
+/// landed. The span duration is the transfer model's affine cost
+/// converted to device cycles at `clock_hz`.
+pub fn trace_transfer(
+    tracer: &Tracer,
+    model: &TransferModel,
+    bytes: u64,
+    clock_hz: u64,
+    start_cycles: u64,
+) -> u64 {
+    let dur_cycles = (model.transfer_seconds(bytes) * clock_hz as f64).ceil() as u64;
+    tracer.device_span(
+        "H2D transfer",
+        "pcie",
+        Track::Pcie,
+        start_cycles,
+        dur_cycles,
+        &[
+            ("bytes", AttrValue::UInt(bytes)),
+            ("bandwidth_Bps", AttrValue::UInt(model.bandwidth)),
+            ("latency_s", AttrValue::Float(model.latency_s)),
+        ],
+    );
+    start_cycles + dur_cycles
 }
 
 /// Mean-load / makespan utilization of a per-SM cycle vector;
@@ -87,6 +120,25 @@ mod tests {
         assert_eq!(c.counter("partition.kernel.transactions"), 7);
         assert_eq!(c.gauge_value("partition.kernel.distinct"), Some(2.0));
         assert!(c.gauge_value("partition.kernel.camping_factor").unwrap() > 1.0);
+        // Per-partition counters rebuild the queue picture (addr 256
+        // with a 256-byte partition width lands in partition 1).
+        assert_eq!(c.counter("partition.kernel.p1"), 6);
+        assert_eq!(c.counter("partition.kernel.p2"), 1);
+    }
+
+    #[test]
+    fn trace_transfer_spans_the_pcie_lane() {
+        let spec = DeviceSpec::c1060();
+        let model = TransferModel::from_spec(&spec);
+        let tracer = Tracer::new();
+        let end = trace_transfer(&tracer, &model, 1 << 20, spec.clock_hz, 0);
+        assert!(end > 0);
+        let expect = (model.transfer_seconds(1 << 20) * spec.clock_hz as f64).ceil() as u64;
+        assert_eq!(end, expect);
+        assert_eq!(tracer.span_count(), 1);
+        // Chained transfers start where the previous one ended.
+        let end2 = trace_transfer(&tracer, &model, 1 << 20, spec.clock_hz, end);
+        assert_eq!(end2, 2 * expect);
     }
 
     #[test]

@@ -40,11 +40,12 @@ pub mod xfer;
 
 pub use coalesce::{warp_transactions, CoalesceSummary};
 pub use device::{ComputeCapability, DeviceSpec};
+pub use emit::trace_transfer;
 pub use emit::{emit_kernel_timing, emit_traffic, emit_transfer, sm_utilization};
 pub use kernel::{BlockCost, KernelSim, KernelTiming};
 pub use occupancy::{occupancy, KernelResources, Occupancy, SmLimits};
 pub use partition::{camping_cycles, PartitionTraffic};
 pub use shared::{bank_conflict_degree, shared_access_cycles};
 pub use trace::{AccessTrace, ReplaySummary, WarpAccess};
-pub use viz::render_partition_histogram;
+pub use viz::{render_partition_histogram, render_sm_timeline};
 pub use xfer::TransferModel;

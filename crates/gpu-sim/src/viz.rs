@@ -1,8 +1,10 @@
-//! Text rendering of partition traffic — the Fig. 6 / Fig. 7 pictures as
-//! terminal output, used by the examples and the repro harness to *show*
-//! camping rather than just report a factor.
+//! Text rendering of partition traffic and per-SM timelines — the
+//! Fig. 6 / Fig. 7 pictures as terminal output, used by the examples,
+//! the repro harness, and `trigon count --verbose` to *show* camping
+//! and SM occupancy rather than just report a factor.
 
 use crate::partition::PartitionTraffic;
+use trigon_telemetry::SmLane;
 
 /// Renders a horizontal bar chart of per-partition transaction queues.
 ///
@@ -34,6 +36,50 @@ pub fn render_partition_histogram(traffic: &PartitionTraffic, width: usize) -> S
     out
 }
 
+/// Renders device-timeline lanes (from `Tracer::sm_occupancy`) as an
+/// ASCII chart in the same bar style as the partition histogram: one
+/// row per lane, `#`/`+`/`.` cells by busy fraction, and a trailing
+/// busy% / span-count column.
+///
+/// ```text
+/// PCIe  |####                | busy  20%  1 span
+/// SM  0 |    ###########     | busy  55%  4 spans
+/// ```
+#[must_use]
+pub fn render_sm_timeline(lanes: &[SmLane]) -> String {
+    let mut out = String::new();
+    if lanes.is_empty() {
+        out.push_str("(no device spans recorded)\n");
+        return out;
+    }
+    let label_w = lanes.iter().map(|l| l.label.len()).max().unwrap_or(0);
+    for lane in lanes {
+        let bar: String = lane
+            .cells
+            .iter()
+            .map(|&f| {
+                if f >= 0.75 {
+                    '#'
+                } else if f >= 0.25 {
+                    '+'
+                } else if f > 0.0 {
+                    '.'
+                } else {
+                    ' '
+                }
+            })
+            .collect();
+        out.push_str(&format!(
+            "{:<label_w$} |{bar}| busy {:>3.0}%  {} span{}\n",
+            lane.label,
+            lane.busy_frac * 100.0,
+            lane.spans,
+            if lane.spans == 1 { "" } else { "s" },
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,6 +105,30 @@ mod tests {
         let s2 = render_partition_histogram(&spread, 20);
         assert!(s2.contains("camping factor 1.00"));
         assert!(s2.contains("distinct 8 / 8"));
+    }
+
+    #[test]
+    fn sm_timeline_renders_lanes() {
+        use trigon_telemetry::{Tracer, Track};
+        let t = Tracer::new();
+        t.device_span("xfer", "pcie", Track::Pcie, 0, 25, &[]);
+        t.device_span("b0", "kernel", Track::Sm(0), 25, 75, &[]);
+        t.device_span("b1", "kernel", Track::Sm(1), 25, 25, &[]);
+        let s = render_sm_timeline(&t.sm_occupancy(20));
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("PCIe"), "{s}");
+        assert!(s.contains("SM  0"), "{s}");
+        assert!(s.contains("busy  75%"), "{s}");
+        assert!(s.contains("1 span\n"), "{s}");
+        // SM 0 busy in the back three quarters, idle up front.
+        let sm0 = s.lines().find(|l| l.starts_with("SM  0")).unwrap();
+        assert!(sm0.contains(' '), "{sm0}");
+        assert!(sm0.contains('#'), "{sm0}");
+    }
+
+    #[test]
+    fn sm_timeline_handles_empty() {
+        assert!(render_sm_timeline(&[]).contains("no device spans"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A length specification for [`vec`]: a fixed size or a size range.
+/// A length specification for [`vec()`]: a fixed size or a size range.
 pub trait SizeRange {
     /// Draws one length.
     fn sample(&self, rng: &mut TestRng) -> usize;
@@ -36,7 +36,7 @@ pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> 
     VecStrategy { element, size }
 }
 
-/// The strategy type [`vec`] returns.
+/// The strategy type [`vec()`] returns.
 pub struct VecStrategy<S, R> {
     element: S,
     size: R,

@@ -23,8 +23,10 @@
 #![deny(missing_docs)]
 
 pub mod advanced;
+pub mod trace;
 
 pub use advanced::{exact_two_machines, multifit, tabu_improve};
+pub use trace::trace_schedule;
 
 /// A computed schedule: which machine runs each job, plus derived loads.
 #[derive(Debug, Clone, PartialEq, Eq)]

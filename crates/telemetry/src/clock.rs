@@ -1,0 +1,122 @@
+//! Injectable time sources for the [`Collector`](crate::Collector) and
+//! [`Tracer`](crate::Tracer).
+//!
+//! Production code uses the [`MonotonicClock`] (a thin wrapper over
+//! [`std::time::Instant`]); tests inject a [`ManualClock`] they advance
+//! by hand, so phase timings, span durations, and everything derived
+//! from them is exactly reproducible:
+//!
+//! ```
+//! use trigon_telemetry::{Collector, Level, ManualClock};
+//! use std::sync::Arc;
+//!
+//! let clock = ManualClock::new();
+//! let mut c = Collector::with_clock(Level::Standard, Arc::new(clock.clone()));
+//! {
+//!     let _g = c.phase("count");
+//!     clock.advance_ns(2_500_000_000); // 2.5 simulated seconds
+//! }
+//! assert_eq!(c.phase_total("count"), 2.5);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic time source reporting nanoseconds since an arbitrary
+/// (per-clock) epoch.
+pub trait Clock: std::fmt::Debug + Send + Sync {
+    /// Monotonic nanoseconds since this clock's epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// The production clock: wall time from [`Instant`], anchored at the
+/// moment the clock is created.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-driven clock for deterministic tests. Cloning shares the
+/// underlying counter, so a test can keep a handle while the collector
+/// or tracer owns another.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at 0 ns.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the absolute time in nanoseconds.
+    pub fn set_ns(&self, ns: u64) {
+        self.ns.store(ns, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `delta` nanoseconds.
+    pub fn advance_ns(&self, delta: u64) {
+        self.ns.fetch_add(delta, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+/// A fresh shared [`MonotonicClock`] — the default time source.
+#[must_use]
+pub fn monotonic() -> Arc<dyn Clock> {
+    Arc::new(MonotonicClock::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(c.now_ns() > a);
+    }
+
+    #[test]
+    fn manual_clock_is_deterministic_and_shared() {
+        let c = ManualClock::new();
+        let handle = c.clone();
+        assert_eq!(c.now_ns(), 0);
+        handle.advance_ns(500);
+        assert_eq!(c.now_ns(), 500);
+        handle.set_ns(42);
+        assert_eq!(c.now_ns(), 42);
+    }
+}

@@ -7,26 +7,38 @@
 //! collection can be disabled entirely ([`Level::Off`]) at which point
 //! every call is a cheap no-op.
 
+use crate::clock::{monotonic, Clock};
 use crate::json::Json;
-use std::time::Instant;
+use std::sync::Arc;
 
-/// How much telemetry to gather during a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// How much telemetry to gather during a run. Levels are ordered:
+/// `Off < Standard < Trace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub enum Level {
     /// Gather nothing; all collector calls are no-ops.
     Off,
     /// Gather counters, gauges, and phase timings (the default).
     #[default]
     Standard,
+    /// Additionally record time-resolved spans, instants, and
+    /// histograms in a [`Tracer`](crate::Tracer).
+    Trace,
 }
 
 /// Accumulates counters, gauges, and phase timings during a run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Collector {
     level: Level,
+    clock: Arc<dyn Clock>,
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, f64)>,
     phases: Vec<(String, f64)>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Collector {
@@ -36,12 +48,25 @@ impl Collector {
         Self::with_level(Level::Standard)
     }
 
-    /// A collector gathering at the given level.
+    /// A collector gathering at the given level on a fresh monotonic
+    /// clock.
     #[must_use]
     pub fn with_level(level: Level) -> Self {
+        Self::with_clock(level, monotonic())
+    }
+
+    /// A collector at the given level with an injected time source
+    /// (share the clock with a [`Tracer`](crate::Tracer) so phase
+    /// timings and spans agree; inject a
+    /// [`ManualClock`](crate::ManualClock) for deterministic tests).
+    #[must_use]
+    pub fn with_clock(level: Level, clock: Arc<dyn Clock>) -> Self {
         Self {
             level,
-            ..Self::default()
+            clock,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            phases: Vec::new(),
         }
     }
 
@@ -49,6 +74,12 @@ impl Collector {
     #[must_use]
     pub fn disabled() -> Self {
         Self::with_level(Level::Off)
+    }
+
+    /// This collector's time source.
+    #[must_use]
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
     }
 
     /// Whether this collector records anything.
@@ -87,7 +118,7 @@ impl Collector {
     /// accumulate.
     pub fn phase<'c>(&'c mut self, name: &str) -> PhaseGuard<'c> {
         PhaseGuard {
-            start: Instant::now(),
+            start_ns: self.clock.now_ns(),
             name: name.to_string(),
             collector: self,
         }
@@ -167,17 +198,18 @@ impl Collector {
     }
 }
 
-/// RAII guard from [`Collector::phase`]; records elapsed wall time on
-/// drop.
+/// RAII guard from [`Collector::phase`]; records elapsed time from the
+/// collector's clock on drop.
 pub struct PhaseGuard<'c> {
-    start: Instant,
+    start_ns: u64,
     name: String,
     collector: &'c mut Collector,
 }
 
 impl Drop for PhaseGuard<'_> {
     fn drop(&mut self) {
-        let dt = self.start.elapsed().as_secs_f64();
+        let end_ns = self.collector.clock.now_ns();
+        let dt = end_ns.saturating_sub(self.start_ns) as f64 / 1e9;
         let name = std::mem::take(&mut self.name);
         self.collector.phase_seconds(&name, dt);
     }
@@ -244,6 +276,25 @@ mod tests {
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.phase_total("p"), 0.75);
         assert_eq!(a.gauge_value("g"), Some(9.0));
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Off < Level::Standard);
+        assert!(Level::Standard < Level::Trace);
+    }
+
+    #[test]
+    fn injected_manual_clock_makes_phases_deterministic() {
+        use crate::clock::ManualClock;
+        use std::sync::Arc;
+        let clock = ManualClock::new();
+        let mut c = Collector::with_clock(Level::Standard, Arc::new(clock.clone()));
+        {
+            let _g = c.phase("count");
+            clock.advance_ns(1_500_000_000);
+        }
+        assert_eq!(c.phase_total("count"), 1.5);
     }
 
     #[test]

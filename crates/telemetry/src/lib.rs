@@ -1,21 +1,35 @@
 //! Run-report telemetry for the trigon workspace.
 //!
-//! Two small pieces, both dependency-free:
+//! Four small pieces, all dependency-free:
 //!
-//! - [`json`]: a hand-rolled JSON value tree and serializer (the
-//!   workspace builds offline, so no serde), plus a `key_paths` helper
-//!   that schema tests use to pin report shape without pinning values.
+//! - [`json`]: a hand-rolled JSON value tree, serializer, and parser
+//!   (the workspace builds offline, so no serde), plus a `key_paths`
+//!   helper that schema tests use to pin report shape without pinning
+//!   values.
 //! - [`collector`]: the [`Collector`] of named counters, gauges, and
 //!   scoped phase timers that pipeline stages write into, and the
-//!   [`Level`] knob that turns collection off.
+//!   [`Level`] knob (`Off < Standard < Trace`).
+//! - [`clock`]: the injectable [`Clock`] time source shared by the
+//!   collector and tracer — [`MonotonicClock`] in production,
+//!   [`ManualClock`] in deterministic tests.
+//! - [`tracer`]: the [`Tracer`] of nested RAII spans, instants, and
+//!   log-scale [`Histogram`]s, with Chrome trace-event export and
+//!   [`TraceSummary`] reduction for run reports.
 //!
 //! This crate sits below `trigon-core` in the dependency graph so the
-//! GPU simulator crates can also emit into a collector.
+//! GPU simulator crates can also emit into a collector and tracer.
 
 #![deny(missing_docs)]
 
+pub mod clock;
 pub mod collector;
 pub mod json;
+pub mod tracer;
 
+pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use collector::{Collector, Level, PhaseGuard};
 pub use json::Json;
+pub use tracer::{
+    AttrValue, DeviceSummary, Histogram, HistogramSummary, InstantRecord, SmLane, SmSummary,
+    SpanGuard, SpanRecord, TraceSummary, Tracer, Track,
+};

@@ -1,0 +1,1218 @@
+//! Span-based execution tracing: nested RAII spans, instant events,
+//! log-scale histograms, and Chrome trace-event export.
+//!
+//! The [`Tracer`] complements the aggregate [`Collector`](crate::Collector)
+//! with *time-resolved* records on two axes:
+//!
+//! - **Host spans** are measured in wall-clock nanoseconds from an
+//!   injectable [`Clock`] (deterministic under a
+//!   [`ManualClock`](crate::ManualClock)). They nest via RAII guards
+//!   from [`Tracer::span`].
+//! - **Device spans** live on simulated tracks — one per SM plus a PCIe
+//!   lane — and are stamped in *device cycles* by the GPU simulator via
+//!   [`Tracer::device_span`]. Export converts cycles to microseconds
+//!   using the device clock rate.
+//!
+//! Everything is a cheap no-op unless the tracer level is
+//! [`Level::Trace`]; the disabled path performs no allocation (asserted
+//! by a unit test with a counting allocator).
+//!
+//! [`Tracer::to_chrome_trace`] serializes the whole record set in the
+//! Chrome trace-event JSON format, loadable in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev). [`Tracer::summary`] reduces it
+//! to a [`TraceSummary`] suitable for embedding in a run report.
+
+use crate::clock::{monotonic, Clock};
+use crate::collector::Level;
+use crate::json::Json;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// Number of power-of-two histogram buckets; bucket `i` covers values
+/// in `[2^(i-64), 2^(i-63))`, so the range spans `2^-64 ..= 2^63`.
+const HIST_BUCKETS: usize = 128;
+
+/// Which timeline a span or instant belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Track {
+    /// Host wall-clock timeline (nanoseconds from the tracer clock).
+    Host,
+    /// The PCIe transfer lane of the simulated device (device cycles).
+    Pcie,
+    /// One streaming multiprocessor of the simulated device
+    /// (device cycles).
+    Sm(u32),
+}
+
+/// A typed attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer attribute.
+    UInt(u64),
+    /// Floating-point attribute.
+    Float(f64),
+    /// String attribute.
+    Str(String),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::UInt(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::UInt(u64::from(v))
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::UInt(v as u64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl AttrValue {
+    fn to_json(&self) -> Json {
+        match self {
+            AttrValue::UInt(v) => Json::from(*v),
+            AttrValue::Float(v) => Json::from(*v),
+            AttrValue::Str(v) => Json::from(v.as_str()),
+        }
+    }
+}
+
+/// A finished span. Host spans are in nanoseconds; device spans
+/// ([`Track::Pcie`], [`Track::Sm`]) are in simulated device cycles.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"count"`, `"block 17"`).
+    pub name: String,
+    /// Category label (e.g. `"phase"`, `"kernel"`).
+    pub cat: String,
+    /// Timeline the span belongs to.
+    pub track: Track,
+    /// Start time (ns on host, cycles on device tracks).
+    pub start: u64,
+    /// Duration (same unit as `start`).
+    pub dur: u64,
+    /// Nesting depth at open time (host spans only; 0 = top level).
+    pub depth: u32,
+    /// Key/value attributes.
+    pub args: Vec<(String, AttrValue)>,
+}
+
+/// A point-in-time marker.
+#[derive(Debug, Clone)]
+pub struct InstantRecord {
+    /// Event name.
+    pub name: String,
+    /// Timeline the instant belongs to.
+    pub track: Track,
+    /// Timestamp (ns on host, cycles on device tracks).
+    pub at: u64,
+}
+
+/// A log-scale (power-of-two bucket) histogram with min/max/sum
+/// tracking and interpolated quantiles.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    zeros: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            zeros: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+
+    /// Records one sample. Non-finite samples are ignored; values
+    /// `<= 0` land in a dedicated zero bucket.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v <= 0.0 {
+            self.zeros += 1;
+            return;
+        }
+        let idx = (v.log2().floor() + 64.0).clamp(0.0, (HIST_BUCKETS - 1) as f64) as usize;
+        self.buckets[idx] += 1;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded samples, if any.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Interpolated quantile `q` in `[0, 1]`. Buckets are power-of-two
+    /// wide, so the answer is exact only at bucket edges; the result is
+    /// geometrically interpolated within the landing bucket and clamped
+    /// to `[min, max]` (which makes single-sample and all-equal
+    /// histograms exact). `None` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).max(1.0);
+        let mut cum = self.zeros as f64;
+        if cum >= target {
+            return Some(0.0f64.clamp(self.min, self.max));
+        }
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n as f64;
+            if next >= target {
+                let lo = 2f64.powi(i as i32 - 64);
+                let frac = (target - cum) / n as f64;
+                // Geometric interpolation inside the [lo, 2*lo) bucket.
+                let v = lo * 2f64.powf(frac);
+                return Some(v.clamp(self.min, self.max));
+            }
+            cum = next;
+        }
+        Some(self.max)
+    }
+}
+
+struct OpenSpan {
+    name: String,
+    cat: String,
+    start_ns: u64,
+    depth: u32,
+    args: Vec<(String, AttrValue)>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TracerInner {
+    spans: Vec<SpanRecord>,
+    instants: Vec<InstantRecord>,
+    histograms: Vec<(String, Histogram)>,
+    depth: u32,
+    device_clock_hz: f64,
+}
+
+/// Records spans, instants, and histograms during a run.
+///
+/// All recording methods take `&self` (interior mutability) so host
+/// spans can nest: an outer [`SpanGuard`] stays alive while inner
+/// guards open and close.
+///
+/// ```
+/// use trigon_telemetry::{ManualClock, Tracer, Level};
+/// use std::sync::Arc;
+///
+/// let clock = ManualClock::new();
+/// let tracer = Tracer::with_clock(Level::Trace, Arc::new(clock.clone()));
+/// {
+///     let mut run = tracer.span("run", "phase");
+///     run.attr("n", 1000u64);
+///     clock.advance_ns(5_000);
+///     {
+///         let _count = tracer.span("count", "phase");
+///         clock.advance_ns(20_000);
+///     }
+/// }
+/// let s = tracer.summary();
+/// assert_eq!(s.spans, 2);
+/// assert!((s.critical_path_s - 25e-6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    level: Level,
+    clock: Arc<dyn Clock>,
+    inner: RefCell<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer recording at [`Level::Trace`] on a fresh monotonic
+    /// clock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_level(Level::Trace)
+    }
+
+    /// A tracer at the given level (recording only at
+    /// [`Level::Trace`]) on a fresh monotonic clock.
+    #[must_use]
+    pub fn with_level(level: Level) -> Self {
+        Self::with_clock(level, monotonic())
+    }
+
+    /// A tracer at the given level with an injected clock.
+    #[must_use]
+    pub fn with_clock(level: Level, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            level,
+            clock,
+            inner: RefCell::new(TracerInner::default()),
+        }
+    }
+
+    /// A tracer that records nothing (every call is a no-op that does
+    /// not allocate).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::with_level(Level::Off)
+    }
+
+    /// Whether spans are being recorded.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.level >= Level::Trace
+    }
+
+    /// The tracer's time source (share it with a
+    /// [`Collector`](crate::Collector) so both agree on phase times).
+    #[must_use]
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Sets the simulated device clock rate used to convert device
+    /// cycles to microseconds at export time.
+    pub fn set_device_clock_hz(&self, hz: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.borrow_mut().device_clock_hz = hz;
+    }
+
+    /// Opens a host span; it closes (and is recorded) when the returned
+    /// guard drops. Spans nest freely.
+    #[must_use]
+    pub fn span(&self, name: &str, cat: &str) -> SpanGuard<'_> {
+        if !self.enabled() {
+            return SpanGuard {
+                tracer: self,
+                open: None,
+            };
+        }
+        let depth = {
+            let mut inner = self.inner.borrow_mut();
+            let d = inner.depth;
+            inner.depth += 1;
+            d
+        };
+        SpanGuard {
+            tracer: self,
+            open: Some(OpenSpan {
+                name: name.to_string(),
+                cat: cat.to_string(),
+                start_ns: self.clock.now_ns(),
+                depth,
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records a completed device-time span (cycles) on a PCIe or SM
+    /// track, with attributes.
+    pub fn device_span(
+        &self,
+        name: &str,
+        cat: &str,
+        track: Track,
+        start_cycles: u64,
+        dur_cycles: u64,
+        args: &[(&str, AttrValue)],
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.borrow_mut().spans.push(SpanRecord {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            track,
+            start: start_cycles,
+            dur: dur_cycles,
+            depth: 0,
+            args: args
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Records an instant event on the host timeline at "now".
+    pub fn instant(&self, name: &str) {
+        if !self.enabled() {
+            return;
+        }
+        let at = self.clock.now_ns();
+        self.inner.borrow_mut().instants.push(InstantRecord {
+            name: name.to_string(),
+            track: Track::Host,
+            at,
+        });
+    }
+
+    /// Records an instant event at an explicit time on any track.
+    pub fn instant_at(&self, name: &str, track: Track, at: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.borrow_mut().instants.push(InstantRecord {
+            name: name.to_string(),
+            track,
+            at,
+        });
+    }
+
+    /// Records one sample into the named histogram (created on first
+    /// use).
+    pub fn record(&self, hist: &str, v: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.inner.borrow_mut();
+        if let Some(slot) = inner.histograms.iter_mut().find(|(k, _)| k == hist) {
+            slot.1.record(v);
+        } else {
+            let mut h = Histogram::new();
+            h.record(v);
+            inner.histograms.push((hist.to_string(), h));
+        }
+    }
+
+    /// Number of recorded spans (host + device).
+    #[must_use]
+    pub fn span_count(&self) -> usize {
+        self.inner.borrow().spans.len()
+    }
+
+    /// A copy of the named histogram, if any samples were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .borrow()
+            .histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h.clone())
+    }
+
+    /// All finished spans (host spans in ns, device spans in cycles).
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.borrow().spans.clone()
+    }
+
+    fn device_clock_hz(&self) -> f64 {
+        let hz = self.inner.borrow().device_clock_hz;
+        if hz > 0.0 {
+            hz
+        } else {
+            1e9 // fall back to 1 cycle == 1 ns
+        }
+    }
+
+    /// Reduces the recorded trace to summary statistics.
+    #[must_use]
+    pub fn summary(&self) -> TraceSummary {
+        let inner = self.inner.borrow();
+        let host: Vec<&SpanRecord> = inner
+            .spans
+            .iter()
+            .filter(|s| s.track == Track::Host)
+            .collect();
+        let critical_path_s = if host.is_empty() {
+            0.0
+        } else {
+            let lo = host.iter().map(|s| s.start).min().unwrap_or(0);
+            let hi = host.iter().map(|s| s.start + s.dur).max().unwrap_or(0);
+            (hi - lo) as f64 / 1e9
+        };
+        let host_busy_s = interval_union_len(
+            host.iter()
+                .map(|s| (s.start, s.start + s.dur))
+                .collect::<Vec<_>>(),
+        ) as f64
+            / 1e9;
+
+        let device_spans: Vec<&SpanRecord> = inner
+            .spans
+            .iter()
+            .filter(|s| s.track != Track::Host)
+            .collect();
+        let device = if device_spans.is_empty() {
+            None
+        } else {
+            let makespan_cycles = device_spans
+                .iter()
+                .map(|s| s.start + s.dur)
+                .max()
+                .unwrap_or(0);
+            let max_sm = device_spans
+                .iter()
+                .filter_map(|s| match s.track {
+                    Track::Sm(i) => Some(i),
+                    _ => None,
+                })
+                .max();
+            let per_sm: Vec<SmSummary> = match max_sm {
+                None => Vec::new(),
+                Some(top) => (0..=top)
+                    .map(|i| {
+                        let mine: Vec<&&SpanRecord> = device_spans
+                            .iter()
+                            .filter(|s| s.track == Track::Sm(i))
+                            .collect();
+                        let busy = interval_union_len(
+                            mine.iter()
+                                .map(|s| (s.start, s.start + s.dur))
+                                .collect::<Vec<_>>(),
+                        );
+                        SmSummary {
+                            sm: i,
+                            spans: mine.len(),
+                            busy_cycles: busy,
+                            idle_cycles: makespan_cycles.saturating_sub(busy),
+                        }
+                    })
+                    .collect(),
+            };
+            let busy_cycles: u64 = per_sm.iter().map(|s| s.busy_cycles).sum();
+            let idle_cycles: u64 = per_sm.iter().map(|s| s.idle_cycles).sum();
+            let mean_busy_frac = if per_sm.is_empty() || makespan_cycles == 0 {
+                0.0
+            } else {
+                per_sm
+                    .iter()
+                    .map(|s| s.busy_cycles as f64 / makespan_cycles as f64)
+                    .sum::<f64>()
+                    / per_sm.len() as f64
+            };
+            Some(DeviceSummary {
+                sms: per_sm.len(),
+                spans: device_spans.len(),
+                makespan_cycles,
+                busy_cycles,
+                idle_cycles,
+                mean_busy_frac,
+            })
+        };
+
+        let histograms = inner
+            .histograms
+            .iter()
+            .map(|(name, h)| HistogramSummary {
+                name: name.clone(),
+                count: h.count(),
+                min: h.min().unwrap_or(0.0),
+                max: h.max().unwrap_or(0.0),
+                mean: h.mean().unwrap_or(0.0),
+                p50: h.quantile(0.5).unwrap_or(0.0),
+                p90: h.quantile(0.9).unwrap_or(0.0),
+                p99: h.quantile(0.99).unwrap_or(0.0),
+            })
+            .collect();
+
+        TraceSummary {
+            spans: inner.spans.len(),
+            instants: inner.instants.len(),
+            host_busy_s,
+            critical_path_s,
+            device,
+            histograms,
+        }
+    }
+
+    /// Serializes the trace in Chrome trace-event JSON
+    /// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` or
+    /// Perfetto. Host spans land in process 0; the simulated device is
+    /// process 1 with the PCIe lane on thread 0 and SM `i` on thread
+    /// `i + 1`. Device cycles are converted to microseconds using the
+    /// device clock rate.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> Json {
+        let inner = self.inner.borrow();
+        let hz = self.device_clock_hz();
+        let cycles_to_us = 1e6 / hz;
+        let mut events: Vec<Json> = Vec::new();
+
+        let has_host = inner.spans.iter().any(|s| s.track == Track::Host)
+            || inner.instants.iter().any(|i| i.track == Track::Host);
+        let has_device = inner.spans.iter().any(|s| s.track != Track::Host)
+            || inner.instants.iter().any(|i| i.track != Track::Host);
+        if has_host {
+            events.push(meta_event("process_name", 0, 0, "host"));
+            events.push(meta_event("thread_name", 0, 0, "pipeline"));
+        }
+        if has_device {
+            events.push(meta_event("process_name", 1, 0, "device (simulated)"));
+            events.push(meta_event("thread_name", 1, 0, "PCIe"));
+            let mut sms: Vec<u32> = inner
+                .spans
+                .iter()
+                .filter_map(|s| match s.track {
+                    Track::Sm(i) => Some(i),
+                    _ => None,
+                })
+                .collect();
+            sms.sort_unstable();
+            sms.dedup();
+            for i in sms {
+                events.push(meta_event("thread_name", 1, i + 1, &format!("SM {i}")));
+            }
+        }
+
+        for s in &inner.spans {
+            let (pid, tid, ts, dur) = match s.track {
+                Track::Host => (0u32, 0u32, s.start as f64 / 1e3, s.dur as f64 / 1e3),
+                Track::Pcie => (
+                    1,
+                    0,
+                    s.start as f64 * cycles_to_us,
+                    s.dur as f64 * cycles_to_us,
+                ),
+                Track::Sm(i) => (
+                    1,
+                    i + 1,
+                    s.start as f64 * cycles_to_us,
+                    s.dur as f64 * cycles_to_us,
+                ),
+            };
+            let mut ev = Json::object();
+            ev.set("name", Json::from(s.name.as_str()));
+            ev.set("cat", Json::from(s.cat.as_str()));
+            ev.set("ph", Json::from("X"));
+            ev.set("pid", Json::from(pid));
+            ev.set("tid", Json::from(tid));
+            ev.set("ts", Json::from(ts));
+            ev.set("dur", Json::from(dur));
+            if !s.args.is_empty() {
+                let mut args = Json::object();
+                for (k, v) in &s.args {
+                    args.set(k, v.to_json());
+                }
+                ev.set("args", args);
+            }
+            events.push(ev);
+        }
+
+        for i in &inner.instants {
+            let (pid, tid, ts) = match i.track {
+                Track::Host => (0u32, 0u32, i.at as f64 / 1e3),
+                Track::Pcie => (1, 0, i.at as f64 * cycles_to_us),
+                Track::Sm(m) => (1, m + 1, i.at as f64 * cycles_to_us),
+            };
+            let mut ev = Json::object();
+            ev.set("name", Json::from(i.name.as_str()));
+            ev.set("ph", Json::from("i"));
+            ev.set("s", Json::from("t"));
+            ev.set("pid", Json::from(pid));
+            ev.set("tid", Json::from(tid));
+            ev.set("ts", Json::from(ts));
+            events.push(ev);
+        }
+
+        let mut out = Json::object();
+        out.set("traceEvents", Json::Array(events));
+        out.set("displayTimeUnit", Json::from("ms"));
+        out
+    }
+
+    /// Buckets device-track spans into `width` cells per lane for ASCII
+    /// rendering: lane 0 is PCIe (when present), then one lane per SM.
+    /// Cell values are busy fractions in `[0, 1]`. Empty when no device
+    /// spans were recorded.
+    #[must_use]
+    pub fn sm_occupancy(&self, width: usize) -> Vec<SmLane> {
+        let inner = self.inner.borrow();
+        let device_spans: Vec<&SpanRecord> = inner
+            .spans
+            .iter()
+            .filter(|s| s.track != Track::Host)
+            .collect();
+        let makespan = device_spans
+            .iter()
+            .map(|s| s.start + s.dur)
+            .max()
+            .unwrap_or(0);
+        if makespan == 0 || width == 0 {
+            return Vec::new();
+        }
+        let mut lanes: Vec<(Track, String)> = Vec::new();
+        if device_spans.iter().any(|s| s.track == Track::Pcie) {
+            lanes.push((Track::Pcie, "PCIe".to_string()));
+        }
+        let mut sms: Vec<u32> = device_spans
+            .iter()
+            .filter_map(|s| match s.track {
+                Track::Sm(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        sms.sort_unstable();
+        sms.dedup();
+        for i in &sms {
+            lanes.push((Track::Sm(*i), format!("SM {i:>2}")));
+        }
+        let cell_w = makespan as f64 / width as f64;
+        lanes
+            .into_iter()
+            .map(|(track, label)| {
+                let mine: Vec<&&SpanRecord> =
+                    device_spans.iter().filter(|s| s.track == track).collect();
+                let mut cells = vec![0.0f64; width];
+                for s in &mine {
+                    let (a, b) = (s.start as f64, (s.start + s.dur) as f64);
+                    let first = ((a / cell_w).floor() as usize).min(width - 1);
+                    let last = ((b / cell_w).ceil() as usize).clamp(first + 1, width);
+                    for (j, cell) in cells.iter_mut().enumerate().take(last).skip(first) {
+                        let lo = j as f64 * cell_w;
+                        let hi = lo + cell_w;
+                        let overlap = (b.min(hi) - a.max(lo)).max(0.0);
+                        *cell += overlap / cell_w;
+                    }
+                }
+                for c in &mut cells {
+                    *c = c.min(1.0);
+                }
+                let busy = interval_union_len(
+                    mine.iter()
+                        .map(|s| (s.start, s.start + s.dur))
+                        .collect::<Vec<_>>(),
+                );
+                SmLane {
+                    label,
+                    busy_frac: busy as f64 / makespan as f64,
+                    spans: mine.len(),
+                    cells,
+                }
+            })
+            .collect()
+    }
+}
+
+/// RAII guard for an open host span from [`Tracer::span`]; the span is
+/// recorded when the guard drops.
+pub struct SpanGuard<'t> {
+    tracer: &'t Tracer,
+    open: Option<OpenSpan>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches a key/value attribute. No-op (and no allocation) when
+    /// the tracer is disabled.
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) -> &mut Self {
+        if let Some(open) = &mut self.open {
+            open.args.push((key.to_string(), value.into()));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(open) = self.open.take() {
+            let end = self.tracer.clock.now_ns();
+            let mut inner = self.tracer.inner.borrow_mut();
+            inner.depth = inner.depth.saturating_sub(1);
+            inner.spans.push(SpanRecord {
+                name: open.name,
+                cat: open.cat,
+                track: Track::Host,
+                start: open.start_ns,
+                dur: end.saturating_sub(open.start_ns),
+                depth: open.depth,
+                args: open.args,
+            });
+        }
+    }
+}
+
+/// One lane of the ASCII device timeline from [`Tracer::sm_occupancy`].
+#[derive(Debug, Clone)]
+pub struct SmLane {
+    /// Lane label (`"PCIe"` or `"SM  3"`).
+    pub label: String,
+    /// Per-cell busy fraction in `[0, 1]`.
+    pub cells: Vec<f64>,
+    /// Fraction of the device makespan this lane was busy.
+    pub busy_frac: f64,
+    /// Number of spans on the lane.
+    pub spans: usize,
+}
+
+/// Per-SM reduction inside a [`DeviceSummary`].
+#[derive(Debug, Clone)]
+pub struct SmSummary {
+    /// SM index.
+    pub sm: u32,
+    /// Spans executed on this SM.
+    pub spans: usize,
+    /// Cycles this SM was busy (union of its spans).
+    pub busy_cycles: u64,
+    /// Cycles idle within the device makespan.
+    pub idle_cycles: u64,
+}
+
+/// Device-side reduction inside a [`TraceSummary`].
+#[derive(Debug, Clone)]
+pub struct DeviceSummary {
+    /// Number of SM lanes with at least one span recorded below the
+    /// highest occupied index.
+    pub sms: usize,
+    /// Device spans (SM + PCIe).
+    pub spans: usize,
+    /// Last device-span end time in cycles (kernel + transfer
+    /// makespan).
+    pub makespan_cycles: u64,
+    /// Total busy cycles summed over SMs.
+    pub busy_cycles: u64,
+    /// Total idle cycles summed over SMs.
+    pub idle_cycles: u64,
+    /// Mean per-SM busy fraction of the makespan.
+    pub mean_busy_frac: f64,
+}
+
+/// Quantile digest of one histogram inside a [`TraceSummary`].
+#[derive(Debug, Clone)]
+pub struct HistogramSummary {
+    /// Histogram name.
+    pub name: String,
+    /// Sample count.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Median (interpolated).
+    pub p50: f64,
+    /// 90th percentile (interpolated).
+    pub p90: f64,
+    /// 99th percentile (interpolated).
+    pub p99: f64,
+}
+
+/// Summary statistics of a recorded trace, embeddable in a run report.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Total spans (host + device).
+    pub spans: usize,
+    /// Total instant events.
+    pub instants: usize,
+    /// Union length of host spans in seconds.
+    pub host_busy_s: f64,
+    /// Host-side critical path: last span end minus first span start.
+    pub critical_path_s: f64,
+    /// Device reduction, when any device spans were recorded.
+    pub device: Option<DeviceSummary>,
+    /// Histogram digests in recording order.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl TraceSummary {
+    /// Serializes the summary as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut out = Json::object();
+        out.set("spans", Json::from(self.spans));
+        out.set("instants", Json::from(self.instants));
+        out.set("host_busy_s", Json::from(self.host_busy_s));
+        out.set("critical_path_s", Json::from(self.critical_path_s));
+        match &self.device {
+            None => {
+                out.set("device", Json::Null);
+            }
+            Some(d) => {
+                let mut dev = Json::object();
+                dev.set("sms", Json::from(d.sms));
+                dev.set("spans", Json::from(d.spans));
+                dev.set("makespan_cycles", Json::from(d.makespan_cycles));
+                dev.set("busy_cycles", Json::from(d.busy_cycles));
+                dev.set("idle_cycles", Json::from(d.idle_cycles));
+                dev.set("mean_busy_frac", Json::from(d.mean_busy_frac));
+                out.set("device", dev);
+            }
+        }
+        let hists: Vec<Json> = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let mut j = Json::object();
+                j.set("name", Json::from(h.name.as_str()));
+                j.set("count", Json::from(h.count));
+                j.set("min", Json::from(h.min));
+                j.set("max", Json::from(h.max));
+                j.set("mean", Json::from(h.mean));
+                j.set("p50", Json::from(h.p50));
+                j.set("p90", Json::from(h.p90));
+                j.set("p99", Json::from(h.p99));
+                j
+            })
+            .collect();
+        out.set("histograms", Json::Array(hists));
+        out
+    }
+}
+
+fn meta_event(name: &str, pid: u32, tid: u32, value: &str) -> Json {
+    let mut args = Json::object();
+    args.set("name", Json::from(value));
+    let mut ev = Json::object();
+    ev.set("name", Json::from(name));
+    ev.set("ph", Json::from("M"));
+    ev.set("pid", Json::from(pid));
+    ev.set("tid", Json::from(tid));
+    ev.set("args", args);
+    ev
+}
+
+/// Total length of the union of half-open intervals.
+fn interval_union_len(mut iv: Vec<(u64, u64)>) -> u64 {
+    iv.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (a, b) in iv {
+        match cur {
+            None => cur = Some((a, b)),
+            Some((ca, cb)) => {
+                if a <= cb {
+                    cur = Some((ca, cb.max(b)));
+                } else {
+                    total += cb - ca;
+                    cur = Some((a, b));
+                }
+            }
+        }
+    }
+    if let Some((ca, cb)) = cur {
+        total += cb - ca;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    mod alloc_probe {
+        use std::alloc::{GlobalAlloc, Layout, System};
+        use std::cell::Cell;
+
+        thread_local! {
+            static ALLOCS: Cell<u64> = const { Cell::new(0) };
+        }
+
+        struct Counting;
+
+        // SAFETY: delegates straight to the system allocator; the
+        // thread-local counter is const-initialized with a non-Drop
+        // type, so bumping it cannot recurse into the allocator.
+        unsafe impl GlobalAlloc for Counting {
+            unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+                ALLOCS.with(|a| a.set(a.get() + 1));
+                System.alloc(l)
+            }
+            unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+                System.dealloc(p, l);
+            }
+        }
+
+        #[global_allocator]
+        static COUNTING: Counting = Counting;
+
+        pub fn allocations_on_this_thread() -> u64 {
+            ALLOCS.with(|a| a.get())
+        }
+    }
+
+    fn manual_tracer() -> (ManualClock, Tracer) {
+        let clock = ManualClock::new();
+        let tracer = Tracer::with_clock(Level::Trace, Arc::new(clock.clone()));
+        (clock, tracer)
+    }
+
+    #[test]
+    fn disabled_span_path_allocates_nothing() {
+        let t = Tracer::disabled();
+        let before = alloc_probe::allocations_on_this_thread();
+        for _ in 0..64 {
+            let mut g = t.span("phase-name", "category");
+            g.attr("numeric", 42u64);
+            g.attr("text", "a string that would allocate if converted");
+            t.record("histogram-name", 12.5);
+            t.instant("marker");
+            t.device_span(
+                "block",
+                "kernel",
+                Track::Sm(3),
+                10,
+                20,
+                &[("transactions", AttrValue::UInt(7))],
+            );
+        }
+        let after = alloc_probe::allocations_on_this_thread();
+        assert_eq!(after, before, "disabled tracer path must not allocate");
+        assert_eq!(t.span_count(), 0);
+    }
+
+    #[test]
+    fn nested_spans_record_depth_and_duration() {
+        let (clock, t) = manual_tracer();
+        {
+            let mut outer = t.span("run", "phase");
+            outer.attr("n", 100u64);
+            clock.advance_ns(1_000);
+            {
+                let _inner = t.span("count", "phase");
+                clock.advance_ns(2_000);
+            }
+            clock.advance_ns(500);
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner closes first.
+        assert_eq!(spans[0].name, "count");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[0].dur, 2_000);
+        assert_eq!(spans[1].name, "run");
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[1].dur, 3_500);
+        assert_eq!(spans[1].args, vec![("n".to_string(), AttrValue::UInt(100))]);
+    }
+
+    #[test]
+    fn histogram_empty_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn histogram_single_sample_is_exact_everywhere() {
+        let mut h = Histogram::new();
+        h.record(37.5);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(37.5));
+        }
+        assert_eq!(h.mean(), Some(37.5));
+    }
+
+    #[test]
+    fn histogram_all_equal_samples_are_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(8.0);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(8.0));
+        }
+        assert_eq!(h.min(), Some(8.0));
+        assert_eq!(h.max(), Some(8.0));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u32 {
+            h.record(f64::from(i));
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p90 = h.quantile(0.9).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!((1.0..=1000.0).contains(&p50));
+        assert!(p99 <= 1000.0);
+        // Log-bucket resolution: within a factor of 2 of the truth.
+        assert!((250.0..=1000.0).contains(&p50));
+    }
+
+    #[test]
+    fn histogram_zero_and_negative_samples() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(0.0);
+        h.record(4.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn summary_reduces_host_and_device() {
+        let (clock, t) = manual_tracer();
+        {
+            let _g = t.span("run", "phase");
+            clock.advance_ns(10_000);
+        }
+        t.device_span("xfer", "pcie", Track::Pcie, 0, 100, &[]);
+        t.device_span("b0", "kernel", Track::Sm(0), 100, 300, &[]);
+        t.device_span("b1", "kernel", Track::Sm(1), 100, 100, &[]);
+        t.record("block.cycles", 300.0);
+        t.record("block.cycles", 100.0);
+        let s = t.summary();
+        assert_eq!(s.spans, 4);
+        assert!((s.critical_path_s - 10e-6).abs() < 1e-15);
+        let d = s.device.expect("device summary");
+        assert_eq!(d.sms, 2);
+        assert_eq!(d.makespan_cycles, 400);
+        assert_eq!(d.busy_cycles, 300 + 100);
+        // SM0 idle 100, SM1 idle 300.
+        assert_eq!(d.idle_cycles, 400);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].count, 2);
+    }
+
+    #[test]
+    fn chrome_trace_shape_and_units() {
+        let (clock, t) = manual_tracer();
+        t.set_device_clock_hz(1e6); // 1 cycle == 1 us
+        {
+            let _g = t.span("run", "phase");
+            clock.advance_ns(5_000);
+        }
+        t.device_span("b0", "kernel", Track::Sm(2), 10, 20, &[]);
+        let j = t.to_chrome_trace();
+        let events = match j.get("traceEvents") {
+            Some(Json::Array(evs)) => evs.clone(),
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        // Metadata for host process/thread, device process, PCIe lane,
+        // SM 2 lane; then 2 spans.
+        let metas: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph") == Some(&Json::Str("M".into())))
+            .collect();
+        assert_eq!(metas.len(), 5);
+        let xs: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph") == Some(&Json::Str("X".into())))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        let host = xs
+            .iter()
+            .find(|e| e.get("pid") == Some(&Json::UInt(0)))
+            .unwrap();
+        assert_eq!(host.get("dur"), Some(&Json::Float(5.0))); // 5000 ns = 5 us
+        let dev = xs
+            .iter()
+            .find(|e| e.get("pid") == Some(&Json::UInt(1)))
+            .unwrap();
+        assert_eq!(dev.get("tid"), Some(&Json::UInt(3))); // SM 2 -> tid 3
+        assert_eq!(dev.get("ts"), Some(&Json::Float(10.0)));
+        assert_eq!(dev.get("dur"), Some(&Json::Float(20.0)));
+    }
+
+    #[test]
+    fn sm_occupancy_lanes_and_fractions() {
+        let (_clock, t) = manual_tracer();
+        t.device_span("xfer", "pcie", Track::Pcie, 0, 50, &[]);
+        t.device_span("b0", "kernel", Track::Sm(0), 50, 50, &[]);
+        t.device_span("b1", "kernel", Track::Sm(1), 50, 25, &[]);
+        let lanes = t.sm_occupancy(10);
+        assert_eq!(lanes.len(), 3);
+        assert_eq!(lanes[0].label, "PCIe");
+        assert!((lanes[0].busy_frac - 0.5).abs() < 1e-12);
+        assert!((lanes[1].busy_frac - 0.5).abs() < 1e-12);
+        assert!((lanes[2].busy_frac - 0.25).abs() < 1e-12);
+        // PCIe busy in the first half of the timeline only.
+        assert!(lanes[0].cells[0] > 0.9);
+        assert!(lanes[0].cells[9] < 0.1);
+        assert!(lanes[1].cells[9] > 0.9);
+    }
+
+    #[test]
+    fn trace_summary_json_keys_are_stable() {
+        let (clock, t) = manual_tracer();
+        {
+            let _g = t.span("run", "phase");
+            clock.advance_ns(100);
+        }
+        t.device_span("b", "kernel", Track::Sm(0), 0, 10, &[]);
+        t.record("h", 2.0);
+        let paths = t.summary().to_json().key_paths();
+        for expect in [
+            "spans",
+            "instants",
+            "host_busy_s",
+            "critical_path_s",
+            "device",
+            "device.sms",
+            "device.makespan_cycles",
+            "device.mean_busy_frac",
+            "histograms",
+            "histograms[].name",
+            "histograms[].p99",
+        ] {
+            assert!(paths.iter().any(|p| p == expect), "missing {expect}");
+        }
+    }
+}

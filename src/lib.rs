@@ -28,4 +28,7 @@ pub use trigon_gpu_sim as gpu_sim;
 pub use trigon_graph as graph;
 pub use trigon_sched as sched;
 
-pub use trigon_core::{Analysis, Collector, Error, Json, Level, Method, RunReport};
+pub use trigon_core::{
+    Analysis, Clock, Collector, Error, Json, Level, ManualClock, Method, MonotonicClock, RunReport,
+    TraceSummary, Tracer, Track,
+};

@@ -5,7 +5,7 @@
 //! trigon gen <model> --n N [--seed S] [-o FILE]         models: gnp, ba, ws, ring, rmat, complete, grid
 //! trigon analyze <FILE>
 //! trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion]
-//!              [--device c1060|c2050|c2070] [--p PROB] [--json]
+//!              [--device c1060|c2050|c2070] [--p PROB] [--json] [--trace FILE] [--verbose]
 //! trigon split <FILE> [--device c1060|c2050|c2070]
 //! trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
 //! trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
@@ -18,9 +18,11 @@
 use std::collections::HashMap;
 use std::io::BufReader;
 use trigon::core::split::{split_graph, SplitConfig};
-use trigon::gpu_sim::{render_partition_histogram, DeviceSpec, PartitionTraffic};
+use trigon::gpu_sim::{
+    render_partition_histogram, render_sm_timeline, DeviceSpec, PartitionTraffic,
+};
 use trigon::graph::{approx, cores, gen, io, triangles, BfsTree, Graph};
-use trigon::{Analysis, Error, Method, RunReport};
+use trigon::{Analysis, Error, Level, Method, RunReport, Tracer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,14 +53,14 @@ const USAGE: &str = "usage:
   trigon devices
   trigon gen <gnp|ba|ws|ring|rmat|complete|grid> --n N [--seed S] [-o FILE]
   trigon analyze <FILE>
-  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--p PROB] [--json]
+  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--p PROB] [--json] [--trace FILE] [--verbose]
   trigon split <FILE> [--device c1060|c2050|c2070]
   trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
   trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
   trigon camping";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["json"];
+const BOOL_FLAGS: &[&str] = &["json", "verbose"];
 
 /// Parses `--flag value` pairs, boolean `--flag`s, and positionals.
 ///
@@ -284,7 +286,26 @@ fn print_report(r: &RunReport) {
 
 fn cmd_count(args: &[String]) -> Result<(), Error> {
     let (pos, flags) = parse(args)?;
-    let g = load_or_gen(&pos, &flags)?;
+    let trace_path = flags.get("trace").cloned();
+    let verbose = flags.contains_key("verbose");
+    let level = if trace_path.is_some() || verbose {
+        Level::Trace
+    } else {
+        Level::Standard
+    };
+    let tracer = Tracer::with_level(level);
+    let g = {
+        let source = if flags.contains_key("gen") {
+            "gen"
+        } else {
+            "load"
+        };
+        let mut span = tracer.span(source, "phase");
+        let g = load_or_gen(&pos, &flags)?;
+        span.attr("n", u64::from(g.n()));
+        span.attr("m", g.m() as u64);
+        g
+    };
     let device = device_for(&flags)?;
     let method = flags.get("method").map_or("gpu-opt", String::as_str);
     if method == "doulion" {
@@ -301,14 +322,69 @@ fn cmd_count(args: &[String]) -> Result<(), Error> {
     }
     let report = Analysis::new(&g)
         .method(Method::parse(method)?)
-        .device(device)
+        .device(device.clone())
+        .telemetry(level)
+        .tracer(tracer)
         .run()?;
     if flags.contains_key("json") {
         println!("{}", report.to_json().to_string_pretty());
     } else {
         print_report(&report);
+        if verbose {
+            print_verbose_trace(&report, &device);
+        }
+    }
+    if let Some(path) = trace_path {
+        let trace = report.tracer.to_chrome_trace();
+        std::fs::write(&path, trace.to_string_pretty()).map_err(|e| Error::Io {
+            path: path.clone(),
+            source: e,
+        })?;
+        eprintln!(
+            "wrote {path} ({} spans) — open in chrome://tracing or ui.perfetto.dev",
+            report.tracer.span_count()
+        );
     }
     Ok(())
+}
+
+/// The `--verbose` trace dump: summary lines, per-SM ASCII timeline, and
+/// the per-partition transaction histogram rebuilt from the run's
+/// `partition.kernel.p{i}` counters.
+fn print_verbose_trace(r: &RunReport, device: &DeviceSpec) {
+    if let Some(t) = &r.trace {
+        println!();
+        println!(
+            "{:<14}{} spans, {} instants, host busy {:.6} s (critical path {:.6} s)",
+            "trace", t.spans, t.instants, t.host_busy_s, t.critical_path_s
+        );
+        if let Some(d) = &t.device {
+            println!(
+                "{:<14}{} SMs, {} device spans, makespan {} cycles, mean busy {:.0}%",
+                "device",
+                d.sms,
+                d.spans,
+                d.makespan_cycles,
+                d.mean_busy_frac * 100.0
+            );
+        }
+        for h in &t.histograms {
+            println!(
+                "{:<14}{} n={} min={:.0} p50={:.1} p90={:.1} p99={:.1} max={:.0}",
+                "hist", h.name, h.count, h.min, h.p50, h.p90, h.p99, h.max
+            );
+        }
+    }
+    println!("\nper-SM timeline (simulated cycles):");
+    print!("{}", render_sm_timeline(&r.tracer.sm_occupancy(60)));
+    let mut traffic = PartitionTraffic::new(device);
+    for p in 0..device.partitions {
+        traffic.record_bulk(p, r.telemetry.counter(&format!("partition.kernel.p{p}")));
+    }
+    if traffic.total() > 0 {
+        println!("\nkernel transactions per partition:");
+        print!("{}", render_partition_histogram(&traffic, 40));
+    }
 }
 
 fn cmd_split(args: &[String]) -> Result<(), Error> {

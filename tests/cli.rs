@@ -80,6 +80,81 @@ fn count_with_generated_graph() {
 }
 
 #[test]
+fn count_trace_writes_chrome_trace_json() {
+    let dir = std::env::temp_dir().join("trigon_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let path_s = path.to_str().unwrap();
+
+    let (stdout, stderr, ok) = trigon(&[
+        "count",
+        "--gen",
+        "gnp",
+        "--n",
+        "300",
+        "--method",
+        "gpu-opt",
+        "--trace",
+        path_s,
+        "--verbose",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("perfetto"), "{stderr}");
+    // --verbose adds the trace summary and the per-SM ASCII timeline.
+    assert!(stdout.contains("trace"), "{stdout}");
+    assert!(stdout.contains("per-SM timeline"), "{stdout}");
+    assert!(stdout.contains("PCIe"), "{stdout}");
+    assert!(stdout.contains("SM  0"), "{stdout}");
+
+    // The written file parses back with the vendored JSON reader and has
+    // the Chrome trace-event shape: host phase spans on pid 0 and at
+    // least one kernel span per SM on pid 1.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let j = trigon::Json::parse(&text).unwrap();
+    let events = match j.get("traceEvents") {
+        Some(trigon::Json::Array(a)) => a,
+        other => panic!("traceEvents missing: {other:?}"),
+    };
+    let str_of = |e: &trigon::Json, k: &str| match e.get(k) {
+        Some(trigon::Json::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
+    let uint_of = |e: &trigon::Json, k: &str| match e.get(k) {
+        Some(trigon::Json::UInt(v)) => Some(*v),
+        _ => None,
+    };
+    let host_spans = events
+        .iter()
+        .filter(|e| str_of(e, "ph") == "X" && uint_of(e, "pid") == Some(0))
+        .count();
+    assert!(
+        host_spans >= 3,
+        "want load/count/run host spans, got {host_spans}"
+    );
+    let device_sm_tids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| str_of(e, "ph") == "X" && uint_of(e, "pid") == Some(1))
+        .filter_map(|e| uint_of(e, "tid"))
+        .filter(|&tid| tid >= 1)
+        .collect();
+    let sm_threads = events
+        .iter()
+        .filter(|e| str_of(e, "ph") == "M" && str_of(e, "name") == "thread_name")
+        .filter(|e| {
+            matches!(e.get("args").and_then(|a| a.get("name")),
+                     Some(trigon::Json::Str(s)) if s.starts_with("SM "))
+        })
+        .count();
+    assert!(sm_threads > 0, "no SM thread metadata");
+    // On the device process PCIe is tid 0 and SM i is tid i + 1, so tids
+    // >= 1 are SM lanes; a 300-node gnp run spreads blocks over several.
+    assert!(
+        device_sm_tids.len() >= 2,
+        "want device spans on several lanes, got {device_sm_tids:?}"
+    );
+}
+
+#[test]
 fn kcount_subcommand() {
     let dir = std::env::temp_dir().join("trigon_cli_test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -11,7 +11,7 @@
 
 use trigon::gpu_sim::DeviceSpec;
 use trigon::graph::gen;
-use trigon::{Analysis, Method, RunReport};
+use trigon::{Analysis, Level, Method, RunReport};
 
 fn check_golden(name: &str, report: &RunReport) {
     let actual = report.to_json().key_paths().join("\n") + "\n";
@@ -36,6 +36,7 @@ fn gpu_report_schema_is_pinned() {
     let r = Analysis::new(&g)
         .method(Method::GpuOptimized)
         .device(DeviceSpec::c1060())
+        .telemetry(Level::Trace)
         .run()
         .unwrap();
     check_golden("run_report_gpu_keys", &r);
@@ -44,18 +45,26 @@ fn gpu_report_schema_is_pinned() {
 #[test]
 fn hybrid_report_schema_is_pinned() {
     let g = gen::community_ring(1_000, 100, 0.2, 2, 5);
-    let r = Analysis::new(&g).method(Method::Hybrid).run().unwrap();
+    let r = Analysis::new(&g)
+        .method(Method::Hybrid)
+        .telemetry(Level::Trace)
+        .run()
+        .unwrap();
     check_golden("run_report_hybrid_keys", &r);
 }
 
 #[test]
 fn cpu_report_schema_is_pinned() {
     let g = gen::gnp(200, 0.05, 1);
-    let r = Analysis::new(&g).method(Method::CpuFast).run().unwrap();
+    let r = Analysis::new(&g)
+        .method(Method::CpuFast)
+        .telemetry(Level::Trace)
+        .run()
+        .unwrap();
     check_golden("run_report_cpu_keys", &r);
 }
 
 #[test]
 fn schema_version_is_current() {
-    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 1);
+    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 2);
 }
