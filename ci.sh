@@ -33,4 +33,18 @@ grep -q '"traceEvents"' "$trace_out"
 grep -q '"SM 0"' "$trace_out"
 rm -f "$trace_out"
 
+echo "== repro perf smoke test (quick) =="
+# Measures real wall-clock of the counting strategies, asserts parallel
+# counts are bit-identical to the serial ones (inside run_perf), and
+# enforces the committed normalized regression envelope: >25 % slowdown
+# of the 1-thread fig10 run vs crates/bench/baselines/perf_baseline.json
+# fails. Export TRIGON_PERF_SKIP_REGRESSION=1 to measure without gating
+# (e.g. on a heavily loaded machine).
+cargo run --release --quiet -p trigon-bench --bin repro -- perf --quick \
+    --baseline crates/bench/baselines/perf_baseline.json
+test -s bench_out/BENCH_perf.json
+for key in '"schema_version": 1' '"fig10"' '"fig11"' '"overhead"' '"thread_sweep"'; do
+    grep -q "$key" bench_out/BENCH_perf.json
+done
+
 echo "CI OK"

@@ -3,7 +3,14 @@
 //!
 //! ```text
 //! repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|trace|all [--csv DIR]
+//! repro perf [--quick] [--baseline PATH] [--csv DIR]
 //! ```
+//!
+//! `perf` measures real wall-clock (not modeled seconds) of the counting
+//! strategies across a thread sweep and writes
+//! `bench_out/BENCH_perf.json`; with `--baseline PATH` it also enforces
+//! the committed regression envelope (exit 1 on a >25 % normalized
+//! slowdown of the 1-thread fig10 run).
 //!
 //! Each experiment prints an aligned text table mirroring the paper's
 //! layout and, with `--csv DIR`, also writes `DIR/<exp>.csv`.
@@ -54,6 +61,7 @@ fn main() {
         "ablation" => ablation(&out),
         "workload" => workload(&out),
         "trace" => trace_capture(&out),
+        "perf" => perf(&out, &args[1..]),
         "all" => {
             table1(&out);
             table2_cmd(&out);
@@ -69,8 +77,9 @@ fn main() {
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|trace|all [--csv DIR]"
+                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|trace|perf|all [--csv DIR]"
             );
+            eprintln!("       repro perf [--quick] [--baseline PATH] [--csv DIR]");
             std::process::exit(2);
         }
     }
@@ -376,6 +385,105 @@ fn trace_capture(out: &Output) {
         t.device.as_ref().map_or(0, |d| d.makespan_cycles)
     );
     println!("  [trace written to {path}]");
+}
+
+/// `repro perf` — measured wall-clock baseline (see `trigon_bench::perf`).
+fn perf(out: &Output, rest: &[String]) {
+    use trigon_bench::{run_perf, PerfOptions};
+    let opts = PerfOptions {
+        quick: rest.iter().any(|a| a == "--quick"),
+        baseline: rest
+            .iter()
+            .position(|a| a == "--baseline")
+            .and_then(|i| rest.get(i + 1))
+            .cloned(),
+    };
+    out.section(if opts.quick {
+        "Perf: measured wall-clock baseline (quick)"
+    } else {
+        "Perf: measured wall-clock baseline"
+    });
+    let result = run_perf(&opts);
+    // Pretty table + CSV straight from the JSON document so the printed
+    // numbers and the written file cannot drift apart.
+    let mut rows = Vec::new();
+    for fig in ["fig10", "fig11"] {
+        let Some(trigon_core::Json::Array(graphs)) = result.report.get(fig) else {
+            continue;
+        };
+        println!(
+            "  {fig}: {:>7} {:<14} {:>8} {:>14} {:>9}",
+            "n", "strategy", "threads", "wall(ms)", "speedup"
+        );
+        for g in graphs {
+            let n = json_u64(g.get("n"));
+            let Some(trigon_core::Json::Array(strats)) = g.get("strategies") else {
+                continue;
+            };
+            for s in strats {
+                let strategy = match s.get("strategy") {
+                    Some(trigon_core::Json::Str(v)) => v.clone(),
+                    _ => String::new(),
+                };
+                let threads = json_u64(s.get("threads"));
+                let wall_ns = json_u64(s.get("wall_ns"));
+                let speedup = match s.get("speedup_vs_1t") {
+                    Some(trigon_core::Json::Float(v)) => format!("{v:.2}"),
+                    _ => "-".to_string(),
+                };
+                println!(
+                    "  {fig}: {:>7} {:<14} {:>8} {:>14.2} {:>9}",
+                    n,
+                    strategy,
+                    threads,
+                    wall_ns as f64 / 1e6,
+                    speedup
+                );
+                rows.push(format!(
+                    "{fig},{n},{strategy},{threads},{wall_ns},{speedup}"
+                ));
+            }
+        }
+    }
+    if let Some(tele) = result
+        .report
+        .get("overhead")
+        .and_then(|o| o.get("telemetry"))
+    {
+        let off = json_u64(tele.get("off_ns"));
+        let std_ns = json_u64(tele.get("standard_ns"));
+        let pct = match tele.get("overhead_pct") {
+            Some(trigon_core::Json::Float(v)) => format!("{v:.1}"),
+            _ => "-".to_string(),
+        };
+        println!(
+            "  telemetry overhead: Off {:.2} ms, Standard {:.2} ms ({pct} %)",
+            off as f64 / 1e6,
+            std_ns as f64 / 1e6
+        );
+    }
+    std::fs::create_dir_all("bench_out").expect("create bench_out");
+    let path = "bench_out/BENCH_perf.json";
+    std::fs::write(path, result.report.to_string_pretty()).expect("write perf json");
+    println!("  [perf report written to {path}]");
+    out.csv(
+        "perf",
+        "suite,n,strategy,threads,wall_ns,speedup_vs_1t",
+        &rows,
+    );
+    if let Some(msg) = result.regression {
+        eprintln!("  {msg}");
+        std::process::exit(1);
+    }
+}
+
+/// Numeric JSON accessor for the perf table printer.
+fn json_u64(v: Option<&trigon_core::Json>) -> u64 {
+    match v {
+        Some(trigon_core::Json::UInt(u)) => *u,
+        Some(trigon_core::Json::Int(i)) => *i as u64,
+        _ => 0,
+    }
 }
 
 /// Ablations beyond the paper: which primitive buys what, §VIII strategy

@@ -7,6 +7,8 @@
 
 #![deny(missing_docs)]
 
+pub mod perf;
 pub mod suites;
 
+pub use perf::{run_perf, PerfOptions, PerfOutcome, PERF_SCHEMA_VERSION};
 pub use suites::{fig10_graph, fig10_sizes, fig11_graph, fig11_sizes, SEED};

@@ -7,9 +7,10 @@
 //! only / mixed / second level only on the last set) visits each
 //! candidate combination exactly once across all sets.
 
-use trigon_combin::TwoLevelSpace;
+use std::sync::Arc;
+use trigon_combin::{CrossMode, TwoLevelSpace};
 use trigon_graph::storage::BitMatrix;
-use trigon_graph::{BfsTree, Graph};
+use trigon_graph::{BfsTree, Graph, LevelMap};
 
 /// One adjacent level set of a BFS tree, with its local adjacency.
 ///
@@ -30,9 +31,15 @@ pub struct Als {
     /// Global vertex ids of the second level (sorted); empty when the
     /// component has a single BFS level.
     pub second: Vec<u32>,
+    /// Sorted merge of `first ∪ second`, built once at construction so
+    /// counting loops never rebuild-and-sort the window per call.
+    pub window: Vec<u32>,
     /// Whether this is the last ALS of its component — only then does
     /// Algorithm 2 issue the `secondLvl` scan.
     pub is_last: bool,
+    /// Shared per-graph BFS placement map (component, level, in-level
+    /// rank per vertex) answering window/first-level membership in O(1).
+    pub levels: Arc<LevelMap>,
     /// Local adjacency over `first ∪ second` (bit matrix, local ids).
     /// Materialized only when `size() ≤ LOCAL_MATRIX_MAX` — for the huge
     /// level sets of 100k-node graphs a dense local matrix would dwarf the
@@ -61,6 +68,72 @@ impl Als {
     #[must_use]
     pub fn size(&self) -> u32 {
         self.a() + self.b()
+    }
+
+    /// The sorted window `first ∪ second` (global ids), precomputed.
+    #[inline]
+    #[must_use]
+    pub fn window(&self) -> &[u32] {
+        &self.window
+    }
+
+    /// O(1): is global vertex `v` in this ALS's first level?
+    #[inline]
+    #[must_use]
+    pub fn in_first(&self, v: u32) -> bool {
+        self.levels
+            .is_at(v, self.component as u32, self.first_level)
+    }
+
+    /// O(1): is global vertex `v` in this ALS's second level?
+    #[inline]
+    #[must_use]
+    pub fn in_second(&self, v: u32) -> bool {
+        !self.second.is_empty()
+            && self
+                .levels
+                .is_at(v, self.component as u32, self.first_level + 1)
+    }
+
+    /// O(1): is global vertex `v` anywhere in this ALS's window?
+    #[inline]
+    #[must_use]
+    pub fn in_window(&self, v: u32) -> bool {
+        self.in_first(v) || self.in_second(v)
+    }
+
+    /// O(1): local position of global vertex `v` in this ALS, or `None`
+    /// when `v` is outside the window. Replaces the two binary searches
+    /// the dense-matrix construction used to pay per adjacency probe.
+    #[inline]
+    #[must_use]
+    pub fn local_of(&self, v: u32) -> Option<u32> {
+        if self.in_first(v) {
+            Some(self.levels.rank_of(v))
+        } else if self.in_second(v) {
+            Some(self.a() + self.levels.rank_of(v))
+        } else {
+            None
+        }
+    }
+
+    /// The `GenNxtComb` mode streams Algorithm 2 issues for this ALS:
+    /// `firstLvl`, `bothLvls`, and — on the component's last set only —
+    /// `secondLvl`. Returned as a static slice so hot loops pay no
+    /// allocation per ALS.
+    #[inline]
+    #[must_use]
+    pub fn modes(&self) -> &'static [CrossMode] {
+        const ALL: [CrossMode; 3] = [
+            CrossMode::FirstOnly,
+            CrossMode::Mixed,
+            CrossMode::SecondOnly,
+        ];
+        if self.is_last {
+            &ALL
+        } else {
+            &ALL[..2]
+        }
     }
 
     /// The `k`-combination space over this ALS.
@@ -118,13 +191,8 @@ impl Als {
     /// `C(a,3) + mixed + (last ? C(b,3) : 0)`.
     #[must_use]
     pub fn test_count(&self, k: u32) -> u128 {
-        use trigon_combin::CrossMode;
         let s = self.space(k);
-        let mut t = s.count(CrossMode::FirstOnly) + s.count(CrossMode::Mixed);
-        if self.is_last {
-            t += s.count(CrossMode::SecondOnly);
-        }
-        t
+        self.modes().iter().map(|&m| s.count(m)).sum()
     }
 
     /// S-UTM bit footprint of the local adjacency — the job size used for
@@ -138,13 +206,16 @@ impl Als {
 
 /// Builds the ALS of one BFS tree (one component): `depth - 1` sets, or a
 /// single degenerate set when the component has one level. `index` is
-/// assigned starting from `base_index`.
+/// assigned starting from `base_index`. The shared `levels` map must
+/// already have this tree recorded under `component`
+/// ([`LevelMap::record_tree`]).
 #[must_use]
 pub fn build_als_for_tree(
     g: &Graph,
     tree: &BfsTree,
     base_index: usize,
     component: usize,
+    levels_map: &Arc<LevelMap>,
 ) -> Vec<Als> {
     let levels = tree.levels();
     let mut out = Vec::new();
@@ -152,7 +223,16 @@ pub fn build_als_for_tree(
         return out;
     }
     if levels.len() == 1 {
-        out.push(make_als(g, base_index, component, 0, &levels[0], &[], true));
+        out.push(make_als(
+            g,
+            base_index,
+            component,
+            0,
+            &levels[0],
+            &[],
+            true,
+            levels_map,
+        ));
         return out;
     }
     for i in 0..levels.len() - 1 {
@@ -165,25 +245,35 @@ pub fn build_als_for_tree(
             &levels[i],
             &levels[i + 1],
             is_last,
+            levels_map,
         ));
     }
     out
 }
 
 /// Builds the full ALS list of a graph: BFS forest rooted at each
-/// component's smallest vertex, then per-tree ALS construction.
+/// component's smallest vertex, one shared [`LevelMap`] for O(1)
+/// membership, then per-tree ALS construction.
 #[must_use]
 pub fn build_als(g: &Graph) -> Vec<Als> {
+    let comps = trigon_graph::connected_components(g);
+    let mut trees = Vec::with_capacity(comps.len());
+    let mut map = LevelMap::new(g.n());
+    for (ci, comp) in comps.iter().enumerate() {
+        let tree = BfsTree::new(g, comp[0]);
+        map.record_tree(&tree, ci as u32);
+        trees.push(tree);
+    }
+    let map = Arc::new(map);
     let mut out = Vec::new();
-    for (ci, comp) in trigon_graph::connected_components(g).iter().enumerate() {
-        let root = comp[0];
-        let tree = BfsTree::new(g, root);
+    for (ci, tree) in trees.iter().enumerate() {
         let base = out.len();
-        out.extend(build_als_for_tree(g, &tree, base, ci));
+        out.extend(build_als_for_tree(g, tree, base, ci, &map));
     }
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn make_als(
     g: &Graph,
     index: usize,
@@ -192,20 +282,38 @@ fn make_als(
     first: &[u32],
     second: &[u32],
     is_last: bool,
+    levels_map: &Arc<LevelMap>,
 ) -> Als {
     let a = first.len() as u32;
     let n = a + second.len() as u32;
+    // Merge the two sorted, disjoint level sets once; counting loops
+    // iterate this instead of rebuilding it per call.
+    let mut window = Vec::with_capacity(n as usize);
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < first.len() && j < second.len() {
+        if first[i] < second[j] {
+            window.push(first[i]);
+            i += 1;
+        } else {
+            window.push(second[j]);
+            j += 1;
+        }
+    }
+    window.extend_from_slice(&first[i..]);
+    window.extend_from_slice(&second[j..]);
+
+    let second_level = first_level + 1;
     let local = (n <= LOCAL_MATRIX_MAX).then(|| {
-        // Local-id lookup: position in first ∪ second.
+        // Local-id lookup via the shared level map: O(1) per probe.
         let mut m = BitMatrix::new(n);
         let local_of = |v: u32| -> Option<u32> {
-            if let Ok(i) = first.binary_search(&v) {
-                return Some(i as u32);
+            if levels_map.is_at(v, component as u32, first_level) {
+                Some(levels_map.rank_of(v))
+            } else if !second.is_empty() && levels_map.is_at(v, component as u32, second_level) {
+                Some(a + levels_map.rank_of(v))
+            } else {
+                None
             }
-            if let Ok(i) = second.binary_search(&v) {
-                return Some(a + i as u32);
-            }
-            None
         };
         for (pos, &v) in first.iter().chain(second.iter()).enumerate() {
             for &w in g.neighbors(v) {
@@ -224,7 +332,9 @@ fn make_als(
         first_level,
         first: first.to_vec(),
         second: second.to_vec(),
+        window,
         is_last,
+        levels: Arc::clone(levels_map),
         local,
     }
 }
@@ -382,6 +492,52 @@ mod tests {
         assert!(als[..3].iter().all(|a| !a.is_last));
         // A tree has no triangles; Algorithm 2 must agree.
         assert_eq!(crate::count::cpu_exhaustive(&g).triangles, 0);
+    }
+
+    #[test]
+    fn window_and_membership_queries() {
+        for seed in 0..4u64 {
+            let g = gen::gnp(60, 0.1, seed);
+            for als in build_als(&g) {
+                // The precomputed window is the sorted merge of both levels.
+                let mut want: Vec<u32> = als.first.iter().chain(&als.second).copied().collect();
+                want.sort_unstable();
+                assert_eq!(als.window(), &want[..], "seed {seed} als {}", als.index);
+                // O(1) probes agree with the level vectors for every vertex.
+                for v in 0..g.n() {
+                    assert_eq!(als.in_first(v), als.first.binary_search(&v).is_ok());
+                    assert_eq!(als.in_second(v), als.second.binary_search(&v).is_ok());
+                    assert_eq!(als.in_window(v), als.in_first(v) || als.in_second(v));
+                    let want_local =
+                        als.first
+                            .binary_search(&v)
+                            .ok()
+                            .map(|i| i as u32)
+                            .or_else(|| {
+                                als.second
+                                    .binary_search(&v)
+                                    .ok()
+                                    .map(|i| als.a() + i as u32)
+                            });
+                    assert_eq!(als.local_of(v), want_local, "seed {seed} v {v}");
+                }
+                // local_of inverts global_id over the whole window.
+                for local in 0..als.window().len() as u32 {
+                    assert_eq!(als.local_of(als.global_id(local)), Some(local));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn modes_match_position() {
+        let g = gen::gnp(50, 0.1, 7);
+        for als in build_als(&g) {
+            let m = als.modes();
+            assert_eq!(m[0], trigon_combin::CrossMode::FirstOnly);
+            assert_eq!(m[1], trigon_combin::CrossMode::Mixed);
+            assert_eq!(m.len(), if als.is_last { 3 } else { 2 });
+        }
     }
 
     #[test]

@@ -15,7 +15,6 @@
 //!   scales to the paper's 100 000-node graphs.
 
 use crate::als::{build_als, Als};
-use trigon_combin::CrossMode;
 use trigon_graph::Graph;
 
 /// Result of the exhaustive Algorithm 2 run.
@@ -46,13 +45,9 @@ pub fn cpu_exhaustive(g: &Graph) -> CpuCount {
 #[must_use]
 pub fn count_als_exhaustive(g: &Graph, als: &Als) -> CpuCount {
     let space = als.space(3);
-    let mut modes = vec![CrossMode::FirstOnly, CrossMode::Mixed];
-    if als.is_last {
-        modes.push(CrossMode::SecondOnly);
-    }
     let mut triangles = 0u64;
     let mut tests = 0u128;
-    for mode in modes {
+    for &mode in als.modes() {
         let mut cur = space.cursor(mode);
         while let Some(c) = cur.current() {
             tests += 1;
@@ -72,19 +67,19 @@ pub fn count_als_exhaustive(g: &Graph, als: &Als) -> CpuCount {
 /// last and the triangle lies entirely in the second level.
 #[must_use]
 pub fn count_als_fast(g: &Graph, als: &Als) -> u64 {
-    let in_first = |v: u32| als.first.binary_search(&v).is_ok();
-    let in_window = |v: u32| in_first(v) || als.second.binary_search(&v).is_ok();
     let mut count = 0u64;
-    // Iterate window vertices; for each edge (u, v) with u < v inside the
-    // window, intersect neighbor lists above v, filtered to the window.
-    let mut verts: Vec<u32> = als.first.iter().chain(als.second.iter()).copied().collect();
-    verts.sort_unstable();
-    for &u in &verts {
-        for &v in g.neighbors(u) {
-            if v <= u || !in_window(v) {
+    // Iterate the precomputed sorted window; for each edge (u, v) with
+    // u < v inside the window, intersect neighbor lists above v,
+    // filtered to the window. Membership probes (`in_window`,
+    // `in_first`) are O(1) level-map lookups, not binary searches.
+    for &u in als.window() {
+        let u_first = als.in_first(u);
+        let nu = g.neighbors(u);
+        for &v in nu {
+            if v <= u || !als.in_window(v) {
                 continue;
             }
-            let nu = g.neighbors(u);
+            let uv_first = u_first || als.in_first(v);
             let nv = g.neighbors(v);
             let mut i = nu.partition_point(|&x| x <= v);
             let mut j = nv.partition_point(|&x| x <= v);
@@ -94,11 +89,8 @@ pub fn count_als_fast(g: &Graph, als: &Als) -> u64 {
                     std::cmp::Ordering::Greater => j += 1,
                     std::cmp::Ordering::Equal => {
                         let w = nu[i];
-                        if in_window(w) {
-                            let touches_first = in_first(u) || in_first(v) || in_first(w);
-                            if touches_first || als.is_last {
-                                count += 1;
-                            }
+                        if als.in_window(w) && (uv_first || als.in_first(w) || als.is_last) {
+                            count += 1;
                         }
                         i += 1;
                         j += 1;
@@ -142,11 +134,7 @@ pub fn total_tests(g: &Graph) -> u128 {
 pub fn list_triangles_als(g: &Graph, mut f: impl FnMut(u32, u32, u32)) {
     for als in build_als(g) {
         let space = als.space(3);
-        let mut modes = vec![CrossMode::FirstOnly, CrossMode::Mixed];
-        if als.is_last {
-            modes.push(CrossMode::SecondOnly);
-        }
-        for mode in modes {
+        for &mode in als.modes() {
             let mut cur = space.cursor(mode);
             while let Some(c) = cur.current() {
                 if als.edge(g, c[0], c[1]) && als.edge(g, c[0], c[2]) && als.edge(g, c[1], c[2]) {

@@ -436,13 +436,23 @@ pub fn run_traced(
     })
 }
 
-/// The mode streams Algorithm 2 issues for one ALS.
-fn modes_for(als: &Als) -> Vec<CrossMode> {
-    let mut m = vec![CrossMode::FirstOnly, CrossMode::Mixed];
-    if als.is_last {
-        m.push(CrossMode::SecondOnly);
-    }
-    m
+/// Per-worker-thread reusable step scratch (`addrs`, `lane_combos`):
+/// thousands of blocks run per simulation, and allocating two fresh
+/// vectors per block showed up in the perf baseline. The pool reuses
+/// threads across blocks, so thread-local buffers amortize to zero.
+struct StepScratch {
+    addrs: Vec<u64>,
+    lane_combos: Vec<[u32; 3]>,
+}
+
+thread_local! {
+    static STEP_SCRATCH: std::cell::RefCell<StepScratch> =
+        const { std::cell::RefCell::new(StepScratch { addrs: Vec::new(), lane_combos: Vec::new() }) };
+}
+
+/// Runs `f` with the thread's reusable step scratch.
+fn with_scratch<R>(f: impl FnOnce(&mut StepScratch) -> R) -> R {
+    STEP_SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
 fn make_block_work(als: &[Als], cfg: &GpuConfig) -> Vec<BlockWork> {
@@ -458,7 +468,7 @@ fn make_equal_blocks(als: &[Als], cfg: &GpuConfig) -> Vec<BlockWork> {
     let mut work = Vec::new();
     for (ai, a) in als.iter().enumerate() {
         let space = a.space(3);
-        for mode in modes_for(a) {
+        for &mode in a.modes() {
             let total = space.count(mode);
             let mut start = 0u128;
             while start < total {
@@ -521,48 +531,50 @@ fn simulate_block(
         triangles: 0,
         tests: 0,
     };
-    let mut addrs: Vec<u64> = Vec::with_capacity(warp);
-    let mut lane_combos: Vec<[u32; 3]> = Vec::with_capacity(warp);
-    for range in equal_division(work.len, warps) {
-        if range.len == 0 {
-            continue;
-        }
-        let mut cursor = space.cursor_at(work.mode, work.start + range.start);
-        let mut remaining = range.len;
-        while remaining > 0 {
-            let step = (remaining.min(warp as u128)) as usize;
-            lane_combos.clear();
-            for _ in 0..step {
-                let c = cursor.current().expect("cursor within counted range");
-                lane_combos.push([c[0], c[1], c[2]]);
-                let _ = cursor.advance();
+    with_scratch(|scratch| {
+        let StepScratch { addrs, lane_combos } = scratch;
+        for range in equal_division(work.len, warps) {
+            if range.len == 0 {
+                continue;
             }
-            remaining -= step as u128;
-            sim.tests += step as u128;
-            // Functional test.
-            for c in &lane_combos {
-                if als.edge(g, c[0], c[1]) && als.edge(g, c[0], c[2]) && als.edge(g, c[1], c[2]) {
-                    sim.triangles += 1;
+            let mut cursor = space.cursor_at(work.mode, work.start + range.start);
+            let mut remaining = range.len;
+            while remaining > 0 {
+                let step = (remaining.min(warp as u128)) as usize;
+                lane_combos.clear();
+                for _ in 0..step {
+                    let c = cursor.current().expect("cursor within counted range");
+                    lane_combos.push([c[0], c[1], c[2]]);
+                    let _ = cursor.advance();
                 }
+                remaining -= step as u128;
+                sim.tests += step as u128;
+                // Functional test.
+                for c in lane_combos.iter() {
+                    if als.edge(g, c[0], c[1]) && als.edge(g, c[0], c[2]) && als.edge(g, c[1], c[2])
+                    {
+                        sim.triangles += 1;
+                    }
+                }
+                // Price the three load phases.
+                let step_tx = price_step(
+                    layout,
+                    als,
+                    work.als_idx,
+                    lane_combos,
+                    spec,
+                    addrs,
+                    &mut sim.traffic,
+                );
+                sim.transactions += u64::from(step_tx);
+                sim.compute_cycles += cfg.cost.gpu_step_base_cycles;
+                sim.mem_base_cycles += (f64::from(step_tx)
+                    * spec.transaction_service_cycles as f64
+                    * cfg.cost.gpu_mem_derate)
+                    .round() as u64;
             }
-            // Price the three load phases.
-            let step_tx = price_step(
-                layout,
-                als,
-                work.als_idx,
-                &lane_combos,
-                spec,
-                &mut addrs,
-                &mut sim.traffic,
-            );
-            sim.transactions += u64::from(step_tx);
-            sim.compute_cycles += cfg.cost.gpu_step_base_cycles;
-            sim.mem_base_cycles += (f64::from(step_tx)
-                * spec.transaction_service_cycles as f64
-                * cfg.cost.gpu_mem_derate)
-                .round() as u64;
         }
-    }
+    });
     sim
 }
 
@@ -629,41 +641,41 @@ fn simulate_sampled(
         .map(|(ai, a)| {
             let space = a.space(3);
             let mut rng = Xoshiro256pp::seed_from_u64(0x5A3D ^ (ai as u64) << 8);
-            let mut addrs: Vec<u64> = Vec::with_capacity(warp);
-            let mut lane_combos: Vec<[u32; 3]> = Vec::with_capacity(warp);
             let mut traffic = PartitionTraffic::new(spec);
             let mut sampled_tests = 0u128;
             let mut sampled_tx = 0u64;
             let mut total_tests = 0u128;
-            for mode in modes_for(a) {
-                let total = space.count(mode);
-                total_tests += total;
-                if total == 0 {
-                    continue;
-                }
-                for _ in 0..sample_steps {
-                    let max_start = total.saturating_sub(warp as u128);
-                    let start = if max_start == 0 {
-                        0
-                    } else {
-                        u128::from(rng.next_u64()) % (max_start + 1)
-                    };
-                    let mut cursor = space.cursor_at(mode, start);
-                    lane_combos.clear();
-                    for _ in 0..warp.min(total as usize) {
-                        let Some(c) = cursor.current() else { break };
-                        lane_combos.push([c[0], c[1], c[2]]);
-                        let _ = cursor.advance();
-                    }
-                    if lane_combos.is_empty() {
+            with_scratch(|scratch| {
+                let StepScratch { addrs, lane_combos } = scratch;
+                for &mode in a.modes() {
+                    let total = space.count(mode);
+                    total_tests += total;
+                    if total == 0 {
                         continue;
                     }
-                    sampled_tests += lane_combos.len() as u128;
-                    let tx =
-                        price_step(layout, a, ai, &lane_combos, spec, &mut addrs, &mut traffic);
-                    sampled_tx += u64::from(tx);
+                    for _ in 0..sample_steps {
+                        let max_start = total.saturating_sub(warp as u128);
+                        let start = if max_start == 0 {
+                            0
+                        } else {
+                            u128::from(rng.next_u64()) % (max_start + 1)
+                        };
+                        let mut cursor = space.cursor_at(mode, start);
+                        lane_combos.clear();
+                        for _ in 0..warp.min(total as usize) {
+                            let Some(c) = cursor.current() else { break };
+                            lane_combos.push([c[0], c[1], c[2]]);
+                            let _ = cursor.advance();
+                        }
+                        if lane_combos.is_empty() {
+                            continue;
+                        }
+                        sampled_tests += lane_combos.len() as u128;
+                        let tx = price_step(layout, a, ai, lane_combos, spec, addrs, &mut traffic);
+                        sampled_tx += u64::from(tx);
+                    }
                 }
-            }
+            });
             if total_tests == 0 {
                 return Vec::new();
             }

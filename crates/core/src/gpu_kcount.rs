@@ -13,7 +13,7 @@ use crate::als::build_als;
 use crate::gpu_exec::{GpuConfig, GpuError};
 use crate::layout::{GlobalLayout, LayoutKind};
 use rayon::prelude::*;
-use trigon_combin::{equal_division, CrossMode};
+use trigon_combin::equal_division;
 use trigon_gpu_sim::{emit, warp_transactions, PartitionTraffic, TransferModel};
 use trigon_graph::Graph;
 use trigon_telemetry::{Collector, Tracer};
@@ -120,11 +120,7 @@ pub fn run_k_cliques_traced(
     let mut work = Vec::new();
     for (ai, a) in als.iter().enumerate() {
         let space = a.space(k);
-        let mut modes = vec![CrossMode::FirstOnly, CrossMode::Mixed];
-        if a.is_last {
-            modes.push(CrossMode::SecondOnly);
-        }
-        for mode in modes {
+        for &mode in a.modes() {
             let total = space.count(mode);
             let mut start = 0u128;
             while start < total {

@@ -11,6 +11,12 @@
 //! reports mean nanoseconds per iteration. Good enough to spot order-of-
 //! magnitude regressions offline; swap back to real criterion when a
 //! registry is reachable.
+//!
+//! Besides the human-readable line, each benchmark appends one JSON
+//! object per line (`{"id", "mean_ns", "best_ns", "samples",
+//! "iters_per_sample"}`) to the file named by the
+//! `TRIGON_CRITERION_JSON` environment variable when it is set — the
+//! `repro perf` harness merges that JSONL into `BENCH_perf.json`.
 
 #![deny(missing_docs)]
 
@@ -180,6 +186,51 @@ fn run_bench<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) 
         .map(|d| d.as_nanos() as f64 / b.iters_per_sample.max(1) as f64)
         .fold(f64::INFINITY, f64::min);
     println!("  {label:<40} mean {mean_ns:>12.0} ns/iter   best {best_ns:>12.0} ns/iter");
+    if let Ok(path) = std::env::var("TRIGON_CRITERION_JSON") {
+        if !path.is_empty() {
+            append_jsonl(
+                &path,
+                label,
+                mean_ns,
+                best_ns,
+                b.samples.len(),
+                b.iters_per_sample,
+            );
+        }
+    }
+}
+
+/// Appends one machine-readable result line to `path` (JSONL).
+fn append_jsonl(
+    path: &str,
+    label: &str,
+    mean_ns: f64,
+    best_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+) {
+    use std::io::Write as _;
+    let mut id = String::with_capacity(label.len());
+    for c in label.chars() {
+        match c {
+            '"' => id.push_str("\\\""),
+            '\\' => id.push_str("\\\\"),
+            c if (c as u32) < 0x20 => id.push(' '),
+            c => id.push(c),
+        }
+    }
+    let line = format!(
+        "{{\"id\":\"{id}\",\"mean_ns\":{mean_ns:.1},\"best_ns\":{best_ns:.1},\
+         \"samples\":{samples},\"iters_per_sample\":{iters_per_sample}}}\n"
+    );
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = r {
+        eprintln!("criterion shim: could not append to {path}: {e}");
+    }
 }
 
 /// Bundles benchmark functions, mirroring criterion's macro.
@@ -218,6 +269,24 @@ mod tests {
         });
         group.finish();
         assert!(ran > 0);
+    }
+
+    #[test]
+    fn jsonl_emission_is_machine_readable() {
+        let dir = std::env::temp_dir().join("trigon_criterion_jsonl_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        append_jsonl(path.to_str().unwrap(), "group/\"case\"", 12.5, 10.0, 3, 4);
+        append_jsonl(path.to_str().unwrap(), "plain", 7.0, 7.0, 2, 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\\\"case\\\""));
+        assert!(lines[1].contains("\"id\":\"plain\""));
+        assert!(lines[1].contains("\"mean_ns\":7.0"));
+        assert!(lines[1].contains("\"iters_per_sample\":1"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -130,6 +130,100 @@ impl BfsTree {
     }
 }
 
+/// O(1) BFS-placement queries over a whole graph: for every vertex, the
+/// connected component it belongs to, its BFS level within that
+/// component's tree, and its rank inside the (ascending-sorted) level
+/// set.
+///
+/// This is the support structure behind ALS membership tests: "is `v`
+/// in level `l` of component `c`?" and "what is `v`'s position within
+/// its level?" are both array lookups, replacing the per-probe
+/// `binary_search` the triangle-counting hot loop used to pay. One map
+/// is shared by every ALS of a graph, so the memory cost is `O(n)`
+/// total, not per ALS.
+#[derive(Debug, Clone)]
+pub struct LevelMap {
+    /// Component id per vertex (`u32::MAX` = not recorded yet).
+    component: Vec<u32>,
+    /// BFS level per vertex (`u32::MAX` = not recorded yet).
+    level: Vec<u32>,
+    /// Rank of the vertex inside its sorted level set.
+    rank: Vec<u32>,
+}
+
+impl LevelMap {
+    /// An empty map for a graph with `n` vertices.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        let n = n as usize;
+        Self {
+            component: vec![u32::MAX; n],
+            level: vec![u32::MAX; n],
+            rank: vec![0; n],
+        }
+    }
+
+    /// Records every vertex of `tree` (one component) under component id
+    /// `component`. Levels and ranks follow the tree's sorted level
+    /// sets, the same order ALS construction uses.
+    pub fn record_tree(&mut self, tree: &BfsTree, component: u32) {
+        for (lvl, verts) in tree.levels().iter().enumerate() {
+            for (r, &v) in verts.iter().enumerate() {
+                self.component[v as usize] = component;
+                self.level[v as usize] = lvl as u32;
+                self.rank[v as usize] = r as u32;
+            }
+        }
+    }
+
+    /// Builds the map for all of `g`: one BFS tree per component, rooted
+    /// at the component's smallest vertex (the `build_als` convention).
+    #[must_use]
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut map = Self::new(g.n());
+        for (ci, comp) in crate::components::connected_components(g)
+            .iter()
+            .enumerate()
+        {
+            let tree = BfsTree::new(g, comp[0]);
+            map.record_tree(&tree, ci as u32);
+        }
+        map
+    }
+
+    /// Component id of `v`, or `None` if `v` was never recorded.
+    #[inline]
+    #[must_use]
+    pub fn component_of(&self, v: u32) -> Option<u32> {
+        let c = self.component[v as usize];
+        (c != u32::MAX).then_some(c)
+    }
+
+    /// BFS level of `v` within its component, or `None` if unrecorded.
+    #[inline]
+    #[must_use]
+    pub fn level_of(&self, v: u32) -> Option<u32> {
+        let l = self.level[v as usize];
+        (l != u32::MAX).then_some(l)
+    }
+
+    /// Rank of `v` inside its sorted level set (meaningless for
+    /// unrecorded vertices).
+    #[inline]
+    #[must_use]
+    pub fn rank_of(&self, v: u32) -> u32 {
+        self.rank[v as usize]
+    }
+
+    /// True iff `v` sits at `level` of `component` — the O(1) membership
+    /// probe ALS window tests compile down to.
+    #[inline]
+    #[must_use]
+    pub fn is_at(&self, v: u32, component: u32, level: u32) -> bool {
+        self.component[v as usize] == component && self.level[v as usize] == level
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +310,39 @@ mod tests {
         let t = BfsTree::new(&g, 0);
         assert_eq!(t.depth(), 1);
         assert_eq!(t.component_size(), 1);
+    }
+
+    #[test]
+    fn level_map_matches_trees() {
+        let g = gen::gnp(80, 0.04, 11); // sparse: several components
+        let map = LevelMap::from_graph(&g);
+        for (ci, comp) in crate::components::connected_components(&g)
+            .iter()
+            .enumerate()
+        {
+            let tree = BfsTree::new(&g, comp[0]);
+            for (lvl, verts) in tree.levels().iter().enumerate() {
+                for (r, &v) in verts.iter().enumerate() {
+                    assert_eq!(map.component_of(v), Some(ci as u32));
+                    assert_eq!(map.level_of(v), Some(lvl as u32));
+                    assert_eq!(map.rank_of(v), r as u32);
+                    assert!(map.is_at(v, ci as u32, lvl as u32));
+                    assert!(!map.is_at(v, ci as u32, lvl as u32 + 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_map_covers_every_vertex() {
+        let g = gen::gnp(60, 0.1, 4);
+        let map = LevelMap::from_graph(&g);
+        for v in 0..60 {
+            assert!(map.component_of(v).is_some(), "vertex {v} unrecorded");
+            assert!(map.level_of(v).is_some(), "vertex {v} unrecorded");
+        }
+        let empty_map = LevelMap::new(5);
+        assert_eq!(empty_map.component_of(0), None);
+        assert_eq!(empty_map.level_of(0), None);
     }
 }

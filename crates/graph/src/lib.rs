@@ -47,7 +47,7 @@ pub mod storage;
 pub mod streaming;
 pub mod triangles;
 
-pub use bfs::BfsTree;
+pub use bfs::{BfsTree, LevelMap};
 pub use components::connected_components;
 pub use graph::{Graph, GraphError};
 pub use rng::Xoshiro256pp;

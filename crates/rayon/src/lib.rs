@@ -3,68 +3,31 @@
 //! The build container has no registry access, so the workspace vendors
 //! the *small* slice of rayon's API that trigon actually uses —
 //! `par_iter()` on slices and `Vec`s followed by `enumerate`/`map` and a
-//! terminal `collect`/`sum` — implemented on `std::thread::scope` with a
-//! self-scheduling atomic work index (good load balance for the very
-//! uneven block costs the GPU simulator produces).
+//! terminal `collect`/`sum` — implemented on a **persistent worker
+//! pool** (see [`pool`]): threads are created once per process, jobs are
+//! broadcast to them and self-scheduled in chunks, and the calling
+//! thread participates as a full lane.
 //!
 //! Semantics match rayon where it matters here: results are returned in
-//! input order, and the mapping function runs concurrently across
-//! `available_parallelism` threads.
+//! input order (so even floating-point `sum()`s are deterministic), the
+//! mapping function runs concurrently across [`current_num_threads`]
+//! lanes, and a panic in the closure propagates to the caller without
+//! poisoning the pool. Set `TRIGON_THREADS=1` for deterministic serial
+//! runs, or use [`ThreadPool::new`] + [`ThreadPool::install`] to pin a
+//! thread count for one scope (the benchmark harness sweeps thread
+//! counts this way).
 
 #![deny(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub mod pool;
+
+pub use pool::{current_num_threads, total_threads_spawned, ThreadPool};
+
+use pool::par_map_indexed;
 
 /// The rayon-compatible prelude: `use rayon::prelude::*`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
-}
-
-/// Runs `f` over `items` in input order, self-scheduling across threads.
-fn par_map_indexed<'a, T, U, F>(items: &'a [T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(usize, &'a T) -> U + Sync,
-{
-    let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n.max(1));
-    if threads <= 1 || n <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut gathered: Vec<Vec<(usize, U)>> = Vec::with_capacity(threads);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut local: Vec<(usize, U)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i, &items[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            gathered.push(h.join().expect("worker thread panicked"));
-        }
-    });
-    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    for (i, u) in gathered.into_iter().flatten() {
-        out[i] = Some(u);
-    }
-    out.into_iter()
-        .map(|o| o.expect("every index produced"))
-        .collect()
 }
 
 /// Entry point: `.par_iter()` on slices and `Vec`s.
@@ -155,7 +118,8 @@ where
             .collect()
     }
 
-    /// Sums mapped results.
+    /// Sums mapped results (in input order, so float sums are
+    /// deterministic).
     #[must_use]
     pub fn sum<S: std::iter::Sum<U>>(self) -> S {
         par_map_indexed(self.items, |_, t| (self.f)(t))
@@ -196,6 +160,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ThreadPool;
 
     #[test]
     fn map_collect_preserves_order() {
@@ -230,5 +195,33 @@ mod tests {
         let one = vec![7u32];
         let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn install_scopes_pool_choice() {
+        let p2 = ThreadPool::new(2);
+        let v: Vec<u64> = (0..5_000).collect();
+        let got: u64 = p2.install(|| {
+            assert_eq!(super::current_num_threads(), 2);
+            v.par_iter().map(|x| x + 1).sum()
+        });
+        assert_eq!(got, (0..5_000u64).map(|x| x + 1).sum::<u64>());
+    }
+
+    #[test]
+    fn nested_par_iter_degrades_to_serial() {
+        let p = ThreadPool::new(4);
+        let outer: Vec<u64> = (0..64).collect();
+        let got: u64 = p.install(|| {
+            outer
+                .par_iter()
+                .map(|&x| {
+                    let inner: Vec<u64> = (0..x).collect();
+                    inner.par_iter().map(|y| y + 1).sum::<u64>()
+                })
+                .sum()
+        });
+        let want: u64 = (0..64u64).map(|x| (0..x).map(|y| y + 1).sum::<u64>()).sum();
+        assert_eq!(got, want);
     }
 }

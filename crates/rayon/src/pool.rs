@@ -1,0 +1,366 @@
+//! The persistent worker pool behind `par_iter`.
+//!
+//! Earlier revisions of this shim spawned a fresh `std::thread::scope`
+//! per `par_iter` call — thousands of OS threads over a benchmark run,
+//! with thread creation dominating small parallel sections. This module
+//! replaces that with a process-wide pool created once (lazily, on the
+//! first parallel call) and reused forever after:
+//!
+//! * **Broadcast jobs.** A parallel call publishes one type-erased job;
+//!   every worker (plus the calling thread itself) runs the same
+//!   self-scheduling loop, claiming *chunks* of the index space from a
+//!   shared atomic cursor. Chunking keeps per-item overhead at one
+//!   `fetch_add` per ~`n / (threads · 16)` items, so tiny inputs (the
+//!   narrow ALS windows of path-like graphs) don't pay an atomic per
+//!   element, while dynamic claiming still load-balances the very uneven
+//!   block costs the GPU simulator produces (the same makespan argument
+//!   as the paper's §VI LPT dispatch, applied host-side).
+//! * **Caller participation.** The submitting thread executes chunks
+//!   too, so a 1-thread pool runs fully inline and an idle machine loses
+//!   nothing to handoff latency.
+//! * **Panic propagation.** A panic inside the mapped closure poisons the
+//!   job (other threads stop claiming chunks), is carried back to the
+//!   submitting thread, and is re-raised there — the pool itself survives
+//!   and stays usable.
+//! * **`TRIGON_THREADS`.** The global pool reads this env var once at
+//!   creation: `TRIGON_THREADS=1` gives deterministic serial execution,
+//!   any other positive value pins the worker count. Unset or invalid
+//!   values fall back to `available_parallelism`.
+//!
+//! Explicit pools ([`ThreadPool::new`]) exist for benchmarking a sweep of
+//! thread counts inside one process; [`ThreadPool::install`] scopes the
+//! pool that `par_iter` picks up, mirroring real rayon's API.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Total OS threads ever spawned by any pool in this process. Tests use
+/// this to pin the "threads are created once" property; it only grows
+/// when a new [`ThreadPool`] is built.
+static TOTAL_SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+/// OS threads spawned by pools over the process lifetime. Constant across
+/// repeated `par_iter` calls once the pools involved are warm.
+#[must_use]
+pub fn total_threads_spawned() -> usize {
+    TOTAL_SPAWNED.load(Ordering::SeqCst)
+}
+
+thread_local! {
+    /// Set while this thread is executing pool work (worker thread or
+    /// participating submitter). Nested `par_iter` calls from inside a
+    /// job run serially instead of re-entering the pool (which could
+    /// deadlock the single broadcast slot).
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+    /// Pool override stack installed by [`ThreadPool::install`].
+    static CURRENT_POOL: RefCell<Vec<Arc<Inner>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// True while the current thread is executing a pool job.
+pub(crate) fn in_pool_job() -> bool {
+    IN_POOL_JOB.with(Cell::get)
+}
+
+/// Type-erased pointer to the job closure. The submitter blocks until
+/// every worker has finished the job, so the pointee outlives all uses.
+#[derive(Clone, Copy)]
+struct RawJob(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared by reference across threads) and
+// the submit protocol guarantees it stays alive for the job's duration.
+unsafe impl Send for RawJob {}
+
+struct State {
+    /// Bumped per job; workers run a job exactly once by tracking the
+    /// last epoch they executed.
+    epoch: u64,
+    job: Option<RawJob>,
+    /// Workers still executing the current job.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Workers sleep here between jobs.
+    work_cv: Condvar,
+    /// The submitter sleeps here until `active` drains to zero.
+    done_cv: Condvar,
+    /// Serializes submitters: one broadcast job at a time.
+    submit_lock: Mutex<()>,
+    /// Total concurrency (workers + the participating submitter).
+    threads: usize,
+}
+
+/// A persistent worker pool with rayon-like broadcast execution.
+///
+/// The process-wide default pool is created lazily on first use and
+/// never torn down; explicit pools shut their workers down on drop.
+pub struct ThreadPool {
+    inner: Arc<Inner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Builds a pool with `threads` total lanes of concurrency (the
+    /// submitting thread counts as one, so `threads = 1` spawns no OS
+    /// threads at all).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            submit_lock: Mutex::new(()),
+            threads,
+        });
+        let mut handles = Vec::with_capacity(threads.saturating_sub(1));
+        for i in 1..threads {
+            let inner = Arc::clone(&inner);
+            TOTAL_SPAWNED.fetch_add(1, Ordering::SeqCst);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("trigon-par-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn pool worker"),
+            );
+        }
+        Self { inner, handles }
+    }
+
+    /// Total lanes of concurrency (including the submitting thread).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Runs `f` with this pool installed as the target of `par_iter` on
+    /// the current thread (nested installs stack; the innermost wins).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        CURRENT_POOL.with(|c| c.borrow_mut().push(Arc::clone(&self.inner)));
+        struct PopGuard;
+        impl Drop for PopGuard {
+            fn drop(&mut self) {
+                CURRENT_POOL.with(|c| {
+                    c.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = PopGuard;
+        f()
+    }
+
+    /// Broadcasts `job` to every lane and blocks until all of them have
+    /// run it to completion. `job` must be internally panic-safe: it may
+    /// not unwind (parallel map wraps user code in `catch_unwind`).
+    fn run_job(&self, job: &(dyn Fn() + Sync)) {
+        run_job_on(&self.inner, job);
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("pool state");
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = inner.state.lock().expect("pool state");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    seen = st.epoch;
+                    break st.job.expect("job published with epoch");
+                }
+                st = inner.work_cv.wait(st).expect("pool state");
+            }
+        };
+        IN_POOL_JOB.with(|f| f.set(true));
+        // SAFETY: the submitter keeps the closure alive until `active`
+        // reaches zero, which happens strictly after this call returns.
+        (unsafe { &*job.0 })();
+        IN_POOL_JOB.with(|f| f.set(false));
+        let mut st = inner.state.lock().expect("pool state");
+        st.active -= 1;
+        if st.active == 0 {
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+fn run_job_on(inner: &Arc<Inner>, job: &(dyn Fn() + Sync)) {
+    let _submit = inner.submit_lock.lock().expect("submit lock");
+    {
+        let mut st = inner.state.lock().expect("pool state");
+        st.epoch += 1;
+        // SAFETY: erase the borrow lifetime; this function does not
+        // return until every worker finished running the job.
+        st.job = Some(RawJob(unsafe {
+            std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(job)
+        }));
+        st.active = inner.threads - 1;
+    }
+    inner.work_cv.notify_all();
+    // The submitter is a full lane: it runs the same claiming loop.
+    IN_POOL_JOB.with(|f| f.set(true));
+    job();
+    IN_POOL_JOB.with(|f| f.set(false));
+    let mut st = inner.state.lock().expect("pool state");
+    while st.active > 0 {
+        st = inner.done_cv.wait(st).expect("pool state");
+    }
+    st.job = None;
+}
+
+/// The process-wide default pool (created on first parallel call).
+fn global_pool() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+/// Thread count for the global pool: `TRIGON_THREADS` when set to a
+/// positive integer, else `available_parallelism`.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("TRIGON_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Lanes of concurrency `par_iter` will use on this thread right now:
+/// the installed pool's width, or the global pool's (1 inside a pool
+/// job, where nested parallelism degrades to serial).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if in_pool_job() {
+        return 1;
+    }
+    CURRENT_POOL.with(|c| {
+        c.borrow()
+            .last()
+            .map_or_else(|| global_pool().threads(), |p| p.threads)
+    })
+}
+
+/// Chunk size for `n` items over `threads` lanes: coarse enough that the
+/// shared-cursor `fetch_add` is amortized over many items, fine enough
+/// (16 chunks per lane) that dynamic claiming still evens out skewed
+/// per-item costs.
+fn grain(n: usize, threads: usize) -> usize {
+    (n / (threads * 16)).clamp(1, 4096)
+}
+
+/// Wrapper making a raw output pointer shippable across the pool.
+struct SendPtr<U>(*mut std::mem::MaybeUninit<U>);
+unsafe impl<U: Send> Send for SendPtr<U> {}
+unsafe impl<U: Send> Sync for SendPtr<U> {}
+
+/// Runs `f` over `0..items.len()` on the current pool, writing results
+/// in input order. Serial when the effective pool width is 1, when the
+/// input is trivial, or when called from inside another pool job.
+pub(crate) fn par_map_indexed<'a, T, U, F>(items: &'a [T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &'a T) -> U + Sync,
+{
+    let n = items.len();
+    if in_pool_job() || n <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let installed = CURRENT_POOL.with(|c| c.borrow().last().cloned());
+    let threads = match &installed {
+        Some(p) => p.threads,
+        None => global_pool().threads(),
+    };
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let mut out: Vec<std::mem::MaybeUninit<U>> = Vec::with_capacity(n);
+    out.resize_with(n, std::mem::MaybeUninit::uninit);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    let chunk = grain(n, threads);
+    let poisoned = AtomicBool::new(false);
+    let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    let job = {
+        let out_ptr = &out_ptr;
+        let f = &f;
+        let next = &next;
+        let poisoned = &poisoned;
+        let panic_slot = &panic_slot;
+        move || loop {
+            if poisoned.load(Ordering::Relaxed) {
+                break;
+            }
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                for (j, item) in items[start..end].iter().enumerate() {
+                    let i = start + j;
+                    let v = f(i, item);
+                    // SAFETY: `i` is claimed by exactly one chunk, so no
+                    // other thread writes this slot; the buffer outlives
+                    // the job because the submitter waits for completion.
+                    unsafe { (*out_ptr.0.add(i)).write(v) };
+                }
+            }));
+            if let Err(p) = r {
+                *panic_slot.lock().expect("panic slot") = Some(p);
+                poisoned.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+    };
+    match &installed {
+        Some(inner) => run_job_on(inner, &job),
+        None => global_pool().run_job(&job),
+    }
+
+    if let Some(p) = panic_slot.into_inner().expect("panic slot") {
+        // Some slots may hold initialized values whose destructors we
+        // cannot safely locate; leak them rather than risk a double
+        // interpretation. The process is unwinding anyway.
+        std::mem::forget(out);
+        resume_unwind(p);
+    }
+    // Every index was claimed exactly once and completed: the buffer is
+    // fully initialized.
+    let mut out = std::mem::ManuallyDrop::new(out);
+    let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
+    // SAFETY: MaybeUninit<U> has the same layout as U and all `len`
+    // elements are initialized.
+    unsafe { Vec::from_raw_parts(ptr.cast::<U>(), len, cap) }
+}

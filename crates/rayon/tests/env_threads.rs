@@ -1,0 +1,21 @@
+//! `TRIGON_THREADS` override test. This lives in its own integration
+//! test binary (= its own process) because the global pool latches the
+//! env var exactly once; a single test function avoids racing other
+//! tests for first use.
+
+use rayon::prelude::*;
+
+#[test]
+fn trigon_threads_env_pins_global_pool_width() {
+    // Must run before anything touches the global pool in this process.
+    std::env::set_var("TRIGON_THREADS", "3");
+    assert_eq!(rayon::current_num_threads(), 3);
+    let v: Vec<u64> = (0..10_000).collect();
+    let got: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+    assert_eq!(got, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    // 3 lanes = the caller + 2 spawned workers, created exactly once.
+    let warm = rayon::total_threads_spawned();
+    assert_eq!(warm, 2, "TRIGON_THREADS=3 must spawn 2 workers");
+    let _: u64 = v.par_iter().map(|&x| x).sum();
+    assert_eq!(rayon::total_threads_spawned(), warm);
+}

@@ -5,7 +5,7 @@
 //! trigon gen <model> --n N [--seed S] [-o FILE]         models: gnp, ba, ws, ring, rmat, complete, grid
 //! trigon analyze <FILE>
 //! trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion]
-//!              [--device c1060|c2050|c2070] [--p PROB] [--json] [--trace FILE] [--verbose]
+//!              [--device c1060|c2050|c2070] [--p PROB] [--threads N] [--json] [--trace FILE] [--verbose]
 //! trigon split <FILE> [--device c1060|c2050|c2070]
 //! trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
 //! trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
@@ -53,7 +53,7 @@ const USAGE: &str = "usage:
   trigon devices
   trigon gen <gnp|ba|ws|ring|rmat|complete|grid> --n N [--seed S] [-o FILE]
   trigon analyze <FILE>
-  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--p PROB] [--json] [--trace FILE] [--verbose]
+  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--p PROB] [--threads N] [--json] [--trace FILE] [--verbose]
   trigon split <FILE> [--device c1060|c2050|c2070]
   trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
   trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
@@ -320,12 +320,30 @@ fn cmd_count(args: &[String]) -> Result<(), Error> {
         );
         return Ok(());
     }
-    let report = Analysis::new(&g)
-        .method(Method::parse(method)?)
-        .device(device.clone())
-        .telemetry(level)
-        .tracer(tracer)
-        .run()?;
+    let threads = match flags.get("threads") {
+        Some(s) => Some(s.parse::<usize>().map_err(|_| {
+            Error::bad_config(format!("--threads expects a positive integer, got {s:?}"))
+        })?),
+        None => None,
+    };
+    if threads == Some(0) {
+        return Err(Error::bad_config("--threads must be at least 1"));
+    }
+    let build = || {
+        Analysis::new(&g)
+            .method(Method::parse(method)?)
+            .device(device.clone())
+            .telemetry(level)
+            .tracer(tracer)
+            .run()
+    };
+    let report = match threads {
+        // Pin the CPU-parallel width by running the analysis inside an
+        // explicitly sized pool (`--threads 1` gives a deterministic
+        // serial run regardless of TRIGON_THREADS or core count).
+        Some(t) => rayon::ThreadPool::new(t).install(build)?,
+        None => build()?,
+    };
     if flags.contains_key("json") {
         println!("{}", report.to_json().to_string_pretty());
     } else {

@@ -80,6 +80,35 @@ fn count_with_generated_graph() {
 }
 
 #[test]
+fn count_threads_flag_pins_pool_width() {
+    // Same count at every width, and width 0 is a usage error.
+    let count_at = |t: &str| -> String {
+        let (stdout, stderr, ok) = trigon(&[
+            "count",
+            "--gen",
+            "gnp",
+            "--n",
+            "400",
+            "--method",
+            "cpu-fast",
+            "--threads",
+            t,
+        ]);
+        assert!(ok, "--threads {t} failed: {stderr}");
+        stdout
+            .lines()
+            .find(|l| l.starts_with("triangles"))
+            .unwrap_or_else(|| panic!("no triangle line in:\n{stdout}"))
+            .to_string()
+    };
+    let serial = count_at("1");
+    assert_eq!(count_at("4"), serial);
+    let (_, stderr, ok) = trigon(&["count", "--gen", "gnp", "--n", "50", "--threads", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--threads"), "{stderr}");
+}
+
+#[test]
 fn count_trace_writes_chrome_trace_json() {
     let dir = std::env::temp_dir().join("trigon_cli_test");
     std::fs::create_dir_all(&dir).unwrap();
