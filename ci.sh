@@ -1,50 +1,123 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the full workspace test suite.
+# Local CI gate: formatting, lints, the full workspace test suite, and
+# smoke tests of the trace export, fault recovery, and perf repro paths.
 #
-#   ./ci.sh          # everything
-#   ./ci.sh quick    # skip the slow property-test suite
+#   ./ci.sh            # everything
+#   ./ci.sh quick      # everything, but skip the slow property-test suite
+#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | perf
+#
+# Each stage's wall-clock time is reported in a summary at the end.
 #
 # trigon-bench is excluded from the test step (its Criterion benches are
 # exercised by `cargo bench` instead).
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo fmt --check =="
-cargo fmt --all --check
+# Scratch space for smoke-test artifacts, removed on every exit path
+# (the old inline `mktemp -d` leaked its directory on failure).
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
 
-echo "== cargo clippy -D warnings =="
-cargo clippy --workspace --all-targets -- -D warnings
+mode="${1:-all}"
+timing_names=()
+timing_secs=()
 
-echo "== cargo doc -D warnings =="
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+# run_stage NAME FUNC — runs FUNC when selected, recording wall-clock.
+run_stage() {
+    local name="$1" func="$2"
+    case "$mode" in
+        all | quick) ;;
+        "$name") ;;
+        *) return 0 ;;
+    esac
+    echo "== $name =="
+    local start end
+    start=$SECONDS
+    "$func"
+    end=$SECONDS
+    timing_names+=("$name")
+    timing_secs+=("$((end - start))")
+}
 
-echo "== cargo test =="
-if [ "${1:-}" = "quick" ]; then
-    cargo test --workspace --exclude trigon-bench -- --skip prop_
-else
-    cargo test --workspace --exclude trigon-bench
-fi
+stage_fmt() {
+    cargo fmt --all --check
+}
 
-echo "== trace export smoke test =="
-trace_out="$(mktemp -d)/trace.json"
-cargo run --release --quiet -- count --gen gnp --n 500 --method gpu-opt \
-    --trace "$trace_out" --verbose > /dev/null
-grep -q '"traceEvents"' "$trace_out"
-grep -q '"SM 0"' "$trace_out"
-rm -f "$trace_out"
+stage_clippy() {
+    cargo clippy --workspace --all-targets -- -D warnings
+}
 
-echo "== repro perf smoke test (quick) =="
+stage_doc() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
+
+stage_test() {
+    if [ "$mode" = "quick" ]; then
+        cargo test --workspace --exclude trigon-bench -- --skip prop_
+    else
+        cargo test --workspace --exclude trigon-bench
+    fi
+}
+
+stage_trace() {
+    local trace_out="$scratch/trace.json"
+    cargo run --release --quiet -- count --gen gnp --n 500 --method gpu-opt \
+        --trace "$trace_out" --verbose > /dev/null
+    grep -q '"traceEvents"' "$trace_out"
+    grep -q '"SM 0"' "$trace_out"
+}
+
+# Fault-recovery smoke test: a run with injected transfer and ECC faults
+# must exit 0 and report the exact count of an unfaulted serial run.
+stage_faults() {
+    local serial faulted
+    serial="$(cargo run --release --quiet -- count --gen gnp --n 500 \
+        --method cpu-fast | awk '/^triangles/ {print $2}')"
+    faulted="$(cargo run --release --quiet -- count --gen gnp --n 500 \
+        --method gpu-opt --faults xfer:1,ecc:2 --fault-seed 7 \
+        | awk '/^triangles/ {print $2}')"
+    if [ -z "$serial" ] || [ "$serial" != "$faulted" ]; then
+        echo "fault recovery drifted: serial=$serial faulted=$faulted" >&2
+        return 1
+    fi
+    echo "recovered count $faulted matches serial"
+}
+
 # Measures real wall-clock of the counting strategies, asserts parallel
 # counts are bit-identical to the serial ones (inside run_perf), and
 # enforces the committed normalized regression envelope: >25 % slowdown
 # of the 1-thread fig10 run vs crates/bench/baselines/perf_baseline.json
 # fails. Export TRIGON_PERF_SKIP_REGRESSION=1 to measure without gating
 # (e.g. on a heavily loaded machine).
-cargo run --release --quiet -p trigon-bench --bin repro -- perf --quick \
-    --baseline crates/bench/baselines/perf_baseline.json
-test -s bench_out/BENCH_perf.json
-for key in '"schema_version": 1' '"fig10"' '"fig11"' '"overhead"' '"thread_sweep"'; do
-    grep -q "$key" bench_out/BENCH_perf.json
-done
+stage_perf() {
+    cargo run --release --quiet -p trigon-bench --bin repro -- perf --quick \
+        --baseline crates/bench/baselines/perf_baseline.json
+    test -s bench_out/BENCH_perf.json
+    local key
+    for key in '"schema_version": 1' '"fig10"' '"fig11"' '"overhead"' '"thread_sweep"'; do
+        grep -q "$key" bench_out/BENCH_perf.json
+    done
+}
 
+case "$mode" in
+    all | quick | fmt | clippy | doc | test | trace | faults | perf) ;;
+    *)
+        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|perf]" >&2
+        exit 2
+        ;;
+esac
+
+run_stage fmt stage_fmt
+run_stage clippy stage_clippy
+run_stage doc stage_doc
+run_stage test stage_test
+run_stage trace stage_trace
+run_stage faults stage_faults
+run_stage perf stage_perf
+
+echo
+echo "stage timing:"
+for i in "${!timing_names[@]}"; do
+    printf '  %-8s %3ds\n' "${timing_names[$i]}" "${timing_secs[$i]}"
+done
 echo "CI OK"

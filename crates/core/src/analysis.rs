@@ -27,10 +27,10 @@ use crate::error::Error;
 use crate::gpu_exec::{self, GpuConfig};
 use crate::gpu_kcount::run_k_cliques_traced;
 use crate::hybrid::{run_hybrid_collected, run_hybrid_traced, HybridConfig};
-use crate::report::{Eq6Section, GpuSection, HybridSection, RunReport};
+use crate::report::{Eq6Section, FaultsSection, GpuSection, HybridSection, RunReport};
 use crate::timemodel::CostModel;
 use crate::{count, pipeline};
-use trigon_gpu_sim::DeviceSpec;
+use trigon_gpu_sim::{DeviceSpec, FaultConfig, FaultOutcome};
 use trigon_graph::Graph;
 use trigon_telemetry::{Collector, Level, Tracer};
 
@@ -107,6 +107,7 @@ pub struct Analysis<'g> {
     level: Level,
     max_roots: usize,
     tracer: Option<Tracer>,
+    faults: Option<FaultConfig>,
 }
 
 impl<'g> Analysis<'g> {
@@ -123,6 +124,7 @@ impl<'g> Analysis<'g> {
             level: Level::Standard,
             max_roots: 4,
             tracer: None,
+            faults: None,
         }
     }
 
@@ -172,6 +174,18 @@ impl<'g> Analysis<'g> {
         self
     }
 
+    /// Enables deterministic fault injection with the given plan and
+    /// recovery policy. Only device-backed methods accept faults; the
+    /// hybrid method accepts `xfer` faults only (its kernel is analytic
+    /// and its counts are host-side, so ECC/abort/stall have nothing to
+    /// corrupt). [`Analysis::run`] rejects unsupported combinations with
+    /// [`Error::BadConfig`].
+    #[must_use]
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Supplies an explicit [`Tracer`] for span-level tracing. The run
     /// records into it (when its level allows) and the report returns
     /// it as [`RunReport::tracer`] alongside a [`RunReport::trace`]
@@ -192,6 +206,28 @@ impl<'g> Analysis<'g> {
     /// [`Error::BadConfig`] for invalid configuration (bad block shape,
     /// `k < 2`).
     pub fn run(mut self) -> Result<RunReport, Error> {
+        if let Some(fc) = self.faults.as_ref() {
+            let spec = fc.plan.spec();
+            match self.method {
+                Method::CpuExhaustive | Method::CpuFast => {
+                    return Err(Error::bad_config(
+                        "fault injection requires a simulated-device method (gpu-*, hybrid)",
+                    ));
+                }
+                Method::KCliques(_) => {
+                    return Err(Error::bad_config(
+                        "fault injection is not supported on the k-clique path",
+                    ));
+                }
+                Method::Hybrid if spec.ecc + spec.abort + spec.stall > 0 => {
+                    return Err(Error::bad_config(
+                        "hybrid runs support only xfer faults (the hybrid kernel is \
+                         analytic; there are no device chunk results to corrupt)",
+                    ));
+                }
+                _ => {}
+            }
+        }
         let tracer = self
             .tracer
             .take()
@@ -241,6 +277,7 @@ impl<'g> Analysis<'g> {
                     schedule_imbalance: r.schedule_imbalance,
                 });
                 report.eq6 = eq6;
+                report.faults = faults_section(cfg.faults.as_ref(), r.faults.as_ref());
                 report
             }
             Method::Hybrid => {
@@ -248,9 +285,11 @@ impl<'g> Analysis<'g> {
                     device: self.device.clone(),
                     cost: self.cost,
                     max_roots: self.max_roots,
+                    faults: self.faults,
                 };
                 let r = run_hybrid_traced(g, &cfg, &mut collector, &tracer);
                 let mut report = self.base_report(r.triangles, r.tests, r.total_s);
+                report.faults = faults_section(cfg.faults.as_ref(), r.faults.as_ref());
                 report.hybrid = Some(HybridSection {
                     shared_als: r.shared_als,
                     global_als: r.global_als,
@@ -312,6 +351,9 @@ impl<'g> Analysis<'g> {
             },
         };
         cfg.cost = self.cost;
+        if self.faults.is_some() {
+            cfg.faults = self.faults;
+        }
         if cfg.threads_per_block == 0 || !cfg.threads_per_block.is_multiple_of(cfg.device.warp_size)
         {
             return Err(Error::bad_config(format!(
@@ -334,6 +376,7 @@ impl<'g> Analysis<'g> {
             device: cfg.device.clone(),
             cost: self.cost,
             max_roots: self.max_roots,
+            faults: None,
         };
         let est = run_hybrid_collected(self.graph, &hybrid_cfg, &mut Collector::disabled());
         Some(Eq6Section::new(est.eq6_s, simulated_kernel_s))
@@ -354,11 +397,27 @@ impl<'g> Analysis<'g> {
             gpu: None,
             hybrid: None,
             eq6: None,
+            faults: None,
             trace: None,
             telemetry: Collector::disabled(),
             tracer: Tracer::disabled(),
         }
     }
+}
+
+/// Builds the report's faults section from the applied config and the
+/// executor's outcome (both present iff the run injected).
+fn faults_section(
+    fc: Option<&FaultConfig>,
+    outcome: Option<&FaultOutcome>,
+) -> Option<FaultsSection> {
+    let (fc, o) = fc.zip(outcome)?;
+    Some(FaultsSection::from_outcome(
+        fc.plan.spec().to_string(),
+        fc.plan.seed(),
+        fc.recovery,
+        o,
+    ))
 }
 
 /// Convenience check used by examples: the exact triangle count via the

@@ -30,12 +30,14 @@ use crate::count::count_als_fast;
 use crate::layout::{GlobalLayout, LayoutKind};
 use crate::timemodel::CostModel;
 use rayon::prelude::*;
+use std::collections::VecDeque;
 use trigon_combin::{equal_division, CrossMode};
 use trigon_gpu_sim::{
-    camping_cycles, emit, warp_transactions, DeviceSpec, PartitionTraffic, TransferModel,
+    camping_cycles, emit, warp_transactions, DeviceSpec, FaultConfig, FaultEvent, FaultOutcome,
+    PartitionTraffic, TransferModel,
 };
 use trigon_graph::{Graph, Xoshiro256pp};
-use trigon_telemetry::{AttrValue, Collector, Tracer};
+use trigon_telemetry::{AttrValue, Collector, Tracer, Track};
 
 /// Block→SM dispatch policy (§VI).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +97,11 @@ pub struct GpuConfig {
     pub division: WorkDivision,
     /// Calibration constants.
     pub cost: CostModel,
+    /// Deterministic fault injection + recovery policy. `None` (the
+    /// default) runs the perfect device; `Some` routes dispatch through
+    /// the fault-aware executor — which emits a byte-identical trace
+    /// when the plan injects nothing.
+    pub faults: Option<FaultConfig>,
 }
 
 impl GpuConfig {
@@ -111,6 +118,7 @@ impl GpuConfig {
             tests_per_thread: 512,
             division: WorkDivision::EqualBlocks,
             cost: CostModel::default(),
+            faults: None,
         }
     }
 
@@ -129,6 +137,14 @@ impl GpuConfig {
     #[must_use]
     pub fn sampled(mut self) -> Self {
         self.mode = FidelityMode::Sampled { sample_steps: 64 };
+        self
+    }
+
+    /// Enables deterministic fault injection with the given plan and
+    /// recovery policy.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -193,6 +209,10 @@ pub struct GpuRunResult {
     /// Mean-load / makespan utilization of the SMs (1.0 = perfectly
     /// balanced dispatch).
     pub sm_utilization: f64,
+    /// Fault/recovery accounting, present iff the run was configured
+    /// with [`GpuConfig::faults`] (an empty plan still yields an — all
+    /// zero — outcome).
+    pub faults: Option<FaultOutcome>,
 }
 
 /// One simulated block's accumulated costs.
@@ -282,7 +302,7 @@ pub fn run_traced(
         });
     }
 
-    let blocks = {
+    let (blocks, origins) = {
         let _p = collector.phase("count");
         let _span = tracer.span("count", "phase");
         match cfg.mode {
@@ -306,14 +326,20 @@ pub fn run_traced(
         SchedulePolicy::Greedy => trigon_sched::list_schedule(&job_sizes, spec.sm_count),
         SchedulePolicy::Lpt => trigon_sched::lpt(&job_sizes, spec.sm_count),
     };
-    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); spec.sm_count as usize];
-    for (i, &sm) in schedule.assignment.iter().enumerate() {
-        queues[sm as usize].push(i);
-    }
     // The kernel's simulated timeline starts once the layout has crossed
-    // PCIe; per-block SM spans are offset past the transfer span.
+    // PCIe; per-block SM spans are offset past the transfer span (and,
+    // under fault injection, past every failed attempt and its backoff).
     let transfer_model = TransferModel::from_spec(spec);
-    let kernel_start_cycles = if tracer.enabled() {
+    let mut outcome = cfg.faults.as_ref().map(|_| FaultOutcome::new());
+    let mut transfer_s = transfer_model.transfer_seconds(layout.total_bytes());
+    let mut transfer_landed = true;
+    let kernel_start_cycles = if let (Some(fc), Some(out)) = (cfg.faults.as_ref(), outcome.as_mut())
+    {
+        let t = transfer_with_faults(&transfer_model, layout.total_bytes(), spec, fc, out, tracer);
+        transfer_s = t.seconds;
+        transfer_landed = t.landed;
+        t.end_cycles
+    } else if tracer.enabled() {
         emit::trace_transfer(
             tracer,
             &transfer_model,
@@ -324,14 +350,376 @@ pub fn run_traced(
     } else {
         0
     };
-    let rounds = queues.iter().map(Vec::len).max().unwrap_or(0);
-    let mut kernel_cycles = 0u64;
-    let mut weighted_camping = 0.0f64;
-    let mut camping_weight = 0.0f64;
-    for r in 0..rounds {
-        let active: Vec<usize> = queues.iter().filter_map(|q| q.get(r).copied()).collect();
+
+    let d = if transfer_landed {
+        let ctx = DispatchCtx {
+            g,
+            als: &als,
+            spec,
+            blocks: &blocks,
+            origins: &origins,
+            job_sizes: &job_sizes,
+            assignment: &schedule.assignment,
+            tracer,
+            kernel_start_cycles,
+        };
+        let faults = match (cfg.faults.as_ref(), outcome.as_mut()) {
+            (Some(fc), Some(o)) => Some((fc, o)),
+            _ => None,
+        };
+        dispatch_rounds(ctx, faults)
+    } else {
+        // Transfer retries exhausted: the kernel never launches and the
+        // whole run degrades to the host path — every block's true
+        // contribution is recomputed from its origin.
+        let o = outcome
+            .as_mut()
+            .expect("transfer faults imply a fault config");
+        o.run_cpu_fallback = true;
+        o.record(FaultEvent::RunCpuFallback);
+        tracer.instant_at("recovery.cpu_fallback", Track::Pcie, kernel_start_cycles);
+        let mut triangles = 0u64;
+        let mut fallback_tests = 0u128;
+        for (b, origin) in blocks.iter().zip(&origins) {
+            triangles = triangles.wrapping_add(recompute_origin(g, &als, origin));
+            fallback_tests += b.tests;
+        }
+        Dispatched {
+            kernel_cycles: 0,
+            weighted_camping: 0.0,
+            camping_weight: 0.0,
+            triangles,
+            transactions: 0,
+            fallback_tests,
+        }
+    };
+
+    drop(dispatch_span);
+    drop(dispatch_guard);
+
+    let tests: u128 = blocks.iter().map(|b| b.tests).sum();
+    let kernel_s = if transfer_landed {
+        spec.cycles_to_seconds(d.kernel_cycles) + spec.kernel_launch_s
+    } else {
+        0.0
+    };
+    let mut host_s = cfg.cost.host_prep_seconds(g.n(), g.m());
+    if d.fallback_tests > 0 {
+        host_s += cfg.cost.cpu_seconds(g.n(), d.fallback_tests);
+    }
+    let context_s = cfg.cost.gpu_context_init_s;
+    let makespan_cycles = schedule.makespan();
+    let sm_utilization = emit::sm_utilization(&schedule.loads);
+    let camping_factor = if d.camping_weight > 0.0 {
+        d.weighted_camping / d.camping_weight
+    } else {
+        1.0
+    };
+    if collector.enabled() {
+        let mut all_traffic = PartitionTraffic::new(spec);
+        for b in &blocks {
+            all_traffic.merge(&b.traffic);
+        }
+        emit::emit_traffic(collector, "kernel", &all_traffic);
+        emit::emit_transfer(collector, &transfer_model, layout.total_bytes());
+        collector.add("gpu.transactions", d.transactions);
+        collector.add("gpu.kernel_cycles", d.kernel_cycles);
+        collector.add("gpu.makespan_cycles", makespan_cycles);
+        collector.add("gpu.blocks", blocks.len() as u64);
+        collector.gauge("gpu.sm_utilization", sm_utilization);
+        collector.gauge("gpu.camping_factor", camping_factor);
+        collector.gauge("gpu.schedule_imbalance", schedule.imbalance());
+        if let Some(o) = outcome.as_ref() {
+            collector.add("faults.injected", u64::from(o.injected.total()));
+            collector.add("faults.transfer_retries", u64::from(o.transfer_retries));
+            collector.add("faults.chunk_retries", u64::from(o.chunk_retries));
+            collector.add("faults.reassigned_chunks", o.reassigned_chunks);
+            collector.add("faults.cpu_fallback_chunks", o.cpu_fallback_chunks);
+            collector.add("faults.backoff_cycles", o.backoff_cycles);
+        }
+    }
+    Ok(GpuRunResult {
+        triangles: d.triangles,
+        tests,
+        transactions: d.transactions,
+        camping_factor,
+        kernel_cycles: d.kernel_cycles,
+        kernel_s,
+        transfer_s,
+        host_s,
+        context_s,
+        total_s: kernel_s + transfer_s + host_s + context_s,
+        blocks: blocks.len(),
+        layout_bytes: layout.total_bytes(),
+        schedule_imbalance: schedule.imbalance(),
+        makespan_cycles,
+        sm_utilization,
+        faults: outcome,
+    })
+}
+
+/// How a block's true triangle contribution is recomputed on the host
+/// when recovery has to abandon the device result.
+#[derive(Debug, Clone, Copy)]
+enum BlockOrigin {
+    /// Exhaustive block: functionally re-walk its combination range.
+    Range(BlockWork),
+    /// Sampled pseudo-block carrying its ALS's exact count.
+    AlsTotal(usize),
+    /// Sampled pseudo-block with no triangle share.
+    Zero,
+}
+
+/// Host recomputation of one block's true triangle contribution.
+fn recompute_origin(g: &Graph, als: &[Als], origin: &BlockOrigin) -> u64 {
+    match *origin {
+        BlockOrigin::Range(work) => {
+            let a = &als[work.als_idx];
+            let space = a.space(3);
+            let mut cursor = space.cursor_at(work.mode, work.start);
+            let mut remaining = work.len;
+            let mut t = 0u64;
+            while remaining > 0 {
+                let c = cursor.current().expect("cursor within counted range");
+                if a.edge(g, c[0], c[1]) && a.edge(g, c[0], c[2]) && a.edge(g, c[1], c[2]) {
+                    t += 1;
+                }
+                let _ = cursor.advance();
+                remaining -= 1;
+            }
+            t
+        }
+        BlockOrigin::AlsTotal(ai) => count_als_fast(g, &als[ai]),
+        BlockOrigin::Zero => 0,
+    }
+}
+
+/// End state of the (possibly faulted) H2D transfer.
+pub(crate) struct TransferAttempts {
+    /// Simulated cycle the transfer (or its last failed attempt) ended.
+    pub(crate) end_cycles: u64,
+    /// Modeled seconds across all attempts and backoffs.
+    pub(crate) seconds: f64,
+    /// Whether the data reached the device.
+    pub(crate) landed: bool,
+}
+
+/// Plays the H2D transfer under the fault plan: every injected transfer
+/// fault fails one attempt (traced as its own PCIe span plus a
+/// `fault.xfer` instant) and pays a capped exponential backoff in
+/// simulated cycles before the retry. When the plan holds at least
+/// `max_transfer_retries` failures the transfer never lands and the run
+/// must degrade to the CPU path.
+pub(crate) fn transfer_with_faults(
+    model: &TransferModel,
+    bytes: u64,
+    spec: &DeviceSpec,
+    fc: &FaultConfig,
+    out: &mut FaultOutcome,
+    tracer: &Tracer,
+) -> TransferAttempts {
+    let failures = fc.plan.spec().xfer;
+    let attempt_s = model.transfer_seconds(bytes);
+    let mut cursor = 0u64;
+    let mut seconds = 0.0f64;
+    let mut failed = 0u32;
+    loop {
+        if failed < failures {
+            if failed >= fc.max_transfer_retries {
+                return TransferAttempts {
+                    end_cycles: cursor,
+                    seconds,
+                    landed: false,
+                };
+            }
+            cursor = emit::trace_transfer_labeled(
+                tracer,
+                "H2D transfer (failed)",
+                model,
+                bytes,
+                spec.clock_hz,
+                cursor,
+            );
+            tracer.instant_at("fault.xfer", Track::Pcie, cursor);
+            failed += 1;
+            seconds += attempt_s;
+            out.injected.xfer += 1;
+            out.transfer_retries += 1;
+            out.record(FaultEvent::XferFault { attempt: failed });
+            let backoff = fc.backoff_cycles(failed);
+            out.backoff_cycles += backoff;
+            out.record(FaultEvent::XferRetry {
+                attempt: failed,
+                backoff_cycles: backoff,
+            });
+            cursor += backoff;
+            seconds += spec.cycles_to_seconds(backoff);
+        } else {
+            cursor = emit::trace_transfer_labeled(
+                tracer,
+                "H2D transfer",
+                model,
+                bytes,
+                spec.clock_hz,
+                cursor,
+            );
+            seconds += attempt_s;
+            return TransferAttempts {
+                end_cycles: cursor,
+                seconds,
+                landed: true,
+            };
+        }
+    }
+}
+
+/// Everything the round loop needs to price (and, under faults,
+/// recover) the block dispatch.
+struct DispatchCtx<'a> {
+    g: &'a Graph,
+    als: &'a [Als],
+    spec: &'a DeviceSpec,
+    blocks: &'a [BlockSim],
+    origins: &'a [BlockOrigin],
+    job_sizes: &'a [u64],
+    assignment: &'a [u32],
+    tracer: &'a Tracer,
+    kernel_start_cycles: u64,
+}
+
+/// Aggregates of the dispatch rounds.
+struct Dispatched {
+    kernel_cycles: u64,
+    weighted_camping: f64,
+    camping_weight: f64,
+    triangles: u64,
+    transactions: u64,
+    fallback_tests: u128,
+}
+
+/// The §VI round loop, unified across the perfect and fault-injected
+/// device. With `faults: None` (or an empty plan) it reproduces the
+/// perfect dispatch exactly — same spans, same attributes, same cycle
+/// accounting — which is what the byte-identical-trace property test
+/// pins. Under faults, each completion consumes its pending ECC/abort
+/// injections; recovery requeues the chunk onto the currently
+/// least-loaded surviving SM (Graham's step, the paper's makespan
+/// argument applied online), and a chunk that exhausts its retries is
+/// recomputed on the host.
+fn dispatch_rounds(
+    ctx: DispatchCtx<'_>,
+    mut faults: Option<(&FaultConfig, &mut FaultOutcome)>,
+) -> Dispatched {
+    let DispatchCtx {
+        g,
+        als,
+        spec,
+        blocks,
+        origins,
+        job_sizes,
+        assignment,
+        tracer,
+        kernel_start_cycles,
+    } = ctx;
+    let sm_count = spec.sm_count as usize;
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); sm_count];
+    let mut rem_load = vec![0u64; sm_count];
+    for (i, &sm) in assignment.iter().enumerate() {
+        queues[sm as usize].push_back(i);
+        rem_load[sm as usize] += job_sizes[i];
+    }
+    let rounds0 = queues.iter().map(VecDeque::len).max().unwrap_or(0);
+
+    // Resolve the plan's targets up front so the loop is a pure function
+    // of (graph, config, plan).
+    let mut ecc_pending = vec![0u32; blocks.len()];
+    let mut abort_pending = vec![0u32; blocks.len()];
+    let mut stalls: Vec<(u32, usize)> = Vec::new();
+    if let Some((fc, _)) = faults.as_ref() {
+        for b in fc.plan.ecc_targets(blocks.len()) {
+            ecc_pending[b] += 1;
+        }
+        for b in fc.plan.abort_targets(blocks.len()) {
+            abort_pending[b] += 1;
+        }
+        stalls = fc.plan.stall_targets(spec.sm_count, rounds0);
+    }
+
+    let mut alive = vec![true; sm_count];
+    let mut committed: Vec<Option<u64>> = vec![None; blocks.len()];
+    let mut retries = vec![0u32; blocks.len()];
+    let mut ecc_seen = vec![0u32; blocks.len()];
+    let mut out = Dispatched {
+        kernel_cycles: 0,
+        weighted_camping: 0.0,
+        camping_weight: 0.0,
+        triangles: 0,
+        transactions: 0,
+        fallback_tests: 0,
+    };
+
+    let mut r = 0usize;
+    while queues
+        .iter()
+        .enumerate()
+        .any(|(s, q)| alive[s] && !q.is_empty())
+    {
+        let phase_start = kernel_start_cycles + out.kernel_cycles;
+        // Stalls scheduled for this round strike before it dispatches:
+        // the SM dies and (under recovery) its whole queue migrates to
+        // the survivors, least-loaded first.
+        if let Some((fc, o)) = faults.as_mut() {
+            for &(sm, at) in &stalls {
+                let s = sm as usize;
+                if at != r || !alive[s] {
+                    continue;
+                }
+                alive[s] = false;
+                o.injected.stall += 1;
+                o.stalled_sms += 1;
+                o.record(FaultEvent::SmStall {
+                    sm,
+                    round: r as u32,
+                });
+                tracer.instant_at("fault.stall", Track::Sm(sm), phase_start);
+                let stranded: Vec<usize> = queues[s].drain(..).collect();
+                for b in stranded {
+                    rem_load[s] -= job_sizes[b];
+                    if !fc.recovery {
+                        continue; // stranded for good: its result never arrives
+                    }
+                    if let Some(d) = trigon_sched::least_loaded_alive(&rem_load, &alive) {
+                        queues[d].push_back(b);
+                        rem_load[d] += job_sizes[b];
+                        o.reassigned_chunks += 1;
+                        o.record(FaultEvent::ChunkReassigned {
+                            chunk: b,
+                            from: sm,
+                            to: d as u32,
+                        });
+                        tracer.instant_at("recovery.reassign", Track::Sm(d as u32), phase_start);
+                    } else {
+                        committed[b] = Some(recompute_origin(g, als, &origins[b]));
+                        out.fallback_tests += blocks[b].tests;
+                        o.cpu_fallback_chunks += 1;
+                        o.record(FaultEvent::ChunkCpuFallback { chunk: b });
+                        tracer.instant_at("recovery.cpu_fallback", Track::Pcie, phase_start);
+                    }
+                }
+            }
+        }
+
+        let active: Vec<(usize, usize)> = queues
+            .iter()
+            .enumerate()
+            .filter(|&(s, q)| alive[s] && !q.is_empty())
+            .map(|(s, q)| (s, *q.front().expect("queue checked nonempty")))
+            .collect();
+        if active.is_empty() {
+            break;
+        }
         let mut merged = PartitionTraffic::new(spec);
-        for &b in &active {
+        for &(_, b) in &active {
             merged.merge(&blocks[b].traffic);
         }
         // Camping factor of this phase (1.0 on cached 2.x devices).
@@ -340,24 +728,21 @@ pub fn run_traced(
         } else {
             merged.camping_factor()
         };
+        let block_cycles = |b: usize| {
+            blocks[b].compute_cycles + (blocks[b].mem_base_cycles as f64 * factor).round() as u64
+        };
         let phase_cycles = active
             .iter()
-            .map(|&b| {
-                blocks[b].compute_cycles
-                    + (blocks[b].mem_base_cycles as f64 * factor).round() as u64
-            })
+            .map(|&(_, b)| block_cycles(b))
             .max()
             .unwrap_or(0);
         if tracer.enabled() {
-            let phase_start = kernel_start_cycles + kernel_cycles;
-            for (sm, q) in queues.iter().enumerate() {
-                let Some(&b) = q.get(r) else { continue };
-                let cycles = blocks[b].compute_cycles
-                    + (blocks[b].mem_base_cycles as f64 * factor).round() as u64;
+            for &(sm, b) in &active {
+                let cycles = block_cycles(b);
                 tracer.device_span(
                     &format!("block {b}"),
                     "kernel",
-                    trigon_telemetry::Track::Sm(sm as u32),
+                    Track::Sm(sm as u32),
                     phase_start,
                     cycles,
                     &[
@@ -371,69 +756,97 @@ pub fn run_traced(
                 tracer.record("block.transactions", blocks[b].transactions as f64);
             }
         }
-        kernel_cycles += phase_cycles;
-        let mem_in_phase: u64 = active.iter().map(|&b| blocks[b].mem_base_cycles).sum();
-        weighted_camping += factor * mem_in_phase as f64;
-        camping_weight += mem_in_phase as f64;
-        // One camping_cycles call keeps the latency term in the books.
-        kernel_cycles += camping_cycles(&merged, spec).min(spec.global_latency_cycles);
-    }
 
-    drop(dispatch_span);
-    drop(dispatch_guard);
-
-    let triangles: u64 = blocks.iter().map(|b| b.triangles).sum();
-    let tests: u128 = blocks.iter().map(|b| b.tests).sum();
-    let transactions: u64 = blocks.iter().map(|b| b.transactions).sum();
-    let kernel_s = spec.cycles_to_seconds(kernel_cycles) + spec.kernel_launch_s;
-    let transfer_s = transfer_model.transfer_seconds(layout.total_bytes());
-    let host_s = cfg.cost.host_prep_seconds(g.n(), g.m());
-    let context_s = cfg.cost.gpu_context_init_s;
-    let makespan_cycles = schedule.makespan();
-    let sm_utilization = emit::sm_utilization(&schedule.loads);
-    if collector.enabled() {
-        let mut all_traffic = PartitionTraffic::new(spec);
-        for b in &blocks {
-            all_traffic.merge(&b.traffic);
-        }
-        emit::emit_traffic(collector, "kernel", &all_traffic);
-        emit::emit_transfer(collector, &transfer_model, layout.total_bytes());
-        collector.add("gpu.transactions", transactions);
-        collector.add("gpu.kernel_cycles", kernel_cycles);
-        collector.add("gpu.makespan_cycles", makespan_cycles);
-        collector.add("gpu.blocks", blocks.len() as u64);
-        collector.gauge("gpu.sm_utilization", sm_utilization);
-        collector.gauge(
-            "gpu.camping_factor",
-            if camping_weight > 0.0 {
-                weighted_camping / camping_weight
+        // Completions: pop each active block and commit (or fault) it.
+        let mut round_backoff = 0u64;
+        for &(sm, b) in &active {
+            let popped = queues[sm].pop_front();
+            debug_assert_eq!(popped, Some(b));
+            rem_load[sm] -= job_sizes[b];
+            out.transactions += blocks[b].transactions;
+            let end = phase_start + block_cycles(b);
+            let Some((fc, o)) = faults.as_mut() else {
+                committed[b] = Some(blocks[b].triangles);
+                continue;
+            };
+            let mut faulted = false;
+            if abort_pending[b] > 0 {
+                // The kernel burned its cycles, then died: no result.
+                abort_pending[b] -= 1;
+                o.injected.abort += 1;
+                o.record(FaultEvent::KernelAbort {
+                    chunk: b,
+                    sm: sm as u32,
+                    round: r as u32,
+                });
+                tracer.instant_at("fault.abort", Track::Sm(sm as u32), end);
+                faulted = true;
+            } else if ecc_pending[b] > 0 {
+                // The result lands, but an ECC read corruption XORs it
+                // with a nonzero mask — without recovery this *is* the
+                // committed count (the property suite's negative
+                // control).
+                ecc_pending[b] -= 1;
+                let mask = fc.plan.corruption_mask(b, ecc_seen[b]);
+                ecc_seen[b] += 1;
+                committed[b] = Some(blocks[b].triangles ^ mask);
+                o.injected.ecc += 1;
+                o.record(FaultEvent::EccCorruption {
+                    chunk: b,
+                    sm: sm as u32,
+                    round: r as u32,
+                });
+                tracer.instant_at("fault.ecc", Track::Sm(sm as u32), end);
+                faulted = true;
             } else {
-                1.0
-            },
-        );
-        collector.gauge("gpu.schedule_imbalance", schedule.imbalance());
+                committed[b] = Some(blocks[b].triangles);
+            }
+            if faulted && fc.recovery {
+                retries[b] += 1;
+                let attempt = retries[b];
+                if attempt <= fc.max_chunk_retries {
+                    if let Some(d) = trigon_sched::least_loaded_alive(&rem_load, &alive) {
+                        let backoff = fc.backoff_cycles(attempt);
+                        round_backoff += backoff;
+                        o.backoff_cycles += backoff;
+                        o.chunk_retries += 1;
+                        queues[d].push_back(b);
+                        rem_load[d] += job_sizes[b];
+                        o.record(FaultEvent::ChunkRequeued {
+                            chunk: b,
+                            to: d as u32,
+                            attempt,
+                            backoff_cycles: backoff,
+                        });
+                        tracer.instant_at("recovery.requeue", Track::Sm(d as u32), end);
+                        continue;
+                    }
+                }
+                // Retries exhausted (or no SM left): host recompute.
+                committed[b] = Some(recompute_origin(g, als, &origins[b]));
+                out.fallback_tests += blocks[b].tests;
+                o.cpu_fallback_chunks += 1;
+                o.record(FaultEvent::ChunkCpuFallback { chunk: b });
+                tracer.instant_at("recovery.cpu_fallback", Track::Pcie, end);
+            }
+        }
+        out.kernel_cycles += phase_cycles;
+        let mem_in_phase: u64 = active.iter().map(|&(_, b)| blocks[b].mem_base_cycles).sum();
+        out.weighted_camping += factor * mem_in_phase as f64;
+        out.camping_weight += mem_in_phase as f64;
+        // One camping_cycles call keeps the latency term in the books.
+        out.kernel_cycles += camping_cycles(&merged, spec).min(spec.global_latency_cycles);
+        // Relaunch backoffs serialize on the device timeline.
+        out.kernel_cycles += round_backoff;
+        r += 1;
     }
-    Ok(GpuRunResult {
-        triangles,
-        tests,
-        transactions,
-        camping_factor: if camping_weight > 0.0 {
-            weighted_camping / camping_weight
-        } else {
-            1.0
-        },
-        kernel_cycles,
-        kernel_s,
-        transfer_s,
-        host_s,
-        context_s,
-        total_s: kernel_s + transfer_s + host_s + context_s,
-        blocks: blocks.len(),
-        layout_bytes: layout.total_bytes(),
-        schedule_imbalance: schedule.imbalance(),
-        makespan_cycles,
-        sm_utilization,
-    })
+
+    // Corrupted commits are arbitrary u64s, so the sum wraps instead of
+    // overflowing; the no-fault sum is far below the wrap point.
+    out.triangles = committed
+        .iter()
+        .fold(0u64, |acc, c| acc.wrapping_add(c.unwrap_or(0)));
+    out
 }
 
 /// Per-worker-thread reusable step scratch (`addrs`, `lane_combos`):
@@ -612,11 +1025,14 @@ fn simulate_exhaustive(
     als: &[Als],
     layout: &GlobalLayout,
     cfg: &GpuConfig,
-) -> Vec<BlockSim> {
+) -> (Vec<BlockSim>, Vec<BlockOrigin>) {
     let work = make_block_work(als, cfg);
-    work.par_iter()
+    let sims = work
+        .par_iter()
         .map(|w| simulate_block(g, &als[w.als_idx], layout, cfg, *w))
-        .collect()
+        .collect();
+    let origins = work.into_iter().map(BlockOrigin::Range).collect();
+    (sims, origins)
 }
 
 /// Sampled fidelity: price deterministic sample steps, scale by exact
@@ -627,7 +1043,7 @@ fn simulate_sampled(
     layout: &GlobalLayout,
     cfg: &GpuConfig,
     sample_steps: u32,
-) -> Vec<BlockSim> {
+) -> (Vec<BlockSim>, Vec<BlockOrigin>) {
     let spec = &cfg.device;
     let warp = spec.warp_size as usize;
     let block_tests = u128::from(cfg.threads_per_block) * u128::from(cfg.tests_per_thread);
@@ -635,7 +1051,7 @@ fn simulate_sampled(
     // schedule still has makespan structure.
     let max_jobs_per_als = 4 * spec.sm_count as usize;
 
-    let per_als: Vec<Vec<BlockSim>> = als
+    let per_als: Vec<Vec<(BlockSim, BlockOrigin)>> = als
         .par_iter()
         .enumerate()
         .map(|(ai, a)| {
@@ -704,22 +1120,29 @@ fn simulate_sampled(
                 for (p, &c) in counts.iter().enumerate() {
                     job_traffic.record_bulk(p as u32, c);
                 }
-                out.push(BlockSim {
-                    compute_cycles: job_steps * cfg.cost.gpu_step_base_cycles,
-                    mem_base_cycles: ((total_tx as f64 / jobs as f64)
-                        * spec.transaction_service_cycles as f64
-                        * cfg.cost.gpu_mem_derate)
-                        .round() as u64,
-                    transactions: total_tx / jobs as u64,
-                    traffic: job_traffic,
-                    triangles: if j == 0 { triangles } else { 0 },
-                    tests: job_tests,
-                })
+                out.push((
+                    BlockSim {
+                        compute_cycles: job_steps * cfg.cost.gpu_step_base_cycles,
+                        mem_base_cycles: ((total_tx as f64 / jobs as f64)
+                            * spec.transaction_service_cycles as f64
+                            * cfg.cost.gpu_mem_derate)
+                            .round() as u64,
+                        transactions: total_tx / jobs as u64,
+                        traffic: job_traffic,
+                        triangles: if j == 0 { triangles } else { 0 },
+                        tests: job_tests,
+                    },
+                    if j == 0 {
+                        BlockOrigin::AlsTotal(ai)
+                    } else {
+                        BlockOrigin::Zero
+                    },
+                ))
             }
             out
         })
         .collect();
-    per_als.into_iter().flatten().collect()
+    per_als.into_iter().flatten().unzip()
 }
 
 #[cfg(test)]

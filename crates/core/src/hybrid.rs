@@ -16,9 +16,12 @@ use crate::als::{build_als, Als};
 use crate::count::count_als_fast;
 use crate::split::{split_graph_collected, SplitConfig, SplitResult};
 use crate::timemodel::{eq6_total_time, CostModel};
-use trigon_gpu_sim::{bank_conflict_degree, warp_transactions, DeviceSpec, TransferModel};
+use trigon_gpu_sim::{
+    bank_conflict_degree, warp_transactions, DeviceSpec, FaultConfig, FaultEvent, FaultOutcome,
+    TransferModel,
+};
 use trigon_graph::Graph;
-use trigon_telemetry::{Collector, Tracer};
+use trigon_telemetry::{Collector, Tracer, Track};
 
 /// Where one ALS's adjacency is read from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +44,10 @@ pub struct HybridConfig {
     pub cost: CostModel,
     /// BFS roots tried by the splitter.
     pub max_roots: usize,
+    /// Deterministic fault injection. The hybrid kernel is analytic and
+    /// its counts are host-side, so only `xfer` faults are meaningful
+    /// here; the [`crate::Analysis`] builder rejects the other kinds.
+    pub faults: Option<FaultConfig>,
 }
 
 impl HybridConfig {
@@ -51,6 +58,7 @@ impl HybridConfig {
             device,
             cost: CostModel::default(),
             max_roots: 4,
+            faults: None,
         }
     }
 }
@@ -75,6 +83,9 @@ pub struct HybridResult {
     pub eq6_s: f64,
     /// End-to-end seconds (LPT kernel + transfer + host + context).
     pub total_s: f64,
+    /// Fault/recovery accounting, present iff the run was configured
+    /// with faults.
+    pub faults: Option<FaultOutcome>,
 }
 
 /// Classifies every ALS of `g` against a split result.
@@ -221,7 +232,7 @@ pub fn run_hybrid_traced(
 
     // Intelligent scheduling: LPT over all ALS jobs on the SMs.
     let schedule = trigon_sched::lpt(&jobs_cycles, spec.sm_count);
-    let kernel_s = spec.cycles_to_seconds(schedule.makespan()) + spec.kernel_launch_s;
+    let mut kernel_s = spec.cycles_to_seconds(schedule.makespan()) + spec.kernel_launch_s;
 
     // The paper's naive Eq. 6 pipeline: average per-tier chunk times.
     let global_n = als.len() - shared_n;
@@ -245,24 +256,58 @@ pub fn run_hybrid_traced(
 
     let layout_bytes: u64 = als.iter().map(|a| (a.size_bits() / 8) as u64 + 1).sum();
     let transfer_model = TransferModel::from_spec(spec);
-    let transfer_s = transfer_model.transfer_seconds(layout_bytes);
-    let total_s = kernel_s
-        + transfer_s
-        + cfg.cost.host_prep_seconds(g.n(), g.m())
-        + cfg.cost.gpu_context_init_s;
-
+    let mut faults_outcome = cfg.faults.as_ref().map(|_| FaultOutcome::new());
+    let mut transfer_s = transfer_model.transfer_seconds(layout_bytes);
+    let mut landed = true;
     // Device timeline: jobs start on their SM lanes once the ALS
-    // layouts have crossed PCIe.
-    if tracer.enabled() {
-        let kernel_start = trigon_gpu_sim::emit::trace_transfer(
+    // layouts have crossed PCIe (and, under fault injection, past every
+    // failed attempt plus its backoff).
+    let kernel_start = if let (Some(fc), Some(out)) = (cfg.faults.as_ref(), faults_outcome.as_mut())
+    {
+        let t = crate::gpu_exec::transfer_with_faults(
+            &transfer_model,
+            layout_bytes,
+            spec,
+            fc,
+            out,
+            tracer,
+        );
+        transfer_s = t.seconds;
+        landed = t.landed;
+        t.end_cycles
+    } else if tracer.enabled() {
+        trigon_gpu_sim::emit::trace_transfer(
             tracer,
             &transfer_model,
             layout_bytes,
             spec.clock_hz,
             0,
-        );
-        trigon_sched::trace_schedule(tracer, &schedule, &jobs_cycles, "kernel", kernel_start);
+        )
+    } else {
+        0
+    };
+    let mut cpu_fallback_s = 0.0;
+    if landed {
+        if tracer.enabled() {
+            trigon_sched::trace_schedule(tracer, &schedule, &jobs_cycles, "kernel", kernel_start);
+        }
+    } else {
+        // Transfer retries exhausted: the kernel never launches; the
+        // (already host-exact) count is priced at the CPU path instead.
+        let out = faults_outcome
+            .as_mut()
+            .expect("transfer faults imply a fault config");
+        out.run_cpu_fallback = true;
+        out.record(FaultEvent::RunCpuFallback);
+        tracer.instant_at("recovery.cpu_fallback", Track::Pcie, kernel_start);
+        kernel_s = 0.0;
+        cpu_fallback_s = cfg.cost.cpu_seconds(g.n(), tests);
     }
+    let total_s = kernel_s
+        + transfer_s
+        + cfg.cost.host_prep_seconds(g.n(), g.m())
+        + cfg.cost.gpu_context_init_s
+        + cpu_fallback_s;
 
     drop(count_span);
     drop(count_guard);
@@ -294,6 +339,7 @@ pub fn run_hybrid_traced(
         kernel_s,
         eq6_s,
         total_s,
+        faults: faults_outcome,
     }
 }
 

@@ -14,6 +14,7 @@
 //! ([`RunReport::to_json`]); the schema is pinned by a golden key-path
 //! test, not by values, so timings may vary freely between runs.
 
+use trigon_gpu_sim::FaultOutcome;
 use trigon_telemetry::{Collector, Json, TraceSummary, Tracer};
 
 /// Version of the JSON schema [`RunReport::to_json`] emits. Bump when
@@ -21,8 +22,9 @@ use trigon_telemetry::{Collector, Json, TraceSummary, Tracer};
 ///
 /// History: 1 = initial telemetry schema; 2 = added the `trace`
 /// section ([`TraceSummary`]) and per-partition `partition.*.p{i}`
-/// counters.
-pub const RUN_REPORT_SCHEMA_VERSION: u32 = 2;
+/// counters; 3 = added the `faults` section ([`FaultsSection`])
+/// summarizing fault injection and recovery.
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 3;
 
 /// GPU-simulator detail of a run (absent for pure-CPU methods).
 #[derive(Debug, Clone)]
@@ -68,6 +70,67 @@ pub struct HybridSection {
     /// Eq. 9 bank-conflict degree of the shared-tier access pattern
     /// (1.0 = conflict-free).
     pub bank_conflict_degree: f64,
+}
+
+/// Fault-injection and recovery summary (present when the run was
+/// configured with `--faults` / [`crate::Analysis::faults`]).
+#[derive(Debug, Clone)]
+pub struct FaultsSection {
+    /// Canonical `kind:count` form of the requested plan.
+    pub spec: String,
+    /// Seed the fault targets derive from.
+    pub seed: u64,
+    /// Whether recovery ran (false = negative-control mode).
+    pub recovery: bool,
+    /// ECC corruptions actually injected.
+    pub injected_ecc: u32,
+    /// Transfer failures actually injected.
+    pub injected_xfer: u32,
+    /// Kernel aborts actually injected.
+    pub injected_abort: u32,
+    /// SM stalls actually injected.
+    pub injected_stall: u32,
+    /// Failed transfer attempts that were retried.
+    pub transfer_retries: u32,
+    /// Chunk re-executions.
+    pub chunk_retries: u32,
+    /// Chunks moved off stalled SMs.
+    pub reassigned_chunks: u64,
+    /// Chunks recomputed on the host after exhausting retries.
+    pub cpu_fallback_chunks: u64,
+    /// Whether the whole run degraded to the CPU path.
+    pub run_cpu_fallback: bool,
+    /// SMs that stalled.
+    pub stalled_sms: u32,
+    /// Total retry backoff paid, in device cycles.
+    pub backoff_cycles: u64,
+    /// Length of the ordered fault/recovery event log.
+    pub events: usize,
+}
+
+impl FaultsSection {
+    /// Builds the section from the executor's [`FaultOutcome`] plus the
+    /// plan identity (canonical spec string, seed, recovery flag).
+    #[must_use]
+    pub fn from_outcome(spec: String, seed: u64, recovery: bool, o: &FaultOutcome) -> Self {
+        Self {
+            spec,
+            seed,
+            recovery,
+            injected_ecc: o.injected.ecc,
+            injected_xfer: o.injected.xfer,
+            injected_abort: o.injected.abort,
+            injected_stall: o.injected.stall,
+            transfer_retries: o.transfer_retries,
+            chunk_retries: o.chunk_retries,
+            reassigned_chunks: o.reassigned_chunks,
+            cpu_fallback_chunks: o.cpu_fallback_chunks,
+            run_cpu_fallback: o.run_cpu_fallback,
+            stalled_sms: o.stalled_sms,
+            backoff_cycles: o.backoff_cycles,
+            events: o.events.len(),
+        }
+    }
 }
 
 /// The paper's Eq. 6 execution-time model against the simulation.
@@ -130,6 +193,8 @@ pub struct RunReport {
     pub hybrid: Option<HybridSection>,
     /// Eq. 6 predicted-vs-simulated comparison.
     pub eq6: Option<Eq6Section>,
+    /// Fault-injection/recovery summary (runs configured with faults).
+    pub faults: Option<FaultsSection>,
     /// Trace summary (span counts, critical path, per-SM busy/idle,
     /// histogram quantiles) when the run traced at `Level::Trace`.
     pub trace: Option<TraceSummary>,
@@ -224,6 +289,34 @@ impl RunReport {
         );
 
         root.set(
+            "faults",
+            self.faults.as_ref().map_or(Json::Null, |f| {
+                let mut o = Json::object();
+                o.set("spec", Json::from(f.spec.as_str()));
+                o.set("seed", Json::from(f.seed));
+                o.set("recovery", Json::from(f.recovery));
+                let mut injected = Json::object();
+                injected.set("ecc", Json::from(u64::from(f.injected_ecc)));
+                injected.set("xfer", Json::from(u64::from(f.injected_xfer)));
+                injected.set("abort", Json::from(u64::from(f.injected_abort)));
+                injected.set("stall", Json::from(u64::from(f.injected_stall)));
+                o.set("injected", injected);
+                o.set(
+                    "transfer_retries",
+                    Json::from(u64::from(f.transfer_retries)),
+                );
+                o.set("chunk_retries", Json::from(u64::from(f.chunk_retries)));
+                o.set("reassigned_chunks", Json::from(f.reassigned_chunks));
+                o.set("cpu_fallback_chunks", Json::from(f.cpu_fallback_chunks));
+                o.set("run_cpu_fallback", Json::from(f.run_cpu_fallback));
+                o.set("stalled_sms", Json::from(u64::from(f.stalled_sms)));
+                o.set("backoff_cycles", Json::from(f.backoff_cycles));
+                o.set("events", Json::from(f.events));
+                o
+            }),
+        );
+
+        root.set(
             "trace",
             self.trace
                 .as_ref()
@@ -267,6 +360,7 @@ mod tests {
             }),
             hybrid: None,
             eq6: Some(Eq6Section::new(0.5, 0.4)),
+            faults: None,
             trace: None,
             telemetry: Collector::new(),
             tracer: Tracer::disabled(),
@@ -285,12 +379,14 @@ mod tests {
             "gpu",
             "hybrid",
             "eq6",
+            "faults",
             "trace",
             "telemetry",
         ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
         assert_eq!(j.get("hybrid"), Some(&Json::Null));
+        assert_eq!(j.get("faults"), Some(&Json::Null));
         assert_eq!(j.get("trace"), Some(&Json::Null));
         assert_eq!(j.get("result").unwrap().get("count"), Some(&Json::UInt(7)));
     }

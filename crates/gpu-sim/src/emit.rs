@@ -74,9 +74,23 @@ pub fn trace_transfer(
     clock_hz: u64,
     start_cycles: u64,
 ) -> u64 {
+    trace_transfer_labeled(tracer, "H2D transfer", model, bytes, clock_hz, start_cycles)
+}
+
+/// [`trace_transfer`] with an explicit span label — fault injection uses
+/// it to distinguish failed attempts (`"H2D transfer (failed)"`) from
+/// the one that lands.
+pub fn trace_transfer_labeled(
+    tracer: &Tracer,
+    label: &str,
+    model: &TransferModel,
+    bytes: u64,
+    clock_hz: u64,
+    start_cycles: u64,
+) -> u64 {
     let dur_cycles = (model.transfer_seconds(bytes) * clock_hz as f64).ceil() as u64;
     tracer.device_span(
-        "H2D transfer",
+        label,
         "pcie",
         Track::Pcie,
         start_cycles,

@@ -1,0 +1,496 @@
+//! Deterministic fault injection for the simulated pipeline.
+//!
+//! The paper's chunk-level decomposition (§V) plus makespan scheduling
+//! (§VI) make triangle counting restartable at chunk granularity — the
+//! same property the distributed variants (Sanders & Uhl; Arifuzzaman
+//! et al.) exploit for per-partition recovery. This module supplies the
+//! *adversary*: a seeded [`FaultPlan`] that decides, reproducibly,
+//! where ECC read corruptions, PCIe transfer failures, kernel aborts,
+//! and SM stalls strike a simulated run. The recovery policy lives in
+//! the executor (`trigon-core`); this crate only defines the plan, the
+//! knobs ([`FaultConfig`]), and the event vocabulary
+//! ([`FaultEvent`] / [`FaultOutcome`]) recovery reports back in.
+//!
+//! Everything is a pure function of `(spec, seed)` plus the site counts
+//! the executor hands in — identical inputs give identical fault
+//! schedules on any host, which is what makes the recovery property
+//! tests (`counts stay bit-identical under every plan`) checkable.
+
+use std::fmt;
+
+/// How many faults of each kind a plan injects.
+///
+/// Parsed from the CLI `--faults` syntax: comma-separated `kind:count`
+/// pairs, e.g. `"xfer:1,ecc:2"`. Kinds: `ecc` (read corruption of one
+/// chunk's result), `xfer` (failed H2D PCIe transfer), `abort` (kernel
+/// abort of one chunk mid-flight), `stall` (one SM stops dispatching).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// ECC read corruptions of completed chunk results.
+    pub ecc: u32,
+    /// Failed host→device transfer attempts.
+    pub xfer: u32,
+    /// Kernel aborts of in-flight chunks.
+    pub abort: u32,
+    /// SMs that stall and stop dispatching work.
+    pub stall: u32,
+}
+
+impl FaultSpec {
+    /// Parses the `kind:count[,kind:count...]` CLI syntax.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending fragment: unknown
+    /// kind, missing/garbled count, duplicate kind, or an empty spec.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        let mut seen = [false; 4];
+        if s.trim().is_empty() {
+            return Err("empty fault spec; expected kind:count[,kind:count...]".into());
+        }
+        for part in s.split(',') {
+            let part = part.trim();
+            let (kind, count) = part
+                .split_once(':')
+                .ok_or_else(|| format!("fault {part:?} is not kind:count"))?;
+            let n: u32 = count
+                .parse()
+                .map_err(|_| format!("fault count {count:?} in {part:?} is not a number"))?;
+            let idx = match kind {
+                "ecc" => 0,
+                "xfer" => 1,
+                "abort" => 2,
+                "stall" => 3,
+                other => {
+                    return Err(format!(
+                        "unknown fault kind {other:?} (expected ecc|xfer|abort|stall)"
+                    ));
+                }
+            };
+            if seen[idx] {
+                return Err(format!("duplicate fault kind {kind:?}"));
+            }
+            seen[idx] = true;
+            match idx {
+                0 => spec.ecc = n,
+                1 => spec.xfer = n,
+                2 => spec.abort = n,
+                _ => spec.stall = n,
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Whether the spec injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ecc == 0 && self.xfer == 0 && self.abort == 0 && self.stall == 0
+    }
+
+    /// Total faults across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.ecc + self.xfer + self.abort + self.stall
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    /// Canonical `kind:count` form (kinds in `ecc,xfer,abort,stall`
+    /// order, zero counts omitted; `"none"` when empty).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("none");
+        }
+        let mut first = true;
+        for (name, n) in [
+            ("ecc", self.ecc),
+            ("xfer", self.xfer),
+            ("abort", self.abort),
+            ("stall", self.stall),
+        ] {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                f.write_str(",")?;
+            }
+            write!(f, "{name}:{n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 — the tiny, dependency-free PRNG the plan draws targets
+/// from. One independent stream per fault kind keeps target choices
+/// decoupled: adding `stall:1` to a spec does not move where the `ecc`
+/// faults land.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A seeded, deterministic fault plan: *what* to inject ([`FaultSpec`])
+/// and *where*, derived reproducibly from the seed once the executor
+/// reports how many injection sites (chunks, SMs, rounds) exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a spec and a seed.
+    #[must_use]
+    pub fn new(spec: FaultSpec, seed: u64) -> Self {
+        Self { spec, seed }
+    }
+
+    /// The spec this plan injects.
+    #[must_use]
+    pub fn spec(&self) -> FaultSpec {
+        self.spec
+    }
+
+    /// The seed the targets derive from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// One independent target stream per fault kind.
+    fn stream(&self, kind_tag: u64) -> SplitMix64 {
+        SplitMix64(self.seed ^ kind_tag.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Chunk indices hit by ECC read corruption (with replacement: the
+    /// same chunk can be struck more than once). Empty when there are
+    /// no chunks.
+    #[must_use]
+    pub fn ecc_targets(&self, chunks: usize) -> Vec<usize> {
+        self.draw_chunks(1, self.spec.ecc, chunks)
+    }
+
+    /// Chunk indices whose kernel execution aborts mid-flight.
+    #[must_use]
+    pub fn abort_targets(&self, chunks: usize) -> Vec<usize> {
+        self.draw_chunks(2, self.spec.abort, chunks)
+    }
+
+    /// `(sm, round)` pairs of SMs that stall. SMs are distinct and at
+    /// least one SM always survives, so recovery has somewhere to move
+    /// the stranded work (a full-device loss is a transfer-exhaustion /
+    /// CPU-fallback scenario, not a stall one).
+    #[must_use]
+    pub fn stall_targets(&self, sms: u32, rounds: usize) -> Vec<(u32, usize)> {
+        if sms <= 1 || rounds == 0 || self.spec.stall == 0 {
+            return Vec::new();
+        }
+        let mut rng = self.stream(3);
+        let max_stalls = (sms - 1).min(self.spec.stall);
+        let mut hit: Vec<u32> = Vec::with_capacity(max_stalls as usize);
+        while hit.len() < max_stalls as usize {
+            let sm = (rng.next() % u64::from(sms)) as u32;
+            if !hit.contains(&sm) {
+                hit.push(sm);
+            }
+        }
+        hit.into_iter()
+            .map(|sm| (sm, (rng.next() % rounds as u64) as usize))
+            .collect()
+    }
+
+    /// The deterministic garbage a struck chunk's result is XORed with —
+    /// always nonzero, so a corruption never silently preserves the
+    /// value.
+    #[must_use]
+    pub fn corruption_mask(&self, chunk: usize, occurrence: u32) -> u64 {
+        let mut rng = self.stream(4 ^ (chunk as u64) << 8 ^ u64::from(occurrence) << 40);
+        rng.next() | 1
+    }
+
+    fn draw_chunks(&self, tag: u64, count: u32, chunks: usize) -> Vec<usize> {
+        if chunks == 0 || count == 0 {
+            return Vec::new();
+        }
+        let mut rng = self.stream(tag);
+        (0..count)
+            .map(|_| (rng.next() % chunks as u64) as usize)
+            .collect()
+    }
+}
+
+/// Fault injection plus the recovery knobs the executor honors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// The seeded plan.
+    pub plan: FaultPlan,
+    /// Whether recovery runs. With `false`, faults land uncorrected —
+    /// the negative control the property suite uses to prove the
+    /// injection is real (counts *must* drift without recovery).
+    pub recovery: bool,
+    /// Transfer attempts before the whole run degrades to the CPU path.
+    pub max_transfer_retries: u32,
+    /// Re-executions of one chunk before it degrades to the CPU path.
+    pub max_chunk_retries: u32,
+    /// Base of the capped exponential retry backoff, in device cycles.
+    pub backoff_base_cycles: u64,
+    /// Backoff cap in device cycles.
+    pub backoff_cap_cycles: u64,
+}
+
+impl FaultConfig {
+    /// A config with the default recovery policy: recovery on, 8
+    /// transfer retries, 3 chunk retries, 1k-cycle base backoff capped
+    /// at 64k cycles.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            recovery: true,
+            max_transfer_retries: 8,
+            max_chunk_retries: 3,
+            backoff_base_cycles: 1_000,
+            backoff_cap_cycles: 64_000,
+        }
+    }
+
+    /// Capped exponential backoff before retry `attempt` (1-based):
+    /// `min(base · 2^(attempt−1), cap)` simulated cycles.
+    #[must_use]
+    pub fn backoff_cycles(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .backoff_base_cycles
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(u64::MAX);
+        shifted.min(self.backoff_cap_cycles)
+    }
+}
+
+/// One fault or recovery action, in the order it happened. The sequence
+/// is part of the determinism contract: same graph + config + plan ⇒
+/// byte-identical event list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// H2D transfer attempt `attempt` (1-based) failed.
+    XferFault {
+        /// Failed attempt number.
+        attempt: u32,
+    },
+    /// Transfer retry scheduled after a backoff.
+    XferRetry {
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Backoff paid before the retry, in device cycles.
+        backoff_cycles: u64,
+    },
+    /// Transfer retries exhausted — the whole run fell back to the CPU
+    /// path.
+    RunCpuFallback,
+    /// SM `sm` stalled at dispatch round `round`.
+    SmStall {
+        /// Stalled SM.
+        sm: u32,
+        /// Round the stall struck.
+        round: u32,
+    },
+    /// A stranded chunk was moved from a stalled SM to a survivor.
+    ChunkReassigned {
+        /// Chunk (block) index.
+        chunk: usize,
+        /// SM it was queued on.
+        from: u32,
+        /// Surviving SM it moved to.
+        to: u32,
+    },
+    /// ECC corrupted chunk `chunk`'s result as SM `sm` completed it.
+    EccCorruption {
+        /// Chunk (block) index.
+        chunk: usize,
+        /// SM that held the corrupted result.
+        sm: u32,
+        /// Dispatch round of the corruption.
+        round: u32,
+    },
+    /// Chunk `chunk` aborted mid-kernel on SM `sm`.
+    KernelAbort {
+        /// Chunk (block) index.
+        chunk: usize,
+        /// SM it aborted on.
+        sm: u32,
+        /// Dispatch round of the abort.
+        round: u32,
+    },
+    /// A faulted chunk was requeued for re-execution.
+    ChunkRequeued {
+        /// Chunk (block) index.
+        chunk: usize,
+        /// SM it was requeued on.
+        to: u32,
+        /// Re-execution attempt number (1-based).
+        attempt: u32,
+        /// Backoff paid before relaunch, in device cycles.
+        backoff_cycles: u64,
+    },
+    /// A chunk exhausted its retries and was recomputed on the host.
+    ChunkCpuFallback {
+        /// Chunk (block) index.
+        chunk: usize,
+    },
+}
+
+/// Everything recovery did during one run — the numbers the
+/// `RunReport.faults` section summarizes, plus the ordered event log
+/// the determinism tests compare.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// Faults actually injected (≤ the spec when sites ran out — e.g.
+    /// more stalls than SMs).
+    pub injected: FaultSpec,
+    /// Failed transfer attempts that were retried.
+    pub transfer_retries: u32,
+    /// Chunk re-executions (ECC + abort recoveries).
+    pub chunk_retries: u32,
+    /// Chunks moved off stalled SMs onto survivors.
+    pub reassigned_chunks: u64,
+    /// Chunks that exhausted retries and recomputed on the host.
+    pub cpu_fallback_chunks: u64,
+    /// Whether transfer exhaustion degraded the whole run to the CPU.
+    pub run_cpu_fallback: bool,
+    /// SMs that stalled.
+    pub stalled_sms: u32,
+    /// Total backoff paid, in device cycles.
+    pub backoff_cycles: u64,
+    /// Ordered fault/recovery log.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultOutcome {
+    /// An empty outcome (no faults fired yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event to the ordered log.
+    pub fn record(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip_and_canonical_order() {
+        let s = FaultSpec::parse("xfer:1,ecc:2").unwrap();
+        assert_eq!(s.ecc, 2);
+        assert_eq!(s.xfer, 1);
+        assert_eq!(s.to_string(), "ecc:2,xfer:1");
+        let all = FaultSpec::parse("stall:3,abort:1,ecc:2,xfer:1").unwrap();
+        assert_eq!(all.to_string(), "ecc:2,xfer:1,abort:1,stall:3");
+        assert_eq!(all.total(), 7);
+        assert_eq!(FaultSpec::default().to_string(), "none");
+        assert!(FaultSpec::default().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "  ",
+            "ecc",
+            "ecc:",
+            "ecc:x",
+            "ecc:-1",
+            "flip:1",
+            "ecc:1,ecc:2",
+            "ecc:1,,xfer:2",
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn targets_are_deterministic_per_seed() {
+        let spec = FaultSpec::parse("ecc:3,abort:2,stall:2").unwrap();
+        let a = FaultPlan::new(spec, 7);
+        let b = FaultPlan::new(spec, 7);
+        assert_eq!(a.ecc_targets(100), b.ecc_targets(100));
+        assert_eq!(a.abort_targets(100), b.abort_targets(100));
+        assert_eq!(a.stall_targets(30, 12), b.stall_targets(30, 12));
+        let c = FaultPlan::new(spec, 8);
+        assert!(
+            a.ecc_targets(1000) != c.ecc_targets(1000)
+                || a.abort_targets(1000) != c.abort_targets(1000),
+            "different seeds should move targets"
+        );
+    }
+
+    #[test]
+    fn kind_streams_are_independent() {
+        let with_stall = FaultPlan::new(FaultSpec::parse("ecc:3,stall:2").unwrap(), 42);
+        let without = FaultPlan::new(FaultSpec::parse("ecc:3").unwrap(), 42);
+        assert_eq!(with_stall.ecc_targets(64), without.ecc_targets(64));
+    }
+
+    #[test]
+    fn targets_respect_site_counts() {
+        let plan = FaultPlan::new(FaultSpec::parse("ecc:5,stall:40").unwrap(), 1);
+        assert!(plan.ecc_targets(0).is_empty());
+        assert!(plan.ecc_targets(3).iter().all(|&b| b < 3));
+        // At least one SM survives.
+        let stalls = plan.stall_targets(4, 10);
+        assert_eq!(stalls.len(), 3);
+        let mut sms: Vec<u32> = stalls.iter().map(|&(s, _)| s).collect();
+        sms.sort_unstable();
+        sms.dedup();
+        assert_eq!(sms.len(), 3, "stalled SMs must be distinct");
+        assert!(stalls.iter().all(|&(s, r)| s < 4 && r < 10));
+        assert!(plan.stall_targets(1, 10).is_empty());
+        assert!(plan.stall_targets(4, 0).is_empty());
+    }
+
+    #[test]
+    fn corruption_mask_never_zero() {
+        let plan = FaultPlan::new(FaultSpec::parse("ecc:1").unwrap(), 0);
+        for chunk in 0..50 {
+            for occ in 0..4 {
+                assert_ne!(plan.corruption_mask(chunk, occ), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let fc = FaultConfig::new(FaultPlan::new(FaultSpec::default(), 0));
+        assert_eq!(fc.backoff_cycles(1), 1_000);
+        assert_eq!(fc.backoff_cycles(2), 2_000);
+        assert_eq!(fc.backoff_cycles(3), 4_000);
+        assert_eq!(fc.backoff_cycles(7), 64_000);
+        assert_eq!(fc.backoff_cycles(30), 64_000, "cap holds");
+        assert_eq!(fc.backoff_cycles(100), 64_000, "no shift overflow");
+    }
+
+    #[test]
+    fn outcome_event_log_is_ordered() {
+        let mut o = FaultOutcome::new();
+        o.record(FaultEvent::XferFault { attempt: 1 });
+        o.record(FaultEvent::XferRetry {
+            attempt: 1,
+            backoff_cycles: 1000,
+        });
+        assert_eq!(o.events.len(), 2);
+        assert_eq!(o.events[0], FaultEvent::XferFault { attempt: 1 });
+    }
+}

@@ -30,6 +30,7 @@
 pub mod coalesce;
 pub mod device;
 pub mod emit;
+pub mod faults;
 pub mod kernel;
 pub mod occupancy;
 pub mod partition;
@@ -40,8 +41,9 @@ pub mod xfer;
 
 pub use coalesce::{warp_transactions, CoalesceSummary};
 pub use device::{ComputeCapability, DeviceSpec};
-pub use emit::trace_transfer;
 pub use emit::{emit_kernel_timing, emit_traffic, emit_transfer, sm_utilization};
+pub use emit::{trace_transfer, trace_transfer_labeled};
+pub use faults::{FaultConfig, FaultEvent, FaultOutcome, FaultPlan, FaultSpec};
 pub use kernel::{BlockCost, KernelSim, KernelTiming};
 pub use occupancy::{occupancy, KernelResources, Occupancy, SmLimits};
 pub use partition::{camping_cycles, PartitionTraffic};

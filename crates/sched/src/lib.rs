@@ -136,6 +136,27 @@ pub fn lpt(jobs: &[u64], machines: u32) -> Schedule {
     Schedule { assignment, loads }
 }
 
+/// Online Graham step for fault recovery: the least-loaded machine among
+/// the survivors (`alive[i]`), breaking ties toward the lower index.
+/// Returns `None` when no machine survives. This is the §VI makespan
+/// argument applied *online*: when an SM stalls or a chunk must be
+/// re-executed, the stranded job goes where it extends the schedule
+/// least.
+///
+/// # Panics
+///
+/// Panics if `loads` and `alive` have different lengths.
+#[must_use]
+pub fn least_loaded_alive(loads: &[u64], alive: &[bool]) -> Option<usize> {
+    assert_eq!(loads.len(), alive.len(), "loads/alive length mismatch");
+    loads
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| alive[i])
+        .min_by_key(|&(i, &l)| (l, i))
+        .map(|(i, _)| i)
+}
+
 /// Exact optimal makespan by depth-first branch and bound. Exponential —
 /// intended for validation on instances of ≲ 20 jobs (the problem is
 /// NP-hard even for two machines, as §VI stresses).
@@ -376,5 +397,23 @@ mod tests {
     #[should_panic(expected = "at least one machine")]
     fn zero_machines_rejected() {
         let _ = lpt(&[1], 0);
+    }
+
+    #[test]
+    fn least_loaded_alive_skips_dead_machines() {
+        let loads = [10u64, 2, 5, 1];
+        assert_eq!(least_loaded_alive(&loads, &[true; 4]), Some(3));
+        assert_eq!(
+            least_loaded_alive(&loads, &[true, true, true, false]),
+            Some(1)
+        );
+        assert_eq!(
+            least_loaded_alive(&loads, &[true, false, false, false]),
+            Some(0)
+        );
+        assert_eq!(least_loaded_alive(&loads, &[false; 4]), None);
+        // Ties break toward the lower index.
+        assert_eq!(least_loaded_alive(&[3, 3, 3], &[true; 3]), Some(0));
+        assert_eq!(least_loaded_alive(&[], &[]), None);
     }
 }

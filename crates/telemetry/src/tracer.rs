@@ -116,8 +116,10 @@ pub struct SpanRecord {
     pub args: Vec<(String, AttrValue)>,
 }
 
-/// A point-in-time marker.
-#[derive(Debug, Clone)]
+/// A point-in-time marker. Instants on device tracks carry
+/// simulated-cycle timestamps, so their sequence is fully deterministic
+/// — fault-injection tests compare them with `==` across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstantRecord {
     /// Event name.
     pub name: String,
@@ -462,6 +464,13 @@ impl Tracer {
     #[must_use]
     pub fn spans(&self) -> Vec<SpanRecord> {
         self.inner.borrow().spans.clone()
+    }
+
+    /// All recorded instants, in recording order (host instants in ns,
+    /// device instants in cycles).
+    #[must_use]
+    pub fn instants(&self) -> Vec<InstantRecord> {
+        self.inner.borrow().instants.clone()
     }
 
     fn device_clock_hz(&self) -> f64 {

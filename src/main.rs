@@ -5,7 +5,8 @@
 //! trigon gen <model> --n N [--seed S] [-o FILE]         models: gnp, ba, ws, ring, rmat, complete, grid
 //! trigon analyze <FILE>
 //! trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion]
-//!              [--device c1060|c2050|c2070] [--p PROB] [--threads N] [--json] [--trace FILE] [--verbose]
+//!              [--device c1060|c2050|c2070] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N]
+//!              [--json] [--trace FILE] [--verbose]
 //! trigon split <FILE> [--device c1060|c2050|c2070]
 //! trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
 //! trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
@@ -19,7 +20,8 @@ use std::collections::HashMap;
 use std::io::BufReader;
 use trigon::core::split::{split_graph, SplitConfig};
 use trigon::gpu_sim::{
-    render_partition_histogram, render_sm_timeline, DeviceSpec, PartitionTraffic,
+    render_partition_histogram, render_sm_timeline, DeviceSpec, FaultConfig, FaultPlan, FaultSpec,
+    PartitionTraffic,
 };
 use trigon::graph::{approx, cores, gen, io, triangles, BfsTree, Graph};
 use trigon::{Analysis, Error, Level, Method, RunReport, Tracer};
@@ -53,7 +55,10 @@ const USAGE: &str = "usage:
   trigon devices
   trigon gen <gnp|ba|ws|ring|rmat|complete|grid> --n N [--seed S] [-o FILE]
   trigon analyze <FILE>
-  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--p PROB] [--threads N] [--json] [--trace FILE] [--verbose]
+  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--verbose]
+    --faults SPEC   inject deterministic simulated faults; SPEC is a comma list
+                    of kind:count pairs (kinds: ecc, xfer, abort, stall), e.g.
+                    --faults xfer:1,ecc:2 --fault-seed 7
   trigon split <FILE> [--device c1060|c2050|c2070]
   trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
   trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
@@ -102,6 +107,33 @@ fn parse(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), Erro
         }
     }
     Ok((pos, flags))
+}
+
+/// Builds the fault-injection config from `--faults SPEC` / `--fault-seed N`.
+///
+/// A malformed SPEC is a parse error (exit 4); `--fault-seed` without
+/// `--faults` is a configuration error (exit 2). The seed defaults to 0.
+fn faults_for(flags: &HashMap<String, String>) -> Result<Option<FaultConfig>, Error> {
+    let spec = match flags.get("faults") {
+        None => {
+            if flags.contains_key("fault-seed") {
+                return Err(Error::bad_config(
+                    "--fault-seed needs --faults SPEC (nothing to inject)",
+                ));
+            }
+            return Ok(None);
+        }
+        Some(s) => FaultSpec::parse(s).map_err(|e| Error::Parse(format!("--faults: {e}")))?,
+    };
+    let seed: u64 = match flags.get("fault-seed") {
+        None => 0,
+        Some(s) => s.parse().map_err(|_| {
+            Error::bad_config(format!(
+                "--fault-seed expects an unsigned integer, got {s:?}"
+            ))
+        })?,
+    };
+    Ok(Some(FaultConfig::new(FaultPlan::new(spec, seed))))
 }
 
 fn device_for(flags: &HashMap<String, String>) -> Result<DeviceSpec, Error> {
@@ -276,6 +308,37 @@ fn print_report(r: &RunReport) {
             "chunks", h.chunks, h.oversize_chunks
         );
     }
+    if let Some(f) = &r.faults {
+        println!(
+            "{:<14}{} (seed {}) — injected ecc:{} xfer:{} abort:{} stall:{}",
+            "faults",
+            f.spec,
+            f.seed,
+            f.injected_ecc,
+            f.injected_xfer,
+            f.injected_abort,
+            f.injected_stall
+        );
+        println!(
+            "{:<14}{} transfer retries, {} chunk retries, {} reassigned, {} cpu-fallback chunks{}",
+            "recovery",
+            f.transfer_retries,
+            f.chunk_retries,
+            f.reassigned_chunks,
+            f.cpu_fallback_chunks,
+            if f.run_cpu_fallback {
+                " (run fell back to CPU)"
+            } else {
+                ""
+            }
+        );
+        if f.stalled_sms > 0 || f.backoff_cycles > 0 {
+            println!(
+                "{:<14}{} SMs stalled, {} backoff cycles, {} events",
+                "degradation", f.stalled_sms, f.backoff_cycles, f.events
+            );
+        }
+    }
     if let Some(e) = &r.eq6 {
         println!(
             "{:<14}predicted {:.4} s vs simulated {:.4} s (ratio {:.2})",
@@ -329,13 +392,17 @@ fn cmd_count(args: &[String]) -> Result<(), Error> {
     if threads == Some(0) {
         return Err(Error::bad_config("--threads must be at least 1"));
     }
+    let faults = faults_for(&flags)?;
     let build = || {
-        Analysis::new(&g)
+        let mut a = Analysis::new(&g)
             .method(Method::parse(method)?)
             .device(device.clone())
             .telemetry(level)
-            .tracer(tracer)
-            .run()
+            .tracer(tracer);
+        if let Some(fc) = faults {
+            a = a.faults(fc);
+        }
+        a.run()
     };
     let report = match threads {
         // Pin the CPU-parallel width by running the analysis inside an

@@ -14,6 +14,19 @@ fn trigon(args: &[&str]) -> (String, String, bool) {
     )
 }
 
+/// Like [`trigon`] but returns the raw exit code for error-path tests.
+fn trigon_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_trigon"))
+        .args(args)
+        .output()
+        .expect("spawn trigon");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("exit code"),
+    )
+}
+
 #[test]
 fn devices_prints_table() {
     let (stdout, _, ok) = trigon(&["devices"]);
@@ -220,6 +233,100 @@ fn camping_demo_renders() {
     assert!(ok);
     assert!(stdout.contains("camping factor 7.50"));
     assert!(stdout.contains("camping factor 1.00"));
+}
+
+#[test]
+fn count_with_faults_recovers_and_reports() {
+    // Serial reference.
+    let (serial, _, ok) = trigon(&[
+        "count", "--gen", "gnp", "--n", "500", "--method", "cpu-fast",
+    ]);
+    assert!(ok);
+    let line = serial
+        .lines()
+        .find(|l| l.starts_with("triangles"))
+        .expect("triangle line")
+        .to_string();
+    // Faulted simulated run: same count, plus the fault/recovery summary.
+    let (stdout, stderr, ok) = trigon(&[
+        "count",
+        "--gen",
+        "gnp",
+        "--n",
+        "500",
+        "--method",
+        "gpu-opt",
+        "--faults",
+        "xfer:1,ecc:2",
+        "--fault-seed",
+        "7",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains(&line),
+        "count drifted:\n{stdout}\nvs {line}"
+    );
+    assert!(
+        stdout.contains("faults        ecc:2,xfer:1 (seed 7)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("recovery"), "{stdout}");
+    // The JSON report carries the faults block.
+    let (json, stderr, ok) = trigon(&[
+        "count", "--gen", "gnp", "--n", "500", "--method", "gpu-opt", "--faults", "ecc:1", "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    let j = trigon::Json::parse(&json).unwrap();
+    let f = j.get("faults").expect("faults block in JSON report");
+    assert!(
+        matches!(f.get("seed"), Some(trigon::Json::UInt(0))),
+        "{f:?}"
+    );
+}
+
+/// Malformed `--faults` specs are parse errors (exit 4) with a pointed
+/// message; `--fault-seed` without `--faults` is a usage error (exit 2).
+#[test]
+fn fault_flag_error_paths() {
+    let base: &[&str] = &["count", "--gen", "gnp", "--n", "50", "--method", "gpu-opt"];
+    let with = |extra: &[&str]| {
+        let mut v = base.to_vec();
+        v.extend_from_slice(extra);
+        trigon_code(&v)
+    };
+
+    let (_, stderr, code) = with(&["--faults", "bogus:2"]);
+    assert_eq!(code, 4, "{stderr}");
+    assert!(stderr.contains("unknown fault kind"), "{stderr}");
+
+    let (_, stderr, code) = with(&["--faults", "ecc"]);
+    assert_eq!(code, 4, "{stderr}");
+    assert!(stderr.contains("--faults"), "{stderr}");
+
+    let (_, stderr, code) = with(&["--faults", "ecc:notanumber"]);
+    assert_eq!(code, 4, "{stderr}");
+
+    let (_, stderr, code) = with(&["--fault-seed", "3"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--fault-seed needs --faults"), "{stderr}");
+
+    let (_, stderr, code) = with(&["--faults", "ecc:1", "--fault-seed", "-2"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--fault-seed"), "{stderr}");
+
+    // Faults need a simulated device to inject into.
+    let (_, stderr, code) = trigon_code(&[
+        "count", "--gen", "gnp", "--n", "50", "--method", "cpu", "--faults", "ecc:1",
+    ]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("simulated-device"), "{stderr}");
+
+    // Hybrid accepts only transfer faults.
+    let (_, stderr, code) = trigon_code(&[
+        "count", "--gen", "gnp", "--n", "50", "--method", "hybrid", "--faults", "abort:1",
+    ]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("xfer"), "{stderr}");
 }
 
 #[test]

@@ -9,7 +9,7 @@
 //! BLESS=1 cargo test --test run_report_schema
 //! ```
 
-use trigon::gpu_sim::DeviceSpec;
+use trigon::gpu_sim::{DeviceSpec, FaultConfig, FaultPlan, FaultSpec};
 use trigon::graph::gen;
 use trigon::{Analysis, Level, Method, RunReport};
 
@@ -64,7 +64,24 @@ fn cpu_report_schema_is_pinned() {
     check_golden("run_report_cpu_keys", &r);
 }
 
+/// A faulted run pins the `faults` block: the populated section must keep
+/// the same key set whatever the plan injects.
+#[test]
+fn faulted_report_schema_is_pinned() {
+    let g = gen::gnp(300, 0.05, 1);
+    let spec = FaultSpec::parse("ecc:2,xfer:1,abort:1,stall:1").unwrap();
+    let r = Analysis::new(&g)
+        .method(Method::GpuOptimized)
+        .device(DeviceSpec::c1060())
+        .telemetry(Level::Trace)
+        .faults(FaultConfig::new(FaultPlan::new(spec, 7)))
+        .run()
+        .unwrap();
+    assert!(r.faults.is_some(), "faulted run must emit a faults section");
+    check_golden("run_report_faults_keys", &r);
+}
+
 #[test]
 fn schema_version_is_current() {
-    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 2);
+    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 3);
 }
