@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the full workspace test suite, and
-# smoke tests of the trace export, fault recovery, and perf repro paths.
+# smoke tests of the trace export, fault recovery, fleet, and perf repro
+# paths.
 #
 #   ./ci.sh            # everything
 #   ./ci.sh quick      # everything, but skip the slow property-test suite
-#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | perf
+#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | fleet | perf
 #
 # Each stage's wall-clock time is reported in a summary at the end.
 #
@@ -83,6 +84,26 @@ stage_faults() {
     echo "recovered count $faulted matches serial"
 }
 
+# Multi-device fleet smoke test: a heterogeneous fleet run and a fleet
+# run losing 2 of 4 devices must both exit 0 and report the exact count
+# of a serial CPU run (the sharded reduction is bit-identical by design).
+stage_fleet() {
+    local serial fleet lossy
+    serial="$(cargo run --release --quiet -- count --gen ring --n 1000 \
+        --method cpu-fast | awk '/^triangles/ {print $2}')"
+    fleet="$(cargo run --release --quiet -- count --gen ring --n 1000 \
+        --method gpu-opt --devices 2xC2050,1xC1060 \
+        | awk '/^triangles/ {print $2}')"
+    lossy="$(cargo run --release --quiet -- count --gen ring --n 1000 \
+        --method gpu-opt --devices 4xC2050 --device-loss 2 --fault-seed 7 \
+        | awk '/^triangles/ {print $2}')"
+    if [ -z "$serial" ] || [ "$serial" != "$fleet" ] || [ "$serial" != "$lossy" ]; then
+        echo "fleet counts drifted: serial=$serial fleet=$fleet lossy=$lossy" >&2
+        return 1
+    fi
+    echo "fleet count $fleet matches serial (with and without device loss)"
+}
+
 # Measures real wall-clock of the counting strategies, asserts parallel
 # counts are bit-identical to the serial ones (inside run_perf), and
 # enforces the committed normalized regression envelope: >25 % slowdown
@@ -100,9 +121,9 @@ stage_perf() {
 }
 
 case "$mode" in
-    all | quick | fmt | clippy | doc | test | trace | faults | perf) ;;
+    all | quick | fmt | clippy | doc | test | trace | faults | fleet | perf) ;;
     *)
-        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|perf]" >&2
+        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|fleet|perf]" >&2
         exit 2
         ;;
 esac
@@ -113,6 +134,7 @@ run_stage doc stage_doc
 run_stage test stage_test
 run_stage trace stage_trace
 run_stage faults stage_faults
+run_stage fleet stage_fleet
 run_stage perf stage_perf
 
 echo

@@ -2,7 +2,7 @@
 //! Graphs Using GPUs* (IPDPSW 2013) from the trigon reproduction.
 //!
 //! ```text
-//! repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|trace|all [--csv DIR]
+//! repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|trace|fleet|all [--csv DIR]
 //! repro perf [--quick] [--baseline PATH] [--csv DIR]
 //! ```
 //!
@@ -61,6 +61,7 @@ fn main() {
         "ablation" => ablation(&out),
         "workload" => workload(&out),
         "trace" => trace_capture(&out),
+        "fleet" => fleet_cmd(&out),
         "perf" => perf(&out, &args[1..]),
         "all" => {
             table1(&out);
@@ -73,11 +74,12 @@ fn main() {
             ablation(&out);
             workload(&out);
             trace_capture(&out);
+            fleet_cmd(&out);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|trace|perf|all [--csv DIR]"
+                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|trace|fleet|perf|all [--csv DIR]"
             );
             eprintln!("       repro perf [--quick] [--baseline PATH] [--csv DIR]");
             std::process::exit(2);
@@ -475,6 +477,50 @@ fn perf(out: &Output, rest: &[String]) {
         eprintln!("  {msg}");
         std::process::exit(1);
     }
+}
+
+/// Strong scaling of the multi-device fleet path (1..=8 C2050s), counts
+/// pinned bit-identical to the CPU reference at every size.
+fn fleet_cmd(out: &Output) {
+    out.section("Fleet: strong scaling of multi-device sharded execution");
+    let result = trigon_bench::run_fleet_scaling();
+    println!("  triangles {} at every fleet size", result.triangles);
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12} {:>8} {:>8}",
+        "fleet", "makespan(cyc)", "compute(cyc)", "H2D(cyc)", "D2D(cyc)", "imbal", "speedup"
+    );
+    let mut rows = Vec::new();
+    for p in &result.points {
+        println!(
+            "{:<10} {:>14} {:>14} {:>12} {:>12} {:>8.3} {:>8.2}",
+            p.spec,
+            p.makespan_cycles,
+            p.compute_cycles,
+            p.h2d_cycles,
+            p.d2d_cycles,
+            p.imbalance,
+            p.speedup
+        );
+        rows.push(format!(
+            "{},{},{},{},{},{:.4},{:.4}",
+            p.devices,
+            p.makespan_cycles,
+            p.compute_cycles,
+            p.h2d_cycles,
+            p.d2d_cycles,
+            p.imbalance,
+            p.speedup
+        ));
+    }
+    std::fs::create_dir_all("bench_out").expect("create bench_out");
+    let path = "bench_out/BENCH_fleet.json";
+    std::fs::write(path, result.report.to_string_pretty()).expect("write fleet json");
+    println!("  [fleet report written to {path}]");
+    out.csv(
+        "fleet",
+        "devices,makespan_cycles,compute_cycles,h2d_cycles,d2d_cycles,imbalance,speedup",
+        &rows,
+    );
 }
 
 /// Numeric JSON accessor for the perf table printer.

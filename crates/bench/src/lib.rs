@@ -7,8 +7,13 @@
 
 #![deny(missing_docs)]
 
+pub mod fleet;
 pub mod perf;
 pub mod suites;
 
+pub use fleet::{
+    fleet_graph, run_fleet_scaling, FleetOutcome, FleetPoint, FLEET_MAX_DEVICES,
+    FLEET_SCHEMA_VERSION,
+};
 pub use perf::{run_perf, PerfOptions, PerfOutcome, PERF_SCHEMA_VERSION};
 pub use suites::{fig10_graph, fig10_sizes, fig11_graph, fig11_sizes, SEED};

@@ -20,16 +20,20 @@
 //! assert!(report.gpu.unwrap().transactions > 0);
 //! ```
 //!
-//! The free functions this replaces (`count_triangles`, `run_hybrid`,
-//! `run_k_cliques`, …) remain as deprecated wrappers.
+//! The builder is also where the multi-device fleet path is switched
+//! on: [`Analysis::fleet`] routes the GPU methods through
+//! [`crate::multi::run_fleet`], and [`Analysis::device_loss`] injects
+//! deterministic device failures into that fleet.
 
 use crate::error::Error;
 use crate::gpu_exec::{self, GpuConfig};
 use crate::gpu_kcount::run_k_cliques_traced;
 use crate::hybrid::{run_hybrid_collected, run_hybrid_traced, HybridConfig};
+use crate::multi;
 use crate::report::{Eq6Section, FaultsSection, GpuSection, HybridSection, RunReport};
 use crate::timemodel::CostModel;
 use crate::{count, pipeline};
+use trigon_fleet::{FleetSpec, LossPlan};
 use trigon_gpu_sim::{DeviceSpec, FaultConfig, FaultOutcome};
 use trigon_graph::Graph;
 use trigon_telemetry::{Collector, Level, Tracer};
@@ -108,6 +112,8 @@ pub struct Analysis<'g> {
     max_roots: usize,
     tracer: Option<Tracer>,
     faults: Option<FaultConfig>,
+    fleet: Option<FleetSpec>,
+    device_loss: Option<LossPlan>,
 }
 
 impl<'g> Analysis<'g> {
@@ -125,6 +131,8 @@ impl<'g> Analysis<'g> {
             max_roots: 4,
             tracer: None,
             faults: None,
+            fleet: None,
+            device_loss: None,
         }
     }
 
@@ -186,6 +194,28 @@ impl<'g> Analysis<'g> {
         self
     }
 
+    /// Runs the GPU methods across a multi-device fleet instead of the
+    /// single [`Analysis::device`]: ALS shards are planned across the
+    /// roster by the outer §VI instance, the interconnect is priced,
+    /// and the partial counts reduce deterministically. A one-device
+    /// fleet behaves exactly like a plain run on that device. Only the
+    /// GPU methods accept a fleet; [`Analysis::run`] rejects the rest
+    /// with [`Error::BadConfig`].
+    #[must_use]
+    pub fn fleet(mut self, fleet: FleetSpec) -> Self {
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Injects deterministic device loss into the fleet run: the plan's
+    /// targets die at shard start and their ALS migrate to the
+    /// survivors. Requires [`Analysis::fleet`].
+    #[must_use]
+    pub fn device_loss(mut self, loss: LossPlan) -> Self {
+        self.device_loss = Some(loss);
+        self
+    }
+
     /// Supplies an explicit [`Tracer`] for span-level tracing. The run
     /// records into it (when its level allows) and the report returns
     /// it as [`RunReport::tracer`] alongside a [`RunReport::trace`]
@@ -228,6 +258,30 @@ impl<'g> Analysis<'g> {
                 _ => {}
             }
         }
+        if let Some(fleet) = self.fleet.as_ref() {
+            if fleet.is_empty() {
+                return Err(Error::bad_config("a fleet needs at least one device"));
+            }
+            if !matches!(
+                self.method,
+                Method::GpuNaive | Method::GpuOptimized | Method::GpuSampled
+            ) {
+                return Err(Error::bad_config(
+                    "a device fleet requires a gpu-* method (the fleet path shards \
+                     the simulated kernel)",
+                ));
+            }
+            if self.faults.is_some() && fleet.len() > 1 {
+                return Err(Error::bad_config(
+                    "chunk-level fault injection is single-device; use a one-device \
+                     fleet with it, or --device-loss for fleet-level faults",
+                ));
+            }
+        } else if self.device_loss.is_some() {
+            return Err(Error::bad_config(
+                "device loss requires a device fleet to lose devices from",
+            ));
+        }
         let tracer = self
             .tracer
             .take()
@@ -239,12 +293,18 @@ impl<'g> Analysis<'g> {
         run_span.attr("method", self.method.label());
         run_span.attr("n", u64::from(g.n()));
         run_span.attr("m", g.m() as u64);
-        let device_name = self.method.uses_device().then(|| {
-            self.gpu_override
-                .as_ref()
-                .map_or(self.device.name, |c| c.device.name)
-                .to_string()
-        });
+        let device_name = self
+            .method
+            .uses_device()
+            .then(|| match self.fleet.as_ref() {
+                Some(f) if f.len() > 1 => f.to_string(),
+                Some(f) => f.devices()[0].name.to_string(),
+                None => self
+                    .gpu_override
+                    .as_ref()
+                    .map_or(self.device.name, |c| c.device.name)
+                    .to_string(),
+            });
 
         let mut report = match self.method {
             Method::CpuExhaustive | Method::CpuFast => {
@@ -258,9 +318,31 @@ impl<'g> Analysis<'g> {
                 self.base_report(r.triangles, r.tests, r.modeled_s)
             }
             Method::GpuNaive | Method::GpuOptimized | Method::GpuSampled => {
-                let cfg = self.gpu_config_for(self.method)?;
-                let r = gpu_exec::run_traced(g, &cfg, &mut collector, &tracer)?;
-                let eq6 = self.eq6_prediction(r.kernel_s, &cfg);
+                let mut cfg = self.gpu_config_for(self.method)?;
+                let mut fleet_section = None;
+                let r = match self.fleet.as_ref() {
+                    Some(fleet) => {
+                        cfg.device = fleet.devices()[0].clone();
+                        let (r, section) = multi::run_fleet(
+                            g,
+                            fleet,
+                            &cfg,
+                            self.device_loss,
+                            &mut collector,
+                            &tracer,
+                        )?;
+                        fleet_section = Some(section);
+                        r
+                    }
+                    None => gpu_exec::run_traced(g, &cfg, &mut collector, &tracer)?,
+                };
+                // Eq. 6 models one device; skip the prediction for real
+                // multi-device fleets.
+                let eq6 = if self.fleet.as_ref().is_none_or(|f| f.len() == 1) {
+                    self.eq6_prediction(r.kernel_s, &cfg)
+                } else {
+                    None
+                };
                 let mut report = self.base_report(r.triangles, r.tests, r.total_s);
                 report.gpu = Some(GpuSection {
                     transactions: r.transactions,
@@ -278,6 +360,7 @@ impl<'g> Analysis<'g> {
                 });
                 report.eq6 = eq6;
                 report.faults = faults_section(cfg.faults.as_ref(), r.faults.as_ref());
+                report.fleet = fleet_section;
                 report
             }
             Method::Hybrid => {
@@ -398,6 +481,7 @@ impl<'g> Analysis<'g> {
             hybrid: None,
             eq6: None,
             faults: None,
+            fleet: None,
             trace: None,
             telemetry: Collector::disabled(),
             tracer: Tracer::disabled(),

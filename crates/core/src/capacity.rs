@@ -7,6 +7,7 @@
 //! the inequalities exactly in integer arithmetic and regenerate the
 //! paper's Table II from the Table I device registry.
 
+use trigon_fleet::FleetSpec;
 use trigon_gpu_sim::DeviceSpec;
 
 /// Largest `n` with `n² ≤ bits` (Eq. 1): the biggest graph the full
@@ -101,6 +102,35 @@ pub fn table2(devices: &[DeviceSpec]) -> Vec<Table2Row> {
             global_sutm: max_graph_sutm(d.global_mem_bits()),
         })
         .collect()
+}
+
+/// The aggregate Table II row of a multi-device fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetRow {
+    /// Rendered fleet spec, e.g. `"2xC2050"`.
+    pub fleet: String,
+    /// Largest graph in the pooled global memory, adjacency matrix.
+    pub global_adj: u64,
+    /// Largest graph in the pooled global memory, S-UTM.
+    pub global_sutm: u64,
+}
+
+/// The aggregate-fleet Table II row: Eqs. 1–2 inverted over the roster's
+/// *combined* global memory — the capacity ceiling the fleet path's
+/// per-device sharding works under. A one-device fleet reduces to that
+/// device's own global columns.
+#[must_use]
+pub fn table2_fleet(fleet: &FleetSpec) -> FleetRow {
+    let bits: u128 = fleet
+        .devices()
+        .iter()
+        .map(DeviceSpec::global_mem_bits)
+        .sum();
+    FleetRow {
+        fleet: fleet.to_string(),
+        global_adj: max_graph_adjacency(bits),
+        global_sutm: max_graph_sutm(bits),
+    }
 }
 
 /// Integer square root (floor) for `x ≤ u64::MAX²` (all memory sizes).
@@ -209,6 +239,20 @@ mod tests {
         assert!(rows[2].global_adj > rows[1].global_adj);
         // Shared capacities equal for the two Fermi cards.
         assert_eq!(rows[1].shared_adj, rows[2].shared_adj);
+    }
+
+    #[test]
+    fn fleet_row_pools_global_memory() {
+        // 2×C2050 pools 6 GiB — exactly one C2070 — so the aggregate
+        // row pins to the paper's C2070 Table II global column.
+        let row = table2_fleet(&FleetSpec::parse("2xC2050").unwrap());
+        assert_eq!(row.fleet, "2xC2050");
+        assert_eq!(row.global_adj, 227_023);
+        assert_eq!(row.global_sutm, 321_060);
+        // One device reduces to the plain Table II row.
+        let one = table2_fleet(&FleetSpec::parse("C1060").unwrap());
+        assert_eq!(one.global_adj, 185_363);
+        assert_eq!(one.global_sutm, 262_144);
     }
 
     #[test]

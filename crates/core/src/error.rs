@@ -2,8 +2,9 @@
 //!
 //! Every fallible entry point of the analysis pipeline returns [`Error`];
 //! the CLI maps each variant to a distinct exit code instead of a blanket
-//! failure. [`crate::gpu_exec::GpuError`] still exists for the deprecated
-//! free-function entry points and converts losslessly into [`Error`].
+//! failure. [`crate::gpu_exec::GpuError`] is the simulator-internal
+//! error of the executor layers ([`crate::gpu_exec`], [`crate::multi`],
+//! the k-clique kernel) and converts losslessly into [`Error`].
 
 use crate::gpu_exec::GpuError;
 

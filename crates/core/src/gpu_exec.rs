@@ -295,6 +295,59 @@ pub fn run_traced(
         );
         (als, layout)
     };
+    run_prepared(g, &als, layout, cfg, collector, tracer)
+}
+
+/// Runs the simulated kernel like [`run_traced`], but over a
+/// caller-supplied ALS slice instead of the graph's full decomposition —
+/// the entry point a multi-device fleet uses to run one *shard* (the
+/// subset of adjacent level sets assigned to one device). The layout is
+/// built over exactly these sets, so the Eq. 1 capacity check applies
+/// per shard.
+///
+/// # Errors
+///
+/// [`GpuError::GraphTooLarge`] when the shard's layout exceeds the
+/// device memory.
+pub fn run_traced_with_als(
+    g: &Graph,
+    als: &[Als],
+    cfg: &GpuConfig,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> Result<GpuRunResult, GpuError> {
+    assert!(
+        cfg.threads_per_block >= cfg.device.warp_size
+            && cfg.threads_per_block.is_multiple_of(cfg.device.warp_size),
+        "threads_per_block must be a positive multiple of the warp size"
+    );
+    tracer.set_device_clock_hz(cfg.device.clock_hz as f64);
+    let layout = {
+        let _p = collector.phase("layout");
+        let mut span = tracer.span("layout", "phase");
+        span.attr("kind", format!("{:?}", cfg.layout));
+        GlobalLayout::build(
+            cfg.layout,
+            g.n(),
+            als,
+            cfg.device.partitions,
+            cfg.device.partition_width,
+        )
+    };
+    run_prepared(g, als, layout, cfg, collector, tracer)
+}
+
+/// The shared tail of [`run_traced`] / [`run_traced_with_als`]: capacity
+/// check, block simulation, §VI dispatch, and result assembly over an
+/// already-built ALS slice and layout.
+fn run_prepared(
+    g: &Graph,
+    als: &[Als],
+    layout: GlobalLayout,
+    cfg: &GpuConfig,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> Result<GpuRunResult, GpuError> {
     if layout.total_bytes() > cfg.device.global_mem_bytes {
         return Err(GpuError::GraphTooLarge {
             needed: layout.total_bytes(),
@@ -306,9 +359,9 @@ pub fn run_traced(
         let _p = collector.phase("count");
         let _span = tracer.span("count", "phase");
         match cfg.mode {
-            FidelityMode::Exhaustive => simulate_exhaustive(g, &als, &layout, cfg),
+            FidelityMode::Exhaustive => simulate_exhaustive(g, als, &layout, cfg),
             FidelityMode::Sampled { sample_steps } => {
-                simulate_sampled(g, &als, &layout, cfg, sample_steps)
+                simulate_sampled(g, als, &layout, cfg, sample_steps)
             }
         }
     };
@@ -354,7 +407,7 @@ pub fn run_traced(
     let d = if transfer_landed {
         let ctx = DispatchCtx {
             g,
-            als: &als,
+            als,
             spec,
             blocks: &blocks,
             origins: &origins,
@@ -381,7 +434,7 @@ pub fn run_traced(
         let mut triangles = 0u64;
         let mut fallback_tests = 0u128;
         for (b, origin) in blocks.iter().zip(&origins) {
-            triangles = triangles.wrapping_add(recompute_origin(g, &als, origin));
+            triangles = triangles.wrapping_add(recompute_origin(g, als, origin));
             fallback_tests += b.tests;
         }
         Dispatched {

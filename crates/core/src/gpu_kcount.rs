@@ -42,17 +42,6 @@ pub struct KCliqueRunResult {
 ///
 /// [`GpuError::GraphTooLarge`] when the layout exceeds the device.
 ///
-/// # Panics
-///
-/// Panics if `k < 2`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use trigon_core::Analysis with Method::KCliques(k), which returns a full RunReport"
-)]
-pub fn run_k_cliques(g: &Graph, cfg: &GpuConfig, k: u32) -> Result<KCliqueRunResult, GpuError> {
-    run_k_cliques_collected(g, cfg, k, &mut Collector::disabled())
-}
-
 /// Runs the simulated k-clique kernel, recording phase timings and
 /// simulator counters into `collector`.
 ///
@@ -266,7 +255,6 @@ pub fn run_k_cliques_traced(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated wrappers on purpose
 mod tests {
     use super::*;
     use crate::kcount;
@@ -276,6 +264,10 @@ mod tests {
 
     fn cfg() -> GpuConfig {
         GpuConfig::optimized(DeviceSpec::c1060())
+    }
+
+    fn run_k_cliques(g: &Graph, cfg: &GpuConfig, k: u32) -> Result<KCliqueRunResult, GpuError> {
+        run_k_cliques_collected(g, cfg, k, &mut Collector::disabled())
     }
 
     #[test]

@@ -113,17 +113,6 @@ pub fn classify_als(als: &[Als], split: &SplitResult) -> Vec<Placement> {
         .collect()
 }
 
-/// Runs the hybrid pipeline: split, classify, price each ALS at its
-/// memory tier, schedule with LPT, and compare against Eq. 6.
-#[deprecated(
-    since = "0.2.0",
-    note = "use trigon_core::Analysis with Method::Hybrid, which returns a full RunReport"
-)]
-#[must_use]
-pub fn run_hybrid(g: &Graph, cfg: &HybridConfig) -> HybridResult {
-    run_hybrid_collected(g, cfg, &mut Collector::disabled())
-}
-
 /// Runs the hybrid pipeline while recording phase timings (`split`,
 /// `count`), placement counters, and the shared-memory bank-conflict
 /// degree of the kernel's access pattern into `collector`.
@@ -382,13 +371,16 @@ fn estimate_tx_per_step(a: &Als, spec: &DeviceSpec) -> f64 {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated wrappers on purpose
 mod tests {
     use super::*;
     use trigon_graph::{gen, triangles};
 
     fn cfg() -> HybridConfig {
         HybridConfig::new(DeviceSpec::c1060())
+    }
+
+    fn run_hybrid(g: &Graph, cfg: &HybridConfig) -> HybridResult {
+        run_hybrid_collected(g, cfg, &mut Collector::disabled())
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //!   (Eq. 6);
 //! * [`kcount`] — the §III extensions: `k`-cliques, `k`-independent sets
 //!   and connected subgraphs of size `k`;
+//! * [`multi`] — the fleet execution path: ALS sharding across a
+//!   multi-device roster (planned by `trigon-fleet`), interconnect
+//!   pricing, and the deterministic partial-count reduction;
 //! * [`pipeline`] — one-call end-to-end runs producing the reports the
 //!   benchmark harness prints;
 //! * [`analysis`] — the [`Analysis`] builder, the single entry point
@@ -46,6 +49,7 @@ pub mod gpu_kcount;
 pub mod hybrid;
 pub mod kcount;
 pub mod layout;
+pub mod multi;
 pub mod pipeline;
 pub mod report;
 pub mod split;
@@ -53,18 +57,22 @@ pub mod timemodel;
 
 pub use als::{build_als, Als};
 pub use analysis::{Analysis, Method};
-pub use capacity::{max_graph_adjacency, max_graph_sutm, max_graph_utm, table2, Table2Row};
+pub use capacity::{
+    max_graph_adjacency, max_graph_sutm, max_graph_utm, table2, table2_fleet, FleetRow, Table2Row,
+};
 pub use error::Error;
 pub use gpu_exec::{GpuConfig, GpuRunResult, SchedulePolicy, WorkDivision};
-#[allow(deprecated)]
-pub use gpu_kcount::{run_k_cliques, KCliqueRunResult};
-#[allow(deprecated)]
-pub use hybrid::{run_hybrid, HybridConfig, HybridResult, Placement};
+pub use gpu_kcount::KCliqueRunResult;
+pub use hybrid::{HybridConfig, HybridResult, Placement};
 pub use layout::{GlobalLayout, LayoutKind};
-#[allow(deprecated)]
-pub use pipeline::{count_triangles, CountMethod, TriangleReport};
-pub use report::{Eq6Section, GpuSection, HybridSection, RunReport, RUN_REPORT_SCHEMA_VERSION};
+pub use multi::run_fleet;
+pub use pipeline::{CountMethod, TriangleReport};
+pub use report::{
+    Eq6Section, FleetDeviceEntry, FleetSection, GpuSection, HybridSection, RunReport,
+    RUN_REPORT_SCHEMA_VERSION,
+};
 pub use split::{split_graph, split_graph_collected, Chunk, SplitConfig, SplitResult};
+pub use trigon_fleet::{FleetSpec, LossPlan};
 pub use trigon_telemetry::{
     Clock, Collector, Json, Level, ManualClock, MonotonicClock, TraceSummary, Tracer, Track,
 };

@@ -3,7 +3,7 @@
 
 use crate::count;
 use crate::error::Error;
-use crate::gpu_exec::{self, GpuConfig, GpuError, GpuRunResult};
+use crate::gpu_exec::{self, GpuConfig, GpuRunResult};
 use crate::timemodel::CostModel;
 use trigon_graph::Graph;
 use trigon_telemetry::{Collector, Tracer};
@@ -42,40 +42,6 @@ pub struct TriangleReport {
     pub wall_s: f64,
     /// GPU detail when the method was [`CountMethod::GpuSim`].
     pub gpu: Option<GpuRunResult>,
-}
-
-/// Runs the full pipeline with the default cost model.
-///
-/// # Errors
-///
-/// Propagates [`GpuError`] for GPU runs on graphs exceeding the device.
-#[deprecated(
-    since = "0.2.0",
-    note = "use trigon_core::Analysis, which returns a full RunReport"
-)]
-pub fn count_triangles(g: &Graph, method: CountMethod) -> Result<TriangleReport, GpuError> {
-    #[allow(deprecated)]
-    count_triangles_with(g, method, &CostModel::default())
-}
-
-/// Runs the full pipeline with an explicit cost model.
-///
-/// # Errors
-///
-/// Propagates [`GpuError`] for GPU runs on graphs exceeding the device.
-#[deprecated(
-    since = "0.2.0",
-    note = "use trigon_core::Analysis, which returns a full RunReport"
-)]
-pub fn count_triangles_with(
-    g: &Graph,
-    method: CountMethod,
-    cost: &CostModel,
-) -> Result<TriangleReport, GpuError> {
-    count_triangles_collected(g, method, cost, &mut Collector::disabled()).map_err(|e| match e {
-        Error::GraphTooLarge { needed, capacity } => GpuError::GraphTooLarge { needed, capacity },
-        other => unreachable!("triangle pipeline only fails on capacity: {other}"),
-    })
 }
 
 /// Runs the full pipeline with an explicit cost model, recording phase
@@ -158,11 +124,14 @@ pub fn count_triangles_traced(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated wrappers on purpose
 mod tests {
     use super::*;
     use trigon_gpu_sim::DeviceSpec;
     use trigon_graph::{gen, triangles};
+
+    fn count_triangles(g: &Graph, method: CountMethod) -> Result<TriangleReport, Error> {
+        count_triangles_collected(g, method, &CostModel::default(), &mut Collector::disabled())
+    }
 
     #[test]
     fn all_methods_agree_on_counts() {

@@ -23,8 +23,9 @@ use trigon_telemetry::{Collector, Json, TraceSummary, Tracer};
 /// History: 1 = initial telemetry schema; 2 = added the `trace`
 /// section ([`TraceSummary`]) and per-partition `partition.*.p{i}`
 /// counters; 3 = added the `faults` section ([`FaultsSection`])
-/// summarizing fault injection and recovery.
-pub const RUN_REPORT_SCHEMA_VERSION: u32 = 3;
+/// summarizing fault injection and recovery; 4 = added the `fleet`
+/// section ([`FleetSection`]) for multi-device runs.
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 4;
 
 /// GPU-simulator detail of a run (absent for pure-CPU methods).
 #[derive(Debug, Clone)]
@@ -133,6 +134,64 @@ impl FaultsSection {
     }
 }
 
+/// One device's share of a multi-device fleet run.
+///
+/// Cycle figures are in *that device's* clock domain; for homogeneous
+/// fleets (the `repro fleet` sweep) the domains coincide and the
+/// section-level maxima are exact makespans.
+#[derive(Debug, Clone)]
+pub struct FleetDeviceEntry {
+    /// Table I model name.
+    pub device: String,
+    /// Whether the injected loss plan killed this device at shard start.
+    pub lost: bool,
+    /// Adjacent level sets the device ended up executing.
+    pub als: usize,
+    /// Summed §VI job weight (ALS S-UTM bits) of those sets.
+    pub weight: u64,
+    /// Bytes of the shard's global-memory layout.
+    pub layout_bytes: u64,
+    /// Contended H2D upload cycles (link contention included).
+    pub h2d_cycles: u64,
+    /// D2D boundary-exchange cycles received by this device.
+    pub d2d_cycles: u64,
+    /// Simulated kernel cycles of the shard.
+    pub kernel_cycles: u64,
+    /// End of the device's timeline: `h2d + d2d + kernel` cycles.
+    pub end_cycles: u64,
+    /// The shard's partial triangle count.
+    pub triangles: u64,
+}
+
+/// Multi-device fleet summary (present when the run was configured with
+/// `--devices` / [`crate::Analysis::fleet`]).
+#[derive(Debug, Clone)]
+pub struct FleetSection {
+    /// Canonical fleet spec (`"2xC2050,1xC1060"`).
+    pub spec: String,
+    /// Devices in the roster.
+    pub devices: usize,
+    /// Devices the loss plan killed.
+    pub lost_devices: usize,
+    /// ALS jobs migrated off lost devices (online Graham reshard).
+    pub reassigned_als: usize,
+    /// Concurrent H2D links the contention model priced.
+    pub links: usize,
+    /// Outer §VI makespan: max per-device `end_cycles`.
+    pub makespan_cycles: u64,
+    /// Summed per-device kernel cycles (compute, no transfers).
+    pub compute_cycles: u64,
+    /// Summed contended H2D cycles.
+    pub h2d_cycles: u64,
+    /// Summed D2D boundary-exchange cycles.
+    pub d2d_cycles: u64,
+    /// Max / mean per-device `end_cycles` over devices that ran
+    /// (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Per-device detail, in canonical device-index order.
+    pub per_device: Vec<FleetDeviceEntry>,
+}
+
 /// The paper's Eq. 6 execution-time model against the simulation.
 #[derive(Debug, Clone)]
 pub struct Eq6Section {
@@ -195,6 +254,8 @@ pub struct RunReport {
     pub eq6: Option<Eq6Section>,
     /// Fault-injection/recovery summary (runs configured with faults).
     pub faults: Option<FaultsSection>,
+    /// Multi-device fleet summary (runs configured with a fleet).
+    pub fleet: Option<FleetSection>,
     /// Trace summary (span counts, critical path, per-SM busy/idle,
     /// histogram quantiles) when the run traced at `Level::Trace`.
     pub trace: Option<TraceSummary>,
@@ -317,6 +378,46 @@ impl RunReport {
         );
 
         root.set(
+            "fleet",
+            self.fleet.as_ref().map_or(Json::Null, |f| {
+                let mut o = Json::object();
+                o.set("spec", Json::from(f.spec.as_str()));
+                o.set("devices", Json::from(f.devices));
+                o.set("lost_devices", Json::from(f.lost_devices));
+                o.set("reassigned_als", Json::from(f.reassigned_als));
+                o.set("links", Json::from(f.links));
+                o.set("makespan_cycles", Json::from(f.makespan_cycles));
+                o.set("compute_cycles", Json::from(f.compute_cycles));
+                o.set("h2d_cycles", Json::from(f.h2d_cycles));
+                o.set("d2d_cycles", Json::from(f.d2d_cycles));
+                o.set("imbalance", Json::from(f.imbalance));
+                o.set(
+                    "per_device",
+                    Json::Array(
+                        f.per_device
+                            .iter()
+                            .map(|d| {
+                                let mut e = Json::object();
+                                e.set("device", Json::from(d.device.as_str()));
+                                e.set("lost", Json::from(d.lost));
+                                e.set("als", Json::from(d.als));
+                                e.set("weight", Json::from(d.weight));
+                                e.set("layout_bytes", Json::from(d.layout_bytes));
+                                e.set("h2d_cycles", Json::from(d.h2d_cycles));
+                                e.set("d2d_cycles", Json::from(d.d2d_cycles));
+                                e.set("kernel_cycles", Json::from(d.kernel_cycles));
+                                e.set("end_cycles", Json::from(d.end_cycles));
+                                e.set("triangles", Json::from(d.triangles));
+                                e
+                            })
+                            .collect(),
+                    ),
+                );
+                o
+            }),
+        );
+
+        root.set(
             "trace",
             self.trace
                 .as_ref()
@@ -361,6 +462,7 @@ mod tests {
             hybrid: None,
             eq6: Some(Eq6Section::new(0.5, 0.4)),
             faults: None,
+            fleet: None,
             trace: None,
             telemetry: Collector::new(),
             tracer: Tracer::disabled(),
@@ -380,6 +482,7 @@ mod tests {
             "hybrid",
             "eq6",
             "faults",
+            "fleet",
             "trace",
             "telemetry",
         ] {
@@ -387,6 +490,7 @@ mod tests {
         }
         assert_eq!(j.get("hybrid"), Some(&Json::Null));
         assert_eq!(j.get("faults"), Some(&Json::Null));
+        assert_eq!(j.get("fleet"), Some(&Json::Null));
         assert_eq!(j.get("trace"), Some(&Json::Null));
         assert_eq!(j.get("result").unwrap().get("count"), Some(&Json::UInt(7)));
     }

@@ -1,7 +1,9 @@
 //! Property tests for the makespan scheduling substrate.
 
 use proptest::prelude::*;
-use trigon_sched::{exact, list_schedule, lower_bound, lpt, round_robin, Schedule};
+use trigon_sched::{
+    exact, least_loaded_alive, list_schedule, lower_bound, lpt, round_robin, Schedule,
+};
 
 proptest! {
     /// Every policy produces a valid schedule that conserves total work
@@ -45,5 +47,42 @@ proptest! {
         let heur = u128::from(lpt(&jobs, machines).makespan());
         prop_assert!(3 * u128::from(machines) * heur
                      <= (4 * u128::from(machines) - 1) * opt);
+    }
+
+    /// `least_loaded_alive` (the online Graham step the fleet reshard
+    /// and chunk-reassignment paths lean on) agrees with a brute-force
+    /// argmin over the alive machines, breaking load ties toward the
+    /// lowest index.
+    #[test]
+    fn least_loaded_alive_is_argmin(loads in proptest::collection::vec(0u64..20, 1..12),
+                                    alive_bits in proptest::collection::vec(any::<bool>(), 1..12)) {
+        let n = loads.len().min(alive_bits.len());
+        let (loads, alive) = (&loads[..n], &alive_bits[..n]);
+        let got = least_loaded_alive(loads, alive);
+        let mut want: Option<usize> = None;
+        for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            // Strict `<` keeps the first (lowest-index) minimum.
+            if want.is_none_or(|w| loads[i] < loads[w]) {
+                want = Some(i);
+            }
+        }
+        prop_assert_eq!(got, want);
+        // All-dead rosters select nobody; otherwise the pick is alive.
+        prop_assert_eq!(got.is_none(), alive.iter().all(|a| !a));
+        if let Some(i) = got {
+            prop_assert!(alive[i]);
+        }
+    }
+
+    /// A single survivor is always selected, whatever its load.
+    #[test]
+    fn single_survivor_always_picked(loads in proptest::collection::vec(0u64..1000, 1..10),
+                                     survivor_seed in any::<usize>()) {
+        let survivor = survivor_seed % loads.len();
+        let alive: Vec<bool> = (0..loads.len()).map(|i| i == survivor).collect();
+        prop_assert_eq!(least_loaded_alive(&loads, &alive), Some(survivor));
     }
 }

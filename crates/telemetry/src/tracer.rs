@@ -42,6 +42,12 @@ pub enum Track {
     /// One streaming multiprocessor of the simulated device
     /// (device cycles).
     Sm(u32),
+    /// The PCIe/interconnect lane of fleet device `d` (multi-device
+    /// runs; device cycles of that device's clock).
+    DevicePcie(u32),
+    /// SM `sm` of fleet device `d` (multi-device runs; `DeviceSm(d, sm)`
+    /// in that device's cycles).
+    DeviceSm(u32, u32),
 }
 
 /// A typed attribute value attached to a span.
@@ -183,6 +189,22 @@ impl Histogram {
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Merges another histogram's samples into this one (bucket-exact:
+    /// both sides use the same power-of-two bucketing).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.zeros += other.zeros;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
     }
 
     /// Smallest recorded sample, if any.
@@ -443,6 +465,24 @@ impl Tracer {
         }
     }
 
+    /// Merges every histogram recorded by `other` into this tracer
+    /// (used by multi-device runs to fold per-shard sub-traces into the
+    /// fleet trace). No-op when this tracer is disabled.
+    pub fn absorb_histograms(&self, other: &Tracer) {
+        if !self.enabled() {
+            return;
+        }
+        let theirs = other.inner.borrow();
+        let mut mine = self.inner.borrow_mut();
+        for (name, h) in &theirs.histograms {
+            if let Some(slot) = mine.histograms.iter_mut().find(|(k, _)| k == name) {
+                slot.1.merge(h);
+            } else {
+                mine.histograms.push((name.clone(), h.clone()));
+            }
+        }
+    }
+
     /// Number of recorded spans (host + device).
     #[must_use]
     pub fn span_count(&self) -> usize {
@@ -608,8 +648,14 @@ impl Tracer {
 
         let has_host = inner.spans.iter().any(|s| s.track == Track::Host)
             || inner.instants.iter().any(|i| i.track == Track::Host);
-        let has_device = inner.spans.iter().any(|s| s.track != Track::Host)
-            || inner.instants.iter().any(|i| i.track != Track::Host);
+        let has_device = inner
+            .spans
+            .iter()
+            .any(|s| matches!(s.track, Track::Pcie | Track::Sm(_)))
+            || inner
+                .instants
+                .iter()
+                .any(|i| matches!(i.track, Track::Pcie | Track::Sm(_)));
         if has_host {
             events.push(meta_event("process_name", 0, 0, "host"));
             events.push(meta_event("thread_name", 0, 0, "pipeline"));
@@ -631,6 +677,42 @@ impl Tracer {
                 events.push(meta_event("thread_name", 1, i + 1, &format!("SM {i}")));
             }
         }
+        // Fleet devices (multi-device runs): device `d` is process 2 + d.
+        let mut fleet: Vec<u32> = inner
+            .spans
+            .iter()
+            .map(|s| s.track)
+            .chain(inner.instants.iter().map(|i| i.track))
+            .filter_map(|t| match t {
+                Track::DevicePcie(d) | Track::DeviceSm(d, _) => Some(d),
+                _ => None,
+            })
+            .collect();
+        fleet.sort_unstable();
+        fleet.dedup();
+        for d in fleet {
+            let pid = 2 + d;
+            events.push(meta_event(
+                "process_name",
+                pid,
+                0,
+                &format!("device {d} (simulated)"),
+            ));
+            events.push(meta_event("thread_name", pid, 0, "PCIe"));
+            let mut sms: Vec<u32> = inner
+                .spans
+                .iter()
+                .filter_map(|s| match s.track {
+                    Track::DeviceSm(dd, i) if dd == d => Some(i),
+                    _ => None,
+                })
+                .collect();
+            sms.sort_unstable();
+            sms.dedup();
+            for i in sms {
+                events.push(meta_event("thread_name", pid, i + 1, &format!("SM {i}")));
+            }
+        }
 
         for s in &inner.spans {
             let (pid, tid, ts, dur) = match s.track {
@@ -643,6 +725,18 @@ impl Tracer {
                 ),
                 Track::Sm(i) => (
                     1,
+                    i + 1,
+                    s.start as f64 * cycles_to_us,
+                    s.dur as f64 * cycles_to_us,
+                ),
+                Track::DevicePcie(d) => (
+                    2 + d,
+                    0,
+                    s.start as f64 * cycles_to_us,
+                    s.dur as f64 * cycles_to_us,
+                ),
+                Track::DeviceSm(d, i) => (
+                    2 + d,
                     i + 1,
                     s.start as f64 * cycles_to_us,
                     s.dur as f64 * cycles_to_us,
@@ -671,6 +765,8 @@ impl Tracer {
                 Track::Host => (0u32, 0u32, i.at as f64 / 1e3),
                 Track::Pcie => (1, 0, i.at as f64 * cycles_to_us),
                 Track::Sm(m) => (1, m + 1, i.at as f64 * cycles_to_us),
+                Track::DevicePcie(d) => (2 + d, 0, i.at as f64 * cycles_to_us),
+                Track::DeviceSm(d, m) => (2 + d, m + 1, i.at as f64 * cycles_to_us),
             };
             let mut ev = Json::object();
             ev.set("name", Json::from(i.name.as_str()));
@@ -723,6 +819,33 @@ impl Tracer {
         sms.dedup();
         for i in &sms {
             lanes.push((Track::Sm(*i), format!("SM {i:>2}")));
+        }
+        // Fleet lanes (multi-device runs): per device, PCIe then SMs.
+        let mut fleet: Vec<u32> = device_spans
+            .iter()
+            .filter_map(|s| match s.track {
+                Track::DevicePcie(d) | Track::DeviceSm(d, _) => Some(d),
+                _ => None,
+            })
+            .collect();
+        fleet.sort_unstable();
+        fleet.dedup();
+        for d in fleet {
+            if device_spans.iter().any(|s| s.track == Track::DevicePcie(d)) {
+                lanes.push((Track::DevicePcie(d), format!("D{d} PCIe")));
+            }
+            let mut dsms: Vec<u32> = device_spans
+                .iter()
+                .filter_map(|s| match s.track {
+                    Track::DeviceSm(dd, i) if dd == d => Some(i),
+                    _ => None,
+                })
+                .collect();
+            dsms.sort_unstable();
+            dsms.dedup();
+            for i in dsms {
+                lanes.push((Track::DeviceSm(d, i), format!("D{d} SM {i:>2}")));
+            }
         }
         let cell_w = makespan as f64 / width as f64;
         lanes

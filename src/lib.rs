@@ -24,11 +24,12 @@
 
 pub use trigon_combin as combin;
 pub use trigon_core as core;
+pub use trigon_fleet as fleet;
 pub use trigon_gpu_sim as gpu_sim;
 pub use trigon_graph as graph;
 pub use trigon_sched as sched;
 
 pub use trigon_core::{
-    Analysis, Clock, Collector, Error, Json, Level, ManualClock, Method, MonotonicClock, RunReport,
-    TraceSummary, Tracer, Track,
+    Analysis, Clock, Collector, Error, FleetSpec, Json, Level, LossPlan, ManualClock, Method,
+    MonotonicClock, RunReport, TraceSummary, Tracer, Track,
 };

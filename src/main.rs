@@ -5,8 +5,8 @@
 //! trigon gen <model> --n N [--seed S] [-o FILE]         models: gnp, ba, ws, ring, rmat, complete, grid
 //! trigon analyze <FILE>
 //! trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion]
-//!              [--device c1060|c2050|c2070] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N]
-//!              [--json] [--trace FILE] [--verbose]
+//!              [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB]
+//!              [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--verbose]
 //! trigon split <FILE> [--device c1060|c2050|c2070]
 //! trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
 //! trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
@@ -24,7 +24,7 @@ use trigon::gpu_sim::{
     PartitionTraffic,
 };
 use trigon::graph::{approx, cores, gen, io, triangles, BfsTree, Graph};
-use trigon::{Analysis, Error, Level, Method, RunReport, Tracer};
+use trigon::{Analysis, Error, FleetSpec, Level, LossPlan, Method, RunReport, Tracer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,10 +55,15 @@ const USAGE: &str = "usage:
   trigon devices
   trigon gen <gnp|ba|ws|ring|rmat|complete|grid> --n N [--seed S] [-o FILE]
   trigon analyze <FILE>
-  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--verbose]
+  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--verbose]
     --faults SPEC   inject deterministic simulated faults; SPEC is a comma list
                     of kind:count pairs (kinds: ecc, xfer, abort, stall), e.g.
                     --faults xfer:1,ecc:2 --fault-seed 7
+    --devices SPEC  run the gpu-* methods on a multi-device fleet; SPEC is a
+                    comma list of [COUNTx]MODEL entries, e.g.
+                    --devices 2xC2050,1xC1060 (1-8 devices total)
+    --device-loss N kill N fleet devices at shard start (deterministic, seeded
+                    by --fault-seed); their work reshards onto the survivors
   trigon split <FILE> [--device c1060|c2050|c2070]
   trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
   trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
@@ -116,9 +121,9 @@ fn parse(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), Erro
 fn faults_for(flags: &HashMap<String, String>) -> Result<Option<FaultConfig>, Error> {
     let spec = match flags.get("faults") {
         None => {
-            if flags.contains_key("fault-seed") {
+            if flags.contains_key("fault-seed") && !flags.contains_key("device-loss") {
                 return Err(Error::bad_config(
-                    "--fault-seed needs --faults SPEC (nothing to inject)",
+                    "--fault-seed needs --faults SPEC or --device-loss N (nothing to inject)",
                 ));
             }
             return Ok(None);
@@ -134,6 +139,47 @@ fn faults_for(flags: &HashMap<String, String>) -> Result<Option<FaultConfig>, Er
         })?,
     };
     Ok(Some(FaultConfig::new(FaultPlan::new(spec, seed))))
+}
+
+/// Builds the fleet spec from `--devices SPEC` and the loss plan from
+/// `--device-loss N` (seeded by `--fault-seed`, default 0).
+///
+/// A malformed SPEC is a parse error (exit 4); `--device-loss` without
+/// `--devices` is a configuration error (exit 2).
+fn fleet_for(
+    flags: &HashMap<String, String>,
+) -> Result<(Option<FleetSpec>, Option<LossPlan>), Error> {
+    let fleet = match flags.get("devices") {
+        None => {
+            if flags.contains_key("device-loss") {
+                return Err(Error::bad_config(
+                    "--device-loss needs --devices SPEC (a fleet to lose devices from)",
+                ));
+            }
+            return Ok((None, None));
+        }
+        Some(s) => FleetSpec::parse(s).map_err(|e| Error::Parse(format!("--devices: {e}")))?,
+    };
+    let loss = match flags.get("device-loss") {
+        None => None,
+        Some(s) => {
+            let count: u32 = s.parse().map_err(|_| {
+                Error::bad_config(format!(
+                    "--device-loss expects an unsigned integer, got {s:?}"
+                ))
+            })?;
+            let seed: u64 = match flags.get("fault-seed") {
+                None => 0,
+                Some(s) => s.parse().map_err(|_| {
+                    Error::bad_config(format!(
+                        "--fault-seed expects an unsigned integer, got {s:?}"
+                    ))
+                })?,
+            };
+            Some(LossPlan::new(count, seed))
+        }
+    };
+    Ok((Some(fleet), loss))
 }
 
 fn device_for(flags: &HashMap<String, String>) -> Result<DeviceSpec, Error> {
@@ -339,6 +385,32 @@ fn print_report(r: &RunReport) {
             );
         }
     }
+    if let Some(fl) = &r.fleet {
+        println!(
+            "{:<14}{} ({} devices, {} lost, {} ALS reshard)",
+            "fleet", fl.spec, fl.devices, fl.lost_devices, fl.reassigned_als
+        );
+        println!(
+            "{:<14}{} cycles (compute {}, H2D {}, D2D {}, imbalance {:.3})",
+            "fleet span",
+            fl.makespan_cycles,
+            fl.compute_cycles,
+            fl.h2d_cycles,
+            fl.d2d_cycles,
+            fl.imbalance
+        );
+        for (i, d) in fl.per_device.iter().enumerate() {
+            println!(
+                "  dev {:>2} {:<6} {:>5} ALS {:>12} end-cycles {:>10} triangles{}",
+                i,
+                d.device,
+                d.als,
+                d.end_cycles,
+                d.triangles,
+                if d.lost { "  LOST" } else { "" }
+            );
+        }
+    }
     if let Some(e) = &r.eq6 {
         println!(
             "{:<14}predicted {:.4} s vs simulated {:.4} s (ratio {:.2})",
@@ -393,6 +465,7 @@ fn cmd_count(args: &[String]) -> Result<(), Error> {
         return Err(Error::bad_config("--threads must be at least 1"));
     }
     let faults = faults_for(&flags)?;
+    let (fleet, loss) = fleet_for(&flags)?;
     let build = || {
         let mut a = Analysis::new(&g)
             .method(Method::parse(method)?)
@@ -401,6 +474,12 @@ fn cmd_count(args: &[String]) -> Result<(), Error> {
             .tracer(tracer);
         if let Some(fc) = faults {
             a = a.faults(fc);
+        }
+        if let Some(f) = fleet {
+            a = a.fleet(f);
+        }
+        if let Some(l) = loss {
+            a = a.device_loss(l);
         }
         a.run()
     };

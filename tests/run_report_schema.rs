@@ -11,7 +11,7 @@
 
 use trigon::gpu_sim::{DeviceSpec, FaultConfig, FaultPlan, FaultSpec};
 use trigon::graph::gen;
-use trigon::{Analysis, Level, Method, RunReport};
+use trigon::{Analysis, FleetSpec, Level, LossPlan, Method, RunReport};
 
 fn check_golden(name: &str, report: &RunReport) {
     let actual = report.to_json().key_paths().join("\n") + "\n";
@@ -81,7 +81,24 @@ fn faulted_report_schema_is_pinned() {
     check_golden("run_report_faults_keys", &r);
 }
 
+/// A multi-device fleet run with device loss pins the `fleet` block —
+/// the populated section (including the `per_device[]` element shape)
+/// must keep the same key set whatever the roster or loss plan.
+#[test]
+fn fleet_report_schema_is_pinned() {
+    let g = gen::community_ring(1_000, 100, 0.2, 2, 5);
+    let r = Analysis::new(&g)
+        .method(Method::GpuOptimized)
+        .fleet(FleetSpec::parse("2xC2050,1xC1060").unwrap())
+        .device_loss(LossPlan::new(1, 7))
+        .telemetry(Level::Trace)
+        .run()
+        .unwrap();
+    assert!(r.fleet.is_some(), "fleet run must emit a fleet section");
+    check_golden("run_report_fleet_keys", &r);
+}
+
 #[test]
 fn schema_version_is_current() {
-    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 3);
+    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 4);
 }
