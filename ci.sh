@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the full workspace test suite, and
-# smoke tests of the trace export, fault recovery, fleet, and perf repro
-# paths.
+# smoke tests of the trace export, fault recovery, fleet, workload, and
+# perf repro paths.
 #
 #   ./ci.sh            # everything
 #   ./ci.sh quick      # everything, but skip the slow property-test suite
-#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | fleet | perf
+#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | fleet | workloads | perf
 #
 # Each stage's wall-clock time is reported in a summary at the end.
 #
@@ -62,7 +62,7 @@ stage_test() {
 
 stage_trace() {
     local trace_out="$scratch/trace.json"
-    cargo run --release --quiet -- count --gen gnp --n 500 --method gpu-opt \
+    cargo run --release --quiet -- run --gen gnp --n 500 --method gpu-opt \
         --trace "$trace_out" --verbose > /dev/null
     grep -q '"traceEvents"' "$trace_out"
     grep -q '"SM 0"' "$trace_out"
@@ -72,9 +72,9 @@ stage_trace() {
 # must exit 0 and report the exact count of an unfaulted serial run.
 stage_faults() {
     local serial faulted
-    serial="$(cargo run --release --quiet -- count --gen gnp --n 500 \
+    serial="$(cargo run --release --quiet -- run --gen gnp --n 500 \
         --method cpu-fast | awk '/^triangles/ {print $2}')"
-    faulted="$(cargo run --release --quiet -- count --gen gnp --n 500 \
+    faulted="$(cargo run --release --quiet -- run --gen gnp --n 500 \
         --method gpu-opt --faults xfer:1,ecc:2 --fault-seed 7 \
         | awk '/^triangles/ {print $2}')"
     if [ -z "$serial" ] || [ "$serial" != "$faulted" ]; then
@@ -89,12 +89,12 @@ stage_faults() {
 # of a serial CPU run (the sharded reduction is bit-identical by design).
 stage_fleet() {
     local serial fleet lossy
-    serial="$(cargo run --release --quiet -- count --gen ring --n 1000 \
+    serial="$(cargo run --release --quiet -- run --gen ring --n 1000 \
         --method cpu-fast | awk '/^triangles/ {print $2}')"
-    fleet="$(cargo run --release --quiet -- count --gen ring --n 1000 \
+    fleet="$(cargo run --release --quiet -- run --gen ring --n 1000 \
         --method gpu-opt --devices 2xC2050,1xC1060 \
         | awk '/^triangles/ {print $2}')"
-    lossy="$(cargo run --release --quiet -- count --gen ring --n 1000 \
+    lossy="$(cargo run --release --quiet -- run --gen ring --n 1000 \
         --method gpu-opt --devices 4xC2050 --device-loss 2 --fault-seed 7 \
         | awk '/^triangles/ {print $2}')"
     if [ -z "$serial" ] || [ "$serial" != "$fleet" ] || [ "$serial" != "$lossy" ]; then
@@ -102,6 +102,54 @@ stage_fleet() {
         return 1
     fi
     echo "fleet count $fleet matches serial (with and without device loss)"
+}
+
+# Workload smoke tests: every ChunkKernel workload runs through the CLI,
+# kcount at k = 3 reproduces the triangle count, clustering is unchanged
+# by executor choice and by injected faults, the deprecated `count`
+# alias still answers (with its stderr note), and the repro sweep writes
+# bench_out/BENCH_workloads.json.
+stage_workloads() {
+    local tri k3 clus_cpu clus_gpu clus_faulted truss enum_line
+    tri="$(cargo run --release --quiet -- run --gen gnp --n 400 \
+        --method gpu-opt | awk '/^triangles/ {print $2}')"
+    k3="$(cargo run --release --quiet -- run --gen gnp --n 400 \
+        --workload kcount --k 3 | awk '/^cliques/ {print $2}')"
+    if [ -z "$tri" ] || [ "$tri" != "$k3" ]; then
+        echo "kcount k=3 drifted from triangles: tri=$tri k3=$k3" >&2
+        return 1
+    fi
+    clus_cpu="$(cargo run --release --quiet -- run --gen gnp --n 400 \
+        --workload clustering --method cpu-fast | awk '/^mean cc/ {print $3}')"
+    clus_gpu="$(cargo run --release --quiet -- run --gen gnp --n 400 \
+        --workload clustering --method gpu-opt | awk '/^mean cc/ {print $3}')"
+    clus_faulted="$(cargo run --release --quiet -- run --gen gnp --n 400 \
+        --workload clustering --method gpu-opt --faults xfer:1,ecc:2 \
+        --fault-seed 7 | awk '/^mean cc/ {print $3}')"
+    if [ -z "$clus_cpu" ] || [ "$clus_cpu" != "$clus_gpu" ] \
+        || [ "$clus_cpu" != "$clus_faulted" ]; then
+        echo "clustering drifted: cpu=$clus_cpu gpu=$clus_gpu faulted=$clus_faulted" >&2
+        return 1
+    fi
+    truss="$(cargo run --release --quiet -- run --gen gnp --n 400 \
+        --workload ktruss --k 4 | awk '/^truss/ {print $2}')"
+    enum_line="$(cargo run --release --quiet -- run --gen gnp --n 400 \
+        --workload enumerate | awk '/^enumerated/ {print $2}')"
+    if [ -z "$truss" ] || [ "$enum_line" != "$tri" ]; then
+        echo "workload smoke failed: truss=$truss enumerated=$enum_line tri=$tri" >&2
+        return 1
+    fi
+    cargo run --release --quiet -- count --gen gnp --n 200 --method cpu-fast \
+        > /dev/null 2> "$scratch/count_note"
+    grep -q deprecated "$scratch/count_note"
+    echo "workloads agree: triangles=$tri truss(k=4)=$truss clustering=$clus_cpu"
+    cargo run --release --quiet -p trigon-bench --bin repro -- workloads > /dev/null
+    test -s bench_out/BENCH_workloads.json
+    local key
+    for key in '"schema_version": 1' '"workload": "ktruss"' '"workload": "clustering"' \
+        '"checksum"' '"mean_clustering"'; do
+        grep -q "$key" bench_out/BENCH_workloads.json
+    done
 }
 
 # Measures real wall-clock of the counting strategies, asserts parallel
@@ -121,9 +169,9 @@ stage_perf() {
 }
 
 case "$mode" in
-    all | quick | fmt | clippy | doc | test | trace | faults | fleet | perf) ;;
+    all | quick | fmt | clippy | doc | test | trace | faults | fleet | workloads | perf) ;;
     *)
-        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|fleet|perf]" >&2
+        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|fleet|workloads|perf]" >&2
         exit 2
         ;;
 esac
@@ -135,6 +183,7 @@ run_stage test stage_test
 run_stage trace stage_trace
 run_stage faults stage_faults
 run_stage fleet stage_fleet
+run_stage workloads stage_workloads
 run_stage perf stage_perf
 
 echo

@@ -2,7 +2,7 @@
 //! Graphs Using GPUs* (IPDPSW 2013) from the trigon reproduction.
 //!
 //! ```text
-//! repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|trace|fleet|all [--csv DIR]
+//! repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|workloads|trace|fleet|all [--csv DIR]
 //! repro perf [--quick] [--baseline PATH] [--csv DIR]
 //! ```
 //!
@@ -60,6 +60,7 @@ fn main() {
         "fig12" => fig12(&out),
         "ablation" => ablation(&out),
         "workload" => workload(&out),
+        "workloads" => workloads_cmd(&out),
         "trace" => trace_capture(&out),
         "fleet" => fleet_cmd(&out),
         "perf" => perf(&out, &args[1..]),
@@ -73,13 +74,14 @@ fn main() {
             fig12(&out);
             ablation(&out);
             workload(&out);
+            workloads_cmd(&out);
             trace_capture(&out);
             fleet_cmd(&out);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|trace|fleet|perf|all [--csv DIR]"
+                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|workloads|trace|fleet|perf|all [--csv DIR]"
             );
             eprintln!("       repro perf [--quick] [--baseline PATH] [--csv DIR]");
             std::process::exit(2);
@@ -363,6 +365,50 @@ fn workload(out: &Output) {
     out.csv("workload", "suite,als,total_tests,dominant_pct", &rows);
     println!("  (the G(n,p) suite is dominated by one huge ALS; the community ring");
     println!("   spreads work across many — which is what makes SS-V splitting useful)");
+}
+
+/// Cross-workload sweep of the `ChunkKernel` API: every workload on the
+/// fig10 ladder, CPU vs simulated GPU, bit-agreement enforced.
+fn workloads_cmd(out: &Output) {
+    out.section("Workloads: the ChunkKernel API across every analysis (G(n, deg 16))");
+    let result = trigon_bench::run_workloads();
+    println!(
+        "{:<12} {:>6} {:>12} {:>10} {:>10}  detail",
+        "workload", "n", "count", "CPU(s)", "GPU(s)"
+    );
+    let mut rows = Vec::new();
+    for p in &result.points {
+        use trigon_core::WorkloadSection as W;
+        let detail = match &p.section {
+            W::Clustering {
+                mean_clustering,
+                transitivity,
+                ..
+            } => format!("mean cc {mean_clustering:.4}, transitivity {transitivity:.4}"),
+            W::KTruss {
+                k,
+                edges_kept,
+                edges_peeled,
+                ..
+            } => format!("k={k}: {edges_kept} kept, {edges_peeled} peeled"),
+            W::Enumerate { checksum, .. } => format!("checksum {checksum:#018x}"),
+            W::KCount { k } => format!("k={k}"),
+            W::Triangles => String::new(),
+        };
+        println!(
+            "{:<12} {:>6} {:>12} {:>10.3} {:>10.3}  {}",
+            p.workload, p.n, p.count, p.cpu_s, p.gpu_s, detail
+        );
+        rows.push(format!(
+            "{},{},{},{:.4},{:.4}",
+            p.workload, p.n, p.count, p.cpu_s, p.gpu_s
+        ));
+    }
+    std::fs::create_dir_all("bench_out").expect("create bench_out");
+    let path = "bench_out/BENCH_workloads.json";
+    std::fs::write(path, result.report.to_string_pretty()).expect("write workloads json");
+    println!("  [workloads report written to {path}]");
+    out.csv("workloads", "workload,n,count,cpu_s,gpu_s", &rows);
 }
 
 /// Trace capture: one fully traced gpu-opt run at n = 1000, exported as

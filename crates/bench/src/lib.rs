@@ -10,6 +10,7 @@
 pub mod fleet;
 pub mod perf;
 pub mod suites;
+pub mod workloads;
 
 pub use fleet::{
     fleet_graph, run_fleet_scaling, FleetOutcome, FleetPoint, FLEET_MAX_DEVICES,
@@ -17,3 +18,7 @@ pub use fleet::{
 };
 pub use perf::{run_perf, PerfOptions, PerfOutcome, PERF_SCHEMA_VERSION};
 pub use suites::{fig10_graph, fig10_sizes, fig11_graph, fig11_sizes, SEED};
+pub use workloads::{
+    kcount_sizes, run_workloads, run_workloads_on, workloads_sizes, WorkloadPoint,
+    WorkloadsOutcome, WORKLOADS_SCHEMA_VERSION,
+};

@@ -1,37 +1,68 @@
-//! The [`Analysis`] builder — the one entry point of the pipeline.
+//! The [`Run`] builder (aliased as [`Analysis`]) — the one entry point
+//! of the pipeline.
 //!
 //! Every way of running the paper's machinery (CPU baselines, naive and
 //! primitive-optimized simulated GPU, sampled fidelity, the hybrid
-//! shared/global split, k-clique counting) is reached through the same
-//! builder, and every run returns the same [`RunReport`]:
+//! shared/global split, multi-device fleets) crossed with every
+//! [`Workload`] (triangle count, k-clique count, clustering +
+//! transitivity, k-truss, triangle enumeration) is reached through the
+//! same builder, and every run returns the same [`RunReport`]:
 //!
 //! ```
-//! use trigon_core::{Analysis, Method};
+//! use trigon_core::{Method, Run};
 //! use trigon_gpu_sim::DeviceSpec;
 //! use trigon_graph::gen;
 //!
 //! let g = gen::gnp(200, 0.05, 1);
-//! let report = Analysis::new(&g)
+//! let report = Run::new(&g)
 //!     .method(Method::GpuOptimized)
 //!     .device(DeviceSpec::c1060())
-//!     .run()
+//!     .execute()
 //!     .unwrap();
 //! assert!(report.count > 0);
 //! assert!(report.gpu.unwrap().transactions > 0);
 //! ```
 //!
+//! Selecting a workload reuses the whole §V–§VII execution stack — the
+//! per-ALS [`ChunkKernel`] is the only thing that changes:
+//!
+//! ```
+//! use trigon_core::{Run, Workload};
+//! use trigon_core::report::WorkloadSection;
+//! use trigon_graph::gen;
+//!
+//! let g = gen::watts_strogatz(100, 4, 0.0, 1); // a lattice: clustering 0.5
+//! let report = Run::new(&g)
+//!     .workload(Workload::Clustering)
+//!     .execute()
+//!     .unwrap();
+//! match report.workload {
+//!     WorkloadSection::Clustering { mean_clustering, .. } => {
+//!         assert!((mean_clustering - 0.5).abs() < 1e-12);
+//!     }
+//!     _ => unreachable!(),
+//! }
+//! ```
+//!
 //! The builder is also where the multi-device fleet path is switched
-//! on: [`Analysis::fleet`] routes the GPU methods through
-//! [`crate::multi::run_fleet`], and [`Analysis::device_loss`] injects
-//! deterministic device failures into that fleet.
+//! on: [`Run::fleet`] routes the GPU methods through
+//! [`crate::multi::run_fleet_workload`], and [`Run::device_loss`]
+//! injects deterministic device failures into that fleet.
 
 use crate::error::Error;
 use crate::gpu_exec::{self, GpuConfig};
-use crate::gpu_kcount::run_k_cliques_traced;
-use crate::hybrid::{run_hybrid_collected, run_hybrid_traced, HybridConfig};
+use crate::gpu_kcount::run_k_cliques_workload_traced;
+use crate::hybrid::{run_hybrid_collected, run_hybrid_workload_traced, HybridConfig};
 use crate::multi;
-use crate::report::{Eq6Section, FaultsSection, GpuSection, HybridSection, RunReport};
+use crate::report::{
+    Eq6Section, FaultsSection, GpuSection, HybridSection, RunReport, WorkloadSection,
+};
 use crate::timemodel::CostModel;
+use crate::workload::{
+    clustering_coefficients_from_counts, k_truss_from_support, mean_clustering,
+    transitivity_from_count, triangle_checksum, ChunkKernel, ClusteringKernel, CountKernel,
+    EnumerateKernel, KTrussKernel, Workload,
+};
 use crate::{count, pipeline};
 use trigon_fleet::{FleetSpec, LossPlan};
 use trigon_gpu_sim::{DeviceSpec, FaultConfig, FaultOutcome};
@@ -102,33 +133,42 @@ impl Method {
 
 /// Builder for one pipeline run. See the [module docs](self).
 #[derive(Debug, Clone)]
-pub struct Analysis<'g> {
+pub struct Run<'g> {
     graph: &'g Graph,
+    workload: Workload,
     method: Method,
     device: DeviceSpec,
     cost: CostModel,
     gpu_override: Option<GpuConfig>,
     level: Level,
     max_roots: usize,
+    threads: Option<usize>,
     tracer: Option<Tracer>,
     faults: Option<FaultConfig>,
     fleet: Option<FleetSpec>,
     device_loss: Option<LossPlan>,
 }
 
-impl<'g> Analysis<'g> {
-    /// Starts a builder with defaults: [`Method::CpuFast`], the C1060
-    /// device, the default cost model, and standard telemetry.
+/// The builder's original name, kept as an alias; [`Run`] is the
+/// canonical spelling since the workload generalization.
+pub type Analysis<'g> = Run<'g>;
+
+impl<'g> Run<'g> {
+    /// Starts a builder with defaults: [`Workload::Triangles`] via
+    /// [`Method::CpuFast`], the C1060 device, the default cost model,
+    /// and standard telemetry.
     #[must_use]
     pub fn new(graph: &'g Graph) -> Self {
         Self {
             graph,
+            workload: Workload::Triangles,
             method: Method::CpuFast,
             device: DeviceSpec::c1060(),
             cost: CostModel::default(),
             gpu_override: None,
             level: Level::Standard,
             max_roots: 4,
+            threads: None,
             tracer: None,
             faults: None,
             fleet: None,
@@ -136,10 +176,29 @@ impl<'g> Analysis<'g> {
         }
     }
 
+    /// Selects the workload — what the §VII per-ALS kernel computes.
+    /// [`Method::KCliques`] implies [`Workload::KCliques`]; everything
+    /// else defaults to [`Workload::Triangles`].
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
     /// Selects the counting method.
     #[must_use]
     pub fn method(mut self, method: Method) -> Self {
         self.method = method;
+        self
+    }
+
+    /// Caps the CPU worker-thread pool for this run (the simulated-GPU
+    /// block sweep and the parallel CPU paths). `execute` runs inside a
+    /// dedicated pool of this size; without this call the global pool
+    /// (one worker per core) is used.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -228,14 +287,57 @@ impl<'g> Analysis<'g> {
         self
     }
 
-    /// Runs the pipeline.
+    /// Runs the pipeline. Alias of [`Run::execute`], kept as the
+    /// pre-workload spelling.
+    ///
+    /// # Errors
+    ///
+    /// As [`Run::execute`].
+    pub fn run(self) -> Result<RunReport, Error> {
+        self.execute()
+    }
+
+    /// Runs the configured workload through the configured method and
+    /// returns the unified report.
     ///
     /// # Errors
     ///
     /// [`Error::GraphTooLarge`] when a GPU layout exceeds the device,
     /// [`Error::BadConfig`] for invalid configuration (bad block shape,
-    /// `k < 2`).
-    pub fn run(mut self) -> Result<RunReport, Error> {
+    /// `k < 2`, zero threads, unsupported workload/method/fault
+    /// combinations).
+    pub fn execute(self) -> Result<RunReport, Error> {
+        match self.threads {
+            Some(0) => Err(Error::bad_config("threads must be at least 1")),
+            Some(t) => rayon::ThreadPool::new(t).install(|| self.execute_inner()),
+            None => self.execute_inner(),
+        }
+    }
+
+    fn execute_inner(mut self) -> Result<RunReport, Error> {
+        // Method::KCliques predates Workload::KCliques; fold it in so
+        // both spellings hit the same path.
+        let workload = match (self.workload, self.method) {
+            (Workload::Triangles, Method::KCliques(k)) => Workload::KCliques(k),
+            (w, _) => w,
+        };
+        match workload {
+            Workload::KCliques(k) | Workload::KTruss(k) if k < 2 => {
+                return Err(Error::bad_config(format!(
+                    "the {} workload needs k >= 2, got {k}",
+                    workload.label()
+                )));
+            }
+            Workload::KCliques(_)
+                if !self.method.uses_device() || self.method == Method::Hybrid =>
+            {
+                return Err(Error::bad_config(
+                    "the kcount workload runs on the simulated device; pick a \
+                     gpu-* method",
+                ));
+            }
+            _ => {}
+        }
         if let Some(fc) = self.faults.as_ref() {
             let spec = fc.plan.spec();
             match self.method {
@@ -257,6 +359,11 @@ impl<'g> Analysis<'g> {
                 }
                 _ => {}
             }
+            if matches!(workload, Workload::KCliques(_)) {
+                return Err(Error::bad_config(
+                    "fault injection is not supported on the k-clique path",
+                ));
+            }
         }
         if let Some(fleet) = self.fleet.as_ref() {
             if fleet.is_empty() {
@@ -269,6 +376,11 @@ impl<'g> Analysis<'g> {
                 return Err(Error::bad_config(
                     "a device fleet requires a gpu-* method (the fleet path shards \
                      the simulated kernel)",
+                ));
+            }
+            if matches!(workload, Workload::KCliques(_)) {
+                return Err(Error::bad_config(
+                    "the kcount workload is single-device; drop the fleet",
                 ));
             }
             if self.faults.is_some() && fleet.len() > 1 {
@@ -306,39 +418,144 @@ impl<'g> Analysis<'g> {
                     .to_string(),
             });
 
-        let mut report = match self.method {
+        let mut report = match workload {
+            Workload::Triangles => {
+                self.run_method_kernel(&CountKernel, true, &mut collector, &tracer)?
+                    .0
+            }
+            Workload::KCliques(k) => {
+                // The widened C(k,2)-test kernel has its own executor
+                // (combination spaces of order k); CountKernel rides it.
+                let cfg = self.gpu_config_for(match self.method {
+                    Method::KCliques(_) => Method::GpuOptimized,
+                    m => m,
+                })?;
+                let (r, _) = run_k_cliques_workload_traced(
+                    g,
+                    &cfg,
+                    k,
+                    &CountKernel,
+                    &mut collector,
+                    &tracer,
+                )?;
+                let mut report = self.base_report(r.cliques, r.tests, r.total_s);
+                report.kind = "cliques".into();
+                report.k = k;
+                report.workload = WorkloadSection::KCount { k };
+                report.gpu = Some(GpuSection {
+                    transactions: r.transactions,
+                    camping_factor: 1.0, // not modeled on the k-clique path
+                    kernel_cycles: collector.counter("gpu.makespan_cycles"),
+                    kernel_s: r.kernel_s,
+                    transfer_s: collector.phase_total("xfer"),
+                    host_s: self.cost.host_prep_seconds(g.n(), g.m()),
+                    context_s: self.cost.gpu_context_init_s,
+                    blocks: r.blocks,
+                    layout_bytes: collector.counter("xfer.bytes"),
+                    makespan_cycles: collector.counter("gpu.makespan_cycles"),
+                    sm_utilization: collector.gauge_value("gpu.sm_utilization").unwrap_or(1.0),
+                    schedule_imbalance: collector
+                        .gauge_value("gpu.schedule_imbalance")
+                        .unwrap_or(1.0),
+                });
+                report
+            }
+            Workload::Clustering => {
+                let kern = ClusteringKernel::new(g);
+                let (mut report, partial) =
+                    self.run_method_kernel(&kern, false, &mut collector, &tracer)?;
+                let cc = clustering_coefficients_from_counts(g, &partial);
+                report.workload = WorkloadSection::Clustering {
+                    vertices: cc.len(),
+                    mean_clustering: mean_clustering(&cc),
+                    transitivity: transitivity_from_count(g, report.count),
+                };
+                report
+            }
+            Workload::KTruss(k) => {
+                let kern = KTrussKernel::new(g);
+                let (mut report, partial) =
+                    self.run_method_kernel(&kern, false, &mut collector, &tracer)?;
+                let peel = k_truss_from_support(g, kern.index(), &partial, k);
+                report.kind = "ktruss_edges".into();
+                report.k = k;
+                report.count = peel.kept;
+                report.workload = WorkloadSection::KTruss {
+                    k,
+                    edges_initial: g.m() as u64,
+                    edges_kept: peel.kept,
+                    edges_peeled: peel.peeled,
+                };
+                report
+            }
+            Workload::Enumerate => {
+                let kern = EnumerateKernel;
+                let (mut report, mut partial) =
+                    self.run_method_kernel(&kern, false, &mut collector, &tracer)?;
+                kern.finalize(&mut partial);
+                report.workload = WorkloadSection::Enumerate {
+                    triangles: partial.len() as u64,
+                    checksum: triangle_checksum(&partial),
+                };
+                report
+            }
+        };
+
+        drop(run_span);
+        report.device = device_name;
+        report.wall_s = collector.clock().now_ns().saturating_sub(t0) as f64 / 1e9;
+        report.telemetry = collector;
+        report.trace = tracer.enabled().then(|| tracer.summary());
+        report.tracer = tracer;
+        Ok(report)
+    }
+
+    /// Runs `kernel` through the configured method (everything except
+    /// the widened k-clique executor), assembling the method-side report
+    /// sections; the workload arms of [`Run::execute`] overlay their own
+    /// `workload`/`kind`/`count` afterwards.
+    fn run_method_kernel<K: ChunkKernel>(
+        &self,
+        kernel: &K,
+        with_eq6: bool,
+        collector: &mut Collector,
+        tracer: &Tracer,
+    ) -> Result<(RunReport, K::Partial), Error> {
+        let g = self.graph;
+        match self.method {
             Method::CpuExhaustive | Method::CpuFast => {
                 let cm = if self.method == Method::CpuExhaustive {
                     pipeline::CountMethod::CpuExhaustive
                 } else {
                     pipeline::CountMethod::CpuFast
                 };
-                let r =
-                    pipeline::count_triangles_traced(g, cm, &self.cost, &mut collector, &tracer)?;
-                self.base_report(r.triangles, r.tests, r.modeled_s)
+                let (r, partial) =
+                    pipeline::run_workload_traced(g, cm, &self.cost, kernel, collector, tracer)?;
+                Ok((self.base_report(r.triangles, r.tests, r.modeled_s), partial))
             }
             Method::GpuNaive | Method::GpuOptimized | Method::GpuSampled => {
                 let mut cfg = self.gpu_config_for(self.method)?;
                 let mut fleet_section = None;
-                let r = match self.fleet.as_ref() {
+                let (r, partial) = match self.fleet.as_ref() {
                     Some(fleet) => {
                         cfg.device = fleet.devices()[0].clone();
-                        let (r, section) = multi::run_fleet(
+                        let (r, partial, section) = multi::run_fleet_workload(
                             g,
                             fleet,
                             &cfg,
                             self.device_loss,
-                            &mut collector,
-                            &tracer,
+                            kernel,
+                            collector,
+                            tracer,
                         )?;
                         fleet_section = Some(section);
-                        r
+                        (r, partial)
                     }
-                    None => gpu_exec::run_traced(g, &cfg, &mut collector, &tracer)?,
+                    None => gpu_exec::run_workload_traced(g, &cfg, kernel, collector, tracer)?,
                 };
                 // Eq. 6 models one device; skip the prediction for real
                 // multi-device fleets.
-                let eq6 = if self.fleet.as_ref().is_none_or(|f| f.len() == 1) {
+                let eq6 = if with_eq6 && self.fleet.as_ref().is_none_or(|f| f.len() == 1) {
                     self.eq6_prediction(r.kernel_s, &cfg)
                 } else {
                     None
@@ -361,7 +578,7 @@ impl<'g> Analysis<'g> {
                 report.eq6 = eq6;
                 report.faults = faults_section(cfg.faults.as_ref(), r.faults.as_ref());
                 report.fleet = fleet_section;
-                report
+                Ok((report, partial))
             }
             Method::Hybrid => {
                 let cfg = HybridConfig {
@@ -370,7 +587,7 @@ impl<'g> Analysis<'g> {
                     max_roots: self.max_roots,
                     faults: self.faults,
                 };
-                let r = run_hybrid_traced(g, &cfg, &mut collector, &tracer);
+                let (r, partial) = run_hybrid_workload_traced(g, &cfg, kernel, collector, tracer);
                 let mut report = self.base_report(r.triangles, r.tests, r.total_s);
                 report.faults = faults_section(cfg.faults.as_ref(), r.faults.as_ref());
                 report.hybrid = Some(HybridSection {
@@ -383,44 +600,10 @@ impl<'g> Analysis<'g> {
                         .unwrap_or(1.0),
                 });
                 report.eq6 = Some(Eq6Section::new(r.eq6_s, r.kernel_s));
-                report
+                Ok((report, partial))
             }
-            Method::KCliques(k) => {
-                if k < 2 {
-                    return Err(Error::bad_config(format!("k-cliques need k >= 2, got {k}")));
-                }
-                let cfg = self.gpu_config_for(Method::GpuOptimized)?;
-                let r = run_k_cliques_traced(g, &cfg, k, &mut collector, &tracer)?;
-                let mut report = self.base_report(r.cliques, r.tests, r.total_s);
-                report.kind = "cliques".into();
-                report.k = k;
-                report.gpu = Some(GpuSection {
-                    transactions: r.transactions,
-                    camping_factor: 1.0, // not modeled on the k-clique path
-                    kernel_cycles: collector.counter("gpu.makespan_cycles"),
-                    kernel_s: r.kernel_s,
-                    transfer_s: collector.phase_total("xfer"),
-                    host_s: self.cost.host_prep_seconds(g.n(), g.m()),
-                    context_s: self.cost.gpu_context_init_s,
-                    blocks: r.blocks,
-                    layout_bytes: collector.counter("xfer.bytes"),
-                    makespan_cycles: collector.counter("gpu.makespan_cycles"),
-                    sm_utilization: collector.gauge_value("gpu.sm_utilization").unwrap_or(1.0),
-                    schedule_imbalance: collector
-                        .gauge_value("gpu.schedule_imbalance")
-                        .unwrap_or(1.0),
-                });
-                report
-            }
-        };
-
-        drop(run_span);
-        report.device = device_name;
-        report.wall_s = collector.clock().now_ns().saturating_sub(t0) as f64 / 1e9;
-        report.telemetry = collector;
-        report.trace = tracer.enabled().then(|| tracer.summary());
-        report.tracer = tracer;
-        Ok(report)
+            Method::KCliques(_) => unreachable!("folded into Workload::KCliques"),
+        }
     }
 
     /// The effective GPU configuration for a GPU-backed method.
@@ -473,6 +656,7 @@ impl<'g> Analysis<'g> {
             m: self.graph.m(),
             kind: "triangles".into(),
             k: 3,
+            workload: WorkloadSection::Triangles,
             count,
             tests,
             modeled_s,

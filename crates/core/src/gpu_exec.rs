@@ -1,4 +1,5 @@
-//! The simulated GPU triangle-counting kernel.
+//! The simulated GPU combination kernel — triangle counting and every
+//! other [`ChunkKernel`] workload.
 //!
 //! This module executes Algorithm 2 the way the paper's CUDA kernel does
 //! — §VIII-D equal work division over the per-ALS combination spaces,
@@ -26,9 +27,9 @@
 //! path).
 
 use crate::als::{build_als, Als};
-use crate::count::count_als_fast;
 use crate::layout::{GlobalLayout, LayoutKind};
 use crate::timemodel::CostModel;
+use crate::workload::{ChunkKernel, CountKernel};
 use rayon::prelude::*;
 use std::collections::VecDeque;
 use trigon_combin::{equal_division, CrossMode};
@@ -215,14 +216,14 @@ pub struct GpuRunResult {
     pub faults: Option<FaultOutcome>,
 }
 
-/// One simulated block's accumulated costs.
+/// One simulated block's accumulated costs plus its workload partial.
 #[derive(Debug, Clone)]
-struct BlockSim {
+struct BlockSim<P> {
     compute_cycles: u64,
     mem_base_cycles: u64,
     transactions: u64,
     traffic: PartitionTraffic,
-    triangles: u64,
+    partial: P,
     tests: u128,
 }
 
@@ -256,25 +257,73 @@ pub fn run_collected(
     cfg: &GpuConfig,
     collector: &mut Collector,
 ) -> Result<GpuRunResult, GpuError> {
-    run_traced(g, cfg, collector, &Tracer::disabled())
+    run_workload_traced(g, cfg, &CountKernel, collector, &Tracer::disabled()).map(|(r, _)| r)
 }
 
-/// Runs the simulated kernel like [`run_collected`], additionally
-/// recording a time-resolved trace: host phase spans (`layout`,
-/// `count`, `dispatch`), a PCIe transfer span, one simulated-time span
-/// per block on its assigned SM lane (with transaction and
-/// partition-camping attributes), and `block.cycles` /
-/// `block.transactions` histograms.
+/// Runs the simulated triangle-count kernel like [`run_collected`],
+/// additionally recording a time-resolved trace.
 ///
 /// # Errors
 ///
 /// [`GpuError::GraphTooLarge`] when the layout exceeds the device memory.
+#[deprecated(
+    since = "0.7.0",
+    note = "use the `Run` builder or `run_workload_traced` with `CountKernel`; \
+            this shim will be removed next release"
+)]
 pub fn run_traced(
     g: &Graph,
     cfg: &GpuConfig,
     collector: &mut Collector,
     tracer: &Tracer,
 ) -> Result<GpuRunResult, GpuError> {
+    run_workload_traced(g, cfg, &CountKernel, collector, tracer).map(|(r, _)| r)
+}
+
+/// Runs the simulated triangle-count kernel over a caller-supplied ALS
+/// slice (one fleet shard).
+///
+/// # Errors
+///
+/// [`GpuError::GraphTooLarge`] when the shard's layout exceeds the
+/// device memory.
+#[deprecated(
+    since = "0.7.0",
+    note = "use the `Run` builder or `run_workload_traced_with_als` with `CountKernel`; \
+            this shim will be removed next release"
+)]
+pub fn run_traced_with_als(
+    g: &Graph,
+    als: &[Als],
+    cfg: &GpuConfig,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> Result<GpuRunResult, GpuError> {
+    run_workload_traced_with_als(g, als, cfg, &CountKernel, collector, tracer).map(|(r, _)| r)
+}
+
+/// Runs the simulated kernel for an arbitrary [`ChunkKernel`] workload,
+/// recording phase timings and — through `tracer` — a time-resolved
+/// trace: host phase spans (`layout`, `count`, `dispatch`), a PCIe
+/// transfer span, one simulated-time span per block on its assigned SM
+/// lane (with transaction and partition-camping attributes), and
+/// `block.cycles` / `block.transactions` histograms.
+///
+/// Returns the run result plus the fully-merged workload partial
+/// (reduced in canonical block order; **not** yet
+/// [finalized](ChunkKernel::finalize) — callers that stop merging here
+/// finalize it themselves).
+///
+/// # Errors
+///
+/// [`GpuError::GraphTooLarge`] when the layout exceeds the device memory.
+pub fn run_workload_traced<K: ChunkKernel>(
+    g: &Graph,
+    cfg: &GpuConfig,
+    kernel: &K,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> Result<(GpuRunResult, K::Partial), GpuError> {
     assert!(
         cfg.threads_per_block >= cfg.device.warp_size
             && cfg.threads_per_block.is_multiple_of(cfg.device.warp_size),
@@ -295,27 +344,28 @@ pub fn run_traced(
         );
         (als, layout)
     };
-    run_prepared(g, &als, layout, cfg, collector, tracer)
+    run_prepared(g, &als, layout, cfg, kernel, collector, tracer)
 }
 
-/// Runs the simulated kernel like [`run_traced`], but over a
-/// caller-supplied ALS slice instead of the graph's full decomposition —
-/// the entry point a multi-device fleet uses to run one *shard* (the
-/// subset of adjacent level sets assigned to one device). The layout is
-/// built over exactly these sets, so the Eq. 1 capacity check applies
-/// per shard.
+/// Runs the simulated workload kernel like [`run_workload_traced`], but
+/// over a caller-supplied ALS slice instead of the graph's full
+/// decomposition — the entry point a multi-device fleet uses to run one
+/// *shard* (the subset of adjacent level sets assigned to one device).
+/// The layout is built over exactly these sets, so the Eq. 1 capacity
+/// check applies per shard.
 ///
 /// # Errors
 ///
 /// [`GpuError::GraphTooLarge`] when the shard's layout exceeds the
 /// device memory.
-pub fn run_traced_with_als(
+pub fn run_workload_traced_with_als<K: ChunkKernel>(
     g: &Graph,
     als: &[Als],
     cfg: &GpuConfig,
+    kernel: &K,
     collector: &mut Collector,
     tracer: &Tracer,
-) -> Result<GpuRunResult, GpuError> {
+) -> Result<(GpuRunResult, K::Partial), GpuError> {
     assert!(
         cfg.threads_per_block >= cfg.device.warp_size
             && cfg.threads_per_block.is_multiple_of(cfg.device.warp_size),
@@ -334,20 +384,21 @@ pub fn run_traced_with_als(
             cfg.device.partition_width,
         )
     };
-    run_prepared(g, als, layout, cfg, collector, tracer)
+    run_prepared(g, als, layout, cfg, kernel, collector, tracer)
 }
 
-/// The shared tail of [`run_traced`] / [`run_traced_with_als`]: capacity
-/// check, block simulation, §VI dispatch, and result assembly over an
-/// already-built ALS slice and layout.
-fn run_prepared(
+/// The shared tail of the workload entry points: capacity check, block
+/// simulation, §VI dispatch, and result assembly over an already-built
+/// ALS slice and layout.
+fn run_prepared<K: ChunkKernel>(
     g: &Graph,
     als: &[Als],
     layout: GlobalLayout,
     cfg: &GpuConfig,
+    kernel: &K,
     collector: &mut Collector,
     tracer: &Tracer,
-) -> Result<GpuRunResult, GpuError> {
+) -> Result<(GpuRunResult, K::Partial), GpuError> {
     if layout.total_bytes() > cfg.device.global_mem_bytes {
         return Err(GpuError::GraphTooLarge {
             needed: layout.total_bytes(),
@@ -359,9 +410,9 @@ fn run_prepared(
         let _p = collector.phase("count");
         let _span = tracer.span("count", "phase");
         match cfg.mode {
-            FidelityMode::Exhaustive => simulate_exhaustive(g, als, &layout, cfg),
+            FidelityMode::Exhaustive => simulate_exhaustive(g, als, &layout, cfg, kernel),
             FidelityMode::Sampled { sample_steps } => {
-                simulate_sampled(g, als, &layout, cfg, sample_steps)
+                simulate_sampled(g, als, &layout, cfg, kernel, sample_steps)
             }
         }
     };
@@ -420,7 +471,7 @@ fn run_prepared(
             (Some(fc), Some(o)) => Some((fc, o)),
             _ => None,
         };
-        dispatch_rounds(ctx, faults)
+        dispatch_rounds(kernel, ctx, faults)
     } else {
         // Transfer retries exhausted: the kernel never launches and the
         // whole run degrades to the host path — every block's true
@@ -431,17 +482,17 @@ fn run_prepared(
         o.run_cpu_fallback = true;
         o.record(FaultEvent::RunCpuFallback);
         tracer.instant_at("recovery.cpu_fallback", Track::Pcie, kernel_start_cycles);
-        let mut triangles = 0u64;
+        let mut partial = kernel.identity();
         let mut fallback_tests = 0u128;
         for (b, origin) in blocks.iter().zip(&origins) {
-            triangles = triangles.wrapping_add(recompute_origin(g, als, origin));
+            partial = kernel.merge(partial, partial_for_origin(kernel, g, als, origin));
             fallback_tests += b.tests;
         }
         Dispatched {
             kernel_cycles: 0,
             weighted_camping: 0.0,
             camping_weight: 0.0,
-            triangles,
+            partial,
             transactions: 0,
             fallback_tests,
         }
@@ -491,59 +542,67 @@ fn run_prepared(
             collector.add("faults.backoff_cycles", o.backoff_cycles);
         }
     }
-    Ok(GpuRunResult {
-        triangles: d.triangles,
-        tests,
-        transactions: d.transactions,
-        camping_factor,
-        kernel_cycles: d.kernel_cycles,
-        kernel_s,
-        transfer_s,
-        host_s,
-        context_s,
-        total_s: kernel_s + transfer_s + host_s + context_s,
-        blocks: blocks.len(),
-        layout_bytes: layout.total_bytes(),
-        schedule_imbalance: schedule.imbalance(),
-        makespan_cycles,
-        sm_utilization,
-        faults: outcome,
-    })
+    Ok((
+        GpuRunResult {
+            triangles: kernel.triangles_in(&d.partial),
+            tests,
+            transactions: d.transactions,
+            camping_factor,
+            kernel_cycles: d.kernel_cycles,
+            kernel_s,
+            transfer_s,
+            host_s,
+            context_s,
+            total_s: kernel_s + transfer_s + host_s + context_s,
+            blocks: blocks.len(),
+            layout_bytes: layout.total_bytes(),
+            schedule_imbalance: schedule.imbalance(),
+            makespan_cycles,
+            sm_utilization,
+            faults: outcome,
+        },
+        d.partial,
+    ))
 }
 
-/// How a block's true triangle contribution is recomputed on the host
+/// How a block's true workload contribution is recomputed on the host
 /// when recovery has to abandon the device result.
 #[derive(Debug, Clone, Copy)]
 enum BlockOrigin {
     /// Exhaustive block: functionally re-walk its combination range.
     Range(BlockWork),
-    /// Sampled pseudo-block carrying its ALS's exact count.
+    /// Sampled pseudo-block carrying its ALS's whole partial.
     AlsTotal(usize),
-    /// Sampled pseudo-block with no triangle share.
+    /// Sampled pseudo-block with no workload share.
     Zero,
 }
 
-/// Host recomputation of one block's true triangle contribution.
-fn recompute_origin(g: &Graph, als: &[Als], origin: &BlockOrigin) -> u64 {
+/// Host recomputation of one block's true workload contribution.
+fn partial_for_origin<K: ChunkKernel>(
+    kernel: &K,
+    g: &Graph,
+    als: &[Als],
+    origin: &BlockOrigin,
+) -> K::Partial {
     match *origin {
         BlockOrigin::Range(work) => {
             let a = &als[work.als_idx];
             let space = a.space(3);
             let mut cursor = space.cursor_at(work.mode, work.start);
             let mut remaining = work.len;
-            let mut t = 0u64;
+            let mut p = kernel.identity();
             while remaining > 0 {
                 let c = cursor.current().expect("cursor within counted range");
                 if a.edge(g, c[0], c[1]) && a.edge(g, c[0], c[2]) && a.edge(g, c[1], c[2]) {
-                    t += 1;
+                    kernel.emit(&mut p, g, a, c);
                 }
                 let _ = cursor.advance();
                 remaining -= 1;
             }
-            t
+            p
         }
-        BlockOrigin::AlsTotal(ai) => count_als_fast(g, &als[ai]),
-        BlockOrigin::Zero => 0,
+        BlockOrigin::AlsTotal(ai) => kernel.compute_als(g, &als[ai]),
+        BlockOrigin::Zero => kernel.identity(),
     }
 }
 
@@ -628,11 +687,11 @@ pub(crate) fn transfer_with_faults(
 
 /// Everything the round loop needs to price (and, under faults,
 /// recover) the block dispatch.
-struct DispatchCtx<'a> {
+struct DispatchCtx<'a, P> {
     g: &'a Graph,
     als: &'a [Als],
     spec: &'a DeviceSpec,
-    blocks: &'a [BlockSim],
+    blocks: &'a [BlockSim<P>],
     origins: &'a [BlockOrigin],
     job_sizes: &'a [u64],
     assignment: &'a [u32],
@@ -641,11 +700,11 @@ struct DispatchCtx<'a> {
 }
 
 /// Aggregates of the dispatch rounds.
-struct Dispatched {
+struct Dispatched<P> {
     kernel_cycles: u64,
     weighted_camping: f64,
     camping_weight: f64,
-    triangles: u64,
+    partial: P,
     transactions: u64,
     fallback_tests: u128,
 }
@@ -659,10 +718,11 @@ struct Dispatched {
 /// least-loaded surviving SM (Graham's step, the paper's makespan
 /// argument applied online), and a chunk that exhausts its retries is
 /// recomputed on the host.
-fn dispatch_rounds(
-    ctx: DispatchCtx<'_>,
+fn dispatch_rounds<K: ChunkKernel>(
+    kernel: &K,
+    ctx: DispatchCtx<'_, K::Partial>,
     mut faults: Option<(&FaultConfig, &mut FaultOutcome)>,
-) -> Dispatched {
+) -> Dispatched<K::Partial> {
     let DispatchCtx {
         g,
         als,
@@ -699,14 +759,14 @@ fn dispatch_rounds(
     }
 
     let mut alive = vec![true; sm_count];
-    let mut committed: Vec<Option<u64>> = vec![None; blocks.len()];
+    let mut committed: Vec<Option<K::Partial>> = vec![None; blocks.len()];
     let mut retries = vec![0u32; blocks.len()];
     let mut ecc_seen = vec![0u32; blocks.len()];
     let mut out = Dispatched {
         kernel_cycles: 0,
         weighted_camping: 0.0,
         camping_weight: 0.0,
-        triangles: 0,
+        partial: kernel.identity(),
         transactions: 0,
         fallback_tests: 0,
     };
@@ -752,7 +812,7 @@ fn dispatch_rounds(
                         });
                         tracer.instant_at("recovery.reassign", Track::Sm(d as u32), phase_start);
                     } else {
-                        committed[b] = Some(recompute_origin(g, als, &origins[b]));
+                        committed[b] = Some(partial_for_origin(kernel, g, als, &origins[b]));
                         out.fallback_tests += blocks[b].tests;
                         o.cpu_fallback_chunks += 1;
                         o.record(FaultEvent::ChunkCpuFallback { chunk: b });
@@ -819,7 +879,7 @@ fn dispatch_rounds(
             out.transactions += blocks[b].transactions;
             let end = phase_start + block_cycles(b);
             let Some((fc, o)) = faults.as_mut() else {
-                committed[b] = Some(blocks[b].triangles);
+                committed[b] = Some(blocks[b].partial.clone());
                 continue;
             };
             let mut faulted = false;
@@ -835,14 +895,16 @@ fn dispatch_rounds(
                 tracer.instant_at("fault.abort", Track::Sm(sm as u32), end);
                 faulted = true;
             } else if ecc_pending[b] > 0 {
-                // The result lands, but an ECC read corruption XORs it
-                // with a nonzero mask — without recovery this *is* the
-                // committed count (the property suite's negative
-                // control).
+                // The result lands, but an ECC read corruption flips
+                // mask-derived bits of the partial — without recovery
+                // this *is* the committed partial (the property suite's
+                // negative control).
                 ecc_pending[b] -= 1;
                 let mask = fc.plan.corruption_mask(b, ecc_seen[b]);
                 ecc_seen[b] += 1;
-                committed[b] = Some(blocks[b].triangles ^ mask);
+                let mut corrupted = blocks[b].partial.clone();
+                kernel.corrupt(&mut corrupted, mask);
+                committed[b] = Some(corrupted);
                 o.injected.ecc += 1;
                 o.record(FaultEvent::EccCorruption {
                     chunk: b,
@@ -852,7 +914,7 @@ fn dispatch_rounds(
                 tracer.instant_at("fault.ecc", Track::Sm(sm as u32), end);
                 faulted = true;
             } else {
-                committed[b] = Some(blocks[b].triangles);
+                committed[b] = Some(blocks[b].partial.clone());
             }
             if faulted && fc.recovery {
                 retries[b] += 1;
@@ -876,7 +938,7 @@ fn dispatch_rounds(
                     }
                 }
                 // Retries exhausted (or no SM left): host recompute.
-                committed[b] = Some(recompute_origin(g, als, &origins[b]));
+                committed[b] = Some(partial_for_origin(kernel, g, als, &origins[b]));
                 out.fallback_tests += blocks[b].tests;
                 o.cpu_fallback_chunks += 1;
                 o.record(FaultEvent::ChunkCpuFallback { chunk: b });
@@ -894,11 +956,16 @@ fn dispatch_rounds(
         r += 1;
     }
 
-    // Corrupted commits are arbitrary u64s, so the sum wraps instead of
-    // overflowing; the no-fault sum is far below the wrap point.
-    out.triangles = committed
-        .iter()
-        .fold(0u64, |acc, c| acc.wrapping_add(c.unwrap_or(0)));
+    // The final reduction folds committed partials in canonical block
+    // order — kernels' merges are deterministic under that order; a
+    // never-committed block (unrecovered abort/stall) contributes the
+    // identity.
+    out.partial = committed
+        .into_iter()
+        .fold(kernel.identity(), |acc, c| match c {
+            Some(p) => kernel.merge(acc, p),
+            None => acc,
+        });
     out
 }
 
@@ -978,13 +1045,14 @@ fn make_leading_blocks(als: &[Als]) -> Vec<BlockWork> {
 }
 
 /// Prices (and functionally executes) one exhaustive block.
-fn simulate_block(
+fn simulate_block<K: ChunkKernel>(
     g: &Graph,
     als: &Als,
     layout: &GlobalLayout,
     cfg: &GpuConfig,
+    kernel: &K,
     work: BlockWork,
-) -> BlockSim {
+) -> BlockSim<K::Partial> {
     let spec = &cfg.device;
     let warp = spec.warp_size as usize;
     let warps = (cfg.threads_per_block / spec.warp_size) as u64;
@@ -994,7 +1062,7 @@ fn simulate_block(
         mem_base_cycles: 0,
         transactions: 0,
         traffic: PartitionTraffic::new(spec),
-        triangles: 0,
+        partial: kernel.identity(),
         tests: 0,
     };
     with_scratch(|scratch| {
@@ -1015,11 +1083,11 @@ fn simulate_block(
                 }
                 remaining -= step as u128;
                 sim.tests += step as u128;
-                // Functional test.
+                // Functional test; survivors feed the workload kernel.
                 for c in lane_combos.iter() {
                     if als.edge(g, c[0], c[1]) && als.edge(g, c[0], c[2]) && als.edge(g, c[1], c[2])
                     {
-                        sim.triangles += 1;
+                        kernel.emit(&mut sim.partial, g, als, &c[..]);
                     }
                 }
                 // Price the three load phases.
@@ -1073,30 +1141,32 @@ fn price_step(
     total
 }
 
-fn simulate_exhaustive(
+fn simulate_exhaustive<K: ChunkKernel>(
     g: &Graph,
     als: &[Als],
     layout: &GlobalLayout,
     cfg: &GpuConfig,
-) -> (Vec<BlockSim>, Vec<BlockOrigin>) {
+    kernel: &K,
+) -> (Vec<BlockSim<K::Partial>>, Vec<BlockOrigin>) {
     let work = make_block_work(als, cfg);
     let sims = work
         .par_iter()
-        .map(|w| simulate_block(g, &als[w.als_idx], layout, cfg, *w))
+        .map(|w| simulate_block(g, &als[w.als_idx], layout, cfg, kernel, *w))
         .collect();
     let origins = work.into_iter().map(BlockOrigin::Range).collect();
     (sims, origins)
 }
 
 /// Sampled fidelity: price deterministic sample steps, scale by exact
-/// counts, take triangle counts from the fast ALS path.
-fn simulate_sampled(
+/// counts, take workload partials from the host's per-ALS compute.
+fn simulate_sampled<K: ChunkKernel>(
     g: &Graph,
     als: &[Als],
     layout: &GlobalLayout,
     cfg: &GpuConfig,
+    kernel: &K,
     sample_steps: u32,
-) -> (Vec<BlockSim>, Vec<BlockOrigin>) {
+) -> (Vec<BlockSim<K::Partial>>, Vec<BlockOrigin>) {
     let spec = &cfg.device;
     let warp = spec.warp_size as usize;
     let block_tests = u128::from(cfg.threads_per_block) * u128::from(cfg.tests_per_thread);
@@ -1104,7 +1174,7 @@ fn simulate_sampled(
     // schedule still has makespan structure.
     let max_jobs_per_als = 4 * spec.sm_count as usize;
 
-    let per_als: Vec<Vec<(BlockSim, BlockOrigin)>> = als
+    let per_als: Vec<Vec<(BlockSim<K::Partial>, BlockOrigin)>> = als
         .par_iter()
         .enumerate()
         .map(|(ai, a)| {
@@ -1155,7 +1225,9 @@ fn simulate_sampled(
             let jobs = usize::try_from(total_tests.div_ceil(block_tests))
                 .unwrap_or(max_jobs_per_als)
                 .clamp(1, max_jobs_per_als);
-            let triangles = count_als_fast(g, a);
+            // The whole ALS's partial rides on pseudo-block 0; the rest
+            // carry the identity (their origins are Zero accordingly).
+            let mut als_partial = Some(kernel.compute_als(g, a));
             let mut out = Vec::with_capacity(jobs);
             for j in 0..jobs {
                 let share = |x: u128| -> u128 {
@@ -1182,7 +1254,11 @@ fn simulate_sampled(
                             .round() as u64,
                         transactions: total_tx / jobs as u64,
                         traffic: job_traffic,
-                        triangles: if j == 0 { triangles } else { 0 },
+                        partial: if j == 0 {
+                            als_partial.take().expect("first job takes the partial")
+                        } else {
+                            kernel.identity()
+                        },
                         tests: job_tests,
                     },
                     if j == 0 {

@@ -12,6 +12,7 @@
 use crate::als::build_als;
 use crate::gpu_exec::{GpuConfig, GpuError};
 use crate::layout::{GlobalLayout, LayoutKind};
+use crate::workload::{ChunkKernel, CountKernel};
 use rayon::prelude::*;
 use trigon_combin::equal_division;
 use trigon_gpu_sim::{emit, warp_transactions, PartitionTraffic, TransferModel};
@@ -80,6 +81,31 @@ pub fn run_k_cliques_traced(
     collector: &mut Collector,
     tracer: &Tracer,
 ) -> Result<KCliqueRunResult, GpuError> {
+    run_k_cliques_workload_traced(g, cfg, k, &CountKernel, collector, tracer).map(|(r, _)| r)
+}
+
+/// Runs the simulated k-clique kernel for an arbitrary [`ChunkKernel`]
+/// workload — the generic form of [`run_k_cliques_traced`], which it
+/// implements with [`CountKernel`]. `kernel.emit` fires once per
+/// combination passing the `C(k,2)`-edge test, with the ALS-local
+/// combination; the per-block partials are merged in canonical work-list
+/// order and returned unfinalized. The timing model is untouched.
+///
+/// # Errors
+///
+/// [`GpuError::GraphTooLarge`] when the layout exceeds the device.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn run_k_cliques_workload_traced<K: ChunkKernel>(
+    g: &Graph,
+    cfg: &GpuConfig,
+    k: u32,
+    kernel: &K,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> Result<(KCliqueRunResult, K::Partial), GpuError> {
     assert!(k >= 2, "k-cliques need k ≥ 2");
     let spec = &cfg.device;
     tracer.set_device_clock_hz(spec.clock_hz as f64);
@@ -120,13 +146,13 @@ pub fn run_k_cliques_traced(
         }
     }
 
-    struct Acc {
-        cliques: u64,
+    struct Acc<P> {
+        partial: P,
         tests: u128,
         transactions: u64,
         cycles: u64,
     }
-    let results: Vec<Acc> = work
+    let results: Vec<Acc<K::Partial>> = work
         .par_iter()
         .map(|&(ai, mode, start, len)| {
             let a = &als[ai];
@@ -134,7 +160,7 @@ pub fn run_k_cliques_traced(
             let warp = spec.warp_size as usize;
             let warps = u64::from(cfg.threads_per_block / spec.warp_size);
             let mut acc = Acc {
-                cliques: 0,
+                partial: kernel.identity(),
                 tests: 0,
                 transactions: 0,
                 cycles: 0,
@@ -167,7 +193,7 @@ pub fn run_k_cliques_traced(
                                 }
                             }
                         }
-                        acc.cliques += 1;
+                        kernel.emit(&mut acc.partial, g, a, &c[..]);
                     }
                     // Price the C(k,2) load phases.
                     let mut step_tx = 0u32;
@@ -206,7 +232,6 @@ pub fn run_k_cliques_traced(
     drop(count_span);
     drop(count_guard);
 
-    let cliques: u64 = results.iter().map(|r| r.cliques).sum();
     let tests: u128 = results.iter().map(|r| r.tests).sum();
     let transactions: u64 = results.iter().map(|r| r.transactions).sum();
     // Makespan over SMs via LPT on block cycles.
@@ -244,14 +269,22 @@ pub fn run_k_cliques_traced(
         collector.gauge("gpu.sm_utilization", emit::sm_utilization(&schedule.loads));
         collector.gauge("gpu.schedule_imbalance", schedule.imbalance());
     }
-    Ok(KCliqueRunResult {
-        cliques,
-        tests,
-        transactions,
-        kernel_s,
-        total_s,
-        blocks: results.len(),
-    })
+    // Deterministic reduction: fold block partials in work-list order.
+    let blocks = results.len();
+    let partial = results
+        .into_iter()
+        .fold(kernel.identity(), |acc, r| kernel.merge(acc, r.partial));
+    Ok((
+        KCliqueRunResult {
+            cliques: kernel.triangles_in(&partial),
+            tests,
+            transactions,
+            kernel_s,
+            total_s,
+            blocks,
+        },
+        partial,
+    ))
 }
 
 #[cfg(test)]

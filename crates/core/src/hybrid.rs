@@ -13,9 +13,9 @@
 //! what "an intelligent scheduling of the computations" (§V) buys.
 
 use crate::als::{build_als, Als};
-use crate::count::count_als_fast;
 use crate::split::{split_graph_collected, SplitConfig, SplitResult};
 use crate::timemodel::{eq6_total_time, CostModel};
+use crate::workload::{ChunkKernel, CountKernel};
 use trigon_gpu_sim::{
     bank_conflict_degree, warp_transactions, DeviceSpec, FaultConfig, FaultEvent, FaultOutcome,
     TransferModel,
@@ -137,6 +137,23 @@ pub fn run_hybrid_traced(
     collector: &mut Collector,
     tracer: &Tracer,
 ) -> HybridResult {
+    run_hybrid_workload_traced(g, cfg, &CountKernel, collector, tracer).0
+}
+
+/// Runs the hybrid pipeline for an arbitrary [`ChunkKernel`] workload —
+/// the generic form of [`run_hybrid_traced`], which it implements with
+/// [`CountKernel`]. The timing model is workload-independent (it prices
+/// the §V shared/global tiers of the paper's triangle kernel); the
+/// workload partial is accumulated host-side per ALS in canonical order
+/// and returned unfinalized.
+#[must_use]
+pub fn run_hybrid_workload_traced<K: ChunkKernel>(
+    g: &Graph,
+    cfg: &HybridConfig,
+    kernel: &K,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> (HybridResult, K::Partial) {
     let spec = &cfg.device;
     tracer.set_device_clock_hz(spec.clock_hz as f64);
     let split_cfg = SplitConfig {
@@ -165,14 +182,14 @@ pub fn run_hybrid_traced(
     // uses, so one big ALS parallelizes across SMs (each block stages its
     // own shared-memory copy of the chunk, as CUDA blocks do).
     let block_tests: u128 = 128 * 512;
-    let mut triangles = 0u64;
+    let mut partial = kernel.identity();
     let mut tests = 0u128;
     let mut jobs_cycles: Vec<u64> = Vec::new();
     let mut tau_shared_total = 0.0f64;
     let mut tau_global_total = 0.0f64;
     let mut shared_n = 0usize;
     for (a, place) in als.iter().zip(&placement) {
-        triangles += count_als_fast(g, a);
+        partial = kernel.merge(partial, kernel.compute_als(g, a));
         let t = a.test_count(3);
         tests += t;
         tracer.record("als.tests", t as f64);
@@ -319,17 +336,20 @@ pub fn run_hybrid_traced(
         );
     }
 
-    HybridResult {
-        triangles,
-        tests,
-        shared_als: shared_n,
-        global_als: global_n,
-        split,
-        kernel_s,
-        eq6_s,
-        total_s,
-        faults: faults_outcome,
-    }
+    (
+        HybridResult {
+            triangles: kernel.triangles_in(&partial),
+            tests,
+            shared_als: shared_n,
+            global_als: global_n,
+            split,
+            kernel_s,
+            eq6_s,
+            total_s,
+            faults: faults_outcome,
+        },
+        partial,
+    )
 }
 
 /// Cheap per-ALS estimate of warp-step transactions: one sampled step at

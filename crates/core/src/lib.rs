@@ -31,8 +31,12 @@
 //!   pricing, and the deterministic partial-count reduction;
 //! * [`pipeline`] — one-call end-to-end runs producing the reports the
 //!   benchmark harness prints;
-//! * [`analysis`] — the [`Analysis`] builder, the single entry point
-//!   every front end drives, returning the unified [`RunReport`];
+//! * [`workload`] — the [`ChunkKernel`] trait: the per-ALS workload
+//!   abstraction (count, enumeration, clustering, k-truss) every
+//!   executor above is generic over;
+//! * [`analysis`] — the [`Run`] builder (aliased as [`Analysis`]), the
+//!   single entry point every front end drives, returning the unified
+//!   [`RunReport`];
 //! * [`report`] — the [`RunReport`] schema and its JSON serialization;
 //! * [`error`] — the one workspace [`Error`] type with per-variant CLI
 //!   exit codes.
@@ -54,9 +58,10 @@ pub mod pipeline;
 pub mod report;
 pub mod split;
 pub mod timemodel;
+pub mod workload;
 
 pub use als::{build_als, Als};
-pub use analysis::{Analysis, Method};
+pub use analysis::{Analysis, Method, Run};
 pub use capacity::{
     max_graph_adjacency, max_graph_sutm, max_graph_utm, table2, table2_fleet, FleetRow, Table2Row,
 };
@@ -65,14 +70,17 @@ pub use gpu_exec::{GpuConfig, GpuRunResult, SchedulePolicy, WorkDivision};
 pub use gpu_kcount::KCliqueRunResult;
 pub use hybrid::{HybridConfig, HybridResult, Placement};
 pub use layout::{GlobalLayout, LayoutKind};
-pub use multi::run_fleet;
+pub use multi::{run_fleet, run_fleet_workload};
 pub use pipeline::{CountMethod, TriangleReport};
 pub use report::{
     Eq6Section, FleetDeviceEntry, FleetSection, GpuSection, HybridSection, RunReport,
-    RUN_REPORT_SCHEMA_VERSION,
+    WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
 };
 pub use split::{split_graph, split_graph_collected, Chunk, SplitConfig, SplitResult};
 pub use trigon_fleet::{FleetSpec, LossPlan};
 pub use trigon_telemetry::{
     Clock, Collector, Json, Level, ManualClock, MonotonicClock, TraceSummary, Tracer, Track,
+};
+pub use workload::{
+    ChunkKernel, ClusteringKernel, CountKernel, EnumerateKernel, KTrussKernel, Workload,
 };

@@ -19,7 +19,7 @@
 //! [`gpu_exec`] run, untouched.
 //!
 //! A fleet of **one** device with no device loss delegates verbatim to
-//! [`gpu_exec::run_traced`] on the caller's tracer — the trace and the
+//! [`gpu_exec::run_workload_traced`] on the caller's tracer — the trace and the
 //! report (minus the `fleet` section) are byte-identical to a plain
 //! single-device run by construction. With two or more devices each
 //! shard runs against a private sub-tracer; its SM spans are harvested
@@ -30,6 +30,7 @@
 use crate::als::{build_als, Als};
 use crate::gpu_exec::{self, GpuConfig, GpuError, GpuRunResult};
 use crate::report::{FleetDeviceEntry, FleetSection};
+use crate::workload::{ChunkKernel, CountKernel};
 use trigon_fleet::{
     plan_shards, reassign_lost, seconds_to_cycles, FleetSpec, Interconnect, LossPlan, ShardJob,
 };
@@ -60,6 +61,32 @@ pub fn run_fleet(
     collector: &mut Collector,
     tracer: &Tracer,
 ) -> Result<(GpuRunResult, FleetSection), GpuError> {
+    run_fleet_workload(g, fleet, base, loss, &CountKernel, collector, tracer)
+        .map(|(r, _, section)| (r, section))
+}
+
+/// Runs an arbitrary [`ChunkKernel`] workload across a fleet of devices —
+/// the generic form of [`run_fleet`], which it implements with
+/// [`CountKernel`].
+///
+/// The shard partials are merged in canonical device-index order via
+/// [`ChunkKernel::merge`] but *not* finalized; the caller runs
+/// [`ChunkKernel::finalize`] once on the returned partial.
+///
+/// # Errors
+///
+/// [`GpuError::GraphTooLarge`] when no device can hold some shard (at
+/// planning time against the byte estimate, or at layout time against
+/// the exact Eq. 1 footprint).
+pub fn run_fleet_workload<K: ChunkKernel>(
+    g: &Graph,
+    fleet: &FleetSpec,
+    base: &GpuConfig,
+    loss: Option<LossPlan>,
+    kernel: &K,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> Result<(GpuRunResult, K::Partial, FleetSection), GpuError> {
     let devices = fleet.devices();
     let lost = loss.map(|l| l.targets(devices.len())).unwrap_or_default();
 
@@ -70,9 +97,9 @@ pub fn run_fleet(
         debug_assert!(lost.is_empty());
         let mut cfg = base.clone();
         cfg.device = devices[0].clone();
-        let r = gpu_exec::run_traced(g, &cfg, collector, tracer)?;
+        let (r, partial) = gpu_exec::run_workload_traced(g, &cfg, kernel, collector, tracer)?;
         let section = single_device_section(g, fleet, &cfg.device, &r);
-        return Ok((r, section));
+        return Ok((r, partial, section));
     }
 
     // ---- Outer §VI instance: plan ALS shards across the roster. ----
@@ -148,6 +175,7 @@ pub fn run_fleet(
     let dispatch_guard = collector.phase("dispatch");
     let dispatch_span = tracer.span("dispatch", "phase");
     let mut shards: Vec<Shard> = Vec::with_capacity(active.len());
+    let mut partials: Vec<K::Partial> = Vec::with_capacity(active.len());
     for &d in &active {
         let shard_als: Vec<Als> = als
             .iter()
@@ -163,8 +191,15 @@ pub fn run_fleet(
         } else {
             Tracer::disabled()
         };
-        let r =
-            gpu_exec::run_traced_with_als(g, &shard_als, &dcfg, &mut Collector::disabled(), &sub)?;
+        let (r, shard_partial) = gpu_exec::run_workload_traced_with_als(
+            g,
+            &shard_als,
+            &dcfg,
+            kernel,
+            &mut Collector::disabled(),
+            &sub,
+        )?;
+        partials.push(shard_partial);
 
         let model = TransferModel::from_spec(&devices[d]);
         let clock = devices[d].clock_hz;
@@ -216,13 +251,14 @@ pub fn run_fleet(
     drop(dispatch_span);
     drop(dispatch_guard);
 
-    // ---- Deterministic reduction, canonical device-index order. ----
-    let mut triangles = 0u64;
-    let mut tests = 0u128;
-    for s in &shards {
-        triangles = triangles.wrapping_add(s.result.triangles);
-        tests += s.result.tests;
-    }
+    // ---- Deterministic reduction, canonical device-index order.
+    // `partials` was pushed in ascending `active` order, so the fold
+    // visits shards in device-index order regardless of workload. ----
+    let partial = partials
+        .into_iter()
+        .fold(kernel.identity(), |acc, p| kernel.merge(acc, p));
+    let triangles = kernel.triangles_in(&partial);
+    let tests: u128 = shards.iter().map(|s| s.result.tests).sum();
 
     // ---- Fleet section + aggregate result. ----
     let makespan_cycles = shards.iter().map(|s| s.end_cycles).max().unwrap_or(0);
@@ -334,7 +370,7 @@ pub fn run_fleet(
         sm_utilization,
         faults: None,
     };
-    Ok((aggregate, section))
+    Ok((aggregate, partial, section))
 }
 
 /// Re-emits a shard sub-trace onto fleet device `d`'s lanes: SM spans

@@ -5,6 +5,7 @@ use crate::count;
 use crate::error::Error;
 use crate::gpu_exec::{self, GpuConfig, GpuRunResult};
 use crate::timemodel::CostModel;
+use crate::workload::{compute_als_by_walk, ChunkKernel, CountKernel};
 use trigon_graph::Graph;
 use trigon_telemetry::{Collector, Tracer};
 
@@ -50,24 +51,40 @@ pub struct TriangleReport {
 /// # Errors
 ///
 /// [`Error::GraphTooLarge`] for GPU runs on graphs exceeding the device.
+#[deprecated(
+    since = "0.7.0",
+    note = "use the `Run` builder or `pipeline::run_workload_traced` with \
+            `CountKernel`; this shim will be removed next release"
+)]
 pub fn count_triangles_collected(
     g: &Graph,
     method: CountMethod,
     cost: &CostModel,
     collector: &mut Collector,
 ) -> Result<TriangleReport, Error> {
-    count_triangles_traced(g, method, cost, collector, &Tracer::disabled())
+    run_workload_traced(
+        g,
+        method,
+        cost,
+        &CountKernel,
+        collector,
+        &Tracer::disabled(),
+    )
+    .map(|(r, _)| r)
 }
 
 /// Runs the full pipeline like [`count_triangles_collected`],
 /// additionally recording time-resolved spans and histograms into
-/// `tracer` (host `count` span for CPU methods, the full device
-/// timeline for GPU methods, and an `als.tests` histogram of per-window
-/// workloads on the CPU fast path).
+/// `tracer`.
 ///
 /// # Errors
 ///
 /// [`Error::GraphTooLarge`] for GPU runs on graphs exceeding the device.
+#[deprecated(
+    since = "0.7.0",
+    note = "use the `Run` builder or `pipeline::run_workload_traced` with \
+            `CountKernel`; this shim will be removed next release"
+)]
 pub fn count_triangles_traced(
     g: &Graph,
     method: CountMethod,
@@ -75,52 +92,90 @@ pub fn count_triangles_traced(
     collector: &mut Collector,
     tracer: &Tracer,
 ) -> Result<TriangleReport, Error> {
+    run_workload_traced(g, method, cost, &CountKernel, collector, tracer).map(|(r, _)| r)
+}
+
+/// Runs the full pipeline for an arbitrary [`ChunkKernel`] workload,
+/// recording phase timings and simulator counters into `collector` and
+/// time-resolved spans into `tracer` (host `count` span for CPU methods,
+/// the full device timeline for GPU methods, and an `als.tests`
+/// histogram of per-window workloads on the CPU fast path).
+///
+/// Returns the timing/count report together with the merged — but *not*
+/// finalized — workload partial; the caller runs [`ChunkKernel::finalize`]
+/// once after any further (e.g. fleet) merging.
+///
+/// # Errors
+///
+/// [`Error::GraphTooLarge`] for GPU runs on graphs exceeding the device.
+pub fn run_workload_traced<K: ChunkKernel>(
+    g: &Graph,
+    method: CountMethod,
+    cost: &CostModel,
+    kernel: &K,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> Result<(TriangleReport, K::Partial), Error> {
     let t0 = collector.clock().now_ns();
-    let (triangles, tests, modeled_s, gpu) = match method {
+    let (partial, tests, modeled_s, gpu) = match method {
         CountMethod::CpuExhaustive => {
-            let r = {
+            let partial = {
                 let _p = collector.phase("count");
                 let _s = tracer.span("count", "phase");
-                count::cpu_exhaustive(g)
+                crate::als::build_als(g)
+                    .iter()
+                    .fold(kernel.identity(), |acc, a| {
+                        kernel.merge(acc, compute_als_by_walk(kernel, g, a))
+                    })
             };
-            let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), r.tests);
-            (r.triangles, r.tests, modeled, None)
+            let tests = count::total_tests(g);
+            let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), tests);
+            (partial, tests, modeled, None)
         }
         CountMethod::CpuFast => {
-            let (triangles, tests) = {
+            let (partial, tests) = {
                 let _p = collector.phase("count");
                 let _s = tracer.span("count", "phase");
-                let triangles = count::als_fast(g);
+                let als = crate::als::build_als(g);
+                let partial = als.iter().fold(kernel.identity(), |acc, a| {
+                    kernel.merge(acc, kernel.compute_als(g, a))
+                });
                 let tests = count::total_tests(g);
                 if tracer.enabled() {
-                    for a in crate::als::build_als(g) {
+                    for a in &als {
                         tracer.record("als.tests", a.test_count(3) as f64);
                     }
                 }
-                (triangles, tests)
+                (partial, tests)
             };
             let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), tests);
-            (triangles, tests, modeled, None)
+            (partial, tests, modeled, None)
         }
         CountMethod::GpuSim(mut cfg) => {
             cfg.cost = *cost;
-            let r = gpu_exec::run_traced(g, &cfg, collector, tracer)?;
-            (r.triangles, r.tests, r.total_s, Some(r))
+            let (r, partial) = gpu_exec::run_workload_traced(g, &cfg, kernel, collector, tracer)?;
+            let tests = r.tests;
+            let total_s = r.total_s;
+            (partial, tests, total_s, Some(r))
         }
     };
+    let triangles = kernel.triangles_in(&partial);
     if collector.enabled() {
         collector.add("pipeline.tests", u64::try_from(tests).unwrap_or(u64::MAX));
         collector.add("pipeline.triangles", triangles);
     }
-    Ok(TriangleReport {
-        n: g.n(),
-        m: g.m(),
-        triangles,
-        tests,
-        modeled_s,
-        wall_s: collector.clock().now_ns().saturating_sub(t0) as f64 / 1e9,
-        gpu,
-    })
+    Ok((
+        TriangleReport {
+            n: g.n(),
+            m: g.m(),
+            triangles,
+            tests,
+            modeled_s,
+            wall_s: collector.clock().now_ns().saturating_sub(t0) as f64 / 1e9,
+            gpu,
+        },
+        partial,
+    ))
 }
 
 #[cfg(test)]
@@ -130,7 +185,15 @@ mod tests {
     use trigon_graph::{gen, triangles};
 
     fn count_triangles(g: &Graph, method: CountMethod) -> Result<TriangleReport, Error> {
-        count_triangles_collected(g, method, &CostModel::default(), &mut Collector::disabled())
+        run_workload_traced(
+            g,
+            method,
+            &CostModel::default(),
+            &CountKernel,
+            &mut Collector::disabled(),
+            &Tracer::disabled(),
+        )
+        .map(|(r, _)| r)
     }
 
     #[test]

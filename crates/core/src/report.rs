@@ -24,8 +24,105 @@ use trigon_telemetry::{Collector, Json, TraceSummary, Tracer};
 /// section ([`TraceSummary`]) and per-partition `partition.*.p{i}`
 /// counters; 3 = added the `faults` section ([`FaultsSection`])
 /// summarizing fault injection and recovery; 4 = added the `fleet`
-/// section ([`FleetSection`]) for multi-device runs.
-pub const RUN_REPORT_SCHEMA_VERSION: u32 = 4;
+/// section ([`FleetSection`]) for multi-device runs; 5 = added the
+/// always-present `workload` section ([`WorkloadSection`]) carrying
+/// per-workload results (clustering, k-truss, enumeration).
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 5;
+
+/// Workload-specific result detail — the schema-v5 `workload` section,
+/// present on every report. The count-style workloads carry only their
+/// identity (the count itself lives in `result.count`); the analytic
+/// workloads carry their derived quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSection {
+    /// Plain triangle count.
+    Triangles,
+    /// `k`-clique count.
+    KCount {
+        /// Clique order.
+        k: u32,
+    },
+    /// Per-vertex clustering coefficients + global transitivity.
+    Clustering {
+        /// Vertices the coefficient vector covers.
+        vertices: usize,
+        /// Mean clustering coefficient.
+        mean_clustering: f64,
+        /// Global transitivity `3T / wedges`.
+        transitivity: f64,
+    },
+    /// `k`-truss decomposition.
+    KTruss {
+        /// Truss order.
+        k: u32,
+        /// Edges before peeling.
+        edges_initial: u64,
+        /// Edges surviving in the `k`-truss.
+        edges_kept: u64,
+        /// Edges peeled away.
+        edges_peeled: u64,
+    },
+    /// Triangle enumeration.
+    Enumerate {
+        /// Triangles listed.
+        triangles: u64,
+        /// Order-independent FNV-1a checksum of the sorted triple list.
+        checksum: u64,
+    },
+}
+
+impl WorkloadSection {
+    /// The canonical workload name (`result.kind`'s sibling).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadSection::Triangles => "triangles",
+            WorkloadSection::KCount { .. } => "kcount",
+            WorkloadSection::Clustering { .. } => "clustering",
+            WorkloadSection::KTruss { .. } => "ktruss",
+            WorkloadSection::Enumerate { .. } => "enumerate",
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("name", Json::from(self.name()));
+        match *self {
+            WorkloadSection::Triangles => {}
+            WorkloadSection::KCount { k } => {
+                o.set("k", Json::from(u64::from(k)));
+            }
+            WorkloadSection::Clustering {
+                vertices,
+                mean_clustering,
+                transitivity,
+            } => {
+                o.set("vertices", Json::from(vertices));
+                o.set("mean_clustering", Json::from(mean_clustering));
+                o.set("transitivity", Json::from(transitivity));
+            }
+            WorkloadSection::KTruss {
+                k,
+                edges_initial,
+                edges_kept,
+                edges_peeled,
+            } => {
+                o.set("k", Json::from(u64::from(k)));
+                o.set("edges_initial", Json::from(edges_initial));
+                o.set("edges_kept", Json::from(edges_kept));
+                o.set("edges_peeled", Json::from(edges_peeled));
+            }
+            WorkloadSection::Enumerate {
+                triangles,
+                checksum,
+            } => {
+                o.set("triangles", Json::from(triangles));
+                o.set("checksum", Json::from(checksum));
+            }
+        }
+        o
+    }
+}
 
 /// GPU-simulator detail of a run (absent for pure-CPU methods).
 #[derive(Debug, Clone)]
@@ -234,12 +331,15 @@ pub struct RunReport {
     pub n: u32,
     /// Edges.
     pub m: usize,
-    /// What was counted: `"triangles"` or `"cliques"`.
+    /// What was counted: `"triangles"`, `"cliques"`, or
+    /// `"ktruss_edges"`.
     pub kind: String,
     /// Subgraph order (3 for triangles).
     pub k: u32,
     /// The exact count.
     pub count: u64,
+    /// Workload-specific result detail.
+    pub workload: WorkloadSection,
     /// Algorithm 2 combination tests performed or accounted.
     pub tests: u128,
     /// Modeled seconds on the paper's hardware.
@@ -299,6 +399,8 @@ impl RunReport {
             u64::try_from(self.tests).map_or(Json::Float(self.tests as f64), Json::from),
         );
         root.set("result", result);
+
+        root.set("workload", self.workload.to_json());
 
         let mut timing = Json::object();
         timing.set("modeled_s", Json::from(self.modeled_s));
@@ -442,6 +544,7 @@ mod tests {
             kind: "triangles".into(),
             k: 3,
             count: 7,
+            workload: WorkloadSection::Triangles,
             tests: 120,
             modeled_s: 0.5,
             wall_s: 0.01,
@@ -477,6 +580,7 @@ mod tests {
             "graph",
             "config",
             "result",
+            "workload",
             "timing",
             "gpu",
             "hybrid",

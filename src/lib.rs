@@ -30,6 +30,6 @@ pub use trigon_graph as graph;
 pub use trigon_sched as sched;
 
 pub use trigon_core::{
-    Analysis, Clock, Collector, Error, FleetSpec, Json, Level, LossPlan, ManualClock, Method,
-    MonotonicClock, RunReport, TraceSummary, Tracer, Track,
+    Analysis, ChunkKernel, Clock, Collector, Error, FleetSpec, Json, Level, LossPlan, ManualClock,
+    Method, MonotonicClock, Run, RunReport, TraceSummary, Tracer, Track, Workload, WorkloadSection,
 };

@@ -4,9 +4,11 @@
 //! trigon devices
 //! trigon gen <model> --n N [--seed S] [-o FILE]         models: gnp, ba, ws, ring, rmat, complete, grid
 //! trigon analyze <FILE>
-//! trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion]
-//!              [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB]
-//!              [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--verbose]
+//! trigon run [<FILE>] [--gen MODEL --n N] [--workload triangles|kcount|clustering|ktruss|enumerate] [--k K]
+//!            [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion]
+//!            [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB]
+//!            [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--verbose]
+//! trigon count ...                                      deprecated alias of `trigon run`
 //! trigon split <FILE> [--device c1060|c2050|c2070]
 //! trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
 //! trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
@@ -24,7 +26,10 @@ use trigon::gpu_sim::{
     PartitionTraffic,
 };
 use trigon::graph::{approx, cores, gen, io, triangles, BfsTree, Graph};
-use trigon::{Analysis, Error, FleetSpec, Level, LossPlan, Method, RunReport, Tracer};
+use trigon::{
+    Analysis, Error, FleetSpec, Level, LossPlan, Method, RunReport, Tracer, Workload,
+    WorkloadSection,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,7 +37,8 @@ fn main() {
         Some("devices") => cmd_devices(),
         Some("gen") => cmd_gen(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
-        Some("count") => cmd_count(&args[1..]),
+        Some("run") => cmd_run(&args[1..], false),
+        Some("count") => cmd_run(&args[1..], true),
         Some("split") => cmd_split(&args[1..]),
         Some("hybrid") => cmd_hybrid(&args[1..]),
         Some("kcount") => cmd_kcount(&args[1..]),
@@ -55,7 +61,9 @@ const USAGE: &str = "usage:
   trigon devices
   trigon gen <gnp|ba|ws|ring|rmat|complete|grid> --n N [--seed S] [-o FILE]
   trigon analyze <FILE>
-  trigon count [<FILE>] [--gen MODEL --n N] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--verbose]
+  trigon run [<FILE>] [--gen MODEL --n N] [--workload triangles|kcount|clustering|ktruss|enumerate] [--k K] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--verbose]
+    --workload W    what to compute per ALS (default triangles); kcount and
+                    ktruss take --k K (default 4)
     --faults SPEC   inject deterministic simulated faults; SPEC is a comma list
                     of kind:count pairs (kinds: ecc, xfer, abort, stall), e.g.
                     --faults xfer:1,ecc:2 --fault-seed 7
@@ -334,6 +342,40 @@ fn print_report(r: &RunReport) {
     println!("{:<14}{}", "tests", r.tests);
     println!("{:<14}{:.4} s", "modeled", r.modeled_s);
     println!("{:<14}{:.4} s", "wall", r.wall_s);
+    match &r.workload {
+        WorkloadSection::Clustering {
+            vertices,
+            mean_clustering,
+            transitivity,
+        } => {
+            println!(
+                "{:<14}{mean_clustering:.6} over {vertices} vertices",
+                "mean cc"
+            );
+            println!("{:<14}{transitivity:.6}", "transitivity");
+        }
+        WorkloadSection::KTruss {
+            k,
+            edges_initial,
+            edges_kept,
+            edges_peeled,
+        } => {
+            println!(
+                "{:<14}{edges_kept} of {edges_initial} edges survive k={k} ({edges_peeled} peeled)",
+                "truss"
+            );
+        }
+        WorkloadSection::Enumerate {
+            triangles,
+            checksum,
+        } => {
+            println!(
+                "{:<14}{triangles} listed, checksum {checksum:#018x}",
+                "enumerated"
+            );
+        }
+        WorkloadSection::Triangles | WorkloadSection::KCount { .. } => {}
+    }
     if let Some(gpu) = &r.gpu {
         println!("{:<14}{:.4} s", "kernel", gpu.kernel_s);
         println!("{:<14}{:.6} s", "transfer", gpu.transfer_s);
@@ -419,7 +461,13 @@ fn print_report(r: &RunReport) {
     }
 }
 
-fn cmd_count(args: &[String]) -> Result<(), Error> {
+fn cmd_run(args: &[String], via_count_alias: bool) -> Result<(), Error> {
+    if via_count_alias {
+        eprintln!(
+            "note: `trigon count` is a deprecated alias; use `trigon run` \
+             (same flags, plus --workload)"
+        );
+    }
     let (pos, flags) = parse(args)?;
     let trace_path = flags.get("trace").cloned();
     let verbose = flags.contains_key("verbose");
@@ -464,32 +512,45 @@ fn cmd_count(args: &[String]) -> Result<(), Error> {
     if threads == Some(0) {
         return Err(Error::bad_config("--threads must be at least 1"));
     }
+    let k = match flags.get("k") {
+        Some(s) => Some(s.parse::<u32>().map_err(|_| {
+            Error::bad_config(format!("--k expects an unsigned integer, got {s:?}"))
+        })?),
+        None => None,
+    };
+    let workload = match flags.get("workload") {
+        Some(name) => Workload::parse(name, k)?,
+        None if k.is_some() => {
+            return Err(Error::bad_config(
+                "--k needs --workload kcount or --workload ktruss",
+            ));
+        }
+        None => Workload::Triangles,
+    };
     let faults = faults_for(&flags)?;
     let (fleet, loss) = fleet_for(&flags)?;
-    let build = || {
-        let mut a = Analysis::new(&g)
-            .method(Method::parse(method)?)
-            .device(device.clone())
-            .telemetry(level)
-            .tracer(tracer);
-        if let Some(fc) = faults {
-            a = a.faults(fc);
-        }
-        if let Some(f) = fleet {
-            a = a.fleet(f);
-        }
-        if let Some(l) = loss {
-            a = a.device_loss(l);
-        }
-        a.run()
-    };
-    let report = match threads {
+    let mut a = Analysis::new(&g)
+        .method(Method::parse(method)?)
+        .workload(workload)
+        .device(device.clone())
+        .telemetry(level)
+        .tracer(tracer);
+    if let Some(t) = threads {
         // Pin the CPU-parallel width by running the analysis inside an
         // explicitly sized pool (`--threads 1` gives a deterministic
         // serial run regardless of TRIGON_THREADS or core count).
-        Some(t) => rayon::ThreadPool::new(t).install(build)?,
-        None => build()?,
-    };
+        a = a.threads(t);
+    }
+    if let Some(fc) = faults {
+        a = a.faults(fc);
+    }
+    if let Some(f) = fleet {
+        a = a.fleet(f);
+    }
+    if let Some(l) = loss {
+        a = a.device_loss(l);
+    }
+    let report = a.execute()?;
     if flags.contains_key("json") {
         println!("{}", report.to_json().to_string_pretty());
     } else {

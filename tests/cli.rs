@@ -341,3 +341,103 @@ fn bad_inputs_fail_cleanly() {
     assert!(!ok);
     assert!(stderr.contains("--n"));
 }
+
+#[test]
+fn run_subcommand_workloads() {
+    let base = &["run", "--gen", "gnp", "--n", "200"];
+    let with = |extra: &[&str]| {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend_from_slice(extra);
+        trigon(&args)
+    };
+
+    // Default workload is triangles; the first line carries the count.
+    let (tri_out, stderr, ok) = with(&[]);
+    assert!(ok, "{stderr}");
+    assert!(
+        !stderr.contains("deprecated"),
+        "run must not warn: {stderr}"
+    );
+    let tri = tri_out
+        .lines()
+        .find_map(|l| l.strip_prefix("triangles")?.trim().parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("no triangle count in:\n{tri_out}"));
+
+    // kcount at k = 3 reproduces the triangle count.
+    let (stdout, stderr, ok) = with(&["--workload", "kcount", "--k", "3"]);
+    assert!(ok, "{stderr}");
+    let k3 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("cliques")?.trim().parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("no clique count in:\n{stdout}"));
+    assert_eq!(k3, tri);
+
+    // Clustering prints mean cc and transitivity, same on CPU and GPU.
+    let (cpu, stderr, ok) = with(&["--workload", "clustering", "--method", "cpu-fast"]);
+    assert!(ok, "{stderr}");
+    assert!(cpu.contains("mean cc"), "{cpu}");
+    assert!(cpu.contains("transitivity"), "{cpu}");
+    let (gpu, stderr, ok) = with(&["--workload", "clustering", "--method", "gpu-opt"]);
+    assert!(ok, "{stderr}");
+    let line = |s: &str, p: &str| {
+        s.lines()
+            .find(|l| l.starts_with(p))
+            .map(str::to_string)
+            .unwrap_or_default()
+    };
+    assert_eq!(line(&cpu, "mean cc"), line(&gpu, "mean cc"));
+    assert_eq!(line(&cpu, "transitivity"), line(&gpu, "transitivity"));
+
+    // k-truss reports the edge census; enumeration lists every triangle.
+    let (stdout, stderr, ok) = with(&["--workload", "ktruss", "--k", "4"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("truss"), "{stdout}");
+    assert!(stdout.contains("peeled"), "{stdout}");
+    let (stdout, stderr, ok) = with(&["--workload", "enumerate"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.contains(&format!("enumerated    {tri} listed")),
+        "{stdout}"
+    );
+
+    // --json carries the workload section.
+    let (json, stderr, ok) = with(&["--workload", "ktruss", "--k", "4", "--json"]);
+    assert!(ok, "{stderr}");
+    assert!(json.contains("\"workload\""), "{json}");
+    assert!(json.contains("\"edges_kept\""), "{json}");
+
+    // Bad workload / orphan --k are usage errors.
+    let (_, stderr, code) =
+        trigon_code(&["run", "--gen", "gnp", "--n", "50", "--workload", "bogus"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("unknown workload"), "{stderr}");
+    let (_, stderr, code) = trigon_code(&["run", "--gen", "gnp", "--n", "50", "--k", "4"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--k needs --workload"), "{stderr}");
+}
+
+#[test]
+fn count_alias_still_works_with_deprecation_note() {
+    let (stdout, stderr, ok) = trigon(&[
+        "count", "--gen", "gnp", "--n", "200", "--method", "cpu-fast",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("triangles"), "{stdout}");
+    assert!(
+        stderr.contains("deprecated"),
+        "alias must warn on stderr: {stderr}"
+    );
+
+    // The alias accepts the new flags too.
+    let (stdout, _, ok) = trigon(&[
+        "count",
+        "--gen",
+        "gnp",
+        "--n",
+        "200",
+        "--workload",
+        "clustering",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("mean cc"), "{stdout}");
+}

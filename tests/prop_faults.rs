@@ -7,6 +7,7 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 use trigon::core::gpu_exec::{self, GpuConfig};
+use trigon::core::workload::CountKernel;
 use trigon::gpu_sim::{DeviceSpec, FaultConfig, FaultPlan, FaultSpec};
 use trigon::graph::{triangles, Graph};
 use trigon::{Analysis, Collector, Level, ManualClock, Method, Tracer};
@@ -84,8 +85,10 @@ proptest! {
         let cfg = GpuConfig::optimized(DeviceSpec::c1060()).faults(fc);
         let run = || {
             let tracer = Tracer::with_clock(Level::Trace, Arc::new(ManualClock::new()));
-            let r = gpu_exec::run_traced(&g, &cfg, &mut Collector::disabled(), &tracer)
-                .unwrap();
+            let (r, _) = gpu_exec::run_workload_traced(
+                &g, &cfg, &CountKernel, &mut Collector::disabled(), &tracer,
+            )
+            .unwrap();
             (r.triangles, r.faults.expect("fault outcome"), tracer.instants())
         };
         let (c1, o1, i1) = run();

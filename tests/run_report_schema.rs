@@ -11,7 +11,7 @@
 
 use trigon::gpu_sim::{DeviceSpec, FaultConfig, FaultPlan, FaultSpec};
 use trigon::graph::gen;
-use trigon::{Analysis, FleetSpec, Level, LossPlan, Method, RunReport};
+use trigon::{Analysis, FleetSpec, Level, LossPlan, Method, RunReport, Workload};
 
 fn check_golden(name: &str, report: &RunReport) {
     let actual = report.to_json().key_paths().join("\n") + "\n";
@@ -98,7 +98,48 @@ fn fleet_report_schema_is_pinned() {
     check_golden("run_report_fleet_keys", &r);
 }
 
+/// Each non-triangle workload carries its own `workload` section shape;
+/// pin one golden per variant across three different methods so the
+/// section's keys are stable regardless of the method that produced it.
+#[test]
+fn clustering_report_schema_is_pinned() {
+    let g = gen::gnp(200, 0.05, 1);
+    let r = Analysis::new(&g)
+        .workload(Workload::Clustering)
+        .method(Method::GpuOptimized)
+        .device(DeviceSpec::c1060())
+        .telemetry(Level::Trace)
+        .execute()
+        .unwrap();
+    check_golden("workload_clustering_keys", &r);
+}
+
+#[test]
+fn ktruss_report_schema_is_pinned() {
+    let g = gen::gnp(200, 0.05, 1);
+    let r = Analysis::new(&g)
+        .workload(Workload::KTruss(3))
+        .method(Method::CpuFast)
+        .telemetry(Level::Trace)
+        .execute()
+        .unwrap();
+    check_golden("workload_ktruss_keys", &r);
+}
+
+#[test]
+fn enumerate_report_schema_is_pinned() {
+    let g = gen::gnp(200, 0.05, 1);
+    let r = Analysis::new(&g)
+        .workload(Workload::Enumerate)
+        .method(Method::GpuSampled)
+        .device(DeviceSpec::c1060())
+        .telemetry(Level::Trace)
+        .execute()
+        .unwrap();
+    check_golden("workload_enumerate_keys", &r);
+}
+
 #[test]
 fn schema_version_is_current() {
-    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 4);
+    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 5);
 }
