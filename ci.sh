@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the full workspace test suite, and
-# smoke tests of the trace export, fault recovery, fleet, workload, and
-# perf repro paths.
+# smoke tests of the trace export, fault recovery, fleet, workload,
+# perf, and performance-counter profile repro paths.
 #
 #   ./ci.sh            # everything
 #   ./ci.sh quick      # everything, but skip the slow property-test suite
-#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | fleet | workloads | perf
+#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | fleet | workloads | perf | profile
 #
 # Each stage's wall-clock time is reported in a summary at the end.
 #
@@ -168,10 +168,36 @@ stage_perf() {
     done
 }
 
+# Simulated performance-counter gate. Unlike perf, the counters are
+# priced deterministically at simulate time, so the baseline check is
+# EXACT: any divergence from
+# crates/bench/baselines/profile_baseline.json — one transaction, one
+# cycle — fails. Bless an intended cost-model change by deleting the
+# baseline, re-running this stage, and committing the rewritten file.
+# Export TRIGON_PROFILE_SKIP_REGRESSION=1 to sweep without gating.
+# The CLI smoke run also checks --profile writes a counter document and
+# --verbose prints the hotspot table.
+stage_profile() {
+    local profile_out="$scratch/profile.json"
+    cargo run --release --quiet -- run --gen gnp --n 500 --method gpu-opt \
+        --profile "$profile_out" --verbose > "$scratch/profile_stdout"
+    grep -q '"transactions"' "$profile_out"
+    grep -q '"roofline"' "$profile_out"
+    grep -q 'hottest ALS' "$scratch/profile_stdout"
+    cargo run --release --quiet -p trigon-bench --bin repro -- profile \
+        --baseline crates/bench/baselines/profile_baseline.json
+    test -s bench_out/BENCH_profile.json
+    local key
+    for key in '"schema_version": 1' '"bench_meta"' '"coalescing_efficiency"' \
+        '"min_transactions"' '"bound"'; do
+        grep -q "$key" bench_out/BENCH_profile.json
+    done
+}
+
 case "$mode" in
-    all | quick | fmt | clippy | doc | test | trace | faults | fleet | workloads | perf) ;;
+    all | quick | fmt | clippy | doc | test | trace | faults | fleet | workloads | perf | profile) ;;
     *)
-        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|fleet|workloads|perf]" >&2
+        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|fleet|workloads|perf|profile]" >&2
         exit 2
         ;;
 esac
@@ -185,6 +211,7 @@ run_stage faults stage_faults
 run_stage fleet stage_fleet
 run_stage workloads stage_workloads
 run_stage perf stage_perf
+run_stage profile stage_profile
 
 echo
 echo "stage timing:"

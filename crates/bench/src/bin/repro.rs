@@ -4,6 +4,7 @@
 //! ```text
 //! repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|workloads|trace|fleet|all [--csv DIR]
 //! repro perf [--quick] [--baseline PATH] [--csv DIR]
+//! repro profile [--baseline PATH] [--csv DIR]
 //! ```
 //!
 //! `perf` measures real wall-clock (not modeled seconds) of the counting
@@ -11,6 +12,11 @@
 //! `bench_out/BENCH_perf.json`; with `--baseline PATH` it also enforces
 //! the committed regression envelope (exit 1 on a >25 % normalized
 //! slowdown of the 1-thread fig10 run).
+//!
+//! `profile` sweeps the simulated performance counters across every
+//! executor and writes `bench_out/BENCH_profile.json`; with
+//! `--baseline PATH` it enforces the **exact-match** counter gate (exit
+//! 1 on any divergence; `TRIGON_PROFILE_SKIP_REGRESSION` skips it).
 //!
 //! Each experiment prints an aligned text table mirroring the paper's
 //! layout and, with `--csv DIR`, also writes `DIR/<exp>.csv`.
@@ -64,6 +70,7 @@ fn main() {
         "trace" => trace_capture(&out),
         "fleet" => fleet_cmd(&out),
         "perf" => perf(&out, &args[1..]),
+        "profile" => profile_cmd(&out, &args[1..]),
         "all" => {
             table1(&out);
             table2_cmd(&out);
@@ -77,13 +84,15 @@ fn main() {
             workloads_cmd(&out);
             trace_capture(&out);
             fleet_cmd(&out);
+            profile_cmd(&out, &[]);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|workloads|trace|fleet|perf|all [--csv DIR]"
+                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|workloads|trace|fleet|perf|profile|all [--csv DIR]"
             );
             eprintln!("       repro perf [--quick] [--baseline PATH] [--csv DIR]");
+            eprintln!("       repro profile [--baseline PATH] [--csv DIR]");
             std::process::exit(2);
         }
     }
@@ -517,6 +526,61 @@ fn perf(out: &Output, rest: &[String]) {
     out.csv(
         "perf",
         "suite,n,strategy,threads,wall_ns,speedup_vs_1t",
+        &rows,
+    );
+    if let Some(msg) = result.regression {
+        eprintln!("  {msg}");
+        std::process::exit(1);
+    }
+}
+
+/// `repro profile` — simulated performance-counter sweep with the
+/// exact-match regression gate (see `trigon_bench::profile`).
+fn profile_cmd(out: &Output, rest: &[String]) {
+    use trigon_core::Json;
+    let baseline = rest
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| rest.get(i + 1))
+        .cloned();
+    out.section("Profile: simulated performance counters across executors (G(n, deg 16))");
+    let result = trigon_bench::run_profile(baseline.as_deref());
+    println!(
+        "{:<16} {:>6} {:>10} {:>14} {:>14} {:>14} {:>7}",
+        "method", "n", "count", "transactions", "compute(cyc)", "mem(cyc)", "coal%"
+    );
+    let mut rows = Vec::new();
+    if let Some(Json::Array(points)) = result.report.get("points") {
+        for p in points {
+            let method = match p.get("method") {
+                Some(Json::Str(v)) => v.clone(),
+                _ => String::new(),
+            };
+            let n = json_u64(p.get("n"));
+            let count = json_u64(p.get("count"));
+            let counters = p.get("profile").and_then(|j| j.get("counters"));
+            let tx = json_u64(counters.and_then(|c| c.get("transactions")));
+            let compute = json_u64(counters.and_then(|c| c.get("compute_cycles")));
+            let mem = json_u64(counters.and_then(|c| c.get("mem_cycles")));
+            let coal = match p
+                .get("profile")
+                .and_then(|j| j.get("derived"))
+                .and_then(|d| d.get("coalescing_efficiency"))
+            {
+                Some(Json::Float(v)) => format!("{:.1}", v * 100.0),
+                _ => "-".to_string(),
+            };
+            println!("{method:<16} {n:>6} {count:>10} {tx:>14} {compute:>14} {mem:>14} {coal:>7}");
+            rows.push(format!("{method},{n},{count},{tx},{compute},{mem},{coal}"));
+        }
+    }
+    std::fs::create_dir_all("bench_out").expect("create bench_out");
+    let path = "bench_out/BENCH_profile.json";
+    std::fs::write(path, result.report.to_string_pretty()).expect("write profile json");
+    println!("  [profile report written to {path}]");
+    out.csv(
+        "profile",
+        "method,n,count,transactions,compute_cycles,mem_cycles,coalescing_pct",
         &rows,
     );
     if let Some(msg) = result.regression {

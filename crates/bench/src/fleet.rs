@@ -111,6 +111,7 @@ fn fleet_json(g: &Graph, expect: u64, points: &[FleetPoint]) -> Json {
         "schema_version",
         Json::UInt(u64::from(FLEET_SCHEMA_VERSION)),
     );
+    doc.set("bench_meta", crate::meta::bench_meta());
     let mut w = Json::object();
     w.set("model", Json::Str("community_ring".to_string()));
     w.set("n", Json::UInt(u64::from(g.n())));

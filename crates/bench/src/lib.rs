@@ -8,7 +8,9 @@
 #![deny(missing_docs)]
 
 pub mod fleet;
+pub mod meta;
 pub mod perf;
+pub mod profile;
 pub mod suites;
 pub mod workloads;
 
@@ -16,7 +18,11 @@ pub use fleet::{
     fleet_graph, run_fleet_scaling, FleetOutcome, FleetPoint, FLEET_MAX_DEVICES,
     FLEET_SCHEMA_VERSION,
 };
+pub use meta::bench_meta;
 pub use perf::{run_perf, PerfOptions, PerfOutcome, PERF_SCHEMA_VERSION};
+pub use profile::{
+    profile_sizes, run_profile, run_profile_on, ProfileOutcome, PROFILE_SCHEMA_VERSION,
+};
 pub use suites::{fig10_graph, fig10_sizes, fig11_graph, fig11_sizes, SEED};
 pub use workloads::{
     kcount_sizes, run_workloads, run_workloads_on, workloads_sizes, WorkloadPoint,

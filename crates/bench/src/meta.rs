@@ -1,0 +1,75 @@
+//! Shared provenance header stamped on every `bench_out/BENCH_*.json`.
+//!
+//! Every emitter sets the same `"bench_meta"` object so a result file can
+//! always be traced back to the tool version, report schema, and git
+//! revision that produced it — without each module reinventing the
+//! lookup. The git revision is resolved once per process, so two
+//! documents written by the same run always carry identical headers
+//! (which keeps the bit-reproducibility tests meaningful).
+
+use std::sync::OnceLock;
+
+use trigon_core::{Json, RUN_REPORT_SCHEMA_VERSION};
+
+/// Best-effort short git revision of the checkout running the bench;
+/// `"unknown"` outside a git working tree (e.g. an unpacked release).
+fn git_rev() -> &'static str {
+    static REV: OnceLock<String> = OnceLock::new();
+    REV.get_or_init(|| {
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+}
+
+/// The provenance header carried by every `BENCH_*.json` document under
+/// the `"bench_meta"` key: tool name + version, the [`RunReport`] schema
+/// version the run reports follow, and the producing git revision.
+///
+/// [`RunReport`]: trigon_core::RunReport
+#[must_use]
+pub fn bench_meta() -> Json {
+    let mut o = Json::object();
+    o.set("tool", Json::Str("trigon-bench".to_string()));
+    o.set(
+        "tool_version",
+        Json::Str(env!("CARGO_PKG_VERSION").to_string()),
+    );
+    o.set(
+        "run_report_schema_version",
+        Json::UInt(u64::from(RUN_REPORT_SCHEMA_VERSION)),
+    );
+    o.set("git_rev", Json::Str(git_rev().to_string()));
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_meta_is_stable_within_a_process_and_fully_populated() {
+        let a = bench_meta();
+        let b = bench_meta();
+        assert_eq!(a.to_string_pretty(), b.to_string_pretty());
+        assert_eq!(a.get("tool"), Some(&Json::Str("trigon-bench".into())));
+        assert_eq!(
+            a.get("run_report_schema_version"),
+            Some(&Json::UInt(u64::from(RUN_REPORT_SCHEMA_VERSION)))
+        );
+        let Some(Json::Str(v)) = a.get("tool_version") else {
+            panic!("tool_version missing")
+        };
+        assert!(!v.is_empty());
+        let Some(Json::Str(rev)) = a.get("git_rev") else {
+            panic!("git_rev missing")
+        };
+        assert!(!rev.is_empty());
+    }
+}

@@ -312,6 +312,7 @@ pub fn run_perf(opts: &PerfOptions) -> PerfOutcome {
 
     let mut report = Json::object();
     report.set("schema_version", Json::UInt(u64::from(PERF_SCHEMA_VERSION)));
+    report.set("bench_meta", crate::meta::bench_meta());
     report.set("quick", Json::Bool(opts.quick));
     report.set(
         "threads_available",

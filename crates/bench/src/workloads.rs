@@ -144,6 +144,7 @@ fn workloads_json(points: &[WorkloadPoint]) -> Json {
         "schema_version",
         Json::UInt(u64::from(WORKLOADS_SCHEMA_VERSION)),
     );
+    doc.set("bench_meta", crate::meta::bench_meta());
     doc.set("suite", Json::Str("fig10".to_string()));
     let mut arr = Vec::with_capacity(points.len());
     for p in points {

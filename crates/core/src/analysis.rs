@@ -55,7 +55,8 @@ use crate::gpu_kcount::run_k_cliques_workload_traced;
 use crate::hybrid::{run_hybrid_collected, run_hybrid_workload_traced, HybridConfig};
 use crate::multi;
 use crate::report::{
-    Eq6Section, FaultsSection, GpuSection, HybridSection, RunReport, WorkloadSection,
+    Eq6Section, FaultsSection, GpuSection, HybridSection, ProfileSection, RunReport,
+    WorkloadSection,
 };
 use crate::timemodel::CostModel;
 use crate::workload::{
@@ -458,6 +459,7 @@ impl<'g> Run<'g> {
                         .gauge_value("gpu.schedule_imbalance")
                         .unwrap_or(1.0),
                 });
+                report.profile = Some(ProfileSection::new(r.profile));
                 report
             }
             Workload::Clustering => {
@@ -531,7 +533,9 @@ impl<'g> Run<'g> {
                 };
                 let (r, partial) =
                     pipeline::run_workload_traced(g, cm, &self.cost, kernel, collector, tracer)?;
-                Ok((self.base_report(r.triangles, r.tests, r.modeled_s), partial))
+                let mut report = self.base_report(r.triangles, r.tests, r.modeled_s);
+                report.profile = Some(ProfileSection::new(r.profile));
+                Ok((report, partial))
             }
             Method::GpuNaive | Method::GpuOptimized | Method::GpuSampled => {
                 let mut cfg = self.gpu_config_for(self.method)?;
@@ -578,6 +582,7 @@ impl<'g> Run<'g> {
                 report.eq6 = eq6;
                 report.faults = faults_section(cfg.faults.as_ref(), r.faults.as_ref());
                 report.fleet = fleet_section;
+                report.profile = Some(ProfileSection::new(r.profile));
                 Ok((report, partial))
             }
             Method::Hybrid => {
@@ -600,6 +605,7 @@ impl<'g> Run<'g> {
                         .unwrap_or(1.0),
                 });
                 report.eq6 = Some(Eq6Section::new(r.eq6_s, r.kernel_s));
+                report.profile = Some(ProfileSection::new(r.profile));
                 Ok((report, partial))
             }
             Method::KCliques(_) => unreachable!("folded into Workload::KCliques"),
@@ -666,6 +672,7 @@ impl<'g> Run<'g> {
             eq6: None,
             faults: None,
             fleet: None,
+            profile: None,
             trace: None,
             telemetry: Collector::disabled(),
             tracer: Tracer::disabled(),

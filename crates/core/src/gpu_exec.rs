@@ -34,8 +34,8 @@ use rayon::prelude::*;
 use std::collections::VecDeque;
 use trigon_combin::{equal_division, CrossMode};
 use trigon_gpu_sim::{
-    camping_cycles, emit, warp_transactions, DeviceSpec, FaultConfig, FaultEvent, FaultOutcome,
-    PartitionTraffic, TransferModel,
+    camping_cycles, emit, warp_transactions, CounterSet, DeviceProfile, DeviceSpec, FaultConfig,
+    FaultEvent, FaultOutcome, PartitionTraffic, ProfileData, TransferModel,
 };
 use trigon_graph::{Graph, Xoshiro256pp};
 use trigon_telemetry::{AttrValue, Collector, Tracer, Track};
@@ -214,17 +214,41 @@ pub struct GpuRunResult {
     /// with [`GpuConfig::faults`] (an empty plan still yields an — all
     /// zero — outcome).
     pub faults: Option<FaultOutcome>,
+    /// Per-ALS / per-SM counter attribution. Counters are priced at
+    /// simulation time and attributed by the *scheduled* assignment, so
+    /// the profile is bit-identical across thread widths and under any
+    /// fault plan.
+    pub profile: ProfileData,
 }
 
 /// One simulated block's accumulated costs plus its workload partial.
 #[derive(Debug, Clone)]
 struct BlockSim<P> {
+    als_idx: usize,
     compute_cycles: u64,
     mem_base_cycles: u64,
     transactions: u64,
+    min_transactions: u64,
     traffic: PartitionTraffic,
     partial: P,
     tests: u128,
+}
+
+impl<P> BlockSim<P> {
+    /// The block's profiler counter bundle (everything priced at
+    /// simulation time — nothing here depends on dispatch or faults).
+    fn counters(&self) -> CounterSet {
+        CounterSet {
+            tests: self.tests,
+            instructions: CounterSet::instructions_for_tests(self.tests),
+            transactions: self.transactions,
+            min_transactions: self.min_transactions,
+            bank_conflicts: 0,
+            compute_cycles: self.compute_cycles,
+            mem_cycles: self.mem_base_cycles,
+            blocks: 1,
+        }
+    }
 }
 
 /// A unit of work: a contiguous slice of one (ALS, mode) stream.
@@ -258,48 +282,6 @@ pub fn run_collected(
     collector: &mut Collector,
 ) -> Result<GpuRunResult, GpuError> {
     run_workload_traced(g, cfg, &CountKernel, collector, &Tracer::disabled()).map(|(r, _)| r)
-}
-
-/// Runs the simulated triangle-count kernel like [`run_collected`],
-/// additionally recording a time-resolved trace.
-///
-/// # Errors
-///
-/// [`GpuError::GraphTooLarge`] when the layout exceeds the device memory.
-#[deprecated(
-    since = "0.7.0",
-    note = "use the `Run` builder or `run_workload_traced` with `CountKernel`; \
-            this shim will be removed next release"
-)]
-pub fn run_traced(
-    g: &Graph,
-    cfg: &GpuConfig,
-    collector: &mut Collector,
-    tracer: &Tracer,
-) -> Result<GpuRunResult, GpuError> {
-    run_workload_traced(g, cfg, &CountKernel, collector, tracer).map(|(r, _)| r)
-}
-
-/// Runs the simulated triangle-count kernel over a caller-supplied ALS
-/// slice (one fleet shard).
-///
-/// # Errors
-///
-/// [`GpuError::GraphTooLarge`] when the shard's layout exceeds the
-/// device memory.
-#[deprecated(
-    since = "0.7.0",
-    note = "use the `Run` builder or `run_workload_traced_with_als` with `CountKernel`; \
-            this shim will be removed next release"
-)]
-pub fn run_traced_with_als(
-    g: &Graph,
-    als: &[Als],
-    cfg: &GpuConfig,
-    collector: &mut Collector,
-    tracer: &Tracer,
-) -> Result<GpuRunResult, GpuError> {
-    run_workload_traced_with_als(g, als, cfg, &CountKernel, collector, tracer).map(|(r, _)| r)
 }
 
 /// Runs the simulated kernel for an arbitrary [`ChunkKernel`] workload,
@@ -430,6 +412,18 @@ fn run_prepared<K: ChunkKernel>(
         SchedulePolicy::Greedy => trigon_sched::list_schedule(&job_sizes, spec.sm_count),
         SchedulePolicy::Lpt => trigon_sched::lpt(&job_sizes, spec.sm_count),
     };
+    // Counter attribution happens here — outside the dispatch loop —
+    // from the blocks' simulate-time prices and the *scheduled* SM
+    // assignment. Fault recovery below may retry or migrate blocks, but
+    // it never re-prices them, so the profile is identical under any
+    // fault plan and thread width.
+    let mut profile = ProfileData::new(als.len(), spec.sm_count as usize);
+    for (b, &sm) in blocks.iter().zip(schedule.assignment.iter()) {
+        profile.record(b.als_idx, sm as usize, &b.counters());
+    }
+    profile
+        .devices
+        .push(DeviceProfile::new(spec, profile.totals.clone()));
     // The kernel's simulated timeline starts once the layout has crossed
     // PCIe; per-block SM spans are offset past the transfer span (and,
     // under fault injection, past every failed attempt and its backoff).
@@ -560,6 +554,7 @@ fn run_prepared<K: ChunkKernel>(
             makespan_cycles,
             sm_utilization,
             faults: outcome,
+            profile,
         },
         d.partial,
     ))
@@ -759,6 +754,9 @@ fn dispatch_rounds<K: ChunkKernel>(
     }
 
     let mut alive = vec![true; sm_count];
+    // Cumulative per-SM transactions for the Perfetto counter tracks
+    // (trace-only; profile attribution happens at schedule time).
+    let mut sm_cum_tx = vec![0u64; if tracer.enabled() { sm_count } else { 0 }];
     let mut committed: Vec<Option<K::Partial>> = vec![None; blocks.len()];
     let mut retries = vec![0u32; blocks.len()];
     let mut ecc_seen = vec![0u32; blocks.len()];
@@ -867,6 +865,21 @@ fn dispatch_rounds<K: ChunkKernel>(
                 );
                 tracer.record("block.cycles", cycles as f64);
                 tracer.record("block.transactions", blocks[b].transactions as f64);
+                // Counter tracks: per-SM occupancy steps to 1 while the
+                // block runs, and the cumulative transaction count
+                // advances at its completion. Emitted from the shared
+                // round loop, so a zero-fault plan stays byte-identical
+                // to the perfect device.
+                sm_cum_tx[sm] += blocks[b].transactions;
+                let lane = Track::Sm(sm as u32);
+                tracer.counter("sm.occupancy", lane, phase_start, 1.0);
+                tracer.counter("sm.occupancy", lane, phase_start + cycles, 0.0);
+                tracer.counter(
+                    "sm.transactions",
+                    lane,
+                    phase_start + cycles,
+                    sm_cum_tx[sm] as f64,
+                );
             }
         }
 
@@ -1058,9 +1071,11 @@ fn simulate_block<K: ChunkKernel>(
     let warps = (cfg.threads_per_block / spec.warp_size) as u64;
     let space = als.space(3);
     let mut sim = BlockSim {
+        als_idx: work.als_idx,
         compute_cycles: 0,
         mem_base_cycles: 0,
         transactions: 0,
+        min_transactions: 0,
         traffic: PartitionTraffic::new(spec),
         partial: kernel.identity(),
         tests: 0,
@@ -1091,7 +1106,7 @@ fn simulate_block<K: ChunkKernel>(
                     }
                 }
                 // Price the three load phases.
-                let step_tx = price_step(
+                let (step_tx, step_min) = price_step(
                     layout,
                     als,
                     work.als_idx,
@@ -1101,6 +1116,7 @@ fn simulate_block<K: ChunkKernel>(
                     &mut sim.traffic,
                 );
                 sim.transactions += u64::from(step_tx);
+                sim.min_transactions += u64::from(step_min);
                 sim.compute_cycles += cfg.cost.gpu_step_base_cycles;
                 sim.mem_base_cycles += (f64::from(step_tx)
                     * spec.transaction_service_cycles as f64
@@ -1113,7 +1129,9 @@ fn simulate_block<K: ChunkKernel>(
 }
 
 /// Coalesces the three adjacency loads of one warp step; returns the
-/// transaction count and records partition traffic.
+/// issued transaction count plus the perfectly-coalesced minimum (one
+/// 128-byte segment per phase covers a full warp of 4-byte words), and
+/// records partition traffic.
 fn price_step(
     layout: &GlobalLayout,
     als: &Als,
@@ -1122,8 +1140,9 @@ fn price_step(
     spec: &DeviceSpec,
     addrs: &mut Vec<u64>,
     traffic: &mut PartitionTraffic,
-) -> u32 {
+) -> (u32, u32) {
     let mut total = 0u32;
+    let mut minimal = 0u32;
     for (i, j) in [(0usize, 1usize), (0, 2), (1, 2)] {
         addrs.clear();
         for c in lane_combos {
@@ -1137,8 +1156,9 @@ fn price_step(
         let summary = warp_transactions(spec.compute_capability, addrs, 4);
         traffic.record_all(&summary.segment_addrs);
         total += summary.transactions;
+        minimal += (addrs.len() as u32 * 4).div_ceil(128).max(1);
     }
-    total
+    (total, minimal)
 }
 
 fn simulate_exhaustive<K: ChunkKernel>(
@@ -1183,6 +1203,7 @@ fn simulate_sampled<K: ChunkKernel>(
             let mut traffic = PartitionTraffic::new(spec);
             let mut sampled_tests = 0u128;
             let mut sampled_tx = 0u64;
+            let mut sampled_min_tx = 0u64;
             let mut total_tests = 0u128;
             with_scratch(|scratch| {
                 let StepScratch { addrs, lane_combos } = scratch;
@@ -1210,8 +1231,10 @@ fn simulate_sampled<K: ChunkKernel>(
                             continue;
                         }
                         sampled_tests += lane_combos.len() as u128;
-                        let tx = price_step(layout, a, ai, lane_combos, spec, addrs, &mut traffic);
+                        let (tx, min_tx) =
+                            price_step(layout, a, ai, lane_combos, spec, addrs, &mut traffic);
                         sampled_tx += u64::from(tx);
+                        sampled_min_tx += u64::from(min_tx);
                     }
                 }
             });
@@ -1222,6 +1245,7 @@ fn simulate_sampled<K: ChunkKernel>(
             let scale = total_tests as f64 / sampled_tests.max(1) as f64;
             let total_steps = total_tests.div_ceil(warp as u128);
             let total_tx = (sampled_tx as f64 * scale).round() as u64;
+            let total_min_tx = (sampled_min_tx as f64 * scale).round() as u64;
             let jobs = usize::try_from(total_tests.div_ceil(block_tests))
                 .unwrap_or(max_jobs_per_als)
                 .clamp(1, max_jobs_per_als);
@@ -1247,12 +1271,14 @@ fn simulate_sampled<K: ChunkKernel>(
                 }
                 out.push((
                     BlockSim {
+                        als_idx: ai,
                         compute_cycles: job_steps * cfg.cost.gpu_step_base_cycles,
                         mem_base_cycles: ((total_tx as f64 / jobs as f64)
                             * spec.transaction_service_cycles as f64
                             * cfg.cost.gpu_mem_derate)
                             .round() as u64,
                         transactions: total_tx / jobs as u64,
+                        min_transactions: total_min_tx / jobs as u64,
                         traffic: job_traffic,
                         partial: if j == 0 {
                             als_partial.take().expect("first job takes the partial")

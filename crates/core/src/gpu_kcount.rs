@@ -15,7 +15,10 @@ use crate::layout::{GlobalLayout, LayoutKind};
 use crate::workload::{ChunkKernel, CountKernel};
 use rayon::prelude::*;
 use trigon_combin::equal_division;
-use trigon_gpu_sim::{emit, warp_transactions, PartitionTraffic, TransferModel};
+use trigon_gpu_sim::{
+    emit, warp_transactions, CounterSet, DeviceProfile, PartitionTraffic, ProfileData,
+    TransferModel,
+};
 use trigon_graph::Graph;
 use trigon_telemetry::{Collector, Tracer};
 
@@ -34,6 +37,9 @@ pub struct KCliqueRunResult {
     pub total_s: f64,
     /// Thread blocks simulated.
     pub blocks: usize,
+    /// Counter attribution per ALS and per LPT-scheduled SM.
+    /// Instructions scale with the `C(k,2)` pair tests per combination.
+    pub profile: ProfileData,
 }
 
 /// Runs the simulated k-clique kernel exhaustively (small graphs; the
@@ -150,6 +156,8 @@ pub fn run_k_cliques_workload_traced<K: ChunkKernel>(
         partial: P,
         tests: u128,
         transactions: u64,
+        min_transactions: u64,
+        compute_cycles: u64,
         cycles: u64,
     }
     let results: Vec<Acc<K::Partial>> = work
@@ -163,6 +171,8 @@ pub fn run_k_cliques_workload_traced<K: ChunkKernel>(
                 partial: kernel.identity(),
                 tests: 0,
                 transactions: 0,
+                min_transactions: 0,
+                compute_cycles: 0,
                 cycles: 0,
             };
             let mut traffic = PartitionTraffic::new(spec);
@@ -197,6 +207,7 @@ pub fn run_k_cliques_workload_traced<K: ChunkKernel>(
                     }
                     // Price the C(k,2) load phases.
                     let mut step_tx = 0u32;
+                    let mut step_min_tx = 0u32;
                     for i in 0..k as usize {
                         for j in i + 1..k as usize {
                             addrs.clear();
@@ -213,12 +224,16 @@ pub fn run_k_cliques_workload_traced<K: ChunkKernel>(
                             let s = warp_transactions(spec.compute_capability, &addrs, 4);
                             traffic.record_all(&s.segment_addrs);
                             step_tx += s.transactions;
+                            step_min_tx += (addrs.len() as u32 * 4).div_ceil(128).max(1);
                         }
                     }
                     acc.transactions += u64::from(step_tx);
+                    acc.min_transactions += u64::from(step_min_tx);
                     // Compute scales with the number of pair tests per lane.
                     let pair_scale = (u64::from(k) * u64::from(k - 1) / 2).div_ceil(3);
-                    acc.cycles += cfg.cost.gpu_step_base_cycles * pair_scale
+                    let compute = cfg.cost.gpu_step_base_cycles * pair_scale;
+                    acc.compute_cycles += compute;
+                    acc.cycles += compute
                         + (f64::from(step_tx)
                             * spec.transaction_service_cycles as f64
                             * cfg.cost.gpu_mem_derate)
@@ -240,6 +255,30 @@ pub fn run_k_cliques_workload_traced<K: ChunkKernel>(
     let job_sizes: Vec<u64> = results.iter().map(|r| r.cycles).collect();
     let schedule = trigon_sched::lpt(&job_sizes, spec.sm_count);
     let kernel_s = spec.cycles_to_seconds(schedule.makespan()) + spec.kernel_launch_s;
+    // Attribution: block i carries work[i]'s ALS and lands on the SM the
+    // LPT schedule chose. Instructions scale with the C(k,2) pair tests.
+    let pair_scale = (u64::from(k) * u64::from(k - 1) / 2).div_ceil(3);
+    let mut profile = ProfileData::new(als.len(), spec.sm_count as usize);
+    for ((r, &(ai, ..)), &sm) in results
+        .iter()
+        .zip(work.iter())
+        .zip(schedule.assignment.iter())
+    {
+        let c = CounterSet {
+            tests: r.tests,
+            instructions: CounterSet::instructions_for_tests(r.tests).saturating_mul(pair_scale),
+            transactions: r.transactions,
+            min_transactions: r.min_transactions,
+            bank_conflicts: 0,
+            compute_cycles: r.compute_cycles,
+            mem_cycles: r.cycles - r.compute_cycles,
+            blocks: 1,
+        };
+        profile.record(ai, sm as usize, &c);
+    }
+    profile
+        .devices
+        .push(DeviceProfile::new(spec, profile.totals.clone()));
     drop(dispatch_span);
     drop(dispatch_guard);
     let transfer_model = TransferModel::from_spec(spec);
@@ -282,6 +321,7 @@ pub fn run_k_cliques_workload_traced<K: ChunkKernel>(
             kernel_s,
             total_s,
             blocks,
+            profile,
         },
         partial,
     ))

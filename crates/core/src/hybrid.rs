@@ -17,8 +17,8 @@ use crate::split::{split_graph_collected, SplitConfig, SplitResult};
 use crate::timemodel::{eq6_total_time, CostModel};
 use crate::workload::{ChunkKernel, CountKernel};
 use trigon_gpu_sim::{
-    bank_conflict_degree, warp_transactions, DeviceSpec, FaultConfig, FaultEvent, FaultOutcome,
-    TransferModel,
+    bank_conflict_degree, warp_transactions, CounterSet, DeviceProfile, DeviceSpec, FaultConfig,
+    FaultEvent, FaultOutcome, ProfileData, TransferModel,
 };
 use trigon_graph::Graph;
 use trigon_telemetry::{Collector, Tracer, Track};
@@ -86,6 +86,12 @@ pub struct HybridResult {
     /// Fault/recovery accounting, present iff the run was configured
     /// with faults.
     pub faults: Option<FaultOutcome>,
+    /// Counter attribution per ALS and per scheduled SM. The shared
+    /// tier's transactions are the chunk staging copies (perfectly
+    /// coalesced); its bank-conflict counter carries the Eq. 9 extra
+    /// serialized accesses of the access pattern; the global tier prices
+    /// the sampled coalescing estimate.
+    pub profile: ProfileData,
 }
 
 /// Classifies every ALS of `g` against a split result.
@@ -185,10 +191,20 @@ pub fn run_hybrid_workload_traced<K: ChunkKernel>(
     let mut partial = kernel.identity();
     let mut tests = 0u128;
     let mut jobs_cycles: Vec<u64> = Vec::new();
+    // Per-job (ALS index, counter bundle) — attributed to SMs after the
+    // LPT schedule lands; the job's tests split evenly across its blocks
+    // (remainder to the leading blocks) so totals stay exact.
+    let mut job_meta: Vec<(usize, CounterSet)> = Vec::new();
+    // Eq. 9 conflict degree of the shared-tier access pattern
+    // (consecutive words): the extra serialized accesses beyond the
+    // conflict-free cost, per load phase.
+    let bank_addrs: Vec<u64> = (0..spec.warp_size as u64).map(|l| l * 4).collect();
+    let conflict_extra =
+        u64::from(bank_conflict_degree(&bank_addrs, spec.shared_banks).saturating_sub(1));
     let mut tau_shared_total = 0.0f64;
     let mut tau_global_total = 0.0f64;
     let mut shared_n = 0usize;
-    for (a, place) in als.iter().zip(&placement) {
+    for (ai, (a, place)) in als.iter().zip(&placement).enumerate() {
         partial = kernel.merge(partial, kernel.compute_als(g, a));
         let t = a.test_count(3);
         tests += t;
@@ -198,6 +214,9 @@ pub fn run_hybrid_workload_traced<K: ChunkKernel>(
         }
         let blocks = t.div_ceil(block_tests).max(1);
         let steps_per_block = t.div_ceil(warp).div_ceil(blocks) as u64;
+        let base_tests = t / blocks;
+        let rem = t % blocks;
+        let job_tests = |b: u64| base_tests + u128::from(u128::from(b) < rem);
         match place {
             Placement::Shared { .. } => {
                 shared_n += 1;
@@ -213,8 +232,22 @@ pub fn run_hybrid_workload_traced<K: ChunkKernel>(
                     cfg.cost.gpu_step_base_shared_cycles + 3 * spec.shared_latency_cycles;
                 let per_block = copy + steps_per_block * step_cost;
                 tau_shared_total += spec.cycles_to_seconds(per_block * blocks as u64);
-                for _ in 0..blocks {
+                for b in 0..blocks as u64 {
                     jobs_cycles.push(per_block);
+                    let jt = job_tests(b);
+                    job_meta.push((
+                        ai,
+                        CounterSet {
+                            tests: jt,
+                            instructions: CounterSet::instructions_for_tests(jt),
+                            transactions: copy_tx,
+                            min_transactions: copy_tx,
+                            bank_conflicts: conflict_extra * steps_per_block * 3,
+                            compute_cycles: steps_per_block * cfg.cost.gpu_step_base_shared_cycles,
+                            mem_cycles: copy + steps_per_block * 3 * spec.shared_latency_cycles,
+                            blocks: 1,
+                        },
+                    ));
                 }
             }
             Placement::Global => {
@@ -222,15 +255,30 @@ pub fn run_hybrid_workload_traced<K: ChunkKernel>(
                 // for the transactions a 3-phase warp step issues, priced
                 // with the real coalescing engine on a sample step.
                 let est_tx_per_step = estimate_tx_per_step(a, spec);
-                let step_cost = cfg.cost.gpu_step_base_cycles
-                    + (est_tx_per_step
-                        * spec.transaction_service_cycles as f64
-                        * cfg.cost.gpu_mem_derate)
-                        .round() as u64;
+                let mem_step_cycles = (est_tx_per_step
+                    * spec.transaction_service_cycles as f64
+                    * cfg.cost.gpu_mem_derate)
+                    .round() as u64;
+                let step_cost = cfg.cost.gpu_step_base_cycles + mem_step_cycles;
                 let per_block = steps_per_block * step_cost;
                 tau_global_total += spec.cycles_to_seconds(per_block * blocks as u64);
-                for _ in 0..blocks {
+                let tx_per_block = (est_tx_per_step * steps_per_block as f64).round() as u64;
+                for b in 0..blocks as u64 {
                     jobs_cycles.push(per_block);
+                    let jt = job_tests(b);
+                    job_meta.push((
+                        ai,
+                        CounterSet {
+                            tests: jt,
+                            instructions: CounterSet::instructions_for_tests(jt),
+                            transactions: tx_per_block,
+                            min_transactions: 3 * steps_per_block,
+                            bank_conflicts: 0,
+                            compute_cycles: steps_per_block * cfg.cost.gpu_step_base_cycles,
+                            mem_cycles: steps_per_block * mem_step_cycles,
+                            blocks: 1,
+                        },
+                    ));
                 }
             }
         }
@@ -238,6 +286,13 @@ pub fn run_hybrid_workload_traced<K: ChunkKernel>(
 
     // Intelligent scheduling: LPT over all ALS jobs on the SMs.
     let schedule = trigon_sched::lpt(&jobs_cycles, spec.sm_count);
+    let mut profile = ProfileData::new(als.len(), spec.sm_count as usize);
+    for ((ai, c), &sm) in job_meta.iter().zip(schedule.assignment.iter()) {
+        profile.record(*ai, sm as usize, c);
+    }
+    profile
+        .devices
+        .push(DeviceProfile::new(spec, profile.totals.clone()));
     let mut kernel_s = spec.cycles_to_seconds(schedule.makespan()) + spec.kernel_launch_s;
 
     // The paper's naive Eq. 6 pipeline: average per-tier chunk times.
@@ -347,6 +402,7 @@ pub fn run_hybrid_workload_traced<K: ChunkKernel>(
             eq6_s,
             total_s,
             faults: faults_outcome,
+            profile,
         },
         partial,
     )

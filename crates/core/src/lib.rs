@@ -73,11 +73,12 @@ pub use layout::{GlobalLayout, LayoutKind};
 pub use multi::{run_fleet, run_fleet_workload};
 pub use pipeline::{CountMethod, TriangleReport};
 pub use report::{
-    Eq6Section, FleetDeviceEntry, FleetSection, GpuSection, HybridSection, RunReport,
-    WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
+    Eq6Section, FleetDeviceEntry, FleetSection, GpuSection, HybridSection, ProfileSection,
+    RunReport, WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
 };
 pub use split::{split_graph, split_graph_collected, Chunk, SplitConfig, SplitResult};
 pub use trigon_fleet::{FleetSpec, LossPlan};
+pub use trigon_gpu_sim::{CounterSet, DeviceProfile, ProfileData, RooflinePoint};
 pub use trigon_telemetry::{
     Clock, Collector, Json, Level, ManualClock, MonotonicClock, TraceSummary, Tracer, Track,
 };

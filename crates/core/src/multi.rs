@@ -34,7 +34,7 @@ use crate::workload::{ChunkKernel, CountKernel};
 use trigon_fleet::{
     plan_shards, reassign_lost, seconds_to_cycles, FleetSpec, Interconnect, LossPlan, ShardJob,
 };
-use trigon_gpu_sim::{DeviceSpec, TransferModel};
+use trigon_gpu_sim::{DeviceSpec, ProfileData, TransferModel};
 use trigon_graph::Graph;
 use trigon_telemetry::{AttrValue, Collector, Level, Tracer, Track};
 
@@ -352,6 +352,37 @@ pub fn run_fleet_workload<K: ChunkKernel>(
         .fold(0.0f64, f64::max);
     let host_s = base.cost.host_prep_seconds(g.n(), g.m());
     let context_s = base.cost.gpu_context_init_s;
+
+    // ---- Aggregate profile. Shard-local ALS attribution remaps to
+    // global ALS indices through the same `plan.assignment` filter
+    // order that built each `shard_als`; per-SM counters merge
+    // index-wise; per-device entries concatenate in ascending device
+    // order (each shard run pushed exactly one). Counters were priced
+    // before dispatch, so this aggregate is bit-identical to the
+    // single-device profile of the same plan regardless of loss. ----
+    let n_sm = shards
+        .iter()
+        .map(|s| s.result.profile.per_sm.len())
+        .max()
+        .unwrap_or(0);
+    let mut profile = ProfileData::new(als.len(), n_sm);
+    for s in &shards {
+        let globals: Vec<usize> = (0..als.len())
+            .filter(|&j| plan.assignment[j] == s.device)
+            .collect();
+        for (local, c) in s.result.profile.per_als.iter().enumerate() {
+            if let Some(&gj) = globals.get(local) {
+                profile.record_als(gj, c);
+            }
+        }
+        for (i, c) in s.result.profile.per_sm.iter().enumerate() {
+            profile.per_sm[i].merge(c);
+        }
+        profile
+            .devices
+            .extend(s.result.profile.devices.iter().cloned());
+    }
+
     let aggregate = GpuRunResult {
         triangles,
         tests,
@@ -369,14 +400,16 @@ pub fn run_fleet_workload<K: ChunkKernel>(
         makespan_cycles,
         sm_utilization,
         faults: None,
+        profile,
     };
     Ok((aggregate, partial, section))
 }
 
-/// Re-emits a shard sub-trace onto fleet device `d`'s lanes: SM spans
-/// and instants shift by `shift` cycles (past the contended upload and
-/// boundary exchange); the sub-run's host phases and uncontended PCIe
-/// span are dropped — the fleet path emits its own; histograms merge.
+/// Re-emits a shard sub-trace onto fleet device `d`'s lanes: SM spans,
+/// instants, and counter samples shift by `shift` cycles (past the
+/// contended upload and boundary exchange); the sub-run's host phases
+/// and uncontended PCIe span are dropped — the fleet path emits its
+/// own; histograms merge.
 fn harvest_shard_trace(tracer: &Tracer, sub: &Tracer, d: u32, shift: u64) {
     for s in sub.spans() {
         if let Track::Sm(i) = s.track {
@@ -400,6 +433,11 @@ fn harvest_shard_trace(tracer: &Tracer, sub: &Tracer, d: u32, shift: u64) {
             Track::Sm(m) => tracer.instant_at(&i.name, Track::DeviceSm(d, m), i.at + shift),
             Track::Pcie => tracer.instant_at(&i.name, Track::DevicePcie(d), i.at + shift),
             _ => {}
+        }
+    }
+    for c in sub.counters() {
+        if let Track::Sm(m) = c.track {
+            tracer.counter(&c.name, Track::DeviceSm(d, m), c.at + shift, c.value);
         }
     }
     tracer.absorb_histograms(sub);

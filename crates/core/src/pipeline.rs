@@ -1,11 +1,13 @@
 //! End-to-end pipeline: graph → BFS/ALS → count, with modeled timing —
 //! the entry point the examples and the benchmark harness drive.
 
+use crate::als::Als;
 use crate::count;
 use crate::error::Error;
 use crate::gpu_exec::{self, GpuConfig, GpuRunResult};
 use crate::timemodel::CostModel;
-use crate::workload::{compute_als_by_walk, ChunkKernel, CountKernel};
+use crate::workload::{compute_als_by_walk, ChunkKernel};
+use trigon_gpu_sim::{CounterSet, ProfileData};
 use trigon_graph::Graph;
 use trigon_telemetry::{Collector, Tracer};
 
@@ -43,56 +45,31 @@ pub struct TriangleReport {
     pub wall_s: f64,
     /// GPU detail when the method was [`CountMethod::GpuSim`].
     pub gpu: Option<GpuRunResult>,
+    /// Counter attribution per adjacent level set. CPU methods carry
+    /// the host-side test/instruction counters (no SM or memory axis);
+    /// GPU methods carry the full simulator profile.
+    pub profile: ProfileData,
 }
 
-/// Runs the full pipeline with an explicit cost model, recording phase
-/// timings and simulator counters into `collector`.
-///
-/// # Errors
-///
-/// [`Error::GraphTooLarge`] for GPU runs on graphs exceeding the device.
-#[deprecated(
-    since = "0.7.0",
-    note = "use the `Run` builder or `pipeline::run_workload_traced` with \
-            `CountKernel`; this shim will be removed next release"
-)]
-pub fn count_triangles_collected(
-    g: &Graph,
-    method: CountMethod,
-    cost: &CostModel,
-    collector: &mut Collector,
-) -> Result<TriangleReport, Error> {
-    run_workload_traced(
-        g,
-        method,
-        cost,
-        &CountKernel,
-        collector,
-        &Tracer::disabled(),
-    )
-    .map(|(r, _)| r)
-}
-
-/// Runs the full pipeline like [`count_triangles_collected`],
-/// additionally recording time-resolved spans and histograms into
-/// `tracer`.
-///
-/// # Errors
-///
-/// [`Error::GraphTooLarge`] for GPU runs on graphs exceeding the device.
-#[deprecated(
-    since = "0.7.0",
-    note = "use the `Run` builder or `pipeline::run_workload_traced` with \
-            `CountKernel`; this shim will be removed next release"
-)]
-pub fn count_triangles_traced(
-    g: &Graph,
-    method: CountMethod,
-    cost: &CostModel,
-    collector: &mut Collector,
-    tracer: &Tracer,
-) -> Result<TriangleReport, Error> {
-    run_workload_traced(g, method, cost, &CountKernel, collector, tracer).map(|(r, _)| r)
+/// The host-executor profile: per-ALS test and instruction counters.
+/// CPU runs have no SM, transaction, or cycle axis, but the per-chunk
+/// `tests` attribution is the same exact quantity the GPU path prices —
+/// the cross-executor invariant the profiler tests pin.
+fn cpu_profile(als: &[Als]) -> ProfileData {
+    let mut profile = ProfileData::new(als.len(), 0);
+    for (i, a) in als.iter().enumerate() {
+        let tests = a.test_count(3);
+        profile.record_als(
+            i,
+            &CounterSet {
+                tests,
+                instructions: CounterSet::instructions_for_tests(tests),
+                blocks: 1,
+                ..CounterSet::default()
+            },
+        );
+    }
+    profile
 }
 
 /// Runs the full pipeline for an arbitrary [`ChunkKernel`] workload,
@@ -117,23 +94,23 @@ pub fn run_workload_traced<K: ChunkKernel>(
     tracer: &Tracer,
 ) -> Result<(TriangleReport, K::Partial), Error> {
     let t0 = collector.clock().now_ns();
-    let (partial, tests, modeled_s, gpu) = match method {
+    let (partial, tests, modeled_s, gpu, profile) = match method {
         CountMethod::CpuExhaustive => {
-            let partial = {
+            let (partial, profile) = {
                 let _p = collector.phase("count");
                 let _s = tracer.span("count", "phase");
-                crate::als::build_als(g)
-                    .iter()
-                    .fold(kernel.identity(), |acc, a| {
-                        kernel.merge(acc, compute_als_by_walk(kernel, g, a))
-                    })
+                let als = crate::als::build_als(g);
+                let partial = als.iter().fold(kernel.identity(), |acc, a| {
+                    kernel.merge(acc, compute_als_by_walk(kernel, g, a))
+                });
+                (partial, cpu_profile(&als))
             };
             let tests = count::total_tests(g);
             let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), tests);
-            (partial, tests, modeled, None)
+            (partial, tests, modeled, None, profile)
         }
         CountMethod::CpuFast => {
-            let (partial, tests) = {
+            let (partial, tests, profile) = {
                 let _p = collector.phase("count");
                 let _s = tracer.span("count", "phase");
                 let als = crate::als::build_als(g);
@@ -146,17 +123,18 @@ pub fn run_workload_traced<K: ChunkKernel>(
                         tracer.record("als.tests", a.test_count(3) as f64);
                     }
                 }
-                (partial, tests)
+                (partial, tests, cpu_profile(&als))
             };
             let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), tests);
-            (partial, tests, modeled, None)
+            (partial, tests, modeled, None, profile)
         }
         CountMethod::GpuSim(mut cfg) => {
             cfg.cost = *cost;
             let (r, partial) = gpu_exec::run_workload_traced(g, &cfg, kernel, collector, tracer)?;
             let tests = r.tests;
             let total_s = r.total_s;
-            (partial, tests, total_s, Some(r))
+            let profile = r.profile.clone();
+            (partial, tests, total_s, Some(r), profile)
         }
     };
     let triangles = kernel.triangles_in(&partial);
@@ -173,6 +151,7 @@ pub fn run_workload_traced<K: ChunkKernel>(
             modeled_s,
             wall_s: collector.clock().now_ns().saturating_sub(t0) as f64 / 1e9,
             gpu,
+            profile,
         },
         partial,
     ))
@@ -181,6 +160,7 @@ pub fn run_workload_traced<K: ChunkKernel>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::CountKernel;
     use trigon_gpu_sim::DeviceSpec;
     use trigon_graph::{gen, triangles};
 

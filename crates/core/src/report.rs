@@ -14,8 +14,8 @@
 //! ([`RunReport::to_json`]); the schema is pinned by a golden key-path
 //! test, not by values, so timings may vary freely between runs.
 
-use trigon_gpu_sim::FaultOutcome;
-use trigon_telemetry::{Collector, Json, TraceSummary, Tracer};
+use trigon_gpu_sim::{CounterSet, FaultOutcome, ProfileData};
+use trigon_telemetry::{registry, Collector, Json, TraceSummary, Tracer};
 
 /// Version of the JSON schema [`RunReport::to_json`] emits. Bump when
 /// key paths change shape.
@@ -26,8 +26,11 @@ use trigon_telemetry::{Collector, Json, TraceSummary, Tracer};
 /// summarizing fault injection and recovery; 4 = added the `fleet`
 /// section ([`FleetSection`]) for multi-device runs; 5 = added the
 /// always-present `workload` section ([`WorkloadSection`]) carrying
-/// per-workload results (clustering, k-truss, enumeration).
-pub const RUN_REPORT_SCHEMA_VERSION: u32 = 5;
+/// per-workload results (clustering, k-truss, enumeration); 6 = added
+/// the `profile` section ([`ProfileSection`]) with per-counter totals,
+/// derived metrics, the per-ALS hotspot table, and per-device roofline
+/// points.
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 6;
 
 /// Workload-specific result detail — the schema-v5 `workload` section,
 /// present on every report. The count-style workloads carry only their
@@ -289,6 +292,140 @@ pub struct FleetSection {
     pub per_device: Vec<FleetDeviceEntry>,
 }
 
+/// Simulated performance-counter profile — the schema-v6 `profile`
+/// section, present on every run that executed work.
+///
+/// Carries the run's [`ProfileData`]: counter totals (in the canonical
+/// [`registry::COUNTERS`] order), the derived metrics of
+/// [`registry::DERIVED`], the top-[`ProfileSection::HOTSPOT_N`] per-ALS
+/// hotspot table, and one roofline point per device. All quantities are
+/// exact integers (or pure functions of them), priced at simulation
+/// time — bit-identical across executors, thread widths, and fault
+/// plans.
+#[derive(Debug, Clone)]
+pub struct ProfileSection {
+    /// The full attribution data (per-ALS, per-SM, totals, devices).
+    pub data: ProfileData,
+}
+
+impl ProfileSection {
+    /// ALS rows the serialized hotspot table keeps (hottest first).
+    pub const HOTSPOT_N: usize = 8;
+
+    /// Wraps the executor's attribution data.
+    #[must_use]
+    pub fn new(data: ProfileData) -> Self {
+        Self { data }
+    }
+
+    /// Resolves a raw counter name against `c` (registry lookup).
+    fn counter_value(c: &CounterSet, name: &str) -> f64 {
+        match name {
+            "tests" => c.tests as f64,
+            "instructions" => c.instructions as f64,
+            "transactions" => c.transactions as f64,
+            "min_transactions" => c.min_transactions as f64,
+            "bank_conflicts" => c.bank_conflicts as f64,
+            "compute_cycles" => c.compute_cycles as f64,
+            "mem_cycles" => c.mem_cycles as f64,
+            "blocks" => c.blocks as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// One counter bundle as a JSON object, in canonical registry order.
+    fn counters_json(c: &CounterSet) -> Json {
+        let mut o = Json::object();
+        o.set(
+            "tests",
+            u64::try_from(c.tests).map_or(Json::Float(c.tests as f64), Json::from),
+        );
+        o.set("instructions", Json::from(c.instructions));
+        o.set("transactions", Json::from(c.transactions));
+        o.set("min_transactions", Json::from(c.min_transactions));
+        o.set("bank_conflicts", Json::from(c.bank_conflicts));
+        o.set("compute_cycles", Json::from(c.compute_cycles));
+        o.set("mem_cycles", Json::from(c.mem_cycles));
+        o.set("blocks", Json::from(c.blocks));
+        o
+    }
+
+    /// Serializes the section: totals, derived metrics, hotspots,
+    /// per-device rooflines.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("counters", Self::counters_json(&self.data.totals));
+
+        let totals = &self.data.totals;
+        let get = |name: &str| Self::counter_value(totals, name);
+        let mut derived = Json::object();
+        for d in registry::DERIVED {
+            derived.set(d.name, Json::from(d.eval(&get)));
+        }
+        o.set("derived", derived);
+
+        o.set("als", Json::from(self.data.per_als.len()));
+        o.set("sms", Json::from(self.data.per_sm.len()));
+        o.set(
+            "hotspots",
+            Json::Array(
+                self.data
+                    .hotspots(Self::HOTSPOT_N)
+                    .into_iter()
+                    .map(|i| {
+                        let c = &self.data.per_als[i];
+                        let mut h = Json::object();
+                        h.set("als", Json::from(i));
+                        h.set(
+                            "tests",
+                            u64::try_from(c.tests).map_or(Json::Float(c.tests as f64), Json::from),
+                        );
+                        h.set("transactions", Json::from(c.transactions));
+                        h.set("cycles", Json::from(c.cycles()));
+                        h.set(
+                            "coalescing_efficiency",
+                            Json::from(c.coalescing_efficiency()),
+                        );
+                        h
+                    })
+                    .collect(),
+            ),
+        );
+
+        o.set(
+            "per_device",
+            Json::Array(
+                self.data
+                    .devices
+                    .iter()
+                    .map(|d| {
+                        let mut e = Json::object();
+                        e.set("device", Json::from(d.device.as_str()));
+                        e.set("counters", Self::counters_json(&d.counters));
+                        let mut r = Json::object();
+                        r.set(
+                            "compute_roof_ops_s",
+                            Json::from(d.roofline.compute_roof_ops_s),
+                        );
+                        r.set("mem_roof_bytes_s", Json::from(d.roofline.mem_roof_bytes_s));
+                        r.set("ridge_ops_byte", Json::from(d.roofline.ridge_ops_byte));
+                        r.set(
+                            "intensity_ops_byte",
+                            Json::from(d.roofline.intensity_ops_byte),
+                        );
+                        r.set("achieved_ops_s", Json::from(d.roofline.achieved_ops_s));
+                        r.set("bound", Json::from(d.roofline.bound));
+                        e.set("roofline", r);
+                        e
+                    })
+                    .collect(),
+            ),
+        );
+        o
+    }
+}
+
 /// The paper's Eq. 6 execution-time model against the simulation.
 #[derive(Debug, Clone)]
 pub struct Eq6Section {
@@ -356,6 +493,9 @@ pub struct RunReport {
     pub faults: Option<FaultsSection>,
     /// Multi-device fleet summary (runs configured with a fleet).
     pub fleet: Option<FleetSection>,
+    /// Performance-counter profile (per-ALS/per-SM/per-device
+    /// attribution); present whenever the executor produced one.
+    pub profile: Option<ProfileSection>,
     /// Trace summary (span counts, critical path, per-SM busy/idle,
     /// histogram quantiles) when the run traced at `Level::Trace`.
     pub trace: Option<TraceSummary>,
@@ -520,6 +660,13 @@ impl RunReport {
         );
 
         root.set(
+            "profile",
+            self.profile
+                .as_ref()
+                .map_or(Json::Null, ProfileSection::to_json),
+        );
+
+        root.set(
             "trace",
             self.trace
                 .as_ref()
@@ -566,6 +713,28 @@ mod tests {
             eq6: Some(Eq6Section::new(0.5, 0.4)),
             faults: None,
             fleet: None,
+            profile: Some(ProfileSection::new({
+                let mut p = ProfileData::new(2, 1);
+                p.record(
+                    0,
+                    0,
+                    &CounterSet {
+                        tests: 120,
+                        instructions: CounterSet::instructions_for_tests(120),
+                        transactions: 99,
+                        min_transactions: 33,
+                        bank_conflicts: 0,
+                        compute_cycles: 600,
+                        mem_cycles: 400,
+                        blocks: 3,
+                    },
+                );
+                p.devices.push(trigon_gpu_sim::DeviceProfile::new(
+                    &trigon_gpu_sim::DeviceSpec::c1060(),
+                    p.totals.clone(),
+                ));
+                p
+            })),
             trace: None,
             telemetry: Collector::new(),
             tracer: Tracer::disabled(),
@@ -587,6 +756,7 @@ mod tests {
             "eq6",
             "faults",
             "fleet",
+            "profile",
             "trace",
             "telemetry",
         ] {
@@ -597,6 +767,43 @@ mod tests {
         assert_eq!(j.get("fleet"), Some(&Json::Null));
         assert_eq!(j.get("trace"), Some(&Json::Null));
         assert_eq!(j.get("result").unwrap().get("count"), Some(&Json::UInt(7)));
+    }
+
+    #[test]
+    fn profile_section_serializes_counters_derived_and_roofline() {
+        let j = sample().to_json();
+        let p = j.get("profile").unwrap();
+        let counters = p.get("counters").unwrap();
+        for d in registry::COUNTERS {
+            assert!(counters.get(d.name).is_some(), "missing counter {}", d.name);
+        }
+        assert_eq!(counters.get("transactions"), Some(&Json::UInt(99)));
+        let derived = p.get("derived").unwrap();
+        for d in registry::DERIVED {
+            assert!(derived.get(d.name).is_some(), "missing derived {}", d.name);
+        }
+        assert_eq!(
+            derived.get("coalescing_efficiency"),
+            Some(&Json::Float(33.0 / 99.0))
+        );
+        match p.get("hotspots") {
+            Some(Json::Array(hs)) => {
+                assert_eq!(hs.len(), 1, "one ALS carried work");
+                assert_eq!(hs[0].get("als"), Some(&Json::UInt(0)));
+                assert_eq!(hs[0].get("cycles"), Some(&Json::UInt(1000)));
+            }
+            other => panic!("expected hotspot array, got {other:?}"),
+        }
+        match p.get("per_device") {
+            Some(Json::Array(ds)) => {
+                assert_eq!(ds.len(), 1);
+                assert_eq!(ds[0].get("device"), Some(&Json::from("C1060")));
+                let r = ds[0].get("roofline").unwrap();
+                assert!(r.get("bound").is_some());
+                assert!(r.get("ridge_ops_byte").is_some());
+            }
+            other => panic!("expected per_device array, got {other:?}"),
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod faults;
 pub mod kernel;
 pub mod occupancy;
 pub mod partition;
+pub mod profile;
 pub mod shared;
 pub mod trace;
 pub mod viz;
@@ -47,6 +48,10 @@ pub use faults::{FaultConfig, FaultEvent, FaultOutcome, FaultPlan, FaultSpec};
 pub use kernel::{BlockCost, KernelSim, KernelTiming};
 pub use occupancy::{occupancy, KernelResources, Occupancy, SmLimits};
 pub use partition::{camping_cycles, PartitionTraffic};
+pub use profile::{
+    CounterSet, DeviceProfile, ProfileData, RooflinePoint, BYTES_PER_TRANSACTION,
+    INSTRUCTIONS_PER_TEST,
+};
 pub use shared::{bank_conflict_degree, shared_access_cycles};
 pub use trace::{AccessTrace, ReplaySummary, WarpAccess};
 pub use viz::{render_partition_histogram, render_sm_timeline};

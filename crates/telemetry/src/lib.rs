@@ -12,9 +12,12 @@
 //! - [`clock`]: the injectable [`Clock`] time source shared by the
 //!   collector and tracer — [`MonotonicClock`] in production,
 //!   [`ManualClock`] in deterministic tests.
-//! - [`tracer`]: the [`Tracer`] of nested RAII spans, instants, and
-//!   log-scale [`Histogram`]s, with Chrome trace-event export and
-//!   [`TraceSummary`] reduction for run reports.
+//! - [`tracer`]: the [`Tracer`] of nested RAII spans, instants, counter
+//!   samples, and log-scale [`Histogram`]s, with Chrome trace-event
+//!   export and [`TraceSummary`] reduction for run reports.
+//! - [`registry`]: the fixed vocabulary of profiler counters and the
+//!   derived metrics (coalescing efficiency, memory-cycle share, …)
+//!   computed from them.
 //!
 //! This crate sits below `trigon-core` in the dependency graph so the
 //! GPU simulator crates can also emit into a collector and tracer.
@@ -24,12 +27,14 @@
 pub mod clock;
 pub mod collector;
 pub mod json;
+pub mod registry;
 pub mod tracer;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use collector::{Collector, Level, PhaseGuard};
 pub use json::Json;
+pub use registry::{CounterDef, DerivedDef};
 pub use tracer::{
-    AttrValue, DeviceSummary, Histogram, HistogramSummary, InstantRecord, SmLane, SmSummary,
-    SpanGuard, SpanRecord, TraceSummary, Tracer, Track,
+    AttrValue, CounterRecord, DeviceSummary, Histogram, HistogramSummary, InstantRecord, SmLane,
+    SmSummary, SpanGuard, SpanRecord, TraceSummary, Tracer, Track,
 };

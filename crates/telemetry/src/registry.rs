@@ -1,0 +1,189 @@
+//! Counter registry: the fixed vocabulary of profiler counters and the
+//! derived metrics computed from them.
+//!
+//! The GPU simulator attributes its accounting to work units as bundles
+//! of named integer counters; this registry is the single place those
+//! names, units, and derivations live. Consumers (the run report, the
+//! CLI hotspot table, bench emitters) look metrics up here instead of
+//! hard-coding ratios, so a new counter or derived metric lands in every
+//! surface at once.
+
+/// Definition of one raw profiler counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterDef {
+    /// Stable counter name (matches the profile record field).
+    pub name: &'static str,
+    /// Unit the counter is denominated in.
+    pub unit: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+/// The raw profiler counters, in canonical report order.
+pub const COUNTERS: &[CounterDef] = &[
+    CounterDef {
+        name: "tests",
+        unit: "combinations",
+        help: "combination tests performed or accounted",
+    },
+    CounterDef {
+        name: "instructions",
+        unit: "instructions",
+        help: "modeled instructions (a fixed count per combination test)",
+    },
+    CounterDef {
+        name: "transactions",
+        unit: "transactions",
+        help: "global-memory transactions issued under the coalescing rules",
+    },
+    CounterDef {
+        name: "min_transactions",
+        unit: "transactions",
+        help: "transactions a perfectly coalesced access pattern would issue",
+    },
+    CounterDef {
+        name: "bank_conflicts",
+        unit: "accesses",
+        help: "extra shared-memory accesses serialized by bank conflicts",
+    },
+    CounterDef {
+        name: "compute_cycles",
+        unit: "cycles",
+        help: "priced compute cycles",
+    },
+    CounterDef {
+        name: "mem_cycles",
+        unit: "cycles",
+        help: "priced base (pre-camping) memory cycles",
+    },
+    CounterDef {
+        name: "blocks",
+        unit: "blocks",
+        help: "thread blocks or chunks that carried the work",
+    },
+];
+
+/// Resolves a raw counter name to its value (unknown names yield 0).
+pub type CounterLookup<'a> = &'a dyn Fn(&str) -> f64;
+
+/// Definition of one derived metric over the raw counters.
+pub struct DerivedDef {
+    /// Stable metric name.
+    pub name: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+    compute: fn(CounterLookup<'_>) -> f64,
+}
+
+impl std::fmt::Debug for DerivedDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DerivedDef")
+            .field("name", &self.name)
+            .field("help", &self.help)
+            .finish()
+    }
+}
+
+impl DerivedDef {
+    /// Evaluates the metric; `get` resolves raw counter names to values
+    /// (unknown names must resolve to 0).
+    #[must_use]
+    pub fn eval(&self, get: CounterLookup<'_>) -> f64 {
+        (self.compute)(get)
+    }
+}
+
+/// `n / d`, or `default` when the denominator is zero.
+fn ratio(n: f64, d: f64, default: f64) -> f64 {
+    if d == 0.0 {
+        default
+    } else {
+        n / d
+    }
+}
+
+/// The derived metrics, in canonical report order.
+pub const DERIVED: &[DerivedDef] = &[
+    DerivedDef {
+        name: "coalescing_efficiency",
+        help: "min_transactions / transactions; 1.0 = perfectly coalesced",
+        compute: |get| ratio(get("min_transactions"), get("transactions"), 1.0),
+    },
+    DerivedDef {
+        name: "tests_per_transaction",
+        help: "combination tests amortized per memory transaction",
+        compute: |get| ratio(get("tests"), get("transactions"), 0.0),
+    },
+    DerivedDef {
+        name: "mem_cycle_share",
+        help: "fraction of priced cycles spent on memory",
+        compute: |get| {
+            ratio(
+                get("mem_cycles"),
+                get("compute_cycles") + get("mem_cycles"),
+                0.0,
+            )
+        },
+    },
+    DerivedDef {
+        name: "instructions_per_cycle",
+        help: "modeled instructions per priced cycle",
+        compute: |get| {
+            ratio(
+                get("instructions"),
+                get("compute_cycles") + get("mem_cycles"),
+                0.0,
+            )
+        },
+    },
+];
+
+/// Looks up a raw counter definition by name.
+#[must_use]
+pub fn counter_def(name: &str) -> Option<&'static CounterDef> {
+    COUNTERS.iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn counter_names_are_unique_and_resolvable() {
+        for (i, d) in COUNTERS.iter().enumerate() {
+            assert!(
+                COUNTERS[i + 1..].iter().all(|o| o.name != d.name),
+                "duplicate counter {}",
+                d.name
+            );
+            assert_eq!(counter_def(d.name), Some(d));
+        }
+        assert_eq!(counter_def("no_such_counter"), None);
+    }
+
+    #[test]
+    fn derived_metrics_evaluate_and_guard_zero_denominators() {
+        let mut v: HashMap<&str, f64> = HashMap::new();
+        v.insert("min_transactions", 25.0);
+        v.insert("transactions", 100.0);
+        v.insert("tests", 3200.0);
+        v.insert("compute_cycles", 60.0);
+        v.insert("mem_cycles", 40.0);
+        v.insert("instructions", 38400.0);
+        let get = |name: &str| v.get(name).copied().unwrap_or(0.0);
+
+        let by_name = |n: &str| DERIVED.iter().find(|d| d.name == n).unwrap();
+        assert!((by_name("coalescing_efficiency").eval(&get) - 0.25).abs() < 1e-12);
+        assert!((by_name("tests_per_transaction").eval(&get) - 32.0).abs() < 1e-12);
+        assert!((by_name("mem_cycle_share").eval(&get) - 0.4).abs() < 1e-12);
+        assert!((by_name("instructions_per_cycle").eval(&get) - 384.0).abs() < 1e-12);
+
+        // All-zero counters: every metric still yields a finite value.
+        let zero = |_: &str| 0.0;
+        for d in DERIVED {
+            assert!(d.eval(&zero).is_finite(), "{} not finite at zero", d.name);
+        }
+        assert_eq!(by_name("coalescing_efficiency").eval(&zero), 1.0);
+    }
+}

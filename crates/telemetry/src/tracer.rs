@@ -1,5 +1,6 @@
 //! Span-based execution tracing: nested RAII spans, instant events,
-//! log-scale histograms, and Chrome trace-event export.
+//! counter samples, log-scale histograms, and Chrome trace-event
+//! export.
 //!
 //! The [`Tracer`] complements the aggregate [`Collector`](crate::Collector)
 //! with *time-resolved* records on two axes:
@@ -133,6 +134,23 @@ pub struct InstantRecord {
     pub track: Track,
     /// Timestamp (ns on host, cycles on device tracks).
     pub at: u64,
+}
+
+/// One counter sample: the value of a named counter at a point in time
+/// on one track. Exported as a Chrome trace-event counter (`"ph":"C"`),
+/// which Perfetto renders as a graph lane alongside the track's spans.
+/// Device-track samples carry simulated-cycle timestamps, so their
+/// sequence is fully deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterRecord {
+    /// Counter name (e.g. `"sm.transactions"`).
+    pub name: String,
+    /// Timeline the sample belongs to.
+    pub track: Track,
+    /// Timestamp (ns on host, cycles on device tracks).
+    pub at: u64,
+    /// Sampled value.
+    pub value: f64,
 }
 
 /// A log-scale (power-of-two bucket) histogram with min/max/sum
@@ -271,6 +289,7 @@ struct OpenSpan {
 struct TracerInner {
     spans: Vec<SpanRecord>,
     instants: Vec<InstantRecord>,
+    counters: Vec<CounterRecord>,
     histograms: Vec<(String, Histogram)>,
     depth: u32,
     device_clock_hz: f64,
@@ -449,6 +468,22 @@ impl Tracer {
         });
     }
 
+    /// Records a counter sample at an explicit time on any track; the
+    /// Chrome export turns it into a `"ph":"C"` counter event that
+    /// Perfetto graphs alongside the track's spans. No-op (and no
+    /// allocation) when the tracer is disabled.
+    pub fn counter(&self, name: &str, track: Track, at: u64, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.inner.borrow_mut().counters.push(CounterRecord {
+            name: name.to_string(),
+            track,
+            at,
+            value,
+        });
+    }
+
     /// Records one sample into the named histogram (created on first
     /// use).
     pub fn record(&self, hist: &str, v: f64) {
@@ -511,6 +546,18 @@ impl Tracer {
     #[must_use]
     pub fn instants(&self) -> Vec<InstantRecord> {
         self.inner.borrow().instants.clone()
+    }
+
+    /// All recorded counter samples, in recording order.
+    #[must_use]
+    pub fn counters(&self) -> Vec<CounterRecord> {
+        self.inner.borrow().counters.clone()
+    }
+
+    /// Number of recorded counter samples.
+    #[must_use]
+    pub fn counter_count(&self) -> usize {
+        self.inner.borrow().counters.len()
     }
 
     fn device_clock_hz(&self) -> f64 {
@@ -775,6 +822,26 @@ impl Tracer {
             ev.set("pid", Json::from(pid));
             ev.set("tid", Json::from(tid));
             ev.set("ts", Json::from(ts));
+            events.push(ev);
+        }
+
+        for c in &inner.counters {
+            let (pid, tid, ts) = match c.track {
+                Track::Host => (0u32, 0u32, c.at as f64 / 1e3),
+                Track::Pcie => (1, 0, c.at as f64 * cycles_to_us),
+                Track::Sm(m) => (1, m + 1, c.at as f64 * cycles_to_us),
+                Track::DevicePcie(d) => (2 + d, 0, c.at as f64 * cycles_to_us),
+                Track::DeviceSm(d, m) => (2 + d, m + 1, c.at as f64 * cycles_to_us),
+            };
+            let mut args = Json::object();
+            args.set("value", Json::from(c.value));
+            let mut ev = Json::object();
+            ev.set("name", Json::from(c.name.as_str()));
+            ev.set("ph", Json::from("C"));
+            ev.set("pid", Json::from(pid));
+            ev.set("tid", Json::from(tid));
+            ev.set("ts", Json::from(ts));
+            ev.set("args", args);
             events.push(ev);
         }
 
@@ -1145,10 +1212,41 @@ mod tests {
                 20,
                 &[("transactions", AttrValue::UInt(7))],
             );
+            t.counter("sm.transactions", Track::Sm(3), 30, 7.0);
         }
         let after = alloc_probe::allocations_on_this_thread();
         assert_eq!(after, before, "disabled tracer path must not allocate");
         assert_eq!(t.span_count(), 0);
+        assert_eq!(t.counter_count(), 0);
+    }
+
+    #[test]
+    fn counters_export_as_chrome_counter_events() {
+        let (_clock, t) = manual_tracer();
+        t.set_device_clock_hz(1e6); // 1 cycle == 1 us
+        t.device_span("b0", "kernel", Track::Sm(2), 0, 10, &[]);
+        t.counter("sm.transactions", Track::Sm(2), 10, 42.0);
+        t.counter("sm.occupancy", Track::DeviceSm(1, 0), 5, 1.0);
+        assert_eq!(t.counter_count(), 2);
+        let j = t.to_chrome_trace();
+        let events = match j.get("traceEvents") {
+            Some(Json::Array(evs)) => evs.clone(),
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        let cs: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph") == Some(&Json::Str("C".into())))
+            .collect();
+        assert_eq!(cs.len(), 2);
+        // Same pid/tid mapping as spans: SM 2 of the single device.
+        assert_eq!(cs[0].get("pid"), Some(&Json::UInt(1)));
+        assert_eq!(cs[0].get("tid"), Some(&Json::UInt(3)));
+        assert_eq!(cs[0].get("ts"), Some(&Json::Float(10.0)));
+        let args = cs[0].get("args").expect("counter args");
+        assert_eq!(args.get("value"), Some(&Json::Float(42.0)));
+        // Fleet device 1, SM 0 -> pid 3, tid 1.
+        assert_eq!(cs[1].get("pid"), Some(&Json::UInt(3)));
+        assert_eq!(cs[1].get("tid"), Some(&Json::UInt(1)));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub use trigon_graph as graph;
 pub use trigon_sched as sched;
 
 pub use trigon_core::{
-    Analysis, ChunkKernel, Clock, Collector, Error, FleetSpec, Json, Level, LossPlan, ManualClock,
-    Method, MonotonicClock, Run, RunReport, TraceSummary, Tracer, Track, Workload, WorkloadSection,
+    Analysis, ChunkKernel, Clock, Collector, CounterSet, Error, FleetSpec, Json, Level, LossPlan,
+    ManualClock, Method, MonotonicClock, ProfileData, ProfileSection, Run, RunReport, TraceSummary,
+    Tracer, Track, Workload, WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
 };

@@ -7,7 +7,8 @@
 //! trigon run [<FILE>] [--gen MODEL --n N] [--workload triangles|kcount|clustering|ktruss|enumerate] [--k K]
 //!            [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion]
 //!            [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB]
-//!            [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--verbose]
+//!            [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE]
+//!            [--profile FILE] [--verbose]
 //! trigon count ...                                      deprecated alias of `trigon run`
 //! trigon split <FILE> [--device c1060|c2050|c2070]
 //! trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
@@ -27,8 +28,8 @@ use trigon::gpu_sim::{
 };
 use trigon::graph::{approx, cores, gen, io, triangles, BfsTree, Graph};
 use trigon::{
-    Analysis, Error, FleetSpec, Level, LossPlan, Method, RunReport, Tracer, Workload,
-    WorkloadSection,
+    Analysis, Error, FleetSpec, Json, Level, LossPlan, Method, ProfileSection, RunReport, Tracer,
+    Workload, WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
 };
 
 fn main() {
@@ -61,9 +62,12 @@ const USAGE: &str = "usage:
   trigon devices
   trigon gen <gnp|ba|ws|ring|rmat|complete|grid> --n N [--seed S] [-o FILE]
   trigon analyze <FILE>
-  trigon run [<FILE>] [--gen MODEL --n N] [--workload triangles|kcount|clustering|ktruss|enumerate] [--k K] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--verbose]
+  trigon run [<FILE>] [--gen MODEL --n N] [--workload triangles|kcount|clustering|ktruss|enumerate] [--k K] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--profile FILE] [--verbose]
     --workload W    what to compute per ALS (default triangles); kcount and
                     ktruss take --k K (default 4)
+    --profile FILE  write the performance-counter profile (counter totals,
+                    derived metrics, per-ALS hotspots, per-device roofline)
+                    as JSON; --verbose prints the hotspot table
     --faults SPEC   inject deterministic simulated faults; SPEC is a comma list
                     of kind:count pairs (kinds: ecc, xfer, abort, stall), e.g.
                     --faults xfer:1,ecc:2 --fault-seed 7
@@ -470,6 +474,7 @@ fn cmd_run(args: &[String], via_count_alias: bool) -> Result<(), Error> {
     }
     let (pos, flags) = parse(args)?;
     let trace_path = flags.get("trace").cloned();
+    let profile_path = flags.get("profile").cloned();
     let verbose = flags.contains_key("verbose");
     let level = if trace_path.is_some() || verbose {
         Level::Trace
@@ -556,6 +561,7 @@ fn cmd_run(args: &[String], via_count_alias: bool) -> Result<(), Error> {
     } else {
         print_report(&report);
         if verbose {
+            print_profile(&report);
             print_verbose_trace(&report, &device);
         }
     }
@@ -566,11 +572,77 @@ fn cmd_run(args: &[String], via_count_alias: bool) -> Result<(), Error> {
             source: e,
         })?;
         eprintln!(
-            "wrote {path} ({} spans) — open in chrome://tracing or ui.perfetto.dev",
-            report.tracer.span_count()
+            "wrote {path} ({} spans, {} counter samples) — open in chrome://tracing \
+             or ui.perfetto.dev",
+            report.tracer.span_count(),
+            report.tracer.counter_count()
         );
     }
+    if let Some(path) = profile_path {
+        let mut o = Json::object();
+        o.set(
+            "schema_version",
+            Json::from(u64::from(RUN_REPORT_SCHEMA_VERSION)),
+        );
+        o.set("method", Json::from(report.method.as_str()));
+        o.set(
+            "device",
+            report.device.as_deref().map_or(Json::Null, Json::from),
+        );
+        o.set(
+            "profile",
+            report
+                .profile
+                .as_ref()
+                .map_or(Json::Null, ProfileSection::to_json),
+        );
+        std::fs::write(&path, o.to_string_pretty()).map_err(|e| Error::Io {
+            path: path.clone(),
+            source: e,
+        })?;
+        eprintln!("wrote {path} (performance-counter profile)");
+    }
     Ok(())
+}
+
+/// The `--verbose` profiler dump: the per-ALS hotspot table (hottest
+/// first, by priced cycles) and the per-device roofline placements.
+fn print_profile(r: &RunReport) {
+    let Some(p) = &r.profile else {
+        return;
+    };
+    let hot = p.data.hotspots(ProfileSection::HOTSPOT_N);
+    if !hot.is_empty() {
+        println!("\nhottest ALS (by priced cycles):");
+        println!(
+            "{:>5} {:>16} {:>14} {:>14} {:>8} {:>7}",
+            "als", "tests", "transactions", "cycles", "blocks", "coal%"
+        );
+        for i in hot {
+            let c = &p.data.per_als[i];
+            println!(
+                "{i:>5} {:>16} {:>14} {:>14} {:>8} {:>6.1}%",
+                c.tests,
+                c.transactions,
+                c.cycles(),
+                c.blocks,
+                c.coalescing_efficiency() * 100.0
+            );
+        }
+    }
+    for d in &p.data.devices {
+        println!(
+            "{:<14}{}: {} bound — intensity {:.3} ops/B (ridge {:.3}), \
+             achieved {:.3e} ops/s of {:.3e}",
+            "roofline",
+            d.device,
+            d.roofline.bound,
+            d.roofline.intensity_ops_byte,
+            d.roofline.ridge_ops_byte,
+            d.roofline.achieved_ops_s,
+            d.roofline.compute_roof_ops_s
+        );
+    }
 }
 
 /// The `--verbose` trace dump: summary lines, per-SM ASCII timeline, and

@@ -139,7 +139,29 @@ fn enumerate_report_schema_is_pinned() {
     check_golden("workload_enumerate_keys", &r);
 }
 
+/// The profile section must be populated (not `Null`) on every executor
+/// path — its key shape is already pinned by the per-method goldens
+/// above, so this guards against an arm forgetting to attach it.
+#[test]
+fn every_executor_attaches_a_profile_section() {
+    let g = gen::gnp(200, 0.05, 1);
+    for method in [Method::CpuFast, Method::GpuOptimized, Method::Hybrid] {
+        let r = Analysis::new(&g)
+            .method(method)
+            .telemetry(Level::Off)
+            .run()
+            .unwrap();
+        let p = r
+            .profile
+            .unwrap_or_else(|| panic!("{method:?} run must emit a profile section"));
+        assert!(
+            p.data.totals.tests > 0,
+            "{method:?} profile must attribute tests"
+        );
+    }
+}
+
 #[test]
 fn schema_version_is_current() {
-    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 5);
+    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 6);
 }
