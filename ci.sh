@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the full workspace test suite, and
 # smoke tests of the trace export, fault recovery, fleet, workload,
-# perf, and performance-counter profile repro paths.
+# adjacency-intersection, perf, and performance-counter profile repro
+# paths.
 #
 #   ./ci.sh            # everything
 #   ./ci.sh quick      # everything, but skip the slow property-test suite
-#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | fleet | workloads | perf | profile
+#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | fleet | workloads | intersect | perf | profile
 #
 # Each stage's wall-clock time is reported in a summary at the end.
 #
@@ -106,8 +107,7 @@ stage_fleet() {
 
 # Workload smoke tests: every ChunkKernel workload runs through the CLI,
 # kcount at k = 3 reproduces the triangle count, clustering is unchanged
-# by executor choice and by injected faults, the deprecated `count`
-# alias still answers (with its stderr note), and the repro sweep writes
+# by executor choice and by injected faults, and the repro sweep writes
 # bench_out/BENCH_workloads.json.
 stage_workloads() {
     local tri k3 clus_cpu clus_gpu clus_faulted truss enum_line
@@ -139,9 +139,6 @@ stage_workloads() {
         echo "workload smoke failed: truss=$truss enumerated=$enum_line tri=$tri" >&2
         return 1
     fi
-    cargo run --release --quiet -- count --gen gnp --n 200 --method cpu-fast \
-        > /dev/null 2> "$scratch/count_note"
-    grep -q deprecated "$scratch/count_note"
     echo "workloads agree: triangles=$tri truss(k=4)=$truss clustering=$clus_cpu"
     cargo run --release --quiet -p trigon-bench --bin repro -- workloads > /dev/null
     test -s bench_out/BENCH_workloads.json
@@ -150,6 +147,32 @@ stage_workloads() {
         '"checksum"' '"mean_clustering"'; do
         grep -q "$key" bench_out/BENCH_workloads.json
     done
+}
+
+# Intersection smoke test: the degree-ordered adjacency-intersection
+# backends (host and simulated-device) must report the exact count of
+# the combination fast path through the CLI, the simulated variant must
+# survive a fault plan bit-identically, and the dedicated property suite
+# must pass.
+stage_intersect() {
+    local comb cpu gpu faulted
+    comb="$(cargo run --release --quiet -- run --gen gnp --n 400 \
+        --method cpu-fast | awk '/^triangles/ {print $2}')"
+    cpu="$(cargo run --release --quiet -- run --gen gnp --n 400 \
+        --workload triangles --method cpu_intersect \
+        | awk '/^triangles/ {print $2}')"
+    gpu="$(cargo run --release --quiet -- run --gen gnp --n 400 \
+        --method gpu-intersect | awk '/^triangles/ {print $2}')"
+    faulted="$(cargo run --release --quiet -- run --gen gnp --n 400 \
+        --method gpu-intersect --faults xfer:1,ecc:1 --fault-seed 7 \
+        | awk '/^triangles/ {print $2}')"
+    if [ -z "$comb" ] || [ "$comb" != "$cpu" ] || [ "$comb" != "$gpu" ] \
+        || [ "$comb" != "$faulted" ]; then
+        echo "intersection drifted: comb=$comb cpu=$cpu gpu=$gpu faulted=$faulted" >&2
+        return 1
+    fi
+    echo "intersection count $cpu matches combination (host, device, faulted)"
+    cargo test --release --quiet --test prop_intersect
 }
 
 # Measures real wall-clock of the counting strategies, asserts parallel
@@ -195,9 +218,9 @@ stage_profile() {
 }
 
 case "$mode" in
-    all | quick | fmt | clippy | doc | test | trace | faults | fleet | workloads | perf | profile) ;;
+    all | quick | fmt | clippy | doc | test | trace | faults | fleet | workloads | intersect | perf | profile) ;;
     *)
-        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|fleet|workloads|perf|profile]" >&2
+        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|fleet|workloads|intersect|perf|profile]" >&2
         exit 2
         ;;
 esac
@@ -210,6 +233,7 @@ run_stage trace stage_trace
 run_stage faults stage_faults
 run_stage fleet stage_fleet
 run_stage workloads stage_workloads
+run_stage intersect stage_intersect
 run_stage perf stage_perf
 run_stage profile stage_profile
 

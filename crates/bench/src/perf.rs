@@ -6,8 +6,15 @@
 //!
 //! * fig10 / fig11 workloads × counting strategies (`cpu_serial` =
 //!   [`trigon_core::count::als_fast`], `cpu_parallel` across a thread
-//!   sweep on the persistent pool, and the gpu simulation), with every
-//!   parallel count checked bit-identical against the serial one;
+//!   sweep on the persistent pool, and **every parameterless
+//!   [`Method`]** — the list is derived from [`Method::ALL`], so a new
+//!   backend joins the head-to-head automatically; combination
+//!   enumerators are filtered from the fig11 scales they cannot
+//!   execute at), with every count checked bit-identical against the
+//!   serial one. The combination-vs-intersection race the intersect
+//!   backends exist for falls out of the same rows: `cpu` vs
+//!   `cpu-intersect` and `gpu-opt` vs `gpu-intersect`, asserted
+//!   strictly faster at fig10 n ≥ 1200;
 //! * telemetry overhead — the same `Analysis` run at `Level::Off` vs
 //!   `Level::Standard`;
 //! * pool dispatch cost — nanoseconds per `par_iter` round-trip on a
@@ -50,7 +57,8 @@ pub struct PerfOptions {
 /// One timed strategy sample.
 #[derive(Debug, Clone)]
 pub struct Sample {
-    /// Strategy label (`cpu_serial`, `cpu_parallel`, `gpu_sim`).
+    /// Strategy label: `cpu_serial`, `cpu_parallel`, or a
+    /// [`Method::label`] from the derived method sweep.
     pub strategy: &'static str,
     /// Worker-lane count (1 for serial strategies).
     pub threads: usize,
@@ -119,9 +127,21 @@ pub fn thread_sweep() -> Vec<usize> {
     v
 }
 
-/// Times every strategy on one graph. `gpu_method` picks the simulated
-/// device strategy matching the figure the graph comes from.
-fn measure_graph(g: &Graph, gpu_method: Method, reps: u32, sweep: &[usize]) -> Vec<Sample> {
+/// The methods a figure's graphs are swept over, derived from
+/// [`Method::ALL`] so newly added variants are raced automatically.
+/// `combination_scale` is false for the fig11 sizes, where exhaustive
+/// combination enumeration is infeasible and those methods are skipped.
+#[must_use]
+pub fn sweep_methods(combination_scale: bool) -> Vec<Method> {
+    Method::ALL
+        .into_iter()
+        .filter(|m| combination_scale || !m.enumerates_combinations())
+        .collect()
+}
+
+/// Times every strategy on one graph: the serial reference, the thread
+/// sweep, and one `Run`-builder pass per method in `methods`.
+fn measure_graph(g: &Graph, methods: &[Method], reps: u32, sweep: &[usize]) -> Vec<Sample> {
     let mut out = Vec::new();
     let (serial_ns, expect) = time_best(reps, || als_fast(g));
     out.push(Sample {
@@ -146,22 +166,50 @@ fn measure_graph(g: &Graph, gpu_method: Method, reps: u32, sweep: &[usize]) -> V
             triangles: got,
         });
     }
-    let (gpu_ns, gpu_count) = time_best(1, || {
-        Analysis::new(g)
-            .method(gpu_method)
-            .telemetry(Level::Off)
-            .run()
-            .expect("gpu sim run")
-            .count
-    });
-    assert_eq!(gpu_count, expect, "gpu_sim disagrees with als_fast");
-    out.push(Sample {
-        strategy: "gpu_sim",
-        threads: 1,
-        wall_ns: gpu_ns,
-        triangles: gpu_count,
-    });
+    for &m in methods {
+        let (ns, count) = time_best(1, || {
+            Analysis::new(g)
+                .method(m)
+                .telemetry(Level::Off)
+                .run()
+                .unwrap_or_else(|e| panic!("{} run: {e}", m.label()))
+                .count
+        });
+        assert_eq!(count, expect, "{} disagrees with als_fast", m.label());
+        out.push(Sample {
+            strategy: m.label(),
+            threads: 1,
+            wall_ns: ns,
+            triangles: count,
+        });
+    }
     out
+}
+
+/// The measured combination-vs-intersection race on one graph's
+/// samples: wall-clock speedups of the intersection backend over its
+/// combination counterpart, for the CPU and simulated-GPU pairs.
+fn head_to_head(samples: &[Sample]) -> Option<Json> {
+    let ns_of = |label: &str| {
+        samples
+            .iter()
+            .find(|s| s.strategy == label)
+            .map(|s| s.wall_ns)
+    };
+    let mut o = Json::object();
+    let mut any = false;
+    for (key, comb, inter) in [
+        ("cpu_speedup", "cpu", "cpu-intersect"),
+        ("gpu_speedup", "gpu-opt", "gpu-intersect"),
+    ] {
+        if let (Some(c), Some(i)) = (ns_of(comb), ns_of(inter)) {
+            if i > 0 {
+                o.set(key, Json::Float(c as f64 / i as f64));
+                any = true;
+            }
+        }
+    }
+    any.then_some(o)
 }
 
 /// JSON row for one graph: size, strategies, and speedups vs the
@@ -190,6 +238,9 @@ fn graph_json(n: u32, samples: &[Sample]) -> Json {
         arr.push(o);
     }
     row.set("strategies", Json::Array(arr));
+    if let Some(h) = head_to_head(samples) {
+        row.set("combination_vs_intersection", h);
+    }
     row
 }
 
@@ -325,24 +376,50 @@ pub fn run_perf(opts: &PerfOptions) -> PerfOutcome {
     report.set("calibration_ns", Json::UInt(calib));
 
     let mut fig10_largest = (0u32, 0u64);
+    let mut fig10_intersect_ns = 0u64;
     let mut fig10_rows = Vec::new();
+    let fig10_methods = sweep_methods(true);
     for n in perf_fig10_sizes(opts.quick) {
         let g = fig10_graph(n);
-        let samples = measure_graph(&g, Method::GpuOptimized, reps, &sweep);
+        let samples = measure_graph(&g, &fig10_methods, reps, &sweep);
         if let Some(s) = samples
             .iter()
             .find(|s| s.strategy == "cpu_parallel" && s.threads == 1)
         {
             fig10_largest = (n, s.wall_ns); // sizes ascend; last wins
         }
+        if let Some(s) = samples.iter().find(|s| s.strategy == "cpu-intersect") {
+            fig10_intersect_ns = s.wall_ns;
+        }
+        if n >= 1_200 {
+            // The acceptance race: at the largest fig10 scale the
+            // intersection backends must beat their combination
+            // counterparts outright (the margin is orders of magnitude,
+            // so this is a correctness gate, not a flaky timing one).
+            let ns_of = |label: &str| {
+                samples
+                    .iter()
+                    .find(|s| s.strategy == label)
+                    .map_or(u64::MAX, |s| s.wall_ns)
+            };
+            assert!(
+                ns_of("cpu-intersect") < ns_of("cpu"),
+                "cpu-intersect must beat the combination algorithm at n={n}"
+            );
+            assert!(
+                ns_of("gpu-intersect") < ns_of("gpu-opt"),
+                "gpu-intersect must beat the combination kernel at n={n}"
+            );
+        }
         fig10_rows.push(graph_json(n, &samples));
     }
     report.set("fig10", Json::Array(fig10_rows));
 
     let mut fig11_rows = Vec::new();
+    let fig11_methods = sweep_methods(false);
     for n in perf_fig11_sizes(opts.quick) {
         let g = fig11_graph(n);
-        let samples = measure_graph(&g, Method::GpuSampled, reps, &sweep);
+        let samples = measure_graph(&g, &fig11_methods, reps, &sweep);
         fig11_rows.push(graph_json(n, &samples));
     }
     report.set("fig11", Json::Array(fig11_rows));
@@ -364,17 +441,29 @@ pub fn run_perf(opts: &PerfOptions) -> PerfOutcome {
     // calibration loop).
     let calib_after = calibration_ns();
     report.set("calibration_after_ns", Json::UInt(calib_after));
-    let regression = opts
-        .baseline
-        .as_deref()
-        .and_then(|path| check_baseline(path, calib.max(calib_after), fig10_largest));
+    let regression = opts.baseline.as_deref().and_then(|path| {
+        check_baseline(
+            path,
+            calib.max(calib_after),
+            fig10_largest,
+            fig10_intersect_ns,
+        )
+    });
     PerfOutcome { report, regression }
 }
 
 /// Compares the normalized 1-thread fig10 wall-clock against the
 /// committed baseline; writes the baseline when the file is absent.
 /// Returns `Some(message)` on a regression beyond the tolerance.
-fn check_baseline(path: &str, calib: u64, fig10_largest: (u32, u64)) -> Option<String> {
+/// `fig10_intersect_ns` (the `cpu-intersect` wall at the same largest
+/// size) is recorded in the baseline as an informational row — the gate
+/// itself stays anchored to the combination fast path.
+fn check_baseline(
+    path: &str,
+    calib: u64,
+    fig10_largest: (u32, u64),
+    fig10_intersect_ns: u64,
+) -> Option<String> {
     let (fig10_n, fig10_ns) = fig10_largest;
     if std::env::var("TRIGON_PERF_SKIP_REGRESSION").is_ok() {
         println!("  [baseline check skipped via TRIGON_PERF_SKIP_REGRESSION]");
@@ -391,6 +480,13 @@ fn check_baseline(path: &str, calib: u64, fig10_largest: (u32, u64)) -> Option<S
         b.set("fig10_n", Json::UInt(u64::from(fig10_n)));
         b.set("fig10_largest_1t_ns", Json::UInt(fig10_ns));
         b.set("normalized_ratio", Json::Float(cur_ratio));
+        if fig10_intersect_ns > 0 {
+            b.set("fig10_cpu_intersect_1t_ns", Json::UInt(fig10_intersect_ns));
+            b.set(
+                "intersect_normalized_ratio",
+                Json::Float(fig10_intersect_ns as f64 / calib as f64),
+            );
+        }
         if let Some(dir) = std::path::Path::new(path).parent() {
             let _ = std::fs::create_dir_all(dir);
         }
@@ -476,6 +572,21 @@ mod tests {
                 .filter(|s| s.get("strategy") == Some(&Json::Str("cpu_parallel".into())))
                 .count();
             assert!(widths >= 2, "wanted >= 2 parallel widths, got {widths}");
+            // The derived method sweep puts every Method::ALL entry —
+            // including the intersection backends — in each fig10 row.
+            for m in Method::ALL {
+                assert!(
+                    strats
+                        .iter()
+                        .any(|s| s.get("strategy") == Some(&Json::Str(m.label().into()))),
+                    "method {} missing from the fig10 sweep",
+                    m.label()
+                );
+            }
+            assert!(
+                row.get("combination_vs_intersection").is_some(),
+                "head-to-head section missing"
+            );
         }
     }
 
@@ -493,13 +604,13 @@ mod tests {
         let path = dir.join("baseline.json");
         let p = path.to_str().unwrap();
         // First call writes the baseline.
-        assert!(check_baseline(p, 1_000, (600, 2_000)).is_none());
+        assert!(check_baseline(p, 1_000, (600, 2_000), 40).is_none());
         assert!(path.exists());
         // Same ratio: fine. 30 % worse: regression. Other profile
         // (different largest n): skipped, not failed.
-        assert!(check_baseline(p, 1_000, (600, 2_000)).is_none());
-        assert!(check_baseline(p, 1_000, (600, 2_600)).is_some());
-        assert!(check_baseline(p, 1_000, (1_200, 9_000)).is_none());
+        assert!(check_baseline(p, 1_000, (600, 2_000), 40).is_none());
+        assert!(check_baseline(p, 1_000, (600, 2_600), 40).is_some());
+        assert!(check_baseline(p, 1_000, (1_200, 9_000), 40).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

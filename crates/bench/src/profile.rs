@@ -1,8 +1,9 @@
 //! Simulated performance-counter sweep — the `repro profile` command.
 //!
 //! Runs the fig10 evaluation graphs through every executor (CPU
-//! reference, naive GPU, optimized GPU, hybrid shared/global, and a
-//! two-device fleet) and collects each run's [`ProfileSection`] — the
+//! reference, CPU intersection, naive GPU, optimized GPU, simulated
+//! intersection GPU, hybrid shared/global, and a two-device fleet) and
+//! collects each run's [`ProfileSection`] — the
 //! per-run counter totals, derived metrics, hotspots, and roofline
 //! placements. `repro profile` renders the table and writes the document
 //! to `bench_out/BENCH_profile.json`.
@@ -43,10 +44,12 @@ pub fn profile_sizes() -> Vec<u32> {
 }
 
 /// The executors swept at every size (the fleet point is added on top).
-const METHODS: [(&str, Method); 4] = [
+const METHODS: [(&str, Method); 6] = [
     ("cpu-fast", Method::CpuFast),
+    ("cpu-intersect", Method::CpuIntersect),
     ("gpu-naive", Method::GpuNaive),
     ("gpu-opt", Method::GpuOptimized),
+    ("gpu-intersect", Method::GpuSimIntersect),
     ("hybrid", Method::Hybrid),
 ];
 

@@ -77,6 +77,10 @@ pub enum Method {
     CpuExhaustive,
     /// CPU with the fast per-window edge iterator (exact at any scale).
     CpuFast,
+    /// CPU degree-ordered adjacency intersection (merge / galloping /
+    /// `u64`-bitmap adaptive kernels; see [`crate::intersect`]).
+    /// Triangles only; bit-identical counts to every other method.
+    CpuIntersect,
     /// Simulated GPU, the paper's naive implementation (monolithic
     /// layout, round-robin dispatch).
     GpuNaive,
@@ -87,11 +91,41 @@ pub enum Method {
     GpuSampled,
     /// §V hybrid shared/global execution over the Algorithm 1 split.
     Hybrid,
+    /// The adjacency-intersection kernel on the simulated optimized
+    /// device: exact per-ALS op counts priced through the counter
+    /// profiler (coalesced row scans, scattered galloping probes,
+    /// bitmap bank conflicts). Triangles only.
+    GpuSimIntersect,
     /// Simulated-GPU k-clique counting (§III extensions).
     KCliques(u32),
 }
 
 impl Method {
+    /// Every parameterless method, in canonical order — the list sweeps
+    /// (e.g. `repro perf`) derive their strategy axis from, so a new
+    /// variant shows up in the head-to-head automatically.
+    pub const ALL: [Method; 8] = [
+        Method::CpuExhaustive,
+        Method::CpuFast,
+        Method::CpuIntersect,
+        Method::GpuNaive,
+        Method::GpuOptimized,
+        Method::GpuSampled,
+        Method::GpuSimIntersect,
+        Method::Hybrid,
+    ];
+
+    /// Whether the method's work scales with the *combination space*
+    /// (Algorithm 2 candidate enumeration) rather than with edges —
+    /// infeasible to execute exhaustively at fig11 scales, which is what
+    /// the sweep harness filters on.
+    #[must_use]
+    pub fn enumerates_combinations(&self) -> bool {
+        matches!(
+            self,
+            Method::CpuExhaustive | Method::GpuNaive | Method::GpuOptimized
+        )
+    }
     /// Parses a CLI method name.
     ///
     /// # Errors
@@ -101,9 +135,11 @@ impl Method {
         Ok(match name {
             "cpu" | "cpu-exhaustive" => Method::CpuExhaustive,
             "cpu-fast" => Method::CpuFast,
+            "cpu-intersect" | "cpu_intersect" => Method::CpuIntersect,
             "gpu-naive" => Method::GpuNaive,
             "gpu-opt" | "gpu-optimized" => Method::GpuOptimized,
             "gpu-sampled" => Method::GpuSampled,
+            "gpu-intersect" | "gpu_sim_intersect" | "gpu-sim-intersect" => Method::GpuSimIntersect,
             "hybrid" => Method::Hybrid,
             other => {
                 return Err(Error::bad_config(format!("unknown method {other:?}")));
@@ -117,9 +153,11 @@ impl Method {
         match self {
             Method::CpuExhaustive => "cpu",
             Method::CpuFast => "cpu-fast",
+            Method::CpuIntersect => "cpu-intersect",
             Method::GpuNaive => "gpu-naive",
             Method::GpuOptimized => "gpu-opt",
             Method::GpuSampled => "gpu-sampled",
+            Method::GpuSimIntersect => "gpu-intersect",
             Method::Hybrid => "hybrid",
             Method::KCliques(_) => "kcliques",
         }
@@ -128,7 +166,10 @@ impl Method {
     /// Whether the method runs on the simulated device.
     #[must_use]
     pub fn uses_device(&self) -> bool {
-        !matches!(self, Method::CpuExhaustive | Method::CpuFast)
+        !matches!(
+            self,
+            Method::CpuExhaustive | Method::CpuFast | Method::CpuIntersect
+        )
     }
 }
 
@@ -339,10 +380,18 @@ impl<'g> Run<'g> {
             }
             _ => {}
         }
+        if matches!(self.method, Method::CpuIntersect | Method::GpuSimIntersect)
+            && !matches!(workload, Workload::Triangles)
+        {
+            return Err(Error::bad_config(
+                "the intersection methods count triangles only; pick a combination \
+                 method for other workloads",
+            ));
+        }
         if let Some(fc) = self.faults.as_ref() {
             let spec = fc.plan.spec();
             match self.method {
-                Method::CpuExhaustive | Method::CpuFast => {
+                Method::CpuExhaustive | Method::CpuFast | Method::CpuIntersect => {
                     return Err(Error::bad_config(
                         "fault injection requires a simulated-device method (gpu-*, hybrid)",
                     ));
@@ -372,7 +421,10 @@ impl<'g> Run<'g> {
             }
             if !matches!(
                 self.method,
-                Method::GpuNaive | Method::GpuOptimized | Method::GpuSampled
+                Method::GpuNaive
+                    | Method::GpuOptimized
+                    | Method::GpuSampled
+                    | Method::GpuSimIntersect
             ) {
                 return Err(Error::bad_config(
                     "a device fleet requires a gpu-* method (the fleet path shards \
@@ -421,8 +473,20 @@ impl<'g> Run<'g> {
 
         let mut report = match workload {
             Workload::Triangles => {
-                self.run_method_kernel(&CountKernel, true, &mut collector, &tracer)?
+                if matches!(self.method, Method::CpuIntersect | Method::GpuSimIntersect) {
+                    // Same Partial, different per-ALS compute: the
+                    // intersection kernel rides the identical executors.
+                    self.run_method_kernel(
+                        &crate::intersect::IntersectKernel,
+                        true,
+                        &mut collector,
+                        &tracer,
+                    )?
                     .0
+                } else {
+                    self.run_method_kernel(&CountKernel, true, &mut collector, &tracer)?
+                        .0
+                }
             }
             Workload::KCliques(k) => {
                 // The widened C(k,2)-test kernel has its own executor
@@ -525,11 +589,11 @@ impl<'g> Run<'g> {
     ) -> Result<(RunReport, K::Partial), Error> {
         let g = self.graph;
         match self.method {
-            Method::CpuExhaustive | Method::CpuFast => {
-                let cm = if self.method == Method::CpuExhaustive {
-                    pipeline::CountMethod::CpuExhaustive
-                } else {
-                    pipeline::CountMethod::CpuFast
+            Method::CpuExhaustive | Method::CpuFast | Method::CpuIntersect => {
+                let cm = match self.method {
+                    Method::CpuExhaustive => pipeline::CountMethod::CpuExhaustive,
+                    Method::CpuIntersect => pipeline::CountMethod::CpuIntersect,
+                    _ => pipeline::CountMethod::CpuFast,
                 };
                 let (r, partial) =
                     pipeline::run_workload_traced(g, cm, &self.cost, kernel, collector, tracer)?;
@@ -537,7 +601,10 @@ impl<'g> Run<'g> {
                 report.profile = Some(ProfileSection::new(r.profile));
                 Ok((report, partial))
             }
-            Method::GpuNaive | Method::GpuOptimized | Method::GpuSampled => {
+            Method::GpuNaive
+            | Method::GpuOptimized
+            | Method::GpuSampled
+            | Method::GpuSimIntersect => {
                 let mut cfg = self.gpu_config_for(self.method)?;
                 let mut fleet_section = None;
                 let (r, partial) = match self.fleet.as_ref() {
@@ -619,9 +686,15 @@ impl<'g> Run<'g> {
             None => match method {
                 Method::GpuNaive => GpuConfig::naive(self.device.clone()),
                 Method::GpuSampled => GpuConfig::optimized(self.device.clone()).sampled(),
+                Method::GpuSimIntersect => GpuConfig::intersect(self.device.clone()),
                 _ => GpuConfig::optimized(self.device.clone()),
             },
         };
+        // A substrate override (layout/schedule/block shape) must not
+        // silently swap the algorithm back to combination testing.
+        if method == Method::GpuSimIntersect {
+            cfg.mode = gpu_exec::FidelityMode::Intersect;
+        }
         cfg.cost = self.cost;
         if self.faults.is_some() {
             cfg.faults = self.faults;
@@ -711,14 +784,7 @@ mod tests {
     fn builder_methods_agree_with_reference() {
         let g = gen::gnp(120, 0.08, 6);
         let expect = triangles::count_edge_iterator(&g);
-        for m in [
-            Method::CpuExhaustive,
-            Method::CpuFast,
-            Method::GpuNaive,
-            Method::GpuOptimized,
-            Method::GpuSampled,
-            Method::Hybrid,
-        ] {
+        for m in Method::ALL {
             let r = Analysis::new(&g).method(m).run().unwrap();
             assert_eq!(r.count, expect, "{m:?}");
             assert_eq!(r.method, m.label());
@@ -849,17 +915,18 @@ mod tests {
 
     #[test]
     fn method_parse_roundtrips() {
-        for name in [
-            "cpu",
-            "cpu-fast",
-            "gpu-naive",
-            "gpu-opt",
-            "gpu-sampled",
-            "hybrid",
-        ] {
-            let m = Method::parse(name).unwrap();
-            assert_eq!(m.label(), name);
+        for m in Method::ALL {
+            assert_eq!(Method::parse(m.label()).unwrap(), m);
         }
+        // The underscore spellings from the issue tracker also parse.
+        assert_eq!(
+            Method::parse("cpu_intersect").unwrap(),
+            Method::CpuIntersect
+        );
+        assert_eq!(
+            Method::parse("gpu_sim_intersect").unwrap(),
+            Method::GpuSimIntersect
+        );
         assert!(Method::parse("doulion").is_err());
         assert!(Method::parse("").is_err());
     }

@@ -77,6 +77,13 @@ pub enum FidelityMode {
         /// Warp-steps sampled per combination stream.
         sample_steps: u32,
     },
+    /// The degree-ordered adjacency-intersection kernel (see
+    /// [`crate::intersect`]): per-ALS merge/gallop/bitmap operation
+    /// counts priced as warp steps, coalesced row-scan transactions,
+    /// scattered galloping probes, and bitmap shared-memory bank
+    /// conflicts. Exact counts (bit-identical to the combination
+    /// pipeline), modeled timing.
+    Intersect,
 }
 
 /// Full configuration of a simulated GPU run.
@@ -139,6 +146,16 @@ impl GpuConfig {
     pub fn sampled(mut self) -> Self {
         self.mode = FidelityMode::Sampled { sample_steps: 64 };
         self
+    }
+
+    /// The adjacency-intersection kernel on the optimized substrate
+    /// (partition-aligned layout, LPT dispatch, intersect fidelity).
+    #[must_use]
+    pub fn intersect(device: DeviceSpec) -> Self {
+        Self {
+            mode: FidelityMode::Intersect,
+            ..Self::optimized(device)
+        }
     }
 
     /// Enables deterministic fault injection with the given plan and
@@ -232,6 +249,12 @@ struct BlockSim<P> {
     traffic: PartitionTraffic,
     partial: P,
     tests: u128,
+    /// Shared-memory bank conflicts (bitmap intersection rows; 0 for the
+    /// combination kernels, which keep combinadic state in registers).
+    bank_conflicts: u64,
+    /// Whether `tests` counts intersection ops (instruction pricing
+    /// differs) rather than combination tests.
+    intersect: bool,
 }
 
 impl<P> BlockSim<P> {
@@ -240,10 +263,14 @@ impl<P> BlockSim<P> {
     fn counters(&self) -> CounterSet {
         CounterSet {
             tests: self.tests,
-            instructions: CounterSet::instructions_for_tests(self.tests),
+            instructions: if self.intersect {
+                CounterSet::instructions_for_intersect_ops(self.tests)
+            } else {
+                CounterSet::instructions_for_tests(self.tests)
+            },
             transactions: self.transactions,
             min_transactions: self.min_transactions,
-            bank_conflicts: 0,
+            bank_conflicts: self.bank_conflicts,
             compute_cycles: self.compute_cycles,
             mem_cycles: self.mem_base_cycles,
             blocks: 1,
@@ -396,6 +423,7 @@ fn run_prepared<K: ChunkKernel>(
             FidelityMode::Sampled { sample_steps } => {
                 simulate_sampled(g, als, &layout, cfg, kernel, sample_steps)
             }
+            FidelityMode::Intersect => simulate_intersect(g, als, cfg, kernel),
         }
     };
 
@@ -1079,6 +1107,8 @@ fn simulate_block<K: ChunkKernel>(
         traffic: PartitionTraffic::new(spec),
         partial: kernel.identity(),
         tests: 0,
+        bank_conflicts: 0,
+        intersect: false,
     };
     with_scratch(|scratch| {
         let StepScratch { addrs, lane_combos } = scratch;
@@ -1286,6 +1316,106 @@ fn simulate_sampled<K: ChunkKernel>(
                             kernel.identity()
                         },
                         tests: job_tests,
+                        bank_conflicts: 0,
+                        intersect: false,
+                    },
+                    if j == 0 {
+                        BlockOrigin::AlsTotal(ai)
+                    } else {
+                        BlockOrigin::Zero
+                    },
+                ))
+            }
+            out
+        })
+        .collect();
+    per_als.into_iter().flatten().unzip()
+}
+
+/// Intersect fidelity: run the degree-ordered adjacency-intersection
+/// kernel per ALS on the host, then price its *exact* operation counts
+/// as a device execution — the pseudo-block machinery of
+/// [`simulate_sampled`] with the combination sampling replaced by
+/// [`crate::intersect::als_stats`].
+///
+/// Pricing model (per ALS, split across pseudo-blocks):
+/// * compute — one warp step per `warp_size` intersection ops;
+/// * memory — CSR row scans, merged lists, and bitmap words stream
+///   sequentially, so they coalesce at 32 4-byte words per 128-byte
+///   transaction; every galloping probe is a scattered single-word
+///   access costing a full transaction (the gallop kernel trades
+///   coalescing for fewer ops — visible in `min_transactions`);
+/// * bank conflicts — bitmap rows live in shared memory; consecutive
+///   lanes of a warp read consecutive words, so each pass over the
+///   device's `shared_banks` words serializes one extra access.
+fn simulate_intersect<K: ChunkKernel>(
+    g: &Graph,
+    als: &[Als],
+    cfg: &GpuConfig,
+    kernel: &K,
+) -> (Vec<BlockSim<K::Partial>>, Vec<BlockOrigin>) {
+    let spec = &cfg.device;
+    let warp = u128::from(spec.warp_size);
+    let block_ops = u128::from(cfg.threads_per_block) * u128::from(cfg.tests_per_thread);
+    let max_jobs_per_als = 4 * spec.sm_count as usize;
+
+    let per_als: Vec<Vec<(BlockSim<K::Partial>, BlockOrigin)>> = als
+        .par_iter()
+        .enumerate()
+        .map(|(ai, a)| {
+            let stats = crate::intersect::als_stats(g, a);
+            let total_ops = u128::from(stats.ops());
+            if total_ops == 0 {
+                // No intersection work ⇒ no triangles (every counted
+                // triangle costs at least one op), so the ALS can be
+                // skipped entirely, like an empty space in sampled mode.
+                return Vec::new();
+            }
+            let total_steps = total_ops.div_ceil(warp);
+            // Sequential streams coalesce; galloping probes do not.
+            let seq_tx = stats.seq_words.div_ceil(32);
+            let total_tx = seq_tx + stats.gallop_probes;
+            let total_min_tx = (stats.seq_words + stats.gallop_probes).div_ceil(32);
+            let bank_conflicts = stats.bitmap_words / u64::from(spec.shared_banks.max(1));
+            let jobs = usize::try_from(total_ops.div_ceil(block_ops))
+                .unwrap_or(max_jobs_per_als)
+                .clamp(1, max_jobs_per_als);
+            // Row scans walk the layout in address order, so traffic
+            // spreads evenly over the partitions — the camping-free
+            // profile that is the point of this kernel.
+            let parts = spec.partitions.max(1) as u64;
+            let mut als_partial = Some(kernel.compute_als(g, a));
+            let mut out = Vec::with_capacity(jobs);
+            for j in 0..jobs {
+                let share = |x: u128| -> u128 {
+                    x * (j as u128 + 1) / jobs as u128 - x * (j as u128) / jobs as u128
+                };
+                let share64 = |x: u64| -> u64 { share(u128::from(x)) as u64 };
+                let job_tx = share64(total_tx);
+                let mut job_traffic = PartitionTraffic::new(spec);
+                for p in 0..parts {
+                    job_traffic
+                        .record_bulk(p as u32, job_tx / parts + u64::from(p < job_tx % parts));
+                }
+                out.push((
+                    BlockSim {
+                        als_idx: ai,
+                        compute_cycles: share(total_steps) as u64 * cfg.cost.gpu_step_base_cycles,
+                        mem_base_cycles: (job_tx as f64
+                            * spec.transaction_service_cycles as f64
+                            * cfg.cost.gpu_mem_derate)
+                            .round() as u64,
+                        transactions: job_tx,
+                        min_transactions: share64(total_min_tx),
+                        traffic: job_traffic,
+                        partial: if j == 0 {
+                            als_partial.take().expect("first job takes the partial")
+                        } else {
+                            kernel.identity()
+                        },
+                        tests: share(total_ops),
+                        bank_conflicts: share64(bank_conflicts),
+                        intersect: true,
                     },
                     if j == 0 {
                         BlockOrigin::AlsTotal(ai)

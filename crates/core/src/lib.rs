@@ -13,6 +13,9 @@
 //!   fragmentation objective);
 //! * [`count`] — Algorithm 2 triangle counting on the CPU, both the
 //!   faithful combination-testing form and a fast ALS reference;
+//! * [`intersect`] — the degree-ordered adjacency-intersection backend
+//!   (sorted merge / galloping search / `u64` bitmap kernels) raced
+//!   against the paper's combination algorithm, bit-identical per ALS;
 //! * [`layout`] — the §X data layouts: one monolithic adjacency matrix
 //!   (Fig. 8, camping-prone) vs per-ALS duplicated, partition-aligned
 //!   blocks (Fig. 9);
@@ -51,6 +54,7 @@ pub mod error;
 pub mod gpu_exec;
 pub mod gpu_kcount;
 pub mod hybrid;
+pub mod intersect;
 pub mod kcount;
 pub mod layout;
 pub mod multi;
@@ -69,6 +73,7 @@ pub use error::Error;
 pub use gpu_exec::{GpuConfig, GpuRunResult, SchedulePolicy, WorkDivision};
 pub use gpu_kcount::KCliqueRunResult;
 pub use hybrid::{HybridConfig, HybridResult, Placement};
+pub use intersect::{IntersectKernel, IntersectStats, OrientedCsr};
 pub use layout::{GlobalLayout, LayoutKind};
 pub use multi::{run_fleet, run_fleet_workload};
 pub use pipeline::{CountMethod, TriangleReport};

@@ -24,6 +24,12 @@ pub enum CountMethod {
     /// path exists to make big runs feasible, not to model a different
     /// machine.
     CpuFast,
+    /// Degree-ordered adjacency intersection per ALS window (see
+    /// [`crate::intersect`]): merge/gallop/bitmap adaptive kernels,
+    /// bit-identical counts. `tests` and the modeled time price the
+    /// *intersection operations* — the head-to-head the combination
+    /// algorithm is raced against.
+    CpuIntersect,
     /// Simulated GPU (naive or optimized — see [`GpuConfig`]).
     GpuSim(GpuConfig),
 }
@@ -37,7 +43,8 @@ pub struct TriangleReport {
     pub m: usize,
     /// Exact triangle count.
     pub triangles: u64,
-    /// Algorithm 2 combination tests (performed or accounted).
+    /// Algorithm 2 combination tests (performed or accounted) — or, for
+    /// the intersection methods, adjacency-intersection operations.
     pub tests: u128,
     /// Modeled seconds on the paper's hardware (CPU model or GPU sim).
     pub modeled_s: f64,
@@ -128,6 +135,37 @@ pub fn run_workload_traced<K: ChunkKernel>(
             let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), tests);
             (partial, tests, modeled, None, profile)
         }
+        CountMethod::CpuIntersect => {
+            let (partial, ops, profile) = {
+                let _p = collector.phase("count");
+                let _s = tracer.span("count", "phase");
+                let als = crate::als::build_als(g);
+                let mut profile = ProfileData::new(als.len(), 0);
+                let mut partial = kernel.identity();
+                let mut ops = 0u128;
+                for (i, a) in als.iter().enumerate() {
+                    let stats = crate::intersect::als_stats(g, a);
+                    let als_ops = u128::from(stats.ops());
+                    ops += als_ops;
+                    profile.record_als(
+                        i,
+                        &CounterSet {
+                            tests: als_ops,
+                            instructions: CounterSet::instructions_for_intersect_ops(als_ops),
+                            blocks: 1,
+                            ..CounterSet::default()
+                        },
+                    );
+                    partial = kernel.merge(partial, kernel.compute_als(g, a));
+                    if tracer.enabled() {
+                        tracer.record("als.intersect_ops", als_ops as f64);
+                    }
+                }
+                (partial, ops, profile)
+            };
+            let modeled = cost.host_prep_seconds(g.n(), g.m()) + cost.cpu_seconds(g.n(), ops);
+            (partial, ops, modeled, None, profile)
+        }
         CountMethod::GpuSim(mut cfg) => {
             cfg.cost = *cost;
             let (r, partial) = gpu_exec::run_workload_traced(g, &cfg, kernel, collector, tracer)?;
@@ -183,6 +221,7 @@ mod tests {
         let methods = [
             CountMethod::CpuExhaustive,
             CountMethod::CpuFast,
+            CountMethod::CpuIntersect,
             CountMethod::GpuSim(GpuConfig::naive(DeviceSpec::c1060())),
             CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060())),
             CountMethod::GpuSim(GpuConfig::optimized(DeviceSpec::c1060()).sampled()),

@@ -459,8 +459,9 @@ impl Eq6Section {
 /// The unified run report every [`crate::Analysis`] run produces.
 #[derive(Debug)]
 pub struct RunReport {
-    /// Method label (`cpu`, `cpu-fast`, `gpu-naive`, `gpu-opt`,
-    /// `gpu-sampled`, `hybrid`, `kcliques`).
+    /// Method label (`cpu`, `cpu-fast`, `cpu-intersect`, `gpu-naive`,
+    /// `gpu-opt`, `gpu-sampled`, `gpu-intersect`, `hybrid`,
+    /// `kcliques`).
     pub method: String,
     /// Simulated device name, when the method uses one.
     pub device: Option<String>,

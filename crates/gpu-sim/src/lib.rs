@@ -50,7 +50,7 @@ pub use occupancy::{occupancy, KernelResources, Occupancy, SmLimits};
 pub use partition::{camping_cycles, PartitionTraffic};
 pub use profile::{
     CounterSet, DeviceProfile, ProfileData, RooflinePoint, BYTES_PER_TRANSACTION,
-    INSTRUCTIONS_PER_TEST,
+    INSTRUCTIONS_PER_INTERSECT_OP, INSTRUCTIONS_PER_TEST,
 };
 pub use shared::{bank_conflict_degree, shared_access_cycles};
 pub use trace::{AccessTrace, ReplaySummary, WarpAccess};

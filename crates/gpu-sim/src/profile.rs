@@ -29,6 +29,13 @@ use crate::device::DeviceSpec;
 /// the test counts, identical across executors and fidelity modes.
 pub const INSTRUCTIONS_PER_TEST: u64 = 12;
 
+/// Modeled instructions per adjacency-intersection operation (one merge
+/// comparison, one galloping probe, or one 64-bit bitmap word): a load,
+/// a compare/`AND`, a predicated cursor or popcount update, and the
+/// accumulate. Like [`INSTRUCTIONS_PER_TEST`], a documented constant so
+/// instruction totals stay exact integer functions of the op counts.
+pub const INSTRUCTIONS_PER_INTERSECT_OP: u64 = 4;
+
 /// Bytes moved per global-memory transaction for roofline purposes: the
 /// maximal Table III segment. (CC 1.2+ devices may issue narrower
 /// segments; the roofline uses the uniform upper bound so intensity is
@@ -41,7 +48,9 @@ pub const BYTES_PER_TRANSACTION: u64 = 128;
 pub struct CounterSet {
     /// Combination tests performed (or accounted, in sampled fidelity).
     pub tests: u128,
-    /// Modeled instructions: `tests ×` [`INSTRUCTIONS_PER_TEST`].
+    /// Modeled instructions: `tests ×` [`INSTRUCTIONS_PER_TEST`] for
+    /// combination kernels, `ops ×` [`INSTRUCTIONS_PER_INTERSECT_OP`]
+    /// for the adjacency-intersection kernels.
     pub instructions: u64,
     /// Global-memory transactions issued under the device's coalescing
     /// rules (§IX, Table III).
@@ -80,6 +89,14 @@ impl CounterSet {
     #[must_use]
     pub fn instructions_for_tests(tests: u128) -> u64 {
         u64::try_from(tests.saturating_mul(u128::from(INSTRUCTIONS_PER_TEST))).unwrap_or(u64::MAX)
+    }
+
+    /// Modeled instructions for `ops` adjacency-intersection operations,
+    /// saturating at `u64::MAX`.
+    #[must_use]
+    pub fn instructions_for_intersect_ops(ops: u128) -> u64 {
+        u64::try_from(ops.saturating_mul(u128::from(INSTRUCTIONS_PER_INTERSECT_OP)))
+            .unwrap_or(u64::MAX)
     }
 
     /// Total priced cycles (compute + base memory).

@@ -5,11 +5,10 @@
 //! trigon gen <model> --n N [--seed S] [-o FILE]         models: gnp, ba, ws, ring, rmat, complete, grid
 //! trigon analyze <FILE>
 //! trigon run [<FILE>] [--gen MODEL --n N] [--workload triangles|kcount|clustering|ktruss|enumerate] [--k K]
-//!            [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion]
+//!            [--method cpu|cpu-fast|cpu-intersect|gpu-naive|gpu-opt|gpu-sampled|gpu-intersect|hybrid|doulion]
 //!            [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB]
 //!            [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE]
 //!            [--profile FILE] [--verbose]
-//! trigon count ...                                      deprecated alias of `trigon run`
 //! trigon split <FILE> [--device c1060|c2050|c2070]
 //! trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
 //! trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
@@ -38,8 +37,7 @@ fn main() {
         Some("devices") => cmd_devices(),
         Some("gen") => cmd_gen(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
-        Some("run") => cmd_run(&args[1..], false),
-        Some("count") => cmd_run(&args[1..], true),
+        Some("run") => cmd_run(&args[1..]),
         Some("split") => cmd_split(&args[1..]),
         Some("hybrid") => cmd_hybrid(&args[1..]),
         Some("kcount") => cmd_kcount(&args[1..]),
@@ -62,7 +60,7 @@ const USAGE: &str = "usage:
   trigon devices
   trigon gen <gnp|ba|ws|ring|rmat|complete|grid> --n N [--seed S] [-o FILE]
   trigon analyze <FILE>
-  trigon run [<FILE>] [--gen MODEL --n N] [--workload triangles|kcount|clustering|ktruss|enumerate] [--k K] [--method cpu|cpu-fast|gpu-naive|gpu-opt|gpu-sampled|hybrid|doulion] [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--profile FILE] [--verbose]
+  trigon run [<FILE>] [--gen MODEL --n N] [--workload triangles|kcount|clustering|ktruss|enumerate] [--k K] [--method cpu|cpu-fast|cpu-intersect|gpu-naive|gpu-opt|gpu-sampled|gpu-intersect|hybrid|doulion] [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--profile FILE] [--verbose]
     --workload W    what to compute per ALS (default triangles); kcount and
                     ktruss take --k K (default 4)
     --profile FILE  write the performance-counter profile (counter totals,
@@ -465,13 +463,7 @@ fn print_report(r: &RunReport) {
     }
 }
 
-fn cmd_run(args: &[String], via_count_alias: bool) -> Result<(), Error> {
-    if via_count_alias {
-        eprintln!(
-            "note: `trigon count` is a deprecated alias; use `trigon run` \
-             (same flags, plus --workload)"
-        );
-    }
+fn cmd_run(args: &[String]) -> Result<(), Error> {
     let (pos, flags) = parse(args)?;
     let trace_path = flags.get("trace").cloned();
     let profile_path = flags.get("profile").cloned();

@@ -61,8 +61,8 @@ fn gen_analyze_count_roundtrip() {
 
     // CPU and GPU methods agree through the CLI.
     let count_of = |method: &str| -> u64 {
-        let (stdout, stderr, ok) = trigon(&["count", path_s, "--method", method]);
-        assert!(ok, "count {method} failed: {stderr}");
+        let (stdout, stderr, ok) = trigon(&["run", path_s, "--method", method]);
+        assert!(ok, "run {method} failed: {stderr}");
         stdout
             .lines()
             .find(|l| l.starts_with("triangles"))
@@ -74,12 +74,14 @@ fn gen_analyze_count_roundtrip() {
     assert_eq!(count_of("gpu-naive"), cpu);
     assert_eq!(count_of("gpu-opt"), cpu);
     assert_eq!(count_of("gpu-sampled"), cpu);
+    assert_eq!(count_of("cpu-intersect"), cpu);
+    assert_eq!(count_of("gpu-intersect"), cpu);
 }
 
 #[test]
 fn count_with_generated_graph() {
     let (stdout, stderr, ok) = trigon(&[
-        "count",
+        "run",
         "--gen",
         "ring",
         "--n",
@@ -97,7 +99,7 @@ fn count_threads_flag_pins_pool_width() {
     // Same count at every width, and width 0 is a usage error.
     let count_at = |t: &str| -> String {
         let (stdout, stderr, ok) = trigon(&[
-            "count",
+            "run",
             "--gen",
             "gnp",
             "--n",
@@ -116,7 +118,7 @@ fn count_threads_flag_pins_pool_width() {
     };
     let serial = count_at("1");
     assert_eq!(count_at("4"), serial);
-    let (_, stderr, ok) = trigon(&["count", "--gen", "gnp", "--n", "50", "--threads", "0"]);
+    let (_, stderr, ok) = trigon(&["run", "--gen", "gnp", "--n", "50", "--threads", "0"]);
     assert!(!ok);
     assert!(stderr.contains("--threads"), "{stderr}");
 }
@@ -129,7 +131,7 @@ fn count_trace_writes_chrome_trace_json() {
     let path_s = path.to_str().unwrap();
 
     let (stdout, stderr, ok) = trigon(&[
-        "count",
+        "run",
         "--gen",
         "gnp",
         "--n",
@@ -238,9 +240,7 @@ fn camping_demo_renders() {
 #[test]
 fn count_with_faults_recovers_and_reports() {
     // Serial reference.
-    let (serial, _, ok) = trigon(&[
-        "count", "--gen", "gnp", "--n", "500", "--method", "cpu-fast",
-    ]);
+    let (serial, _, ok) = trigon(&["run", "--gen", "gnp", "--n", "500", "--method", "cpu-fast"]);
     assert!(ok);
     let line = serial
         .lines()
@@ -249,7 +249,7 @@ fn count_with_faults_recovers_and_reports() {
         .to_string();
     // Faulted simulated run: same count, plus the fault/recovery summary.
     let (stdout, stderr, ok) = trigon(&[
-        "count",
+        "run",
         "--gen",
         "gnp",
         "--n",
@@ -273,7 +273,7 @@ fn count_with_faults_recovers_and_reports() {
     assert!(stdout.contains("recovery"), "{stdout}");
     // The JSON report carries the faults block.
     let (json, stderr, ok) = trigon(&[
-        "count", "--gen", "gnp", "--n", "500", "--method", "gpu-opt", "--faults", "ecc:1", "--json",
+        "run", "--gen", "gnp", "--n", "500", "--method", "gpu-opt", "--faults", "ecc:1", "--json",
     ]);
     assert!(ok, "{stderr}");
     let j = trigon::Json::parse(&json).unwrap();
@@ -288,7 +288,7 @@ fn count_with_faults_recovers_and_reports() {
 /// message; `--fault-seed` without `--faults` is a usage error (exit 2).
 #[test]
 fn fault_flag_error_paths() {
-    let base: &[&str] = &["count", "--gen", "gnp", "--n", "50", "--method", "gpu-opt"];
+    let base: &[&str] = &["run", "--gen", "gnp", "--n", "50", "--method", "gpu-opt"];
     let with = |extra: &[&str]| {
         let mut v = base.to_vec();
         v.extend_from_slice(extra);
@@ -316,14 +316,14 @@ fn fault_flag_error_paths() {
 
     // Faults need a simulated device to inject into.
     let (_, stderr, code) = trigon_code(&[
-        "count", "--gen", "gnp", "--n", "50", "--method", "cpu", "--faults", "ecc:1",
+        "run", "--gen", "gnp", "--n", "50", "--method", "cpu", "--faults", "ecc:1",
     ]);
     assert_eq!(code, 2, "{stderr}");
     assert!(stderr.contains("simulated-device"), "{stderr}");
 
     // Hybrid accepts only transfer faults.
     let (_, stderr, code) = trigon_code(&[
-        "count", "--gen", "gnp", "--n", "50", "--method", "hybrid", "--faults", "abort:1",
+        "run", "--gen", "gnp", "--n", "50", "--method", "hybrid", "--faults", "abort:1",
     ]);
     assert_eq!(code, 2, "{stderr}");
     assert!(stderr.contains("xfer"), "{stderr}");
@@ -331,10 +331,10 @@ fn fault_flag_error_paths() {
 
 #[test]
 fn bad_inputs_fail_cleanly() {
-    let (_, stderr, ok) = trigon(&["count", "/nonexistent/file.txt"]);
+    let (_, stderr, ok) = trigon(&["run", "/nonexistent/file.txt"]);
     assert!(!ok);
     assert!(stderr.contains("open"));
-    let (_, stderr, ok) = trigon(&["count", "--gen", "bogus", "--n", "10"]);
+    let (_, stderr, ok) = trigon(&["run", "--gen", "bogus", "--n", "10"]);
     assert!(!ok);
     assert!(stderr.contains("unknown model"));
     let (_, stderr, ok) = trigon(&["gen", "gnp"]);
@@ -416,28 +416,90 @@ fn run_subcommand_workloads() {
     assert!(stderr.contains("--k needs --workload"), "{stderr}");
 }
 
+/// The deprecated `count` alias is gone: it now fails like any unknown
+/// subcommand, with usage on stderr and no deprecation chatter.
 #[test]
-fn count_alias_still_works_with_deprecation_note() {
-    let (stdout, stderr, ok) = trigon(&[
+fn count_alias_is_removed() {
+    let (_, stderr, ok) = trigon(&[
         "count", "--gen", "gnp", "--n", "200", "--method", "cpu-fast",
     ]);
-    assert!(ok, "{stderr}");
-    assert!(stdout.contains("triangles"), "{stdout}");
+    assert!(!ok, "removed alias must not run");
+    assert!(stderr.contains("usage"), "{stderr}");
+    assert!(!stderr.contains("deprecated"), "{stderr}");
+    // And the usage text advertises both intersection methods instead.
+    assert!(stderr.contains("cpu-intersect"), "{stderr}");
+    assert!(stderr.contains("gpu-intersect"), "{stderr}");
+}
+
+/// CLI smoke for the degree-ordered intersection backends: same count
+/// as the combination fast path, far fewer priced operations, and the
+/// simulated variant reports device-side telemetry.
+#[test]
+fn intersect_methods_through_the_cli() {
+    let line_of = |stdout: &str, prefix: &str| -> String {
+        stdout
+            .lines()
+            .find(|l| l.starts_with(prefix))
+            .unwrap_or_else(|| panic!("no `{prefix}` line in:\n{stdout}"))
+            .to_string()
+    };
+    let base = &["run", "--gen", "gnp", "--n", "400", "--method"];
+    let run_m = |m: &str| {
+        let mut args = base.to_vec();
+        args.push(m);
+        let (stdout, stderr, ok) = trigon(&args);
+        assert!(ok, "run {m} failed: {stderr}");
+        stdout
+    };
+
+    let fast = run_m("cpu-fast");
+    let cpu = run_m("cpu-intersect");
+    let gpu = run_m("gpu-intersect");
+    let tri = line_of(&fast, "triangles");
+    assert_eq!(line_of(&cpu, "triangles"), tri, "cpu-intersect drifted");
+    assert_eq!(line_of(&gpu, "triangles"), tri, "gpu-intersect drifted");
+
+    // The tests field prices intersection ops, orders of magnitude
+    // below the combination method's candidate tests.
+    let tests_of = |s: &str| -> u64 {
+        line_of(s, "tests")
+            .split_whitespace()
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .expect("tests value")
+    };
     assert!(
-        stderr.contains("deprecated"),
-        "alias must warn on stderr: {stderr}"
+        tests_of(&cpu) * 10 < tests_of(&fast),
+        "intersection must price far fewer ops: {} vs {}",
+        tests_of(&cpu),
+        tests_of(&fast)
     );
 
-    // The alias accepts the new flags too.
-    let (stdout, _, ok) = trigon(&[
-        "count",
+    // The simulated variant goes through the device model (camping,
+    // transactions) and accepts fault plans bit-identically.
+    assert!(gpu.contains("camping"), "{gpu}");
+    let (faulted, stderr, ok) = trigon(&[
+        "run",
         "--gen",
         "gnp",
         "--n",
-        "200",
-        "--workload",
-        "clustering",
+        "400",
+        "--method",
+        "gpu-intersect",
+        "--faults",
+        "ecc:1,abort:1",
+        "--fault-seed",
+        "3",
     ]);
-    assert!(ok);
-    assert!(stdout.contains("mean cc"), "{stdout}");
+    assert!(ok, "{stderr}");
+    assert_eq!(
+        line_of(&faulted, "triangles"),
+        tri,
+        "fault recovery drifted"
+    );
+    assert!(faulted.contains("recovery"), "{faulted}");
+
+    // The underscore spelling parses too.
+    let under = run_m("cpu_intersect");
+    assert_eq!(line_of(&under, "triangles"), tri);
 }
