@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the full workspace test suite, and
-# smoke tests of the trace export, fault recovery, fleet, workload,
-# adjacency-intersection, perf, and performance-counter profile repro
-# paths.
+# smoke tests of the trace export, fault recovery, fleet, cluster,
+# workload, adjacency-intersection, ablation, perf, and
+# performance-counter profile repro paths.
 #
 #   ./ci.sh            # everything
 #   ./ci.sh quick      # everything, but skip the slow property-test suite
-#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | fleet | workloads | intersect | perf | profile
+#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | fleet | cluster | workloads | intersect | ablation | perf | profile
 #
 # Each stage's wall-clock time is reported in a summary at the end.
 #
@@ -105,6 +105,48 @@ stage_fleet() {
     echo "fleet count $fleet matches serial (with and without device loss)"
 }
 
+# Simulated cluster smoke tests: a one-node cluster must report exactly
+# the numbers of the equivalent plain fleet run (the one-node path
+# delegates verbatim; full byte-identity of trace and report is pinned
+# by tests/prop_cluster.rs, which this stage also runs in full mode), a
+# 4-node run with node loss and injected chunk faults must report the
+# exact count of a serial CPU run, and the 64-node scaling sweep must
+# write bench_out/BENCH_cluster.json with its bench_meta provenance
+# header.
+stage_cluster() {
+    local plain_fleet one_node serial faulted line
+    plain_fleet="$(cargo run --release --quiet -- run --gen ring --n 1000 \
+        --method gpu-opt --devices 2xC2050 \
+        | awk '/^(triangles|tests|kernel|makespan|layout)/')"
+    one_node="$(cargo run --release --quiet -- run --gen ring --n 1000 \
+        --method gpu-opt --cluster '1x(2xC2050)' \
+        | awk '/^(triangles|tests|kernel|makespan|layout)/')"
+    if [ -z "$plain_fleet" ] || [ "$plain_fleet" != "$one_node" ]; then
+        echo "one-node cluster diverged from the plain fleet run:" >&2
+        diff <(echo "$plain_fleet") <(echo "$one_node") >&2 || true
+        return 1
+    fi
+    serial="$(cargo run --release --quiet -- run --gen ring --n 1000 \
+        --method cpu-fast | awk '/^triangles/ {print $2}')"
+    faulted="$(cargo run --release --quiet -- run --gen ring --n 1000 \
+        --method gpu-opt --cluster 4xC2050 --node-loss 1 \
+        --faults xfer:1,ecc:1 --fault-seed 7 \
+        | awk '/^triangles/ {print $2}')"
+    if [ -z "$serial" ] || [ "$serial" != "$faulted" ]; then
+        echo "faulted cluster count drifted: serial=$serial cluster=$faulted" >&2
+        return 1
+    fi
+    echo "cluster count $faulted matches serial (node loss + chunk faults)"
+    cargo test --release --quiet --test prop_cluster
+    cargo run --release --quiet -p trigon-bench --bin repro -- cluster > /dev/null
+    test -s bench_out/BENCH_cluster.json
+    local key
+    for key in '"schema_version": 1' '"bench_meta"' '"strong"' '"weak"' \
+        '"uplink_cycles"' '"ghost_cycles"'; do
+        grep -q "$key" bench_out/BENCH_cluster.json
+    done
+}
+
 # Workload smoke tests: every ChunkKernel workload runs through the CLI,
 # kcount at k = 3 reproduces the triangle count, clustering is unchanged
 # by executor choice and by injected faults, and the repro sweep writes
@@ -175,6 +217,19 @@ stage_intersect() {
     cargo test --release --quiet --test prop_intersect
 }
 
+# Ablation sweep (combination vs intersection, layout x schedule) with
+# CSV output — the same command the Actions full gate runs, so the two
+# can never drift.
+stage_ablation() {
+    if [ "$mode" = "quick" ]; then
+        echo "skipped in quick mode (runs in the full gate)"
+        return 0
+    fi
+    cargo run --release --quiet -p trigon-bench --bin repro -- ablation --csv bench_out
+    test -s bench_out/ablation_layout_schedule.csv
+    test -s bench_out/ablation_strategies.csv
+}
+
 # Measures real wall-clock of the counting strategies, asserts parallel
 # counts are bit-identical to the serial ones (inside run_perf), and
 # enforces the committed normalized regression envelope: >25 % slowdown
@@ -218,9 +273,9 @@ stage_profile() {
 }
 
 case "$mode" in
-    all | quick | fmt | clippy | doc | test | trace | faults | fleet | workloads | intersect | perf | profile) ;;
+    all | quick | fmt | clippy | doc | test | trace | faults | fleet | cluster | workloads | intersect | ablation | perf | profile) ;;
     *)
-        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|fleet|workloads|intersect|perf|profile]" >&2
+        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|fleet|cluster|workloads|intersect|ablation|perf|profile]" >&2
         exit 2
         ;;
 esac
@@ -232,8 +287,10 @@ run_stage test stage_test
 run_stage trace stage_trace
 run_stage faults stage_faults
 run_stage fleet stage_fleet
+run_stage cluster stage_cluster
 run_stage workloads stage_workloads
 run_stage intersect stage_intersect
+run_stage ablation stage_ablation
 run_stage perf stage_perf
 run_stage profile stage_profile
 

@@ -2,7 +2,7 @@
 //! Graphs Using GPUs* (IPDPSW 2013) from the trigon reproduction.
 //!
 //! ```text
-//! repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|workloads|trace|fleet|all [--csv DIR]
+//! repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|workloads|trace|fleet|cluster|all [--csv DIR]
 //! repro perf [--quick] [--baseline PATH] [--csv DIR]
 //! repro profile [--baseline PATH] [--csv DIR]
 //! ```
@@ -69,6 +69,7 @@ fn main() {
         "workloads" => workloads_cmd(&out),
         "trace" => trace_capture(&out),
         "fleet" => fleet_cmd(&out),
+        "cluster" => cluster_cmd(&out),
         "perf" => perf(&out, &args[1..]),
         "profile" => profile_cmd(&out, &args[1..]),
         "all" => {
@@ -84,12 +85,13 @@ fn main() {
             workloads_cmd(&out);
             trace_capture(&out);
             fleet_cmd(&out);
+            cluster_cmd(&out);
             profile_cmd(&out, &[]);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|workloads|trace|fleet|perf|profile|all [--csv DIR]"
+                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|workloads|trace|fleet|cluster|perf|profile|all [--csv DIR]"
             );
             eprintln!("       repro perf [--quick] [--baseline PATH] [--csv DIR]");
             eprintln!("       repro profile [--baseline PATH] [--csv DIR]");
@@ -640,6 +642,66 @@ fn fleet_cmd(out: &Output) {
     out.csv(
         "fleet",
         "devices,makespan_cycles,compute_cycles,h2d_cycles,d2d_cycles,imbalance,speedup",
+        &rows,
+    );
+}
+
+/// Weak- and strong-scaling sweeps of the simulated cluster tier
+/// (1..=64 single-C2050 nodes), counts pinned bit-identical to the CPU
+/// reference at every point.
+fn cluster_cmd(out: &Output) {
+    out.section("Cluster: weak + strong scaling of simulated multi-node execution");
+    let result = trigon_bench::run_cluster_scaling();
+    let mut rows = Vec::new();
+    for (title, points) in [("strong", &result.strong), ("weak", &result.weak)] {
+        println!("  {title} scaling (1xC2050 nodes, IB-QDR inter-node):");
+        println!(
+            "{:<12} {:>8} {:>10} {:>5} {:>14} {:>12} {:>12} {:>8} {:>8}",
+            "cluster",
+            "n",
+            "triangles",
+            "part",
+            "makespan(cyc)",
+            "uplink(cyc)",
+            "ghost(cyc)",
+            "imbal",
+            "scaling"
+        );
+        for p in points {
+            println!(
+                "{:<12} {:>8} {:>10} {:>5} {:>14} {:>12} {:>12} {:>8.3} {:>8.2}",
+                p.spec,
+                p.n,
+                p.triangles,
+                p.strategy,
+                p.makespan_cycles,
+                p.uplink_cycles,
+                p.ghost_cycles,
+                p.imbalance,
+                p.scaling
+            );
+            rows.push(format!(
+                "{title},{},{},{},{},{},{},{},{},{:.4},{:.4}",
+                p.nodes,
+                p.n,
+                p.m,
+                p.triangles,
+                p.strategy,
+                p.makespan_cycles,
+                p.uplink_cycles,
+                p.ghost_cycles,
+                p.imbalance,
+                p.scaling
+            ));
+        }
+    }
+    std::fs::create_dir_all("bench_out").expect("create bench_out");
+    let path = "bench_out/BENCH_cluster.json";
+    std::fs::write(path, result.report.to_string_pretty()).expect("write cluster json");
+    println!("  [cluster report written to {path}]");
+    out.csv(
+        "cluster",
+        "sweep,nodes,n,m,triangles,strategy,makespan_cycles,uplink_cycles,ghost_cycles,imbalance,scaling",
         &rows,
     );
 }

@@ -7,6 +7,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cluster;
 pub mod fleet;
 pub mod meta;
 pub mod perf;
@@ -14,6 +15,11 @@ pub mod profile;
 pub mod suites;
 pub mod workloads;
 
+pub use cluster::{
+    cluster_node_counts, cluster_strong_graph, cluster_weak_graph, run_cluster_scaling,
+    run_cluster_scaling_to, ClusterOutcome, ClusterPoint, CLUSTER_MAX_NODES,
+    CLUSTER_SCHEMA_VERSION,
+};
 pub use fleet::{
     fleet_graph, run_fleet_scaling, FleetOutcome, FleetPoint, FLEET_MAX_DEVICES,
     FLEET_SCHEMA_VERSION,

@@ -49,6 +49,7 @@
 //! [`crate::multi::run_fleet_workload`], and [`Run::device_loss`]
 //! injects deterministic device failures into that fleet.
 
+use crate::cluster;
 use crate::error::Error;
 use crate::gpu_exec::{self, GpuConfig};
 use crate::gpu_kcount::run_k_cliques_workload_traced;
@@ -65,7 +66,7 @@ use crate::workload::{
     EnumerateKernel, KTrussKernel, Workload,
 };
 use crate::{count, pipeline};
-use trigon_fleet::{FleetSpec, LossPlan};
+use trigon_fleet::{ClusterSpec, FleetSpec, LossPlan, PartitionStrategy};
 use trigon_gpu_sim::{DeviceSpec, FaultConfig, FaultOutcome};
 use trigon_graph::Graph;
 use trigon_telemetry::{Collector, Level, Tracer};
@@ -189,6 +190,9 @@ pub struct Run<'g> {
     faults: Option<FaultConfig>,
     fleet: Option<FleetSpec>,
     device_loss: Option<LossPlan>,
+    cluster: Option<ClusterSpec>,
+    partition: PartitionStrategy,
+    node_loss: Option<LossPlan>,
 }
 
 /// The builder's original name, kept as an alias; [`Run`] is the
@@ -215,6 +219,9 @@ impl<'g> Run<'g> {
             faults: None,
             fleet: None,
             device_loss: None,
+            cluster: None,
+            partition: PartitionStrategy::Auto,
+            node_loss: None,
         }
     }
 
@@ -310,10 +317,43 @@ impl<'g> Run<'g> {
 
     /// Injects deterministic device loss into the fleet run: the plan's
     /// targets die at shard start and their ALS migrate to the
-    /// survivors. Requires [`Analysis::fleet`].
+    /// survivors. Requires [`Analysis::fleet`] or [`Analysis::cluster`]
+    /// (for a cluster the plan is applied inside every node's fleet).
     #[must_use]
     pub fn device_loss(mut self, loss: LossPlan) -> Self {
         self.device_loss = Some(loss);
+        self
+    }
+
+    /// Runs the GPU methods across a simulated multi-node cluster: the
+    /// node partitioner (1D by component vs 2D by edge block) assigns
+    /// every ALS to a node, each node's partition runs through its own
+    /// device fleet, and inter-node traffic (partition uplinks,
+    /// ghost-vertex exchanges) is priced on the two-tier interconnect.
+    /// A one-node cluster behaves exactly like a plain fleet run on
+    /// that node's roster. Mutually exclusive with [`Analysis::fleet`];
+    /// only the GPU methods accept a cluster.
+    #[must_use]
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Selects the cluster partition layout; defaults to
+    /// [`PartitionStrategy::Auto`] (predicted communication-volume cost
+    /// picks). Ignored without [`Analysis::cluster`].
+    #[must_use]
+    pub fn partition(mut self, strategy: PartitionStrategy) -> Self {
+        self.partition = strategy;
+        self
+    }
+
+    /// Injects deterministic node loss into the cluster run: the plan's
+    /// targets die at partition time and their ALS migrate to surviving
+    /// nodes. Requires [`Analysis::cluster`].
+    #[must_use]
+    pub fn node_loss(mut self, loss: LossPlan) -> Self {
+        self.node_loss = Some(loss);
         self
     }
 
@@ -442,9 +482,47 @@ impl<'g> Run<'g> {
                      fleet with it, or --device-loss for fleet-level faults",
                 ));
             }
-        } else if self.device_loss.is_some() {
+        } else if self.device_loss.is_some() && self.cluster.is_none() {
             return Err(Error::bad_config(
-                "device loss requires a device fleet to lose devices from",
+                "device loss requires a device fleet (or cluster) to lose devices from",
+            ));
+        }
+        if let Some(cluster) = self.cluster.as_ref() {
+            if cluster.is_empty() {
+                return Err(Error::bad_config("a cluster needs at least one node"));
+            }
+            if self.fleet.is_some() {
+                return Err(Error::bad_config(
+                    "a cluster and a fleet are mutually exclusive; the cluster spec \
+                     already carries each node's device roster",
+                ));
+            }
+            if !matches!(
+                self.method,
+                Method::GpuNaive
+                    | Method::GpuOptimized
+                    | Method::GpuSampled
+                    | Method::GpuSimIntersect
+            ) {
+                return Err(Error::bad_config(
+                    "a cluster requires a gpu-* method (the cluster path shards \
+                     the simulated kernel across nodes)",
+                ));
+            }
+            if matches!(workload, Workload::KCliques(_)) {
+                return Err(Error::bad_config(
+                    "the kcount workload is single-device; drop the cluster",
+                ));
+            }
+            if self.faults.is_some() && cluster.nodes().iter().any(|f| f.len() > 1) {
+                return Err(Error::bad_config(
+                    "chunk-level fault injection on a cluster needs single-device \
+                     nodes; use --node-loss or --device-loss for coarser faults",
+                ));
+            }
+        } else if self.node_loss.is_some() {
+            return Err(Error::bad_config(
+                "node loss requires a cluster to lose nodes from",
             ));
         }
         let tracer = self
@@ -458,18 +536,19 @@ impl<'g> Run<'g> {
         run_span.attr("method", self.method.label());
         run_span.attr("n", u64::from(g.n()));
         run_span.attr("m", g.m() as u64);
-        let device_name = self
-            .method
-            .uses_device()
-            .then(|| match self.fleet.as_ref() {
-                Some(f) if f.len() > 1 => f.to_string(),
-                Some(f) => f.devices()[0].name.to_string(),
-                None => self
-                    .gpu_override
-                    .as_ref()
-                    .map_or(self.device.name, |c| c.device.name)
-                    .to_string(),
-            });
+        let device_name =
+            self.method
+                .uses_device()
+                .then(|| match (self.cluster.as_ref(), self.fleet.as_ref()) {
+                    (Some(c), _) => c.to_string(),
+                    (None, Some(f)) if f.len() > 1 => f.to_string(),
+                    (None, Some(f)) => f.devices()[0].name.to_string(),
+                    (None, None) => self
+                        .gpu_override
+                        .as_ref()
+                        .map_or(self.device.name, |c| c.device.name)
+                        .to_string(),
+                });
 
         let mut report = match workload {
             Workload::Triangles => {
@@ -607,8 +686,25 @@ impl<'g> Run<'g> {
             | Method::GpuSimIntersect => {
                 let mut cfg = self.gpu_config_for(self.method)?;
                 let mut fleet_section = None;
-                let (r, partial) = match self.fleet.as_ref() {
-                    Some(fleet) => {
+                let mut cluster_section = None;
+                let (r, partial) = match (self.cluster.as_ref(), self.fleet.as_ref()) {
+                    (Some(spec), _) => {
+                        cfg.device = spec.nodes()[0].devices()[0].clone();
+                        let (r, partial, section) = cluster::run_cluster_workload(
+                            g,
+                            spec,
+                            &cfg,
+                            self.partition,
+                            self.node_loss,
+                            self.device_loss,
+                            kernel,
+                            collector,
+                            tracer,
+                        )?;
+                        cluster_section = Some(section);
+                        (r, partial)
+                    }
+                    (None, Some(fleet)) => {
                         cfg.device = fleet.devices()[0].clone();
                         let (r, partial, section) = multi::run_fleet_workload(
                             g,
@@ -622,11 +718,15 @@ impl<'g> Run<'g> {
                         fleet_section = Some(section);
                         (r, partial)
                     }
-                    None => gpu_exec::run_workload_traced(g, &cfg, kernel, collector, tracer)?,
+                    (None, None) => {
+                        gpu_exec::run_workload_traced(g, &cfg, kernel, collector, tracer)?
+                    }
                 };
                 // Eq. 6 models one device; skip the prediction for real
-                // multi-device fleets.
-                let eq6 = if with_eq6 && self.fleet.as_ref().is_none_or(|f| f.len() == 1) {
+                // multi-device fleets and clusters.
+                let one_device = self.fleet.as_ref().is_none_or(|f| f.len() == 1)
+                    && self.cluster.as_ref().is_none_or(|c| c.total_devices() == 1);
+                let eq6 = if with_eq6 && one_device {
                     self.eq6_prediction(r.kernel_s, &cfg)
                 } else {
                     None
@@ -649,6 +749,7 @@ impl<'g> Run<'g> {
                 report.eq6 = eq6;
                 report.faults = faults_section(cfg.faults.as_ref(), r.faults.as_ref());
                 report.fleet = fleet_section;
+                report.cluster = cluster_section;
                 report.profile = Some(ProfileSection::new(r.profile));
                 Ok((report, partial))
             }
@@ -745,6 +846,7 @@ impl<'g> Run<'g> {
             eq6: None,
             faults: None,
             fleet: None,
+            cluster: None,
             profile: None,
             trace: None,
             telemetry: Collector::disabled(),

@@ -32,6 +32,9 @@
 //! * [`multi`] — the fleet execution path: ALS sharding across a
 //!   multi-device roster (planned by `trigon-fleet`), interconnect
 //!   pricing, and the deterministic partial-count reduction;
+//! * [`cluster`] — the simulated cluster tier above the fleet: node
+//!   partitioning (1D by component vs 2D by edge block), ghost-vertex
+//!   materialization, and two-tier interconnect pricing;
 //! * [`pipeline`] — one-call end-to-end runs producing the reports the
 //!   benchmark harness prints;
 //! * [`workload`] — the [`ChunkKernel`] trait: the per-ALS workload
@@ -49,6 +52,7 @@
 pub mod als;
 pub mod analysis;
 pub mod capacity;
+pub mod cluster;
 pub mod count;
 pub mod error;
 pub mod gpu_exec;
@@ -69,20 +73,21 @@ pub use analysis::{Analysis, Method, Run};
 pub use capacity::{
     max_graph_adjacency, max_graph_sutm, max_graph_utm, table2, table2_fleet, FleetRow, Table2Row,
 };
+pub use cluster::{run_cluster, run_cluster_workload};
 pub use error::Error;
 pub use gpu_exec::{GpuConfig, GpuRunResult, SchedulePolicy, WorkDivision};
 pub use gpu_kcount::KCliqueRunResult;
 pub use hybrid::{HybridConfig, HybridResult, Placement};
 pub use intersect::{IntersectKernel, IntersectStats, OrientedCsr};
 pub use layout::{GlobalLayout, LayoutKind};
-pub use multi::{run_fleet, run_fleet_workload};
+pub use multi::{run_fleet, run_fleet_workload, run_fleet_workload_with_als};
 pub use pipeline::{CountMethod, TriangleReport};
 pub use report::{
-    Eq6Section, FleetDeviceEntry, FleetSection, GpuSection, HybridSection, ProfileSection,
-    RunReport, WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
+    ClusterNodeEntry, ClusterSection, Eq6Section, FleetDeviceEntry, FleetSection, GpuSection,
+    HybridSection, ProfileSection, RunReport, WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
 };
 pub use split::{split_graph, split_graph_collected, Chunk, SplitConfig, SplitResult};
-pub use trigon_fleet::{FleetSpec, LossPlan};
+pub use trigon_fleet::{ClusterSpec, FleetSpec, LinkTier, LossPlan, PartitionStrategy};
 pub use trigon_gpu_sim::{CounterSet, DeviceProfile, ProfileData, RooflinePoint};
 pub use trigon_telemetry::{
     Clock, Collector, Json, Level, ManualClock, MonotonicClock, TraceSummary, Tracer, Track,

@@ -98,17 +98,58 @@ pub fn run_fleet_workload<K: ChunkKernel>(
         let mut cfg = base.clone();
         cfg.device = devices[0].clone();
         let (r, partial) = gpu_exec::run_workload_traced(g, &cfg, kernel, collector, tracer)?;
-        let section = single_device_section(g, fleet, &cfg.device, &r);
+        let als = build_als(g);
+        let section = single_device_section(&als, fleet, &cfg.device, &r);
+        return Ok((r, partial, section));
+    }
+
+    let als = build_als(g);
+    run_fleet_workload_with_als(g, &als, fleet, base, loss, kernel, collector, tracer)
+}
+
+/// Runs a [`ChunkKernel`] workload across a fleet over a caller-supplied
+/// ALS subset — the entry point the cluster tier uses to run one node's
+/// partition through the fleet layer. A one-device fleet runs the
+/// subset directly on the single-device executor (chunk-level fault
+/// plans pass through, exactly as in a plain run); a larger fleet
+/// shards the subset with the usual outer-LPT plan.
+///
+/// The subset must preserve the global ALS order (the D2D
+/// boundary-exchange model reads consecutive same-component pairs).
+///
+/// # Errors
+///
+/// [`GpuError::GraphTooLarge`] when no device can hold some shard.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_workload_with_als<K: ChunkKernel>(
+    g: &Graph,
+    als: &[Als],
+    fleet: &FleetSpec,
+    base: &GpuConfig,
+    loss: Option<LossPlan>,
+    kernel: &K,
+    collector: &mut Collector,
+    tracer: &Tracer,
+) -> Result<(GpuRunResult, K::Partial, FleetSection), GpuError> {
+    let devices = fleet.devices();
+    let lost = loss.map(|l| l.targets(devices.len())).unwrap_or_default();
+
+    if devices.len() == 1 {
+        debug_assert!(lost.is_empty());
+        let mut cfg = base.clone();
+        cfg.device = devices[0].clone();
+        let (r, partial) =
+            gpu_exec::run_workload_traced_with_als(g, als, &cfg, kernel, collector, tracer)?;
+        let section = single_device_section(als, fleet, &cfg.device, &r);
         return Ok((r, partial, section));
     }
 
     // ---- Outer §VI instance: plan ALS shards across the roster. ----
     tracer.set_device_clock_hz(devices[0].clock_hz as f64);
-    let (als, jobs, mut plan) = {
+    let (jobs, mut plan) = {
         let _p = collector.phase("plan");
         let mut span = tracer.span("plan", "phase");
         span.attr("devices", devices.len());
-        let als = build_als(g);
         let jobs: Vec<ShardJob> = als
             .iter()
             .map(|a| {
@@ -123,7 +164,7 @@ pub fn run_fleet_workload<K: ChunkKernel>(
             needed: e.needed,
             capacity: e.capacity,
         })?;
-        (als, jobs, plan)
+        (jobs, plan)
     };
 
     // ---- Device loss: reshard orphans onto survivors (online Graham). ----
@@ -444,14 +485,14 @@ fn harvest_shard_trace(tracer: &Tracer, sub: &Tracer, d: u32, shift: u64) {
 }
 
 /// The fleet section of a one-device fleet: derived from the verbatim
-/// single-device result (uncontended H2D, no D2D, no loss).
+/// single-device result over the given ALS list (uncontended H2D, no
+/// D2D, no loss).
 fn single_device_section(
-    g: &Graph,
+    als: &[Als],
     fleet: &FleetSpec,
     device: &DeviceSpec,
     r: &GpuRunResult,
 ) -> FleetSection {
-    let als = build_als(g);
     let weight: u64 = als
         .iter()
         .map(|a| u64::try_from(a.size_bits()).unwrap_or(u64::MAX))

@@ -29,8 +29,9 @@ use trigon_telemetry::{registry, Collector, Json, TraceSummary, Tracer};
 /// per-workload results (clustering, k-truss, enumeration); 6 = added
 /// the `profile` section ([`ProfileSection`]) with per-counter totals,
 /// derived metrics, the per-ALS hotspot table, and per-device roofline
-/// points.
-pub const RUN_REPORT_SCHEMA_VERSION: u32 = 6;
+/// points; 7 = added the `cluster` section ([`ClusterSection`]) for
+/// simulated multi-node runs.
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 7;
 
 /// Workload-specific result detail — the schema-v5 `workload` section,
 /// present on every report. The count-style workloads carry only their
@@ -292,6 +293,91 @@ pub struct FleetSection {
     pub per_device: Vec<FleetDeviceEntry>,
 }
 
+/// One node of a simulated cluster run.
+///
+/// Cycle quantities are measured on the node's own primary clock (its
+/// first device); comparisons across nodes are therefore meaningful for
+/// homogeneous rosters and approximate otherwise, exactly like
+/// [`FleetDeviceEntry`] one level down.
+#[derive(Debug, Clone)]
+pub struct ClusterNodeEntry {
+    /// Canonical fleet spec of the node's device roster.
+    pub fleet: String,
+    /// Whether the node-loss plan killed this node at partition time.
+    pub lost: bool,
+    /// Adjacent level sets the node ended up executing.
+    pub als: usize,
+    /// Summed §VI job weight (ALS S-UTM bits) of those sets.
+    pub weight: u64,
+    /// Bytes of the node's aggregate global-memory layout.
+    pub layout_bytes: u64,
+    /// Contended inter-node partition-upload cycles.
+    pub uplink_cycles: u64,
+    /// Ghost-vertex exchange cycles received by this node.
+    pub ghost_cycles: u64,
+    /// Ghost/surrogate vertices materialized on this node.
+    pub ghost_vertices: u64,
+    /// Bytes of ghost adjacency received by this node.
+    pub ghost_bytes: u64,
+    /// The node's internal fleet makespan (intra-node H2D/D2D + kernels).
+    pub fleet_makespan_cycles: u64,
+    /// End of the node's timeline: `uplink + ghost + fleet makespan`.
+    pub end_cycles: u64,
+    /// The node's partial triangle count.
+    pub triangles: u64,
+}
+
+/// Simulated cluster summary — the schema-v7 `cluster` section, present
+/// when the run was configured with `--cluster` /
+/// [`crate::Analysis::cluster`].
+///
+/// Describes the third scheduling level: the node partitioner's layout
+/// choice (1D by component vs 2D by edge block), the predicted
+/// communication-volume costs that drove it, and the inter-node traffic
+/// (partition uplinks, ghost-vertex exchanges) priced on the two-tier
+/// interconnect.
+#[derive(Debug, Clone)]
+pub struct ClusterSection {
+    /// Canonical cluster spec (`"4x(2xC2050)"`).
+    pub spec: String,
+    /// Nodes in the roster.
+    pub nodes: usize,
+    /// Total devices across every node.
+    pub devices: usize,
+    /// Layout the partitioner used: `"1d"` or `"2d"`.
+    pub strategy: String,
+    /// Whether the cost model chose the layout (request was `auto`).
+    pub auto: bool,
+    /// Predicted cost of the 1D-by-component layout, in cycles.
+    pub predicted_one_d_cycles: u64,
+    /// Predicted cost of the 2D-by-edge-block layout, in cycles.
+    pub predicted_two_d_cycles: u64,
+    /// Nodes the loss plan killed.
+    pub lost_nodes: usize,
+    /// ALS jobs migrated off lost nodes (online Graham reshard).
+    pub reassigned_als: usize,
+    /// Concurrent uplinks the inter-node contention model priced.
+    pub links: usize,
+    /// Inter-node fabric class (`"IB-QDR"`, `"10GbE"`).
+    pub inter_tier: String,
+    /// Cluster makespan: max per-node `end_cycles`.
+    pub makespan_cycles: u64,
+    /// Summed per-node fleet makespans (compute + intra-node traffic).
+    pub compute_cycles: u64,
+    /// Summed contended partition-upload cycles.
+    pub uplink_cycles: u64,
+    /// Summed ghost-vertex exchange cycles.
+    pub ghost_cycles: u64,
+    /// Total ghost/surrogate vertices materialized across nodes.
+    pub ghost_vertices: u64,
+    /// Total ghost adjacency bytes moved over the inter-node tier.
+    pub ghost_bytes: u64,
+    /// Max / mean per-node `end_cycles` over nodes that ran.
+    pub imbalance: f64,
+    /// Per-node detail, in canonical node-index order.
+    pub per_node: Vec<ClusterNodeEntry>,
+}
+
 /// Simulated performance-counter profile — the schema-v6 `profile`
 /// section, present on every run that executed work.
 ///
@@ -494,6 +580,8 @@ pub struct RunReport {
     pub faults: Option<FaultsSection>,
     /// Multi-device fleet summary (runs configured with a fleet).
     pub fleet: Option<FleetSection>,
+    /// Simulated cluster summary (runs configured with a cluster).
+    pub cluster: Option<ClusterSection>,
     /// Performance-counter profile (per-ALS/per-SM/per-device
     /// attribution); present whenever the executor produced one.
     pub profile: Option<ProfileSection>,
@@ -661,6 +749,62 @@ impl RunReport {
         );
 
         root.set(
+            "cluster",
+            self.cluster.as_ref().map_or(Json::Null, |c| {
+                let mut o = Json::object();
+                o.set("spec", Json::from(c.spec.as_str()));
+                o.set("nodes", Json::from(c.nodes));
+                o.set("devices", Json::from(c.devices));
+                o.set("strategy", Json::from(c.strategy.as_str()));
+                o.set("auto", Json::from(c.auto));
+                o.set(
+                    "predicted_one_d_cycles",
+                    Json::from(c.predicted_one_d_cycles),
+                );
+                o.set(
+                    "predicted_two_d_cycles",
+                    Json::from(c.predicted_two_d_cycles),
+                );
+                o.set("lost_nodes", Json::from(c.lost_nodes));
+                o.set("reassigned_als", Json::from(c.reassigned_als));
+                o.set("links", Json::from(c.links));
+                o.set("inter_tier", Json::from(c.inter_tier.as_str()));
+                o.set("makespan_cycles", Json::from(c.makespan_cycles));
+                o.set("compute_cycles", Json::from(c.compute_cycles));
+                o.set("uplink_cycles", Json::from(c.uplink_cycles));
+                o.set("ghost_cycles", Json::from(c.ghost_cycles));
+                o.set("ghost_vertices", Json::from(c.ghost_vertices));
+                o.set("ghost_bytes", Json::from(c.ghost_bytes));
+                o.set("imbalance", Json::from(c.imbalance));
+                o.set(
+                    "per_node",
+                    Json::Array(
+                        c.per_node
+                            .iter()
+                            .map(|n| {
+                                let mut e = Json::object();
+                                e.set("fleet", Json::from(n.fleet.as_str()));
+                                e.set("lost", Json::from(n.lost));
+                                e.set("als", Json::from(n.als));
+                                e.set("weight", Json::from(n.weight));
+                                e.set("layout_bytes", Json::from(n.layout_bytes));
+                                e.set("uplink_cycles", Json::from(n.uplink_cycles));
+                                e.set("ghost_cycles", Json::from(n.ghost_cycles));
+                                e.set("ghost_vertices", Json::from(n.ghost_vertices));
+                                e.set("ghost_bytes", Json::from(n.ghost_bytes));
+                                e.set("fleet_makespan_cycles", Json::from(n.fleet_makespan_cycles));
+                                e.set("end_cycles", Json::from(n.end_cycles));
+                                e.set("triangles", Json::from(n.triangles));
+                                e
+                            })
+                            .collect(),
+                    ),
+                );
+                o
+            }),
+        );
+
+        root.set(
             "profile",
             self.profile
                 .as_ref()
@@ -714,6 +858,7 @@ mod tests {
             eq6: Some(Eq6Section::new(0.5, 0.4)),
             faults: None,
             fleet: None,
+            cluster: None,
             profile: Some(ProfileSection::new({
                 let mut p = ProfileData::new(2, 1);
                 p.record(
@@ -757,6 +902,7 @@ mod tests {
             "eq6",
             "faults",
             "fleet",
+            "cluster",
             "profile",
             "trace",
             "telemetry",
@@ -766,6 +912,7 @@ mod tests {
         assert_eq!(j.get("hybrid"), Some(&Json::Null));
         assert_eq!(j.get("faults"), Some(&Json::Null));
         assert_eq!(j.get("fleet"), Some(&Json::Null));
+        assert_eq!(j.get("cluster"), Some(&Json::Null));
         assert_eq!(j.get("trace"), Some(&Json::Null));
         assert_eq!(j.get("result").unwrap().get("count"), Some(&Json::UInt(7)));
     }

@@ -12,13 +12,20 @@
 //! * [`plan_shards`] — the *outer* §VI instance: heterogeneity-aware
 //!   LPT of ALS jobs across devices, gated by each device's Eq. 1
 //!   global-memory capacity;
-//! * [`Interconnect`] — per-link H2D pricing with link contention plus
-//!   D2D boundary-exchange cost, in simulated cycles like
+//! * [`Interconnect`] — the two-tier network model ([`net`]): per-link
+//!   H2D pricing with link contention plus D2D boundary exchange on the
+//!   intra-node tier, contended partition uploads and ghost-vertex
+//!   exchanges on the inter-node tier, all in simulated cycles like
 //!   `trigon_gpu_sim::xfer`;
+//! * [`ClusterSpec`] and [`plan_cluster`] — the cluster tier
+//!   ([`cluster`]): `"4x(2xC2050)"`-style node rosters and the
+//!   node-level partitioner choosing 1D-by-component vs 2D-by-edge-block
+//!   from a predicted communication-volume cost model;
 //! * [`LossPlan`] — deterministic device-loss injection (always keeps
 //!   at least one survivor), with [`reassign_lost`] migrating orphaned
 //!   jobs onto survivors via the online Graham step
-//!   (`trigon_sched::least_loaded_alive`).
+//!   (`trigon_sched::least_loaded_alive`), and [`reassign_lost_nodes`]
+//!   doing the same one level up for lost nodes.
 //!
 //! The crate is deliberately free of graph types: jobs are abstract
 //! `(weight, bytes)` pairs, so `trigon-core` can feed it ALS footprints
@@ -26,8 +33,17 @@
 
 #![deny(missing_docs)]
 
+pub mod cluster;
+pub mod net;
+
+pub use cluster::{
+    plan_cluster, predict_cost, reassign_lost_nodes, ClusterJob, ClusterPlan, ClusterSpec,
+    PartitionStrategy,
+};
+pub use net::{Interconnect, LinkTier};
+
 use std::fmt;
-use trigon_gpu_sim::{DeviceSpec, TransferModel};
+use trigon_gpu_sim::DeviceSpec;
 
 /// A parsed multi-device roster, e.g. `"2xC2050,1xC1060"`.
 ///
@@ -292,55 +308,6 @@ pub fn reassign_lost(plan: &mut FleetPlan, jobs: &[ShardJob], lost: &[usize]) ->
     moved
 }
 
-/// The fleet interconnect: a star of PCIe links around the host, priced
-/// with the same affine [`TransferModel`] the single-device simulator
-/// uses, plus contention and a store-and-forward D2D path.
-///
-/// * **H2D with contention** — `links` shards uploading concurrently
-///   share the host bus, so each transfer's *byte* time stretches by the
-///   link count while the fixed latency does not:
-///   `latency + (bytes·links)/bandwidth`. With one link this is exactly
-///   the single-device formula, which is what keeps a one-device fleet
-///   trace byte-identical.
-/// * **D2D boundary exchange** — device-to-device traffic hops through
-///   the host bridge: both link latencies plus the payload over the
-///   bottleneck bandwidth.
-///
-/// All cycle conversions use the *consuming* device's clock and round up
-/// (`ceil`), matching `trigon_gpu_sim::emit`.
-#[derive(Debug, Clone, Copy)]
-pub struct Interconnect;
-
-impl Interconnect {
-    /// Seconds for one H2D shard upload while `links` uploads share the
-    /// host bus.
-    #[must_use]
-    pub fn h2d_seconds(model: &TransferModel, bytes: u64, links: usize) -> f64 {
-        model.transfer_seconds(bytes.saturating_mul(links.max(1) as u64))
-    }
-
-    /// Cycles (on `clock_hz`) for one contended H2D shard upload.
-    #[must_use]
-    pub fn h2d_cycles(model: &TransferModel, bytes: u64, links: usize, clock_hz: u64) -> u64 {
-        seconds_to_cycles(Self::h2d_seconds(model, bytes, links), clock_hz)
-    }
-
-    /// Seconds for a D2D boundary exchange from the device behind `src`
-    /// to the device behind `dst`: store-and-forward across the host
-    /// bridge (both latencies, bottleneck bandwidth).
-    #[must_use]
-    pub fn d2d_seconds(src: &TransferModel, dst: &TransferModel, bytes: u64) -> f64 {
-        let bw = src.bandwidth.min(dst.bandwidth);
-        src.latency_s + dst.latency_s + bytes as f64 / bw as f64
-    }
-
-    /// Cycles (on the destination clock) for a D2D boundary exchange.
-    #[must_use]
-    pub fn d2d_cycles(src: &TransferModel, dst: &TransferModel, bytes: u64, clock_hz: u64) -> u64 {
-        seconds_to_cycles(Self::d2d_seconds(src, dst, bytes), clock_hz)
-    }
-}
-
 /// Seconds → device cycles, rounding up like `trigon_gpu_sim::emit`.
 #[must_use]
 pub fn seconds_to_cycles(s: f64, clock_hz: u64) -> u64 {
@@ -538,31 +505,5 @@ mod tests {
         }
         assert!(LossPlan::new(3, 7).targets(1).is_empty());
         assert!(LossPlan::new(0, 7).targets(4).is_empty());
-    }
-
-    #[test]
-    fn contended_h2d_reduces_to_single_link_formula() {
-        let m = TransferModel::from_spec(&DeviceSpec::c2050());
-        let clock = DeviceSpec::c2050().clock_hz;
-        let single = seconds_to_cycles(m.transfer_seconds(1 << 20), clock);
-        assert_eq!(Interconnect::h2d_cycles(&m, 1 << 20, 1, clock), single);
-        let double = Interconnect::h2d_cycles(&m, 1 << 20, 2, clock);
-        assert!(double > single);
-        // Contention stretches byte time only, not the fixed latency.
-        let lat = seconds_to_cycles(m.latency_s, clock);
-        assert!(
-            double < 2 * single,
-            "latency must not double: {double} vs {single} (lat {lat})"
-        );
-    }
-
-    #[test]
-    fn d2d_pays_both_latencies_and_bottleneck_bandwidth() {
-        let a = TransferModel::from_spec(&DeviceSpec::c1060());
-        let b = TransferModel::from_spec(&DeviceSpec::c2050());
-        let s = Interconnect::d2d_seconds(&a, &b, 1 << 20);
-        let expect =
-            a.latency_s + b.latency_s + (1u64 << 20) as f64 / a.bandwidth.min(b.bandwidth) as f64;
-        assert!((s - expect).abs() < 1e-15);
     }
 }

@@ -1,0 +1,266 @@
+//! The two-tier network model.
+//!
+//! PR 6's interconnect was a single star of PCIe links around one host.
+//! A cluster has **two** fabrics with very different constants:
+//!
+//! * **intra-node** — NVLink/PCIe-class links between a node's host
+//!   bridge and its devices (microsecond latency, GB/s bandwidth),
+//!   priced per device by its own [`TransferModel`] exactly as before;
+//! * **inter-node** — an Ethernet/IB-class fabric between nodes
+//!   (tens-of-microseconds latency on commodity Ethernet, ~GB/s
+//!   bandwidth shared by every node uploading at once).
+//!
+//! Both tiers use the same affine `latency + bytes/bandwidth` form and
+//! the same contention discipline as PR 6's H2D model: concurrent
+//! transfers stretch each other's *byte* time by the link count while
+//! the fixed latency does not. Everything converts to simulated cycles
+//! with the `ceil` rounding of `trigon_gpu_sim::emit`, so cluster
+//! traffic lands on the same timeline as kernel spans.
+
+use crate::seconds_to_cycles;
+use trigon_gpu_sim::{DeviceSpec, TransferModel};
+
+/// One tier of the network: a named link class with its affine cost
+/// model. The intra-node tier is derived per device from its spec; the
+/// inter-node tier is one of the fabric classes below.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkTier {
+    /// Human-readable class name (`"PCIe"`, `"IB-QDR"`, `"10GbE"`, …).
+    pub name: &'static str,
+    /// The affine latency/bandwidth cost model of one link.
+    pub model: TransferModel,
+}
+
+impl LinkTier {
+    /// The intra-node PCIe tier of one device, from its Table I spec.
+    #[must_use]
+    pub fn pcie(spec: &DeviceSpec) -> Self {
+        Self {
+            name: "PCIe",
+            model: TransferModel::from_spec(spec),
+        }
+    }
+
+    /// An NVLink-class intra-node tier (for rosters modeled beyond the
+    /// PCIe parts of Table I).
+    #[must_use]
+    pub fn nvlink() -> Self {
+        Self {
+            name: "NVLink",
+            model: TransferModel::nvlink(),
+        }
+    }
+
+    /// The QDR InfiniBand-class inter-node fabric.
+    #[must_use]
+    pub fn infiniband_qdr() -> Self {
+        Self {
+            name: "IB-QDR",
+            model: TransferModel::infiniband_qdr(),
+        }
+    }
+
+    /// The 10 Gb/s Ethernet-class inter-node fabric.
+    #[must_use]
+    pub fn ethernet_10g() -> Self {
+        Self {
+            name: "10GbE",
+            model: TransferModel::ethernet_10g(),
+        }
+    }
+
+    /// Seconds for one transfer of `bytes` while `links` transfers share
+    /// the tier: the byte time stretches by the link count, the fixed
+    /// latency does not — the same contention discipline as PR 6's H2D
+    /// model (one link reduces to the plain affine formula).
+    #[must_use]
+    pub fn contended_seconds(&self, bytes: u64, links: usize) -> f64 {
+        self.model
+            .transfer_seconds(bytes.saturating_mul(links.max(1) as u64))
+    }
+
+    /// Cycles (on `clock_hz`) for one contended transfer.
+    #[must_use]
+    pub fn contended_cycles(&self, bytes: u64, links: usize, clock_hz: u64) -> u64 {
+        seconds_to_cycles(self.contended_seconds(bytes, links), clock_hz)
+    }
+
+    /// Seconds for a point-to-point exchange across the tier's switch:
+    /// store-and-forward, so both endpoints' fixed latencies are paid
+    /// before the payload moves at the tier bandwidth.
+    #[must_use]
+    pub fn exchange_seconds(&self, bytes: u64) -> f64 {
+        2.0 * self.model.latency_s + bytes as f64 / self.model.bandwidth as f64
+    }
+
+    /// Cycles (on the receiving clock) for a point-to-point exchange.
+    #[must_use]
+    pub fn exchange_cycles(&self, bytes: u64, clock_hz: u64) -> u64 {
+        seconds_to_cycles(self.exchange_seconds(bytes), clock_hz)
+    }
+}
+
+/// The two-tier interconnect.
+///
+/// The *intra-node* tier keeps PR 6's shape: per-device PCIe models,
+/// priced through the associated functions ([`Interconnect::h2d_seconds`]
+/// and friends) so a one-device fleet's trace stays byte-identical to a
+/// plain single-device run. The *inter-node* tier is carried as state
+/// ([`Interconnect::inter`]) and priced through the instance methods —
+/// node partition uploads contend on it, ghost-vertex exchanges pay its
+/// switch latency twice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interconnect {
+    /// The inter-node fabric tier (ignored by single-node work).
+    pub inter: LinkTier,
+}
+
+impl Interconnect {
+    /// The default cluster fabric: QDR InfiniBand, the HPC interconnect
+    /// contemporary with Table I's Tesla parts.
+    #[must_use]
+    pub fn cluster_default() -> Self {
+        Self {
+            inter: LinkTier::infiniband_qdr(),
+        }
+    }
+
+    /// An interconnect over an explicit inter-node tier.
+    #[must_use]
+    pub fn with_inter(inter: LinkTier) -> Self {
+        Self { inter }
+    }
+
+    // ---- Intra-node tier (per-device PCIe), unchanged from PR 6. ----
+
+    /// Seconds for one H2D shard upload while `links` uploads share the
+    /// node's host bus.
+    #[must_use]
+    pub fn h2d_seconds(model: &TransferModel, bytes: u64, links: usize) -> f64 {
+        model.transfer_seconds(bytes.saturating_mul(links.max(1) as u64))
+    }
+
+    /// Cycles (on `clock_hz`) for one contended H2D shard upload.
+    #[must_use]
+    pub fn h2d_cycles(model: &TransferModel, bytes: u64, links: usize, clock_hz: u64) -> u64 {
+        seconds_to_cycles(Self::h2d_seconds(model, bytes, links), clock_hz)
+    }
+
+    /// Seconds for a D2D boundary exchange from the device behind `src`
+    /// to the device behind `dst`: store-and-forward across the host
+    /// bridge (both latencies, bottleneck bandwidth).
+    #[must_use]
+    pub fn d2d_seconds(src: &TransferModel, dst: &TransferModel, bytes: u64) -> f64 {
+        let bw = src.bandwidth.min(dst.bandwidth);
+        src.latency_s + dst.latency_s + bytes as f64 / bw as f64
+    }
+
+    /// Cycles (on the destination clock) for a D2D boundary exchange.
+    #[must_use]
+    pub fn d2d_cycles(src: &TransferModel, dst: &TransferModel, bytes: u64, clock_hz: u64) -> u64 {
+        seconds_to_cycles(Self::d2d_seconds(src, dst, bytes), clock_hz)
+    }
+
+    // ---- Inter-node tier. ----
+
+    /// Seconds for one node's partition upload while `links` nodes share
+    /// the fabric.
+    #[must_use]
+    pub fn uplink_seconds(&self, bytes: u64, links: usize) -> f64 {
+        self.inter.contended_seconds(bytes, links)
+    }
+
+    /// Cycles (on the node's consuming clock) for a contended partition
+    /// upload over the inter-node fabric.
+    #[must_use]
+    pub fn uplink_cycles(&self, bytes: u64, links: usize, clock_hz: u64) -> u64 {
+        self.inter.contended_cycles(bytes, links, clock_hz)
+    }
+
+    /// Seconds for one ghost-vertex exchange between two nodes.
+    #[must_use]
+    pub fn ghost_seconds(&self, bytes: u64) -> f64 {
+        self.inter.exchange_seconds(bytes)
+    }
+
+    /// Cycles (on the receiving node's clock) for one ghost-vertex
+    /// exchange.
+    #[must_use]
+    pub fn ghost_cycles(&self, bytes: u64, clock_hz: u64) -> u64 {
+        self.inter.exchange_cycles(bytes, clock_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contended_h2d_reduces_to_single_link_formula() {
+        let m = TransferModel::from_spec(&DeviceSpec::c2050());
+        let clock = DeviceSpec::c2050().clock_hz;
+        let single = seconds_to_cycles(m.transfer_seconds(1 << 20), clock);
+        assert_eq!(Interconnect::h2d_cycles(&m, 1 << 20, 1, clock), single);
+        let double = Interconnect::h2d_cycles(&m, 1 << 20, 2, clock);
+        assert!(double > single);
+        // Contention stretches byte time only, not the fixed latency.
+        let lat = seconds_to_cycles(m.latency_s, clock);
+        assert!(
+            double < 2 * single,
+            "latency must not double: {double} vs {single} (lat {lat})"
+        );
+    }
+
+    #[test]
+    fn d2d_pays_both_latencies_and_bottleneck_bandwidth() {
+        let a = TransferModel::from_spec(&DeviceSpec::c1060());
+        let b = TransferModel::from_spec(&DeviceSpec::c2050());
+        let s = Interconnect::d2d_seconds(&a, &b, 1 << 20);
+        let expect =
+            a.latency_s + b.latency_s + (1u64 << 20) as f64 / a.bandwidth.min(b.bandwidth) as f64;
+        assert!((s - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn intra_tier_outprices_inter_tier() {
+        // A node-local PCIe upload of 1 MiB beats the same payload over
+        // either inter-node fabric — the gap the partitioner's cost
+        // model trades against load balance.
+        let pcie = LinkTier::pcie(&DeviceSpec::c2050());
+        let b = 1u64 << 20;
+        for inter in [LinkTier::infiniband_qdr(), LinkTier::ethernet_10g()] {
+            let net = Interconnect::with_inter(inter);
+            assert!(
+                pcie.contended_seconds(b, 1) < net.uplink_seconds(b, 1),
+                "{} must cost more than PCIe",
+                inter.name
+            );
+        }
+    }
+
+    #[test]
+    fn uplink_contention_and_ghost_latency_behave() {
+        let net = Interconnect::cluster_default();
+        let clock = DeviceSpec::c2050().clock_hz;
+        let one = net.uplink_cycles(1 << 20, 1, clock);
+        let four = net.uplink_cycles(1 << 20, 4, clock);
+        assert!(four > one && four < 4 * one, "latency does not scale");
+        // Ghost exchanges pay the switch latency twice even for tiny
+        // payloads.
+        let lat = seconds_to_cycles(2.0 * net.inter.model.latency_s, clock);
+        assert!(net.ghost_cycles(1, clock) >= lat);
+        assert_eq!(net.inter.name, "IB-QDR");
+    }
+
+    #[test]
+    fn exchange_is_monotone_in_bytes() {
+        let t = LinkTier::ethernet_10g();
+        let clock = 1_150_000_000;
+        let mut last = 0;
+        for shift in [0u64, 10, 16, 20, 24] {
+            let c = t.exchange_cycles(1 << shift, clock);
+            assert!(c >= last);
+            last = c;
+        }
+    }
+}

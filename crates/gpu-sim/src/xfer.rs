@@ -40,6 +40,40 @@ impl TransferModel {
     pub fn batched_seconds(&self, n: u64, bytes: u64) -> f64 {
         n as f64 * self.transfer_seconds(bytes)
     }
+
+    /// A 10 Gb/s Ethernet-class inter-node link: kernel-bypass-free
+    /// stacks of the paper's era paid ~50 µs per message and ~1.25 GB/s
+    /// sustained. The commodity-cluster tier of the two-tier network
+    /// model.
+    #[must_use]
+    pub fn ethernet_10g() -> Self {
+        Self {
+            latency_s: 50e-6,
+            bandwidth: 1_250_000_000,
+        }
+    }
+
+    /// A QDR InfiniBand-class inter-node link (4×QDR, 32 Gb/s data
+    /// rate): ~1.3 µs end-to-end latency, ~4 GB/s sustained. The HPC
+    /// interconnect tier contemporary with Table I's Tesla parts.
+    #[must_use]
+    pub fn infiniband_qdr() -> Self {
+        Self {
+            latency_s: 1.3e-6,
+            bandwidth: 4_000_000_000,
+        }
+    }
+
+    /// An NVLink-class intra-node link (~1 µs, 25 GB/s per direction) —
+    /// the fast end of the NVLink/PCIe intra-node tier, for rosters
+    /// modeled beyond the PCIe parts of Table I.
+    #[must_use]
+    pub fn nvlink() -> Self {
+        Self {
+            latency_s: 1e-6,
+            bandwidth: 25_000_000_000,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -73,6 +107,19 @@ mod tests {
         assert!(whole < split);
         // The gap is exactly 63 extra latencies.
         assert!(((split - whole) - 63.0 * m.latency_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_classes_order_by_tier() {
+        // NVLink < IB < Ethernet on a 1 MiB payload, and the fabric
+        // tiers pay their class latencies even for empty messages.
+        let nv = TransferModel::nvlink();
+        let ib = TransferModel::infiniband_qdr();
+        let eth = TransferModel::ethernet_10g();
+        let b = 1u64 << 20;
+        assert!(nv.transfer_seconds(b) < ib.transfer_seconds(b));
+        assert!(ib.transfer_seconds(b) < eth.transfer_seconds(b));
+        assert!(eth.transfer_seconds(0) > 10.0 * ib.transfer_seconds(0));
     }
 
     #[test]

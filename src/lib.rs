@@ -30,7 +30,8 @@ pub use trigon_graph as graph;
 pub use trigon_sched as sched;
 
 pub use trigon_core::{
-    Analysis, ChunkKernel, Clock, Collector, CounterSet, Error, FleetSpec, Json, Level, LossPlan,
-    ManualClock, Method, MonotonicClock, ProfileData, ProfileSection, Run, RunReport, TraceSummary,
-    Tracer, Track, Workload, WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
+    Analysis, ChunkKernel, Clock, ClusterSection, ClusterSpec, Collector, CounterSet, Error,
+    FleetSpec, Json, Level, LossPlan, ManualClock, Method, MonotonicClock, PartitionStrategy,
+    ProfileData, ProfileSection, Run, RunReport, TraceSummary, Tracer, Track, Workload,
+    WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
 };

@@ -6,7 +6,8 @@
 //! trigon analyze <FILE>
 //! trigon run [<FILE>] [--gen MODEL --n N] [--workload triangles|kcount|clustering|ktruss|enumerate] [--k K]
 //!            [--method cpu|cpu-fast|cpu-intersect|gpu-naive|gpu-opt|gpu-sampled|gpu-intersect|hybrid|doulion]
-//!            [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB]
+//!            [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N]
+//!            [--cluster SPEC] [--partition auto|1d|2d] [--node-loss N] [--p PROB]
 //!            [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE]
 //!            [--profile FILE] [--verbose]
 //! trigon split <FILE> [--device c1060|c2050|c2070]
@@ -27,8 +28,8 @@ use trigon::gpu_sim::{
 };
 use trigon::graph::{approx, cores, gen, io, triangles, BfsTree, Graph};
 use trigon::{
-    Analysis, Error, FleetSpec, Json, Level, LossPlan, Method, ProfileSection, RunReport, Tracer,
-    Workload, WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
+    Analysis, ClusterSpec, Error, FleetSpec, Json, Level, LossPlan, Method, PartitionStrategy,
+    ProfileSection, RunReport, Tracer, Workload, WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
 };
 
 fn main() {
@@ -60,7 +61,7 @@ const USAGE: &str = "usage:
   trigon devices
   trigon gen <gnp|ba|ws|ring|rmat|complete|grid> --n N [--seed S] [-o FILE]
   trigon analyze <FILE>
-  trigon run [<FILE>] [--gen MODEL --n N] [--workload triangles|kcount|clustering|ktruss|enumerate] [--k K] [--method cpu|cpu-fast|cpu-intersect|gpu-naive|gpu-opt|gpu-sampled|gpu-intersect|hybrid|doulion] [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--profile FILE] [--verbose]
+  trigon run [<FILE>] [--gen MODEL --n N] [--workload triangles|kcount|clustering|ktruss|enumerate] [--k K] [--method cpu|cpu-fast|cpu-intersect|gpu-naive|gpu-opt|gpu-sampled|gpu-intersect|hybrid|doulion] [--device c1060|c2050|c2070] [--devices SPEC] [--device-loss N] [--cluster SPEC] [--partition auto|1d|2d] [--node-loss N] [--p PROB] [--threads N] [--faults SPEC] [--fault-seed N] [--json] [--trace FILE] [--profile FILE] [--verbose]
     --workload W    what to compute per ALS (default triangles); kcount and
                     ktruss take --k K (default 4)
     --profile FILE  write the performance-counter profile (counter totals,
@@ -74,6 +75,14 @@ const USAGE: &str = "usage:
                     --devices 2xC2050,1xC1060 (1-8 devices total)
     --device-loss N kill N fleet devices at shard start (deterministic, seeded
                     by --fault-seed); their work reshards onto the survivors
+    --cluster SPEC  run the gpu-* methods on a simulated multi-node cluster;
+                    SPEC is a comma list of [COUNTx](FLEET) nodes, e.g.
+                    --cluster \"4x(2xC2050)\" or --cluster \"2x(C2070),C1060\"
+                    (1-64 nodes; inter-node links priced as IB-QDR)
+    --partition P   cluster layout: auto (cost model, default), 1d (whole
+                    components per node), 2d (contiguous edge blocks)
+    --node-loss N   kill N cluster nodes at partition time (seeded by
+                    --fault-seed); their ALS migrate to surviving nodes
   trigon split <FILE> [--device c1060|c2050|c2070]
   trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
   trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
@@ -131,9 +140,13 @@ fn parse(args: &[String]) -> Result<(Vec<String>, HashMap<String, String>), Erro
 fn faults_for(flags: &HashMap<String, String>) -> Result<Option<FaultConfig>, Error> {
     let spec = match flags.get("faults") {
         None => {
-            if flags.contains_key("fault-seed") && !flags.contains_key("device-loss") {
+            if flags.contains_key("fault-seed")
+                && !flags.contains_key("device-loss")
+                && !flags.contains_key("node-loss")
+            {
                 return Err(Error::bad_config(
-                    "--fault-seed needs --faults SPEC or --device-loss N (nothing to inject)",
+                    "--fault-seed needs --faults SPEC, --device-loss N, or --node-loss N \
+                     (nothing to inject)",
                 ));
             }
             return Ok(None);
@@ -190,6 +203,58 @@ fn fleet_for(
         }
     };
     Ok((Some(fleet), loss))
+}
+
+/// Builds the cluster spec from `--cluster SPEC`, the partition strategy
+/// from `--partition P`, and the node-loss plan from `--node-loss N`
+/// (seeded by `--fault-seed`, default 0).
+///
+/// A malformed SPEC is a parse error (exit 4); `--node-loss` or
+/// `--partition` without `--cluster` is a configuration error (exit 2).
+fn cluster_for(
+    flags: &HashMap<String, String>,
+) -> Result<(Option<ClusterSpec>, PartitionStrategy, Option<LossPlan>), Error> {
+    let cluster = match flags.get("cluster") {
+        None => {
+            if flags.contains_key("node-loss") {
+                return Err(Error::bad_config(
+                    "--node-loss needs --cluster SPEC (a cluster to lose nodes from)",
+                ));
+            }
+            if flags.contains_key("partition") {
+                return Err(Error::bad_config(
+                    "--partition needs --cluster SPEC (nothing to partition)",
+                ));
+            }
+            return Ok((None, PartitionStrategy::Auto, None));
+        }
+        Some(s) => ClusterSpec::parse(s).map_err(|e| Error::Parse(format!("--cluster: {e}")))?,
+    };
+    let partition = match flags.get("partition") {
+        None => PartitionStrategy::Auto,
+        Some(s) => PartitionStrategy::parse(s)
+            .map_err(|e| Error::bad_config(format!("--partition: {e}")))?,
+    };
+    let loss = match flags.get("node-loss") {
+        None => None,
+        Some(s) => {
+            let count: u32 = s.parse().map_err(|_| {
+                Error::bad_config(format!(
+                    "--node-loss expects an unsigned integer, got {s:?}"
+                ))
+            })?;
+            let seed: u64 = match flags.get("fault-seed") {
+                None => 0,
+                Some(s) => s.parse().map_err(|_| {
+                    Error::bad_config(format!(
+                        "--fault-seed expects an unsigned integer, got {s:?}"
+                    ))
+                })?,
+            };
+            Some(LossPlan::new(count, seed))
+        }
+    };
+    Ok((Some(cluster), partition, loss))
 }
 
 fn device_for(flags: &HashMap<String, String>) -> Result<DeviceSpec, Error> {
@@ -455,6 +520,47 @@ fn print_report(r: &RunReport) {
             );
         }
     }
+    if let Some(cl) = &r.cluster {
+        println!(
+            "{:<14}{} ({} nodes, {} devices, {} lost, {} ALS reshard)",
+            "cluster", cl.spec, cl.nodes, cl.devices, cl.lost_nodes, cl.reassigned_als
+        );
+        println!(
+            "{:<14}{}{} over {} (1d {} vs 2d {} predicted cycles)",
+            "partition",
+            cl.strategy,
+            if cl.auto { " (auto)" } else { "" },
+            cl.inter_tier,
+            cl.predicted_one_d_cycles,
+            cl.predicted_two_d_cycles
+        );
+        println!(
+            "{:<14}{} cycles (compute {}, uplink {}, ghost {}, imbalance {:.3})",
+            "cluster span",
+            cl.makespan_cycles,
+            cl.compute_cycles,
+            cl.uplink_cycles,
+            cl.ghost_cycles,
+            cl.imbalance
+        );
+        if cl.ghost_vertices > 0 {
+            println!(
+                "{:<14}{} vertices, {} bytes exchanged",
+                "ghosts", cl.ghost_vertices, cl.ghost_bytes
+            );
+        }
+        for (i, n) in cl.per_node.iter().enumerate() {
+            println!(
+                "  node {:>2} {:<10} {:>5} ALS {:>12} end-cycles {:>10} triangles{}",
+                i,
+                n.fleet,
+                n.als,
+                n.end_cycles,
+                n.triangles,
+                if n.lost { "  LOST" } else { "" }
+            );
+        }
+    }
     if let Some(e) = &r.eq6 {
         println!(
             "{:<14}predicted {:.4} s vs simulated {:.4} s (ratio {:.2})",
@@ -526,6 +632,7 @@ fn cmd_run(args: &[String]) -> Result<(), Error> {
     };
     let faults = faults_for(&flags)?;
     let (fleet, loss) = fleet_for(&flags)?;
+    let (cluster, partition, node_loss) = cluster_for(&flags)?;
     let mut a = Analysis::new(&g)
         .method(Method::parse(method)?)
         .workload(workload)
@@ -546,6 +653,12 @@ fn cmd_run(args: &[String]) -> Result<(), Error> {
     }
     if let Some(l) = loss {
         a = a.device_loss(l);
+    }
+    if let Some(c) = cluster {
+        a = a.cluster(c).partition(partition);
+    }
+    if let Some(l) = node_loss {
+        a = a.node_loss(l);
     }
     let report = a.execute()?;
     if flags.contains_key("json") {

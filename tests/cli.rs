@@ -503,3 +503,118 @@ fn intersect_methods_through_the_cli() {
     let under = run_m("cpu_intersect");
     assert_eq!(line_of(&under, "triangles"), tri);
 }
+
+/// The cluster tier through the CLI: counts agree with a plain run and
+/// with serial, the text report carries the cluster block, node loss
+/// reshards without perturbing the count, and the JSON report carries
+/// the populated `cluster` section.
+#[test]
+fn run_cluster_through_the_cli() {
+    let line_of = |stdout: &str, prefix: &str| -> String {
+        stdout
+            .lines()
+            .find(|l| l.starts_with(prefix))
+            .unwrap_or_else(|| panic!("no `{prefix}` line in:\n{stdout}"))
+            .to_string()
+    };
+    let base: &[&str] = &["run", "--gen", "ring", "--n", "600", "--method", "gpu-opt"];
+    let run_extra = |extra: &[&str]| {
+        let mut args = base.to_vec();
+        args.extend_from_slice(extra);
+        let (stdout, stderr, ok) = trigon(&args);
+        assert!(ok, "run {extra:?} failed: {stderr}");
+        stdout
+    };
+
+    let plain = run_extra(&[]);
+    let tri = line_of(&plain, "triangles");
+
+    let clustered = run_extra(&["--cluster", "4x(2xC2050)"]);
+    assert_eq!(line_of(&clustered, "triangles"), tri, "cluster drifted");
+    assert!(
+        clustered.contains("cluster       4x(2xC2050)"),
+        "{clustered}"
+    );
+    assert!(clustered.contains("partition"), "{clustered}");
+    assert!(clustered.contains("node  0"), "{clustered}");
+
+    // Pinned layouts and node loss keep the count.
+    for extra in [
+        &["--cluster", "4xC2050", "--partition", "1d"][..],
+        &["--cluster", "4xC2050", "--partition", "2d"][..],
+        &[
+            "--cluster",
+            "4xC2050",
+            "--node-loss",
+            "2",
+            "--fault-seed",
+            "9",
+        ][..],
+    ] {
+        let out = run_extra(extra);
+        assert_eq!(line_of(&out, "triangles"), tri, "{extra:?} drifted");
+    }
+    let lost = run_extra(&["--cluster", "4xC2050", "--node-loss", "2"]);
+    assert!(lost.contains("2 lost"), "{lost}");
+    assert!(lost.contains("LOST"), "{lost}");
+
+    // JSON carries the populated cluster section.
+    let json = run_extra(&["--cluster", "2x(2xC2050)", "--json"]);
+    assert!(json.contains("\"cluster\": {"), "{json}");
+    assert!(json.contains("\"strategy\""), "{json}");
+    assert!(json.contains("\"per_node\""), "{json}");
+}
+
+/// Cluster flag error paths: malformed specs are parse errors (exit 4);
+/// orphaned or invalid flag combinations are configuration errors
+/// (exit 2).
+#[test]
+fn cluster_flag_error_paths() {
+    let base: &[&str] = &["run", "--gen", "gnp", "--n", "50", "--method", "gpu-opt"];
+    let with = |extra: &[&str]| {
+        let mut v = base.to_vec();
+        v.extend_from_slice(extra);
+        trigon_code(&v)
+    };
+
+    let (_, stderr, code) = with(&["--cluster", "0x(C2050)"]);
+    assert_eq!(code, 4, "{stderr}");
+    assert!(stderr.contains("--cluster"), "{stderr}");
+
+    let (_, stderr, code) = with(&["--cluster", "65xC2050"]);
+    assert_eq!(code, 4, "{stderr}");
+
+    let (_, stderr, code) = with(&["--cluster", "2x((C2050)"]);
+    assert_eq!(code, 4, "{stderr}");
+
+    let (_, stderr, code) = with(&["--node-loss", "1"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--node-loss needs --cluster"), "{stderr}");
+
+    let (_, stderr, code) = with(&["--partition", "2d"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--partition needs --cluster"), "{stderr}");
+
+    let (_, stderr, code) = with(&["--cluster", "2xC2050", "--partition", "3d"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("partition"), "{stderr}");
+
+    let (_, stderr, code) = with(&["--cluster", "2xC2050", "--devices", "2xC2050"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+
+    // Non-GPU methods reject a cluster.
+    let (_, stderr, code) = trigon_code(&[
+        "run",
+        "--gen",
+        "gnp",
+        "--n",
+        "50",
+        "--method",
+        "cpu",
+        "--cluster",
+        "2xC2050",
+    ]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("gpu-*"), "{stderr}");
+}

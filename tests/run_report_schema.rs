@@ -11,7 +11,7 @@
 
 use trigon::gpu_sim::{DeviceSpec, FaultConfig, FaultPlan, FaultSpec};
 use trigon::graph::gen;
-use trigon::{Analysis, FleetSpec, Level, LossPlan, Method, RunReport, Workload};
+use trigon::{Analysis, ClusterSpec, FleetSpec, Level, LossPlan, Method, RunReport, Workload};
 
 fn check_golden(name: &str, report: &RunReport) {
     let actual = report.to_json().key_paths().join("\n") + "\n";
@@ -98,6 +98,27 @@ fn fleet_report_schema_is_pinned() {
     check_golden("run_report_fleet_keys", &r);
 }
 
+/// A multi-node cluster run with node loss pins the `cluster` block —
+/// the populated section (including the `per_node[]` element shape)
+/// must keep the same key set whatever the roster, layout, or loss
+/// plan.
+#[test]
+fn cluster_report_schema_is_pinned() {
+    let g = gen::community_ring(1_000, 100, 0.2, 2, 5);
+    let r = Analysis::new(&g)
+        .method(Method::GpuOptimized)
+        .cluster(ClusterSpec::parse("2x(2xC2050),2x(C1060)").unwrap())
+        .node_loss(LossPlan::new(1, 7))
+        .telemetry(Level::Trace)
+        .run()
+        .unwrap();
+    assert!(
+        r.cluster.is_some(),
+        "cluster run must emit a cluster section"
+    );
+    check_golden("run_report_cluster_keys", &r);
+}
+
 /// Each non-triangle workload carries its own `workload` section shape;
 /// pin one golden per variant across three different methods so the
 /// section's keys are stable regardless of the method that produced it.
@@ -163,5 +184,5 @@ fn every_executor_attaches_a_profile_section() {
 
 #[test]
 fn schema_version_is_current() {
-    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 6);
+    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 7);
 }
