@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, the full workspace test suite, and
 # smoke tests of the trace export, fault recovery, fleet, cluster,
-# workload, adjacency-intersection, ablation, perf, and
+# workload, adjacency-intersection, serving-daemon, ablation, perf, and
 # performance-counter profile repro paths.
 #
 #   ./ci.sh            # everything
 #   ./ci.sh quick      # everything, but skip the slow property-test suite
-#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | fleet | cluster | workloads | intersect | ablation | perf | profile
+#   ./ci.sh <stage>    # one stage: fmt | clippy | doc | test | trace | faults | fleet | cluster | workloads | intersect | serve | ablation | perf | profile
 #
 # Each stage's wall-clock time is reported in a summary at the end.
 #
@@ -217,6 +217,42 @@ stage_intersect() {
     cargo test --release --quiet --test prop_intersect
 }
 
+# Serving-daemon smoke test over a stdio pipe: load an R-MAT graph,
+# query it twice (the second answer must come from the warm result
+# cache with the same count), load a grid whose S-UTM footprint
+# overflows the C2050 so the Eqs. 1-2 admission test rejects the query
+# with code 5, and check the report op's admission ledger. The
+# cache-transparency property suite (tests/prop_serve.rs) then runs.
+stage_serve() {
+    local out="$scratch/serve_out"
+    {
+        echo '{"op":"load","name":"r","gen":"rmat","n":600,"seed":7}'
+        echo '{"op":"query","graph":"r","workload":"triangles","method":"gpu-opt"}'
+        echo '{"op":"query","graph":"r","workload":"triangles","method":"gpu-opt"}'
+        echo '{"op":"load","name":"big","gen":"grid","n":262144,"seed":1}'
+        echo '{"op":"query","graph":"big","workload":"triangles","method":"gpu-opt"}'
+        echo '{"op":"report"}'
+        echo '{"op":"shutdown"}'
+    } | cargo run --release --quiet -- serve --ndjson --device c2050 > "$out"
+    local cold warm cold_count warm_count
+    cold="$(sed -n 2p "$out")"
+    warm="$(sed -n 3p "$out")"
+    echo "$cold" | grep -q '"cache":"miss"'
+    echo "$warm" | grep -q '"cache":"hit"'
+    cold_count="$(echo "$cold" | grep -o '"count":[0-9]*' | head -1)"
+    warm_count="$(echo "$warm" | grep -o '"count":[0-9]*' | head -1)"
+    if [ -z "$cold_count" ] || [ "$cold_count" != "$warm_count" ]; then
+        echo "warm replay drifted: cold=$cold_count warm=$warm_count" >&2
+        return 1
+    fi
+    sed -n 5p "$out" | grep -q '"ok":false'
+    sed -n 5p "$out" | grep -q '"code":5'
+    sed -n 6p "$out" | grep -q '"rejected":1'
+    sed -n 6p "$out" | grep -q '"result_hits":1'
+    echo "daemon smoke: warm ${warm_count#*:} matches cold, oversized grid rejected"
+    cargo test --release --quiet --test prop_serve
+}
+
 # Ablation sweep (combination vs intersection, layout x schedule) with
 # CSV output — the same command the Actions full gate runs, so the two
 # can never drift.
@@ -273,9 +309,9 @@ stage_profile() {
 }
 
 case "$mode" in
-    all | quick | fmt | clippy | doc | test | trace | faults | fleet | cluster | workloads | intersect | ablation | perf | profile) ;;
+    all | quick | fmt | clippy | doc | test | trace | faults | fleet | cluster | workloads | intersect | serve | ablation | perf | profile) ;;
     *)
-        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|fleet|cluster|workloads|intersect|ablation|perf|profile]" >&2
+        echo "usage: ./ci.sh [quick|fmt|clippy|doc|test|trace|faults|fleet|cluster|workloads|intersect|serve|ablation|perf|profile]" >&2
         exit 2
         ;;
 esac
@@ -290,6 +326,7 @@ run_stage fleet stage_fleet
 run_stage cluster stage_cluster
 run_stage workloads stage_workloads
 run_stage intersect stage_intersect
+run_stage serve stage_serve
 run_stage ablation stage_ablation
 run_stage perf stage_perf
 run_stage profile stage_profile

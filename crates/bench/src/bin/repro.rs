@@ -38,6 +38,23 @@ fn run(g: &Graph, method: Method) -> RunReport {
         .expect("pipeline run")
 }
 
+/// [`run`] with a shared prebuilt ALS decomposition — the figure loops
+/// compare several methods on the same graph, and the decomposition
+/// depends only on the graph, so building it once per size keeps the
+/// sweeps from repeating that work per method.
+fn run_with_als(
+    g: &Graph,
+    als: &std::sync::Arc<Vec<trigon_core::als::Als>>,
+    method: Method,
+) -> RunReport {
+    Analysis::new(g)
+        .method(method)
+        .device(DeviceSpec::c1060())
+        .prebuilt_als(std::sync::Arc::clone(als))
+        .run()
+        .expect("pipeline run")
+}
+
 /// Runs with a fully explicit GPU configuration.
 fn run_cfg(g: &Graph, cfg: GpuConfig) -> RunReport {
     Analysis::new(g)
@@ -72,6 +89,7 @@ fn main() {
         "cluster" => cluster_cmd(&out),
         "perf" => perf(&out, &args[1..]),
         "profile" => profile_cmd(&out, &args[1..]),
+        "serve" => serve_cmd(&out, &args[1..]),
         "all" => {
             table1(&out);
             table2_cmd(&out);
@@ -87,14 +105,16 @@ fn main() {
             fleet_cmd(&out);
             cluster_cmd(&out);
             profile_cmd(&out, &[]);
+            serve_cmd(&out, &[]);
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             eprintln!(
-                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|workloads|trace|fleet|cluster|perf|profile|all [--csv DIR]"
+                "usage: repro table1|table2|table3|fig1|fig10|fig11|fig12|ablation|workloads|trace|fleet|cluster|perf|profile|serve|all [--csv DIR]"
             );
             eprintln!("       repro perf [--quick] [--baseline PATH] [--csv DIR]");
             eprintln!("       repro profile [--baseline PATH] [--csv DIR]");
+            eprintln!("       repro serve [--quick] [--csv DIR]");
             std::process::exit(2);
         }
     }
@@ -241,8 +261,9 @@ fn fig10(out: &Output) {
     let mut rows = Vec::new();
     for n in fig10_sizes() {
         let g = fig10_graph(n);
-        let cpu = run(&g, Method::CpuFast);
-        let gpu = run(&g, Method::GpuOptimized);
+        let als = std::sync::Arc::new(trigon_core::als::build_als(&g));
+        let cpu = run_with_als(&g, &als, Method::CpuFast);
+        let gpu = run_with_als(&g, &als, Method::GpuOptimized);
         assert_eq!(cpu.count, gpu.count, "count mismatch at n={n}");
         let speedup = cpu.modeled_s / gpu.modeled_s;
         println!(
@@ -268,8 +289,9 @@ fn fig11(out: &Output) {
     let mut rows = Vec::new();
     for n in fig11_sizes() {
         let g = fig11_graph(n);
-        let cpu = run(&g, Method::CpuFast);
-        let gpu = run(&g, Method::GpuSampled);
+        let als = std::sync::Arc::new(trigon_core::als::build_als(&g));
+        let cpu = run_with_als(&g, &als, Method::CpuFast);
+        let gpu = run_with_als(&g, &als, Method::GpuSampled);
         assert_eq!(cpu.count, gpu.count, "count mismatch at n={n}");
         let speedup = cpu.modeled_s / gpu.modeled_s;
         println!(
@@ -307,8 +329,9 @@ fn fig12(out: &Output) {
     let mut rows = Vec::new();
     for n in fig10_sizes() {
         let g = fig10_graph(n);
-        let nv = run(&g, Method::GpuNaive);
-        let op = run(&g, Method::GpuOptimized);
+        let als = std::sync::Arc::new(trigon_core::als::build_als(&g));
+        let nv = run_with_als(&g, &als, Method::GpuNaive);
+        let op = run_with_als(&g, &als, Method::GpuOptimized);
         assert_eq!(nv.count, op.count, "count mismatch at n={n}");
         let gain = 100.0 * (nv.modeled_s - op.modeled_s) / nv.modeled_s;
         let (cn, co) = (
@@ -600,6 +623,62 @@ fn profile_cmd(out: &Output, rest: &[String]) {
         eprintln!("  {msg}");
         std::process::exit(1);
     }
+}
+
+/// `repro serve` — the serving-tier benchmark: cold-vs-warm cache
+/// replay, batch H2D amortization, and the Eqs. 1–2 admission sweep
+/// (see `trigon_bench::serve`).
+fn serve_cmd(out: &Output, rest: &[String]) {
+    let quick = rest.iter().any(|a| a == "--quick");
+    out.section(if quick {
+        "Serve: persistent serving tier (quick)"
+    } else {
+        "Serve: persistent serving tier (cold/warm, batching, admission)"
+    });
+    let result = trigon_bench::run_serve(quick);
+    println!(
+        "{:<8} {:<12} {:>14} {:>12} {:>10}",
+        "graph", "workload", "cold(ms)", "warm(ms)", "speedup"
+    );
+    let mut rows = Vec::new();
+    for p in &result.points {
+        println!(
+            "{:<8} {:<12} {:>14.3} {:>12.4} {:>9.0}x",
+            p.graph,
+            p.workload,
+            p.cold_ns as f64 / 1e6,
+            p.warm_ns as f64 / 1e6,
+            p.speedup
+        );
+        rows.push(format!(
+            "{},{},{},{},{:.2}",
+            p.graph, p.workload, p.cold_ns, p.warm_ns, p.speedup
+        ));
+    }
+    if let Some(trigon_core::Json::Array(decisions)) = result
+        .report
+        .get("admission")
+        .and_then(|a| a.get("decisions"))
+    {
+        println!("  admission (C2050 primary, 2xC2050 roster):");
+        for d in decisions {
+            let verdict = match d.get("verdict") {
+                Some(trigon_core::Json::Str(v)) => v.clone(),
+                _ => String::new(),
+            };
+            let target = match d.get("target") {
+                Some(trigon_core::Json::Str(v)) => format!(" -> {v}"),
+                _ => String::new(),
+            };
+            println!("    n={:>7} {verdict}{target}", json_u64(d.get("n")));
+        }
+    }
+    println!("  {} admission rejection(s) recorded", result.rejections);
+    std::fs::create_dir_all("bench_out").expect("create bench_out");
+    let path = "bench_out/BENCH_serve.json";
+    std::fs::write(path, result.report.to_string_pretty()).expect("write serve json");
+    println!("  [serve report written to {path}]");
+    out.csv("serve", "graph,workload,cold_ns,warm_ns,speedup", &rows);
 }
 
 /// Strong scaling of the multi-device fleet path (1..=8 C2050s), counts

@@ -12,6 +12,7 @@ pub mod fleet;
 pub mod meta;
 pub mod perf;
 pub mod profile;
+pub mod serve;
 pub mod suites;
 pub mod workloads;
 
@@ -29,6 +30,7 @@ pub use perf::{run_perf, PerfOptions, PerfOutcome, PERF_SCHEMA_VERSION};
 pub use profile::{
     profile_sizes, run_profile, run_profile_on, ProfileOutcome, PROFILE_SCHEMA_VERSION,
 };
+pub use serve::{run_serve, ColdWarmPoint, ServeOutcome, SERVE_SCHEMA_VERSION, WARM_SPEEDUP_FLOOR};
 pub use suites::{fig10_graph, fig10_sizes, fig11_graph, fig11_sizes, SEED};
 pub use workloads::{
     kcount_sizes, run_workloads, run_workloads_on, workloads_sizes, WorkloadPoint,

@@ -141,8 +141,15 @@ pub fn sweep_methods(combination_scale: bool) -> Vec<Method> {
 
 /// Times every strategy on one graph: the serial reference, the thread
 /// sweep, and one `Run`-builder pass per method in `methods`.
+///
+/// The ALS decomposition is built once and passed to every
+/// artifact-reusing method via `prebuilt_als`, so the method sweep
+/// times the counting strategies rather than redundantly rebuilding
+/// the same decomposition per method (the hybrid path builds its own
+/// and is left alone).
 fn measure_graph(g: &Graph, methods: &[Method], reps: u32, sweep: &[usize]) -> Vec<Sample> {
     let mut out = Vec::new();
+    let als = std::sync::Arc::new(trigon_core::als::build_als(g));
     let (serial_ns, expect) = time_best(reps, || als_fast(g));
     out.push(Sample {
         strategy: "cpu_serial",
@@ -168,10 +175,11 @@ fn measure_graph(g: &Graph, methods: &[Method], reps: u32, sweep: &[usize]) -> V
     }
     for &m in methods {
         let (ns, count) = time_best(1, || {
-            Analysis::new(g)
-                .method(m)
-                .telemetry(Level::Off)
-                .run()
+            let mut a = Analysis::new(g).method(m).telemetry(Level::Off);
+            if m != Method::Hybrid {
+                a = a.prebuilt_als(std::sync::Arc::clone(&als));
+            }
+            a.run()
                 .unwrap_or_else(|e| panic!("{} run: {e}", m.label()))
                 .count
         });

@@ -1,0 +1,373 @@
+//! Serving-tier benchmark — the `repro serve` command.
+//!
+//! Drives an in-process [`trigon_serve::Server`] the way a client fleet
+//! would and measures the three properties the serving tier exists for:
+//!
+//! * **cold vs warm** — the same query issued twice; the second replay
+//!   comes from the result cache and must be at least
+//!   [`WARM_SPEEDUP_FLOOR`]× faster than the cold execution;
+//! * **batch amortization** — a k-item batch shares one simulated H2D
+//!   upload, so every report's `serving.h2d_share_s` must equal the
+//!   cold run's `gpu.transfer_s / k`;
+//! * **Eqs. 1–2 admission** — the Table II capacity boundaries of the
+//!   C2050 / 2×C2050 roster, checked through [`trigon_serve::Policy`]
+//!   (admit / route), plus one genuinely oversized graph refused by a
+//!   fleetless server with the CLI's exit-5 code. The verdicts are
+//!   recorded without executing the routed graphs — admission fires
+//!   before any layout work, which is the point.
+//!
+//! `repro serve` renders the table and writes
+//! `bench_out/BENCH_serve.json`.
+
+use std::time::Instant;
+
+use trigon_core::{FleetSpec, Json};
+use trigon_gpu_sim::DeviceSpec;
+use trigon_serve::{Policy, Server, ServerConfig, Verdict};
+
+/// Schema version of `BENCH_serve.json`; bump on shape changes.
+pub const SERVE_SCHEMA_VERSION: u32 = 1;
+
+/// Minimum accepted warm-over-cold speedup. A warm hit replays cached
+/// JSON while a cold run executes the whole pipeline, so the real gap
+/// is orders of magnitude; 5× keeps the gate robust on loaded machines.
+pub const WARM_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// One cold/warm cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct ColdWarmPoint {
+    /// Registry name of the graph queried.
+    pub graph: String,
+    /// Workload label.
+    pub workload: String,
+    /// Cold (first-query) wall nanoseconds.
+    pub cold_ns: u64,
+    /// Warm (replayed) wall nanoseconds, best of three.
+    pub warm_ns: u64,
+    /// `cold_ns / warm_ns`.
+    pub speedup: f64,
+}
+
+/// Outcome of [`run_serve`]: table rows plus the JSON document.
+pub struct ServeOutcome {
+    /// One row per (graph, workload).
+    pub points: Vec<ColdWarmPoint>,
+    /// Number of admission decisions that refused a graph outright.
+    pub rejections: u64,
+    /// The full `BENCH_serve.json` document.
+    pub report: Json,
+}
+
+fn msg(s: &str) -> Json {
+    Json::parse(s).expect("bench request parses")
+}
+
+fn handle_ok(server: &Server, request: &str) -> Json {
+    let (resp, _) = server.handle(&msg(request));
+    assert_eq!(
+        resp.get("ok"),
+        Some(&Json::Bool(true)),
+        "serve bench request failed: {request} -> {resp:?}"
+    );
+    resp
+}
+
+fn json_f64(v: Option<&Json>) -> f64 {
+    match v {
+        Some(Json::Float(f)) => *f,
+        Some(Json::UInt(u)) => *u as f64,
+        Some(Json::Int(i)) => *i as f64,
+        _ => 0.0,
+    }
+}
+
+/// The graphs the cold/warm sweep queries: two different generators so
+/// the registry serves more than one working set at once.
+fn bench_graphs(quick: bool) -> Vec<(&'static str, String)> {
+    let n = if quick { 300 } else { 1500 };
+    vec![
+        (
+            "ring",
+            format!(r#"{{"op":"load","name":"ring","gen":"ring","n":{n},"seed":11}}"#),
+        ),
+        (
+            "rmat",
+            format!(r#"{{"op":"load","name":"rmat","gen":"rmat","n":{n},"seed":11}}"#),
+        ),
+    ]
+}
+
+fn cold_warm_sweep(server: &Server, quick: bool, points: &mut Vec<ColdWarmPoint>) {
+    let workloads: &[&str] = if quick {
+        &["triangles", "clustering"]
+    } else {
+        &["triangles", "clustering", "ktruss", "enumerate"]
+    };
+    for (name, _) in bench_graphs(quick) {
+        for w in workloads {
+            let q = format!(
+                r#"{{"op":"query","graph":"{name}","workload":"{w}","method":"gpu-opt","k":4}}"#
+            );
+            let t0 = Instant::now();
+            let cold = handle_ok(server, &q);
+            let cold_ns = t0.elapsed().as_nanos() as u64;
+            assert_serving(&cold, "miss");
+            let mut warm_ns = u64::MAX;
+            let mut warm = Json::Null;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                warm = handle_ok(server, &q);
+                warm_ns = warm_ns.min(t0.elapsed().as_nanos() as u64);
+            }
+            assert_serving(&warm, "hit");
+            let speedup = cold_ns as f64 / warm_ns.max(1) as f64;
+            assert!(
+                speedup >= WARM_SPEEDUP_FLOOR,
+                "warm {name}/{w} replay only {speedup:.1}x faster than cold \
+                 (floor {WARM_SPEEDUP_FLOOR}x)"
+            );
+            points.push(ColdWarmPoint {
+                graph: name.to_string(),
+                workload: (*w).to_string(),
+                cold_ns,
+                warm_ns,
+                speedup,
+            });
+        }
+    }
+}
+
+/// Asserts every report of a query response carries the expected
+/// result-cache disposition in its serving section.
+fn assert_serving(resp: &Json, want_cache: &str) {
+    let Some(Json::Array(reports)) = resp.get("reports") else {
+        panic!("query response without reports: {resp:?}");
+    };
+    for r in reports {
+        let cache = r.get("serving").and_then(|s| s.get("cache"));
+        assert_eq!(
+            cache,
+            Some(&Json::from(want_cache)),
+            "expected a result-cache {want_cache}"
+        );
+    }
+}
+
+/// Measures the batch H2D amortization: a 3-item batch against a fresh
+/// graph must split the cold run's transfer time three ways.
+fn batching_json(server: &Server, quick: bool) -> Json {
+    let n = if quick { 250 } else { 1000 };
+    handle_ok(
+        server,
+        &format!(r#"{{"op":"load","name":"batch","gen":"gnp","n":{n},"seed":5}}"#),
+    );
+    let resp = handle_ok(
+        server,
+        r#"{"op":"query","graph":"batch","batch":[
+            {"workload":"triangles","method":"gpu-opt"},
+            {"workload":"clustering","method":"gpu-opt"},
+            {"workload":"enumerate","method":"gpu-opt"}]}"#,
+    );
+    let Some(Json::Array(reports)) = resp.get("reports") else {
+        panic!("batch response without reports");
+    };
+    assert_eq!(reports.len(), 3);
+    let mut rows = Vec::new();
+    for r in reports {
+        let transfer_s = json_f64(r.get("gpu").and_then(|g| g.get("transfer_s")));
+        let serving = r.get("serving").expect("serving section");
+        let share_s = json_f64(serving.get("h2d_share_s"));
+        let batch_size = json_f64(serving.get("batch_size"));
+        assert_eq!(batch_size as u64, 3);
+        assert!(
+            (share_s - transfer_s / 3.0).abs() <= f64::EPSILON * transfer_s.max(1.0),
+            "h2d_share_s {share_s} must be transfer_s/3 of {transfer_s}"
+        );
+        let mut o = Json::object();
+        o.set(
+            "workload",
+            r.get("result")
+                .and_then(|res| res.get("kind"))
+                .cloned()
+                .unwrap_or(Json::Null),
+        );
+        o.set("transfer_s", Json::Float(transfer_s));
+        o.set("h2d_share_s", Json::Float(share_s));
+        o.set("amortization", Json::Float(3.0));
+        rows.push(o);
+    }
+    let mut doc = Json::object();
+    doc.set("batch_size", Json::UInt(3));
+    doc.set("items", Json::Array(rows));
+    doc
+}
+
+/// Sweeps the Table II admission boundaries through [`Policy::admit`]
+/// and refuses one oversized graph through a fleetless server. Returns
+/// the JSON section and the rejection count.
+fn admission_json(server_fleetless: &Server) -> (Json, u64) {
+    let policy = Policy {
+        device: DeviceSpec::c2050(),
+        fleet: Some(FleetSpec::parse("2xC2050").expect("fleet spec")),
+    };
+    // The exact S-UTM boundaries of the paper's Table II: the C2050
+    // holds up to n = 227,023 in global memory; pooling two C2050s
+    // matches the C2070's 321,060.
+    let cases: &[(u32, &str)] = &[
+        (227_023, "admit"),
+        (227_024, "route"),
+        (321_060, "route"),
+        (321_061, "reject"),
+    ];
+    let mut decisions = Vec::new();
+    let mut rejections = 0u64;
+    for &(n, want) in cases {
+        let (verdict, target) = match policy.admit(n, true) {
+            Ok((Verdict::Admit, t)) => ("admit", t),
+            Ok((Verdict::Route, t)) => ("route", t),
+            Err(_) => ("reject", String::new()),
+        };
+        assert_eq!(verdict, want, "Eqs. 1-2 verdict at n={n}");
+        if verdict == "reject" {
+            rejections += 1;
+        }
+        let mut o = Json::object();
+        o.set("n", Json::UInt(u64::from(n)));
+        o.set("verdict", Json::from(verdict));
+        o.set(
+            "target",
+            if target.is_empty() {
+                Json::Null
+            } else {
+                Json::from(target)
+            },
+        );
+        decisions.push(o);
+    }
+    // A genuinely loaded oversized graph through the server path: a
+    // 512x512 grid (n = 262,144 > 227,023) is cheap to build, and the
+    // fleetless server must refuse the query with the CLI's exit-5
+    // code before any layout work runs.
+    handle_ok(
+        server_fleetless,
+        r#"{"op":"load","name":"oversized","gen":"grid","n":262144,"seed":1}"#,
+    );
+    let (resp, _) = server_fleetless.handle(&msg(
+        r#"{"op":"query","graph":"oversized","workload":"triangles","method":"gpu-opt"}"#,
+    ));
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        resp.get("code"),
+        Some(&Json::UInt(5)),
+        "oversized refusal must carry exit code 5: {resp:?}"
+    );
+    rejections += 1;
+    let mut refused = Json::object();
+    refused.set("n", Json::UInt(262_144));
+    refused.set("verdict", Json::from("reject"));
+    refused.set("code", Json::UInt(5));
+    refused.set("error", resp.get("error").cloned().unwrap_or(Json::Null));
+    decisions.push(refused);
+
+    let device_only = Policy {
+        device: DeviceSpec::c2050(),
+        fleet: None,
+    };
+    let mut doc = Json::object();
+    doc.set("device", Json::from("C2050"));
+    doc.set("fleet", Json::from("2xC2050"));
+    doc.set("max_device_n", Json::UInt(device_only.max_n()));
+    doc.set("max_fleet_n", Json::UInt(policy.max_n()));
+    doc.set("decisions", Json::Array(decisions));
+    doc.set("rejections", Json::UInt(rejections));
+    (doc, rejections)
+}
+
+/// Runs the serving benchmark. `quick` trims graph sizes and the
+/// workload list to a seconds-long smoke run for CI.
+///
+/// # Panics
+///
+/// Panics when a warm replay misses the cache or the speedup floor,
+/// when batch amortization does not divide the transfer exactly, or
+/// when an Eqs. 1–2 verdict deviates from the Table II boundaries —
+/// the bench doubles as the serving-tier acceptance gate.
+#[must_use]
+pub fn run_serve(quick: bool) -> ServeOutcome {
+    let server = Server::new(ServerConfig {
+        device: DeviceSpec::c2050(),
+        fleet: Some(FleetSpec::parse("2xC2050").expect("fleet spec")),
+        slots: 8,
+        depth: 16,
+    });
+    for (_, load) in bench_graphs(quick) {
+        handle_ok(&server, &load);
+    }
+    let mut points = Vec::new();
+    cold_warm_sweep(&server, quick, &mut points);
+    let batching = batching_json(&server, quick);
+
+    let fleetless = Server::new(ServerConfig {
+        device: DeviceSpec::c2050(),
+        fleet: None,
+        slots: 8,
+        depth: 16,
+    });
+    let (admission, rejections) = admission_json(&fleetless);
+
+    let stats = handle_ok(&server, r#"{"op":"report"}"#)
+        .get("stats")
+        .cloned()
+        .expect("stats section");
+
+    let mut doc = Json::object();
+    doc.set(
+        "schema_version",
+        Json::UInt(u64::from(SERVE_SCHEMA_VERSION)),
+    );
+    doc.set("bench_meta", crate::meta::bench_meta());
+    doc.set("quick", Json::Bool(quick));
+    let mut rows = Vec::new();
+    for p in &points {
+        let mut o = Json::object();
+        o.set("graph", Json::from(p.graph.clone()));
+        o.set("workload", Json::from(p.workload.clone()));
+        o.set("cold_ns", Json::UInt(p.cold_ns));
+        o.set("warm_ns", Json::UInt(p.warm_ns));
+        o.set("speedup", Json::Float(p.speedup));
+        rows.push(o);
+    }
+    doc.set("cold_warm", Json::Array(rows));
+    doc.set("warm_speedup_floor", Json::Float(WARM_SPEEDUP_FLOOR));
+    doc.set("batching", batching);
+    doc.set("admission", admission);
+    doc.set("server_stats", stats);
+    ServeOutcome {
+        points,
+        rejections,
+        report: doc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_serve_bench_holds_its_gates() {
+        let out = run_serve(true);
+        assert!(out.rejections >= 1, "must record an admission rejection");
+        assert_eq!(out.points.len(), 4, "2 graphs x 2 quick workloads");
+        for p in &out.points {
+            assert!(p.speedup >= WARM_SPEEDUP_FLOOR);
+        }
+        let r = &out.report;
+        assert_eq!(
+            r.get("schema_version"),
+            Some(&Json::UInt(u64::from(SERVE_SCHEMA_VERSION)))
+        );
+        for key in ["cold_warm", "batching", "admission", "server_stats"] {
+            assert!(r.get(key).is_some(), "missing {key}");
+        }
+    }
+}

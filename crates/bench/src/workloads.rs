@@ -10,6 +10,9 @@
 //!
 //! [`ChunkKernel`]: trigon_core::ChunkKernel
 
+use std::sync::Arc;
+
+use trigon_core::als::Als;
 use trigon_core::{Analysis, Json, Level, Method, RunReport, Workload, WorkloadSection};
 use trigon_graph::Graph;
 
@@ -59,13 +62,12 @@ pub struct WorkloadsOutcome {
     pub report: Json,
 }
 
-fn run(g: &Graph, w: Workload, m: Method) -> RunReport {
-    Analysis::new(g)
-        .workload(w)
-        .method(m)
-        .telemetry(Level::Off)
-        .execute()
-        .expect("workload run")
+fn run(g: &Graph, als: Option<&Arc<Vec<Als>>>, w: Workload, m: Method) -> RunReport {
+    let mut a = Analysis::new(g).workload(w).method(m).telemetry(Level::Off);
+    if let Some(als) = als {
+        a = a.prebuilt_als(Arc::clone(als));
+    }
+    a.execute().expect("workload run")
 }
 
 /// Runs the cross-workload sweep.
@@ -93,16 +95,29 @@ pub fn run_workloads_on(sizes: &[u32], kcount_sizes: &[u32]) -> WorkloadsOutcome
     let mut points = Vec::new();
     for &n in sizes {
         let g = fig10_graph(n);
+        // One ALS decomposition serves every workload and both
+        // executors at this size — rebuilding it per cell was pure
+        // duplicated work (the decomposition depends only on the graph).
+        let als = Arc::new(trigon_core::als::build_als(&g));
         for w in linear {
-            points.push(sweep_point(&g, n, w, Method::CpuFast, Method::GpuOptimized));
+            points.push(sweep_point(
+                &g,
+                Some(&als),
+                n,
+                w,
+                Method::CpuFast,
+                Method::GpuOptimized,
+            ));
         }
     }
     for &n in kcount_sizes {
         let g = fig10_graph(n);
         // The k-clique workload runs only on the widened simulated
-        // device; time its two GPU layouts instead of CPU-vs-GPU.
+        // device (it builds its own decomposition); time its two GPU
+        // layouts instead of CPU-vs-GPU.
         points.push(sweep_point(
             &g,
+            None,
             n,
             Workload::KCliques(4),
             Method::GpuNaive,
@@ -113,9 +128,16 @@ pub fn run_workloads_on(sizes: &[u32], kcount_sizes: &[u32]) -> WorkloadsOutcome
     WorkloadsOutcome { points, report }
 }
 
-fn sweep_point(g: &Graph, n: u32, w: Workload, cpu_m: Method, gpu_m: Method) -> WorkloadPoint {
-    let cpu = run(g, w, cpu_m);
-    let gpu = run(g, w, gpu_m);
+fn sweep_point(
+    g: &Graph,
+    als: Option<&Arc<Vec<Als>>>,
+    n: u32,
+    w: Workload,
+    cpu_m: Method,
+    gpu_m: Method,
+) -> WorkloadPoint {
+    let cpu = run(g, als, w, cpu_m);
+    let gpu = run(g, als, w, gpu_m);
     assert_eq!(
         cpu.count,
         gpu.count,

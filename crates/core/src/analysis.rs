@@ -193,6 +193,7 @@ pub struct Run<'g> {
     cluster: Option<ClusterSpec>,
     partition: PartitionStrategy,
     node_loss: Option<LossPlan>,
+    prebuilt_als: Option<std::sync::Arc<Vec<crate::als::Als>>>,
 }
 
 /// The builder's original name, kept as an alias; [`Run`] is the
@@ -222,7 +223,21 @@ impl<'g> Run<'g> {
             cluster: None,
             partition: PartitionStrategy::Auto,
             node_loss: None,
+            prebuilt_als: None,
         }
+    }
+
+    /// Supplies prebuilt ALS artifacts (the output of
+    /// [`crate::als::build_als`] for this exact graph, behind an `Arc`
+    /// so a registry can share one copy across runs). The CPU, single
+    /// simulated-device, and fleet executors then skip the per-run
+    /// BFS/`LevelMap`/ALS construction and go straight to dispatch;
+    /// counts are bit-identical to a cold run. The hybrid, k-clique,
+    /// and cluster paths build their own decomposition and ignore this.
+    #[must_use]
+    pub fn prebuilt_als(mut self, als: std::sync::Arc<Vec<crate::als::Als>>) -> Self {
+        self.prebuilt_als = Some(als);
+        self
     }
 
     /// Selects the workload — what the §VII per-ALS kernel computes.
@@ -674,8 +689,14 @@ impl<'g> Run<'g> {
                     Method::CpuIntersect => pipeline::CountMethod::CpuIntersect,
                     _ => pipeline::CountMethod::CpuFast,
                 };
-                let (r, partial) =
-                    pipeline::run_workload_traced(g, cm, &self.cost, kernel, collector, tracer)?;
+                let (r, partial) = match self.prebuilt_als.as_deref() {
+                    Some(als) => pipeline::run_workload_traced_with_als(
+                        g, als, cm, &self.cost, kernel, collector, tracer,
+                    )?,
+                    None => {
+                        pipeline::run_workload_traced(g, cm, &self.cost, kernel, collector, tracer)?
+                    }
+                };
                 let mut report = self.base_report(r.triangles, r.tests, r.modeled_s);
                 report.profile = Some(ProfileSection::new(r.profile));
                 Ok((report, partial))
@@ -706,21 +727,36 @@ impl<'g> Run<'g> {
                     }
                     (None, Some(fleet)) => {
                         cfg.device = fleet.devices()[0].clone();
-                        let (r, partial, section) = multi::run_fleet_workload(
-                            g,
-                            fleet,
-                            &cfg,
-                            self.device_loss,
-                            kernel,
-                            collector,
-                            tracer,
-                        )?;
+                        let (r, partial, section) = match self.prebuilt_als.as_deref() {
+                            Some(als) => multi::run_fleet_workload_with_als(
+                                g,
+                                als,
+                                fleet,
+                                &cfg,
+                                self.device_loss,
+                                kernel,
+                                collector,
+                                tracer,
+                            )?,
+                            None => multi::run_fleet_workload(
+                                g,
+                                fleet,
+                                &cfg,
+                                self.device_loss,
+                                kernel,
+                                collector,
+                                tracer,
+                            )?,
+                        };
                         fleet_section = Some(section);
                         (r, partial)
                     }
-                    (None, None) => {
-                        gpu_exec::run_workload_traced(g, &cfg, kernel, collector, tracer)?
-                    }
+                    (None, None) => match self.prebuilt_als.as_deref() {
+                        Some(als) => gpu_exec::run_workload_traced_with_als(
+                            g, als, &cfg, kernel, collector, tracer,
+                        )?,
+                        None => gpu_exec::run_workload_traced(g, &cfg, kernel, collector, tracer)?,
+                    },
                 };
                 // Eq. 6 models one device; skip the prediction for real
                 // multi-device fleets and clusters.
@@ -848,6 +884,7 @@ impl<'g> Run<'g> {
             fleet: None,
             cluster: None,
             profile: None,
+            serving: None,
             trace: None,
             telemetry: Collector::disabled(),
             tracer: Tracer::disabled(),
@@ -893,6 +930,41 @@ mod tests {
             assert!(r.modeled_s > 0.0, "{m:?}");
             assert_eq!(r.kind, "triangles");
         }
+    }
+
+    #[test]
+    fn prebuilt_als_runs_are_bit_identical_to_cold() {
+        let g = gen::gnp(150, 0.06, 8);
+        let als = std::sync::Arc::new(crate::als::build_als(&g));
+        for m in Method::ALL {
+            let cold = Analysis::new(&g).method(m).run().unwrap();
+            let warm = Analysis::new(&g)
+                .method(m)
+                .prebuilt_als(als.clone())
+                .run()
+                .unwrap();
+            assert_eq!(cold.count, warm.count, "{m:?}");
+            assert_eq!(cold.tests, warm.tests, "{m:?}");
+            assert_eq!(cold.modeled_s, warm.modeled_s, "{m:?}");
+        }
+        // The fleet path accepts the same prebuilt artifacts.
+        let fleet = FleetSpec::parse("2xC2050").unwrap();
+        let cold = Analysis::new(&g)
+            .method(Method::GpuOptimized)
+            .fleet(fleet.clone())
+            .run()
+            .unwrap();
+        let warm = Analysis::new(&g)
+            .method(Method::GpuOptimized)
+            .fleet(fleet)
+            .prebuilt_als(als)
+            .run()
+            .unwrap();
+        assert_eq!(cold.count, warm.count);
+        assert_eq!(
+            cold.fleet.unwrap().makespan_cycles,
+            warm.fleet.unwrap().makespan_cycles
+        );
     }
 
     #[test]

@@ -84,7 +84,8 @@ pub use multi::{run_fleet, run_fleet_workload, run_fleet_workload_with_als};
 pub use pipeline::{CountMethod, TriangleReport};
 pub use report::{
     ClusterNodeEntry, ClusterSection, Eq6Section, FleetDeviceEntry, FleetSection, GpuSection,
-    HybridSection, ProfileSection, RunReport, WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
+    HybridSection, ProfileSection, RunReport, ServingSection, WorkloadSection,
+    RUN_REPORT_SCHEMA_VERSION,
 };
 pub use split::{split_graph, split_graph_collected, Chunk, SplitConfig, SplitResult};
 pub use trigon_fleet::{ClusterSpec, FleetSpec, LinkTier, LossPlan, PartitionStrategy};

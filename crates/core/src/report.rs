@@ -30,8 +30,11 @@ use trigon_telemetry::{registry, Collector, Json, TraceSummary, Tracer};
 /// the `profile` section ([`ProfileSection`]) with per-counter totals,
 /// derived metrics, the per-ALS hotspot table, and per-device roofline
 /// points; 7 = added the `cluster` section ([`ClusterSection`]) for
-/// simulated multi-node runs.
-pub const RUN_REPORT_SCHEMA_VERSION: u32 = 7;
+/// simulated multi-node runs; 8 = added the `serving` section
+/// ([`ServingSection`]) for queries dispatched by the `trigon serve`
+/// registry (cache hit/miss, queue wait, batch amortization, admission
+/// verdict).
+pub const RUN_REPORT_SCHEMA_VERSION: u32 = 8;
 
 /// Workload-specific result detail — the schema-v5 `workload` section,
 /// present on every report. The count-style workloads carry only their
@@ -512,6 +515,63 @@ impl ProfileSection {
     }
 }
 
+/// Per-request serving detail — the schema-v8 `serving` section, present
+/// when the run was dispatched through the `trigon serve` graph
+/// registry rather than a one-shot invocation.
+///
+/// Records what the serving tier did on top of the run itself: the
+/// Eqs. 1–2 admission verdict and execution target, the result- and
+/// artifact-cache outcomes for the (graph, device, method) key, time
+/// spent in the bounded admission queue, and how the batch the request
+/// rode in amortized the simulated H2D upload.
+#[derive(Debug, Clone)]
+pub struct ServingSection {
+    /// Registry name of the graph the query ran against.
+    pub graph: String,
+    /// Admission verdict: `"admit"` (the graph fits the primary device
+    /// under Eq. 2) or `"route"` (the device rejected it and the query
+    /// ran on the pooled fleet roster instead).
+    pub verdict: String,
+    /// Where the query executed: a device name or a fleet spec.
+    pub target: String,
+    /// Result-cache outcome: `"hit"` (an identical earlier query's
+    /// report was replayed without executing) or `"miss"`.
+    pub cache: String,
+    /// Artifact-cache outcome for the (graph, device, method) key:
+    /// `"hit"` (`LevelMap`/ALS reused) or `"miss"` (built and cached).
+    pub artifacts: String,
+    /// Seconds the request waited for a slot in the bounded queue.
+    pub queue_wait_s: f64,
+    /// Number of queries in the batch this request was dispatched with
+    /// (1 = unbatched).
+    pub batch_size: u64,
+    /// Zero-based position of this request within its batch.
+    pub batch_index: u64,
+    /// Simulated H2D transfer seconds charged to this request: the
+    /// batch's single upload divided across its queries.
+    pub h2d_share_s: f64,
+}
+
+impl ServingSection {
+    /// Serializes the section — also used by the serving front end to
+    /// patch a replayed (result-cache hit) report with the current
+    /// request's serving detail.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.set("graph", Json::from(self.graph.as_str()));
+        o.set("verdict", Json::from(self.verdict.as_str()));
+        o.set("target", Json::from(self.target.as_str()));
+        o.set("cache", Json::from(self.cache.as_str()));
+        o.set("artifacts", Json::from(self.artifacts.as_str()));
+        o.set("queue_wait_s", Json::from(self.queue_wait_s));
+        o.set("batch_size", Json::from(self.batch_size));
+        o.set("batch_index", Json::from(self.batch_index));
+        o.set("h2d_share_s", Json::from(self.h2d_share_s));
+        o
+    }
+}
+
 /// The paper's Eq. 6 execution-time model against the simulation.
 #[derive(Debug, Clone)]
 pub struct Eq6Section {
@@ -585,6 +645,10 @@ pub struct RunReport {
     /// Performance-counter profile (per-ALS/per-SM/per-device
     /// attribution); present whenever the executor produced one.
     pub profile: Option<ProfileSection>,
+    /// Serving-tier detail (admission verdict, cache outcomes, queue
+    /// wait, batch amortization) when the run was dispatched by
+    /// `trigon serve`.
+    pub serving: Option<ServingSection>,
     /// Trace summary (span counts, critical path, per-SM busy/idle,
     /// histogram quantiles) when the run traced at `Level::Trace`.
     pub trace: Option<TraceSummary>,
@@ -812,6 +876,13 @@ impl RunReport {
         );
 
         root.set(
+            "serving",
+            self.serving
+                .as_ref()
+                .map_or(Json::Null, ServingSection::to_json),
+        );
+
+        root.set(
             "trace",
             self.trace
                 .as_ref()
@@ -881,6 +952,7 @@ mod tests {
                 ));
                 p
             })),
+            serving: None,
             trace: None,
             telemetry: Collector::new(),
             tracer: Tracer::disabled(),
@@ -904,12 +976,14 @@ mod tests {
             "fleet",
             "cluster",
             "profile",
+            "serving",
             "trace",
             "telemetry",
         ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
         assert_eq!(j.get("hybrid"), Some(&Json::Null));
+        assert_eq!(j.get("serving"), Some(&Json::Null));
         assert_eq!(j.get("faults"), Some(&Json::Null));
         assert_eq!(j.get("fleet"), Some(&Json::Null));
         assert_eq!(j.get("cluster"), Some(&Json::Null));

@@ -21,7 +21,9 @@
 //!   clustering coefficient and transitivity (§VII applications);
 //! * [`rng`] — an in-house SplitMix64/Xoshiro256++ PRNG so every dataset
 //!   is bit-reproducible;
-//! * [`io`] — whitespace edge-list reader/writer;
+//! * [`io`] — whitespace edge-list reader/writer and the auto-detecting
+//!   dataset loader;
+//! * [`mm`] — MatrixMarket coordinate reader/writer;
 //! * [`approx`] — DOULION coin-flip approximate triangle counting (the
 //!   paper's reference \[16\], used as the approximate baseline);
 //! * [`cores`] — k-core decomposition and degeneracy ordering;
@@ -42,6 +44,7 @@ pub mod gen;
 pub mod graph;
 pub mod io;
 pub mod metrics;
+pub mod mm;
 pub mod rng;
 pub mod storage;
 pub mod streaming;

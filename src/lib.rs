@@ -28,6 +28,7 @@ pub use trigon_fleet as fleet;
 pub use trigon_gpu_sim as gpu_sim;
 pub use trigon_graph as graph;
 pub use trigon_sched as sched;
+pub use trigon_serve as serve;
 
 pub use trigon_core::{
     Analysis, ChunkKernel, Clock, ClusterSection, ClusterSpec, Collector, CounterSet, Error,

@@ -14,7 +14,13 @@
 //! trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
 //! trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
 //! trigon camping
+//! trigon serve [--listen ADDR|--socket PATH] [--ndjson] [--device D] [--devices SPEC]
+//!              [--slots N] [--queue-depth N]
+//! trigon query (--to HOST:PORT|--socket PATH) [--ndjson] [--json] <op> ...
 //! ```
+//!
+//! File-loading commands accept `--format auto|edges|mm` (default `auto`,
+//! which sniffs the `%%MatrixMarket` banner).
 //!
 //! Exit codes: `0` success, `2` usage / bad configuration, `3` I/O,
 //! `4` malformed input, `5` graph too large for the device.
@@ -26,7 +32,7 @@ use trigon::gpu_sim::{
     render_partition_histogram, render_sm_timeline, DeviceSpec, FaultConfig, FaultPlan, FaultSpec,
     PartitionTraffic,
 };
-use trigon::graph::{approx, cores, gen, io, triangles, BfsTree, Graph};
+use trigon::graph::{approx, cores, io, triangles, BfsTree, Graph};
 use trigon::{
     Analysis, ClusterSpec, Error, FleetSpec, Json, Level, LossPlan, Method, PartitionStrategy,
     ProfileSection, RunReport, Tracer, Workload, WorkloadSection, RUN_REPORT_SCHEMA_VERSION,
@@ -43,6 +49,8 @@ fn main() {
         Some("hybrid") => cmd_hybrid(&args[1..]),
         Some("kcount") => cmd_kcount(&args[1..]),
         Some("camping") => cmd_camping(),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             std::process::exit(2);
@@ -86,10 +94,22 @@ const USAGE: &str = "usage:
   trigon split <FILE> [--device c1060|c2050|c2070]
   trigon hybrid [<FILE>] [--gen MODEL --n N] [--device c1060|c2050|c2070] [--json]
   trigon kcount <FILE> --k K [--what cliques|connected|independent] [--json]
-  trigon camping";
+  trigon camping
+  trigon serve [--listen ADDR|--socket PATH] [--ndjson] [--device c1060|c2050|c2070] [--devices SPEC] [--slots N] [--queue-depth N]
+    persistent daemon: loads graphs into a registry, answers queries over
+    warm caches, and admits graphs by the paper's Eqs. 1-2 capacity test
+    (route to --devices fleet when the device is too small, else exit 5).
+    Default transport is stdio; --listen prints \"listening on ADDR\".
+  trigon query (--to HOST:PORT|--socket PATH) [--ndjson] [--json] <op>
+    ops: load NAME (FILE [--format F] | --gen MODEL --n N [--seed S])
+         run GRAPH [--workload W[,W...]] [--method M] [--k K]
+         list | evict NAME | stats | shutdown
+    The server's error code becomes the process exit code.
+
+  FILE arguments accept --format auto|edges|mm (default auto)";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["json", "verbose"];
+const BOOL_FLAGS: &[&str] = &["json", "verbose", "ndjson"];
 
 /// Parses `--flag value` pairs, boolean `--flag`s, and positionals.
 ///
@@ -269,20 +289,34 @@ fn device_for(flags: &HashMap<String, String>) -> Result<DeviceSpec, Error> {
     }
 }
 
+/// The CLI's graph models — shared with the serving daemon's `load` op
+/// so `--gen MODEL` means the same thing locally and over the wire.
 fn generate(model: &str, n: u32, seed: u64) -> Option<Graph> {
-    Some(match model {
-        "gnp" => gen::gnp(n, 16.0 / f64::from(n).max(1.0), seed),
-        "ba" => gen::barabasi_albert(n, 8.min(n.saturating_sub(1)).max(1), seed),
-        "ws" => gen::watts_strogatz(n, 8.min(n.saturating_sub(2) / 2 * 2).max(2), 0.1, seed),
-        "ring" => gen::community_ring(n, 250.min(n.max(2)), 0.3, 4, seed),
-        "rmat" => gen::rmat_social(n.next_power_of_two(), 8 * n as usize, seed),
-        "complete" => gen::complete(n),
-        "grid" => {
-            let side = (f64::from(n).sqrt() as u32).max(1);
-            gen::grid2d(side, side)
-        }
-        _ => return None,
+    trigon::serve::generate(model, n, seed)
+}
+
+/// Resolves `--format` (default `auto`, which sniffs the MatrixMarket
+/// banner) into a [`io::DatasetFormat`].
+fn format_for(flags: &HashMap<String, String>) -> Result<io::DatasetFormat, Error> {
+    let name = flags.get("format").map_or("auto", String::as_str);
+    io::DatasetFormat::parse(name).ok_or_else(|| {
+        Error::bad_config(format!(
+            "unknown dataset format {name:?} (expected auto|edges|mm)"
+        ))
     })
+}
+
+/// Maps a dataset-reader failure onto the CLI error taxonomy: transport
+/// failures stay I/O (exit 3), everything else is malformed input
+/// (exit 4).
+fn dataset_error(path: &str, e: io::IoError) -> Error {
+    match e {
+        io::IoError::Io(source) => Error::Io {
+            path: path.to_string(),
+            source,
+        },
+        other => Error::Parse(format!("{path}: {other}")),
+    }
 }
 
 fn load_or_gen(pos: &[String], flags: &HashMap<String, String>) -> Result<Graph, Error> {
@@ -298,11 +332,12 @@ fn load_or_gen(pos: &[String], flags: &HashMap<String, String>) -> Result<Graph,
     let path = pos
         .first()
         .ok_or_else(|| Error::bad_config("need a FILE or --gen MODEL --n N"))?;
+    let format = format_for(flags)?;
     let f = std::fs::File::open(path).map_err(|e| Error::Io {
         path: path.clone(),
         source: e,
     })?;
-    let (g, _) = io::read_edge_list(BufReader::new(f)).map_err(|e| Error::Parse(e.to_string()))?;
+    let (g, _) = io::read_dataset(BufReader::new(f), format).map_err(|e| dataset_error(path, e))?;
     Ok(g)
 }
 
@@ -565,6 +600,20 @@ fn print_report(r: &RunReport) {
         println!(
             "{:<14}predicted {:.4} s vs simulated {:.4} s (ratio {:.2})",
             "Eq. 6", e.predicted_s, e.simulated_s, e.ratio
+        );
+    }
+    if let Some(s) = &r.serving {
+        println!(
+            "{:<14}{} {} -> {} (result {}, artifacts {})",
+            "serving", s.graph, s.verdict, s.target, s.cache, s.artifacts
+        );
+        println!(
+            "{:<14}waited {:.6} s, batch {}/{}, H2D share {:.6} s",
+            "queue",
+            s.queue_wait_s,
+            s.batch_index + 1,
+            s.batch_size,
+            s.h2d_share_s
         );
     }
 }
@@ -880,6 +929,383 @@ fn cmd_kcount(args: &[String]) -> Result<(), Error> {
         }
     };
     println!("{what} of size {k}: {count}");
+    Ok(())
+}
+
+/// Parses a small positive-integer flag with a default.
+fn usize_flag(flags: &HashMap<String, String>, name: &str, default: usize) -> Result<usize, Error> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(s) => match s.parse::<usize>() {
+            Ok(v) if v >= 1 => Ok(v),
+            _ => Err(Error::bad_config(format!(
+                "--{name} expects a positive integer, got {s:?}"
+            ))),
+        },
+    }
+}
+
+fn wire_for(flags: &HashMap<String, String>) -> trigon::serve::Wire {
+    if flags.contains_key("ndjson") {
+        trigon::serve::Wire::Ndjson
+    } else {
+        trigon::serve::Wire::Framed
+    }
+}
+
+/// `trigon serve` — the persistent daemon. Serves stdio by default
+/// (one session over stdin/stdout, e.g. under a pipe from `ci.sh`);
+/// `--listen ADDR` accepts concurrent TCP clients and announces the
+/// bound address (so `--listen 127.0.0.1:0` is testable); `--socket
+/// PATH` serves a Unix socket.
+fn cmd_serve(args: &[String]) -> Result<(), Error> {
+    let (pos, flags) = parse(args)?;
+    if let Some(extra) = pos.first() {
+        return Err(Error::bad_config(format!(
+            "serve takes no positional arguments, got {extra:?}\n{USAGE}"
+        )));
+    }
+    let device = device_for(&flags)?;
+    let fleet = match flags.get("devices") {
+        None => None,
+        Some(s) => Some(FleetSpec::parse(s).map_err(|e| Error::Parse(format!("--devices: {e}")))?),
+    };
+    let cfg = trigon::serve::ServerConfig {
+        device,
+        fleet,
+        slots: usize_flag(&flags, "slots", 8)?,
+        depth: usize_flag(&flags, "queue-depth", 16)?,
+    };
+    let wire = wire_for(&flags);
+    let server = std::sync::Arc::new(trigon::serve::Server::new(cfg));
+    if let Some(addr) = flags.get("listen") {
+        let listener = std::net::TcpListener::bind(addr).map_err(|e| Error::Io {
+            path: addr.clone(),
+            source: e,
+        })?;
+        let local = listener.local_addr().map_err(|e| Error::Io {
+            path: addr.clone(),
+            source: e,
+        })?;
+        // Clients (and tests binding port 0) parse this line.
+        println!("listening on {local}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        server.serve_tcp(listener, wire).map_err(|e| Error::Io {
+            path: local.to_string(),
+            source: e,
+        })
+    } else if let Some(path) = flags.get("socket") {
+        serve_unix_socket(&server, path, wire)
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        server.serve(&mut stdin.lock(), &mut stdout.lock(), wire)?;
+        Ok(())
+    }
+}
+
+#[cfg(unix)]
+fn serve_unix_socket(
+    server: &std::sync::Arc<trigon::serve::Server>,
+    path: &str,
+    wire: trigon::serve::Wire,
+) -> Result<(), Error> {
+    let _ = std::fs::remove_file(path); // stale socket from a previous run
+    let listener = std::os::unix::net::UnixListener::bind(path).map_err(|e| Error::Io {
+        path: path.to_string(),
+        source: e,
+    })?;
+    println!("listening on {path}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let r = server
+        .serve_unix(listener, path, wire)
+        .map_err(|e| Error::Io {
+            path: path.to_string(),
+            source: e,
+        });
+    let _ = std::fs::remove_file(path);
+    r
+}
+
+#[cfg(not(unix))]
+fn serve_unix_socket(
+    _server: &std::sync::Arc<trigon::serve::Server>,
+    _path: &str,
+    _wire: trigon::serve::Wire,
+) -> Result<(), Error> {
+    Err(Error::bad_config(
+        "--socket needs Unix domain sockets; use --listen ADDR",
+    ))
+}
+
+/// Builds the protocol request for a `trigon query` invocation.
+fn build_query_request(pos: &[String], flags: &HashMap<String, String>) -> Result<Json, Error> {
+    let op = pos
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| Error::bad_config(format!("query needs an op\n{USAGE}")))?;
+    let mut req = Json::object();
+    match op {
+        "load" => {
+            let name = pos
+                .get(1)
+                .ok_or_else(|| Error::bad_config("query load needs a graph NAME"))?;
+            req.set("op", Json::from("load"));
+            req.set("name", Json::from(name.as_str()));
+            if let Some(model) = flags.get("gen") {
+                let n = flags
+                    .get("n")
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| Error::bad_config("query load --gen needs --n N"))?;
+                req.set("gen", Json::from(model.as_str()));
+                req.set("n", Json::from(n));
+                if let Some(seed) = flags.get("seed") {
+                    let seed: u64 = seed.parse().map_err(|_| {
+                        Error::bad_config(format!(
+                            "--seed expects an unsigned integer, got {seed:?}"
+                        ))
+                    })?;
+                    req.set("seed", Json::from(seed));
+                }
+            } else {
+                let path = pos.get(2).ok_or_else(|| {
+                    Error::bad_config("query load needs a FILE or --gen MODEL --n N")
+                })?;
+                req.set("path", Json::from(path.as_str()));
+                if let Some(f) = flags.get("format") {
+                    req.set("format", Json::from(f.as_str()));
+                }
+            }
+        }
+        "run" => {
+            let graph = pos
+                .get(1)
+                .ok_or_else(|| Error::bad_config("query run needs a GRAPH name"))?;
+            req.set("op", Json::from("query"));
+            req.set("graph", Json::from(graph.as_str()));
+            let workloads: Vec<&str> = flags
+                .get("workload")
+                .map_or("triangles", String::as_str)
+                .split(',')
+                .collect();
+            let method = flags.get("method").map_or("gpu-opt", String::as_str);
+            let k = match flags.get("k") {
+                None => None,
+                Some(s) => Some(s.parse::<u64>().map_err(|_| {
+                    Error::bad_config(format!("--k expects an unsigned integer, got {s:?}"))
+                })?),
+            };
+            let items = workloads
+                .into_iter()
+                .map(|w| {
+                    let mut item = Json::object();
+                    item.set("workload", Json::from(w));
+                    item.set("method", Json::from(method));
+                    if let Some(k) = k {
+                        item.set("k", Json::from(k));
+                    }
+                    item
+                })
+                .collect();
+            req.set("batch", Json::Array(items));
+        }
+        "list" => {
+            req.set("op", Json::from("list"));
+        }
+        "evict" => {
+            let name = pos
+                .get(1)
+                .ok_or_else(|| Error::bad_config("query evict needs a graph NAME"))?;
+            req.set("op", Json::from("evict"));
+            req.set("name", Json::from(name.as_str()));
+        }
+        "stats" => {
+            req.set("op", Json::from("report"));
+        }
+        "shutdown" => {
+            req.set("op", Json::from("shutdown"));
+        }
+        other => {
+            return Err(Error::bad_config(format!(
+                "unknown query op {other:?} (expected load|run|list|evict|stats|shutdown)"
+            )));
+        }
+    }
+    Ok(req)
+}
+
+/// One request/response exchange over the configured transport.
+fn exchange(req: &Json, flags: &HashMap<String, String>) -> Result<Json, Error> {
+    let wire = wire_for(flags);
+    if let Some(addr) = flags.get("to") {
+        let stream = std::net::TcpStream::connect(addr).map_err(|e| Error::Io {
+            path: addr.clone(),
+            source: e,
+        })?;
+        let reader = stream.try_clone().map_err(|e| Error::Io {
+            path: addr.clone(),
+            source: e,
+        })?;
+        talk(BufReader::new(reader), stream, wire, req)
+    } else if let Some(path) = flags.get("socket") {
+        connect_unix_socket(path, wire, req)
+    } else {
+        Err(Error::bad_config(
+            "query needs --to HOST:PORT or --socket PATH",
+        ))
+    }
+}
+
+#[cfg(unix)]
+fn connect_unix_socket(path: &str, wire: trigon::serve::Wire, req: &Json) -> Result<Json, Error> {
+    let stream = std::os::unix::net::UnixStream::connect(path).map_err(|e| Error::Io {
+        path: path.to_string(),
+        source: e,
+    })?;
+    let reader = stream.try_clone().map_err(|e| Error::Io {
+        path: path.to_string(),
+        source: e,
+    })?;
+    talk(BufReader::new(reader), stream, wire, req)
+}
+
+#[cfg(not(unix))]
+fn connect_unix_socket(
+    _path: &str,
+    _wire: trigon::serve::Wire,
+    _req: &Json,
+) -> Result<Json, Error> {
+    Err(Error::bad_config(
+        "--socket needs Unix domain sockets; use --to HOST:PORT",
+    ))
+}
+
+fn talk<R: std::io::BufRead, W: std::io::Write>(
+    mut r: R,
+    mut w: W,
+    wire: trigon::serve::Wire,
+    req: &Json,
+) -> Result<Json, Error> {
+    wire.write_msg(&mut w, req)?;
+    wire.read_msg(&mut r)?
+        .ok_or_else(|| Error::Parse("server closed the connection without a response".into()))
+}
+
+fn json_str(j: &Json) -> Option<&str> {
+    match j {
+        Json::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn json_u64(j: &Json) -> Option<u64> {
+    match j {
+        Json::UInt(u) => Some(*u),
+        Json::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+/// Renders a successful query response in the CLI's flat style.
+fn print_query_response(op: &str, resp: &Json) {
+    match op {
+        "load" => {
+            let name = resp.get("name").and_then(json_str).unwrap_or("?");
+            let n = resp.get("n").and_then(json_u64).unwrap_or(0);
+            let m = resp.get("m").and_then(json_u64).unwrap_or(0);
+            let src = resp.get("source").and_then(json_str).unwrap_or("?");
+            println!("loaded {name} (n = {n}, m = {m}) from {src}");
+        }
+        "run" => {
+            if let Some(Json::Array(reports)) = resp.get("reports") {
+                for r in reports {
+                    let result = r.get("result");
+                    let kind = result
+                        .and_then(|r| r.get("kind"))
+                        .and_then(json_str)
+                        .unwrap_or("count");
+                    let count = result
+                        .and_then(|r| r.get("count"))
+                        .and_then(json_u64)
+                        .unwrap_or(0);
+                    let s = r.get("serving");
+                    let cache = s
+                        .and_then(|s| s.get("cache"))
+                        .and_then(json_str)
+                        .unwrap_or("?");
+                    let verdict = s
+                        .and_then(|s| s.get("verdict"))
+                        .and_then(json_str)
+                        .unwrap_or("?");
+                    let target = s
+                        .and_then(|s| s.get("target"))
+                        .and_then(json_str)
+                        .unwrap_or("?");
+                    println!("{kind:<14}{count}  [{verdict} -> {target}, cache {cache}]");
+                }
+            }
+        }
+        "list" => {
+            if let Some(Json::Array(graphs)) = resp.get("graphs") {
+                if graphs.is_empty() {
+                    println!("no graphs loaded");
+                }
+                for g in graphs {
+                    println!(
+                        "{:<16} n = {:<10} m = {:<12} artifacts = {} results = {}  {}",
+                        g.get("name").and_then(json_str).unwrap_or("?"),
+                        g.get("n").and_then(json_u64).unwrap_or(0),
+                        g.get("m").and_then(json_u64).unwrap_or(0),
+                        g.get("artifacts").and_then(json_u64).unwrap_or(0),
+                        g.get("results").and_then(json_u64).unwrap_or(0),
+                        g.get("source").and_then(json_str).unwrap_or(""),
+                    );
+                }
+            }
+        }
+        "evict" => {
+            println!(
+                "evicted {}",
+                resp.get("evicted").and_then(json_str).unwrap_or("?")
+            );
+        }
+        "stats" => {
+            if let Some(Json::Object(pairs)) = resp.get("stats") {
+                for (k, v) in pairs {
+                    println!("{k:<18}{}", v.to_string_compact());
+                }
+            }
+        }
+        "shutdown" => println!("server stopped"),
+        _ => println!("{}", resp.to_string_pretty()),
+    }
+}
+
+/// `trigon query` — one-shot client for a running `trigon serve`.
+fn cmd_query(args: &[String]) -> Result<(), Error> {
+    let (pos, flags) = parse(args)?;
+    let req = build_query_request(&pos, &flags)?;
+    let resp = exchange(&req, &flags)?;
+    let ok = resp.get("ok") == Some(&Json::Bool(true));
+    if flags.contains_key("json") {
+        println!("{}", resp.to_string_pretty());
+    } else if ok {
+        print_query_response(&pos[0], &resp);
+    }
+    if !ok {
+        let code = resp.get("code").and_then(json_u64).unwrap_or(1);
+        if !flags.contains_key("json") {
+            eprintln!(
+                "{}",
+                resp.get("error")
+                    .and_then(json_str)
+                    .unwrap_or("server error")
+            );
+        }
+        std::process::exit(i32::try_from(code).unwrap_or(1));
+    }
     Ok(())
 }
 

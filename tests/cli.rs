@@ -618,3 +618,197 @@ fn cluster_flag_error_paths() {
     assert_eq!(code, 2, "{stderr}");
     assert!(stderr.contains("gpu-*"), "{stderr}");
 }
+
+// ---------------------------------------------------------------------------
+// Serving daemon and dataset-ingestion error paths.
+// ---------------------------------------------------------------------------
+
+/// A `trigon serve --listen 127.0.0.1:0` child plus the address it
+/// printed; killed on drop so a failing assertion can't leak a daemon.
+struct Daemon {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn() -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_trigon"))
+            .args(["serve", "--listen", "127.0.0.1:0"])
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn daemon");
+        let stdout = child.stdout.take().expect("daemon stdout");
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut std::io::BufReader::new(stdout), &mut line)
+            .expect("read listen banner");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn query(&self, args: &[&str]) -> (String, String, i32) {
+        let mut full = vec!["query", "--to", self.addr.as_str()];
+        full.extend_from_slice(args);
+        trigon_code(&full)
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Nulls the wall-clock-bearing report sections and the per-request
+/// serving annotation so served and one-shot reports compare bitwise.
+fn strip_volatile(report: &trigon::Json) -> trigon::Json {
+    let mut r = report.clone();
+    r.set("serving", trigon::Json::Null);
+    r.set("timing", trigon::Json::Null);
+    r.set("telemetry", trigon::Json::Null);
+    r
+}
+
+#[test]
+fn malformed_dataset_exits_4() {
+    let dir = std::env::temp_dir().join("trigon_cli_malformed");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.txt");
+    std::fs::write(&path, "0 1\n1 junk\n").unwrap();
+    let path_s = path.to_str().unwrap();
+
+    let (_, stderr, code) = trigon_code(&["run", path_s]);
+    assert_eq!(code, 4, "{stderr}");
+    assert!(stderr.contains("parse"), "{stderr}");
+
+    // An edge list mislabeled as MatrixMarket fails the same way.
+    let (_, stderr, code) = trigon_code(&["analyze", path_s, "--format", "mm"]);
+    assert_eq!(code, 4, "{stderr}");
+    assert!(stderr.contains("parse"), "{stderr}");
+
+    // The daemon's load op surfaces the identical code over the wire.
+    let daemon = Daemon::spawn();
+    let (_, stderr, code) = daemon.query(&["load", "bad", path_s]);
+    assert_eq!(code, 4, "{stderr}");
+    let (_, _, code) = daemon.query(&["shutdown"]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn query_against_unloaded_graph_exits_2() {
+    let daemon = Daemon::spawn();
+    let (_, stderr, code) = daemon.query(&["run", "missing", "--workload", "triangles"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("missing"), "{stderr}");
+
+    let (_, stderr, code) = daemon.query(&["evict", "missing"]);
+    assert_eq!(code, 2, "{stderr}");
+
+    let (_, _, code) = daemon.query(&["shutdown"]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn serve_concurrent_queries_match_one_shot() {
+    let daemon = Daemon::spawn();
+    let (_, stderr, code) =
+        daemon.query(&["load", "ra", "--gen", "rmat", "--n", "400", "--seed", "7"]);
+    assert_eq!(code, 0, "{stderr}");
+    let (_, stderr, code) =
+        daemon.query(&["load", "gb", "--gen", "gnp", "--n", "300", "--seed", "3"]);
+    assert_eq!(code, 0, "{stderr}");
+
+    // Eight concurrent clients across two graphs and four workloads.
+    let coords: [(&str, &str, Option<&str>); 8] = [
+        ("ra", "triangles", None),
+        ("ra", "clustering", None),
+        ("ra", "enumerate", None),
+        ("ra", "ktruss", Some("3")),
+        ("gb", "triangles", None),
+        ("gb", "clustering", None),
+        ("gb", "enumerate", None),
+        ("gb", "ktruss", Some("3")),
+    ];
+    let handles: Vec<_> = coords
+        .iter()
+        .map(|&(g, w, k)| {
+            let addr = daemon.addr.clone();
+            std::thread::spawn(move || {
+                let mut args = vec![
+                    "query",
+                    "--to",
+                    &addr,
+                    "--json",
+                    "run",
+                    g,
+                    "--workload",
+                    w,
+                    "--method",
+                    "gpu-opt",
+                ];
+                if let Some(k) = k {
+                    args.extend_from_slice(&["--k", k]);
+                }
+                let out = Command::new(env!("CARGO_BIN_EXE_trigon"))
+                    .args(&args)
+                    .output()
+                    .expect("spawn client");
+                assert!(
+                    out.status.success(),
+                    "client {g}/{w} failed: {}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                (g, w, k, String::from_utf8_lossy(&out.stdout).into_owned())
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        let (g, w, k, stdout) = handle.join().expect("client thread");
+        let resp = trigon::Json::parse(&stdout).expect("client response parses");
+        let served = match resp.get("reports") {
+            Some(trigon::Json::Array(reports)) if reports.len() == 1 => reports[0].clone(),
+            other => panic!("expected one report for {g}/{w}, got {other:?}"),
+        };
+
+        let (model, n, seed) = if g == "ra" {
+            ("rmat", "400", "7")
+        } else {
+            ("gnp", "300", "3")
+        };
+        let mut args = vec![
+            "run",
+            "--gen",
+            model,
+            "--n",
+            n,
+            "--seed",
+            seed,
+            "--workload",
+            w,
+            "--method",
+            "gpu-opt",
+            "--json",
+        ];
+        if let Some(k) = k {
+            args.extend_from_slice(&["--k", k]);
+        }
+        let (stdout, stderr, ok) = trigon(&args);
+        assert!(ok, "one-shot {g}/{w} failed: {stderr}");
+        let one_shot = trigon::Json::parse(&stdout).expect("one-shot report parses");
+
+        assert_eq!(
+            strip_volatile(&served),
+            strip_volatile(&one_shot),
+            "served report for {g}/{w} diverged from one-shot `trigon run`"
+        );
+    }
+
+    let (_, _, code) = daemon.query(&["shutdown"]);
+    assert_eq!(code, 0);
+}

@@ -1,0 +1,151 @@
+//! Serving-tier equivalence properties: on arbitrary simple graphs,
+//! for every workload × executor the daemon serves, a warm-cache replay
+//! is bit-identical to the cold-path run, both match a one-shot
+//! `Run`-builder execution of the same coordinate, and evicting the
+//! graph then reloading it reconverges to the same report.
+//!
+//! Reports are compared with the wall-clock-bearing sections stripped
+//! (`timing`, `telemetry`) and the per-request `serving` section
+//! removed — everything else, including every count, every modeled
+//! second, and the whole simulated-GPU section, must agree bitwise.
+
+use proptest::prelude::*;
+use trigon::gpu_sim::DeviceSpec;
+use trigon::graph::Graph;
+use trigon::serve::{Server, ServerConfig};
+use trigon::{Json, Level, Method, Run, Workload};
+
+fn arb_graph(max_n: u32) -> impl Strategy<Value = Graph> {
+    (4..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..(4 * n as usize)).prop_map(move |raw| {
+            let edges: Vec<(u32, u32)> = raw.into_iter().filter(|&(u, v)| u != v).collect();
+            Graph::from_edges(n, &edges).expect("filtered edges valid")
+        })
+    })
+}
+
+/// (workload, k) coordinates the daemon serves through the kernel API.
+fn arb_workload() -> impl Strategy<Value = (&'static str, Option<u64>)> {
+    prop_oneof![
+        Just(("triangles", None)),
+        Just(("clustering", None)),
+        Just(("ktruss", Some(3u64))),
+        Just(("enumerate", None)),
+    ]
+}
+
+/// Executors the cache must be transparent for: both CPU counting
+/// models and the artifact-reusing simulated-GPU layouts. The
+/// intersection backends count triangles only, so pairing them with
+/// another workload is rejected at admission — constrain the strategy
+/// to coordinates the daemon actually serves.
+fn arb_coordinate() -> impl Strategy<Value = ((&'static str, Option<u64>), &'static str)> {
+    let method = prop_oneof![
+        Just("cpu-fast"),
+        Just("cpu-intersect"),
+        Just("gpu-naive"),
+        Just("gpu-opt"),
+        Just("gpu-intersect"),
+    ];
+    (arb_workload(), method).prop_map(|(wk, m)| {
+        if m.ends_with("intersect") {
+            (("triangles", None), m)
+        } else {
+            (wk, m)
+        }
+    })
+}
+
+/// Nulls the sections that carry host wall-clock (different run to
+/// run) and the per-request serving annotation, leaving every modeled
+/// quantity and count in place for the bitwise comparison.
+fn strip(report: &Json) -> Json {
+    let mut r = report.clone();
+    r.set("serving", Json::Null);
+    r.set("timing", Json::Null);
+    r.set("telemetry", Json::Null);
+    r
+}
+
+/// Issues one single-item query and returns its report JSON.
+fn query(server: &Server, graph: &str, workload: &str, k: Option<u64>, method: &str) -> Json {
+    let k_field = k.map_or(String::new(), |k| format!(r#","k":{k}"#));
+    let (resp, _) = server.handle(
+        &Json::parse(&format!(
+            r#"{{"op":"query","graph":"{graph}","workload":"{workload}"{k_field},"method":"{method}"}}"#
+        ))
+        .expect("request parses"),
+    );
+    assert_eq!(
+        resp.get("ok"),
+        Some(&Json::Bool(true)),
+        "query failed: {resp:?}"
+    );
+    match resp.get("reports") {
+        Some(Json::Array(reports)) if reports.len() == 1 => reports[0].clone(),
+        other => panic!("expected one report, got {other:?}"),
+    }
+}
+
+fn cache_disposition(report: &Json) -> &str {
+    match report.get("serving").and_then(|s| s.get("cache")) {
+        Some(Json::Str(s)) => s,
+        other => panic!("report without serving.cache: {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cold path, warm replay, a one-shot `Run`, and the post-eviction
+    /// reconvergence all agree bitwise for every served coordinate.
+    #[test]
+    fn warm_replay_is_bit_identical_to_cold_and_one_shot(
+        g in arb_graph(40),
+        ((workload, k), method) in arb_coordinate(),
+    ) {
+        let server = Server::new(ServerConfig::default());
+        server
+            .registry()
+            .load("g", g.clone(), "prop".to_string())
+            .expect("load");
+
+        let cold = query(&server, "g", workload, k, method);
+        prop_assert_eq!(cache_disposition(&cold), "miss");
+        let warm = query(&server, "g", workload, k, method);
+        prop_assert_eq!(cache_disposition(&warm), "hit");
+        prop_assert_eq!(strip(&cold), strip(&warm), "warm replay diverged from cold");
+
+        // The daemon must be a transparent wrapper: the same coordinate
+        // through the one-shot builder yields the same report.
+        let one_shot = Run::new(&g)
+            .method(Method::parse(method).expect("method"))
+            .workload(Workload::parse(workload, k.map(|k| k as u32)).expect("workload"))
+            .device(DeviceSpec::c1060())
+            .telemetry(Level::Standard)
+            .execute()
+            .expect("one-shot run")
+            .to_json();
+        prop_assert_eq!(
+            strip(&cold),
+            strip(&one_shot),
+            "served report diverged from the one-shot pipeline"
+        );
+
+        // Evict + reload: caches are gone (cold again), result converges.
+        let (resp, _) = server
+            .handle(&Json::parse(r#"{"op":"evict","name":"g"}"#).expect("evict parses"));
+        prop_assert_eq!(resp.get("ok"), Some(&Json::Bool(true)));
+        server
+            .registry()
+            .load("g", g.clone(), "prop".to_string())
+            .expect("reload");
+        let again = query(&server, "g", workload, k, method);
+        prop_assert_eq!(cache_disposition(&again), "miss");
+        prop_assert_eq!(
+            strip(&cold),
+            strip(&again),
+            "post-eviction rerun diverged"
+        );
+    }
+}

@@ -11,10 +11,17 @@
 
 use trigon::gpu_sim::{DeviceSpec, FaultConfig, FaultPlan, FaultSpec};
 use trigon::graph::gen;
-use trigon::{Analysis, ClusterSpec, FleetSpec, Level, LossPlan, Method, RunReport, Workload};
+use trigon::serve::{Server, ServerConfig};
+use trigon::{
+    Analysis, ClusterSpec, FleetSpec, Json, Level, LossPlan, Method, RunReport, Workload,
+};
 
 fn check_golden(name: &str, report: &RunReport) {
-    let actual = report.to_json().key_paths().join("\n") + "\n";
+    check_golden_json(name, &report.to_json());
+}
+
+fn check_golden_json(name: &str, json: &Json) {
+    let actual = json.key_paths().join("\n") + "\n";
     let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
     if std::env::var_os("BLESS").is_some() {
         std::fs::create_dir_all(format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR"))).unwrap();
@@ -160,6 +167,28 @@ fn enumerate_report_schema_is_pinned() {
     check_golden("workload_enumerate_keys", &r);
 }
 
+/// A report answered by the serving daemon pins the populated `serving`
+/// section — admission verdict, routing target, cache dispositions, and
+/// the batching ledger — on top of the ordinary v8 report shape.
+#[test]
+fn served_report_schema_is_pinned() {
+    let server = Server::new(ServerConfig::default());
+    let g = gen::gnp(200, 0.05, 1);
+    server
+        .registry()
+        .load("g", g, "golden".to_string())
+        .unwrap();
+    let (resp, _) = server.handle(
+        &Json::parse(r#"{"op":"query","graph":"g","workload":"triangles","method":"gpu-opt"}"#)
+            .unwrap(),
+    );
+    let report = match resp.get("reports") {
+        Some(Json::Array(reports)) if reports.len() == 1 => reports[0].clone(),
+        other => panic!("expected one served report, got {other:?}"),
+    };
+    check_golden_json("run_report_serving_keys", &report);
+}
+
 /// The profile section must be populated (not `Null`) on every executor
 /// path — its key shape is already pinned by the per-method goldens
 /// above, so this guards against an arm forgetting to attach it.
@@ -184,5 +213,5 @@ fn every_executor_attaches_a_profile_section() {
 
 #[test]
 fn schema_version_is_current() {
-    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 7);
+    assert_eq!(trigon::core::RUN_REPORT_SCHEMA_VERSION, 8);
 }
